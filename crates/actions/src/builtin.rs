@@ -1,0 +1,859 @@
+//! Built-in action library.
+//!
+//! These are the action definitions the paper's evaluation relies on:
+//!
+//! - [`NullAction`] (`"null"`) — empty methods, for the Fig. 6 bandwidth
+//!   micro-benchmarks (writes are drained, reads emit `size=` zero bytes).
+//! - [`CounterAction`] (`"counter"`) — byte counter, a minimal stateful
+//!   aggregate used in tests and docs.
+//! - [`MergeAction`] (`"merge"`) — the paper's Listing 1: merges
+//!   `key,value` lines into a dictionary, serving Fig. 5 and word count.
+//! - [`FilterAction`] (`"filter"`) — near-data line filter over a backing
+//!   file, the pre-processing proxy of Table 2.
+//! - [`SorterAction`] (`"sorter"`) — buffers fixed-width records from many
+//!   writers, sorts on demand and writes the result from *inside* the
+//!   storage cluster, the reducer replacement of Fig. 7 (§7.3).
+//!
+//! Workload-specific actions (the genomics Sampler/Manager/Reader of
+//! §7.4) live in `glider-analytics` and are registered the same way.
+
+use crate::action::{Action, ActionCell, ActionContext, ByteStream};
+use crate::registry::ActionRegistry;
+use crate::stream::{ActionInputStream, ActionOutputStream, LineReader};
+use bytes::Bytes;
+use futures::future::BoxFuture;
+use glider_proto::{GliderError, GliderResult};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registers every built-in under its canonical name.
+pub fn register_builtins(registry: &ActionRegistry) {
+    registry.register(
+        "null",
+        Arc::new(|spec| {
+            let size = spec
+                .param("size")
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| GliderError::invalid("null action: bad size param"))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            Ok(Arc::new(NullAction { read_size: size }) as Arc<dyn Action>)
+        }),
+    );
+    registry.register(
+        "counter",
+        Arc::new(|_spec| Ok(Arc::new(CounterAction::default()) as Arc<dyn Action>)),
+    );
+    registry.register(
+        "merge",
+        Arc::new(|_spec| Ok(Arc::new(MergeAction::default()) as Arc<dyn Action>)),
+    );
+    registry.register(
+        "filter",
+        Arc::new(|spec| {
+            let src = spec
+                .param("src")
+                .ok_or_else(|| GliderError::invalid("filter action: missing src param"))?
+                .to_string();
+            let pattern = spec
+                .param("pattern")
+                .ok_or_else(|| GliderError::invalid("filter action: missing pattern param"))?
+                .to_string();
+            Ok(Arc::new(FilterAction { src, pattern }) as Arc<dyn Action>)
+        }),
+    );
+    registry.register(
+        "cache",
+        Arc::new(|spec| {
+            let capacity = spec
+                .param("capacity")
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| GliderError::invalid("cache action: bad capacity param"))
+                })
+                .transpose()?
+                .unwrap_or(1024);
+            if capacity == 0 {
+                return Err(GliderError::invalid("cache action: capacity must be > 0"));
+            }
+            Ok(Arc::new(CacheAction {
+                capacity,
+                entries: ActionCell::default(),
+            }) as Arc<dyn Action>)
+        }),
+    );
+    registry.register(
+        "merge-ckpt",
+        Arc::new(|spec| {
+            let ckpt = spec
+                .param("ckpt")
+                .ok_or_else(|| GliderError::invalid("merge-ckpt action: missing ckpt param"))?
+                .to_string();
+            Ok(Arc::new(CheckpointedMergeAction {
+                ckpt,
+                result: ActionCell::default(),
+            }) as Arc<dyn Action>)
+        }),
+    );
+    registry.register(
+        "sorter",
+        Arc::new(|spec| {
+            let out = spec.param("out").map(str::to_string);
+            let record_len = spec
+                .param("record")
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| GliderError::invalid("sorter action: bad record param"))
+                })
+                .transpose()?
+                .unwrap_or(100);
+            let key_len = spec
+                .param("key")
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| GliderError::invalid("sorter action: bad key param"))
+                })
+                .transpose()?
+                .unwrap_or(10);
+            if key_len == 0 || record_len == 0 || key_len > record_len {
+                return Err(GliderError::invalid(
+                    "sorter action: key/record lengths inconsistent",
+                ));
+            }
+            Ok(Arc::new(SorterAction {
+                out,
+                record_len,
+                key_len,
+                buffer: ActionCell::default(),
+            }) as Arc<dyn Action>)
+        }),
+    );
+}
+
+// ---------------------------------------------------------------------------
+
+/// Empty methods; reads emit a configured number of zero bytes.
+#[derive(Debug)]
+pub struct NullAction {
+    read_size: u64,
+}
+
+impl Action for NullAction {
+    fn on_read<'a>(
+        &'a self,
+        output: &'a mut ActionOutputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            const CHUNK: u64 = 64 * 1024;
+            let zeros = Bytes::from(vec![0u8; CHUNK as usize]);
+            let mut remaining = self.read_size;
+            while remaining > 0 {
+                let n = remaining.min(CHUNK);
+                output.write(zeros.slice(..n as usize)).await?;
+                remaining -= n;
+            }
+            Ok(())
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Counts bytes written; reads return the decimal count.
+#[derive(Debug, Default)]
+pub struct CounterAction {
+    total: ActionCell<u64>,
+}
+
+impl Action for CounterAction {
+    fn on_write<'a>(
+        &'a self,
+        input: &'a mut ActionInputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            while let Some(chunk) = input.next_chunk().await? {
+                self.total.with(|t| *t += chunk.len() as u64);
+            }
+            Ok(())
+        })
+    }
+
+    fn on_read<'a>(
+        &'a self,
+        output: &'a mut ActionOutputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            output
+                .write_all(self.total.get().to_string().as_bytes())
+                .await
+        })
+    }
+
+    fn state_size(&self) -> u64 {
+        8
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The paper's Listing 1 aggregation: merges `key,count` lines from any
+/// number of write streams into one dictionary; reads serialize the
+/// dictionary as sorted `key,count` lines.
+#[derive(Debug, Default)]
+pub struct MergeAction {
+    result: ActionCell<HashMap<i64, i64>>,
+}
+
+impl Action for MergeAction {
+    fn on_write<'a>(
+        &'a self,
+        input: &'a mut ActionInputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let mut lines = LineReader::new(input);
+            while let Some(line) = lines.next_line().await? {
+                let Some((k, v)) = line.split_once(',') else {
+                    continue; // tolerate malformed lines, like the paper's demo
+                };
+                let (Ok(k), Ok(v)) = (k.trim().parse::<i64>(), v.trim().parse::<i64>()) else {
+                    continue;
+                };
+                self.result
+                    .with(|m| *m.entry(k).or_insert(0) = m.get(&k).copied().unwrap_or(0).wrapping_add(v));
+            }
+            Ok(())
+        })
+    }
+
+    fn on_read<'a>(
+        &'a self,
+        output: &'a mut ActionOutputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let mut entries: Vec<(i64, i64)> =
+                self.result.with(|m| m.iter().map(|(k, v)| (*k, *v)).collect());
+            entries.sort_unstable();
+            for (k, v) in entries {
+                output.write_all(format!("{k},{v}\n").as_bytes()).await?;
+            }
+            Ok(())
+        })
+    }
+
+    fn state_size(&self) -> u64 {
+        // 16 bytes of payload per entry plus map overhead estimate.
+        self.result.with(|m| (m.len() as u64) * 24)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// A bounded key-value cache (§3.1 names caching as a natural stateful
+/// data-bound task). Writes carry `key=value` lines (insert/overwrite) or
+/// `key` lines (lookup requests); a subsequent read returns one `key=value`
+/// line per requested key that was found, in request order, then clears
+/// the request list. Insertion order eviction bounds the state.
+#[derive(Debug)]
+pub struct CacheAction {
+    capacity: usize,
+    entries: ActionCell<CacheState>,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<String, String>,
+    order: std::collections::VecDeque<String>,
+    requests: Vec<String>,
+}
+
+impl Action for CacheAction {
+    fn on_write<'a>(
+        &'a self,
+        input: &'a mut ActionInputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let mut lines = LineReader::new(input);
+            while let Some(line) = lines.next_line().await? {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                self.entries.with(|state| match line.split_once('=') {
+                    Some((key, value)) => {
+                        if state.map.insert(key.to_string(), value.to_string()).is_none() {
+                            state.order.push_back(key.to_string());
+                            while state.order.len() > self.capacity {
+                                if let Some(evicted) = state.order.pop_front() {
+                                    state.map.remove(&evicted);
+                                }
+                            }
+                        }
+                    }
+                    None => state.requests.push(line.to_string()),
+                });
+            }
+            Ok(())
+        })
+    }
+
+    fn on_read<'a>(
+        &'a self,
+        output: &'a mut ActionOutputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let hits: Vec<(String, Option<String>)> = self.entries.with(|state| {
+                let requests = std::mem::take(&mut state.requests);
+                requests
+                    .into_iter()
+                    .map(|k| {
+                        let v = state.map.get(&k).cloned();
+                        (k, v)
+                    })
+                    .collect()
+            });
+            for (key, value) in hits {
+                if let Some(value) = value {
+                    output.write_all(format!("{key}={value}\n").as_bytes()).await?;
+                }
+            }
+            Ok(())
+        })
+    }
+
+    fn state_size(&self) -> u64 {
+        self.entries.with(|s| {
+            s.map
+                .iter()
+                .map(|(k, v)| (k.len() + v.len() + 16) as u64)
+                .sum()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// [`MergeAction`] with checkpointing — the fault-tolerance mechanism the
+/// paper leaves to action developers (§4.2: "users may develop their
+/// actions with such mechanisms as required by their applications in
+/// expense of performance").
+///
+/// The dictionary is persisted to an ephemeral file (`ckpt=` param) after
+/// every completed write stream — a consistent point under the
+/// single-threaded-like execution model — and restored by `on_create`, so
+/// a re-created action (e.g. after an active-server replacement) resumes
+/// where the last successful write barrier left it.
+#[derive(Debug)]
+pub struct CheckpointedMergeAction {
+    ckpt: String,
+    result: ActionCell<HashMap<i64, i64>>,
+}
+
+impl CheckpointedMergeAction {
+    fn serialize(&self) -> Vec<u8> {
+        let mut entries: Vec<(i64, i64)> =
+            self.result.with(|m| m.iter().map(|(k, v)| (*k, *v)).collect());
+        entries.sort_unstable();
+        let mut out = Vec::with_capacity(entries.len() * 16);
+        for (k, v) in entries {
+            out.extend_from_slice(format!("{k},{v}\n").as_bytes());
+        }
+        out
+    }
+
+    async fn persist(&self, ctx: &ActionContext) -> GliderResult<()> {
+        let store = ctx.store()?;
+        let snapshot = self.serialize();
+        // Overwrite: drop the previous checkpoint (if any), then write.
+        match store.delete(&self.ckpt).await {
+            Ok(()) => {}
+            Err(e) if e.code() == glider_proto::ErrorCode::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut sink = store.create_file(&self.ckpt).await?;
+        sink.write(Bytes::from(snapshot)).await?;
+        sink.close().await
+    }
+}
+
+impl Action for CheckpointedMergeAction {
+    fn on_create<'a>(&'a self, ctx: &'a ActionContext) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let store = ctx.store()?;
+            match store.read_all(&self.ckpt).await {
+                Ok(data) => {
+                    self.result.with(|m| {
+                        for line in String::from_utf8_lossy(&data).lines() {
+                            if let Some((k, v)) = line.split_once(',') {
+                                if let (Ok(k), Ok(v)) = (k.parse(), v.parse()) {
+                                    m.insert(k, v);
+                                }
+                            }
+                        }
+                    });
+                    Ok(())
+                }
+                Err(e) if e.code() == glider_proto::ErrorCode::NotFound => Ok(()),
+                Err(e) => Err(e),
+            }
+        })
+    }
+
+    fn on_write<'a>(
+        &'a self,
+        input: &'a mut ActionInputStream,
+        ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let mut lines = LineReader::new(input);
+            while let Some(line) = lines.next_line().await? {
+                let Some((k, v)) = line.split_once(',') else { continue };
+                let (Ok(k), Ok(v)) = (k.trim().parse::<i64>(), v.trim().parse::<i64>()) else {
+                    continue;
+                };
+                self.result.with(|m| {
+                    let acc = m.entry(k).or_insert(0);
+                    *acc = acc.wrapping_add(v);
+                });
+            }
+            // Checkpoint at the write barrier: a successful close means
+            // this stream's data is both merged AND durable-enough.
+            self.persist(ctx).await
+        })
+    }
+
+    fn on_read<'a>(
+        &'a self,
+        output: &'a mut ActionOutputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move { output.write_all(&self.serialize()).await })
+    }
+
+    fn state_size(&self) -> u64 {
+        self.result.with(|m| (m.len() as u64) * 24)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Near-data pre-processing proxy (Table 2): reads a backing file from
+/// inside the storage cluster and streams only the lines containing
+/// `pattern` to the client.
+#[derive(Debug)]
+pub struct FilterAction {
+    src: String,
+    pattern: String,
+}
+
+/// Naive byte-level substring search (the pattern sizes here are tiny).
+fn contains_bytes(hay: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && hay.windows(needle.len()).any(|w| w == needle)
+}
+
+impl Action for FilterAction {
+    fn on_read<'a>(
+        &'a self,
+        output: &'a mut ActionOutputStream,
+        ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let store = ctx.store()?;
+            let mut reader = store.open_read(&self.src).await?;
+            let pattern = self.pattern.as_bytes();
+            // Byte-level line scan: this is the near-data hot path of the
+            // ingest pipeline (Table 2), so no per-line allocation.
+            let mut carry: Vec<u8> = Vec::new();
+            let mut kept: Vec<u8> = Vec::new();
+            while let Some(chunk) = reader.next_chunk().await? {
+                let mut rest: &[u8] = &chunk;
+                if !carry.is_empty() {
+                    match rest.iter().position(|&b| b == b'\n') {
+                        Some(nl) => {
+                            carry.extend_from_slice(&rest[..nl]);
+                            if contains_bytes(&carry, pattern) {
+                                kept.extend_from_slice(&carry);
+                                kept.push(b'\n');
+                            }
+                            carry.clear();
+                            rest = &rest[nl + 1..];
+                        }
+                        None => {
+                            carry.extend_from_slice(rest);
+                            continue;
+                        }
+                    }
+                }
+                while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+                    if contains_bytes(&rest[..nl], pattern) {
+                        kept.extend_from_slice(&rest[..nl]);
+                        kept.push(b'\n');
+                    }
+                    rest = &rest[nl + 1..];
+                }
+                carry.extend_from_slice(rest);
+                if !kept.is_empty() {
+                    output.write_all(&kept).await?;
+                    kept.clear();
+                }
+            }
+            if !carry.is_empty() && contains_bytes(&carry, pattern) {
+                output.write_all(&carry).await?;
+                output.write_all(b"\n").await?;
+            }
+            Ok(())
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Stateful shuffle sink for distributed sorts (§7.3): buffers fixed-width
+/// records from any number of writers; on read, sorts by key and either
+/// writes the result to a file from inside the cluster (`out=` param,
+/// emitting a one-line report) or streams the sorted records back.
+#[derive(Debug)]
+pub struct SorterAction {
+    out: Option<String>,
+    record_len: usize,
+    key_len: usize,
+    buffer: ActionCell<Vec<u8>>,
+}
+
+impl SorterAction {
+    fn sort_records(&self, mut data: Vec<u8>) -> Vec<u8> {
+        let rl = self.record_len;
+        let kl = self.key_len;
+        let n = data.len() / rl;
+        data.truncate(n * rl); // drop a torn tail defensively
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| data[a * rl..a * rl + kl].cmp(&data[b * rl..b * rl + kl]));
+        let mut sorted = Vec::with_capacity(data.len());
+        for idx in order {
+            sorted.extend_from_slice(&data[idx * rl..(idx + 1) * rl]);
+        }
+        sorted
+    }
+}
+
+impl Action for SorterAction {
+    fn on_write<'a>(
+        &'a self,
+        input: &'a mut ActionInputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            // Each stream accumulates privately and lands in the shared
+            // buffer as one unit: network chunks are not record-aligned,
+            // so interleaved writers appending chunk-by-chunk would tear
+            // records at chunk boundaries.
+            let mut mine: Vec<u8> = Vec::new();
+            while let Some(chunk) = input.next_chunk().await? {
+                mine.extend_from_slice(&chunk);
+            }
+            if !mine.is_empty() {
+                self.buffer.with(|b| b.extend_from_slice(&mine));
+            }
+            Ok(())
+        })
+    }
+
+    fn on_read<'a>(
+        &'a self,
+        output: &'a mut ActionOutputStream,
+        ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let data = self.buffer.take();
+            let records = data.len() / self.record_len;
+            let sorted = self.sort_records(data);
+            match &self.out {
+                Some(path) => {
+                    let store = ctx.store()?;
+                    let mut sink = store.create_file(path).await?;
+                    for chunk in sorted.chunks(256 * 1024) {
+                        sink.write(Bytes::copy_from_slice(chunk)).await?;
+                    }
+                    sink.close().await?;
+                    output
+                        .write_all(format!("records={records} out={path}\n").as_bytes())
+                        .await
+                }
+                None => {
+                    for chunk in sorted.chunks(256 * 1024) {
+                        output.write(Bytes::copy_from_slice(chunk)).await?;
+                    }
+                    Ok(())
+                }
+            }
+        })
+    }
+
+    fn state_size(&self) -> u64 {
+        self.buffer.with(|b| b.len() as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Line splitter over a [`ByteStream`] (the intra-store analogue of
+/// [`LineReader`]).
+pub struct ByteStreamLines {
+    inner: Box<dyn ByteStream>,
+    buf: Vec<u8>,
+    pos: usize,
+    eof: bool,
+}
+
+impl ByteStreamLines {
+    /// Wraps a chunked reader.
+    pub fn new(inner: Box<dyn ByteStream>) -> Self {
+        ByteStreamLines {
+            inner,
+            buf: Vec::new(),
+            pos: 0,
+            eof: false,
+        }
+    }
+
+    /// Returns the next line without its terminator, or `None` at EOF.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors from the underlying stream.
+    pub async fn next_line(&mut self) -> GliderResult<Option<String>> {
+        loop {
+            if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                let line = String::from_utf8_lossy(&self.buf[self.pos..self.pos + nl]).into_owned();
+                self.pos += nl + 1;
+                if self.pos > 64 * 1024 {
+                    self.buf.drain(..self.pos);
+                    self.pos = 0;
+                }
+                return Ok(Some(line));
+            }
+            if self.eof {
+                if self.pos < self.buf.len() {
+                    let line = String::from_utf8_lossy(&self.buf[self.pos..]).into_owned();
+                    self.pos = self.buf.len();
+                    return Ok(Some(line));
+                }
+                return Ok(None);
+            }
+            match self.inner.next_chunk().await? {
+                Some(chunk) => self.buf.extend_from_slice(&chunk),
+                None => self.eof = true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glider_proto::types::{ActionSpec, NodeId};
+
+    fn ctx() -> ActionContext {
+        ActionContext::new(NodeId(1), false, None)
+    }
+
+    async fn run_write(action: &dyn Action, data: &[u8]) -> GliderResult<()> {
+        let (mut input, pusher) = ActionInputStream::new(8);
+        let fed: Vec<Bytes> = data
+            .chunks(7)
+            .map(Bytes::copy_from_slice)
+            .collect();
+        let push_task = async {
+            for (i, c) in fed.into_iter().enumerate() {
+                pusher.push(i as u64, c).await.unwrap();
+            }
+        };
+        let c = ctx();
+        let (_, r) = tokio::join!(push_task, async {
+            // pusher is dropped by finish below only after pushes; emulate
+            // by scoping: we drop after join via explicit call
+            action.on_write(&mut input, &c).await
+        });
+        // on_write may still be waiting for EOF if data was small; ensure
+        // pusher is finished before join in callers that need it.
+        r
+    }
+
+    async fn run_read(action: &dyn Action) -> GliderResult<Vec<u8>> {
+        let (mut output, mut rx) = ActionOutputStream::new(8);
+        let c = ctx();
+        let (result, data) = tokio::join!(
+            async {
+                let r = action.on_read(&mut output, &c).await;
+                let r2 = output.flush().await;
+                drop(output);
+                r.and(r2)
+            },
+            async {
+                let mut out = Vec::new();
+                while let Some(chunk) = rx.recv().await {
+                    out.extend_from_slice(&chunk);
+                }
+                out
+            }
+        );
+        result.map(|_| data)
+    }
+
+    /// Feeds `data` through `on_write` with proper EOF semantics.
+    async fn feed(action: &dyn Action, data: &[u8]) {
+        let (mut input, pusher) = ActionInputStream::new(64);
+        for (i, c) in data.chunks(7).enumerate() {
+            pusher.push(i as u64, Bytes::copy_from_slice(c)).await.unwrap();
+        }
+        pusher.finish();
+        action.on_write(&mut input, &ctx()).await.unwrap();
+        let _ = run_write; // silence unused helper in some cfgs
+    }
+
+    #[tokio::test]
+    async fn null_action_emits_requested_zeros() {
+        let a = NullAction { read_size: 100_000 };
+        let out = run_read(&a).await.unwrap();
+        assert_eq!(out.len(), 100_000);
+        assert!(out.iter().all(|&b| b == 0));
+        let empty = NullAction { read_size: 0 };
+        assert!(run_read(&empty).await.unwrap().is_empty());
+    }
+
+    #[tokio::test]
+    async fn counter_counts() {
+        let a = CounterAction::default();
+        feed(&a, b"12345").await;
+        feed(&a, b"678").await;
+        assert_eq!(run_read(&a).await.unwrap(), b"8");
+        assert_eq!(a.state_size(), 8);
+    }
+
+    #[tokio::test]
+    async fn merge_aggregates_and_sorts() {
+        let a = MergeAction::default();
+        feed(&a, b"5,100\n1,2\n5,-50\nnot-a-pair\n7,oops\n").await;
+        feed(&a, b"1,8\n").await;
+        let out = String::from_utf8(run_read(&a).await.unwrap()).unwrap();
+        assert_eq!(out, "1,10\n5,50\n");
+        assert!(a.state_size() >= 2 * 24);
+    }
+
+    #[tokio::test]
+    async fn sorter_sorts_records_in_stream_mode() {
+        let spec = ActionSpec::new("sorter", false).with_params("record=4;key=2");
+        let reg = ActionRegistry::with_builtins();
+        let a = reg.instantiate(&spec).unwrap();
+        // Records: "zzAA", "aaBB", "mmCC" (key = first 2 bytes).
+        feed(a.as_ref(), b"zzAAaaBBmmCC").await;
+        let out = run_read(a.as_ref()).await.unwrap();
+        assert_eq!(&out, b"aaBBmmCCzzAA");
+        // Buffer was taken; a second read yields nothing.
+        let out2 = run_read(a.as_ref()).await.unwrap();
+        assert!(out2.is_empty());
+    }
+
+    #[tokio::test]
+    async fn sorter_drops_torn_tail() {
+        let spec = ActionSpec::new("sorter", false).with_params("record=4;key=2");
+        let reg = ActionRegistry::with_builtins();
+        let a = reg.instantiate(&spec).unwrap();
+        feed(a.as_ref(), b"zzAAaaBBxx").await; // trailing 2 bytes torn
+        let out = run_read(a.as_ref()).await.unwrap();
+        assert_eq!(&out, b"aaBBzzAA");
+    }
+
+    #[tokio::test]
+    async fn sorter_without_store_fails_in_file_mode() {
+        let spec = ActionSpec::new("sorter", false).with_params("out=/r;record=4;key=2");
+        let reg = ActionRegistry::with_builtins();
+        let a = reg.instantiate(&spec).unwrap();
+        feed(a.as_ref(), b"zzAA").await;
+        assert!(run_read(a.as_ref()).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn cache_inserts_looks_up_and_evicts() {
+        let reg = ActionRegistry::with_builtins();
+        let a = reg
+            .instantiate(&ActionSpec::new("cache", false).with_params("capacity=2"))
+            .unwrap();
+        feed(a.as_ref(), b"alpha=1\nbeta=2\n").await;
+        // Lookups: hit, hit.
+        feed(a.as_ref(), b"alpha\nbeta\nmissing\n").await;
+        let out = String::from_utf8(run_read(a.as_ref()).await.unwrap()).unwrap();
+        assert_eq!(out, "alpha=1\nbeta=2\n");
+        // Requests are consumed by the read.
+        assert!(run_read(a.as_ref()).await.unwrap().is_empty());
+        // Capacity 2: inserting gamma evicts the oldest (alpha).
+        feed(a.as_ref(), b"gamma=3\nalpha\ngamma\n").await;
+        let out = String::from_utf8(run_read(a.as_ref()).await.unwrap()).unwrap();
+        assert_eq!(out, "gamma=3\n");
+        assert!(a.state_size() > 0);
+    }
+
+    #[tokio::test]
+    async fn cache_overwrite_does_not_duplicate_order() {
+        let reg = ActionRegistry::with_builtins();
+        let a = reg
+            .instantiate(&ActionSpec::new("cache", false).with_params("capacity=2"))
+            .unwrap();
+        feed(a.as_ref(), b"k=1\nk=2\nother=9\nk\nother\n").await;
+        let out = String::from_utf8(run_read(a.as_ref()).await.unwrap()).unwrap();
+        assert_eq!(out, "k=2\nother=9\n");
+    }
+
+    #[tokio::test]
+    async fn factory_validation() {
+        let reg = ActionRegistry::with_builtins();
+        assert!(reg
+            .instantiate(&ActionSpec::new("filter", false))
+            .is_err());
+        assert!(reg
+            .instantiate(
+                &ActionSpec::new("filter", false).with_params("src=/f;pattern=x")
+            )
+            .is_ok());
+        assert!(reg
+            .instantiate(&ActionSpec::new("null", false).with_params("size=nope"))
+            .is_err());
+        assert!(reg
+            .instantiate(&ActionSpec::new("sorter", false).with_params("record=4;key=9"))
+            .is_err());
+    }
+
+    struct VecStream(Vec<Bytes>);
+    impl ByteStream for VecStream {
+        fn next_chunk(&mut self) -> BoxFuture<'_, GliderResult<Option<Bytes>>> {
+            Box::pin(async move {
+                if self.0.is_empty() {
+                    Ok(None)
+                } else {
+                    Ok(Some(self.0.remove(0)))
+                }
+            })
+        }
+    }
+
+    #[tokio::test]
+    async fn byte_stream_lines_splits_across_chunks() {
+        let stream = VecStream(vec![
+            Bytes::from_static(b"hello wo"),
+            Bytes::from_static(b"rld\npar"),
+            Bytes::from_static(b"tial"),
+        ]);
+        let mut lines = ByteStreamLines::new(Box::new(stream));
+        assert_eq!(lines.next_line().await.unwrap().as_deref(), Some("hello world"));
+        assert_eq!(lines.next_line().await.unwrap().as_deref(), Some("partial"));
+        assert_eq!(lines.next_line().await.unwrap(), None);
+    }
+}

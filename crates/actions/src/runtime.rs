@@ -1,0 +1,561 @@
+//! The per-instance action executor.
+//!
+//! One tokio task drives each action instance. Method invocations arrive
+//! on the instance's mailbox; depending on the interleaving flag the task
+//! either runs them strictly one-at-a-time or polls all in-flight method
+//! futures itself (via `FuturesUnordered`), which yields the paper's
+//! Orleans-style turn-taking while preserving single-threaded-like
+//! execution (§4.2 "Actions and concurrency").
+
+use crate::action::{Action, ActionContext};
+use crate::stream::{ActionInputStream, ActionOutputStream};
+use futures::future::BoxFuture;
+use futures::stream::{FuturesUnordered, StreamExt};
+use glider_metrics::MetricsRegistry;
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use std::sync::Arc;
+use tokio::sync::{mpsc, oneshot};
+
+/// Mailbox depth for queued method invocations.
+const MAILBOX_DEPTH: usize = 1024;
+
+/// A method invocation queued on an instance.
+#[derive(Debug)]
+pub enum Invocation {
+    /// Run `on_write` consuming `input`.
+    Write {
+        /// The stream the client writes into.
+        input: ActionInputStream,
+        /// Completion signal (write barrier for the client's close).
+        done: oneshot::Sender<GliderResult<()>>,
+    },
+    /// Run `on_read` producing into `output`.
+    Read {
+        /// The stream the client reads from.
+        output: ActionOutputStream,
+        /// Completion signal.
+        done: oneshot::Sender<GliderResult<()>>,
+    },
+    /// Run `on_delete` and stop the instance.
+    Delete {
+        /// Completion signal.
+        done: oneshot::Sender<GliderResult<()>>,
+    },
+}
+
+/// Handle for enqueueing invocations on a running instance.
+#[derive(Debug, Clone)]
+pub struct InstanceHandle {
+    inv_tx: mpsc::Sender<Invocation>,
+}
+
+impl InstanceHandle {
+    /// Enqueues an invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::Closed`] if the instance has stopped.
+    pub async fn enqueue(&self, inv: Invocation) -> GliderResult<()> {
+        self.inv_tx
+            .send(inv)
+            .await
+            .map_err(|_| GliderError::new(ErrorCode::Closed, "action instance stopped"))
+    }
+}
+
+/// Spawns the executor task for one action instance.
+///
+/// Runs `on_create` first; its result arrives on the returned receiver so
+/// the caller can fail creation. `metrics` (when provided) receives
+/// storage-utilization samples of [`Action::state_size`] after every
+/// method execution.
+pub fn spawn_instance(
+    action: Arc<dyn Action>,
+    ctx: ActionContext,
+    metrics: Option<Arc<MetricsRegistry>>,
+) -> (InstanceHandle, oneshot::Receiver<GliderResult<()>>) {
+    let (inv_tx, inv_rx) = mpsc::channel(MAILBOX_DEPTH);
+    let (created_tx, created_rx) = oneshot::channel();
+    tokio::spawn(run_instance(action, ctx, metrics, inv_rx, created_tx));
+    (InstanceHandle { inv_tx }, created_rx)
+}
+
+struct StateGauge {
+    metrics: Option<Arc<MetricsRegistry>>,
+    last: u64,
+}
+
+impl StateGauge {
+    fn sample(&mut self, action: &dyn Action) {
+        if let Some(m) = &self.metrics {
+            let now = action.state_size();
+            if now > self.last {
+                m.storage_alloc(now - self.last);
+            } else if now < self.last {
+                m.storage_free(self.last - now);
+            }
+            self.last = now;
+        }
+    }
+
+    fn release(&mut self) {
+        if let Some(m) = &self.metrics {
+            if self.last > 0 {
+                m.storage_free(self.last);
+                self.last = 0;
+            }
+        }
+    }
+}
+
+async fn run_instance(
+    action: Arc<dyn Action>,
+    ctx: ActionContext,
+    metrics: Option<Arc<MetricsRegistry>>,
+    mut inv_rx: mpsc::Receiver<Invocation>,
+    created_tx: oneshot::Sender<GliderResult<()>>,
+) {
+    let created = action.on_create(&ctx).await;
+    let create_failed = created.is_err();
+    let _ = created_tx.send(created);
+    if create_failed {
+        return;
+    }
+    let mut gauge = StateGauge { metrics, last: 0 };
+    gauge.sample(action.as_ref());
+
+    if ctx.interleaved {
+        run_interleaved(&action, &ctx, &mut gauge, &mut inv_rx).await;
+    } else {
+        run_serial(&action, &ctx, &mut gauge, &mut inv_rx).await;
+    }
+    gauge.release();
+}
+
+/// Executes one data invocation to completion.
+///
+/// Panics in user action code are caught and surfaced to the waiting
+/// client as [`ErrorCode::ActionFailed`], so one misbehaving method
+/// cannot strand the instance's mailbox (queued invocations would
+/// otherwise never run).
+async fn run_one(action: &Arc<dyn Action>, ctx: &ActionContext, inv: Invocation) {
+    use futures::FutureExt;
+    match inv {
+        Invocation::Write { mut input, done } => {
+            let result = std::panic::AssertUnwindSafe(action.on_write(&mut input, ctx))
+                .catch_unwind()
+                .await
+                .unwrap_or_else(|panic| Err(panic_error("on_write", &panic)));
+            let _ = done.send(result);
+        }
+        Invocation::Read { mut output, done } => {
+            let mut result = std::panic::AssertUnwindSafe(action.on_read(&mut output, ctx))
+                .catch_unwind()
+                .await
+                .unwrap_or_else(|panic| Err(panic_error("on_read", &panic)));
+            if result.is_ok() {
+                result = output.flush().await;
+            }
+            // A reader that walked away mid-stream is not an action
+            // failure.
+            if matches!(&result, Err(e) if e.code() == ErrorCode::Closed) {
+                result = Ok(());
+            }
+            drop(output); // close the data channel -> EOF for the client
+            let _ = done.send(result);
+        }
+        Invocation::Delete { .. } => unreachable!("delete handled by the instance loop"),
+    }
+}
+
+fn panic_error(method: &str, panic: &Box<dyn std::any::Any + Send>) -> GliderError {
+    let message = panic
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string());
+    GliderError::new(
+        ErrorCode::ActionFailed,
+        format!("action {method} panicked: {message}"),
+    )
+}
+
+async fn run_serial(
+    action: &Arc<dyn Action>,
+    ctx: &ActionContext,
+    gauge: &mut StateGauge,
+    inv_rx: &mut mpsc::Receiver<Invocation>,
+) {
+    while let Some(inv) = inv_rx.recv().await {
+        if let Invocation::Delete { done } = inv {
+            let result = action.on_delete(ctx).await;
+            let _ = done.send(result);
+            return;
+        }
+        run_one(action, ctx, inv).await;
+        gauge.sample(action.as_ref());
+    }
+}
+
+async fn run_interleaved(
+    action: &Arc<dyn Action>,
+    ctx: &ActionContext,
+    gauge: &mut StateGauge,
+    inv_rx: &mut mpsc::Receiver<Invocation>,
+) {
+    // All in-flight method futures are polled by THIS task only: execution
+    // is single-threaded-like, methods merely take turns at await points.
+    let mut in_flight: FuturesUnordered<BoxFuture<'_, ()>> = FuturesUnordered::new();
+    let mut deleting: Option<oneshot::Sender<GliderResult<()>>> = None;
+    let mut mailbox_open = true;
+    loop {
+        if in_flight.is_empty() {
+            if let Some(done) = deleting.take() {
+                let result = action.on_delete(ctx).await;
+                let _ = done.send(result);
+                return;
+            }
+            if !mailbox_open {
+                return;
+            }
+        }
+        tokio::select! {
+            inv = inv_rx.recv(), if mailbox_open && deleting.is_none() => {
+                match inv {
+                    Some(Invocation::Delete { done }) => deleting = Some(done),
+                    Some(inv) => {
+                        let action = Arc::clone(action);
+                        let ctx = ctx.clone();
+                        in_flight.push(Box::pin(async move {
+                            run_one(&action, &ctx, inv).await;
+                        }));
+                    }
+                    None => mailbox_open = false,
+                }
+            }
+            Some(()) = in_flight.next(), if !in_flight.is_empty() => {
+                gauge.sample(action.as_ref());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionCell;
+    use bytes::Bytes;
+    use glider_proto::types::NodeId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn ctx(interleaved: bool) -> ActionContext {
+        ActionContext::new(NodeId(1), interleaved, None)
+    }
+
+    /// Counts bytes written; read returns the count in decimal.
+    #[derive(Default)]
+    struct Counter {
+        total: ActionCell<u64>,
+        max_concurrent: Arc<AtomicU64>,
+        running: Arc<AtomicU64>,
+    }
+
+    impl Action for Counter {
+        fn on_write<'a>(
+            &'a self,
+            input: &'a mut ActionInputStream,
+            _ctx: &'a ActionContext,
+        ) -> BoxFuture<'a, GliderResult<()>> {
+            Box::pin(async move {
+                let now = self.running.fetch_add(1, Ordering::SeqCst) + 1;
+                self.max_concurrent.fetch_max(now, Ordering::SeqCst);
+                while let Some(chunk) = input.next_chunk().await? {
+                    self.total.with(|t| *t += chunk.len() as u64);
+                }
+                self.running.fetch_sub(1, Ordering::SeqCst);
+                Ok(())
+            })
+        }
+
+        fn on_read<'a>(
+            &'a self,
+            output: &'a mut ActionOutputStream,
+            _ctx: &'a ActionContext,
+        ) -> BoxFuture<'a, GliderResult<()>> {
+            Box::pin(async move {
+                let total = self.total.get();
+                output.write_all(total.to_string().as_bytes()).await
+            })
+        }
+
+        fn state_size(&self) -> u64 {
+            self.total.get()
+        }
+    }
+
+    async fn write_stream(
+        handle: &InstanceHandle,
+        chunks: Vec<&'static [u8]>,
+    ) -> (crate::stream::InputPusher, oneshot::Receiver<GliderResult<()>>) {
+        let (input, pusher) = ActionInputStream::new(8);
+        let (done_tx, done_rx) = oneshot::channel();
+        handle
+            .enqueue(Invocation::Write {
+                input,
+                done: done_tx,
+            })
+            .await
+            .unwrap();
+        for (i, c) in chunks.into_iter().enumerate() {
+            pusher.push(i as u64, Bytes::from_static(c)).await.unwrap();
+        }
+        (pusher, done_rx)
+    }
+
+    async fn read_result(handle: &InstanceHandle) -> Vec<u8> {
+        let (output, mut rx) = ActionOutputStream::new(8);
+        let (done_tx, done_rx) = oneshot::channel();
+        handle
+            .enqueue(Invocation::Read {
+                output,
+                done: done_tx,
+            })
+            .await
+            .unwrap();
+        let mut out = Vec::new();
+        while let Some(chunk) = rx.recv().await {
+            out.extend_from_slice(&chunk);
+        }
+        done_rx.await.unwrap().unwrap();
+        out
+    }
+
+    #[tokio::test]
+    async fn write_then_read_sees_state() {
+        let (handle, created) = spawn_instance(Arc::new(Counter::default()), ctx(false), None);
+        created.await.unwrap().unwrap();
+        let (pusher, done) = write_stream(&handle, vec![b"hello", b"world"]).await;
+        pusher.finish();
+        done.await.unwrap().unwrap();
+        assert_eq!(read_result(&handle).await, b"10");
+    }
+
+    #[tokio::test]
+    async fn serial_instance_never_interleaves() {
+        let counter = Arc::new(Counter::default());
+        let max = Arc::clone(&counter.max_concurrent);
+        let (handle, created) = spawn_instance(counter, ctx(false), None);
+        created.await.unwrap().unwrap();
+        // Open two write streams; feed the second before the first closes.
+        let (p1, d1) = write_stream(&handle, vec![b"a"]).await;
+        let (p2, d2) = write_stream(&handle, vec![b"b"]).await;
+        tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        p2.finish();
+        tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        p1.finish();
+        d1.await.unwrap().unwrap();
+        d2.await.unwrap().unwrap();
+        assert_eq!(max.load(Ordering::SeqCst), 1, "methods must not overlap");
+        assert_eq!(read_result(&handle).await, b"2");
+    }
+
+    #[tokio::test]
+    async fn interleaved_instance_overlaps_methods() {
+        let counter = Arc::new(Counter::default());
+        let max = Arc::clone(&counter.max_concurrent);
+        let (handle, created) = spawn_instance(counter, ctx(true), None);
+        created.await.unwrap().unwrap();
+        let (p1, d1) = write_stream(&handle, vec![b"a"]).await;
+        let (p2, d2) = write_stream(&handle, vec![b"b"]).await;
+        // Both methods must be in flight concurrently (taking turns).
+        tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        assert_eq!(max.load(Ordering::SeqCst), 2, "methods should interleave");
+        p1.finish();
+        p2.finish();
+        d1.await.unwrap().unwrap();
+        d2.await.unwrap().unwrap();
+        assert_eq!(read_result(&handle).await, b"2");
+    }
+
+    #[tokio::test]
+    async fn delete_runs_on_delete_and_stops_instance() {
+        struct DeleteProbe(Arc<AtomicU64>);
+        impl Action for DeleteProbe {
+            fn on_delete<'a>(&'a self, _ctx: &'a ActionContext) -> BoxFuture<'a, GliderResult<()>> {
+                let flag = Arc::clone(&self.0);
+                Box::pin(async move {
+                    flag.store(1, Ordering::SeqCst);
+                    Ok(())
+                })
+            }
+        }
+        let flag = Arc::new(AtomicU64::new(0));
+        let (handle, created) =
+            spawn_instance(Arc::new(DeleteProbe(Arc::clone(&flag))), ctx(false), None);
+        created.await.unwrap().unwrap();
+        let (done_tx, done_rx) = oneshot::channel();
+        handle
+            .enqueue(Invocation::Delete { done: done_tx })
+            .await
+            .unwrap();
+        done_rx.await.unwrap().unwrap();
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+        // Instance is gone; further invocations fail.
+        let (done_tx, _done_rx) = oneshot::channel();
+        let err = loop {
+            // The mailbox may take a moment to close after delete.
+            match handle.enqueue(Invocation::Delete { done: done_tx }).await {
+                Err(e) => break e,
+                Ok(()) => {
+                    tokio::time::sleep(std::time::Duration::from_millis(5)).await;
+                    let (tx, _rx) = oneshot::channel();
+                    match handle.enqueue(Invocation::Delete { done: tx }).await {
+                        Err(e) => break e,
+                        Ok(()) => panic!("instance accepted work after delete"),
+                    }
+                }
+            }
+        };
+        assert_eq!(err.code(), ErrorCode::Closed);
+    }
+
+    #[tokio::test]
+    async fn interleaved_delete_waits_for_in_flight_methods() {
+        let counter = Arc::new(Counter::default());
+        let (handle, created) = spawn_instance(counter, ctx(true), None);
+        created.await.unwrap().unwrap();
+        let (p1, d1) = write_stream(&handle, vec![b"xyz"]).await;
+        let (del_tx, del_rx) = oneshot::channel();
+        handle
+            .enqueue(Invocation::Delete { done: del_tx })
+            .await
+            .unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        // Delete must not have completed while a write is open.
+        assert!(!del_rx.is_terminated());
+        p1.finish();
+        d1.await.unwrap().unwrap();
+        del_rx.await.unwrap().unwrap();
+    }
+
+    #[tokio::test]
+    async fn failing_on_create_reports_error() {
+        struct FailCreate;
+        impl Action for FailCreate {
+            fn on_create<'a>(&'a self, _ctx: &'a ActionContext) -> BoxFuture<'a, GliderResult<()>> {
+                Box::pin(async { Err(GliderError::invalid("nope")) })
+            }
+        }
+        let (_handle, created) = spawn_instance(Arc::new(FailCreate), ctx(false), None);
+        assert!(created.await.unwrap().is_err());
+    }
+
+    #[tokio::test]
+    async fn state_size_feeds_utilization_gauge() {
+        let metrics = MetricsRegistry::new();
+        let (handle, created) = spawn_instance(
+            Arc::new(Counter::default()),
+            ctx(false),
+            Some(Arc::clone(&metrics)),
+        );
+        created.await.unwrap().unwrap();
+        let (pusher, done) = write_stream(&handle, vec![b"0123456789"]).await;
+        pusher.finish();
+        done.await.unwrap().unwrap();
+        assert_eq!(metrics.snapshot().storage_current, 10);
+        // Delete releases the gauge.
+        let (done_tx, done_rx) = oneshot::channel();
+        handle
+            .enqueue(Invocation::Delete { done: done_tx })
+            .await
+            .unwrap();
+        done_rx.await.unwrap().unwrap();
+        // The release happens after on_delete; give the task a beat.
+        tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        assert_eq!(metrics.snapshot().storage_current, 0);
+        assert_eq!(metrics.snapshot().storage_peak, 10);
+    }
+
+    #[tokio::test]
+    async fn panicking_method_fails_invocation_but_not_instance() {
+        struct PanicOnce {
+            armed: std::sync::atomic::AtomicBool,
+            total: ActionCell<u64>,
+        }
+        impl Action for PanicOnce {
+            fn on_write<'a>(
+                &'a self,
+                input: &'a mut ActionInputStream,
+                _ctx: &'a ActionContext,
+            ) -> BoxFuture<'a, GliderResult<()>> {
+                Box::pin(async move {
+                    if self.armed.swap(false, Ordering::SeqCst) {
+                        panic!("user code exploded");
+                    }
+                    while let Some(chunk) = input.next_chunk().await? {
+                        self.total.with(|t| *t += chunk.len() as u64);
+                    }
+                    Ok(())
+                })
+            }
+            fn on_read<'a>(
+                &'a self,
+                output: &'a mut ActionOutputStream,
+                _ctx: &'a ActionContext,
+            ) -> BoxFuture<'a, GliderResult<()>> {
+                Box::pin(async move {
+                    output
+                        .write_all(self.total.get().to_string().as_bytes())
+                        .await
+                })
+            }
+        }
+        let (handle, created) = spawn_instance(
+            Arc::new(PanicOnce {
+                armed: std::sync::atomic::AtomicBool::new(true),
+                total: ActionCell::default(),
+            }),
+            ctx(false),
+            None,
+        );
+        created.await.unwrap().unwrap();
+        // First write panics; the waiter sees ActionFailed.
+        let (p1, d1) = write_stream(&handle, vec![b"boom"]).await;
+        p1.finish();
+        let err = d1.await.unwrap().unwrap_err();
+        assert_eq!(err.code(), ErrorCode::ActionFailed);
+        assert!(err.message().contains("panicked"));
+        // The instance survives and keeps serving.
+        let (p2, d2) = write_stream(&handle, vec![b"fine"]).await;
+        p2.finish();
+        d2.await.unwrap().unwrap();
+        assert_eq!(read_result(&handle).await, b"4");
+    }
+
+    #[tokio::test]
+    async fn method_errors_reach_the_waiter() {
+        struct FailWrite;
+        impl Action for FailWrite {
+            fn on_write<'a>(
+                &'a self,
+                _input: &'a mut ActionInputStream,
+                _ctx: &'a ActionContext,
+            ) -> BoxFuture<'a, GliderResult<()>> {
+                Box::pin(async { Err(GliderError::new(ErrorCode::ActionFailed, "boom")) })
+            }
+        }
+        let (handle, created) = spawn_instance(Arc::new(FailWrite), ctx(false), None);
+        created.await.unwrap().unwrap();
+        let (input, _pusher) = ActionInputStream::new(2);
+        let (done_tx, done_rx) = oneshot::channel();
+        handle
+            .enqueue(Invocation::Write {
+                input,
+                done: done_tx,
+            })
+            .await
+            .unwrap();
+        let err = done_rx.await.unwrap().unwrap_err();
+        assert_eq!(err.code(), ErrorCode::ActionFailed);
+    }
+}

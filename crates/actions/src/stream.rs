@@ -1,0 +1,442 @@
+//! Server-side I/O streams connecting actions to clients.
+//!
+//! These are the paper's per-stream *task queues* (§4.2 "Accessing
+//! actions"): the network side pushes data tasks in, the action method
+//! consumes or populates the stream, and bounded channels provide the
+//! backpressure that keeps large transfers memory-bounded.
+
+use bytes::{Bytes, BytesMut};
+use glider_proto::{GliderError, GliderResult};
+use std::collections::BTreeMap;
+use tokio::sync::mpsc;
+
+/// Default size at which [`ActionOutputStream::write_all`] flushes its
+/// internal buffer.
+pub const OUTPUT_CHUNK_SIZE: usize = 64 * 1024;
+
+/// The readable end handed to [`crate::Action::on_write`].
+///
+/// Chunks pushed by the network side may arrive slightly out of order
+/// (requests are handled concurrently); the stream reassembles them by
+/// sequence number so the method always observes the client's byte order.
+#[derive(Debug)]
+pub struct ActionInputStream {
+    rx: mpsc::Receiver<(u64, Bytes)>,
+    pending: BTreeMap<u64, Bytes>,
+    next_seq: u64,
+    bytes_received: u64,
+    done: bool,
+}
+
+/// The writing side used by the server's network layer to feed an
+/// [`ActionInputStream`]. Dropping every pusher signals end-of-stream.
+#[derive(Debug, Clone)]
+pub struct InputPusher {
+    tx: mpsc::Sender<(u64, Bytes)>,
+}
+
+impl ActionInputStream {
+    /// Creates a stream with an internal queue of `capacity` chunks.
+    pub fn new(capacity: usize) -> (Self, InputPusher) {
+        let (tx, rx) = mpsc::channel(capacity.max(1));
+        (
+            ActionInputStream {
+                rx,
+                pending: BTreeMap::new(),
+                next_seq: 0,
+                bytes_received: 0,
+                done: false,
+            },
+            InputPusher { tx },
+        )
+    }
+
+    /// Returns the next in-order chunk, or `None` once the client closed
+    /// the stream and all chunks were delivered.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` keeps the signature stable for
+    /// transport-level failures.
+    pub async fn next_chunk(&mut self) -> GliderResult<Option<Bytes>> {
+        loop {
+            if let Some(chunk) = self.pending.remove(&self.next_seq) {
+                self.next_seq += 1;
+                self.bytes_received += chunk.len() as u64;
+                return Ok(Some(chunk));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            match self.rx.recv().await {
+                Some((seq, data)) => {
+                    self.pending.insert(seq, data);
+                }
+                None => {
+                    self.done = true;
+                    // A gap at EOF means the client vanished mid-stream;
+                    // skip to the next available chunk so the method can
+                    // still observe the remaining data and finish.
+                    if let Some((&seq, _)) = self.pending.iter().next() {
+                        self.next_seq = seq;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads the entire stream into one buffer (small transfers only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ActionInputStream::next_chunk`] errors.
+    pub async fn read_all(&mut self) -> GliderResult<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(chunk) = self.next_chunk().await? {
+            out.extend_from_slice(&chunk);
+        }
+        Ok(out)
+    }
+
+    /// Total bytes delivered so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+}
+
+impl InputPusher {
+    /// Enqueues one chunk, waiting when the stream's queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`glider_proto::ErrorCode::Closed`] when the consuming
+    /// method has finished (its stream was dropped).
+    pub async fn push(&self, seq: u64, data: Bytes) -> GliderResult<()> {
+        self.tx
+            .send((seq, data))
+            .await
+            .map_err(|_| GliderError::closed("action input stream"))
+    }
+
+    /// Signals end-of-stream by consuming this pusher.
+    pub fn finish(self) {
+        // Dropping the last sender closes the channel.
+    }
+}
+
+/// The writable end handed to [`crate::Action::on_read`].
+///
+/// Small writes are coalesced into [`OUTPUT_CHUNK_SIZE`] chunks; the
+/// runtime flushes after the method returns. Readers pull chunks through
+/// the paired receiver with natural backpressure.
+#[derive(Debug)]
+pub struct ActionOutputStream {
+    tx: mpsc::Sender<Bytes>,
+    buf: BytesMut,
+    bytes_sent: u64,
+}
+
+impl ActionOutputStream {
+    /// Creates a stream with an internal queue of `capacity` chunks.
+    /// Returns the stream and the receiver the network side drains.
+    pub fn new(capacity: usize) -> (Self, mpsc::Receiver<Bytes>) {
+        let (tx, rx) = mpsc::channel(capacity.max(1));
+        (
+            ActionOutputStream {
+                tx,
+                buf: BytesMut::with_capacity(OUTPUT_CHUNK_SIZE),
+                bytes_sent: 0,
+            },
+            rx,
+        )
+    }
+
+    /// Sends one chunk as-is (flushing buffered bytes first to preserve
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`glider_proto::ErrorCode::Closed`] when the client closed
+    /// its read stream.
+    pub async fn write(&mut self, data: Bytes) -> GliderResult<()> {
+        self.flush().await?;
+        self.bytes_sent += data.len() as u64;
+        self.tx
+            .send(data)
+            .await
+            .map_err(|_| GliderError::closed("action output stream"))
+    }
+
+    /// Appends bytes, coalescing into [`OUTPUT_CHUNK_SIZE`] chunks.
+    ///
+    /// # Errors
+    ///
+    /// See [`ActionOutputStream::write`].
+    pub async fn write_all(&mut self, data: &[u8]) -> GliderResult<()> {
+        self.buf.extend_from_slice(data);
+        while self.buf.len() >= OUTPUT_CHUNK_SIZE {
+            let chunk = self.buf.split_to(OUTPUT_CHUNK_SIZE).freeze();
+            self.bytes_sent += chunk.len() as u64;
+            self.tx
+                .send(chunk)
+                .await
+                .map_err(|_| GliderError::closed("action output stream"))?;
+        }
+        Ok(())
+    }
+
+    /// Flushes any buffered bytes as a final (possibly small) chunk.
+    ///
+    /// # Errors
+    ///
+    /// See [`ActionOutputStream::write`].
+    pub async fn flush(&mut self) -> GliderResult<()> {
+        if !self.buf.is_empty() {
+            let chunk = self.buf.split().freeze();
+            self.bytes_sent += chunk.len() as u64;
+            self.tx
+                .send(chunk)
+                .await
+                .map_err(|_| GliderError::closed("action output stream"))?;
+        }
+        Ok(())
+    }
+
+    /// Total bytes sent (including still-buffered bytes already counted at
+    /// flush time).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent + self.buf.len() as u64
+    }
+}
+
+/// Buffered line reader over an [`ActionInputStream`] (the paper's
+/// `input.lines()` wrapper from Listing 1).
+///
+/// # Examples
+///
+/// ```
+/// # let rt = tokio::runtime::Builder::new_current_thread().build().unwrap();
+/// # rt.block_on(async {
+/// use bytes::Bytes;
+/// use glider_actions::stream::{ActionInputStream, LineReader};
+///
+/// let (mut input, pusher) = ActionInputStream::new(4);
+/// pusher.push(0, Bytes::from_static(b"one\ntw")).await.unwrap();
+/// pusher.push(1, Bytes::from_static(b"o\nthree")).await.unwrap();
+/// pusher.finish();
+///
+/// let mut lines = LineReader::new(&mut input);
+/// assert_eq!(lines.next_line().await.unwrap().as_deref(), Some("one"));
+/// assert_eq!(lines.next_line().await.unwrap().as_deref(), Some("two"));
+/// assert_eq!(lines.next_line().await.unwrap().as_deref(), Some("three"));
+/// assert_eq!(lines.next_line().await.unwrap(), None);
+/// # });
+/// ```
+#[derive(Debug)]
+pub struct LineReader<'a> {
+    stream: &'a mut ActionInputStream,
+    buf: Vec<u8>,
+    pos: usize,
+    eof: bool,
+}
+
+impl<'a> LineReader<'a> {
+    /// Wraps a stream.
+    pub fn new(stream: &'a mut ActionInputStream) -> Self {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+            eof: false,
+        }
+    }
+
+    /// Returns the next line without its terminator, or `None` at EOF.
+    /// A final unterminated line is returned as-is. Invalid UTF-8 is
+    /// replaced lossily.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    pub async fn next_line(&mut self) -> GliderResult<Option<String>> {
+        loop {
+            if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                let line = &self.buf[self.pos..self.pos + nl];
+                let s = String::from_utf8_lossy(line).into_owned();
+                self.pos += nl + 1;
+                self.compact();
+                return Ok(Some(s));
+            }
+            if self.eof {
+                if self.pos < self.buf.len() {
+                    let s = String::from_utf8_lossy(&self.buf[self.pos..]).into_owned();
+                    self.pos = self.buf.len();
+                    return Ok(Some(s));
+                }
+                return Ok(None);
+            }
+            match self.stream.next_chunk().await? {
+                Some(chunk) => self.buf.extend_from_slice(&chunk),
+                None => self.eof = true,
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        // Avoid unbounded growth when lines are consumed incrementally.
+        if self.pos > 64 * 1024 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn in_order_chunks_flow_through() {
+        let (mut input, pusher) = ActionInputStream::new(4);
+        pusher.push(0, Bytes::from_static(b"a")).await.unwrap();
+        pusher.push(1, Bytes::from_static(b"b")).await.unwrap();
+        pusher.finish();
+        assert_eq!(&input.next_chunk().await.unwrap().unwrap()[..], b"a");
+        assert_eq!(&input.next_chunk().await.unwrap().unwrap()[..], b"b");
+        assert!(input.next_chunk().await.unwrap().is_none());
+        assert_eq!(input.bytes_received(), 2);
+        // Further reads keep returning EOF.
+        assert!(input.next_chunk().await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn out_of_order_chunks_are_reassembled() {
+        let (mut input, pusher) = ActionInputStream::new(8);
+        pusher.push(2, Bytes::from_static(b"c")).await.unwrap();
+        pusher.push(0, Bytes::from_static(b"a")).await.unwrap();
+        pusher.push(1, Bytes::from_static(b"b")).await.unwrap();
+        pusher.finish();
+        let all = input.read_all().await.unwrap();
+        assert_eq!(&all, b"abc");
+    }
+
+    #[tokio::test]
+    async fn push_backpressure_blocks_until_consumed() {
+        let (mut input, pusher) = ActionInputStream::new(1);
+        pusher.push(0, Bytes::from_static(b"x")).await.unwrap();
+        // The queue (capacity 1) is full; the next push must wait.
+        let p2 = pusher.clone();
+        let pending = tokio::spawn(async move { p2.push(1, Bytes::from_static(b"y")).await });
+        tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        assert!(!pending.is_finished());
+        assert_eq!(&input.next_chunk().await.unwrap().unwrap()[..], b"x");
+        pending.await.unwrap().unwrap();
+    }
+
+    #[tokio::test]
+    async fn push_after_consumer_drop_is_closed() {
+        let (input, pusher) = ActionInputStream::new(1);
+        drop(input);
+        let err = pusher.push(0, Bytes::from_static(b"x")).await.unwrap_err();
+        assert_eq!(err.code(), glider_proto::ErrorCode::Closed);
+    }
+
+    #[tokio::test]
+    async fn output_coalesces_small_writes() {
+        let (mut out, mut rx) = ActionOutputStream::new(8);
+        for _ in 0..10 {
+            out.write_all(b"0123456789").await.unwrap();
+        }
+        assert_eq!(out.bytes_sent(), 100);
+        out.flush().await.unwrap();
+        drop(out);
+        let mut total = 0;
+        let mut chunks = 0;
+        while let Some(c) = rx.recv().await {
+            total += c.len();
+            chunks += 1;
+        }
+        assert_eq!(total, 100);
+        assert_eq!(chunks, 1, "small writes should coalesce");
+    }
+
+    #[tokio::test]
+    async fn output_write_flushes_buffer_first() {
+        let (mut out, mut rx) = ActionOutputStream::new(8);
+        out.write_all(b"head").await.unwrap();
+        out.write(Bytes::from_static(b"tail")).await.unwrap();
+        drop(out);
+        assert_eq!(&rx.recv().await.unwrap()[..], b"head");
+        assert_eq!(&rx.recv().await.unwrap()[..], b"tail");
+        assert!(rx.recv().await.is_none());
+    }
+
+    #[tokio::test]
+    async fn output_large_write_all_splits_chunks() {
+        let (mut out, mut rx) = ActionOutputStream::new(8);
+        let data = vec![7u8; OUTPUT_CHUNK_SIZE * 2 + 10];
+        out.write_all(&data).await.unwrap();
+        out.flush().await.unwrap();
+        drop(out);
+        let mut sizes = Vec::new();
+        while let Some(c) = rx.recv().await {
+            sizes.push(c.len());
+        }
+        assert_eq!(sizes, vec![OUTPUT_CHUNK_SIZE, OUTPUT_CHUNK_SIZE, 10]);
+    }
+
+    #[tokio::test]
+    async fn output_write_after_reader_drop_is_closed() {
+        let (mut out, rx) = ActionOutputStream::new(1);
+        drop(rx);
+        let err = out.write(Bytes::from_static(b"x")).await.unwrap_err();
+        assert_eq!(err.code(), glider_proto::ErrorCode::Closed);
+    }
+
+    #[tokio::test]
+    async fn line_reader_handles_split_lines_and_tail() {
+        let (mut input, pusher) = ActionInputStream::new(8);
+        pusher.push(0, Bytes::from_static(b"alpha\nbe")).await.unwrap();
+        pusher.push(1, Bytes::from_static(b"ta\n")).await.unwrap();
+        pusher.push(2, Bytes::from_static(b"tail-no-newline")).await.unwrap();
+        pusher.finish();
+        let mut lines = LineReader::new(&mut input);
+        assert_eq!(lines.next_line().await.unwrap().as_deref(), Some("alpha"));
+        assert_eq!(lines.next_line().await.unwrap().as_deref(), Some("beta"));
+        assert_eq!(
+            lines.next_line().await.unwrap().as_deref(),
+            Some("tail-no-newline")
+        );
+        assert_eq!(lines.next_line().await.unwrap(), None);
+        assert_eq!(lines.next_line().await.unwrap(), None);
+    }
+
+    #[tokio::test]
+    async fn line_reader_empty_stream() {
+        let (mut input, pusher) = ActionInputStream::new(1);
+        pusher.finish();
+        let mut lines = LineReader::new(&mut input);
+        assert_eq!(lines.next_line().await.unwrap(), None);
+    }
+
+    #[tokio::test]
+    async fn line_reader_compacts_without_losing_data() {
+        let (mut input, pusher) = ActionInputStream::new(4);
+        // Feed > 64 KiB of lines to trigger compaction.
+        let line = "x".repeat(1000);
+        let mut blob = String::new();
+        for _ in 0..100 {
+            blob.push_str(&line);
+            blob.push('\n');
+        }
+        pusher.push(0, Bytes::from(blob)).await.unwrap();
+        pusher.finish();
+        let mut lines = LineReader::new(&mut input);
+        let mut count = 0;
+        while let Some(l) = lines.next_line().await.unwrap() {
+            assert_eq!(l.len(), 1000);
+            count += 1;
+        }
+        assert_eq!(count, 100);
+    }
+}

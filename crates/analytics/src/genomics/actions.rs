@@ -1,0 +1,324 @@
+//! The genomics storage actions (paper Fig. 8, right side).
+//!
+//! - [`SamplerAction`] — receives mapper output, persists it on ephemeral
+//!   files *while* collecting the flagged sample records; on read it
+//!   forwards its samples to the manager action (an action→action stream
+//!   inside the store) and reports.
+//! - [`ManagerAction`] — aggregates samples from all samplers and computes
+//!   the reducer ranges on demand.
+//! - [`ReaderAction`] — serves one reducer a single, sorted stream of the
+//!   records in its range, scanning the chunk's temporary files near
+//!   data.
+//!
+//! Deployed on top of the built-in library by [`genomics_registry`], the
+//! same way an application package would be (paper §6.2).
+
+use super::{compute_ranges, is_sample_bytes};
+use bytes::Bytes;
+use futures::future::BoxFuture;
+use glider_core::actions::stream::{ActionInputStream, ActionOutputStream, LineReader};
+use glider_core::actions::{ActionRegistry, ActionCell, ActionContext};
+use glider_core::{Action, GliderError, GliderResult};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builds the action registry for the genomics job: the built-in library
+/// plus `gen-sampler`, `gen-manager` and `gen-reader`.
+pub fn genomics_registry() -> Arc<ActionRegistry> {
+    let registry = ActionRegistry::with_builtins();
+    registry.register(
+        "gen-sampler",
+        Arc::new(|spec| {
+            let dir = spec
+                .param("dir")
+                .ok_or_else(|| GliderError::invalid("gen-sampler: missing dir param"))?
+                .to_string();
+            let manager = spec
+                .param("manager")
+                .ok_or_else(|| GliderError::invalid("gen-sampler: missing manager param"))?
+                .to_string();
+            let chunk = spec
+                .param("chunk")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GliderError::invalid("gen-sampler: missing chunk param"))?;
+            Ok(Arc::new(SamplerAction {
+                dir,
+                manager,
+                chunk,
+                state: ActionCell::default(),
+            }) as Arc<dyn Action>)
+        }),
+    );
+    registry.register(
+        "gen-manager",
+        Arc::new(|spec| {
+            let reducers = spec
+                .param("reducers")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GliderError::invalid("gen-manager: missing reducers param"))?;
+            let span = spec
+                .param("span")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GliderError::invalid("gen-manager: missing span param"))?;
+            Ok(Arc::new(ManagerAction {
+                reducers,
+                span,
+                samples: ActionCell::default(),
+            }) as Arc<dyn Action>)
+        }),
+    );
+    registry.register(
+        "gen-reader",
+        Arc::new(|spec| {
+            let dir = spec
+                .param("dir")
+                .ok_or_else(|| GliderError::invalid("gen-reader: missing dir param"))?
+                .to_string();
+            let lo = spec
+                .param("lo")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GliderError::invalid("gen-reader: missing lo param"))?;
+            let hi = spec
+                .param("hi")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GliderError::invalid("gen-reader: missing hi param"))?;
+            Ok(Arc::new(ReaderAction { dir, lo, hi }) as Arc<dyn Action>)
+        }),
+    );
+    Arc::new(registry)
+}
+
+#[derive(Debug, Default)]
+struct SamplerState {
+    samples: Vec<i64>,
+    next_file: u64,
+}
+
+/// Persists mapper streams on ephemeral files while sampling them.
+#[derive(Debug)]
+pub struct SamplerAction {
+    dir: String,
+    manager: String,
+    chunk: usize,
+    state: ActionCell<SamplerState>,
+}
+
+impl Action for SamplerAction {
+    fn on_write<'a>(
+        &'a self,
+        input: &'a mut ActionInputStream,
+        ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let file_no = self.state.with(|s| {
+                let n = s.next_file;
+                s.next_file += 1;
+                n
+            });
+            let store = ctx.store()?;
+            let mut sink = store.create_file(&format!("{}/{file_no}", self.dir)).await?;
+            let mut scanner = crate::text::ByteLineScanner::new();
+            let mut picked: Vec<i64> = Vec::new();
+            while let Some(chunk) = input.next_chunk().await? {
+                // Sample on the fly (the baseline needs a whole extra
+                // SELECT pass for this)...
+                scanner.push(&chunk, |line| {
+                    if is_sample_bytes(line) {
+                        if let Some(pos) = crate::text::leading_i64(line) {
+                            picked.push(pos);
+                        }
+                    }
+                });
+                if !picked.is_empty() {
+                    self.state.with(|s| s.samples.append(&mut picked));
+                }
+                // ...while persisting the raw stream near data.
+                sink.write(chunk).await?;
+            }
+            scanner.finish(|line| {
+                if is_sample_bytes(line) {
+                    if let Some(pos) = crate::text::leading_i64(line) {
+                        picked.push(pos);
+                    }
+                }
+            });
+            if !picked.is_empty() {
+                self.state.with(|s| s.samples.append(&mut picked));
+            }
+            sink.close().await
+        })
+    }
+
+    fn on_read<'a>(
+        &'a self,
+        output: &'a mut ActionOutputStream,
+        ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            // Flush the collected samples to the manager action — an
+            // action-to-action stream that never leaves the storage tier.
+            let samples = self.state.with(|s| std::mem::take(&mut s.samples));
+            let store = ctx.store()?;
+            let mut sink = store.open_action_write(&self.manager).await?;
+            let mut buf = String::new();
+            for pos in &samples {
+                buf.push_str(&format!("{},{pos}\n", self.chunk));
+            }
+            sink.write(Bytes::from(buf)).await?;
+            sink.close().await?;
+            output
+                .write_all(format!("samples={}\n", samples.len()).as_bytes())
+                .await
+        })
+    }
+
+    fn state_size(&self) -> u64 {
+        self.state.with(|s| s.samples.len() as u64 * 8)
+    }
+}
+
+/// Aggregates sample positions and computes reducer ranges.
+#[derive(Debug)]
+pub struct ManagerAction {
+    reducers: usize,
+    span: i64,
+    samples: ActionCell<HashMap<usize, Vec<i64>>>,
+}
+
+impl Action for ManagerAction {
+    fn on_write<'a>(
+        &'a self,
+        input: &'a mut ActionInputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let mut lines = LineReader::new(input);
+            while let Some(line) = lines.next_line().await? {
+                let Some((chunk, pos)) = line.split_once(',') else {
+                    continue;
+                };
+                if let (Ok(chunk), Ok(pos)) = (chunk.parse::<usize>(), pos.parse::<i64>()) {
+                    self.samples.with(|m| m.entry(chunk).or_default().push(pos));
+                }
+            }
+            Ok(())
+        })
+    }
+
+    fn on_read<'a>(
+        &'a self,
+        output: &'a mut ActionOutputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let mut per_chunk: Vec<(usize, Vec<i64>)> =
+                self.samples.with(|m| m.drain().collect());
+            per_chunk.sort_by_key(|(chunk, _)| *chunk);
+            for (chunk, mut samples) in per_chunk {
+                for (k, (lo, hi)) in compute_ranges(&mut samples, self.reducers, self.span)
+                    .into_iter()
+                    .enumerate()
+                {
+                    output
+                        .write_all(format!("{chunk},{k},{lo},{hi}\n").as_bytes())
+                        .await?;
+                }
+            }
+            Ok(())
+        })
+    }
+
+    fn state_size(&self) -> u64 {
+        self.samples
+            .with(|m| m.values().map(|v| v.len() as u64 * 8).sum())
+    }
+}
+
+/// Serves one reducer's range as a single sorted stream, scanning the
+/// chunk's temporary files near data.
+#[derive(Debug)]
+pub struct ReaderAction {
+    dir: String,
+    lo: i64,
+    hi: i64,
+}
+
+impl Action for ReaderAction {
+    fn on_read<'a>(
+        &'a self,
+        output: &'a mut ActionOutputStream,
+        ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            let store = ctx.store()?;
+            // Matching lines are appended into one arena; `index` keeps
+            // (position, offset, length) so sorting never moves line
+            // bytes — this scan is the near-data hot path.
+            let mut arena: Vec<u8> = Vec::new();
+            let mut index: Vec<(i64, u32, u32)> = Vec::new();
+            for name in store.list(&self.dir).await? {
+                let mut reader = store
+                    .open_read(&format!("{}/{name}", self.dir))
+                    .await?;
+                let mut scanner = crate::text::ByteLineScanner::new();
+                let mut keep = |line: &[u8]| {
+                    if let Some(pos) = crate::text::leading_i64(line) {
+                        if (self.lo..self.hi).contains(&pos) {
+                            let start = arena.len() as u32;
+                            arena.extend_from_slice(line);
+                            index.push((pos, start, line.len() as u32));
+                        }
+                    }
+                };
+                while let Some(chunk) = reader.next_chunk().await? {
+                    scanner.push(&chunk, &mut keep);
+                }
+                scanner.finish(&mut keep);
+            }
+            index.sort_unstable_by_key(|&(pos, _, _)| pos);
+            for (_, start, len) in index {
+                output
+                    .write_all(&arena[start as usize..(start + len) as usize])
+                    .await?;
+                output.write_all(b"\n").await?;
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glider_core::ActionSpec;
+
+    #[test]
+    fn registry_has_genomics_actions() {
+        let reg = genomics_registry();
+        for name in ["gen-sampler", "gen-manager", "gen-reader", "merge"] {
+            assert!(reg.names().iter().any(|n| n == name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn factories_validate_params() {
+        let reg = genomics_registry();
+        assert!(reg.instantiate(&ActionSpec::new("gen-sampler", true)).is_err());
+        assert!(reg
+            .instantiate(
+                &ActionSpec::new("gen-sampler", true)
+                    .with_params("dir=/t;manager=/m;chunk=0")
+            )
+            .is_ok());
+        assert!(reg.instantiate(&ActionSpec::new("gen-manager", true)).is_err());
+        assert!(reg
+            .instantiate(&ActionSpec::new("gen-manager", true).with_params("reducers=2;span=100"))
+            .is_ok());
+        assert!(reg
+            .instantiate(&ActionSpec::new("gen-reader", false).with_params("dir=/t;lo=0"))
+            .is_err());
+        assert!(reg
+            .instantiate(&ActionSpec::new("gen-reader", false).with_params("dir=/t;lo=0;hi=10"))
+            .is_ok());
+    }
+}

@@ -1,0 +1,28 @@
+//! Serverless analytics workloads — the paper's evaluation section as code.
+//!
+//! Each module implements one experiment of the paper's §7, always as a
+//! **pair**: the data-shipping baseline (PyWren / AWS-Lambda-MapReduce
+//! style: workers ship intermediate data through remote storage) and the
+//! Glider version (storage actions transform the data near storage). Both
+//! run against the same in-process cluster substrate and report the same
+//! [`report::WorkloadReport`], so the benchmark harnesses in
+//! `glider-bench` can print paper-style tables with measured reductions.
+//!
+//! | Module | Paper | Workload |
+//! |--------|-------|----------|
+//! | [`pipeline`] | Table 2 | word count with per-line filtering (ingest pre-processing) |
+//! | [`reduce`] | Fig. 5 | streaming aggregation of random `(key,value)` pairs |
+//! | [`sort`] | Fig. 7 | two-phase distributed sort of 100-byte records |
+//! | [`genomics`] | Fig. 9 | variant-calling map/shuffle/reduce over FASTA/FASTQ-shaped data |
+//!
+//! Correctness of each pair is asserted by tests: both sides must produce
+//! the *same* answer, not just similar timings.
+
+pub mod genomics;
+pub mod pipeline;
+pub mod reduce;
+pub mod report;
+pub mod sort;
+pub mod text;
+
+pub use report::WorkloadReport;

@@ -1,0 +1,254 @@
+//! Table 2: the ingest pre-processing pipeline.
+//!
+//! Word counting where text must be filtered per line before the main
+//! computation. The baseline ships the *full* files to the workers, which
+//! filter and count locally; Glider offloads the filter to storage
+//! actions acting as proxies, so workers ingest only the matching lines
+//! (a ~99.75% transfer reduction at the paper's selectivity), and the
+//! filter runs in parallel with the counting. The `rdma` flag moves the
+//! intra-storage fabric onto the in-process RDMA simulation (Table 2's
+//! third row).
+
+use crate::report::WorkloadReport;
+use crate::text::{LineSplitter, WordCounter};
+use bytes::Bytes;
+use glider_core::{ActionSpec, Cluster, ClusterConfig, GliderResult, StoreClient};
+use glider_util::textgen::{TextGen, FILTER_MARKER};
+use glider_util::{ByteSize, Stopwatch};
+
+/// Configuration of the Table 2 experiment.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Number of workers (paper: 10, one file each).
+    pub workers: usize,
+    /// Input text per worker (paper: 1 GiB; scaled down by default).
+    pub bytes_per_worker: ByteSize,
+    /// Fraction of lines passing the filter (paper's Wikipedia filter
+    /// keeps ~0.25% of the data).
+    pub selectivity: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Use the RDMA-simulation fabric for intra-storage links.
+    pub rdma: bool,
+    /// Per-worker bandwidth cap in MiB/s. The paper's testbed gives
+    /// workers a much slower path than the intra-storage fabric (their
+    /// baseline tops out at ~3 Gbps while storage-to-storage TCP reaches
+    /// ~45 Gbps); on loopback both paths are equally fast, so this cap
+    /// restores the compute/storage bandwidth asymmetry the experiment
+    /// is about. `None` removes it.
+    pub worker_bandwidth_mibps: Option<u64>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: 10,
+            bytes_per_worker: ByteSize::mib(8),
+            selectivity: 0.0025,
+            seed: 0xF117E5,
+            rdma: false,
+            worker_bandwidth_mibps: Some(8),
+        }
+    }
+}
+
+/// Result of one pipeline run.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// Timings and indicator snapshot.
+    pub report: WorkloadReport,
+    /// Total words counted in matching lines (validation: identical
+    /// between baseline and Glider).
+    pub total_words: u64,
+    /// Total input bytes across all workers.
+    pub input_bytes: u64,
+}
+
+fn worker_config(
+    cluster: &Cluster,
+    cfg: &PipelineConfig,
+) -> glider_core::ClientConfig {
+    let mut config = cluster.client_config();
+    if let Some(bw) = cfg.worker_bandwidth_mibps {
+        config.throttle = Some(std::sync::Arc::new(
+            glider_util::TokenBucket::from_mibps(bw.max(1)),
+        ));
+    }
+    config
+}
+
+async fn upload_inputs(store: &StoreClient, cfg: &PipelineConfig) -> GliderResult<u64> {
+    store.create_dir("/pipeline").await?;
+    let mut total = 0u64;
+    for w in 0..cfg.workers {
+        let mut gen = TextGen::new(cfg.seed + w as u64, cfg.selectivity);
+        let data = gen.generate_bytes(cfg.bytes_per_worker.as_usize());
+        total += data.len() as u64;
+        let file = store.create_file(&format!("/pipeline/in-{w}")).await?;
+        let mut out = file.output_stream().await?;
+        out.write(Bytes::from(data)).await?;
+        out.close().await?;
+    }
+    Ok(total)
+}
+
+/// Runs the data-shipping baseline: each worker reads its full file and
+/// filters/counts locally.
+///
+/// # Errors
+///
+/// Propagates cluster and storage failures.
+pub async fn run_baseline(cfg: &PipelineConfig) -> GliderResult<PipelineOutcome> {
+    let cluster = Cluster::start(ClusterConfig::default().with_rdma_sim(cfg.rdma)).await?;
+    let setup_store = cluster.client().await?;
+    let input_bytes = upload_inputs(&setup_store, cfg).await?;
+    cluster.metrics().reset();
+
+    let sw = Stopwatch::start();
+    let mut tasks = Vec::new();
+    for w in 0..cfg.workers {
+        let store = StoreClient::connect(worker_config(&cluster, cfg)).await?;
+        tasks.push(tokio::spawn(async move {
+            let file = store.lookup_file(&format!("/pipeline/in-{w}")).await?;
+            let mut reader = file.input_stream().await?;
+            let mut lines = LineSplitter::new();
+            let mut words = WordCounter::new();
+            while let Some(chunk) = reader.next_chunk().await? {
+                for line in lines.push(&chunk) {
+                    if line.contains(FILTER_MARKER) {
+                        words.push(line.as_bytes());
+                        words.push(b" ");
+                    }
+                }
+            }
+            if let Some(line) = lines.finish() {
+                if line.contains(FILTER_MARKER) {
+                    words.push(line.as_bytes());
+                }
+            }
+            Ok::<u64, glider_core::GliderError>(words.count())
+        }));
+    }
+    let mut total_words = 0;
+    for t in tasks {
+        total_words += t.await.expect("worker task panicked")?;
+    }
+    let elapsed = sw.elapsed();
+
+    let mut report = WorkloadReport::new(
+        format!("pipeline baseline w={}", cfg.workers),
+        elapsed,
+        vec![],
+        cluster.metrics().snapshot(),
+    );
+    report.fact("total_words", total_words);
+    Ok(PipelineOutcome {
+        report,
+        total_words,
+        input_bytes,
+    })
+}
+
+/// Runs the Glider version: filter actions pre-process near data and the
+/// workers ingest only matching lines.
+///
+/// # Errors
+///
+/// Propagates cluster and storage failures.
+pub async fn run_glider(cfg: &PipelineConfig) -> GliderResult<PipelineOutcome> {
+    let cluster = Cluster::start(ClusterConfig::default().with_rdma_sim(cfg.rdma)).await?;
+    let setup_store = cluster.client().await?;
+    let input_bytes = upload_inputs(&setup_store, cfg).await?;
+    // Actions are part of the job deployment, not the measured pipeline.
+    for w in 0..cfg.workers {
+        setup_store
+            .create_action(
+                &format!("/pipeline/filter-{w}"),
+                ActionSpec::new("filter", false)
+                    .with_params(format!("src=/pipeline/in-{w};pattern={FILTER_MARKER}")),
+            )
+            .await?;
+    }
+    cluster.metrics().reset();
+
+    let sw = Stopwatch::start();
+    let mut tasks = Vec::new();
+    for w in 0..cfg.workers {
+        let store = StoreClient::connect(worker_config(&cluster, cfg)).await?;
+        tasks.push(tokio::spawn(async move {
+            let action = store.lookup_action(&format!("/pipeline/filter-{w}")).await?;
+            let mut reader = action.input_stream().await?;
+            let mut words = WordCounter::new();
+            while let Some(chunk) = reader.next_chunk().await? {
+                // All delivered lines already match; count words directly,
+                // in parallel with the near-data filtering.
+                words.push(&chunk);
+            }
+            reader.close().await?;
+            Ok::<u64, glider_core::GliderError>(words.count())
+        }));
+    }
+    let mut total_words = 0;
+    for t in tasks {
+        total_words += t.await.expect("worker task panicked")?;
+    }
+    let elapsed = sw.elapsed();
+
+    let label = if cfg.rdma {
+        format!("pipeline glider-rdma w={}", cfg.workers)
+    } else {
+        format!("pipeline glider w={}", cfg.workers)
+    };
+    let mut report = WorkloadReport::new(label, elapsed, vec![], cluster.metrics().snapshot());
+    report.fact("total_words", total_words);
+    Ok(PipelineOutcome {
+        report,
+        total_words,
+        input_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PipelineConfig {
+        PipelineConfig {
+            workers: 3,
+            bytes_per_worker: ByteSize::kib(256),
+            selectivity: 0.05,
+            seed: 7,
+            rdma: false,
+            worker_bandwidth_mibps: None,
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn baseline_and_glider_agree_and_glider_ingests_less() {
+        let cfg = small();
+        let base = run_baseline(&cfg).await.unwrap();
+        let glider = run_glider(&cfg).await.unwrap();
+        assert!(base.total_words > 0);
+        assert_eq!(base.total_words, glider.total_words, "same answer");
+        // The headline claim: the filter cut worker ingestion massively.
+        let base_in = base.report.metrics.compute_ingress_bytes();
+        let glider_in = glider.report.metrics.compute_ingress_bytes();
+        assert!(base_in >= cfg.workers as u64 * cfg.bytes_per_worker.as_u64());
+        assert!(
+            (glider_in as f64) < (base_in as f64) * 0.25,
+            "glider {glider_in} vs baseline {base_in}"
+        );
+        // And the full data still moved — but inside the storage tier.
+        assert!(glider.report.metrics.intra_storage_bytes() >= base_in / 2);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn rdma_variant_matches_results() {
+        let mut cfg = small();
+        cfg.rdma = true;
+        let tcp = run_glider(&small()).await.unwrap();
+        let rdma = run_glider(&cfg).await.unwrap();
+        assert_eq!(tcp.total_words, rdma.total_words);
+        assert!(rdma.report.label.contains("rdma"));
+    }
+}

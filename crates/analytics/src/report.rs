@@ -1,0 +1,135 @@
+//! Workload result reporting.
+
+use glider_metrics::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// What one workload run measured: wall-clock (total and per phase), the
+/// metrics snapshot (the paper's indicators), and free-form facts used for
+/// validation (e.g. a result checksum).
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Human-readable configuration label (e.g. `baseline w=10`).
+    pub label: String,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Ordered phase timings (e.g. `P1`/`P2`, `map`/`ranges`/`reduce`).
+    pub phases: Vec<(String, Duration)>,
+    /// Metrics accumulated during the run (registry is reset per run).
+    pub metrics: MetricsSnapshot,
+    /// Workload-specific facts (checksums, counts).
+    pub facts: BTreeMap<String, String>,
+}
+
+impl WorkloadReport {
+    /// Creates a report.
+    pub fn new(
+        label: impl Into<String>,
+        elapsed: Duration,
+        phases: Vec<(String, Duration)>,
+        metrics: MetricsSnapshot,
+    ) -> Self {
+        WorkloadReport {
+            label: label.into(),
+            elapsed,
+            phases,
+            metrics,
+            facts: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a validation fact.
+    pub fn fact(&mut self, key: impl Into<String>, value: impl fmt::Display) {
+        self.facts.insert(key.into(), value.to_string());
+    }
+
+    /// A phase's duration, if present.
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+    }
+
+    /// Bytes that crossed the compute boundary during the run.
+    pub fn tier_crossing_bytes(&self) -> u64 {
+        self.metrics.tier_crossing_bytes()
+    }
+
+    /// Data-plane storage accesses during the run.
+    pub fn storage_accesses(&self) -> u64 {
+        self.metrics.storage_accesses()
+    }
+
+    /// Peak temporary storage utilization during the run.
+    pub fn peak_utilization(&self) -> u64 {
+        self.metrics.peak_utilization()
+    }
+
+    /// Application throughput in Gbit/s over `payload_bytes` of input.
+    pub fn gbps(&self, payload_bytes: u64) -> f64 {
+        glider_util::stopwatch::gbps(payload_bytes, self.elapsed)
+    }
+
+    /// Speedup of this run relative to `other` (>1 = this one is faster).
+    pub fn speedup_vs(&self, other: &WorkloadReport) -> f64 {
+        other.elapsed.as_secs_f64() / self.elapsed.as_secs_f64()
+    }
+}
+
+impl fmt::Display for WorkloadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {:.3}s", self.label, self.elapsed.as_secs_f64())?;
+        for (name, d) in &self.phases {
+            writeln!(f, "  phase {name}: {:.3}s", d.as_secs_f64())?;
+        }
+        writeln!(
+            f,
+            "  tier-crossing: {} B, storage accesses: {}, peak utilization: {} B",
+            self.tier_crossing_bytes(),
+            self.storage_accesses(),
+            self.peak_utilization()
+        )?;
+        for (k, v) in &self.facts {
+            writeln!(f, "  {k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glider_metrics::MetricsRegistry;
+
+    fn report(label: &str, secs: u64) -> WorkloadReport {
+        WorkloadReport::new(
+            label,
+            Duration::from_secs(secs),
+            vec![("p1".to_string(), Duration::from_secs(1))],
+            MetricsRegistry::new().snapshot(),
+        )
+    }
+
+    #[test]
+    fn phases_and_facts() {
+        let mut r = report("x", 2);
+        r.fact("sum", 42);
+        assert_eq!(r.phase("p1"), Some(Duration::from_secs(1)));
+        assert_eq!(r.phase("nope"), None);
+        assert_eq!(r.facts["sum"], "42");
+        let display = r.to_string();
+        assert!(display.contains("[x]"));
+        assert!(display.contains("phase p1"));
+        assert!(display.contains("sum: 42"));
+    }
+
+    #[test]
+    fn speedup_math() {
+        let fast = report("fast", 2);
+        let slow = report("slow", 6);
+        assert!((fast.speedup_vs(&slow) - 3.0).abs() < 1e-9);
+        assert!((slow.speedup_vs(&fast) - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,248 @@
+//! Incremental text utilities shared by the workloads.
+
+/// Incremental line splitter over arbitrary chunk boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use glider_analytics::text::LineSplitter;
+///
+/// let mut s = LineSplitter::new();
+/// assert_eq!(s.push(b"one\ntw"), vec!["one"]);
+/// assert_eq!(s.push(b"o\n"), vec!["two"]);
+/// assert_eq!(s.finish(), Some("".to_string()).filter(|_| false));
+/// ```
+#[derive(Debug, Default)]
+pub struct LineSplitter {
+    pending: Vec<u8>,
+}
+
+impl LineSplitter {
+    /// Creates an empty splitter.
+    pub fn new() -> Self {
+        LineSplitter::default()
+    }
+
+    /// Feeds a chunk, returning every completed line (without `\n`).
+    pub fn push(&mut self, chunk: &[u8]) -> Vec<String> {
+        self.pending.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        let mut start = 0;
+        while let Some(nl) = self.pending[start..].iter().position(|&b| b == b'\n') {
+            let line = &self.pending[start..start + nl];
+            out.push(String::from_utf8_lossy(line).into_owned());
+            start += nl + 1;
+        }
+        self.pending.drain(..start);
+        out
+    }
+
+    /// Returns the final unterminated line, if any.
+    pub fn finish(&mut self) -> Option<String> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            let line = String::from_utf8_lossy(&self.pending).into_owned();
+            self.pending.clear();
+            Some(line)
+        }
+    }
+}
+
+/// Counts whitespace-separated words in a byte chunk stream, tolerating
+/// words split across chunk boundaries.
+#[derive(Debug, Default)]
+pub struct WordCounter {
+    count: u64,
+    in_word: bool,
+}
+
+impl WordCounter {
+    /// Creates a counter.
+    pub fn new() -> Self {
+        WordCounter::default()
+    }
+
+    /// Feeds a chunk.
+    pub fn push(&mut self, chunk: &[u8]) {
+        for &b in chunk {
+            let is_space = b.is_ascii_whitespace();
+            if !is_space && !self.in_word {
+                self.count += 1;
+            }
+            self.in_word = !is_space;
+        }
+    }
+
+    /// Total words seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Allocation-free line scanner over byte chunks: invokes a callback per
+/// complete line (without `\n`), carrying partial lines across chunks.
+///
+/// The hot paths of the genomics operators use this instead of
+/// [`LineSplitter`] to avoid a `String` per record.
+///
+/// # Examples
+///
+/// ```
+/// use glider_analytics::text::ByteLineScanner;
+///
+/// let mut lines = Vec::new();
+/// let mut scanner = ByteLineScanner::new();
+/// scanner.push(b"12,a\n34,", |l| lines.push(l.to_vec()));
+/// scanner.push(b"b\n", |l| lines.push(l.to_vec()));
+/// scanner.finish(|l| lines.push(l.to_vec()));
+/// assert_eq!(lines, vec![b"12,a".to_vec(), b"34,b".to_vec()]);
+/// ```
+#[derive(Debug, Default)]
+pub struct ByteLineScanner {
+    carry: Vec<u8>,
+}
+
+impl ByteLineScanner {
+    /// Creates an empty scanner.
+    pub fn new() -> Self {
+        ByteLineScanner::default()
+    }
+
+    /// Feeds one chunk, invoking `f` for every completed line.
+    pub fn push(&mut self, chunk: &[u8], mut f: impl FnMut(&[u8])) {
+        let mut rest = chunk;
+        if !self.carry.is_empty() {
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    self.carry.extend_from_slice(&rest[..nl]);
+                    f(&self.carry);
+                    self.carry.clear();
+                    rest = &rest[nl + 1..];
+                }
+                None => {
+                    self.carry.extend_from_slice(rest);
+                    return;
+                }
+            }
+        }
+        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            f(&rest[..nl]);
+            rest = &rest[nl + 1..];
+        }
+        self.carry.extend_from_slice(rest);
+    }
+
+    /// Flushes a final unterminated line, if any.
+    pub fn finish(&mut self, mut f: impl FnMut(&[u8])) {
+        if !self.carry.is_empty() {
+            f(&self.carry);
+            self.carry.clear();
+        }
+    }
+}
+
+/// Parses the leading decimal integer (up to the first `,` or the end) of
+/// a record line without allocating.
+pub fn leading_i64(line: &[u8]) -> Option<i64> {
+    let end = line
+        .iter()
+        .position(|&b| b == b',')
+        .unwrap_or(line.len());
+    if end == 0 || end > 18 {
+        return None;
+    }
+    let mut value: i64 = 0;
+    for &b in &line[..end] {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        value = value * 10 + i64::from(b - b'0');
+    }
+    Some(value)
+}
+
+/// Order-independent checksum of items (for validating that two
+/// implementations produced the same multiset of records/lines).
+pub fn multiset_checksum<'a>(items: impl Iterator<Item = &'a [u8]>) -> u64 {
+    items
+        .map(|item| {
+            // FNV-1a per item, combined by wrapping addition (commutative).
+            let mut hash: u64 = 0xcbf29ce484222325;
+            for &b in item {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+            hash
+        })
+        .fold(0u64, |acc, h| acc.wrapping_add(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_splitter_handles_boundaries() {
+        let mut s = LineSplitter::new();
+        assert_eq!(s.push(b"a\nb"), vec!["a"]);
+        assert_eq!(s.push(b"c\n\nd"), vec!["bc", ""]);
+        assert_eq!(s.finish(), Some("d".to_string()));
+        assert_eq!(s.finish(), None);
+    }
+
+    #[test]
+    fn word_counter_across_chunks() {
+        let mut w = WordCounter::new();
+        w.push(b"hello wor");
+        w.push(b"ld  and");
+        w.push(b" more\n");
+        assert_eq!(w.count(), 4);
+        let mut empty = WordCounter::new();
+        empty.push(b"   \n\t ");
+        assert_eq!(empty.count(), 0);
+    }
+
+    #[test]
+    fn byte_line_scanner_matches_line_splitter() {
+        let text = b"one\ntwo split across\nchunks\nand a tail";
+        for chunk_size in [1usize, 3, 7, 100] {
+            let mut from_scanner: Vec<Vec<u8>> = Vec::new();
+            let mut scanner = ByteLineScanner::new();
+            for chunk in text.chunks(chunk_size) {
+                scanner.push(chunk, |l| from_scanner.push(l.to_vec()));
+            }
+            scanner.finish(|l| from_scanner.push(l.to_vec()));
+            let expected: Vec<Vec<u8>> = text
+                .split(|&b| b == b'\n')
+                .map(|l| l.to_vec())
+                .collect();
+            assert_eq!(from_scanner, expected, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn leading_i64_parses_and_rejects() {
+        assert_eq!(leading_i64(b"123,rest"), Some(123));
+        assert_eq!(leading_i64(b"0"), Some(0));
+        assert_eq!(leading_i64(b",x"), None);
+        assert_eq!(leading_i64(b"12a,x"), None);
+        assert_eq!(leading_i64(b""), None);
+        assert_eq!(leading_i64(b"99999999999999999999999,x"), None); // too long
+    }
+
+    #[test]
+    fn multiset_checksum_is_order_independent() {
+        let a: Vec<&[u8]> = vec![b"one", b"two", b"three"];
+        let b: Vec<&[u8]> = vec![b"three", b"one", b"two"];
+        let c: Vec<&[u8]> = vec![b"one", b"two", b"four"];
+        assert_eq!(
+            multiset_checksum(a.iter().copied()),
+            multiset_checksum(b.iter().copied())
+        );
+        assert_ne!(
+            multiset_checksum(a.iter().copied()),
+            multiset_checksum(c.iter().copied())
+        );
+    }
+}

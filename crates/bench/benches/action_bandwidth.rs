@@ -1,0 +1,96 @@
+//! Criterion micro-benchmark behind Fig. 6 (top): stream bandwidth to
+//! files vs actions at two buffer sizes. The full sweep lives in the
+//! `fig6` harness binary; this bench tracks regressions cheaply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use glider_bench::BwHarness;
+use glider_util::ByteSize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let rt = glider_bench::runtime();
+    let total = ByteSize::mib(4);
+
+    let mut group = c.benchmark_group("bandwidth");
+    group.throughput(Throughput::Bytes(total.as_u64()));
+    group.sample_size(10);
+
+    for chunk_kib in [128u64, 1024] {
+        let chunk = ByteSize::kib(chunk_kib);
+        let harness = rt.block_on(async {
+            BwHarness::start(ByteSize::mib(512), chunk, 8)
+                .await
+                .expect("harness")
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("file_write", chunk_kib),
+            &chunk,
+            |b, _| {
+                b.to_async(&rt).iter(|| async {
+                    // Fresh file per iteration, deleted afterwards so the
+                    // block pool never exhausts (the delete is one
+                    // metadata op against a 4 MiB transfer).
+                    let path = format!("/bw-{}", UNIQUE.fetch_add(1, Ordering::Relaxed));
+                    let gbps = harness.file_write(&path, total).await.expect("write");
+                    let store = harness.client().await.expect("client");
+                    store.delete(&path).await.expect("cleanup");
+                    gbps
+                });
+            },
+        );
+        // One action is created per configuration and reused: `null`
+        // discards writes and regenerates reads, so iterations are
+        // independent and slots never exhaust.
+        let write_action = format!("/abw-{}", UNIQUE.fetch_add(1, Ordering::Relaxed));
+        rt.block_on(async {
+            let store = harness.client().await.expect("client");
+            store
+                .create_action(&write_action, glider_core::ActionSpec::new("null", false))
+                .await
+                .expect("create write action");
+        });
+        group.bench_with_input(
+            BenchmarkId::new("action_write", chunk_kib),
+            &chunk,
+            |b, _| {
+                b.to_async(&rt).iter(|| async {
+                    harness
+                        .action_write_existing(&write_action, total)
+                        .await
+                        .expect("write")
+                });
+            },
+        );
+        let read_action = format!("/ar-{}", UNIQUE.fetch_add(1, Ordering::Relaxed));
+        rt.block_on(async {
+            let store = harness.client().await.expect("client");
+            store
+                .create_action(
+                    &read_action,
+                    glider_core::ActionSpec::new("null", false)
+                        .with_params(format!("size={}", total.as_u64())),
+                )
+                .await
+                .expect("create read action");
+        });
+        group.bench_with_input(
+            BenchmarkId::new("action_read", chunk_kib),
+            &chunk,
+            |b, _| {
+                b.to_async(&rt).iter(|| async {
+                    harness
+                        .action_read_existing(&read_action)
+                        .await
+                        .expect("read")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

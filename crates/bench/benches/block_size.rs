@@ -1,0 +1,56 @@
+//! Ablation: NodeKernel block size. Small blocks mean more metadata
+//! round trips per byte written (AddBlock/CommitBlock per block); large
+//! blocks amortize them — the trade-off behind the workspace's 1 MiB
+//! default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use glider_core::{Cluster, ClusterConfig};
+use glider_util::ByteSize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+const TOTAL: u64 = 4 * 1024 * 1024;
+
+fn bench_block_size(c: &mut Criterion) {
+    let rt = glider_bench::runtime();
+    let mut group = c.benchmark_group("block_size");
+    group.throughput(Throughput::Bytes(TOTAL));
+    group.sample_size(10);
+
+    for block_kib in [64u64, 256, 1024, 4096] {
+        let block = ByteSize::kib(block_kib);
+        let blocks_needed = (TOTAL * 64).div_ceil(block.as_u64()) + 16;
+        let cluster = rt.block_on(async {
+            Cluster::start(
+                ClusterConfig::default()
+                    .with_block_size(block)
+                    .with_data(1, blocks_needed),
+            )
+            .await
+            .expect("cluster")
+        });
+        group.bench_with_input(
+            BenchmarkId::new("file_write_4MiB", block_kib),
+            &block,
+            |b, _| {
+                b.to_async(&rt).iter(|| {
+                    let cluster = &cluster;
+                    async move {
+                        let store = cluster.client().await.expect("client");
+                        let path = format!("/b-{}", UNIQUE.fetch_add(1, Ordering::Relaxed));
+                        let file = store.create_file(&path).await.expect("create");
+                        file.write_all(bytes::Bytes::from(vec![0u8; TOTAL as usize]))
+                            .await
+                            .expect("write");
+                        store.delete(&path).await.expect("cleanup");
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_size);
+criterion_main!(benches);

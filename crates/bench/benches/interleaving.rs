@@ -1,0 +1,77 @@
+//! Ablation: the §4.2 interleaving design choice.
+//!
+//! N concurrent writers stream pairs into one `merge` action with
+//! interleaving on vs off. Without interleaving, method executions
+//! serialize and the writers' streams progress one at a time; with it,
+//! methods take turns at I/O waits and the writers overlap — the paper's
+//! motivation for Orleans-style turns ("this effectively optimizes
+//! network utilization").
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use glider_core::{ActionSpec, Cluster, ClusterConfig};
+use glider_util::textgen::PairGen;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+const WRITERS: usize = 4;
+const PAIRS_PER_WRITER: usize = 20_000;
+
+fn bench_interleaving(c: &mut Criterion) {
+    let rt = glider_bench::runtime();
+    let cluster = rt.block_on(async {
+        Cluster::start(ClusterConfig::default().with_active(1, 256))
+            .await
+            .expect("cluster")
+    });
+    // Pre-generate the payloads once.
+    let payloads: Vec<Bytes> = (0..WRITERS)
+        .map(|w| Bytes::from(PairGen::new(w as u64, 1024).generate_pairs(PAIRS_PER_WRITER)))
+        .collect();
+    let payload_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+
+    let mut group = c.benchmark_group("interleaving");
+    group.throughput(Throughput::Bytes(payload_bytes));
+    group.sample_size(10);
+
+    for interleaved in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("merge_4_writers", interleaved),
+            &interleaved,
+            |b, &interleaved| {
+                b.to_async(&rt).iter(|| {
+                    let cluster = &cluster;
+                    let payloads = payloads.clone();
+                    async move {
+                        let store = cluster.client().await.expect("client");
+                        let path = format!(
+                            "/il-{}-{}",
+                            interleaved,
+                            UNIQUE.fetch_add(1, Ordering::Relaxed)
+                        );
+                        let action = store
+                            .create_action(&path, ActionSpec::new("merge", interleaved))
+                            .await
+                            .expect("create");
+                        let mut tasks = Vec::new();
+                        for payload in payloads {
+                            let action = action.clone();
+                            tasks.push(tokio::spawn(async move {
+                                action.write_all(payload).await.expect("write");
+                            }));
+                        }
+                        for t in tasks {
+                            t.await.expect("writer");
+                        }
+                        store.delete(&path).await.expect("cleanup");
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interleaving);
+criterion_main!(benches);

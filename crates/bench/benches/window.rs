@@ -1,0 +1,60 @@
+//! Ablation: the operation window ("keep a data operation always in
+//! flight", paper §6.1/§7.2). Window = 1 is the paper's *direct* stream
+//! (one op at a time); larger windows are *buffered* streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use glider_core::{Cluster, ClusterConfig, StoreClient};
+use glider_util::ByteSize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+const TOTAL: u64 = 4 * 1024 * 1024;
+
+fn bench_window(c: &mut Criterion) {
+    let rt = glider_bench::runtime();
+    let cluster = rt.block_on(async {
+        Cluster::start(ClusterConfig::default().with_data(1, 2048))
+            .await
+            .expect("cluster")
+    });
+
+    let mut group = c.benchmark_group("window");
+    group.throughput(Throughput::Bytes(TOTAL));
+    group.sample_size(10);
+
+    for window in [1usize, 2, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("file_write_4MiB", window),
+            &window,
+            |b, &window| {
+                b.to_async(&rt).iter(|| {
+                    let cluster = &cluster;
+                    async move {
+                        let config = cluster
+                            .client_config()
+                            .with_chunk_size(ByteSize::kib(64))
+                            .with_window(window);
+                        let store = StoreClient::connect(config).await.expect("client");
+                        let path = format!("/w-{}", UNIQUE.fetch_add(1, Ordering::Relaxed));
+                        let file = store.create_file(&path).await.expect("create");
+                        let mut out = file.output_stream().await.expect("stream");
+                        let chunk = bytes::Bytes::from(vec![0u8; 64 * 1024]);
+                        let mut remaining = TOTAL;
+                        while remaining > 0 {
+                            let n = remaining.min(chunk.len() as u64);
+                            out.write(chunk.slice(..n as usize)).await.expect("write");
+                            remaining -= n;
+                        }
+                        out.close().await.expect("close");
+                        store.delete(&path).await.expect("cleanup");
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end workload benches: tiny instances of the Fig. 5 reduce and
+//! Fig. 7 sort, baseline vs Glider, so regressions in the full pipelines
+//! show up in `cargo bench` without running the harness binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glider_analytics::reduce::{self, ReduceConfig};
+use glider_analytics::sort::{self, SortConfig};
+
+fn bench_workloads(c: &mut Criterion) {
+    let rt = glider_bench::runtime();
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(10);
+
+    let reduce_cfg = ReduceConfig {
+        workers: 2,
+        pairs_per_worker: 10_000,
+        ..ReduceConfig::default()
+    };
+    group.bench_with_input(
+        BenchmarkId::new("reduce", "baseline"),
+        &reduce_cfg,
+        |b, cfg| {
+            b.to_async(&rt)
+                .iter(|| async { reduce::run_baseline(cfg).await.expect("run") });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("reduce", "glider"),
+        &reduce_cfg,
+        |b, cfg| {
+            b.to_async(&rt)
+                .iter(|| async { reduce::run_glider(cfg).await.expect("run") });
+        },
+    );
+
+    let sort_cfg = SortConfig {
+        workers: 2,
+        records_per_worker: 5_000,
+        ..SortConfig::default()
+    };
+    group.bench_with_input(BenchmarkId::new("sort", "baseline"), &sort_cfg, |b, cfg| {
+        b.to_async(&rt)
+            .iter(|| async { sort::run_baseline(cfg).await.expect("run") });
+    });
+    group.bench_with_input(BenchmarkId::new("sort", "glider"), &sort_cfg, |b, cfg| {
+        b.to_async(&rt)
+            .iter(|| async { sort::run_glider(cfg).await.expect("run") });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

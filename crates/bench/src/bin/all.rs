@@ -1,0 +1,24 @@
+//! Runs every table/figure harness in sequence (paper evaluation §7).
+//!
+//! Run: `cargo run -p glider-bench --release --bin all [--scale f]`
+//!
+//! Equivalent to running `table2`, `fig5`, `fig6`, `fig7` and `fig9`
+//! one after another with the same scale.
+
+use std::process::Command;
+
+fn main() {
+    let scale = glider_bench::scale_from_args();
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe dir");
+    for bin in ["table2", "fig5", "fig6", "fig7", "fig9"] {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(dir.join(bin))
+            .arg("--scale")
+            .arg(scale.to_string())
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall harnesses completed");
+}

@@ -1,0 +1,75 @@
+//! Regenerates **Fig. 5**: the reduce (aggregation) sweep.
+//!
+//! Paper: workers ∈ {1, 2, 5, 10}, each emitting 50M `(key,value)` pairs
+//! (~1 GiB); left plot = total time, right plot = data transferred
+//! between workers and storage. Plus the §7.1 claims: 50% fewer storage
+//! accesses and ~99.8% lower storage utilization.
+//!
+//! Run: `cargo run -p glider-bench --release --bin fig5 [--scale f]`
+
+use glider_analytics::reduce::{run_baseline, run_glider, ReduceConfig};
+use glider_bench::{bytes_h, print_row, print_rule, scale_from_args, scaled};
+use glider_core::MetricsSnapshot;
+
+fn main() {
+    let scale = scale_from_args();
+    let rt = glider_bench::runtime();
+    rt.block_on(async move {
+        let pairs = scaled(500_000, scale);
+        println!("Fig. 5 — reduce: {pairs} pairs/worker, 1024 keys (scale {scale})");
+        let widths = [8, 10, 12, 14, 12, 12, 14];
+        print_row(
+            &[
+                "workers".into(),
+                "system".into(),
+                "time".into(),
+                "transferred".into(),
+                "accesses".into(),
+                "peak util".into(),
+                "keys".into(),
+            ],
+            &widths,
+        );
+        print_rule(&widths);
+        for workers in [1usize, 2, 5, 10] {
+            let cfg = ReduceConfig {
+                workers,
+                pairs_per_worker: pairs,
+                ..ReduceConfig::default()
+            };
+            let base = run_baseline(&cfg).await.expect("baseline run");
+            let glider = run_glider(&cfg).await.expect("glider run");
+            assert_eq!(base.dictionary, glider.dictionary, "results must match");
+            for (name, outcome) in [("baseline", &base), ("glider", &glider)] {
+                print_row(
+                    &[
+                        workers.to_string(),
+                        name.into(),
+                        format!("{:.3}s", outcome.report.elapsed.as_secs_f64()),
+                        bytes_h(outcome.report.tier_crossing_bytes()),
+                        outcome.report.storage_accesses().to_string(),
+                        bytes_h(outcome.report.peak_utilization()),
+                        outcome.dictionary.len().to_string(),
+                    ],
+                    &widths,
+                );
+            }
+            let access_cut = MetricsSnapshot::reduction_pct(
+                base.report.storage_accesses(),
+                glider.report.storage_accesses(),
+            );
+            let util_cut = MetricsSnapshot::reduction_pct(
+                base.report.peak_utilization(),
+                glider.report.peak_utilization(),
+            );
+            let xfer_cut = MetricsSnapshot::reduction_pct(
+                base.report.tier_crossing_bytes(),
+                glider.report.tier_crossing_bytes(),
+            );
+            println!(
+                "  w={workers}: transfer cut {xfer_cut:.1}% (paper ~50%), access cut \
+                 {access_cut:.1}% (paper 50%), utilization cut {util_cut:.2}% (paper ~99.8%)"
+            );
+        }
+    });
+}

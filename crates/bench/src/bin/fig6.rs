@@ -1,0 +1,83 @@
+//! Regenerates **Fig. 6**: action vs file bandwidth micro-benchmarks.
+//!
+//! Top half: average access bandwidth to files and actions, read and
+//! write, buffer sizes {128, 256, 512, 1024} KiB (paper: 10 GiB per
+//! measurement; actions run empty methods, and write bandwidth to actions
+//! can *exceed* files because no blocks are allocated/committed).
+//!
+//! Bottom half: aggregate bandwidth with {1, 2, 4, 8} concurrent actions
+//! (dedicated client each) vs the same for files.
+//!
+//! Run: `cargo run -p glider-bench --release --bin fig6 [--scale f]`
+
+use glider_bench::{print_row, print_rule, scale_from_args, BwHarness};
+use glider_util::ByteSize;
+
+fn main() {
+    let scale = scale_from_args();
+    let rt = glider_bench::runtime();
+    rt.block_on(async move {
+        let total = ByteSize::mib(((64.0 * scale) as u64).max(8));
+        println!("Fig. 6 (top) — bandwidth vs buffer size, {total} per measurement");
+        let widths = [12, 14, 14, 14, 14];
+        print_row(
+            &[
+                "buffer".into(),
+                "file read".into(),
+                "action read".into(),
+                "file write".into(),
+                "action write".into(),
+            ],
+            &widths,
+        );
+        print_rule(&widths);
+        for kib in [128u64, 256, 512, 1024] {
+            let chunk = ByteSize::kib(kib);
+            let h = BwHarness::start(total, chunk, 8).await.expect("harness");
+            let fw = h.file_write("/bw-file", total).await.expect("file write");
+            let fr = h.file_read("/bw-file").await.expect("file read");
+            let aw = h.action_write("/bw-aw", total).await.expect("action write");
+            let ar = h.action_read("/bw-ar", total).await.expect("action read");
+            print_row(
+                &[
+                    format!("{kib} KiB"),
+                    format!("{fr:.2} Gbps"),
+                    format!("{ar:.2} Gbps"),
+                    format!("{fw:.2} Gbps"),
+                    format!("{aw:.2} Gbps"),
+                ],
+                &widths,
+            );
+        }
+
+        println!();
+        let per = ByteSize::mib(((32.0 * scale) as u64).max(4));
+        println!("Fig. 6 (bottom) — aggregate bandwidth vs number of concurrent actions ({per} each, 1 MiB buffers)");
+        let widths = [10, 16, 16];
+        print_row(
+            &["n".into(), "actions".into(), "files".into()],
+            &widths,
+        );
+        print_rule(&widths);
+        for n in [1usize, 2, 4, 8] {
+            let h = BwHarness::start(ByteSize::bytes(per.as_u64() * n as u64 * 2), ByteSize::mib(1), n as u64 + 2)
+                .await
+                .expect("harness");
+            let actions = h.parallel_action_write(n, per).await.expect("actions");
+            let files = h.parallel_file_write(n, per).await.expect("files");
+            print_row(
+                &[
+                    n.to_string(),
+                    format!("{actions:.2} Gbps"),
+                    format!("{files:.2} Gbps"),
+                ],
+                &widths,
+            );
+        }
+        println!();
+        println!(
+            "expected shape (paper): actions within ~±12% of files per buffer size; \
+             aggregate bandwidth grows with n and plateaus at the fabric limit"
+        );
+    });
+}

@@ -1,0 +1,85 @@
+//! Regenerates **Fig. 9**: serverless genomics variant calling.
+//!
+//! Paper: x-axis points `a×q,r` ∈ {1×5,1; 2×10,1; 3×20,2; 5×20,2;
+//! 20×35,2-3} with stacked Map / Ranges / Reduce times for the baseline
+//! (S3 + S3 SELECT) and Glider (Sampler/Manager/Reader actions). Expected
+//! shape: Glider's map is slightly slower (sampling happens at the
+//! actions), its range phase is much faster (no SELECT re-read of the
+//! intermediate data), and the reduce is faster; total improves up to
+//! ~36-40% at full scale.
+//!
+//! The full 20×35 point runs 700 mappers; include it with `--full`.
+//!
+//! Run: `cargo run -p glider-bench --release --bin fig9 [--scale f] [--full]`
+
+use glider_analytics::genomics::{run_baseline, run_glider, GenomicsConfig};
+use glider_bench::{print_row, print_rule, scale_from_args, scaled};
+
+fn main() {
+    let scale = scale_from_args();
+    let full = std::env::args().any(|a| a == "--full");
+    let rt = glider_bench::runtime();
+    rt.block_on(async move {
+        let records = scaled(20_000, scale);
+        let mut points = vec![(1, 5, 1), (2, 10, 1), (3, 20, 2), (5, 20, 2)];
+        if full {
+            points.push((20, 35, 2));
+        }
+        println!(
+            "Fig. 9 — genomics variant calling, {records} records per map task (scale {scale})"
+        );
+        let widths = [10, 10, 10, 10, 10, 10, 12];
+        print_row(
+            &[
+                "a x q,r".into(),
+                "system".into(),
+                "map".into(),
+                "ranges".into(),
+                "reduce".into(),
+                "total".into(),
+                "functions".into(),
+            ],
+            &widths,
+        );
+        print_rule(&widths);
+        for (a, q, r) in points {
+            let mut cfg = GenomicsConfig::point(a, q, r);
+            cfg.records_per_map = records;
+            let base = run_baseline(&cfg).await.expect("baseline run");
+            let glider = run_glider(&cfg).await.expect("glider run");
+            assert_eq!(
+                base.variants_checksum, glider.variants_checksum,
+                "results must match"
+            );
+            for (name, outcome) in [("baseline", &base), ("glider", &glider)] {
+                print_row(
+                    &[
+                        format!("{a}x{q},{r}"),
+                        name.into(),
+                        phase(outcome, "map"),
+                        phase(outcome, "ranges"),
+                        phase(outcome, "reduce"),
+                        format!("{:.3}s", outcome.report.elapsed.as_secs_f64()),
+                        outcome.invocations.to_string(),
+                    ],
+                    &widths,
+                );
+            }
+            let cut = (1.0
+                - glider.report.elapsed.as_secs_f64() / base.report.elapsed.as_secs_f64())
+                * 100.0;
+            println!(
+                "  {a}x{q},{r}: total run-time cut {cut:.1}% (paper: up to 36-40% at scale); \
+                 baseline scanned {} via SELECT, glider scanned 0",
+                glider_bench::bytes_h(base.report.metrics.object_scanned)
+            );
+        }
+    });
+}
+
+fn phase(outcome: &glider_analytics::genomics::GenomicsOutcome, name: &str) -> String {
+    format!(
+        "{:.3}s",
+        outcome.report.phase(name).unwrap_or_default().as_secs_f64()
+    )
+}

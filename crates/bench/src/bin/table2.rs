@@ -1,0 +1,95 @@
+//! Regenerates **Table 2**: the ingest pre-processing pipeline.
+//!
+//! Paper (10 GiB, 10 workers, 100 Gbps cluster):
+//!
+//! | | Ingested | Time (s) | Throughput |
+//! |---|---|---|---|
+//! | Data-shipping | 10 GiB | 28.866 | 2.98 Gbps |
+//! | Glider | 25.7 MiB | 10.813 | 7.94 Gbps |
+//! | Glider (RDMA) | 25.7 MiB | 9.182 | 9.36 Gbps |
+//!
+//! Run: `cargo run -p glider-bench --release --bin table2 [--scale f]`
+
+use glider_analytics::pipeline::{run_baseline, run_glider, PipelineConfig, PipelineOutcome};
+use glider_bench::{bytes_h, print_row, print_rule, scale_from_args, scaled};
+use glider_core::MetricsSnapshot;
+use glider_util::ByteSize;
+
+fn main() {
+    let scale = scale_from_args();
+    let rt = glider_bench::runtime();
+    rt.block_on(async move {
+        let cfg = PipelineConfig {
+            workers: 10,
+            bytes_per_worker: ByteSize::mib(scaled(16, scale) as u64),
+            selectivity: 0.0025,
+            ..PipelineConfig::default()
+        };
+        println!(
+            "Table 2 — data processing pipeline on {} with {} workers (scale {scale})",
+            bytes_h(cfg.bytes_per_worker.as_u64() * cfg.workers as u64),
+            cfg.workers
+        );
+        match cfg.worker_bandwidth_mibps {
+            Some(bw) => println!(
+                "worker links capped at {bw} MiB/s (the paper's compute/storage bandwidth \
+                 asymmetry; see EXPERIMENTS.md)"
+            ),
+            None => println!("worker links uncapped"),
+        }
+        let widths = [16, 12, 10, 12, 12];
+        print_row(
+            &[
+                "".into(),
+                "Ingested".into(),
+                "Time (s)".into(),
+                "Throughput".into(),
+                "Words".into(),
+            ],
+            &widths,
+        );
+        print_rule(&widths);
+
+        let base = run_baseline(&cfg).await.expect("baseline run");
+        print_outcome("Data-shipping", &base, &widths);
+
+        let glider = run_glider(&cfg).await.expect("glider run");
+        print_outcome("Glider", &glider, &widths);
+
+        let mut rdma_cfg = cfg.clone();
+        rdma_cfg.rdma = true;
+        let rdma = run_glider(&rdma_cfg).await.expect("glider rdma run");
+        print_outcome("Glider (RDMA)", &rdma, &widths);
+
+        assert_eq!(base.total_words, glider.total_words, "results must match");
+        assert_eq!(base.total_words, rdma.total_words, "results must match");
+        let ingest_cut = MetricsSnapshot::reduction_pct(
+            base.report.metrics.compute_ingress_bytes(),
+            glider.report.metrics.compute_ingress_bytes(),
+        );
+        println!();
+        println!("data transfer reduction (paper: 99.75%): {ingest_cut:.2}%");
+        println!(
+            "speedup Glider vs baseline (paper: 2.7x): {:.2}x",
+            glider.report.speedup_vs(&base.report)
+        );
+        println!(
+            "speedup Glider (RDMA) vs baseline (paper: 3.14x): {:.2}x",
+            rdma.report.speedup_vs(&base.report)
+        );
+    });
+}
+
+fn print_outcome(label: &str, outcome: &PipelineOutcome, widths: &[usize]) {
+    let ingested = outcome.report.metrics.compute_ingress_bytes();
+    print_row(
+        &[
+            label.into(),
+            bytes_h(ingested),
+            format!("{:.3}", outcome.report.elapsed.as_secs_f64()),
+            format!("{:.2} Gbps", outcome.report.gbps(outcome.input_bytes)),
+            outcome.total_words.to_string(),
+        ],
+        widths,
+    );
+}

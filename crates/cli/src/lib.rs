@@ -1,0 +1,378 @@
+//! Command-line interface for a Glider cluster.
+//!
+//! ```text
+//! glider serve [--data N] [--active N] [--slots N] [--block-size SZ]
+//!     start an in-process cluster and print its metadata address
+//!
+//! glider --meta ADDR <command>
+//!     ls PATH                 list a container
+//!     stat PATH               show node metadata
+//!     mkdir PATH              create a directory (and parents)
+//!     put PATH                write stdin into a new file
+//!     get PATH                stream a file to stdout
+//!     rm PATH                 delete a node (recursively)
+//!     mkaction PATH TYPE [--params P] [--interleaved]
+//!                             create an action node
+//!     write-action PATH       stream stdin into an action
+//!     read-action PATH        stream an action's output to stdout
+//! ```
+//!
+//! The parser is dependency-free and unit-tested; `main.rs` is a thin
+//! executor over [`Command`].
+
+use glider_util::ByteSize;
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Start a local cluster.
+    Serve {
+        /// Number of data servers.
+        data: usize,
+        /// Number of active servers.
+        active: usize,
+        /// Action slots per active server.
+        slots: u64,
+        /// Block size.
+        block_size: ByteSize,
+    },
+    /// List a container's children.
+    Ls {
+        /// Metadata address.
+        meta: String,
+        /// Container path.
+        path: String,
+    },
+    /// Show node metadata.
+    Stat {
+        /// Metadata address.
+        meta: String,
+        /// Node path.
+        path: String,
+    },
+    /// Create a directory and missing parents.
+    Mkdir {
+        /// Metadata address.
+        meta: String,
+        /// Directory path.
+        path: String,
+    },
+    /// Write stdin into a new file node.
+    Put {
+        /// Metadata address.
+        meta: String,
+        /// File path.
+        path: String,
+    },
+    /// Stream a file node to stdout.
+    Get {
+        /// Metadata address.
+        meta: String,
+        /// File path.
+        path: String,
+    },
+    /// Delete a node recursively.
+    Rm {
+        /// Metadata address.
+        meta: String,
+        /// Node path.
+        path: String,
+    },
+    /// Create an action node.
+    MkAction {
+        /// Metadata address.
+        meta: String,
+        /// Action path.
+        path: String,
+        /// Registered action type name.
+        type_name: String,
+        /// Configuration string.
+        params: String,
+        /// Enable interleaving.
+        interleaved: bool,
+    },
+    /// Stream stdin into an action (triggers `on_write`).
+    WriteAction {
+        /// Metadata address.
+        meta: String,
+        /// Action path.
+        path: String,
+    },
+    /// Stream an action's `on_read` output to stdout.
+    ReadAction {
+        /// Metadata address.
+        meta: String,
+        /// Action path.
+        path: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A CLI parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn take_value<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<&'a str, UsageError> {
+    args.next()
+        .ok_or_else(|| UsageError(format!("{flag} requires a value")))
+}
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`UsageError`] with a human-readable message on malformed
+/// input.
+pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
+    let mut meta: Option<String> = None;
+    let mut rest: Vec<&str> = Vec::new();
+    let mut it = args.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--meta" => meta = Some(take_value(&mut it, "--meta")?.to_string()),
+            "-h" | "--help" | "help" => return Ok(Command::Help),
+            other => rest.push(other),
+        }
+    }
+    let Some((&cmd, tail)) = rest.split_first() else {
+        return Ok(Command::Help);
+    };
+
+    let need_meta = |meta: &Option<String>| -> Result<String, UsageError> {
+        meta.clone()
+            .ok_or_else(|| UsageError("this command requires --meta ADDR".to_string()))
+    };
+    let one_path = |tail: &[&str], cmd: &str| -> Result<String, UsageError> {
+        match tail {
+            [path] => Ok((*path).to_string()),
+            _ => Err(UsageError(format!("usage: glider {cmd} PATH"))),
+        }
+    };
+
+    match cmd {
+        "serve" => {
+            let mut data = 1usize;
+            let mut active = 1usize;
+            let mut slots = 64u64;
+            let mut block_size = ByteSize::mib(1);
+            let mut it = tail.iter().copied();
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--data" => {
+                        data = take_value(&mut it, "--data")?
+                            .parse()
+                            .map_err(|_| UsageError("--data expects a number".to_string()))?;
+                    }
+                    "--active" => {
+                        active = take_value(&mut it, "--active")?
+                            .parse()
+                            .map_err(|_| UsageError("--active expects a number".to_string()))?;
+                    }
+                    "--slots" => {
+                        slots = take_value(&mut it, "--slots")?
+                            .parse()
+                            .map_err(|_| UsageError("--slots expects a number".to_string()))?;
+                    }
+                    "--block-size" => {
+                        block_size = take_value(&mut it, "--block-size")?
+                            .parse()
+                            .map_err(|e| UsageError(format!("--block-size: {e}")))?;
+                    }
+                    other => return Err(UsageError(format!("unknown serve flag {other:?}"))),
+                }
+            }
+            Ok(Command::Serve {
+                data,
+                active,
+                slots,
+                block_size,
+            })
+        }
+        "ls" => Ok(Command::Ls {
+            meta: need_meta(&meta)?,
+            path: one_path(tail, "ls")?,
+        }),
+        "stat" => Ok(Command::Stat {
+            meta: need_meta(&meta)?,
+            path: one_path(tail, "stat")?,
+        }),
+        "mkdir" => Ok(Command::Mkdir {
+            meta: need_meta(&meta)?,
+            path: one_path(tail, "mkdir")?,
+        }),
+        "put" => Ok(Command::Put {
+            meta: need_meta(&meta)?,
+            path: one_path(tail, "put")?,
+        }),
+        "get" => Ok(Command::Get {
+            meta: need_meta(&meta)?,
+            path: one_path(tail, "get")?,
+        }),
+        "rm" => Ok(Command::Rm {
+            meta: need_meta(&meta)?,
+            path: one_path(tail, "rm")?,
+        }),
+        "mkaction" => {
+            let meta = need_meta(&meta)?;
+            let mut it = tail.iter().copied();
+            let path = it
+                .next()
+                .ok_or_else(|| UsageError("usage: glider mkaction PATH TYPE".to_string()))?
+                .to_string();
+            let type_name = it
+                .next()
+                .ok_or_else(|| UsageError("usage: glider mkaction PATH TYPE".to_string()))?
+                .to_string();
+            let mut params = String::new();
+            let mut interleaved = false;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--params" => params = take_value(&mut it, "--params")?.to_string(),
+                    "--interleaved" => interleaved = true,
+                    other => {
+                        return Err(UsageError(format!("unknown mkaction flag {other:?}")))
+                    }
+                }
+            }
+            Ok(Command::MkAction {
+                meta,
+                path,
+                type_name,
+                params,
+                interleaved,
+            })
+        }
+        "write-action" => Ok(Command::WriteAction {
+            meta: need_meta(&meta)?,
+            path: one_path(tail, "write-action")?,
+        }),
+        "read-action" => Ok(Command::ReadAction {
+            meta: need_meta(&meta)?,
+            path: one_path(tail, "read-action")?,
+        }),
+        other => Err(UsageError(format!(
+            "unknown command {other:?}; run `glider help`"
+        ))),
+    }
+}
+
+/// The usage text printed by `glider help`.
+pub const USAGE: &str = "\
+glider — ephemeral storage with near-data actions
+
+  glider serve [--data N] [--active N] [--slots N] [--block-size SZ]
+  glider --meta ADDR ls PATH
+  glider --meta ADDR stat PATH
+  glider --meta ADDR mkdir PATH
+  glider --meta ADDR put PATH            (reads stdin)
+  glider --meta ADDR get PATH            (writes stdout)
+  glider --meta ADDR rm PATH
+  glider --meta ADDR mkaction PATH TYPE [--params K=V;..] [--interleaved]
+  glider --meta ADDR write-action PATH   (reads stdin)
+  glider --meta ADDR read-action PATH    (writes stdout)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        assert_eq!(
+            parse(&["serve"]).unwrap(),
+            Command::Serve {
+                data: 1,
+                active: 1,
+                slots: 64,
+                block_size: ByteSize::mib(1)
+            }
+        );
+        assert_eq!(
+            parse(&["serve", "--data", "3", "--active", "2", "--slots", "8", "--block-size", "64KiB"])
+                .unwrap(),
+            Command::Serve {
+                data: 3,
+                active: 2,
+                slots: 8,
+                block_size: ByteSize::kib(64)
+            }
+        );
+        assert!(parse(&["serve", "--data"]).is_err());
+        assert!(parse(&["serve", "--bogus"]).is_err());
+        assert!(parse(&["serve", "--block-size", "a lot"]).is_err());
+    }
+
+    #[test]
+    fn data_commands_require_meta() {
+        assert!(parse(&["ls", "/"]).is_err());
+        assert_eq!(
+            parse(&["--meta", "host:1", "ls", "/"]).unwrap(),
+            Command::Ls {
+                meta: "host:1".into(),
+                path: "/".into()
+            }
+        );
+        // --meta may come after the command too.
+        assert_eq!(
+            parse(&["get", "/f", "--meta", "host:1"]).unwrap(),
+            Command::Get {
+                meta: "host:1".into(),
+                path: "/f".into()
+            }
+        );
+    }
+
+    #[test]
+    fn mkaction_parses_options() {
+        let cmd = parse(&[
+            "--meta",
+            "m:1",
+            "mkaction",
+            "/a",
+            "merge",
+            "--interleaved",
+            "--params",
+            "x=1;y=2",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::MkAction {
+                meta: "m:1".into(),
+                path: "/a".into(),
+                type_name: "merge".into(),
+                params: "x=1;y=2".into(),
+                interleaved: true,
+            }
+        );
+        assert!(parse(&["--meta", "m:1", "mkaction", "/a"]).is_err());
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(USAGE.contains("mkaction"));
+    }
+
+    #[test]
+    fn path_arity_is_enforced() {
+        assert!(parse(&["--meta", "m", "ls"]).is_err());
+        assert!(parse(&["--meta", "m", "ls", "/a", "/b"]).is_err());
+    }
+}

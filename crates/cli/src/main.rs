@@ -1,0 +1,167 @@
+//! The `glider` binary: executes parsed [`glider_cli::Command`]s.
+
+use bytes::Bytes;
+use glider_cli::{parse, Command, USAGE};
+use glider_core::{ActionSpec, ClientConfig, Cluster, ClusterConfig, GliderResult, StoreClient};
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let command = match parse(&arg_refs) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    match rt.block_on(run(command)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+async fn client(meta: &str) -> GliderResult<StoreClient> {
+    StoreClient::connect(ClientConfig::new(meta)).await
+}
+
+async fn run(command: Command) -> GliderResult<()> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Serve {
+            data,
+            active,
+            slots,
+            block_size,
+        } => {
+            let cluster = Cluster::start(
+                ClusterConfig::default()
+                    .with_data(data, 1024)
+                    .with_active(active, slots)
+                    .with_block_size(block_size),
+            )
+            .await?;
+            println!("glider cluster up");
+            println!("  metadata: {}", cluster.metadata_addr());
+            println!(
+                "  data servers: {}, active servers: {}, block size: {block_size}",
+                data, active
+            );
+            println!("press Ctrl-C to stop");
+            tokio::signal::ctrl_c().await.ok();
+            cluster.shutdown();
+            Ok(())
+        }
+        Command::Ls { meta, path } => {
+            let store = client(&meta).await?;
+            for name in store.list(&path).await? {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        Command::Stat { meta, path } => {
+            let store = client(&meta).await?;
+            let info = store.lookup(&path).await?;
+            println!("path:   {path}");
+            println!("kind:   {}", info.kind);
+            println!("size:   {}", info.size);
+            println!("blocks: {}", info.blocks.len());
+            if let Some(action) = &info.action {
+                println!(
+                    "action: {} (interleaved: {}, params: {:?})",
+                    action.type_name, action.interleaved, action.params
+                );
+            }
+            Ok(())
+        }
+        Command::Mkdir { meta, path } => {
+            let store = client(&meta).await?;
+            store.create_dir_all(&path).await
+        }
+        Command::Put { meta, path } => {
+            let store = client(&meta).await?;
+            let file = store.create_file(&path).await?;
+            let mut writer = file.output_stream().await?;
+            let mut stdin = std::io::stdin().lock();
+            let mut buf = vec![0u8; 256 * 1024];
+            loop {
+                let n = stdin.read(&mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                writer.write(Bytes::copy_from_slice(&buf[..n])).await?;
+            }
+            let total = writer.close().await?;
+            eprintln!("wrote {total} bytes to {path}");
+            Ok(())
+        }
+        Command::Get { meta, path } => {
+            let store = client(&meta).await?;
+            let file = store.lookup_file(&path).await?;
+            let mut reader = file.input_stream().await?;
+            let mut stdout = std::io::stdout().lock();
+            while let Some(chunk) = reader.next_chunk().await? {
+                stdout.write_all(&chunk)?;
+            }
+            stdout.flush()?;
+            Ok(())
+        }
+        Command::Rm { meta, path } => {
+            let store = client(&meta).await?;
+            store.delete(&path).await
+        }
+        Command::MkAction {
+            meta,
+            path,
+            type_name,
+            params,
+            interleaved,
+        } => {
+            let store = client(&meta).await?;
+            let spec = ActionSpec::new(type_name, interleaved).with_params(params);
+            store.create_action(&path, spec).await?;
+            eprintln!("created action at {path}");
+            Ok(())
+        }
+        Command::WriteAction { meta, path } => {
+            let store = client(&meta).await?;
+            let action = store.lookup_action(&path).await?;
+            let mut writer = action.output_stream().await?;
+            let mut stdin = std::io::stdin().lock();
+            let mut buf = vec![0u8; 256 * 1024];
+            loop {
+                let n = stdin.read(&mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                writer.write(Bytes::copy_from_slice(&buf[..n])).await?;
+            }
+            let total = writer.close().await?;
+            eprintln!("streamed {total} bytes into {path}");
+            Ok(())
+        }
+        Command::ReadAction { meta, path } => {
+            let store = client(&meta).await?;
+            let action = store.lookup_action(&path).await?;
+            let mut reader = action.input_stream().await?;
+            let mut stdout = std::io::stdout().lock();
+            while let Some(chunk) = reader.next_chunk().await? {
+                stdout.write_all(&chunk)?;
+            }
+            stdout.flush()?;
+            reader.close().await
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end smoke test of the `glider` binary: a served cluster driven
+//! entirely through the CLI.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct Server {
+    child: Child,
+    meta: String,
+    // Keeps the child's stdout pipe open: dropping it would make the
+    // server's own println! fail once the pipe closes.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn start_server() -> Server {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_glider"))
+        .args(["serve", "--block-size", "64KiB"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn glider serve");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut meta = None;
+    // Read through the whole startup banner (ending with the Ctrl-C
+    // line) so the server is past all of its own stdout writes.
+    loop {
+        let mut line = String::new();
+        let n = std::io::BufRead::read_line(&mut reader, &mut line).expect("read serve output");
+        assert!(n > 0, "serve exited before banner completed");
+        if let Some(addr) = line.trim().strip_prefix("metadata: ") {
+            meta = Some(addr.to_string());
+        }
+        if line.contains("Ctrl-C") {
+            break;
+        }
+    }
+    Server {
+        child,
+        meta: meta.expect("metadata address printed"),
+        _stdout: reader,
+    }
+}
+
+fn glider(meta: &str, args: &[&str], stdin: Option<&[u8]>) -> (bool, Vec<u8>) {
+    let (ok, out, err) = glider_full(meta, args, stdin);
+    if !ok {
+        eprintln!("glider {args:?} stderr: {}", String::from_utf8_lossy(&err));
+    }
+    (ok, out)
+}
+
+fn glider_full(meta: &str, args: &[&str], stdin: Option<&[u8]>) -> (bool, Vec<u8>, Vec<u8>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_glider"));
+    cmd.arg("--meta").arg(meta).args(args);
+    cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+    cmd.stdin(if stdin.is_some() {
+        Stdio::piped()
+    } else {
+        Stdio::null()
+    });
+    let mut child = cmd.spawn().expect("spawn glider");
+    if let Some(data) = stdin {
+        child
+            .stdin
+            .take()
+            .expect("stdin")
+            .write_all(data)
+            .expect("feed stdin");
+    }
+    let out = child.wait_with_output().expect("wait glider");
+    (out.status.success(), out.stdout, out.stderr)
+}
+
+#[test]
+fn cli_round_trip_files_and_actions() {
+    let server = start_server();
+    // The server may need a beat to finish bringing up storage servers.
+    std::thread::sleep(Duration::from_millis(200));
+    let meta = server.meta.clone();
+
+    // mkdir + put + get + ls + stat
+    let (ok, _) = glider(&meta, &["mkdir", "/cli/demo"], None);
+    assert!(ok, "mkdir failed");
+    let payload = b"hello from the glider cli\n";
+    let (ok, _) = glider(&meta, &["put", "/cli/demo/file"], Some(payload));
+    assert!(ok, "put failed");
+    let (ok, out) = glider(&meta, &["get", "/cli/demo/file"], None);
+    assert!(ok, "get failed");
+    assert_eq!(out, payload);
+    let (ok, out) = glider(&meta, &["ls", "/cli/demo"], None);
+    assert!(ok, "ls failed");
+    assert_eq!(String::from_utf8_lossy(&out).trim(), "file");
+    let (ok, out) = glider(&meta, &["stat", "/cli/demo/file"], None);
+    assert!(ok, "stat failed");
+    let stat = String::from_utf8_lossy(&out);
+    assert!(stat.contains("kind:   file"), "{stat}");
+    assert!(stat.contains(&format!("size:   {}", payload.len())), "{stat}");
+
+    // Actions through the CLI: a merge aggregation.
+    let (ok, _) = glider(
+        &meta,
+        &["mkaction", "/cli/merge", "merge", "--interleaved"],
+        None,
+    );
+    assert!(ok, "mkaction failed");
+    let (ok, _) = glider(&meta, &["write-action", "/cli/merge"], Some(b"1,2\n1,3\n"));
+    assert!(ok, "write-action failed");
+    let (ok, out) = glider(&meta, &["read-action", "/cli/merge"], None);
+    assert!(ok, "read-action failed");
+    assert_eq!(String::from_utf8_lossy(&out), "1,5\n");
+
+    // rm removes the subtree.
+    let (ok, _) = glider(&meta, &["rm", "/cli"], None);
+    assert!(ok, "rm failed");
+    let (ok, _) = glider(&meta, &["stat", "/cli/demo/file"], None);
+    assert!(!ok, "stat after rm should fail");
+}
+
+#[test]
+fn cli_reports_usage_errors() {
+    let out = Command::new(env!("CARGO_BIN_EXE_glider"))
+        .arg("frobnicate")
+        .output()
+        .expect("run glider");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_glider"))
+        .arg("help")
+        .output()
+        .expect("run glider");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("mkaction"));
+}

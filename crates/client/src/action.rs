@@ -1,0 +1,386 @@
+//! Action node proxy and its streams (paper Table 1, *Action Node*).
+
+use crate::client::StoreClient;
+use bytes::Bytes;
+use futures::future::BoxFuture;
+use futures::stream::{FuturesOrdered, StreamExt};
+use glider_metrics::AccessKind;
+use glider_proto::message::{RequestBody, ResponseBody};
+use glider_proto::types::{NodeId, NodeInfo, StreamDir, StreamId};
+use glider_proto::{GliderError, GliderResult};
+use std::collections::BTreeMap;
+
+/// Proxy to an `Action` node.
+///
+/// Reading or writing an action opens an I/O stream whose other end is a
+/// method of the action object (`on_read`/`on_write`) executing on the
+/// active server — this is how data "glides" through near-data operators
+/// instead of bouncing through the compute tier.
+///
+/// # Examples
+///
+/// ```no_run
+/// # async fn demo(store: glider_client::StoreClient) -> glider_proto::GliderResult<()> {
+/// use glider_proto::types::ActionSpec;
+///
+/// let action = store
+///     .create_action("/job/merge-0", ActionSpec::new("merge", true))
+///     .await?;
+/// let mut w = action.output_stream().await?;
+/// w.write(bytes::Bytes::from_static(b"42,1\n")).await?;
+/// w.close().await?;
+/// let result = action.read_all().await?;
+/// assert_eq!(&result, b"42,1\n");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActionNode {
+    store: StoreClient,
+    path: String,
+    info: NodeInfo,
+}
+
+impl ActionNode {
+    pub(crate) fn new(store: StoreClient, path: String, info: NodeInfo) -> Self {
+        ActionNode { store, path, info }
+    }
+
+    /// The node's namespace path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The node id.
+    pub fn node_id(&self) -> NodeId {
+        self.info.id
+    }
+
+    async fn open(&self, dir: StreamDir) -> GliderResult<(glider_net::rpc::RpcClient, StreamId)> {
+        let slot = self.info.single_block()?;
+        let conn = self.store.data_conn(&slot.loc.addr).await?;
+        match conn
+            .call(RequestBody::StreamOpen {
+                node_id: self.info.id,
+                dir,
+            })
+            .await?
+        {
+            ResponseBody::StreamOpened { stream_id } => Ok((conn, stream_id)),
+            other => Err(GliderError::protocol(format!(
+                "expected stream-opened response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Opens a write stream; the action's `on_write` consumes it.
+    ///
+    /// Counts one `action-write` storage access.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the action object does not exist on the active server.
+    pub async fn output_stream(&self) -> GliderResult<ActionWriter> {
+        self.store.count_access(AccessKind::ActionWrite);
+        let (conn, stream_id) = self.open(StreamDir::Write).await?;
+        Ok(ActionWriter {
+            store: self.store.clone(),
+            conn,
+            stream_id,
+            next_seq: 0,
+            pending: FuturesOrdered::new(),
+            total: 0,
+        })
+    }
+
+    /// Opens a read stream; the action's `on_read` produces it.
+    ///
+    /// Counts one `action-read` storage access.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the action object does not exist on the active server.
+    pub async fn input_stream(&self) -> GliderResult<ActionReader> {
+        self.store.count_access(AccessKind::ActionRead);
+        let (conn, stream_id) = self.open(StreamDir::Read).await?;
+        Ok(ActionReader {
+            store: self.store.clone(),
+            conn,
+            stream_id,
+            pending: FuturesOrdered::new(),
+            reorder: BTreeMap::new(),
+            expected: 0,
+            eof_at: None,
+            total: 0,
+        })
+    }
+
+    /// Convenience: writes `data` through one stream, with close barrier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors, including the action's `on_write` error.
+    pub async fn write_all(&self, data: Bytes) -> GliderResult<u64> {
+        let mut w = self.output_stream().await?;
+        w.write(data).await?;
+        w.close().await
+    }
+
+    /// Convenience: drains one read stream into memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors, including the action's `on_read` error.
+    pub async fn read_all(&self) -> GliderResult<Vec<u8>> {
+        let mut r = self.input_stream().await?;
+        let data = r.read_to_end().await?;
+        r.close().await?;
+        Ok(data)
+    }
+
+    /// Removes the action *object* (running `on_delete`) while keeping the
+    /// node, matching the paper's `delete` proxy primitive used to clear
+    /// state or swap the definition. Deleting the node itself
+    /// ([`StoreClient::delete`]) finalizes the object too.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the object does not exist.
+    pub async fn delete_object(&self) -> GliderResult<()> {
+        let slot = self.info.single_block()?;
+        let conn = self.store.data_conn(&slot.loc.addr).await?;
+        conn.call_ok(RequestBody::ActionDelete {
+            node_id: self.info.id,
+        })
+        .await
+    }
+
+    /// Re-instantiates an action object into this node (after
+    /// [`ActionNode::delete_object`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when an object is still present or the type is unknown.
+    pub async fn create_object(&self, spec: glider_proto::types::ActionSpec) -> GliderResult<()> {
+        let slot = self.info.single_block()?;
+        let conn = self.store.data_conn(&slot.loc.addr).await?;
+        conn.call_ok(RequestBody::ActionCreate {
+            node_id: self.info.id,
+            block_id: slot.loc.block_id,
+            spec,
+        })
+        .await
+    }
+}
+
+/// Windowed write stream to an action.
+pub struct ActionWriter {
+    store: StoreClient,
+    conn: glider_net::rpc::RpcClient,
+    stream_id: StreamId,
+    next_seq: u64,
+    pending: FuturesOrdered<BoxFuture<'static, GliderResult<()>>>,
+    total: u64,
+}
+
+impl ActionWriter {
+    /// Sends `data`, split into chunk-size stream operations, keeping up
+    /// to the configured window in flight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and action-side stream closure.
+    pub async fn write(&mut self, mut data: Bytes) -> GliderResult<()> {
+        let chunk_size = self.store.config().chunk_size.as_usize();
+        let window = self.store.config().window;
+        while !data.is_empty() {
+            let n = data.len().min(chunk_size);
+            let piece = data.split_to(n);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.total += n as u64;
+            let conn = self.conn.clone();
+            let stream_id = self.stream_id;
+            self.pending.push_back(Box::pin(async move {
+                conn.call_ok(RequestBody::StreamChunk {
+                    stream_id,
+                    seq,
+                    data: piece,
+                })
+                .await
+            }));
+            while self.pending.len() >= window {
+                self.pending
+                    .next()
+                    .await
+                    .expect("pending non-empty by loop guard")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends a byte slice (copied).
+    ///
+    /// # Errors
+    ///
+    /// See [`ActionWriter::write`].
+    pub async fn write_all(&mut self, data: &[u8]) -> GliderResult<()> {
+        self.write(Bytes::copy_from_slice(data)).await
+    }
+
+    /// Closes the stream: waits for every chunk to be accepted, then
+    /// signals end-of-input and waits for the action's `on_write` to
+    /// finish (the paper's close-ends-the-method semantics — a successful
+    /// close is a write barrier). Returns the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the action's `on_write` error, if any.
+    pub async fn close(mut self) -> GliderResult<u64> {
+        while let Some(ack) = self.pending.next().await {
+            ack?;
+        }
+        self.conn
+            .call_ok(RequestBody::StreamClose {
+                stream_id: self.stream_id,
+            })
+            .await?;
+        Ok(self.total)
+    }
+
+    /// Bytes accepted so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.total
+    }
+}
+
+impl std::fmt::Debug for ActionWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActionWriter")
+            .field("stream_id", &self.stream_id)
+            .field("total", &self.total)
+            .field("in_flight", &self.pending.len())
+            .finish()
+    }
+}
+
+/// Windowed read stream from an action.
+///
+/// Keeps several `StreamFetch` operations in flight and reassembles the
+/// responses by the server-assigned sequence number, so bandwidth does not
+/// collapse to one round trip per chunk.
+pub struct ActionReader {
+    store: StoreClient,
+    conn: glider_net::rpc::RpcClient,
+    stream_id: StreamId,
+    pending: FuturesOrdered<BoxFuture<'static, GliderResult<(u64, Bytes, bool)>>>,
+    reorder: BTreeMap<u64, Bytes>,
+    expected: u64,
+    eof_at: Option<u64>,
+    total: u64,
+}
+
+impl ActionReader {
+    fn fill_window(&mut self) {
+        if self.eof_at.is_some() {
+            return;
+        }
+        let window = self.store.config().window;
+        let max_len = self.store.config().chunk_size.as_u64();
+        while self.pending.len() < window {
+            let conn = self.conn.clone();
+            let stream_id = self.stream_id;
+            self.pending.push_back(Box::pin(async move {
+                match conn
+                    .call(RequestBody::StreamFetch { stream_id, max_len })
+                    .await?
+                {
+                    ResponseBody::Data { seq, bytes, eof } => Ok((seq, bytes, eof)),
+                    other => Err(GliderError::protocol(format!(
+                        "expected data response, got {other:?}"
+                    ))),
+                }
+            }));
+        }
+    }
+
+    /// Returns the next chunk in stream order, or `None` once the action's
+    /// `on_read` has finished and all data was delivered.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the action's `on_read` error.
+    pub async fn next_chunk(&mut self) -> GliderResult<Option<Bytes>> {
+        loop {
+            if let Some(bytes) = self.reorder.remove(&self.expected) {
+                self.expected += 1;
+                self.total += bytes.len() as u64;
+                return Ok(Some(bytes));
+            }
+            if let Some(eof) = self.eof_at {
+                if self.expected >= eof && self.reorder.is_empty() {
+                    // Drain fetches that raced with EOF.
+                    while let Some(extra) = self.pending.next().await {
+                        extra?;
+                    }
+                    return Ok(None);
+                }
+            }
+            self.fill_window();
+            match self.pending.next().await {
+                Some(result) => {
+                    let (seq, bytes, eof) = result?;
+                    if eof {
+                        self.eof_at = Some(seq);
+                    } else {
+                        self.reorder.insert(seq, bytes);
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Drains the stream into memory.
+    ///
+    /// # Errors
+    ///
+    /// See [`ActionReader::next_chunk`].
+    pub async fn read_to_end(&mut self) -> GliderResult<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(chunk) = self.next_chunk().await? {
+            out.extend_from_slice(&chunk);
+        }
+        Ok(out)
+    }
+
+    /// Closes the stream on the server (cancelling the producer if it is
+    /// still running).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub async fn close(self) -> GliderResult<()> {
+        self.conn
+            .call_ok(RequestBody::StreamClose {
+                stream_id: self.stream_id,
+            })
+            .await
+    }
+
+    /// Bytes delivered so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.total
+    }
+}
+
+impl std::fmt::Debug for ActionReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActionReader")
+            .field("stream_id", &self.stream_id)
+            .field("total", &self.total)
+            .field("expected", &self.expected)
+            .field("eof_at", &self.eof_at)
+            .finish()
+    }
+}

@@ -1,0 +1,487 @@
+//! The [`StoreClient`]: namespace operations and connection pooling.
+
+use crate::action::ActionNode;
+use crate::config::ClientConfig;
+use crate::file::FileNode;
+use crate::kv::KeyValueNode;
+use glider_metrics::AccessKind;
+use glider_net::rpc::RpcClient;
+use glider_proto::message::{RequestBody, ResponseBody};
+use glider_proto::types::{ActionSpec, NodeInfo, NodeKind, PeerTier, StorageClass};
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The top-level client object (paper Table 1, *StoreClient*): connects to
+/// a namespace and creates, looks up, and deletes data nodes by path.
+///
+/// Cloning is cheap; clones share the metadata connection and the
+/// data-server connection pool.
+///
+/// # Examples
+///
+/// ```no_run
+/// # async fn demo() -> glider_proto::GliderResult<()> {
+/// use glider_client::{ClientConfig, StoreClient};
+///
+/// let store = StoreClient::connect(ClientConfig::new("127.0.0.1:9000")).await?;
+/// store.create_dir("/job").await?;
+/// let file = store.create_file("/job/part-0").await?;
+/// let mut w = file.output_stream().await?;
+/// w.write(bytes::Bytes::from_static(b"hello")).await?;
+/// w.close().await?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct StoreClient {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    /// One metadata connection per namespace partition (exactly one when
+    /// unpartitioned).
+    metas: Vec<RpcClient>,
+    config: ClientConfig,
+    pool: Mutex<HashMap<String, RpcClient>>,
+}
+
+/// Deterministic FNV-1a over the first path component, shared by every
+/// client so they agree on partition placement.
+fn partition_of(path: &str, partitions: usize) -> usize {
+    if partitions <= 1 {
+        return 0;
+    }
+    let first = path.trim_start_matches('/').split('/').next().unwrap_or("");
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in first.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    (hash % partitions as u64) as usize
+}
+
+impl StoreClient {
+    /// Connects to the namespace's metadata server.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the metadata server is unreachable.
+    pub async fn connect(config: ClientConfig) -> GliderResult<Self> {
+        let addrs: Vec<String> = if config.metadata_partitions.is_empty() {
+            vec![config.metadata_addr.clone()]
+        } else {
+            config.metadata_partitions.clone()
+        };
+        let mut metas = Vec::with_capacity(addrs.len());
+        for addr in &addrs {
+            metas.push(RpcClient::connect(addr, config.tier, None).await?);
+        }
+        Ok(StoreClient {
+            inner: Arc::new(Inner {
+                metas,
+                config,
+                pool: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// Number of metadata partitions this client routes across.
+    pub fn partition_count(&self) -> usize {
+        self.inner.metas.len()
+    }
+
+    /// The client configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.inner.config
+    }
+
+    /// Counts one storage access when this is a compute-tier client with
+    /// metrics attached (the paper counts accesses between application
+    /// workers and storage; intra-storage traffic is free).
+    pub(crate) fn count_access(&self, kind: AccessKind) {
+        if self.inner.config.tier == PeerTier::Compute {
+            if let Some(m) = &self.inner.config.metrics {
+                m.record_access(kind);
+            }
+        }
+    }
+
+    /// Issues a metadata RPC against the partition owning `path`,
+    /// counting the access.
+    pub(crate) async fn meta_call(
+        &self,
+        path: &str,
+        body: RequestBody,
+    ) -> GliderResult<ResponseBody> {
+        self.count_access(AccessKind::Metadata);
+        let idx = partition_of(path, self.inner.metas.len());
+        self.inner.metas[idx].call(body).await
+    }
+
+    /// Returns (or establishes) the pooled data-plane connection to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if dialing fails.
+    pub(crate) async fn data_conn(&self, addr: &str) -> GliderResult<RpcClient> {
+        if let Some(conn) = self.inner.pool.lock().get(addr) {
+            return Ok(conn.clone());
+        }
+        let conn = RpcClient::connect(
+            addr,
+            self.inner.config.tier,
+            self.inner.config.throttle.clone(),
+        )
+        .await?;
+        // Racing connects may both dial; last insert wins, both work.
+        self.inner.pool.lock().insert(addr.to_string(), conn.clone());
+        Ok(conn)
+    }
+
+    fn expect_node(resp: ResponseBody) -> GliderResult<NodeInfo> {
+        match resp {
+            ResponseBody::Node(info) => Ok(info),
+            other => Err(GliderError::protocol(format!(
+                "expected node response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Creates a node of `kind` at `path` with an optional storage class.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata-server errors (missing parent, duplicate path,
+    /// exhausted capacity, ...).
+    pub async fn create_node(
+        &self,
+        path: &str,
+        kind: NodeKind,
+        storage_class: Option<StorageClass>,
+    ) -> GliderResult<NodeInfo> {
+        let resp = self
+            .meta_call(
+                path,
+                RequestBody::CreateNode {
+                    path: path.to_string(),
+                    kind,
+                    storage_class,
+                    action: None,
+                },
+            )
+            .await?;
+        Self::expect_node(resp)
+    }
+
+    /// Creates a file node and returns its proxy.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreClient::create_node`].
+    pub async fn create_file(&self, path: &str) -> GliderResult<FileNode> {
+        let info = self.create_node(path, NodeKind::File, None).await?;
+        Ok(FileNode::new(self.clone(), path.to_string(), info))
+    }
+
+    /// Creates a file node in a specific storage class.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreClient::create_node`].
+    pub async fn create_file_in_class(
+        &self,
+        path: &str,
+        class: StorageClass,
+    ) -> GliderResult<FileNode> {
+        let info = self.create_node(path, NodeKind::File, Some(class)).await?;
+        Ok(FileNode::new(self.clone(), path.to_string(), info))
+    }
+
+    /// Creates a bag node (unordered multi-writer append) and returns a
+    /// file-style proxy (bags share the file stream interface).
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreClient::create_node`].
+    pub async fn create_bag(&self, path: &str) -> GliderResult<FileNode> {
+        let info = self.create_node(path, NodeKind::Bag, None).await?;
+        Ok(FileNode::new(self.clone(), path.to_string(), info))
+    }
+
+    /// Creates a key-value node and returns its proxy.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreClient::create_node`].
+    pub async fn create_kv(&self, path: &str) -> GliderResult<KeyValueNode> {
+        let info = self.create_node(path, NodeKind::KeyValue, None).await?;
+        Ok(KeyValueNode::new(self.clone(), path.to_string(), info))
+    }
+
+    /// Creates a directory node.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreClient::create_node`].
+    pub async fn create_dir(&self, path: &str) -> GliderResult<()> {
+        self.create_node(path, NodeKind::Directory, None).await?;
+        Ok(())
+    }
+
+    /// Creates a table node (a container of key-value nodes).
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreClient::create_node`].
+    pub async fn create_table(&self, path: &str) -> GliderResult<()> {
+        self.create_node(path, NodeKind::Table, None).await?;
+        Ok(())
+    }
+
+    /// Creates a directory and all missing ancestors (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected metadata errors.
+    pub async fn create_dir_all(&self, path: &str) -> GliderResult<()> {
+        let mut prefix = String::new();
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            prefix.push('/');
+            prefix.push_str(comp);
+            match self.create_dir(&prefix).await {
+                Ok(()) => {}
+                Err(e) if e.code() == ErrorCode::AlreadyExists => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates an action node, instantiates its object on the active
+    /// server (running `on_create`), and returns the proxy.
+    ///
+    /// This performs the paper's two-step flow behind one call: the
+    /// metadata server reserves the slot, then the client issues
+    /// `ActionCreate` on the owning active server.
+    ///
+    /// # Errors
+    ///
+    /// Rolls the node back and returns the error if instantiation fails
+    /// (unknown type, failing `on_create`).
+    pub async fn create_action(&self, path: &str, spec: ActionSpec) -> GliderResult<ActionNode> {
+        let resp = self
+            .meta_call(
+                path,
+                RequestBody::CreateNode {
+                    path: path.to_string(),
+                    kind: NodeKind::Action,
+                    storage_class: None,
+                    action: Some(spec.clone()),
+                },
+            )
+            .await?;
+        let info = Self::expect_node(resp)?;
+        let slot = info.single_block()?.clone();
+        let conn = self.data_conn(&slot.loc.addr).await?;
+        let created = conn
+            .call_ok(RequestBody::ActionCreate {
+                node_id: info.id,
+                block_id: slot.loc.block_id,
+                spec,
+            })
+            .await;
+        if let Err(e) = created {
+            // Roll back the namespace entry; ignore secondary failures.
+            let _ = self
+                .meta_call(
+                    path,
+                    RequestBody::DeleteNode {
+                        path: path.to_string(),
+                    },
+                )
+                .await;
+            return Err(e);
+        }
+        Ok(ActionNode::new(self.clone(), path.to_string(), info))
+    }
+
+    /// Looks up any node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] for unknown paths.
+    pub async fn lookup(&self, path: &str) -> GliderResult<NodeInfo> {
+        let resp = self
+            .meta_call(
+                path,
+                RequestBody::LookupNode {
+                    path: path.to_string(),
+                },
+            )
+            .await?;
+        Self::expect_node(resp)
+    }
+
+    /// Looks up a file or bag node and returns its proxy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::WrongNodeKind`] for other node kinds.
+    pub async fn lookup_file(&self, path: &str) -> GliderResult<FileNode> {
+        let info = self.lookup(path).await?;
+        if !matches!(info.kind, NodeKind::File | NodeKind::Bag) {
+            return Err(GliderError::new(
+                ErrorCode::WrongNodeKind,
+                format!("{path} is a {} node, not a file/bag", info.kind),
+            ));
+        }
+        Ok(FileNode::new(self.clone(), path.to_string(), info))
+    }
+
+    /// Looks up an action node and returns its proxy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::WrongNodeKind`] for other node kinds.
+    pub async fn lookup_action(&self, path: &str) -> GliderResult<ActionNode> {
+        let info = self.lookup(path).await?;
+        if info.kind != NodeKind::Action {
+            return Err(GliderError::new(
+                ErrorCode::WrongNodeKind,
+                format!("{path} is a {} node, not an action", info.kind),
+            ));
+        }
+        Ok(ActionNode::new(self.clone(), path.to_string(), info))
+    }
+
+    /// Looks up a key-value node and returns its proxy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::WrongNodeKind`] for other node kinds.
+    pub async fn lookup_kv(&self, path: &str) -> GliderResult<KeyValueNode> {
+        let info = self.lookup(path).await?;
+        if info.kind != NodeKind::KeyValue {
+            return Err(GliderError::new(
+                ErrorCode::WrongNodeKind,
+                format!("{path} is a {} node, not a key-value", info.kind),
+            ));
+        }
+        Ok(KeyValueNode::new(self.clone(), path.to_string(), info))
+    }
+
+    /// Lists child names of a container node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata errors.
+    pub async fn list(&self, path: &str) -> GliderResult<Vec<String>> {
+        // Listing the root of a partitioned namespace merges the roots
+        // of every partition.
+        if path.trim_end_matches('/').is_empty() && self.inner.metas.len() > 1 {
+            let mut merged = Vec::new();
+            for meta in &self.inner.metas {
+                self.count_access(AccessKind::Metadata);
+                match meta
+                    .call(RequestBody::ListChildren {
+                        path: "/".to_string(),
+                    })
+                    .await?
+                {
+                    ResponseBody::Children(names) => merged.extend(names),
+                    other => {
+                        return Err(GliderError::protocol(format!(
+                            "expected children response, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            merged.sort();
+            return Ok(merged);
+        }
+        match self
+            .meta_call(
+                path,
+                RequestBody::ListChildren {
+                    path: path.to_string(),
+                },
+            )
+            .await?
+        {
+            ResponseBody::Children(names) => Ok(names),
+            other => Err(GliderError::protocol(format!(
+                "expected children response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Deletes the node at `path` (recursively), releasing its blocks on
+    /// data servers and finalizing its actions (`on_delete`) on active
+    /// servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] for unknown paths; storage-side
+    /// release failures are surfaced after the namespace entry is gone.
+    pub async fn delete(&self, path: &str) -> GliderResult<()> {
+        let resp = self
+            .meta_call(
+                path,
+                RequestBody::DeleteNode {
+                    path: path.to_string(),
+                },
+            )
+            .await?;
+        let (extents, actions) = match resp {
+            ResponseBody::Deleted {
+                extents, actions, ..
+            } => (extents, actions),
+            other => {
+                return Err(GliderError::protocol(format!(
+                    "expected deleted response, got {other:?}"
+                )))
+            }
+        };
+        // Group data blocks per owning server and free them.
+        let mut per_server: HashMap<String, Vec<glider_proto::types::BlockId>> = HashMap::new();
+        for extent in extents {
+            per_server
+                .entry(extent.loc.addr.clone())
+                .or_default()
+                .push(extent.loc.block_id);
+        }
+        for (addr, block_ids) in per_server {
+            let conn = self.data_conn(&addr).await?;
+            conn.call_ok(RequestBody::FreeBlocks { block_ids }).await?;
+        }
+        // Finalize removed action objects.
+        for action in actions {
+            let slot = action.single_block()?;
+            let conn = self.data_conn(&slot.loc.addr).await?;
+            match conn
+                .call_ok(RequestBody::ActionDelete {
+                    node_id: action.id,
+                })
+                .await
+            {
+                Ok(()) => {}
+                // The object may already be gone (e.g. create rollback).
+                Err(e) if e.code() == ErrorCode::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for StoreClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreClient")
+            .field("metadata_addr", &self.inner.config.metadata_addr)
+            .field("tier", &self.inner.config.tier)
+            .field("pooled_conns", &self.inner.pool.lock().len())
+            .finish()
+    }
+}

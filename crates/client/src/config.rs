@@ -1,0 +1,162 @@
+//! Client configuration.
+
+use glider_metrics::MetricsRegistry;
+use glider_proto::types::PeerTier;
+use glider_util::{ByteSize, TokenBucket};
+use std::sync::Arc;
+
+/// Configuration for a [`crate::StoreClient`].
+///
+/// # Examples
+///
+/// ```
+/// use glider_client::ClientConfig;
+///
+/// let cfg = ClientConfig::new("127.0.0.1:9000")
+///     .with_chunk_size(glider_util::ByteSize::kib(256))
+///     .with_window(8);
+/// assert_eq!(cfg.window, 8);
+/// ```
+#[derive(Clone)]
+pub struct ClientConfig {
+    /// Address of the metadata server (the only partition unless
+    /// [`ClientConfig::metadata_partitions`] is set).
+    pub metadata_addr: String,
+    /// Addresses of ALL metadata partitions when the namespace is
+    /// partitioned across several metadata servers (paper §4.1 footnote:
+    /// "metadata servers may distribute their work by partitioning the
+    /// namespaces"). Paths route to a partition by the hash of their
+    /// first component, so whole subtrees stay on one partition. Empty =
+    /// unpartitioned (`metadata_addr` only).
+    pub metadata_partitions: Vec<String>,
+    /// The tier this client belongs to (workers: `Compute`; actions and
+    /// servers: `Storage`).
+    pub tier: PeerTier,
+    /// Chunk size for stream data operations.
+    pub chunk_size: ByteSize,
+    /// Block size used by the cluster's storage servers (the client plans
+    /// block-aligned writes with it; servers still validate).
+    pub block_size: ByteSize,
+    /// Number of data operations kept in flight per stream (1 = the
+    /// paper's direct streams; >1 = buffered streams).
+    pub window: usize,
+    /// Optional bandwidth throttle applied to this client's bulk payloads
+    /// (models FaaS network limits).
+    pub throttle: Option<Arc<TokenBucket>>,
+    /// Registry receiving storage-access counts (typically the cluster's).
+    pub metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl ClientConfig {
+    /// A compute-tier client with the workspace defaults: 256 KiB chunks,
+    /// 1 MiB blocks, window of 8.
+    pub fn new(metadata_addr: impl Into<String>) -> Self {
+        ClientConfig {
+            metadata_addr: metadata_addr.into(),
+            metadata_partitions: Vec::new(),
+            tier: PeerTier::Compute,
+            chunk_size: ByteSize::kib(256),
+            block_size: ByteSize::mib(1),
+            window: 8,
+            throttle: None,
+            metrics: None,
+        }
+    }
+
+    /// Routes paths across partitioned metadata servers.
+    #[must_use]
+    pub fn with_metadata_partitions(mut self, addrs: Vec<String>) -> Self {
+        if let Some(first) = addrs.first() {
+            self.metadata_addr = first.clone();
+        }
+        self.metadata_partitions = addrs;
+        self
+    }
+
+    /// Marks this client as part of the storage tier (actions, servers).
+    #[must_use]
+    pub fn intra_storage(mut self) -> Self {
+        self.tier = PeerTier::Storage;
+        self.throttle = None;
+        self
+    }
+
+    /// Sets the stream chunk size.
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk: ByteSize) -> Self {
+        self.chunk_size = chunk;
+        self
+    }
+
+    /// Sets the cluster block size the client plans against.
+    #[must_use]
+    pub fn with_block_size(mut self, block: ByteSize) -> Self {
+        self.block_size = block;
+        self
+    }
+
+    /// Sets the per-stream operation window (minimum 1).
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Applies a bandwidth throttle (bytes/s with 1 s of burst).
+    #[must_use]
+    pub fn with_bandwidth_limit(mut self, bytes_per_sec: u64) -> Self {
+        self.throttle = Some(Arc::new(TokenBucket::new(bytes_per_sec, bytes_per_sec)));
+        self
+    }
+
+    /// Attaches the metrics registry for access counting.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+}
+
+impl std::fmt::Debug for ClientConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientConfig")
+            .field("metadata_addr", &self.metadata_addr)
+            .field("tier", &self.tier)
+            .field("chunk_size", &self.chunk_size)
+            .field("block_size", &self.block_size)
+            .field("window", &self.window)
+            .field("throttled", &self.throttle.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cfg = ClientConfig::new("addr");
+        assert_eq!(cfg.tier, PeerTier::Compute);
+        assert_eq!(cfg.chunk_size, ByteSize::kib(256));
+        assert_eq!(cfg.block_size, ByteSize::mib(1));
+        assert!(cfg.window >= 1);
+        assert!(cfg.throttle.is_none());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = ClientConfig::new("a")
+            .intra_storage()
+            .with_window(0)
+            .with_chunk_size(ByteSize::kib(64))
+            .with_block_size(ByteSize::mib(4))
+            .with_bandwidth_limit(1024);
+        assert_eq!(cfg.tier, PeerTier::Storage);
+        assert_eq!(cfg.window, 1, "window clamps to 1");
+        assert_eq!(cfg.chunk_size, ByteSize::kib(64));
+        // intra_storage clears throttle only if set before; set after wins.
+        assert!(cfg.throttle.is_some());
+        assert!(format!("{cfg:?}").contains("throttled: true"));
+    }
+}

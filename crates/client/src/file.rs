@@ -1,0 +1,414 @@
+//! File/bag node proxies and their streams.
+
+use crate::client::StoreClient;
+use bytes::Bytes;
+use futures::future::BoxFuture;
+use futures::stream::{FuturesOrdered, StreamExt};
+use glider_metrics::AccessKind;
+use glider_proto::message::{RequestBody, ResponseBody};
+use glider_proto::types::{BlockExtent, NodeId, NodeInfo};
+use glider_proto::{GliderError, GliderResult};
+
+/// Proxy to a `File` or `Bag` node.
+///
+/// Files are byte streams over a chain of blocks. Bags share this proxy:
+/// each concurrent writer grows its own sub-chain, and readers observe the
+/// concatenation — the unordered multi-writer append semantics of
+/// NodeKernel's `Bag` type.
+#[derive(Debug, Clone)]
+pub struct FileNode {
+    store: StoreClient,
+    path: String,
+    info: NodeInfo,
+}
+
+impl FileNode {
+    pub(crate) fn new(store: StoreClient, path: String, info: NodeInfo) -> Self {
+        FileNode { store, path, info }
+    }
+
+    /// The node's namespace path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The node id.
+    pub fn node_id(&self) -> NodeId {
+        self.info.id
+    }
+
+    /// The node's size as of the last lookup.
+    pub fn size(&self) -> u64 {
+        self.info.size
+    }
+
+    /// Re-reads the node's metadata (size and block chain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`glider_proto::ErrorCode::NotFound`] if deleted meanwhile.
+    pub async fn refresh(&mut self) -> GliderResult<()> {
+        self.info = self.store.lookup(&self.path).await?;
+        Ok(())
+    }
+
+    /// Opens a (windowed) write stream appending to this node.
+    ///
+    /// Counts one `file-write` storage access.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; kept fallible for parity with reads.
+    pub async fn output_stream(&self) -> GliderResult<FileWriter> {
+        self.store.count_access(AccessKind::FileWrite);
+        Ok(FileWriter::new(
+            self.store.clone(),
+            self.path.clone(),
+            self.info.id,
+        ))
+    }
+
+    /// Opens a (windowed) read stream over the whole node.
+    ///
+    /// Counts one `file-read` storage access.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node vanished.
+    pub async fn input_stream(&self) -> GliderResult<FileReader> {
+        self.input_range(0, u64::MAX).await
+    }
+
+    /// Opens a read stream over `[offset, offset+len)` of the node
+    /// (clamped to the node size). Range reads power near-data operators
+    /// that shuffle slices of intermediate files.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node vanished.
+    pub async fn input_range(&self, offset: u64, len: u64) -> GliderResult<FileReader> {
+        self.store.count_access(AccessKind::FileRead);
+        let info = self.store.lookup(&self.path).await?;
+        Ok(FileReader::new(self.store.clone(), &info, offset, len))
+    }
+
+    /// Convenience: writes `data` in one stream and closes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    pub async fn write_all(&self, data: Bytes) -> GliderResult<u64> {
+        let mut w = self.output_stream().await?;
+        w.write(data).await?;
+        w.close().await
+    }
+
+    /// Convenience: reads the whole node into memory (small files only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    pub async fn read_all(&self) -> GliderResult<Vec<u8>> {
+        let mut r = self.input_stream().await?;
+        r.read_to_end().await
+    }
+}
+
+struct CurrentBlock {
+    extent: BlockExtent,
+    written: u64,
+}
+
+/// Windowed, block-aware write stream for file/bag nodes.
+///
+/// The writer splits data into chunks, asks the metadata server for a new
+/// block whenever the current one fills, keeps up to `window` write
+/// operations in flight, and commits block lengths eagerly (filled blocks)
+/// and on [`FileWriter::close`] (the final partial block).
+pub struct FileWriter {
+    store: StoreClient,
+    path: String,
+    node_id: NodeId,
+    cur: Option<CurrentBlock>,
+    pending: FuturesOrdered<BoxFuture<'static, GliderResult<()>>>,
+    total: u64,
+}
+
+impl FileWriter {
+    fn new(store: StoreClient, path: String, node_id: NodeId) -> Self {
+        FileWriter {
+            store,
+            path,
+            node_id,
+            cur: None,
+            pending: FuturesOrdered::new(),
+            total: 0,
+        }
+    }
+
+    async fn reap_to(&mut self, max_pending: usize) -> GliderResult<()> {
+        while self.pending.len() > max_pending {
+            self.pending
+                .next()
+                .await
+                .expect("pending non-empty by loop guard")?;
+        }
+        Ok(())
+    }
+
+    fn push_commit(&mut self, extent: &BlockExtent, len: u64) {
+        let store = self.store.clone();
+        let path = self.path.clone();
+        let node_id = self.node_id;
+        let block_id = extent.loc.block_id;
+        self.pending.push_back(Box::pin(async move {
+            store
+                .meta_call(
+                    &path,
+                    RequestBody::CommitBlock {
+                        node_id,
+                        block_id,
+                        len,
+                    },
+                )
+                .await?;
+            Ok(())
+        }));
+    }
+
+    async fn rotate(&mut self) -> GliderResult<()> {
+        if let Some(cur) = self.cur.take() {
+            self.push_commit(&cur.extent, cur.written);
+        }
+        let resp = self
+            .store
+            .meta_call(
+                &self.path,
+                RequestBody::AddBlock {
+                    node_id: self.node_id,
+                },
+            )
+            .await?;
+        let extent = match resp {
+            ResponseBody::Block(extent) => extent,
+            other => {
+                return Err(GliderError::protocol(format!(
+                    "expected block response, got {other:?}"
+                )))
+            }
+        };
+        self.cur = Some(CurrentBlock { extent, written: 0 });
+        Ok(())
+    }
+
+    /// Appends `data`, splitting it into block-aligned chunk operations
+    /// and pipelining up to the configured window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and write failures (fail-fast: a failed
+    /// chunk surfaces on the next call).
+    pub async fn write(&mut self, mut data: Bytes) -> GliderResult<()> {
+        let block_size = self.store.config().block_size.as_u64();
+        let chunk_size = self.store.config().chunk_size.as_u64();
+        let window = self.store.config().window;
+        while !data.is_empty() {
+            let need_rotate = match &self.cur {
+                None => true,
+                Some(cur) => cur.written >= block_size,
+            };
+            if need_rotate {
+                self.rotate().await?;
+            }
+            let cur = self.cur.as_mut().expect("rotated above");
+            let n = (data.len() as u64)
+                .min(block_size - cur.written)
+                .min(chunk_size);
+            let piece = data.split_to(n as usize);
+            let conn_addr = cur.extent.loc.addr.clone();
+            let block_id = cur.extent.loc.block_id;
+            let offset = cur.written;
+            let store = self.store.clone();
+            self.pending.push_back(Box::pin(async move {
+                let conn = store.data_conn(&conn_addr).await?;
+                match conn
+                    .call(RequestBody::WriteBlock {
+                        block_id,
+                        offset,
+                        data: piece,
+                    })
+                    .await?
+                {
+                    ResponseBody::Written { .. } => Ok(()),
+                    other => Err(GliderError::protocol(format!(
+                        "expected written response, got {other:?}"
+                    ))),
+                }
+            }));
+            cur.written += n;
+            self.total += n;
+            self.reap_to(window.saturating_sub(1)).await?;
+        }
+        Ok(())
+    }
+
+    /// Appends a byte slice (copied).
+    ///
+    /// # Errors
+    ///
+    /// See [`FileWriter::write`].
+    pub async fn write_all(&mut self, data: &[u8]) -> GliderResult<()> {
+        self.write(Bytes::copy_from_slice(data)).await
+    }
+
+    /// Flushes outstanding operations, commits the final block, and
+    /// returns the total bytes written by this stream.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any failed in-flight operation.
+    pub async fn close(mut self) -> GliderResult<u64> {
+        if let Some(cur) = self.cur.take() {
+            self.push_commit(&cur.extent, cur.written);
+        }
+        self.reap_to(0).await?;
+        Ok(self.total)
+    }
+
+    /// Bytes accepted so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.total
+    }
+}
+
+impl std::fmt::Debug for FileWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileWriter")
+            .field("node_id", &self.node_id)
+            .field("total", &self.total)
+            .field("in_flight", &self.pending.len())
+            .finish()
+    }
+}
+
+struct ReadOp {
+    addr: String,
+    block_id: glider_proto::types::BlockId,
+    offset: u64,
+    len: u64,
+}
+
+/// Windowed read stream over a file/bag node (optionally a byte range).
+pub struct FileReader {
+    store: StoreClient,
+    ops: std::vec::IntoIter<ReadOp>,
+    pending: FuturesOrdered<BoxFuture<'static, GliderResult<Bytes>>>,
+    total: u64,
+}
+
+impl FileReader {
+    fn new(store: StoreClient, info: &NodeInfo, start: u64, len: u64) -> Self {
+        let chunk_size = store.config().chunk_size.as_u64().max(1);
+        let mut ops = Vec::new();
+        let mut node_off = 0u64; // absolute offset of the current extent
+        let end = start.saturating_add(len);
+        for extent in &info.blocks {
+            let ext_start = node_off;
+            let ext_end = node_off + extent.len;
+            node_off = ext_end;
+            let lo = start.max(ext_start);
+            let hi = end.min(ext_end);
+            if lo >= hi {
+                continue;
+            }
+            // Split the in-extent range into chunk-size operations.
+            let mut pos = lo;
+            while pos < hi {
+                let n = (hi - pos).min(chunk_size);
+                ops.push(ReadOp {
+                    addr: extent.loc.addr.clone(),
+                    block_id: extent.loc.block_id,
+                    offset: pos - ext_start,
+                    len: n,
+                });
+                pos += n;
+            }
+        }
+        FileReader {
+            store,
+            ops: ops.into_iter(),
+            pending: FuturesOrdered::new(),
+            total: 0,
+        }
+    }
+
+    fn fill_window(&mut self) {
+        let window = self.store.config().window;
+        while self.pending.len() < window {
+            let Some(op) = self.ops.next() else { break };
+            let store = self.store.clone();
+            self.pending.push_back(Box::pin(async move {
+                let conn = store.data_conn(&op.addr).await?;
+                match conn
+                    .call(RequestBody::ReadBlock {
+                        block_id: op.block_id,
+                        offset: op.offset,
+                        len: op.len,
+                    })
+                    .await?
+                {
+                    ResponseBody::Data { bytes, .. } => Ok(bytes),
+                    other => Err(GliderError::protocol(format!(
+                        "expected data response, got {other:?}"
+                    ))),
+                }
+            }));
+        }
+    }
+
+    /// Returns the next chunk in file order, or `None` at the end of the
+    /// planned range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    pub async fn next_chunk(&mut self) -> GliderResult<Option<Bytes>> {
+        self.fill_window();
+        match self.pending.next().await {
+            Some(result) => {
+                let bytes = result?;
+                self.total += bytes.len() as u64;
+                self.fill_window();
+                Ok(Some(bytes))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Reads the remaining range into memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    pub async fn read_to_end(&mut self) -> GliderResult<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(chunk) = self.next_chunk().await? {
+            out.extend_from_slice(&chunk);
+        }
+        Ok(out)
+    }
+
+    /// Bytes delivered so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.total
+    }
+}
+
+impl std::fmt::Debug for FileReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileReader")
+            .field("total", &self.total)
+            .field("in_flight", &self.pending.len())
+            .finish()
+    }
+}

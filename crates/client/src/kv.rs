@@ -1,0 +1,117 @@
+//! Key-value node proxy.
+
+use crate::client::StoreClient;
+use bytes::Bytes;
+use glider_metrics::AccessKind;
+use glider_proto::message::{RequestBody, ResponseBody};
+use glider_proto::types::{NodeId, NodeInfo};
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+
+/// Proxy to a `KeyValue` node: a small single-block value with overwrite
+/// semantics (NodeKernel's `KeyValue` type; the key is the node's path).
+///
+/// # Examples
+///
+/// ```no_run
+/// # async fn demo(store: glider_client::StoreClient) -> glider_proto::GliderResult<()> {
+/// let kv = store.create_kv("/config/ranges").await?;
+/// kv.put(bytes::Bytes::from_static(b"0-100,100-200")).await?;
+/// let value = kv.get().await?;
+/// assert_eq!(&value[..], b"0-100,100-200");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyValueNode {
+    store: StoreClient,
+    path: String,
+    info: NodeInfo,
+}
+
+impl KeyValueNode {
+    pub(crate) fn new(store: StoreClient, path: String, info: NodeInfo) -> Self {
+        KeyValueNode { store, path, info }
+    }
+
+    /// The node's namespace path (its key).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The node id.
+    pub fn node_id(&self) -> NodeId {
+        self.info.id
+    }
+
+    /// Overwrites the value. The value must fit in one block.
+    ///
+    /// Counts one `file-write` storage access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::InvalidArgument`] for oversized values.
+    pub async fn put(&self, value: Bytes) -> GliderResult<()> {
+        let block_size = self.store.config().block_size.as_u64();
+        if value.len() as u64 > block_size {
+            return Err(GliderError::new(
+                ErrorCode::InvalidArgument,
+                format!(
+                    "key-value payload of {} bytes exceeds the block size {block_size}",
+                    value.len()
+                ),
+            ));
+        }
+        self.store.count_access(AccessKind::FileWrite);
+        let extent = self.info.single_block()?;
+        let conn = self.store.data_conn(&extent.loc.addr).await?;
+        let len = value.len() as u64;
+        conn.call(RequestBody::WriteBlock {
+            block_id: extent.loc.block_id,
+            offset: 0,
+            data: value,
+        })
+        .await?;
+        self.store
+            .meta_call(
+                &self.path,
+                RequestBody::CommitBlock {
+                    node_id: self.info.id,
+                    block_id: extent.loc.block_id,
+                    len,
+                },
+            )
+            .await?;
+        Ok(())
+    }
+
+    /// Reads the current value.
+    ///
+    /// Counts one `file-read` storage access.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup/read failures.
+    pub async fn get(&self) -> GliderResult<Bytes> {
+        self.store.count_access(AccessKind::FileRead);
+        // Refresh to observe the latest committed length.
+        let info = self.store.lookup(&self.path).await?;
+        let extent = info.single_block()?;
+        if extent.len == 0 {
+            return Ok(Bytes::new());
+        }
+        let conn = self.store.data_conn(&extent.loc.addr).await?;
+        match conn
+            .call(RequestBody::ReadBlock {
+                block_id: extent.loc.block_id,
+                offset: 0,
+                len: extent.len,
+            })
+            .await?
+        {
+            ResponseBody::Data { bytes, .. } => Ok(bytes),
+            other => Err(GliderError::protocol(format!(
+                "expected data response, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The Glider client library (the paper's application interface, Table 1).
+//!
+//! The top-level object is [`StoreClient`], which connects to a namespace
+//! (a metadata server) and creates, looks up, and deletes data nodes by
+//! path. Applications receive *proxy* objects for nodes —
+//! [`file::FileNode`], [`kv::KeyValueNode`], [`action::ActionNode`] — and
+//! interact with them through I/O streams.
+//!
+//! All remote operations are asynchronous. Writers and readers keep a
+//! configurable *window* of data operations in flight (the paper's
+//! buffered streams, which "keep a data operation always in flight, and
+//! not block the application on network access"); setting the window to 1
+//! gives the paper's *direct* streams where the user paces every op.
+//!
+//! The client meters the paper's indicators when constructed for the
+//! compute tier: every opened stream counts one *storage access* and every
+//! metadata RPC one metadata access (transfer bytes are metered
+//! server-side).
+
+pub mod action;
+pub mod client;
+pub mod config;
+pub mod file;
+pub mod kv;
+pub mod store_access;
+
+pub use action::{ActionNode, ActionReader, ActionWriter};
+pub use client::StoreClient;
+pub use config::ClientConfig;
+pub use file::{FileNode, FileReader, FileWriter};
+pub use kv::KeyValueNode;

@@ -1,0 +1,143 @@
+//! [`StoreAccess`] implementation: the store client handed to actions.
+//!
+//! The paper gives every action object a store client "to access other
+//! storage nodes, including other actions, and construct data processing
+//! patterns within the ephemeral store" (§6.2). The active server builds a
+//! storage-tier [`StoreClient`] and injects it through this object-safe
+//! adapter, keeping the actions crate independent of the client crate.
+
+use crate::action::{ActionReader, ActionWriter};
+use crate::client::StoreClient;
+use crate::file::{FileReader, FileWriter};
+use bytes::Bytes;
+use futures::future::BoxFuture;
+use glider_actions::action::{ByteSink, ByteStream, StoreAccess};
+use glider_proto::{GliderError, GliderResult};
+
+struct FileReaderStream(FileReader);
+
+impl ByteStream for FileReaderStream {
+    fn next_chunk(&mut self) -> BoxFuture<'_, GliderResult<Option<Bytes>>> {
+        Box::pin(self.0.next_chunk())
+    }
+}
+
+struct FileSink(Option<FileWriter>);
+
+impl ByteSink for FileSink {
+    fn write(&mut self, data: Bytes) -> BoxFuture<'_, GliderResult<()>> {
+        Box::pin(async move {
+            match self.0.as_mut() {
+                Some(w) => w.write(data).await,
+                None => Err(GliderError::closed("file sink")),
+            }
+        })
+    }
+
+    fn close(&mut self) -> BoxFuture<'_, GliderResult<()>> {
+        Box::pin(async move {
+            match self.0.take() {
+                Some(w) => w.close().await.map(|_| ()),
+                None => Ok(()),
+            }
+        })
+    }
+}
+
+struct ActionReaderStream(ActionReader);
+
+impl ByteStream for ActionReaderStream {
+    fn next_chunk(&mut self) -> BoxFuture<'_, GliderResult<Option<Bytes>>> {
+        Box::pin(self.0.next_chunk())
+    }
+}
+
+struct ActionSink(Option<ActionWriter>);
+
+impl ByteSink for ActionSink {
+    fn write(&mut self, data: Bytes) -> BoxFuture<'_, GliderResult<()>> {
+        Box::pin(async move {
+            match self.0.as_mut() {
+                Some(w) => w.write(data).await,
+                None => Err(GliderError::closed("action sink")),
+            }
+        })
+    }
+
+    fn close(&mut self) -> BoxFuture<'_, GliderResult<()>> {
+        Box::pin(async move {
+            match self.0.take() {
+                Some(w) => w.close().await.map(|_| ()),
+                None => Ok(()),
+            }
+        })
+    }
+}
+
+impl StoreAccess for StoreClient {
+    fn create_file<'a>(&'a self, path: &'a str) -> BoxFuture<'a, GliderResult<Box<dyn ByteSink>>> {
+        Box::pin(async move {
+            let file = StoreClient::create_file(self, path).await?;
+            let writer = file.output_stream().await?;
+            Ok(Box::new(FileSink(Some(writer))) as Box<dyn ByteSink>)
+        })
+    }
+
+    fn open_read<'a>(&'a self, path: &'a str) -> BoxFuture<'a, GliderResult<Box<dyn ByteStream>>> {
+        Box::pin(async move {
+            let file = self.lookup_file(path).await?;
+            let reader = file.input_stream().await?;
+            Ok(Box::new(FileReaderStream(reader)) as Box<dyn ByteStream>)
+        })
+    }
+
+    fn open_read_range<'a>(
+        &'a self,
+        path: &'a str,
+        offset: u64,
+        len: u64,
+    ) -> BoxFuture<'a, GliderResult<Box<dyn ByteStream>>> {
+        Box::pin(async move {
+            let file = self.lookup_file(path).await?;
+            let reader = file.input_range(offset, len).await?;
+            Ok(Box::new(FileReaderStream(reader)) as Box<dyn ByteStream>)
+        })
+    }
+
+    fn read_all<'a>(&'a self, path: &'a str) -> BoxFuture<'a, GliderResult<Bytes>> {
+        Box::pin(async move {
+            let file = self.lookup_file(path).await?;
+            Ok(Bytes::from(file.read_all().await?))
+        })
+    }
+
+    fn delete<'a>(&'a self, path: &'a str) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(StoreClient::delete(self, path))
+    }
+
+    fn list<'a>(&'a self, path: &'a str) -> BoxFuture<'a, GliderResult<Vec<String>>> {
+        Box::pin(StoreClient::list(self, path))
+    }
+
+    fn open_action_write<'a>(
+        &'a self,
+        path: &'a str,
+    ) -> BoxFuture<'a, GliderResult<Box<dyn ByteSink>>> {
+        Box::pin(async move {
+            let action = self.lookup_action(path).await?;
+            let writer = action.output_stream().await?;
+            Ok(Box::new(ActionSink(Some(writer))) as Box<dyn ByteSink>)
+        })
+    }
+
+    fn open_action_read<'a>(
+        &'a self,
+        path: &'a str,
+    ) -> BoxFuture<'a, GliderResult<Box<dyn ByteStream>>> {
+        Box::pin(async move {
+            let action = self.lookup_action(path).await?;
+            let reader = action.input_stream().await?;
+            Ok(Box::new(ActionReaderStream(reader)) as Box<dyn ByteStream>)
+        })
+    }
+}

@@ -1,0 +1,601 @@
+//! In-process cluster deployment.
+
+use glider_active::{ActiveServer, ActiveServerConfig};
+use glider_actions::ActionRegistry;
+use glider_client::{ClientConfig, StoreClient};
+use glider_metadata::MetadataServer;
+use glider_metrics::MetricsRegistry;
+use glider_proto::types::StorageClass;
+use glider_proto::GliderResult;
+use glider_storage::{StorageServer, StorageServerConfig, TierModel};
+use glider_util::ByteSize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static CLUSTER_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Shape of an in-process Glider cluster.
+///
+/// Mirrors the paper's deployments: one metadata server, `data_servers`
+/// DRAM-backed data servers, `active_servers` active servers hosting
+/// `slots_per_server` action slots each. Optional extra tiers (NVMe/HDD
+/// cost models) reproduce NodeKernel's tiered classes.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of DRAM data servers.
+    pub data_servers: usize,
+    /// Blocks contributed per data server.
+    pub blocks_per_server: u64,
+    /// Number of active servers.
+    pub active_servers: usize,
+    /// Action slots contributed per active server.
+    pub slots_per_server: u64,
+    /// Block size for every server.
+    pub block_size: ByteSize,
+    /// Action definitions deployed to every active server.
+    pub registry: Arc<ActionRegistry>,
+    /// Put active servers on the in-process RDMA-simulation fabric
+    /// (`mem://`) instead of TCP — the "Glider (RDMA)" configuration.
+    pub rdma_sim: bool,
+    /// Extra simulated device tiers: (class name, servers, blocks each).
+    pub extra_tiers: Vec<(StorageClass, usize, u64)>,
+    /// Storage-class fallback edges (`from` exhausted → allocate on `to`),
+    /// the paper's DRAM→NVMe spill (§4.1).
+    pub class_fallbacks: Vec<(StorageClass, StorageClass)>,
+}
+
+impl Default for ClusterConfig {
+    /// One data server (1024 × 1 MiB blocks), one active server (64
+    /// slots) — the smallest deployment used by the paper's benefit
+    /// experiments (§7.1).
+    fn default() -> Self {
+        ClusterConfig {
+            data_servers: 1,
+            blocks_per_server: 1024,
+            active_servers: 1,
+            slots_per_server: 64,
+            block_size: ByteSize::mib(1),
+            registry: Arc::new(ActionRegistry::with_builtins()),
+            rdma_sim: false,
+            extra_tiers: Vec::new(),
+            class_fallbacks: Vec::new(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Sets the number of data servers and their capacity.
+    #[must_use]
+    pub fn with_data(mut self, servers: usize, blocks_each: u64) -> Self {
+        self.data_servers = servers;
+        self.blocks_per_server = blocks_each;
+        self
+    }
+
+    /// Sets the number of active servers and their slot budget.
+    #[must_use]
+    pub fn with_active(mut self, servers: usize, slots_each: u64) -> Self {
+        self.active_servers = servers;
+        self.slots_per_server = slots_each;
+        self
+    }
+
+    /// Sets the cluster block size.
+    #[must_use]
+    pub fn with_block_size(mut self, block_size: ByteSize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Deploys a custom action registry.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<ActionRegistry>) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Puts intra-storage links on the RDMA-simulation fabric.
+    #[must_use]
+    pub fn with_rdma_sim(mut self, enabled: bool) -> Self {
+        self.rdma_sim = enabled;
+        self
+    }
+
+    /// Adds a simulated device tier (e.g. `nvme` or `hdd`).
+    #[must_use]
+    pub fn with_tier(mut self, class: StorageClass, servers: usize, blocks_each: u64) -> Self {
+        self.extra_tiers.push((class, servers, blocks_each));
+        self
+    }
+
+    /// Adds a storage-class fallback edge (`from` exhausted → `to`).
+    #[must_use]
+    pub fn with_class_fallback(mut self, from: StorageClass, to: StorageClass) -> Self {
+        self.class_fallbacks.push((from, to));
+        self
+    }
+}
+
+impl std::fmt::Debug for ClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("data_servers", &self.data_servers)
+            .field("blocks_per_server", &self.blocks_per_server)
+            .field("active_servers", &self.active_servers)
+            .field("slots_per_server", &self.slots_per_server)
+            .field("block_size", &self.block_size)
+            .field("rdma_sim", &self.rdma_sim)
+            .finish()
+    }
+}
+
+/// A complete in-process Glider cluster.
+///
+/// Servers run as tasks on the current tokio runtime; all handles shut
+/// down when the cluster is dropped. See the [crate docs](crate) for a
+/// quickstart.
+#[derive(Debug)]
+pub struct Cluster {
+    metadata: MetadataServer,
+    data: Vec<StorageServer>,
+    active: Vec<ActiveServer>,
+    metrics: Arc<MetricsRegistry>,
+    block_size: ByteSize,
+}
+
+impl Cluster {
+    /// Starts a cluster with a fresh metrics registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any server fails to bind or register.
+    pub async fn start(config: ClusterConfig) -> GliderResult<Self> {
+        Cluster::start_with_metrics(config, MetricsRegistry::new()).await
+    }
+
+    /// Starts a cluster reporting into an existing metrics registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any server fails to bind or register.
+    pub async fn start_with_metrics(
+        config: ClusterConfig,
+        metrics: Arc<MetricsRegistry>,
+    ) -> GliderResult<Self> {
+        let cluster_id = CLUSTER_IDS.fetch_add(1, Ordering::Relaxed);
+        let mut meta_options = glider_metadata::MetadataOptions::default();
+        for (from, to) in &config.class_fallbacks {
+            meta_options = meta_options.with_fallback(from.clone(), to.clone());
+        }
+        let metadata =
+            MetadataServer::start_with_options("127.0.0.1:0", Arc::clone(&metrics), meta_options)
+                .await?;
+
+        let mut data = Vec::with_capacity(config.data_servers);
+        for _ in 0..config.data_servers {
+            data.push(
+                StorageServer::start(
+                    StorageServerConfig::dram(
+                        metadata.addr(),
+                        config.blocks_per_server,
+                        config.block_size.as_u64(),
+                    ),
+                    Arc::clone(&metrics),
+                )
+                .await?,
+            );
+        }
+        for (class, servers, blocks_each) in &config.extra_tiers {
+            for _ in 0..*servers {
+                data.push(
+                    StorageServer::start(
+                        StorageServerConfig {
+                            listen_addr: "127.0.0.1:0".to_string(),
+                            metadata_addr: metadata.addr().to_string(),
+                            storage_class: class.clone(),
+                            capacity_blocks: *blocks_each,
+                            block_size: config.block_size.as_u64(),
+                            tier: Some(TierModel::for_class(class.name())),
+                        },
+                        Arc::clone(&metrics),
+                    )
+                    .await?,
+                );
+            }
+        }
+
+        let mut active = Vec::with_capacity(config.active_servers);
+        for i in 0..config.active_servers {
+            let mut server_config = ActiveServerConfig::new(metadata.addr(), config.slots_per_server)
+                .with_registry(Arc::clone(&config.registry))
+                .with_block_size(config.block_size);
+            if config.rdma_sim {
+                server_config = server_config.on_rdma_sim(format!("glider-{cluster_id}-active-{i}"));
+            }
+            active.push(ActiveServer::start(server_config, Arc::clone(&metrics)).await?);
+        }
+
+        Ok(Cluster {
+            metadata,
+            data,
+            active,
+            metrics,
+            block_size: config.block_size,
+        })
+    }
+
+    /// The metadata server's address (what clients connect to).
+    pub fn metadata_addr(&self) -> &str {
+        self.metadata.addr()
+    }
+
+    /// The cluster-wide metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The data servers.
+    pub fn data_servers(&self) -> &[StorageServer] {
+        &self.data
+    }
+
+    /// The active servers.
+    pub fn active_servers(&self) -> &[ActiveServer] {
+        &self.active
+    }
+
+    /// A compute-tier client with metrics attached and the cluster's
+    /// block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the metadata server is unreachable.
+    pub async fn client(&self) -> GliderResult<StoreClient> {
+        StoreClient::connect(self.client_config()).await
+    }
+
+    /// The default client configuration for this cluster; customize it and
+    /// connect with [`StoreClient::connect`] for throttled/tuned clients.
+    pub fn client_config(&self) -> ClientConfig {
+        ClientConfig::new(self.metadata_addr())
+            .with_block_size(self.block_size)
+            .with_metrics(Arc::clone(&self.metrics))
+    }
+
+    /// Stops every server.
+    pub fn shutdown(&self) {
+        for server in &self.active {
+            server.shutdown();
+        }
+        for server in &self.data {
+            server.shutdown();
+        }
+        self.metadata.shutdown();
+    }
+}
+
+/// A namespace partitioned across several independent metadata servers
+/// (paper §4.1, footnote 4: "metadata servers may distribute their work
+/// by partitioning the namespaces, allowing to scale the system").
+///
+/// Each partition is a full shared-nothing [`Cluster`] (metadata + data +
+/// active servers); clients route every path to its partition by the hash
+/// of the first path component, so whole subtrees — and the near-data
+/// traffic of their actions — stay inside one partition.
+///
+/// # Examples
+///
+/// ```no_run
+/// # async fn demo() -> glider_core::GliderResult<()> {
+/// use glider_core::{ClusterConfig, PartitionedCluster};
+///
+/// let cluster = PartitionedCluster::start(4, ClusterConfig::default()).await?;
+/// let store = cluster.client().await?;
+/// store.create_dir("/job-a").await?; // lands on hash("job-a") % 4
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PartitionedCluster {
+    partitions: Vec<Cluster>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl PartitionedCluster {
+    /// Starts `partitions` independent clusters sharing one metrics
+    /// registry, each shaped by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any server fails to start.
+    pub async fn start(partitions: usize, config: ClusterConfig) -> GliderResult<Self> {
+        let metrics = MetricsRegistry::new();
+        let mut clusters = Vec::with_capacity(partitions.max(1));
+        for _ in 0..partitions.max(1) {
+            clusters.push(Cluster::start_with_metrics(config.clone(), Arc::clone(&metrics)).await?);
+        }
+        Ok(PartitionedCluster {
+            partitions: clusters,
+            metrics,
+        })
+    }
+
+    /// The individual partition clusters.
+    pub fn partitions(&self) -> &[Cluster] {
+        &self.partitions
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A compute-tier client routing across every partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any metadata server is unreachable.
+    pub async fn client(&self) -> GliderResult<StoreClient> {
+        let addrs: Vec<String> = self
+            .partitions
+            .iter()
+            .map(|c| c.metadata_addr().to_string())
+            .collect();
+        let config = self.partitions[0]
+            .client_config()
+            .with_metadata_partitions(addrs);
+        StoreClient::connect(config).await
+    }
+
+    /// Stops every partition.
+    pub fn shutdown(&self) {
+        for cluster in &self.partitions {
+            cluster.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use glider_proto::types::ActionSpec;
+
+    #[tokio::test]
+    async fn multi_block_file_round_trip() {
+        // 16 KiB blocks force multi-block chains quickly.
+        let cluster = Cluster::start(
+            ClusterConfig::default()
+                .with_block_size(ByteSize::kib(16))
+                .with_data(2, 64),
+        )
+        .await
+        .unwrap();
+        let store = cluster.client().await.unwrap();
+        let file = store.create_file("/big").await.unwrap();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        file.write_all(Bytes::from(data.clone())).await.unwrap();
+        let back = file.read_all().await.unwrap();
+        assert_eq!(back, data);
+        // The chain spans multiple blocks across both servers.
+        let info = store.lookup("/big").await.unwrap();
+        assert!(info.blocks.len() >= 7, "blocks: {}", info.blocks.len());
+        assert_eq!(info.size, 100_000);
+        let servers: std::collections::HashSet<_> =
+            info.blocks.iter().map(|b| b.loc.server_id).collect();
+        assert_eq!(servers.len(), 2, "round-robin across both data servers");
+    }
+
+    #[tokio::test]
+    async fn range_reads_slice_files() {
+        let cluster = Cluster::start(
+            ClusterConfig::default().with_block_size(ByteSize::kib(16)),
+        )
+        .await
+        .unwrap();
+        let store = cluster.client().await.unwrap();
+        let file = store.create_file("/r").await.unwrap();
+        let data: Vec<u8> = (0..60_000u32).map(|i| (i % 127) as u8).collect();
+        file.write_all(Bytes::from(data.clone())).await.unwrap();
+        // A range crossing two block boundaries.
+        let mut reader = file.input_range(15_000, 20_000).await.unwrap();
+        let slice = reader.read_to_end().await.unwrap();
+        assert_eq!(slice, &data[15_000..35_000]);
+        // A range past EOF clamps.
+        let mut reader = file.input_range(59_000, 10_000).await.unwrap();
+        assert_eq!(reader.read_to_end().await.unwrap(), &data[59_000..]);
+        // A range fully past EOF is empty.
+        let mut reader = file.input_range(70_000, 10).await.unwrap();
+        assert!(reader.read_to_end().await.unwrap().is_empty());
+    }
+
+    #[tokio::test]
+    async fn bag_supports_concurrent_writers() {
+        let cluster = Cluster::start(
+            ClusterConfig::default().with_block_size(ByteSize::kib(16)),
+        )
+        .await
+        .unwrap();
+        let store = cluster.client().await.unwrap();
+        let bag = store.create_bag("/bag").await.unwrap();
+        let mut tasks = Vec::new();
+        for w in 0..4u8 {
+            let bag = bag.clone();
+            tasks.push(tokio::spawn(async move {
+                let mut out = bag.output_stream().await.unwrap();
+                out.write(Bytes::from(vec![b'a' + w; 20_000])).await.unwrap();
+                out.close().await.unwrap()
+            }));
+        }
+        let mut total = 0;
+        for t in tasks {
+            total += t.await.unwrap();
+        }
+        assert_eq!(total, 80_000);
+        let back = bag.read_all().await.unwrap();
+        assert_eq!(back.len(), 80_000);
+        // All bytes of each writer are present (order across writers is
+        // unspecified for bags).
+        for w in 0..4u8 {
+            assert_eq!(
+                back.iter().filter(|&&b| b == b'a' + w).count(),
+                20_000,
+                "writer {w}"
+            );
+        }
+    }
+
+    #[tokio::test]
+    async fn kv_nodes_overwrite() {
+        let cluster = Cluster::start(ClusterConfig::default()).await.unwrap();
+        let store = cluster.client().await.unwrap();
+        store.create_table("/t").await.unwrap();
+        let kv = store.create_kv("/t/key1").await.unwrap();
+        assert_eq!(kv.get().await.unwrap(), Bytes::new());
+        kv.put(Bytes::from_static(b"first value")).await.unwrap();
+        assert_eq!(&kv.get().await.unwrap()[..], b"first value");
+        kv.put(Bytes::from_static(b"v2")).await.unwrap();
+        assert_eq!(&kv.get().await.unwrap()[..], b"v2");
+        assert_eq!(store.list("/t").await.unwrap(), vec!["key1"]);
+        // Oversized put rejected.
+        let big = Bytes::from(vec![0u8; 2 * 1024 * 1024]);
+        assert!(kv.put(big).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn delete_releases_storage_utilization() {
+        let cluster = Cluster::start(
+            ClusterConfig::default().with_block_size(ByteSize::kib(16)),
+        )
+        .await
+        .unwrap();
+        let store = cluster.client().await.unwrap();
+        let file = store.create_file("/todel").await.unwrap();
+        file.write_all(Bytes::from(vec![1u8; 50_000])).await.unwrap();
+        let peak = cluster.metrics().snapshot();
+        assert_eq!(peak.storage_current, 50_000);
+        store.delete("/todel").await.unwrap();
+        let after = cluster.metrics().snapshot();
+        assert_eq!(after.storage_current, 0);
+        assert_eq!(after.storage_peak, 50_000);
+    }
+
+    #[tokio::test]
+    async fn actions_spread_across_active_servers() {
+        let cluster = Cluster::start(
+            ClusterConfig::default().with_active(2, 2),
+        )
+        .await
+        .unwrap();
+        let store = cluster.client().await.unwrap();
+        for i in 0..4 {
+            store
+                .create_action(&format!("/a{i}"), ActionSpec::new("counter", false))
+                .await
+                .unwrap();
+        }
+        let counts: Vec<usize> = cluster
+            .active_servers()
+            .iter()
+            .map(|s| s.manager().instance_count())
+            .collect();
+        assert_eq!(counts, vec![2, 2], "round-robin across active servers");
+        // Capacity exhausted.
+        let err = store
+            .create_action("/a5", ActionSpec::new("counter", false))
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::OutOfCapacity);
+    }
+
+    #[tokio::test]
+    async fn direct_streams_window_one_round_trip() {
+        // The paper's "direct streams": one operation in flight, full
+        // user control. Must be functionally identical to buffered ones.
+        let cluster = Cluster::start(
+            ClusterConfig::default().with_block_size(ByteSize::kib(16)),
+        )
+        .await
+        .unwrap();
+        let store = glider_client::StoreClient::connect(
+            cluster
+                .client_config()
+                .with_window(1)
+                .with_chunk_size(ByteSize::kib(4)),
+        )
+        .await
+        .unwrap();
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 89) as u8).collect();
+        let file = store.create_file("/direct").await.unwrap();
+        file.write_all(Bytes::from(data.clone())).await.unwrap();
+        assert_eq!(file.read_all().await.unwrap(), data);
+
+        let action = store
+            .create_action("/direct-count", ActionSpec::new("counter", false))
+            .await
+            .unwrap();
+        action.write_all(Bytes::from(data.clone())).await.unwrap();
+        assert_eq!(action.read_all().await.unwrap(), b"50000");
+    }
+
+    #[tokio::test]
+    async fn dram_spills_to_nvme_when_configured() {
+        // The paper's tiered design: a preferred DRAM tier that falls
+        // back to an NVMe tier when full (§4.1).
+        let cluster = Cluster::start(
+            ClusterConfig::default()
+                .with_block_size(ByteSize::kib(16))
+                .with_data(1, 2) // 32 KiB of DRAM
+                .with_tier(StorageClass::nvme(), 1, 16)
+                .with_class_fallback(StorageClass::dram(), StorageClass::nvme()),
+        )
+        .await
+        .unwrap();
+        let store = cluster.client().await.unwrap();
+        let file = store.create_file("/spill").await.unwrap();
+        // 100 KiB: 2 blocks land on DRAM, the rest spill onto NVMe.
+        let data: Vec<u8> = (0..100 * 1024u32).map(|i| (i % 13) as u8).collect();
+        file.write_all(Bytes::from(data.clone())).await.unwrap();
+        assert_eq!(file.read_all().await.unwrap(), data);
+        let info = store.lookup("/spill").await.unwrap();
+        let servers: std::collections::HashSet<_> =
+            info.blocks.iter().map(|b| b.loc.server_id).collect();
+        assert_eq!(servers.len(), 2, "chain spans both tiers");
+        // Without the fallback edge the same write fails.
+        let strict = Cluster::start(
+            ClusterConfig::default()
+                .with_block_size(ByteSize::kib(16))
+                .with_data(1, 2)
+                .with_tier(StorageClass::nvme(), 1, 16),
+        )
+        .await
+        .unwrap();
+        let store2 = strict.client().await.unwrap();
+        let file2 = store2.create_file("/no-spill").await.unwrap();
+        let err = file2
+            .write_all(Bytes::from(vec![0u8; 100 * 1024]))
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::OutOfCapacity);
+    }
+
+    #[tokio::test]
+    async fn nvme_tier_stores_and_charges_latency() {
+        let cluster = Cluster::start(
+            ClusterConfig::default()
+                .with_block_size(ByteSize::kib(64))
+                .with_tier(StorageClass::nvme(), 1, 32),
+        )
+        .await
+        .unwrap();
+        let store = cluster.client().await.unwrap();
+        let file = store
+            .create_file_in_class("/on-nvme", StorageClass::nvme())
+            .await
+            .unwrap();
+        file.write_all(Bytes::from(vec![9u8; 10_000])).await.unwrap();
+        assert_eq!(file.read_all().await.unwrap().len(), 10_000);
+    }
+
+    use glider_proto::ErrorCode;
+}

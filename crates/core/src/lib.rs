@@ -1,0 +1,81 @@
+//! # Glider: serverless ephemeral stateful near-data computation
+//!
+//! A from-scratch Rust reproduction of *Glider* (Barcelona-Pons,
+//! García-López, Metzler — Middleware '23): an ephemeral storage system in
+//! the NodeKernel/Apache-Crail mold, extended with **storage actions** —
+//! stateful, stream-oriented computations that live *inside* the storage
+//! namespace, at the level of files, so that intermediate data of
+//! serverless analytics is transformed as it moves instead of bouncing
+//! between the compute and storage tiers.
+//!
+//! This crate is the facade: it re-exports the public API of the
+//! workspace and provides [`Cluster`], which deploys a complete Glider
+//! cluster (metadata server, data servers, active servers) inside the
+//! current process for examples, tests and benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use glider_core::{Cluster, ClusterConfig};
+//! use glider_core::proto::types::ActionSpec;
+//! use bytes::Bytes;
+//!
+//! # let rt = tokio::runtime::Builder::new_multi_thread().worker_threads(2).enable_all().build().unwrap();
+//! # rt.block_on(async {
+//! let cluster = Cluster::start(ClusterConfig::default()).await.unwrap();
+//! let store = cluster.client().await.unwrap();
+//!
+//! // Plain ephemeral file.
+//! let file = store.create_file("/hello.txt").await.unwrap();
+//! file.write_all(Bytes::from_static(b"hello glider")).await.unwrap();
+//!
+//! // A stateful near-data aggregation (the paper's Listing 1).
+//! let merge = store
+//!     .create_action("/wordcount", ActionSpec::new("merge", true))
+//!     .await
+//!     .unwrap();
+//! merge.write_all(Bytes::from_static(b"7,1\n7,2\n")).await.unwrap();
+//! assert_eq!(merge.read_all().await.unwrap(), b"7,3\n");
+//! # });
+//! ```
+//!
+//! ## Architecture (paper §4)
+//!
+//! - **Metadata servers** ([`glider_metadata`]) own the hierarchical
+//!   namespace and the block fleet; structure ops run here, data ops go
+//!   directly to storage servers.
+//! - **Data servers** ([`glider_storage`]) contribute fixed-size blocks in
+//!   a storage class (DRAM, or simulated NVMe/HDD tiers).
+//! - **Active servers** ([`glider_active`]) contribute *action slots* in
+//!   the dedicated `active` class and run the action runtime
+//!   ([`glider_actions`]): one executor task per action instance,
+//!   single-threaded-like execution, optional Orleans-style interleaving.
+//! - **Clients** ([`glider_client`]) resolve nodes once at the metadata
+//!   server and then stream chunks with a window of async operations in
+//!   flight.
+//!
+//! The paper's evaluation indicators (tier-crossing bytes, storage
+//! accesses, storage utilization) are metered by [`glider_metrics`], and
+//! every table/figure of the paper has a regeneration harness in
+//! `glider-bench` (see EXPERIMENTS.md).
+
+pub use glider_actions as actions;
+pub use glider_active as active;
+pub use glider_client as client;
+pub use glider_metadata as metadata;
+pub use glider_metrics as metrics;
+pub use glider_namespace as namespace;
+pub use glider_net as net;
+pub use glider_proto as proto;
+pub use glider_storage as storage;
+pub use glider_util as util;
+
+pub use glider_actions::{Action, ActionCell, ActionContext, ActionRegistry};
+pub use glider_client::{ActionNode, ClientConfig, FileNode, KeyValueNode, StoreClient};
+pub use glider_metrics::{MetricsRegistry, MetricsSnapshot, Tier};
+pub use glider_proto::types::ActionSpec;
+pub use glider_proto::{ErrorCode, GliderError, GliderResult};
+pub use glider_util::ByteSize;
+
+mod cluster;
+pub use cluster::{Cluster, ClusterConfig, PartitionedCluster};

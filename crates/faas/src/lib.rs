@@ -1,0 +1,419 @@
+//! Serverless platform emulation (the AWS Lambda stand-in).
+//!
+//! The paper evaluates Glider as a *companion to FaaS*: short-lived
+//! workers with capped memory and network bandwidth, invoked in stages,
+//! unable to talk to each other. This crate reproduces those properties
+//! for local experiments (see DESIGN.md §4):
+//!
+//! - functions run as tokio tasks with a **lifetime timeout**,
+//! - each invocation gets a **bandwidth throttle** shared by all of its
+//!   storage/object connections (the paper's "limited bandwidth of FaaS"),
+//! - a **memory meter** enforces the configured function size on tracked
+//!   allocations,
+//! - [`FaasPlatform::map_stage`] runs the paper's map/reduce stages with
+//!   bounded concurrency and fail-fast gather.
+//!
+//! What it deliberately does *not* model: cold starts and billing (not
+//! load-bearing for any reproduced figure).
+
+use futures::future::BoxFuture;
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use glider_util::{ByteSize, TokenBucket};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Resource envelope of a function (paper §7.4 uses 2 GiB and 8 GiB
+/// Lambdas).
+#[derive(Debug, Clone)]
+pub struct FunctionConfig {
+    /// Memory cap enforced on tracked allocations.
+    pub memory: ByteSize,
+    /// Network bandwidth cap in MiB/s (`None` = uncapped; the paper's
+    /// cluster experiments run unthrottled, the FaaS ones capped).
+    pub bandwidth_mibps: Option<u64>,
+    /// Maximum lifetime (Lambda-style timeout).
+    pub timeout: Duration,
+}
+
+impl Default for FunctionConfig {
+    /// 2 GiB, uncapped bandwidth, 15 minute timeout.
+    fn default() -> Self {
+        FunctionConfig {
+            memory: ByteSize::gib(2),
+            bandwidth_mibps: None,
+            timeout: Duration::from_secs(900),
+        }
+    }
+}
+
+impl FunctionConfig {
+    /// Sets the memory cap.
+    #[must_use]
+    pub fn with_memory(mut self, memory: ByteSize) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Caps the function's network bandwidth.
+    #[must_use]
+    pub fn with_bandwidth_mibps(mut self, mibps: u64) -> Self {
+        self.bandwidth_mibps = Some(mibps);
+        self
+    }
+
+    /// Sets the lifetime timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+/// Tracked-allocation memory meter for one invocation.
+#[derive(Debug)]
+pub struct MemoryMeter {
+    used: AtomicU64,
+    peak: AtomicU64,
+    limit: u64,
+}
+
+impl MemoryMeter {
+    fn new(limit: u64) -> Self {
+        MemoryMeter {
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            limit,
+        }
+    }
+
+    /// Records an allocation of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::ResourceLimit`] when the function's memory
+    /// cap would be exceeded (the invocation should abort, like an OOM-
+    /// killed Lambda).
+    pub fn alloc(&self, bytes: u64) -> GliderResult<()> {
+        let new = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(new, Ordering::Relaxed);
+        if new > self.limit {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(GliderError::new(
+                ErrorCode::ResourceLimit,
+                format!(
+                    "function memory limit exceeded: {new} bytes needed, {} allowed",
+                    self.limit
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Records a release of `bytes`.
+    pub fn free(&self, bytes: u64) {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Peak tracked usage.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Current tracked usage.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything one invocation can see: identity, bandwidth throttle,
+/// memory meter.
+#[derive(Debug, Clone)]
+pub struct FunctionContext {
+    /// Function name plus invocation index (e.g. `mapper[3]`).
+    pub name: String,
+    /// The invocation's shared bandwidth throttle (hand it to every
+    /// storage/object client the function opens).
+    pub throttle: Option<Arc<TokenBucket>>,
+    /// The invocation's memory meter.
+    pub memory: Arc<MemoryMeter>,
+}
+
+/// One finished invocation, for platform statistics.
+#[derive(Debug, Clone)]
+pub struct InvocationRecord {
+    /// Function name plus index.
+    pub name: String,
+    /// Wall-clock duration.
+    pub duration: Duration,
+    /// Peak tracked memory.
+    pub peak_memory: u64,
+    /// Whether the invocation succeeded.
+    pub ok: bool,
+}
+
+/// The serverless platform: invokes functions under resource limits.
+///
+/// # Examples
+///
+/// ```
+/// # let rt = tokio::runtime::Builder::new_current_thread().enable_time().build().unwrap();
+/// # rt.block_on(async {
+/// use glider_faas::{FaasPlatform, FunctionConfig};
+///
+/// let faas = FaasPlatform::new();
+/// let results = faas
+///     .map_stage("double", FunctionConfig::default(), vec![1, 2, 3], 8, |_ctx, x| {
+///         Box::pin(async move { Ok(x * 2) })
+///     })
+///     .await
+///     .unwrap();
+/// assert_eq!(results, vec![2, 4, 6]);
+/// assert_eq!(faas.invocation_count(), 3);
+/// # });
+/// ```
+#[derive(Debug, Default)]
+pub struct FaasPlatform {
+    invocations: AtomicU64,
+    records: Mutex<Vec<InvocationRecord>>,
+}
+
+impl FaasPlatform {
+    /// Creates a platform.
+    pub fn new() -> Self {
+        FaasPlatform::default()
+    }
+
+    /// Total invocations so far (the paper reports "over 700 serverless
+    /// functions" for the genomics run).
+    pub fn invocation_count(&self) -> u64 {
+        self.invocations.load(Ordering::Relaxed)
+    }
+
+    /// Finished-invocation records.
+    pub fn records(&self) -> Vec<InvocationRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Invokes one function under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::ResourceLimit`] when the lifetime timeout
+    /// fires, or the function's own error.
+    pub async fn invoke<T: Send + 'static>(
+        &self,
+        name: &str,
+        config: FunctionConfig,
+        body: impl FnOnce(FunctionContext) -> BoxFuture<'static, GliderResult<T>>,
+    ) -> GliderResult<T> {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        let ctx = FunctionContext {
+            name: name.to_string(),
+            throttle: config
+                .bandwidth_mibps
+                .map(|m| Arc::new(TokenBucket::from_mibps(m.max(1)))),
+            memory: Arc::new(MemoryMeter::new(config.memory.as_u64())),
+        };
+        let memory = Arc::clone(&ctx.memory);
+        let start = std::time::Instant::now();
+        let result = match tokio::time::timeout(config.timeout, body(ctx)).await {
+            Ok(result) => result,
+            Err(_) => Err(GliderError::new(
+                ErrorCode::ResourceLimit,
+                format!("function {name} exceeded its {:?} timeout", config.timeout),
+            )),
+        };
+        self.records.lock().push(InvocationRecord {
+            name: name.to_string(),
+            duration: start.elapsed(),
+            peak_memory: memory.peak(),
+            ok: result.is_ok(),
+        });
+        result
+    }
+
+    /// Runs one input per invocation with at most `concurrency` in flight,
+    /// returning outputs in input order (fail-fast on the first error).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing invocation's error.
+    pub async fn map_stage<I, T>(
+        &self,
+        name: &str,
+        config: FunctionConfig,
+        inputs: Vec<I>,
+        concurrency: usize,
+        body: impl Fn(FunctionContext, I) -> BoxFuture<'static, GliderResult<T>> + Send + Sync,
+    ) -> GliderResult<Vec<T>>
+    where
+        I: Send + 'static,
+        T: Send + 'static,
+    {
+        use futures::stream::StreamExt;
+        let body = &body;
+        let config = &config;
+        let results: Vec<GliderResult<T>> =
+            futures::stream::iter(inputs.into_iter().enumerate().map(|(i, input)| {
+                let invocation = format!("{name}[{i}]");
+                async move {
+                    self.invoke(&invocation, config.clone(), |ctx| body(ctx, input))
+                        .await
+                }
+            }))
+            .buffered(concurrency.max(1))
+            .collect()
+            .await;
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn invoke_runs_body_and_records() {
+        let faas = FaasPlatform::new();
+        let out = faas
+            .invoke("f", FunctionConfig::default(), |ctx| {
+                Box::pin(async move {
+                    assert_eq!(ctx.name, "f");
+                    Ok(42)
+                })
+            })
+            .await
+            .unwrap();
+        assert_eq!(out, 42);
+        let records = faas.records();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].ok);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn timeout_kills_long_functions() {
+        let faas = FaasPlatform::new();
+        let err = faas
+            .invoke(
+                "slow",
+                FunctionConfig::default().with_timeout(Duration::from_millis(50)),
+                |_ctx| {
+                    Box::pin(async {
+                        tokio::time::sleep(Duration::from_secs(60)).await;
+                        Ok(())
+                    })
+                },
+            )
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::ResourceLimit);
+        assert!(!faas.records()[0].ok);
+    }
+
+    #[tokio::test]
+    async fn memory_meter_enforces_limit() {
+        let faas = FaasPlatform::new();
+        let err = faas
+            .invoke(
+                "oom",
+                FunctionConfig::default().with_memory(ByteSize::kib(1)),
+                |ctx| {
+                    Box::pin(async move {
+                        ctx.memory.alloc(512)?;
+                        ctx.memory.alloc(256)?;
+                        ctx.memory.free(256);
+                        ctx.memory.alloc(700)?; // 512 + 700 > 1024
+                        Ok(())
+                    })
+                },
+            )
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::ResourceLimit);
+    }
+
+    #[tokio::test]
+    async fn memory_meter_tracks_peak() {
+        let meter = MemoryMeter::new(1000);
+        meter.alloc(600).unwrap();
+        meter.free(600);
+        meter.alloc(100).unwrap();
+        assert_eq!(meter.peak(), 600);
+        assert_eq!(meter.used(), 100);
+        meter.free(5000); // saturates
+        assert_eq!(meter.used(), 0);
+    }
+
+    #[tokio::test]
+    async fn map_stage_preserves_order_with_bounded_concurrency() {
+        let faas = FaasPlatform::new();
+        let running = Arc::new(AtomicU64::new(0));
+        let max_running = Arc::new(AtomicU64::new(0));
+        let (r, m) = (Arc::clone(&running), Arc::clone(&max_running));
+        let out = faas
+            .map_stage("stage", FunctionConfig::default(), (0..20u64).collect(), 4, move |_ctx, x| {
+                let r = Arc::clone(&r);
+                let m = Arc::clone(&m);
+                Box::pin(async move {
+                    let now = r.fetch_add(1, Ordering::SeqCst) + 1;
+                    m.fetch_max(now, Ordering::SeqCst);
+                    tokio::time::sleep(Duration::from_millis(5)).await;
+                    r.fetch_sub(1, Ordering::SeqCst);
+                    Ok(x * x)
+                })
+            })
+            .await
+            .unwrap();
+        assert_eq!(out, (0..20u64).map(|x| x * x).collect::<Vec<_>>());
+        assert!(max_running.load(Ordering::SeqCst) <= 4);
+        assert_eq!(faas.invocation_count(), 20);
+    }
+
+    #[tokio::test]
+    async fn map_stage_fails_fast_on_error() {
+        let faas = FaasPlatform::new();
+        let err = faas
+            .map_stage("stage", FunctionConfig::default(), vec![1, 2, 3], 2, |_ctx, x| {
+                Box::pin(async move {
+                    if x == 2 {
+                        Err(GliderError::invalid("boom"))
+                    } else {
+                        Ok(x)
+                    }
+                })
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidArgument);
+    }
+
+    #[tokio::test]
+    async fn bandwidth_config_creates_throttle() {
+        let faas = FaasPlatform::new();
+        faas.invoke(
+            "bw",
+            FunctionConfig::default().with_bandwidth_mibps(10),
+            |ctx| {
+                Box::pin(async move {
+                    let throttle = ctx.throttle.expect("throttle configured");
+                    assert_eq!(throttle.rate_bytes_per_sec(), 10 * 1024 * 1024);
+                    Ok(())
+                })
+            },
+        )
+        .await
+        .unwrap();
+    }
+}

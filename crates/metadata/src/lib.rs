@@ -1,0 +1,548 @@
+//! The Glider metadata server.
+//!
+//! Metadata servers (paper §4.1) administer the hierarchical namespace and
+//! the fleet of blocks: storage servers register their capacity here, and
+//! clients resolve paths, create/delete nodes, and ask for blocks to be
+//! appended to node chains. Structure operations execute entirely at the
+//! metadata server; data operations go directly to storage servers using
+//! the locations returned from lookups.
+//!
+//! Glider's additions (§4.2/§5) are visible here as:
+//!
+//! - the **active storage class**: action nodes always allocate their
+//!   single block (an *action slot*) from servers registered in the
+//!   `active` class;
+//! - **action bookkeeping**: creating an action node atomically reserves
+//!   its slot so a client needs exactly one metadata round trip before
+//!   talking to the active server (the paper's "each client only needs to
+//!   contact the metadata server once").
+//!
+//! The server is a thin RPC shell over the pure structures in
+//! `glider-namespace`; all state sits behind one mutex, mirroring the
+//! single-metadata-server deployments used throughout the paper's
+//! evaluation ("all experiments require a single metadata server").
+
+use futures::future::BoxFuture;
+use glider_metrics::{MetricsRegistry, Tier};
+use glider_namespace::{Namespace, NodePath, ServerRegistry};
+use glider_net::rpc::{ConnCtx, RpcHandler, ServerHandle};
+use glider_proto::message::{RequestBody, ResponseBody};
+use glider_proto::types::NodeKind;
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A running metadata server.
+///
+/// Dropping the handle stops the server.
+///
+/// # Examples
+///
+/// ```no_run
+/// # async fn demo() -> glider_proto::GliderResult<()> {
+/// use glider_metadata::MetadataServer;
+/// use glider_metrics::MetricsRegistry;
+///
+/// let metrics = MetricsRegistry::new();
+/// let server = MetadataServer::start("127.0.0.1:0", metrics).await?;
+/// println!("metadata at {}", server.addr());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MetadataServer {
+    handle: ServerHandle,
+}
+
+/// Tuning options for a metadata server.
+#[derive(Debug, Clone, Default)]
+pub struct MetadataOptions {
+    /// Storage-class fallback chain: when the keyed class has no free
+    /// blocks, allocation retries on the mapped class (transitively).
+    /// This is the paper's "preferred DRAM tier that falls back to an
+    /// NVMe tier when full" (§4.1).
+    pub class_fallbacks: std::collections::HashMap<
+        glider_proto::types::StorageClass,
+        glider_proto::types::StorageClass,
+    >,
+    /// Base offset for the ids (server/block) this server assigns. When
+    /// several metadata servers partition one namespace (paper §4.1
+    /// footnote: "metadata servers may distribute their work by
+    /// partitioning the namespaces"), distinct bases keep block ids
+    /// globally unique.
+    pub id_base: u64,
+}
+
+impl MetadataOptions {
+    /// Adds a fallback edge (`from` exhausted → allocate on `to`).
+    #[must_use]
+    pub fn with_fallback(
+        mut self,
+        from: glider_proto::types::StorageClass,
+        to: glider_proto::types::StorageClass,
+    ) -> Self {
+        self.class_fallbacks.insert(from, to);
+        self
+    }
+
+    /// Sets the id base (use `partition_index << 48`).
+    #[must_use]
+    pub fn with_id_base(mut self, base: u64) -> Self {
+        self.id_base = base;
+        self
+    }
+}
+
+impl MetadataServer {
+    /// Binds `addr` and starts serving the metadata plane with default
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot be bound.
+    pub async fn start(addr: &str, metrics: Arc<MetricsRegistry>) -> GliderResult<Self> {
+        MetadataServer::start_with_options(addr, metrics, MetadataOptions::default()).await
+    }
+
+    /// Binds `addr` and starts serving with explicit [`MetadataOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot be bound.
+    pub async fn start_with_options(
+        addr: &str,
+        metrics: Arc<MetricsRegistry>,
+        options: MetadataOptions,
+    ) -> GliderResult<Self> {
+        let listener = glider_net::conn::bind(addr).await?;
+        let handler = Arc::new(MetadataHandler {
+            state: Mutex::new(State {
+                ns: Namespace::new(),
+                reg: ServerRegistry::with_id_base(options.id_base),
+            }),
+            options,
+        });
+        let handle = glider_net::rpc::serve(listener, handler, metrics, Tier::Storage);
+        Ok(MetadataServer { handle })
+    }
+
+    /// The dialable address of this server.
+    pub fn addr(&self) -> &str {
+        self.handle.addr()
+    }
+
+    /// Stops the server.
+    pub fn shutdown(&self) {
+        self.handle.shutdown();
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    ns: Namespace,
+    reg: ServerRegistry,
+}
+
+struct MetadataHandler {
+    state: Mutex<State>,
+    options: MetadataOptions,
+}
+
+impl MetadataHandler {
+    /// Allocates a block from `class`, walking the configured fallback
+    /// chain when a class is out of capacity.
+    fn allocate_with_fallback(
+        &self,
+        st: &mut State,
+        class: &glider_proto::types::StorageClass,
+    ) -> GliderResult<glider_proto::types::BlockLocation> {
+        let mut current = class.clone();
+        let mut hops = 0;
+        loop {
+            match st.reg.allocate(&current) {
+                Ok(loc) => return Ok(loc),
+                Err(e)
+                    if matches!(e.code(), ErrorCode::OutOfCapacity | ErrorCode::NotFound) =>
+                {
+                    match self.options.class_fallbacks.get(&current) {
+                        // Cap hops to tolerate accidental fallback cycles.
+                        Some(next) if hops < 8 => {
+                            current = next.clone();
+                            hops += 1;
+                        }
+                        _ => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn handle_sync(&self, body: RequestBody) -> GliderResult<ResponseBody> {
+        let mut st = self.state.lock();
+        match body {
+            RequestBody::Hello { .. } => Ok(ResponseBody::Ok),
+            RequestBody::RegisterServer {
+                kind,
+                storage_class,
+                addr,
+                capacity_blocks,
+            } => {
+                let (server_id, first_block_id) =
+                    st.reg.register(kind, storage_class, addr, capacity_blocks)?;
+                Ok(ResponseBody::Registered {
+                    server_id,
+                    first_block_id,
+                })
+            }
+            RequestBody::CreateNode {
+                path,
+                kind,
+                storage_class,
+                action,
+            } => {
+                let path = NodePath::parse(&path)?;
+                let node_id = st.ns.create(path.clone(), kind, storage_class, action)?.id;
+                // KeyValue and Action nodes get their single block up
+                // front so clients reach storage with one metadata trip.
+                if matches!(kind, NodeKind::KeyValue | NodeKind::Action) {
+                    let class = st.ns.get(node_id).expect("just created").storage_class.clone();
+                    let loc = match self.allocate_with_fallback(&mut st, &class) {
+                        Ok(loc) => loc,
+                        Err(e) => {
+                            // Roll back the node so the failure is atomic.
+                            let _ = st.ns.delete(&path);
+                            return Err(e);
+                        }
+                    };
+                    if let Err(e) = st.ns.add_extent(node_id, loc.clone()) {
+                        st.reg.free(loc.block_id);
+                        let _ = st.ns.delete(&path);
+                        return Err(e);
+                    }
+                }
+                Ok(ResponseBody::Node(
+                    st.ns.get(node_id).expect("just created").info(),
+                ))
+            }
+            RequestBody::LookupNode { path } => {
+                let path = NodePath::parse(&path)?;
+                Ok(ResponseBody::Node(st.ns.lookup(&path)?.info()))
+            }
+            RequestBody::DeleteNode { path } => {
+                let path = NodePath::parse(&path)?;
+                let out = st.ns.delete(&path)?;
+                // Return freed capacity to the allocator. The client is
+                // responsible for releasing the actual bytes/objects on the
+                // storage servers (FreeBlocks / ActionDelete).
+                for extent in &out.extents {
+                    st.reg.free(extent.loc.block_id);
+                }
+                for action in &out.actions {
+                    for extent in &action.blocks {
+                        st.reg.free(extent.loc.block_id);
+                    }
+                }
+                Ok(ResponseBody::Deleted {
+                    info: out.info,
+                    extents: out.extents,
+                    actions: out.actions,
+                })
+            }
+            RequestBody::ListChildren { path } => {
+                let path = NodePath::parse(&path)?;
+                Ok(ResponseBody::Children(st.ns.list_children(&path)?))
+            }
+            RequestBody::AddBlock { node_id } => {
+                let class = st
+                    .ns
+                    .get(node_id)
+                    .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?
+                    .storage_class
+                    .clone();
+                let loc = self.allocate_with_fallback(&mut st, &class)?;
+                match st.ns.add_extent(node_id, loc.clone()) {
+                    Ok(extent) => Ok(ResponseBody::Block(extent)),
+                    Err(e) => {
+                        st.reg.free(loc.block_id);
+                        Err(e)
+                    }
+                }
+            }
+            RequestBody::CommitBlock {
+                node_id,
+                block_id,
+                len,
+            } => {
+                st.ns.commit_block(node_id, block_id, len)?;
+                Ok(ResponseBody::Ok)
+            }
+            other => Err(GliderError::new(
+                ErrorCode::Unsupported,
+                format!(
+                    "operation {} is a data-plane op; send it to a storage server",
+                    other.op_name()
+                ),
+            )),
+        }
+    }
+}
+
+impl RpcHandler for MetadataHandler {
+    fn handle(
+        self: Arc<Self>,
+        _ctx: ConnCtx,
+        body: RequestBody,
+    ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
+        Box::pin(async move { self.handle_sync(body) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glider_net::rpc::RpcClient;
+    use glider_proto::types::{ActionSpec, NodeKind, PeerTier, ServerKind, StorageClass};
+
+    async fn setup() -> (MetadataServer, RpcClient) {
+        let metrics = MetricsRegistry::new();
+        let server = MetadataServer::start("127.0.0.1:0", metrics).await.unwrap();
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        (server, client)
+    }
+
+    async fn register(client: &RpcClient, kind: ServerKind, class: StorageClass, cap: u64) {
+        let resp = client
+            .call(RequestBody::RegisterServer {
+                kind,
+                storage_class: class,
+                addr: "127.0.0.1:1".to_string(),
+                capacity_blocks: cap,
+            })
+            .await
+            .unwrap();
+        assert!(matches!(resp, ResponseBody::Registered { .. }));
+    }
+
+    #[tokio::test]
+    async fn create_lookup_delete_over_rpc() {
+        let (_server, client) = setup().await;
+        let resp = client
+            .call(RequestBody::CreateNode {
+                path: "/f".to_string(),
+                kind: NodeKind::File,
+                storage_class: None,
+                action: None,
+            })
+            .await
+            .unwrap();
+        let info = match resp {
+            ResponseBody::Node(info) => info,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(info.kind, NodeKind::File);
+        assert!(info.blocks.is_empty());
+
+        let resp = client
+            .call(RequestBody::LookupNode {
+                path: "/f".to_string(),
+            })
+            .await
+            .unwrap();
+        assert!(matches!(resp, ResponseBody::Node(i) if i.id == info.id));
+
+        let resp = client
+            .call(RequestBody::DeleteNode {
+                path: "/f".to_string(),
+            })
+            .await
+            .unwrap();
+        assert!(matches!(resp, ResponseBody::Deleted { .. }));
+        let err = client
+            .call(RequestBody::LookupNode {
+                path: "/f".to_string(),
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound);
+    }
+
+    #[tokio::test]
+    async fn action_create_reserves_slot_in_active_class() {
+        let (_server, client) = setup().await;
+        // No active servers yet: creating an action must fail cleanly and
+        // leave the namespace unchanged.
+        let err = client
+            .call(RequestBody::CreateNode {
+                path: "/a".to_string(),
+                kind: NodeKind::Action,
+                storage_class: None,
+                action: Some(ActionSpec {
+                    type_name: "merge".to_string(),
+                    interleaved: true,
+                    params: String::new(),
+                }),
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound); // class not found
+        assert_eq!(
+            client
+                .call(RequestBody::LookupNode {
+                    path: "/a".to_string()
+                })
+                .await
+                .unwrap_err()
+                .code(),
+            ErrorCode::NotFound
+        );
+
+        register(&client, ServerKind::Active, StorageClass::active(), 2).await;
+        let resp = client
+            .call(RequestBody::CreateNode {
+                path: "/a".to_string(),
+                kind: NodeKind::Action,
+                storage_class: None,
+                action: Some(ActionSpec {
+                    type_name: "merge".to_string(),
+                    interleaved: true,
+                    params: String::new(),
+                }),
+            })
+            .await
+            .unwrap();
+        let info = match resp {
+            ResponseBody::Node(info) => info,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(info.blocks.len(), 1);
+        assert_eq!(info.action.as_ref().unwrap().type_name, "merge");
+    }
+
+    #[tokio::test]
+    async fn slot_exhaustion_rolls_back_node() {
+        let (_server, client) = setup().await;
+        register(&client, ServerKind::Active, StorageClass::active(), 1).await;
+        let mk = |path: &str| RequestBody::CreateNode {
+            path: path.to_string(),
+            kind: NodeKind::Action,
+            storage_class: None,
+            action: Some(ActionSpec {
+                type_name: "t".to_string(),
+                interleaved: false,
+                params: String::new(),
+            }),
+        };
+        client.call(mk("/a1")).await.unwrap();
+        let err = client.call(mk("/a2")).await.unwrap_err();
+        assert_eq!(err.code(), ErrorCode::OutOfCapacity);
+        // The failed node must not linger.
+        assert_eq!(
+            client
+                .call(RequestBody::LookupNode {
+                    path: "/a2".to_string()
+                })
+                .await
+                .unwrap_err()
+                .code(),
+            ErrorCode::NotFound
+        );
+        // Deleting /a1 releases the slot for reuse.
+        client
+            .call(RequestBody::DeleteNode {
+                path: "/a1".to_string(),
+            })
+            .await
+            .unwrap();
+        client.call(mk("/a3")).await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn file_block_chain_via_rpc() {
+        let (_server, client) = setup().await;
+        register(&client, ServerKind::Data, StorageClass::dram(), 4).await;
+        let info = match client
+            .call(RequestBody::CreateNode {
+                path: "/f".to_string(),
+                kind: NodeKind::File,
+                storage_class: None,
+                action: None,
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        let b1 = match client
+            .call(RequestBody::AddBlock { node_id: info.id })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Block(b) => b,
+            other => panic!("unexpected {other:?}"),
+        };
+        client
+            .call_ok(RequestBody::CommitBlock {
+                node_id: info.id,
+                block_id: b1.loc.block_id,
+                len: 100,
+            })
+            .await
+            .unwrap();
+        let after = match client
+            .call(RequestBody::LookupNode {
+                path: "/f".to_string(),
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(after.size, 100);
+        assert_eq!(after.blocks.len(), 1);
+    }
+
+    #[tokio::test]
+    async fn data_plane_ops_are_rejected() {
+        let (_server, client) = setup().await;
+        let err = client
+            .call(RequestBody::ReadBlock {
+                block_id: 1.into(),
+                offset: 0,
+                len: 1,
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Unsupported);
+    }
+
+    #[tokio::test]
+    async fn keyvalue_gets_block_at_create() {
+        let (_server, client) = setup().await;
+        register(&client, ServerKind::Data, StorageClass::dram(), 4).await;
+        let info = match client
+            .call(RequestBody::CreateNode {
+                path: "/kv".to_string(),
+                kind: NodeKind::KeyValue,
+                storage_class: None,
+                action: None,
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(info.blocks.len(), 1);
+        // A second block is refused.
+        let err = client
+            .call(RequestBody::AddBlock { node_id: info.id })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidArgument);
+    }
+}

@@ -1,0 +1,568 @@
+//! Measurement plane for the Glider reproduction.
+//!
+//! The paper's evaluation (§7) is framed around four key indicators:
+//!
+//! 1. the **amount of data transferred** between the compute (FaaS) tier and
+//!    the storage tier (bytes through the network),
+//! 2. the **number of transfers** (storage accesses),
+//! 3. the **temporary storage utilization** (stored bytes, peak), and
+//! 4. overall application performance (wall-clock, measured by harnesses).
+//!
+//! This crate provides [`MetricsRegistry`], a cheap, thread-safe counter
+//! registry that every transport, server and emulated service reports into.
+//! Transfers are tagged with the [`Tier`] of both endpoints so that
+//! tier-crossing traffic (what the paper counts) can be separated from
+//! intra-storage traffic (what near-data execution is allowed to do for
+//! free, e.g. an action writing result files from inside the cluster).
+//!
+//! # Examples
+//!
+//! ```
+//! use glider_metrics::{AccessKind, MetricsRegistry, Tier};
+//!
+//! let m = MetricsRegistry::new();
+//! m.record_transfer(Tier::Compute, Tier::Storage, 1024);
+//! m.record_access(AccessKind::ActionWrite);
+//! m.storage_alloc(4096);
+//!
+//! let snap = m.snapshot();
+//! assert_eq!(snap.tier_crossing_bytes(), 1024);
+//! assert_eq!(snap.storage_accesses(), 1);
+//! assert_eq!(snap.storage_peak, 4096);
+//! ```
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The architectural tier an endpoint belongs to.
+///
+/// The paper's data-shipping analysis counts bytes that cross the
+/// compute/storage boundary; traffic between elements of the same tier
+/// (e.g. action → data server) stays inside the storage cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Serverless workers / application clients (the FaaS side).
+    Compute,
+    /// The Glider ephemeral storage cluster (metadata, data, active servers).
+    Storage,
+    /// The emulated cloud object store (S3 stand-in) used by baselines.
+    ObjectStore,
+}
+
+impl Tier {
+    const COUNT: usize = 3;
+
+    fn index(self) -> usize {
+        match self {
+            Tier::Compute => 0,
+            Tier::Storage => 1,
+            Tier::ObjectStore => 2,
+        }
+    }
+
+    /// All tiers, in index order.
+    pub const ALL: [Tier; 3] = [Tier::Compute, Tier::Storage, Tier::ObjectStore];
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tier::Compute => "compute",
+            Tier::Storage => "storage",
+            Tier::ObjectStore => "object-store",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The kind of logical storage access (one access = one open data operation
+/// against the storage or object tier, regardless of how many network chunks
+/// implement it). This is the paper's "number of transfers" indicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Opening a read stream on a file/KV/bag node.
+    FileRead,
+    /// Opening a write stream on a file/KV/bag node.
+    FileWrite,
+    /// Opening a read stream on an action node.
+    ActionRead,
+    /// Opening a write stream on an action node.
+    ActionWrite,
+    /// An object GET against the object store.
+    ObjectGet,
+    /// An object PUT against the object store.
+    ObjectPut,
+    /// An object SELECT (server-side filtered GET).
+    ObjectSelect,
+    /// A metadata-plane RPC (lookup/create/delete).
+    Metadata,
+}
+
+impl AccessKind {
+    const COUNT: usize = 8;
+
+    fn index(self) -> usize {
+        match self {
+            AccessKind::FileRead => 0,
+            AccessKind::FileWrite => 1,
+            AccessKind::ActionRead => 2,
+            AccessKind::ActionWrite => 3,
+            AccessKind::ObjectGet => 4,
+            AccessKind::ObjectPut => 5,
+            AccessKind::ObjectSelect => 6,
+            AccessKind::Metadata => 7,
+        }
+    }
+
+    /// All access kinds, in index order.
+    pub const ALL: [AccessKind; 8] = [
+        AccessKind::FileRead,
+        AccessKind::FileWrite,
+        AccessKind::ActionRead,
+        AccessKind::ActionWrite,
+        AccessKind::ObjectGet,
+        AccessKind::ObjectPut,
+        AccessKind::ObjectSelect,
+        AccessKind::Metadata,
+    ];
+
+    /// Whether this access kind counts toward the paper's "storage accesses"
+    /// indicator (data-plane accesses; metadata RPCs are reported separately).
+    pub fn is_data_access(self) -> bool {
+        !matches!(self, AccessKind::Metadata)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::FileRead => "file-read",
+            AccessKind::FileWrite => "file-write",
+            AccessKind::ActionRead => "action-read",
+            AccessKind::ActionWrite => "action-write",
+            AccessKind::ObjectGet => "object-get",
+            AccessKind::ObjectPut => "object-put",
+            AccessKind::ObjectSelect => "object-select",
+            AccessKind::Metadata => "metadata",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Gauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    fn add(&self, n: u64) {
+        let new = self.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(new, Ordering::Relaxed);
+    }
+
+    fn sub(&self, n: u64) {
+        // Saturating decrement: double-free accounting should not wrap.
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Thread-safe registry of the paper's evaluation indicators.
+///
+/// Cloning the `Arc` and recording counters is cheap enough to sit on the
+/// per-chunk data path. See the [crate docs](self) for an overview.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    transfers: [[AtomicU64; Tier::COUNT]; Tier::COUNT],
+    transfer_ops: [[AtomicU64; Tier::COUNT]; Tier::COUNT],
+    accesses: [AtomicU64; AccessKind::COUNT],
+    storage: Gauge,
+    object: Gauge,
+    object_scanned: AtomicU64,
+    notes: Mutex<Vec<String>>,
+}
+
+impl MetricsRegistry {
+    /// Creates a fresh registry behind an `Arc`.
+    pub fn new() -> Arc<Self> {
+        Arc::new(MetricsRegistry {
+            transfers: Default::default(),
+            transfer_ops: Default::default(),
+            accesses: Default::default(),
+            storage: Gauge::default(),
+            object: Gauge::default(),
+            object_scanned: AtomicU64::new(0),
+            notes: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Records `bytes` moving from tier `from` to tier `to`.
+    pub fn record_transfer(&self, from: Tier, to: Tier, bytes: u64) {
+        self.transfers[from.index()][to.index()].fetch_add(bytes, Ordering::Relaxed);
+        self.transfer_ops[from.index()][to.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one logical storage access.
+    pub fn record_access(&self, kind: AccessKind) {
+        self.accesses[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` newly stored in the ephemeral storage tier.
+    pub fn storage_alloc(&self, bytes: u64) {
+        self.storage.add(bytes);
+    }
+
+    /// Records `bytes` released from the ephemeral storage tier.
+    pub fn storage_free(&self, bytes: u64) {
+        self.storage.sub(bytes);
+    }
+
+    /// Records `bytes` newly stored in the object store.
+    pub fn object_alloc(&self, bytes: u64) {
+        self.object.add(bytes);
+    }
+
+    /// Records `bytes` released from the object store.
+    pub fn object_free(&self, bytes: u64) {
+        self.object.sub(bytes);
+    }
+
+    /// Records `bytes` scanned server-side by an object SELECT (data the
+    /// object service had to read even though it was not transferred).
+    pub fn object_select_scanned(&self, bytes: u64) {
+        self.object_scanned.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Attaches a free-form note to the registry (harnesses use this to
+    /// remember configuration alongside results).
+    pub fn note(&self, s: impl Into<String>) {
+        self.notes.lock().push(s.into());
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    ///
+    /// Counters are read individually with relaxed ordering; for the
+    /// harnesses (which snapshot while quiescent) this is exact.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut transfers = [[0u64; Tier::COUNT]; Tier::COUNT];
+        let mut transfer_ops = [[0u64; Tier::COUNT]; Tier::COUNT];
+        for f in 0..Tier::COUNT {
+            for t in 0..Tier::COUNT {
+                transfers[f][t] = self.transfers[f][t].load(Ordering::Relaxed);
+                transfer_ops[f][t] = self.transfer_ops[f][t].load(Ordering::Relaxed);
+            }
+        }
+        let mut accesses = [0u64; AccessKind::COUNT];
+        for (i, a) in self.accesses.iter().enumerate() {
+            accesses[i] = a.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot {
+            transfers,
+            transfer_ops,
+            accesses,
+            storage_current: self.storage.current.load(Ordering::Relaxed),
+            storage_peak: self.storage.peak.load(Ordering::Relaxed),
+            object_current: self.object.current.load(Ordering::Relaxed),
+            object_peak: self.object.peak.load(Ordering::Relaxed),
+            object_scanned: self.object_scanned.load(Ordering::Relaxed),
+            notes: self.notes.lock().clone(),
+        }
+    }
+
+    /// Resets every counter and gauge to zero.
+    pub fn reset(&self) {
+        for row in &self.transfers {
+            for c in row {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+        for row in &self.transfer_ops {
+            for c in row {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+        for c in &self.accesses {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.storage.current.store(0, Ordering::Relaxed);
+        self.storage.peak.store(0, Ordering::Relaxed);
+        self.object.current.store(0, Ordering::Relaxed);
+        self.object.peak.store(0, Ordering::Relaxed);
+        self.object_scanned.store(0, Ordering::Relaxed);
+        self.notes.lock().clear();
+    }
+}
+
+/// A point-in-time copy of every indicator in a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    transfers: [[u64; Tier::COUNT]; Tier::COUNT],
+    transfer_ops: [[u64; Tier::COUNT]; Tier::COUNT],
+    accesses: [u64; AccessKind::COUNT],
+    /// Bytes currently held by the ephemeral storage tier.
+    pub storage_current: u64,
+    /// Peak bytes held by the ephemeral storage tier.
+    pub storage_peak: u64,
+    /// Bytes currently held by the object store.
+    pub object_current: u64,
+    /// Peak bytes held by the object store.
+    pub object_peak: u64,
+    /// Bytes scanned server-side by object SELECT operations.
+    pub object_scanned: u64,
+    /// Free-form notes recorded during the run.
+    pub notes: Vec<String>,
+}
+
+impl MetricsSnapshot {
+    /// Bytes moved from `from` to `to`.
+    pub fn transferred(&self, from: Tier, to: Tier) -> u64 {
+        self.transfers[from.index()][to.index()]
+    }
+
+    /// Number of transfer operations (chunks/requests) from `from` to `to`.
+    pub fn transfer_ops(&self, from: Tier, to: Tier) -> u64 {
+        self.transfer_ops[from.index()][to.index()]
+    }
+
+    /// Total bytes crossing the compute boundary in either direction — the
+    /// paper's "data transferred between compute and storage" indicator.
+    /// Includes object-store traffic so baselines and Glider are comparable.
+    pub fn tier_crossing_bytes(&self) -> u64 {
+        let c = Tier::Compute.index();
+        let mut total = 0;
+        for other in [Tier::Storage.index(), Tier::ObjectStore.index()] {
+            total += self.transfers[c][other] + self.transfers[other][c];
+        }
+        total
+    }
+
+    /// Bytes ingested by the compute tier (storage/object → compute).
+    pub fn compute_ingress_bytes(&self) -> u64 {
+        let c = Tier::Compute.index();
+        self.transfers[Tier::Storage.index()][c] + self.transfers[Tier::ObjectStore.index()][c]
+    }
+
+    /// Bytes emitted by the compute tier (compute → storage/object).
+    pub fn compute_egress_bytes(&self) -> u64 {
+        let c = Tier::Compute.index();
+        self.transfers[c][Tier::Storage.index()] + self.transfers[c][Tier::ObjectStore.index()]
+    }
+
+    /// Bytes moved inside the storage tier (near-data traffic).
+    pub fn intra_storage_bytes(&self) -> u64 {
+        let s = Tier::Storage.index();
+        self.transfers[s][s]
+    }
+
+    /// Count of one access kind.
+    pub fn accesses(&self, kind: AccessKind) -> u64 {
+        self.accesses[kind.index()]
+    }
+
+    /// Total data-plane storage accesses (the paper's "number of
+    /// transfers" indicator; metadata RPCs excluded).
+    pub fn storage_accesses(&self) -> u64 {
+        AccessKind::ALL
+            .iter()
+            .filter(|k| k.is_data_access())
+            .map(|k| self.accesses(*k))
+            .sum()
+    }
+
+    /// Peak temporary storage utilization across both storage services.
+    pub fn peak_utilization(&self) -> u64 {
+        self.storage_peak + self.object_peak
+    }
+
+    /// Computes the relative reduction of `ours` vs `baseline` as a
+    /// percentage (e.g. 99.75 for the Table 2 transfer cut). Returns 0.0
+    /// when the baseline is zero.
+    pub fn reduction_pct(baseline: u64, ours: u64) -> f64 {
+        if baseline == 0 {
+            0.0
+        } else {
+            (1.0 - ours as f64 / baseline as f64) * 100.0
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics snapshot:")?;
+        for from in Tier::ALL {
+            for to in Tier::ALL {
+                let b = self.transferred(from, to);
+                if b > 0 {
+                    writeln!(
+                        f,
+                        "  transfer {from} -> {to}: {} ({} ops)",
+                        glider_fmt_bytes(b),
+                        self.transfer_ops(from, to)
+                    )?;
+                }
+            }
+        }
+        for kind in AccessKind::ALL {
+            let n = self.accesses(kind);
+            if n > 0 {
+                writeln!(f, "  access {kind}: {n}")?;
+            }
+        }
+        writeln!(
+            f,
+            "  storage: current {} peak {}",
+            glider_fmt_bytes(self.storage_current),
+            glider_fmt_bytes(self.storage_peak)
+        )?;
+        writeln!(
+            f,
+            "  object store: current {} peak {} scanned {}",
+            glider_fmt_bytes(self.object_current),
+            glider_fmt_bytes(self.object_peak),
+            glider_fmt_bytes(self.object_scanned)
+        )
+    }
+}
+
+fn glider_fmt_bytes(b: u64) -> String {
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * KIB;
+    const GIB: u64 = 1024 * MIB;
+    if b >= GIB {
+        format!("{:.2} GiB", b as f64 / GIB as f64)
+    } else if b >= MIB {
+        format!("{:.2} MiB", b as f64 / MIB as f64)
+    } else if b >= KIB {
+        format!("{} KiB", b / KIB)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_accumulate_per_direction() {
+        let m = MetricsRegistry::new();
+        m.record_transfer(Tier::Compute, Tier::Storage, 100);
+        m.record_transfer(Tier::Compute, Tier::Storage, 50);
+        m.record_transfer(Tier::Storage, Tier::Compute, 10);
+        m.record_transfer(Tier::Storage, Tier::Storage, 999);
+        let s = m.snapshot();
+        assert_eq!(s.transferred(Tier::Compute, Tier::Storage), 150);
+        assert_eq!(s.transferred(Tier::Storage, Tier::Compute), 10);
+        assert_eq!(s.transfer_ops(Tier::Compute, Tier::Storage), 2);
+        assert_eq!(s.tier_crossing_bytes(), 160);
+        assert_eq!(s.intra_storage_bytes(), 999);
+        assert_eq!(s.compute_egress_bytes(), 150);
+        assert_eq!(s.compute_ingress_bytes(), 10);
+    }
+
+    #[test]
+    fn object_store_traffic_counts_as_crossing() {
+        let m = MetricsRegistry::new();
+        m.record_transfer(Tier::Compute, Tier::ObjectStore, 70);
+        m.record_transfer(Tier::ObjectStore, Tier::Compute, 30);
+        let s = m.snapshot();
+        assert_eq!(s.tier_crossing_bytes(), 100);
+    }
+
+    #[test]
+    fn accesses_split_data_vs_metadata() {
+        let m = MetricsRegistry::new();
+        m.record_access(AccessKind::FileRead);
+        m.record_access(AccessKind::ActionWrite);
+        m.record_access(AccessKind::ObjectSelect);
+        m.record_access(AccessKind::Metadata);
+        let s = m.snapshot();
+        assert_eq!(s.storage_accesses(), 3);
+        assert_eq!(s.accesses(AccessKind::Metadata), 1);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let m = MetricsRegistry::new();
+        m.storage_alloc(100);
+        m.storage_alloc(200);
+        m.storage_free(250);
+        let s = m.snapshot();
+        assert_eq!(s.storage_current, 50);
+        assert_eq!(s.storage_peak, 300);
+    }
+
+    #[test]
+    fn gauge_free_saturates() {
+        let m = MetricsRegistry::new();
+        m.storage_alloc(10);
+        m.storage_free(100);
+        assert_eq!(m.snapshot().storage_current, 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = MetricsRegistry::new();
+        m.record_transfer(Tier::Compute, Tier::Storage, 1);
+        m.record_access(AccessKind::FileRead);
+        m.storage_alloc(5);
+        m.object_alloc(7);
+        m.object_select_scanned(3);
+        m.note("hello");
+        m.reset();
+        let s = m.snapshot();
+        assert_eq!(s.tier_crossing_bytes(), 0);
+        assert_eq!(s.storage_accesses(), 0);
+        assert_eq!(s.storage_peak, 0);
+        assert_eq!(s.object_peak, 0);
+        assert_eq!(s.object_scanned, 0);
+        assert!(s.notes.is_empty());
+    }
+
+    #[test]
+    fn reduction_pct_matches_paper_math() {
+        // Table 2: 10 GiB baseline vs 25.7 MiB with Glider = 99.75%.
+        let baseline = 10 * 1024 * 1024 * 1024u64;
+        let ours = (25.7 * 1024.0 * 1024.0) as u64;
+        let pct = MetricsSnapshot::reduction_pct(baseline, ours);
+        assert!((pct - 99.75).abs() < 0.01, "pct {pct}");
+        assert_eq!(MetricsSnapshot::reduction_pct(0, 5), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = MetricsRegistry::new();
+        m.record_transfer(Tier::Compute, Tier::Storage, 1024 * 1024);
+        let out = m.snapshot().to_string();
+        assert!(out.contains("compute -> storage"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        m.record_transfer(Tier::Compute, Tier::Storage, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().transferred(Tier::Compute, Tier::Storage), 40_000);
+    }
+}

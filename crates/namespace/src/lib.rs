@@ -1,0 +1,28 @@
+//! The NodeKernel namespace: hierarchical node tree and block registry.
+//!
+//! NodeKernel (paper §4.1) organizes ephemeral data as typed *nodes* in a
+//! hierarchical namespace managed by metadata servers, with data held in
+//! fixed-size *blocks* contributed by storage servers grouped into *storage
+//! classes*. Glider (§4.2) adds the `Action` node kind, whose "blocks" are
+//! action slots on active servers in a dedicated `active` class.
+//!
+//! This crate contains the pure (non-networked) data structures the
+//! metadata server is built from:
+//!
+//! - [`path::NodePath`] — validated absolute paths,
+//! - [`tree::Namespace`] — the node tree with create/lookup/delete and
+//!   block-chain bookkeeping,
+//! - [`registry::ServerRegistry`] — storage-server membership, per-class
+//!   round-robin block allocation (the paper's uniform distribution policy)
+//!   and free-list management.
+//!
+//! Keeping these pure makes the allocation and namespace invariants easy to
+//! test (including with property-based tests) independent of the RPC plane.
+
+pub mod path;
+pub mod registry;
+pub mod tree;
+
+pub use path::NodePath;
+pub use registry::ServerRegistry;
+pub use tree::Namespace;

@@ -1,0 +1,189 @@
+//! Validated absolute namespace paths.
+
+use glider_proto::{GliderError, GliderResult};
+use std::fmt;
+
+/// An absolute, normalized path in the storage namespace.
+///
+/// Paths look like file-system paths (`/job1/shuffle/part-3`): they start
+/// with `/`, components are non-empty, and `.`/`..` are rejected. The root
+/// is `/`.
+///
+/// # Examples
+///
+/// ```
+/// use glider_namespace::NodePath;
+///
+/// let p = NodePath::parse("/a/b/c")?;
+/// assert_eq!(p.name(), Some("c"));
+/// assert_eq!(p.parent().unwrap().as_str(), "/a/b");
+/// assert_eq!(p.components().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+/// # Ok::<(), glider_proto::GliderError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodePath(String);
+
+impl NodePath {
+    /// The namespace root.
+    pub fn root() -> Self {
+        NodePath("/".to_string())
+    }
+
+    /// Parses and validates a path string.
+    ///
+    /// Trailing slashes are stripped (except for the root itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`glider_proto::ErrorCode::InvalidArgument`] for relative
+    /// paths, empty components, or `.`/`..` components.
+    pub fn parse(s: &str) -> GliderResult<Self> {
+        if !s.starts_with('/') {
+            return Err(GliderError::invalid(format!(
+                "path must be absolute, got {s:?}"
+            )));
+        }
+        let trimmed = s.trim_end_matches('/');
+        if trimmed.is_empty() {
+            return Ok(NodePath::root());
+        }
+        for comp in trimmed[1..].split('/') {
+            if comp.is_empty() {
+                return Err(GliderError::invalid(format!(
+                    "empty component in path {s:?}"
+                )));
+            }
+            if comp == "." || comp == ".." {
+                return Err(GliderError::invalid(format!(
+                    "relative component {comp:?} in path {s:?}"
+                )));
+            }
+        }
+        Ok(NodePath(trimmed.to_string()))
+    }
+
+    /// The path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True for the namespace root `/`.
+    pub fn is_root(&self) -> bool {
+        self.0 == "/"
+    }
+
+    /// The final component, or `None` for the root.
+    pub fn name(&self) -> Option<&str> {
+        if self.is_root() {
+            None
+        } else {
+            self.0.rsplit('/').next()
+        }
+    }
+
+    /// The parent path, or `None` for the root.
+    pub fn parent(&self) -> Option<NodePath> {
+        if self.is_root() {
+            return None;
+        }
+        match self.0.rfind('/') {
+            Some(0) => Some(NodePath::root()),
+            Some(idx) => Some(NodePath(self.0[..idx].to_string())),
+            None => None,
+        }
+    }
+
+    /// Iterates the path components in order (empty for the root).
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        let inner = if self.is_root() { "" } else { &self.0[1..] };
+        inner.split('/').filter(|c| !c.is_empty())
+    }
+
+    /// Appends a child component.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `child` is empty or contains `/`.
+    pub fn join(&self, child: &str) -> GliderResult<NodePath> {
+        if child.is_empty() || child.contains('/') || child == "." || child == ".." {
+            return Err(GliderError::invalid(format!(
+                "invalid child name {child:?}"
+            )));
+        }
+        if self.is_root() {
+            Ok(NodePath(format!("/{child}")))
+        } else {
+            Ok(NodePath(format!("{}/{child}", self.0)))
+        }
+    }
+}
+
+impl fmt::Display for NodePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for NodePath {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_properties() {
+        let root = NodePath::root();
+        assert!(root.is_root());
+        assert_eq!(root.name(), None);
+        assert_eq!(root.parent(), None);
+        assert_eq!(root.components().count(), 0);
+        assert_eq!(NodePath::parse("/").unwrap(), root);
+        assert_eq!(NodePath::parse("///").unwrap(), root);
+    }
+
+    #[test]
+    fn parse_normalizes_trailing_slash() {
+        assert_eq!(NodePath::parse("/a/b/").unwrap().as_str(), "/a/b");
+    }
+
+    #[test]
+    fn parse_rejects_bad_paths() {
+        assert!(NodePath::parse("relative").is_err());
+        assert!(NodePath::parse("").is_err());
+        assert!(NodePath::parse("/a//b").is_err());
+        assert!(NodePath::parse("/a/./b").is_err());
+        assert!(NodePath::parse("/a/../b").is_err());
+    }
+
+    #[test]
+    fn family_relations() {
+        let p = NodePath::parse("/a/b/c").unwrap();
+        assert_eq!(p.name(), Some("c"));
+        assert_eq!(p.parent().unwrap().as_str(), "/a/b");
+        assert_eq!(p.parent().unwrap().parent().unwrap().as_str(), "/a");
+        assert!(p.parent().unwrap().parent().unwrap().parent().unwrap().is_root());
+    }
+
+    #[test]
+    fn join_builds_children() {
+        let root = NodePath::root();
+        let a = root.join("a").unwrap();
+        assert_eq!(a.as_str(), "/a");
+        let ab = a.join("b").unwrap();
+        assert_eq!(ab.as_str(), "/a/b");
+        assert!(a.join("").is_err());
+        assert!(a.join("x/y").is_err());
+        assert!(a.join("..").is_err());
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        let p = NodePath::parse("/x/y").unwrap();
+        assert_eq!(p.to_string(), "/x/y");
+        assert_eq!(p.as_ref(), "/x/y");
+    }
+}

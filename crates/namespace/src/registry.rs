@@ -1,0 +1,319 @@
+//! Storage-server membership and block allocation.
+//!
+//! Servers register into exactly one storage class (paper §4.1) and
+//! contribute a fixed number of blocks (data servers) or action slots
+//! (active servers). Allocation walks the servers of a class round-robin —
+//! the uniform distribution policy Glider inherits from NodeKernel/Pocket
+//! to avoid redistribution when scaling (§4.2 "Distributing actions").
+
+use glider_proto::types::{BlockId, BlockLocation, ServerId, ServerKind, StorageClass};
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use std::collections::{HashMap, VecDeque};
+
+/// One registered storage server.
+#[derive(Debug, Clone)]
+pub struct ServerEntry {
+    /// Assigned id.
+    pub id: ServerId,
+    /// Data or active.
+    pub kind: ServerKind,
+    /// The single class this server joined.
+    pub class: StorageClass,
+    /// Data-plane address clients dial.
+    pub addr: String,
+    /// Total blocks contributed.
+    pub capacity: u64,
+    free: VecDeque<BlockId>,
+}
+
+impl ServerEntry {
+    /// Number of currently unallocated blocks on this server.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// Membership and allocation state for all storage servers.
+///
+/// # Examples
+///
+/// ```
+/// use glider_namespace::ServerRegistry;
+/// use glider_proto::types::{ServerKind, StorageClass};
+///
+/// let mut reg = ServerRegistry::new();
+/// let (id, _first) = reg.register(
+///     ServerKind::Data,
+///     StorageClass::dram(),
+///     "127.0.0.1:9000".to_string(),
+///     4,
+/// )?;
+/// let loc = reg.allocate(&StorageClass::dram())?;
+/// assert_eq!(loc.server_id, id);
+/// # Ok::<(), glider_proto::GliderError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ServerRegistry {
+    servers: HashMap<ServerId, ServerEntry>,
+    classes: HashMap<StorageClass, ClassState>,
+    block_owner: HashMap<BlockId, ServerId>,
+    next_server: u64,
+    next_block: u64,
+}
+
+#[derive(Debug, Default)]
+struct ClassState {
+    members: Vec<ServerId>,
+    cursor: usize,
+}
+
+impl ServerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ServerRegistry::with_id_base(0)
+    }
+
+    /// Creates a registry whose ids start at `base + 1`. Metadata servers
+    /// partitioning one namespace use distinct bases (e.g.
+    /// `partition << 48`) so server and block ids remain globally unique.
+    pub fn with_id_base(base: u64) -> Self {
+        ServerRegistry {
+            next_server: base + 1,
+            next_block: base + 1,
+            ..Default::default()
+        }
+    }
+
+    /// Registers a server with `capacity` blocks into `class`.
+    ///
+    /// Returns the assigned server id and the first block id of the
+    /// contiguous range assigned to its capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::InvalidArgument`] for zero capacity.
+    pub fn register(
+        &mut self,
+        kind: ServerKind,
+        class: StorageClass,
+        addr: String,
+        capacity: u64,
+    ) -> GliderResult<(ServerId, BlockId)> {
+        if capacity == 0 {
+            return Err(GliderError::invalid("server capacity must be non-zero"));
+        }
+        let id = ServerId(self.next_server);
+        self.next_server += 1;
+        let first_block = BlockId(self.next_block);
+        let mut free = VecDeque::with_capacity(capacity as usize);
+        for _ in 0..capacity {
+            let b = BlockId(self.next_block);
+            self.next_block += 1;
+            free.push_back(b);
+            self.block_owner.insert(b, id);
+        }
+        self.servers.insert(
+            id,
+            ServerEntry {
+                id,
+                kind,
+                class: class.clone(),
+                addr,
+                capacity,
+                free,
+            },
+        );
+        self.classes.entry(class).or_default().members.push(id);
+        Ok((id, first_block))
+    }
+
+    /// Allocates one block from `class`, round-robin across its servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] for an unknown class and
+    /// [`ErrorCode::OutOfCapacity`] when every member server is full.
+    pub fn allocate(&mut self, class: &StorageClass) -> GliderResult<BlockLocation> {
+        let state = self
+            .classes
+            .get_mut(class)
+            .ok_or_else(|| GliderError::not_found(format!("storage class {class}")))?;
+        let n = state.members.len();
+        for step in 0..n {
+            let idx = (state.cursor + step) % n;
+            let sid = state.members[idx];
+            let server = self.servers.get_mut(&sid).expect("member exists");
+            if let Some(block_id) = server.free.pop_front() {
+                state.cursor = (idx + 1) % n;
+                return Ok(BlockLocation {
+                    block_id,
+                    server_id: sid,
+                    addr: server.addr.clone(),
+                });
+            }
+        }
+        Err(GliderError::new(
+            ErrorCode::OutOfCapacity,
+            format!("no free blocks in storage class {class}"),
+        ))
+    }
+
+    /// Returns a block to its owning server's free list.
+    ///
+    /// Unknown blocks are ignored (frees are idempotent from the metadata
+    /// server's perspective: a block may only be freed once because the
+    /// caller removes the owning node first).
+    pub fn free(&mut self, block_id: BlockId) {
+        if let Some(sid) = self.block_owner.get(&block_id) {
+            if let Some(server) = self.servers.get_mut(sid) {
+                if !server.free.contains(&block_id) {
+                    server.free.push_back(block_id);
+                }
+            }
+        }
+    }
+
+    /// Looks up a registered server.
+    pub fn server(&self, id: ServerId) -> Option<&ServerEntry> {
+        self.servers.get(&id)
+    }
+
+    /// The address of a server, if registered.
+    pub fn addr_of(&self, id: ServerId) -> Option<&str> {
+        self.servers.get(&id).map(|s| s.addr.as_str())
+    }
+
+    /// Iterates over servers of a class.
+    pub fn class_members(&self, class: &StorageClass) -> impl Iterator<Item = &ServerEntry> {
+        self.classes
+            .get(class)
+            .into_iter()
+            .flat_map(|c| c.members.iter())
+            .filter_map(|id| self.servers.get(id))
+    }
+
+    /// Total free blocks in a class.
+    pub fn class_free(&self, class: &StorageClass) -> u64 {
+        self.class_members(class)
+            .map(|s| s.free_blocks() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_with(n_servers: u64, cap: u64) -> ServerRegistry {
+        let mut reg = ServerRegistry::new();
+        for i in 0..n_servers {
+            reg.register(
+                ServerKind::Data,
+                StorageClass::dram(),
+                format!("srv-{i}"),
+                cap,
+            )
+            .unwrap();
+        }
+        reg
+    }
+
+    #[test]
+    fn register_assigns_contiguous_blocks() {
+        let mut reg = ServerRegistry::new();
+        let (s1, b1) = reg
+            .register(ServerKind::Data, StorageClass::dram(), "a".into(), 3)
+            .unwrap();
+        let (s2, b2) = reg
+            .register(ServerKind::Active, StorageClass::active(), "b".into(), 2)
+            .unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(b1, BlockId(1));
+        assert_eq!(b2, BlockId(4));
+        assert_eq!(reg.server(s1).unwrap().free_blocks(), 3);
+        assert_eq!(reg.addr_of(s2), Some("b"));
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let mut reg = ServerRegistry::new();
+        assert!(reg
+            .register(ServerKind::Data, StorageClass::dram(), "a".into(), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn allocation_round_robins_across_servers() {
+        let mut reg = reg_with(3, 10);
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            seen.push(reg.allocate(&StorageClass::dram()).unwrap().server_id);
+        }
+        // Each server hit exactly twice, in rotation.
+        assert_eq!(seen[0], seen[3]);
+        assert_eq!(seen[1], seen[4]);
+        assert_eq!(seen[2], seen[5]);
+        assert_ne!(seen[0], seen[1]);
+        assert_ne!(seen[1], seen[2]);
+    }
+
+    #[test]
+    fn allocation_skips_full_servers() {
+        let mut reg = ServerRegistry::new();
+        reg.register(ServerKind::Data, StorageClass::dram(), "small".into(), 1)
+            .unwrap();
+        reg.register(ServerKind::Data, StorageClass::dram(), "big".into(), 5)
+            .unwrap();
+        let mut allocated = Vec::new();
+        for _ in 0..6 {
+            allocated.push(reg.allocate(&StorageClass::dram()).unwrap());
+        }
+        assert!(reg.allocate(&StorageClass::dram()).is_err());
+        let small_hits = allocated.iter().filter(|l| l.addr == "small").count();
+        assert_eq!(small_hits, 1);
+    }
+
+    #[test]
+    fn capacity_exhaustion_and_free_cycle() {
+        let mut reg = reg_with(1, 2);
+        let a = reg.allocate(&StorageClass::dram()).unwrap();
+        let _b = reg.allocate(&StorageClass::dram()).unwrap();
+        let err = reg.allocate(&StorageClass::dram()).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::OutOfCapacity);
+        reg.free(a.block_id);
+        let c = reg.allocate(&StorageClass::dram()).unwrap();
+        assert_eq!(c.block_id, a.block_id);
+    }
+
+    #[test]
+    fn double_free_is_harmless() {
+        let mut reg = reg_with(1, 1);
+        let a = reg.allocate(&StorageClass::dram()).unwrap();
+        reg.free(a.block_id);
+        reg.free(a.block_id);
+        assert_eq!(reg.class_free(&StorageClass::dram()), 1);
+        reg.free(BlockId(999)); // unknown: ignored
+    }
+
+    #[test]
+    fn unknown_class_is_not_found() {
+        let mut reg = reg_with(1, 1);
+        let err = reg.allocate(&StorageClass::from("nvme")).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound);
+    }
+
+    #[test]
+    fn classes_are_isolated() {
+        let mut reg = ServerRegistry::new();
+        reg.register(ServerKind::Data, StorageClass::dram(), "d".into(), 1)
+            .unwrap();
+        reg.register(ServerKind::Active, StorageClass::active(), "a".into(), 1)
+            .unwrap();
+        let d = reg.allocate(&StorageClass::dram()).unwrap();
+        let a = reg.allocate(&StorageClass::active()).unwrap();
+        assert_eq!(d.addr, "d");
+        assert_eq!(a.addr, "a");
+        assert_eq!(reg.class_free(&StorageClass::dram()), 0);
+        assert_eq!(reg.class_free(&StorageClass::active()), 0);
+    }
+}

@@ -1,0 +1,543 @@
+//! The hierarchical node tree.
+
+use crate::path::NodePath;
+use glider_proto::types::{
+    ActionSpec, BlockExtent, BlockId, BlockLocation, NodeId, NodeInfo, NodeKind, StorageClass,
+};
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use std::collections::{BTreeMap, HashMap};
+
+/// A node in the namespace.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Absolute path.
+    pub path: NodePath,
+    /// Storage class used when growing this node's block chain.
+    pub storage_class: StorageClass,
+    /// Block chain with per-block used lengths.
+    pub blocks: Vec<BlockExtent>,
+    /// Action parameters for `Action` nodes.
+    pub action: Option<ActionSpec>,
+    parent: Option<NodeId>,
+    children: BTreeMap<String, NodeId>,
+}
+
+impl Node {
+    /// Total data size: the sum of used bytes across the chain.
+    pub fn size(&self) -> u64 {
+        self.blocks.iter().map(|b| b.len).sum()
+    }
+
+    /// Builds the client-visible view of this node.
+    pub fn info(&self) -> NodeInfo {
+        NodeInfo {
+            id: self.id,
+            kind: self.kind,
+            size: self.size(),
+            blocks: self.blocks.clone(),
+            action: self.action.clone(),
+        }
+    }
+
+    /// Child names in lexicographic order.
+    pub fn child_names(&self) -> Vec<String> {
+        self.children.keys().cloned().collect()
+    }
+}
+
+/// Result of deleting a subtree: everything the caller must release on
+/// storage servers.
+#[derive(Debug, Clone)]
+pub struct DeleteOutcome {
+    /// The removed node itself.
+    pub info: NodeInfo,
+    /// All data-block extents owned by the removed subtree.
+    pub extents: Vec<BlockExtent>,
+    /// All action nodes in the removed subtree (their `on_delete` must run
+    /// on the owning active servers).
+    pub actions: Vec<NodeInfo>,
+}
+
+/// The hierarchical namespace of one metadata server (paper §4.1).
+///
+/// The tree enforces the NodeKernel structural rules: parents must exist
+/// and be containers (`Directory`/`Table`), node kinds fix whether a node
+/// can hold data blocks or children, `KeyValue` and `Action` nodes own at
+/// most one block, and deletes are recursive.
+///
+/// # Examples
+///
+/// ```
+/// use glider_namespace::{Namespace, NodePath};
+/// use glider_proto::types::NodeKind;
+///
+/// let mut ns = Namespace::new();
+/// ns.create(NodePath::parse("/job")?, NodeKind::Directory, None, None)?;
+/// let f = ns.create(NodePath::parse("/job/part-0")?, NodeKind::File, None, None)?;
+/// assert_eq!(f.kind, NodeKind::File);
+/// assert_eq!(ns.lookup(&NodePath::parse("/job")?)?.child_names(), vec!["part-0"]);
+/// # Ok::<(), glider_proto::GliderError>(())
+/// ```
+#[derive(Debug)]
+pub struct Namespace {
+    nodes: HashMap<NodeId, Node>,
+    by_path: HashMap<NodePath, NodeId>,
+    root: NodeId,
+    next_id: u64,
+}
+
+impl Namespace {
+    /// Creates a namespace containing only the root directory.
+    pub fn new() -> Self {
+        let root_id = NodeId(1);
+        let root = Node {
+            id: root_id,
+            kind: NodeKind::Directory,
+            path: NodePath::root(),
+            storage_class: StorageClass::dram(),
+            blocks: Vec::new(),
+            action: None,
+            parent: None,
+            children: BTreeMap::new(),
+        };
+        let mut nodes = HashMap::new();
+        nodes.insert(root_id, root);
+        let mut by_path = HashMap::new();
+        by_path.insert(NodePath::root(), root_id);
+        Namespace {
+            nodes,
+            by_path,
+            root: root_id,
+            next_id: 2,
+        }
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Creates a node at `path`.
+    ///
+    /// The default storage class is `dram` for data nodes and `active` for
+    /// actions; actions ignore a caller-supplied class (they always live in
+    /// the active class, paper §4.2).
+    ///
+    /// # Errors
+    ///
+    /// - [`ErrorCode::AlreadyExists`] if `path` is taken,
+    /// - [`ErrorCode::NotFound`] if the parent does not exist,
+    /// - [`ErrorCode::WrongNodeKind`] if the parent is not a container,
+    /// - [`ErrorCode::InvalidArgument`] if an action spec is missing for an
+    ///   `Action` node (or supplied for any other kind), or the path is the
+    ///   root.
+    pub fn create(
+        &mut self,
+        path: NodePath,
+        kind: NodeKind,
+        storage_class: Option<StorageClass>,
+        action: Option<ActionSpec>,
+    ) -> GliderResult<&Node> {
+        if path.is_root() {
+            return Err(GliderError::invalid("cannot create the root"));
+        }
+        if self.by_path.contains_key(&path) {
+            return Err(GliderError::already_exists(format!("node {path}")));
+        }
+        match (kind, &action) {
+            (NodeKind::Action, None) => {
+                return Err(GliderError::invalid(
+                    "action nodes require an action spec",
+                ))
+            }
+            (NodeKind::Action, Some(_)) => {}
+            (_, Some(_)) => {
+                return Err(GliderError::invalid(
+                    "action spec only valid for action nodes",
+                ))
+            }
+            _ => {}
+        }
+        let parent_path = path.parent().expect("non-root has a parent");
+        let parent_id = *self
+            .by_path
+            .get(&parent_path)
+            .ok_or_else(|| GliderError::not_found(format!("parent {parent_path}")))?;
+        let parent = self.nodes.get_mut(&parent_id).expect("indexed node");
+        if !parent.kind.is_container() {
+            return Err(GliderError::new(
+                ErrorCode::WrongNodeKind,
+                format!("parent {parent_path} is a {} and cannot hold children", parent.kind),
+            ));
+        }
+        let class = if kind == NodeKind::Action {
+            StorageClass::active()
+        } else {
+            storage_class.unwrap_or_else(StorageClass::dram)
+        };
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        let name = path.name().expect("non-root has a name").to_string();
+        parent.children.insert(name, id);
+        let node = Node {
+            id,
+            kind,
+            path: path.clone(),
+            storage_class: class,
+            blocks: Vec::new(),
+            action,
+            parent: Some(parent_id),
+            children: BTreeMap::new(),
+        };
+        self.nodes.insert(id, node);
+        self.by_path.insert(path, id);
+        Ok(self.nodes.get(&id).expect("just inserted"))
+    }
+
+    /// Looks up a node by path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] for unknown paths.
+    pub fn lookup(&self, path: &NodePath) -> GliderResult<&Node> {
+        let id = self
+            .by_path
+            .get(path)
+            .ok_or_else(|| GliderError::not_found(format!("node {path}")))?;
+        Ok(self.nodes.get(id).expect("indexed node"))
+    }
+
+    /// Looks up a node by id.
+    pub fn get(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable lookup by id.
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Appends an allocated block to a node's chain.
+    ///
+    /// # Errors
+    ///
+    /// - [`ErrorCode::NotFound`] for unknown nodes,
+    /// - [`ErrorCode::WrongNodeKind`] for containers,
+    /// - [`ErrorCode::InvalidArgument`] when a `KeyValue`/`Action` node
+    ///   would exceed its single block.
+    pub fn add_extent(&mut self, node_id: NodeId, loc: BlockLocation) -> GliderResult<BlockExtent> {
+        let node = self
+            .nodes
+            .get_mut(&node_id)
+            .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+        if node.kind.is_container() {
+            return Err(GliderError::new(
+                ErrorCode::WrongNodeKind,
+                format!("{} nodes hold no blocks", node.kind),
+            ));
+        }
+        let single = matches!(node.kind, NodeKind::KeyValue | NodeKind::Action);
+        if single && !node.blocks.is_empty() {
+            return Err(GliderError::invalid(format!(
+                "{} nodes are limited to a single block",
+                node.kind
+            )));
+        }
+        let extent = BlockExtent { loc, len: 0 };
+        node.blocks.push(extent.clone());
+        Ok(extent)
+    }
+
+    /// Records the used length of one block in a node's chain.
+    ///
+    /// For `KeyValue` nodes the length may shrink (overwrite semantics);
+    /// for other nodes commits are monotonic (append semantics), so a
+    /// stale/duplicate commit cannot lose data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] if the node or block is unknown.
+    pub fn commit_block(&mut self, node_id: NodeId, block_id: BlockId, len: u64) -> GliderResult<()> {
+        let node = self
+            .nodes
+            .get_mut(&node_id)
+            .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+        let overwrite = node.kind == NodeKind::KeyValue;
+        let extent = node
+            .blocks
+            .iter_mut()
+            .find(|b| b.loc.block_id == block_id)
+            .ok_or_else(|| {
+                GliderError::not_found(format!("block {block_id} in node {node_id}"))
+            })?;
+        extent.len = if overwrite { len } else { extent.len.max(len) };
+        Ok(())
+    }
+
+    /// Deletes the node at `path` and its whole subtree.
+    ///
+    /// # Errors
+    ///
+    /// - [`ErrorCode::InvalidArgument`] for the root,
+    /// - [`ErrorCode::NotFound`] for unknown paths.
+    pub fn delete(&mut self, path: &NodePath) -> GliderResult<DeleteOutcome> {
+        if path.is_root() {
+            return Err(GliderError::invalid("cannot delete the root"));
+        }
+        let id = *self
+            .by_path
+            .get(path)
+            .ok_or_else(|| GliderError::not_found(format!("node {path}")))?;
+        // Unlink from the parent.
+        let parent_id = self.nodes[&id].parent.expect("non-root has a parent");
+        let name = path.name().expect("non-root has a name").to_string();
+        self.nodes
+            .get_mut(&parent_id)
+            .expect("parent exists")
+            .children
+            .remove(&name);
+        // Collect and remove the subtree.
+        let mut extents = Vec::new();
+        let mut actions = Vec::new();
+        let mut stack = vec![id];
+        let mut removed_root_info = None;
+        while let Some(cur) = stack.pop() {
+            let node = self.nodes.remove(&cur).expect("subtree node");
+            self.by_path.remove(&node.path);
+            stack.extend(node.children.values().copied());
+            if node.kind == NodeKind::Action {
+                actions.push(node.info());
+            } else {
+                extents.extend(node.blocks.iter().cloned());
+            }
+            if cur == id {
+                removed_root_info = Some(node.info());
+            }
+        }
+        Ok(DeleteOutcome {
+            info: removed_root_info.expect("deleted root visited"),
+            extents,
+            actions,
+        })
+    }
+
+    /// Lists child names of the container at `path`.
+    ///
+    /// # Errors
+    ///
+    /// - [`ErrorCode::NotFound`] for unknown paths,
+    /// - [`ErrorCode::WrongNodeKind`] for non-containers.
+    pub fn list_children(&self, path: &NodePath) -> GliderResult<Vec<String>> {
+        let node = self.lookup(path)?;
+        if !node.kind.is_container() {
+            return Err(GliderError::new(
+                ErrorCode::WrongNodeKind,
+                format!("{} nodes have no children", node.kind),
+            ));
+        }
+        Ok(node.child_names())
+    }
+
+    /// Sum of data held by every node (for utilization assertions).
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes.values().map(|n| n.size()).sum()
+    }
+
+    /// Root node id.
+    pub fn root_id(&self) -> NodeId {
+        self.root
+    }
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Namespace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> NodePath {
+        NodePath::parse(s).unwrap()
+    }
+
+    fn loc(b: u64) -> BlockLocation {
+        BlockLocation {
+            block_id: BlockId(b),
+            server_id: glider_proto::types::ServerId(1),
+            addr: "srv".to_string(),
+        }
+    }
+
+    fn action_spec() -> ActionSpec {
+        ActionSpec::new("merge", false)
+    }
+
+    #[test]
+    fn create_lookup_delete_cycle() {
+        let mut ns = Namespace::new();
+        assert!(ns.is_empty());
+        ns.create(p("/d"), NodeKind::Directory, None, None).unwrap();
+        ns.create(p("/d/f"), NodeKind::File, None, None).unwrap();
+        assert_eq!(ns.len(), 3);
+        assert_eq!(ns.lookup(&p("/d/f")).unwrap().kind, NodeKind::File);
+        let out = ns.delete(&p("/d")).unwrap();
+        assert_eq!(out.info.kind, NodeKind::Directory);
+        assert!(ns.is_empty());
+        assert!(ns.lookup(&p("/d/f")).is_err());
+    }
+
+    #[test]
+    fn create_requires_existing_container_parent() {
+        let mut ns = Namespace::new();
+        let err = ns.create(p("/a/b"), NodeKind::File, None, None).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound);
+        ns.create(p("/f"), NodeKind::File, None, None).unwrap();
+        let err = ns.create(p("/f/x"), NodeKind::File, None, None).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::WrongNodeKind);
+    }
+
+    #[test]
+    fn duplicate_paths_rejected() {
+        let mut ns = Namespace::new();
+        ns.create(p("/x"), NodeKind::File, None, None).unwrap();
+        let err = ns.create(p("/x"), NodeKind::File, None, None).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::AlreadyExists);
+    }
+
+    #[test]
+    fn root_cannot_be_created_or_deleted() {
+        let mut ns = Namespace::new();
+        assert!(ns.create(p("/"), NodeKind::Directory, None, None).is_err());
+        assert!(ns.delete(&p("/")).is_err());
+    }
+
+    #[test]
+    fn action_spec_rules() {
+        let mut ns = Namespace::new();
+        let err = ns.create(p("/a"), NodeKind::Action, None, None).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidArgument);
+        let err = ns
+            .create(p("/f"), NodeKind::File, None, Some(action_spec()))
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidArgument);
+        let node = ns
+            .create(p("/a"), NodeKind::Action, Some(StorageClass::dram()), Some(action_spec()))
+            .unwrap();
+        // Actions always land in the active class even if the caller asked
+        // for another class.
+        assert_eq!(node.storage_class, StorageClass::active());
+    }
+
+    #[test]
+    fn block_chain_growth_and_commit() {
+        let mut ns = Namespace::new();
+        let id = ns.create(p("/f"), NodeKind::File, None, None).unwrap().id;
+        ns.add_extent(id, loc(1)).unwrap();
+        ns.add_extent(id, loc(2)).unwrap();
+        ns.commit_block(id, BlockId(1), 1024).unwrap();
+        ns.commit_block(id, BlockId(2), 10).unwrap();
+        let node = ns.get(id).unwrap();
+        assert_eq!(node.size(), 1034);
+        assert_eq!(node.info().blocks.len(), 2);
+        // Commits are monotonic for files.
+        ns.commit_block(id, BlockId(2), 5).unwrap();
+        assert_eq!(ns.get(id).unwrap().size(), 1034);
+    }
+
+    #[test]
+    fn keyvalue_commit_can_shrink() {
+        let mut ns = Namespace::new();
+        let id = ns.create(p("/kv"), NodeKind::KeyValue, None, None).unwrap().id;
+        ns.add_extent(id, loc(1)).unwrap();
+        ns.commit_block(id, BlockId(1), 100).unwrap();
+        ns.commit_block(id, BlockId(1), 10).unwrap();
+        assert_eq!(ns.get(id).unwrap().size(), 10);
+    }
+
+    #[test]
+    fn single_block_nodes_reject_second_extent() {
+        let mut ns = Namespace::new();
+        let kv = ns.create(p("/kv"), NodeKind::KeyValue, None, None).unwrap().id;
+        ns.add_extent(kv, loc(1)).unwrap();
+        assert!(ns.add_extent(kv, loc(2)).is_err());
+        let act = ns
+            .create(p("/a"), NodeKind::Action, None, Some(action_spec()))
+            .unwrap()
+            .id;
+        ns.add_extent(act, loc(3)).unwrap();
+        assert!(ns.add_extent(act, loc(4)).is_err());
+    }
+
+    #[test]
+    fn containers_hold_no_blocks() {
+        let mut ns = Namespace::new();
+        let d = ns.create(p("/d"), NodeKind::Directory, None, None).unwrap().id;
+        let err = ns.add_extent(d, loc(1)).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::WrongNodeKind);
+    }
+
+    #[test]
+    fn commit_unknown_block_is_not_found() {
+        let mut ns = Namespace::new();
+        let id = ns.create(p("/f"), NodeKind::File, None, None).unwrap().id;
+        assert!(ns.commit_block(id, BlockId(9), 1).is_err());
+        assert!(ns.commit_block(NodeId(77), BlockId(9), 1).is_err());
+    }
+
+    #[test]
+    fn recursive_delete_collects_blocks_and_actions() {
+        let mut ns = Namespace::new();
+        ns.create(p("/d"), NodeKind::Directory, None, None).unwrap();
+        let f = ns.create(p("/d/f"), NodeKind::File, None, None).unwrap().id;
+        ns.add_extent(f, loc(1)).unwrap();
+        ns.add_extent(f, loc(2)).unwrap();
+        let a = ns
+            .create(p("/d/a"), NodeKind::Action, None, Some(action_spec()))
+            .unwrap()
+            .id;
+        ns.add_extent(a, loc(3)).unwrap();
+        ns.create(p("/d/sub"), NodeKind::Table, None, None).unwrap();
+        ns.create(p("/d/sub/kv"), NodeKind::KeyValue, None, None).unwrap();
+        let out = ns.delete(&p("/d")).unwrap();
+        assert_eq!(out.extents.len(), 2);
+        assert_eq!(out.actions.len(), 1);
+        assert_eq!(out.actions[0].id, a);
+        assert!(ns.is_empty());
+    }
+
+    #[test]
+    fn list_children_sorted_and_validated() {
+        let mut ns = Namespace::new();
+        ns.create(p("/d"), NodeKind::Directory, None, None).unwrap();
+        ns.create(p("/d/b"), NodeKind::File, None, None).unwrap();
+        ns.create(p("/d/a"), NodeKind::File, None, None).unwrap();
+        assert_eq!(ns.list_children(&p("/d")).unwrap(), vec!["a", "b"]);
+        let err = ns.list_children(&p("/d/a")).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::WrongNodeKind);
+        assert!(ns.list_children(&p("/nope")).is_err());
+    }
+
+    #[test]
+    fn total_bytes_sums_sizes() {
+        let mut ns = Namespace::new();
+        let f = ns.create(p("/f"), NodeKind::File, None, None).unwrap().id;
+        ns.add_extent(f, loc(1)).unwrap();
+        ns.commit_block(f, BlockId(1), 500).unwrap();
+        let g = ns.create(p("/g"), NodeKind::Bag, None, None).unwrap().id;
+        ns.add_extent(g, loc(2)).unwrap();
+        ns.commit_block(g, BlockId(2), 11).unwrap();
+        assert_eq!(ns.total_bytes(), 511);
+    }
+}

@@ -1,0 +1,319 @@
+//! Framed connections over TCP or in-memory channels.
+//!
+//! Addresses are either `host:port` (TCP) or `mem://<name>` (the in-process
+//! RDMA-simulation transport; see the [crate docs](crate)).
+
+use bytes::BytesMut;
+use glider_proto::frame::{decode_frame, encode_frame, Frame};
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+/// Scheme prefix selecting the in-memory transport.
+pub const MEM_SCHEME: &str = "mem://";
+
+/// Bounded depth of in-memory connections, providing backpressure roughly
+/// equivalent to a TCP send window.
+const MEM_CHANNEL_DEPTH: usize = 64;
+
+/// Sending half of a framed connection.
+#[derive(Debug)]
+pub struct FrameTx(TxInner);
+
+#[derive(Debug)]
+enum TxInner {
+    Tcp { io: OwnedWriteHalf, buf: BytesMut },
+    Mem(mpsc::Sender<Frame>),
+}
+
+/// Receiving half of a framed connection.
+#[derive(Debug)]
+pub struct FrameRx(RxInner);
+
+#[derive(Debug)]
+enum RxInner {
+    Tcp { io: OwnedReadHalf, buf: BytesMut },
+    Mem(mpsc::Receiver<Frame>),
+}
+
+impl FrameTx {
+    /// Sends one frame, waiting for transport backpressure as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the peer has closed the connection or the
+    /// underlying I/O fails.
+    pub async fn send(&mut self, frame: Frame) -> GliderResult<()> {
+        match &mut self.0 {
+            TxInner::Tcp { io, buf } => {
+                buf.clear();
+                encode_frame(&frame, buf);
+                io.write_all(buf).await?;
+                Ok(())
+            }
+            TxInner::Mem(tx) => tx
+                .send(frame)
+                .await
+                .map_err(|_| GliderError::closed("connection")),
+        }
+    }
+}
+
+impl FrameRx {
+    /// Receives the next frame, or `None` when the peer closed cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed frames or transport failures.
+    pub async fn recv(&mut self) -> GliderResult<Option<Frame>> {
+        match &mut self.0 {
+            RxInner::Tcp { io, buf } => loop {
+                if let Some(frame) = decode_frame(buf).map_err(GliderError::from)? {
+                    return Ok(Some(frame));
+                }
+                let n = io.read_buf(buf).await?;
+                if n == 0 {
+                    if buf.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(GliderError::new(
+                        ErrorCode::Protocol,
+                        "connection closed mid-frame",
+                    ));
+                }
+            },
+            RxInner::Mem(rx) => Ok(rx.recv().await),
+        }
+    }
+}
+
+fn tcp_pair(stream: TcpStream) -> (FrameTx, FrameRx) {
+    stream.set_nodelay(true).ok();
+    let (r, w) = stream.into_split();
+    (
+        FrameTx(TxInner::Tcp {
+            io: w,
+            buf: BytesMut::with_capacity(64 * 1024),
+        }),
+        FrameRx(RxInner::Tcp {
+            io: r,
+            buf: BytesMut::with_capacity(64 * 1024),
+        }),
+    )
+}
+
+struct MemConn {
+    to_client: mpsc::Sender<Frame>,
+    from_client: mpsc::Receiver<Frame>,
+}
+
+type MemRegistry = Mutex<HashMap<String, mpsc::UnboundedSender<MemConn>>>;
+
+fn mem_registry() -> &'static MemRegistry {
+    static REGISTRY: std::sync::OnceLock<Arc<MemRegistry>> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Arc::new(Mutex::new(HashMap::new())))
+}
+
+/// A bound listener on either transport.
+#[derive(Debug)]
+pub struct BoundListener(ListenerInner);
+
+#[derive(Debug)]
+enum ListenerInner {
+    Tcp { listener: TcpListener, addr: String },
+    Mem {
+        name: String,
+        rx: mpsc::UnboundedReceiver<MemConn>,
+    },
+}
+
+impl BoundListener {
+    /// The dialable address of this listener (`host:port` or `mem://name`).
+    pub fn local_addr(&self) -> &str {
+        match &self.0 {
+            ListenerInner::Tcp { addr, .. } => addr,
+            ListenerInner::Mem { name, .. } => name,
+        }
+    }
+
+    /// Accepts the next inbound connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on socket failures or when a `mem://` listener has
+    /// been removed from the registry.
+    pub async fn accept(&mut self) -> GliderResult<(FrameTx, FrameRx)> {
+        match &mut self.0 {
+            ListenerInner::Tcp { listener, .. } => {
+                let (stream, _) = listener.accept().await?;
+                Ok(tcp_pair(stream))
+            }
+            ListenerInner::Mem { rx, name } => {
+                let conn = rx
+                    .recv()
+                    .await
+                    .ok_or_else(|| GliderError::closed(format!("mem listener {name}")))?;
+                Ok((
+                    FrameTx(TxInner::Mem(conn.to_client)),
+                    FrameRx(RxInner::Mem(conn.from_client)),
+                ))
+            }
+        }
+    }
+}
+
+impl Drop for BoundListener {
+    fn drop(&mut self) {
+        if let ListenerInner::Mem { name, .. } = &self.0 {
+            mem_registry().lock().remove(name);
+        }
+    }
+}
+
+/// Binds a listener at `addr`.
+///
+/// Use `"127.0.0.1:0"` for an ephemeral TCP port or `"mem://<name>"` for
+/// the in-memory transport.
+///
+/// # Errors
+///
+/// Returns an error if the TCP bind fails or the `mem://` name is taken.
+pub async fn bind(addr: &str) -> GliderResult<BoundListener> {
+    if let Some(name) = addr.strip_prefix(MEM_SCHEME) {
+        if name.is_empty() {
+            return Err(GliderError::invalid("mem:// address needs a name"));
+        }
+        let (tx, rx) = mpsc::unbounded_channel();
+        let mut reg = mem_registry().lock();
+        if reg.contains_key(addr) {
+            return Err(GliderError::already_exists(format!("mem endpoint {addr}")));
+        }
+        reg.insert(addr.to_string(), tx);
+        Ok(BoundListener(ListenerInner::Mem {
+            name: addr.to_string(),
+            rx,
+        }))
+    } else {
+        let listener = TcpListener::bind(addr).await?;
+        let local = listener.local_addr()?;
+        Ok(BoundListener(ListenerInner::Tcp {
+            listener,
+            addr: local.to_string(),
+        }))
+    }
+}
+
+/// Dials `addr` on the appropriate transport.
+///
+/// # Errors
+///
+/// Returns [`ErrorCode::NotFound`] for unknown `mem://` endpoints and I/O
+/// errors for TCP failures.
+pub async fn connect(addr: &str) -> GliderResult<(FrameTx, FrameRx)> {
+    if addr.starts_with(MEM_SCHEME) {
+        let accept_tx = {
+            let reg = mem_registry().lock();
+            reg.get(addr)
+                .cloned()
+                .ok_or_else(|| GliderError::not_found(format!("mem endpoint {addr}")))?
+        };
+        let (c2s_tx, c2s_rx) = mpsc::channel(MEM_CHANNEL_DEPTH);
+        let (s2c_tx, s2c_rx) = mpsc::channel(MEM_CHANNEL_DEPTH);
+        accept_tx
+            .send(MemConn {
+                to_client: s2c_tx,
+                from_client: c2s_rx,
+            })
+            .map_err(|_| GliderError::closed(format!("mem endpoint {addr}")))?;
+        Ok((FrameTx(TxInner::Mem(c2s_tx)), FrameRx(RxInner::Mem(s2c_rx))))
+    } else {
+        let stream = TcpStream::connect(addr).await?;
+        Ok(tcp_pair(stream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glider_proto::message::{Request, RequestBody};
+    use glider_proto::types::PeerTier;
+
+    fn hello(id: u64) -> Frame {
+        Frame::Request(Request {
+            id,
+            body: RequestBody::Hello {
+                tier: PeerTier::Compute,
+            },
+        })
+    }
+
+    #[tokio::test]
+    async fn tcp_round_trip() {
+        let mut listener = bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().to_string();
+        let server = tokio::spawn(async move {
+            let (mut tx, mut rx) = listener.accept().await.unwrap();
+            let frame = rx.recv().await.unwrap().unwrap();
+            tx.send(frame).await.unwrap();
+        });
+        let (mut tx, mut rx) = connect(&addr).await.unwrap();
+        tx.send(hello(1)).await.unwrap();
+        let echoed = rx.recv().await.unwrap().unwrap();
+        assert_eq!(echoed, hello(1));
+        server.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn mem_round_trip_and_name_cleanup() {
+        let addr = "mem://conn-test-1";
+        let mut listener = bind(addr).await.unwrap();
+        assert_eq!(listener.local_addr(), addr);
+        let server = tokio::spawn(async move {
+            let (mut tx, mut rx) = listener.accept().await.unwrap();
+            let frame = rx.recv().await.unwrap().unwrap();
+            tx.send(frame).await.unwrap();
+            listener // keep alive until client done
+        });
+        let (mut tx, mut rx) = connect(addr).await.unwrap();
+        tx.send(hello(2)).await.unwrap();
+        assert_eq!(rx.recv().await.unwrap().unwrap(), hello(2));
+        let listener = server.await.unwrap();
+        drop(listener);
+        // Name is released on drop.
+        assert!(connect(addr).await.is_err());
+        let again = bind(addr).await.unwrap();
+        drop(again);
+    }
+
+    #[tokio::test]
+    async fn mem_duplicate_bind_rejected() {
+        let addr = "mem://conn-test-dup";
+        let _l = bind(addr).await.unwrap();
+        assert!(bind(addr).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn mem_bad_names_rejected() {
+        assert!(bind("mem://").await.is_err());
+        assert!(connect("mem://does-not-exist").await.is_err());
+    }
+
+    #[tokio::test]
+    async fn clean_close_yields_none() {
+        let mut listener = bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().to_string();
+        let server = tokio::spawn(async move {
+            let (_tx, mut rx) = listener.accept().await.unwrap();
+            assert!(rx.recv().await.unwrap().is_none());
+        });
+        let (tx, _rx) = connect(&addr).await.unwrap();
+        drop(tx);
+        drop(_rx);
+        server.await.unwrap();
+    }
+}

@@ -1,0 +1,572 @@
+//! Multiplexing RPC client and server over framed connections.
+
+use crate::conn::{connect, BoundListener, FrameRx, FrameTx};
+use futures::future::BoxFuture;
+use glider_metrics::{MetricsRegistry, Tier};
+use glider_proto::frame::Frame;
+use glider_proto::message::{Request, RequestBody, Response, ResponseBody};
+use glider_proto::types::PeerTier;
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use glider_util::TokenBucket;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::sync::{mpsc, oneshot};
+use tokio::task::JoinSet;
+
+/// Maps the wire-level peer tier to the metrics tier.
+pub fn tier_of(peer: PeerTier) -> Tier {
+    match peer {
+        PeerTier::Compute => Tier::Compute,
+        PeerTier::Storage => Tier::Storage,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+type Pending = Arc<Mutex<Option<HashMap<u64, oneshot::Sender<GliderResult<ResponseBody>>>>>>;
+
+/// A multiplexing RPC client.
+///
+/// Cloning is cheap; all clones share one connection. Any number of
+/// [`RpcClient::call`]s may be in flight concurrently — responses are
+/// matched by request id. This is what lets the client library keep a
+/// window of data operations outstanding ("batched async operations",
+/// paper §7.2).
+///
+/// An optional [`TokenBucket`] throttles bulk payload bytes in both
+/// directions, modelling the limited bandwidth of serverless workers.
+#[derive(Debug, Clone)]
+pub struct RpcClient {
+    inner: Arc<ClientInner>,
+}
+
+#[derive(Debug)]
+struct ClientInner {
+    req_tx: mpsc::Sender<Request>,
+    pending: Pending,
+    next_id: AtomicU64,
+    throttle: Option<Arc<TokenBucket>>,
+    addr: String,
+}
+
+impl RpcClient {
+    /// Connects to `addr` and performs the `Hello` handshake declaring
+    /// `tier`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dial or the handshake fails.
+    pub async fn connect(
+        addr: &str,
+        tier: PeerTier,
+        throttle: Option<Arc<TokenBucket>>,
+    ) -> GliderResult<Self> {
+        let (tx, rx) = connect(addr).await?;
+        let pending: Pending = Arc::new(Mutex::new(Some(HashMap::new())));
+        let (req_tx, req_rx) = mpsc::channel::<Request>(256);
+
+        tokio::spawn(writer_task(tx, req_rx));
+        tokio::spawn(reader_task(rx, Arc::clone(&pending)));
+
+        let client = RpcClient {
+            inner: Arc::new(ClientInner {
+                req_tx,
+                pending,
+                next_id: AtomicU64::new(1),
+                throttle,
+                addr: addr.to_string(),
+            }),
+        };
+        match client.call(RequestBody::Hello { tier }).await? {
+            ResponseBody::Ok => Ok(client),
+            other => Err(GliderError::protocol(format!(
+                "unexpected handshake response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Connects from inside the storage tier (actions, servers). Intra-
+    /// storage connections are never throttled and are metered as
+    /// storage→storage traffic by the receiving server.
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcClient::connect`].
+    pub async fn connect_intra_storage(addr: &str) -> GliderResult<Self> {
+        RpcClient::connect(addr, PeerTier::Storage, None).await
+    }
+
+    /// The address this client dialed.
+    pub fn addr(&self) -> &str {
+        &self.inner.addr
+    }
+
+    /// Issues one RPC and awaits its response. Error responses from the
+    /// server are converted back into [`GliderError`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server-reported error, or [`ErrorCode::Closed`] when the
+    /// connection dropped before the response arrived.
+    pub async fn call(&self, body: RequestBody) -> GliderResult<ResponseBody> {
+        if let Some(bucket) = &self.inner.throttle {
+            let out = body.payload_len();
+            if out > 0 {
+                bucket.acquire(out).await;
+            }
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let (done_tx, done_rx) = oneshot::channel();
+        {
+            let mut guard = self.inner.pending.lock();
+            match guard.as_mut() {
+                Some(map) => {
+                    map.insert(id, done_tx);
+                }
+                None => return Err(GliderError::closed(format!("rpc to {}", self.inner.addr))),
+            }
+        }
+        if self.inner.req_tx.send(Request { id, body }).await.is_err() {
+            self.inner.pending.lock().as_mut().map(|m| m.remove(&id));
+            return Err(GliderError::closed(format!("rpc to {}", self.inner.addr)));
+        }
+        let resp = done_rx
+            .await
+            .map_err(|_| GliderError::closed(format!("rpc to {}", self.inner.addr)))??;
+        if let Some(bucket) = &self.inner.throttle {
+            let inn = resp.payload_len();
+            if inn > 0 {
+                bucket.acquire(inn).await;
+            }
+        }
+        resp.into_result()
+    }
+
+    /// Issues an RPC that must answer [`ResponseBody::Ok`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::Protocol`] for any other success body, or the
+    /// server's error.
+    pub async fn call_ok(&self, body: RequestBody) -> GliderResult<()> {
+        match self.call(body).await? {
+            ResponseBody::Ok => Ok(()),
+            other => Err(GliderError::protocol(format!(
+                "expected Ok response, got {other:?}"
+            ))),
+        }
+    }
+}
+
+async fn writer_task(mut tx: FrameTx, mut req_rx: mpsc::Receiver<Request>) {
+    while let Some(req) = req_rx.recv().await {
+        if tx.send(Frame::Request(req)).await.is_err() {
+            break;
+        }
+    }
+}
+
+async fn reader_task(mut rx: FrameRx, pending: Pending) {
+    loop {
+        match rx.recv().await {
+            Ok(Some(Frame::Response(resp))) => {
+                let waiter = pending.lock().as_mut().and_then(|m| m.remove(&resp.id));
+                if let Some(w) = waiter {
+                    let _ = w.send(Ok(resp.body));
+                }
+            }
+            Ok(Some(Frame::Request(_))) => {
+                // Servers never send requests; drop and keep reading.
+            }
+            Ok(None) | Err(_) => break,
+        }
+    }
+    // Fail everything still in flight and refuse new calls.
+    let map = pending.lock().take();
+    if let Some(map) = map {
+        for (_, w) in map {
+            let _ = w.send(Err(GliderError::new(
+                ErrorCode::Closed,
+                "connection closed with request in flight",
+            )));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Per-connection context passed to handlers.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnCtx {
+    /// The tier the peer declared in its handshake.
+    pub peer: PeerTier,
+    /// A server-unique id for the connection.
+    pub conn_id: u64,
+}
+
+/// Server-side request dispatch.
+///
+/// `handle` is given an owned `Arc<Self>` so the returned future can be
+/// `'static` and run on its own task (long-blocking operations such as
+/// action stream fetches must not stall the connection).
+pub trait RpcHandler: Send + Sync + 'static {
+    /// Handles one request and produces a response body.
+    fn handle(
+        self: Arc<Self>,
+        ctx: ConnCtx,
+        body: RequestBody,
+    ) -> BoxFuture<'static, GliderResult<ResponseBody>>;
+}
+
+/// Handle to a running RPC server. Aborts the accept loop (and through it
+/// every connection task) when shut down or dropped.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: String,
+    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The dialable address of the server.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stops accepting and tears down all connection tasks.
+    pub fn shutdown(&self) {
+        self.accept_task.abort();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+/// Starts serving `listener` with `handler`.
+///
+/// `server_tier` is the tier of this server for transfer metering (always
+/// [`Tier::Storage`] for Glider servers); payload bytes of inbound requests
+/// and outbound responses are recorded against the peer's declared tier.
+pub fn serve(
+    listener: BoundListener,
+    handler: Arc<dyn RpcHandler>,
+    metrics: Arc<MetricsRegistry>,
+    server_tier: Tier,
+) -> ServerHandle {
+    let addr = listener.local_addr().to_string();
+    let accept_task = tokio::spawn(accept_loop(listener, handler, metrics, server_tier));
+    ServerHandle { addr, accept_task }
+}
+
+async fn accept_loop(
+    mut listener: BoundListener,
+    handler: Arc<dyn RpcHandler>,
+    metrics: Arc<MetricsRegistry>,
+    server_tier: Tier,
+) {
+    let mut conns = JoinSet::new();
+    let conn_ids = AtomicU64::new(1);
+    loop {
+        tokio::select! {
+            accepted = listener.accept() => {
+                match accepted {
+                    Ok((tx, rx)) => {
+                        let conn_id = conn_ids.fetch_add(1, Ordering::Relaxed);
+                        conns.spawn(connection_task(
+                            tx,
+                            rx,
+                            Arc::clone(&handler),
+                            Arc::clone(&metrics),
+                            server_tier,
+                            conn_id,
+                        ));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Reap finished connection tasks so the set does not grow.
+            Some(_) = conns.join_next(), if !conns.is_empty() => {}
+        }
+    }
+}
+
+async fn connection_task(
+    tx: FrameTx,
+    mut rx: FrameRx,
+    handler: Arc<dyn RpcHandler>,
+    metrics: Arc<MetricsRegistry>,
+    server_tier: Tier,
+    conn_id: u64,
+) {
+    // Handshake: the first request must be Hello.
+    let (hello_id, peer) = match rx.recv().await {
+        Ok(Some(Frame::Request(Request {
+            id,
+            body: RequestBody::Hello { tier },
+        }))) => (id, tier),
+        _ => return,
+    };
+
+    let (resp_tx, resp_rx) = mpsc::channel::<Response>(256);
+    let writer = tokio::spawn(response_writer(
+        tx,
+        resp_rx,
+        Arc::clone(&metrics),
+        server_tier,
+        tier_of(peer),
+    ));
+
+    let _ = resp_tx
+        .send(Response {
+            id: hello_id,
+            body: ResponseBody::Ok,
+        })
+        .await;
+
+    let ctx = ConnCtx { peer, conn_id };
+    let peer_tier = tier_of(peer);
+    let mut requests = JoinSet::new();
+    loop {
+        tokio::select! {
+            frame = rx.recv() => {
+                match frame {
+                    Ok(Some(Frame::Request(req))) => {
+                        let inbound = req.body.payload_len();
+                        if inbound > 0 {
+                            metrics.record_transfer(peer_tier, server_tier, inbound);
+                        }
+                        let handler = Arc::clone(&handler);
+                        let resp_tx = resp_tx.clone();
+                        requests.spawn(async move {
+                            let body = match handler.handle(ctx, req.body).await {
+                                Ok(body) => body,
+                                Err(err) => ResponseBody::from_error(&err),
+                            };
+                            let _ = resp_tx.send(Response { id: req.id, body }).await;
+                        });
+                    }
+                    Ok(Some(Frame::Response(_))) => {
+                        // Clients never send responses; ignore.
+                    }
+                    Ok(None) | Err(_) => break,
+                }
+            }
+            Some(_) = requests.join_next(), if !requests.is_empty() => {}
+        }
+    }
+    drop(resp_tx);
+    // Let in-flight requests finish before closing the writer.
+    while requests.join_next().await.is_some() {}
+    let _ = writer.await;
+}
+
+async fn response_writer(
+    mut tx: FrameTx,
+    mut resp_rx: mpsc::Receiver<Response>,
+    metrics: Arc<MetricsRegistry>,
+    server_tier: Tier,
+    peer_tier: Tier,
+) {
+    while let Some(resp) = resp_rx.recv().await {
+        let outbound = resp.body.payload_len();
+        if outbound > 0 {
+            metrics.record_transfer(server_tier, peer_tier, outbound);
+        }
+        if tx.send(Frame::Response(resp)).await.is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use glider_proto::types::BlockId;
+
+    /// Echo-style handler: Writes report their length, Reads return zeros,
+    /// everything else gets Ok.
+    struct TestHandler;
+
+    impl RpcHandler for TestHandler {
+        fn handle(
+            self: Arc<Self>,
+            _ctx: ConnCtx,
+            body: RequestBody,
+        ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
+            Box::pin(async move {
+                match body {
+                    RequestBody::WriteBlock { data, .. } => Ok(ResponseBody::Written {
+                        n: data.len() as u64,
+                    }),
+                    RequestBody::ReadBlock { len, .. } => Ok(ResponseBody::Data {
+                        seq: 0,
+                        bytes: Bytes::from(vec![0u8; len as usize]),
+                        eof: true,
+                    }),
+                    RequestBody::LookupNode { path } => {
+                        Err(GliderError::not_found(format!("node {path}")))
+                    }
+                    _ => Ok(ResponseBody::Ok),
+                }
+            })
+        }
+    }
+
+    async fn start(addr: &str) -> (ServerHandle, Arc<MetricsRegistry>) {
+        let metrics = MetricsRegistry::new();
+        let listener = crate::conn::bind(addr).await.unwrap();
+        let handle = serve(
+            listener,
+            Arc::new(TestHandler),
+            Arc::clone(&metrics),
+            Tier::Storage,
+        );
+        (handle, metrics)
+    }
+
+    #[tokio::test]
+    async fn call_round_trip_over_tcp() {
+        let (server, metrics) = start("127.0.0.1:0").await;
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        let resp = client
+            .call(RequestBody::WriteBlock {
+                block_id: BlockId(1),
+                offset: 0,
+                data: Bytes::from_static(b"hello world"),
+            })
+            .await
+            .unwrap();
+        assert_eq!(resp, ResponseBody::Written { n: 11 });
+        let snap = metrics.snapshot();
+        assert_eq!(snap.transferred(Tier::Compute, Tier::Storage), 11);
+    }
+
+    #[tokio::test]
+    async fn call_round_trip_over_mem() {
+        let (server, metrics) = start("mem://rpc-test-mem").await;
+        let client = RpcClient::connect_intra_storage(server.addr())
+            .await
+            .unwrap();
+        let resp = client
+            .call(RequestBody::ReadBlock {
+                block_id: BlockId(1),
+                offset: 0,
+                len: 100,
+            })
+            .await
+            .unwrap();
+        match resp {
+            ResponseBody::Data { bytes, eof, .. } => {
+                assert_eq!(bytes.len(), 100);
+                assert!(eof);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Intra-storage traffic is metered storage->storage.
+        let snap = metrics.snapshot();
+        assert_eq!(snap.intra_storage_bytes(), 100);
+        assert_eq!(snap.tier_crossing_bytes(), 0);
+    }
+
+    #[tokio::test]
+    async fn server_errors_surface_as_glider_errors() {
+        let (server, _metrics) = start("127.0.0.1:0").await;
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        let err = client
+            .call(RequestBody::LookupNode {
+                path: "/missing".to_string(),
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound);
+    }
+
+    #[tokio::test]
+    async fn many_concurrent_calls_multiplex() {
+        let (server, _metrics) = start("127.0.0.1:0").await;
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        let mut joins = Vec::new();
+        for i in 0..64u64 {
+            let c = client.clone();
+            joins.push(tokio::spawn(async move {
+                let resp = c
+                    .call(RequestBody::ReadBlock {
+                        block_id: BlockId(i),
+                        offset: 0,
+                        len: i,
+                    })
+                    .await
+                    .unwrap();
+                match resp {
+                    ResponseBody::Data { bytes, .. } => assert_eq!(bytes.len() as u64, i),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }));
+        }
+        for j in joins {
+            j.await.unwrap();
+        }
+    }
+
+    #[tokio::test]
+    async fn shutdown_closes_connections() {
+        let (server, _metrics) = start("127.0.0.1:0").await;
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        client.call(RequestBody::AddBlock { node_id: 1.into() }).await.unwrap();
+        server.shutdown();
+        // Give the abort a moment to propagate.
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        let err = client
+            .call(RequestBody::AddBlock { node_id: 1.into() })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Closed);
+    }
+
+    #[tokio::test]
+    async fn throttled_client_is_paced() {
+        let (server, _metrics) = start("127.0.0.1:0").await;
+        // 1 MiB/s with 64 KiB burst; sending 256 KiB should take >= ~180ms.
+        let bucket = Arc::new(TokenBucket::new(1024 * 1024, 64 * 1024));
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, Some(bucket))
+            .await
+            .unwrap();
+        let start = std::time::Instant::now();
+        let data = Bytes::from(vec![7u8; 256 * 1024]);
+        client
+            .call(RequestBody::WriteBlock {
+                block_id: BlockId(1),
+                offset: 0,
+                data,
+            })
+            .await
+            .unwrap();
+        // One more tiny call to pay the debt.
+        client
+            .call(RequestBody::WriteBlock {
+                block_id: BlockId(1),
+                offset: 0,
+                data: Bytes::from_static(b"x"),
+            })
+            .await
+            .unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(150));
+    }
+}

@@ -1,0 +1,446 @@
+//! Cloud object storage emulation (the Amazon S3 + S3 SELECT stand-in).
+//!
+//! The paper's baselines ship intermediate data through cloud object
+//! storage and use **S3 SELECT** to push simple SQL filters to the store
+//! (genomics pipeline, §7.4). We have no AWS, so this crate provides an
+//! in-process object service with the properties those baselines depend
+//! on (see DESIGN.md §4):
+//!
+//! - per-request **latency** and a **bandwidth** model (object storage is
+//!   markedly slower than a specialized ephemeral store — §2.1),
+//! - **SELECT** with predicate scans over CSV-shaped objects, metering
+//!   bytes *scanned* separately from bytes *returned*,
+//! - full access/transfer/utilization metering through `glider-metrics`
+//!   (GETs and PUTs cross the compute boundary; SELECT returns only the
+//!   matching rows, like the real service).
+//!
+//! Workers talk to the store through [`ObjectClient`], which additionally
+//! applies the invoking function's bandwidth throttle.
+
+use bytes::Bytes;
+use glider_metrics::{AccessKind, MetricsRegistry, Tier};
+use glider_proto::{GliderError, GliderResult};
+#[cfg(test)]
+use glider_proto::ErrorCode;
+use glider_util::TokenBucket;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cost model of the emulated object service.
+#[derive(Debug, Clone)]
+pub struct ObjectStoreConfig {
+    /// Fixed per-request latency (time to first byte).
+    pub op_latency: Duration,
+    /// Aggregate service bandwidth in MiB/s (`None` = uncapped).
+    pub bandwidth_mibps: Option<u64>,
+    /// Server-side scan rate for SELECT in MiB/s (`None` = uncapped).
+    pub select_scan_mibps: Option<u64>,
+}
+
+impl Default for ObjectStoreConfig {
+    /// S3-flavored defaults: 15 ms per request, 400 MiB/s aggregate
+    /// bandwidth, 800 MiB/s SELECT scan rate. Scaled-down but with the
+    /// orderings that matter (object store ≪ ephemeral store).
+    fn default() -> Self {
+        ObjectStoreConfig {
+            op_latency: Duration::from_millis(15),
+            bandwidth_mibps: Some(400),
+            select_scan_mibps: Some(800),
+        }
+    }
+}
+
+impl ObjectStoreConfig {
+    /// A free/instant model for unit tests.
+    pub fn instant() -> Self {
+        ObjectStoreConfig {
+            op_latency: Duration::ZERO,
+            bandwidth_mibps: None,
+            select_scan_mibps: None,
+        }
+    }
+}
+
+/// A predicate for SELECT scans over line-oriented CSV objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Keep lines whose `col`-th comma-separated field equals `value`.
+    ColEq {
+        /// 0-based column index.
+        col: usize,
+        /// Exact string to match.
+        value: String,
+    },
+    /// Keep lines whose `col`-th field parses as an integer in
+    /// `[lo, hi)` — the genomics range shuffle (`WHERE pos BETWEEN ...`).
+    ColI64Range {
+        /// 0-based column index.
+        col: usize,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+    },
+    /// Keep lines containing the substring.
+    Contains(String),
+}
+
+impl Predicate {
+    /// Evaluates the predicate on one line.
+    pub fn matches(&self, line: &str) -> bool {
+        match self {
+            Predicate::ColEq { col, value } => {
+                line.split(',').nth(*col).map(str::trim) == Some(value.as_str())
+            }
+            Predicate::ColI64Range { col, lo, hi } => line
+                .split(',')
+                .nth(*col)
+                .and_then(|f| f.trim().parse::<i64>().ok())
+                .is_some_and(|v| (*lo..*hi).contains(&v)),
+            Predicate::Contains(needle) => line.contains(needle),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+    config: ObjectStoreConfig,
+    bandwidth: Option<Arc<TokenBucket>>,
+    scan_bw: Option<Arc<TokenBucket>>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+/// The emulated object service. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct ObjectStore {
+    inner: Arc<Inner>,
+}
+
+impl ObjectStore {
+    /// Creates an object store with the given cost model.
+    pub fn new(config: ObjectStoreConfig, metrics: Arc<MetricsRegistry>) -> Self {
+        ObjectStore {
+            inner: Arc::new(Inner {
+                objects: RwLock::new(BTreeMap::new()),
+                bandwidth: config.bandwidth_mibps.map(|m| Arc::new(TokenBucket::from_mibps(m))),
+                scan_bw: config
+                    .select_scan_mibps
+                    .map(|m| Arc::new(TokenBucket::from_mibps(m))),
+                config,
+                metrics,
+            }),
+        }
+    }
+
+    /// A client handle for a (possibly bandwidth-limited) worker.
+    pub fn client(&self, throttle: Option<Arc<TokenBucket>>) -> ObjectClient {
+        ObjectClient {
+            store: self.clone(),
+            throttle,
+        }
+    }
+
+    /// Total bytes currently stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner
+            .objects
+            .read()
+            .values()
+            .map(|v| v.len() as u64)
+            .sum()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.inner.objects.read().len()
+    }
+
+    async fn charge(&self, bytes: u64, throttle: &Option<Arc<TokenBucket>>) {
+        if !self.inner.config.op_latency.is_zero() {
+            tokio::time::sleep(self.inner.config.op_latency).await;
+        }
+        if let Some(bw) = &self.inner.bandwidth {
+            bw.acquire(bytes).await;
+        }
+        if let Some(t) = throttle {
+            t.acquire(bytes).await;
+        }
+    }
+}
+
+/// A worker's handle to the object store.
+#[derive(Debug, Clone)]
+pub struct ObjectClient {
+    store: ObjectStore,
+    throttle: Option<Arc<TokenBucket>>,
+}
+
+impl ObjectClient {
+    /// Stores an object (PUT), overwriting any previous value.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; fallible for API stability.
+    pub async fn put(&self, key: &str, data: Bytes) -> GliderResult<()> {
+        let inner = &self.store.inner;
+        inner.metrics.record_access(AccessKind::ObjectPut);
+        self.store.charge(data.len() as u64, &self.throttle).await;
+        inner
+            .metrics
+            .record_transfer(Tier::Compute, Tier::ObjectStore, data.len() as u64);
+        let old = inner.objects.write().insert(key.to_string(), data.clone());
+        if let Some(old) = old {
+            inner.metrics.object_free(old.len() as u64);
+        }
+        inner.metrics.object_alloc(data.len() as u64);
+        Ok(())
+    }
+
+    /// Retrieves a whole object (GET).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`glider_proto::ErrorCode::NotFound`] for missing keys.
+    pub async fn get(&self, key: &str) -> GliderResult<Bytes> {
+        self.get_range(key, 0, u64::MAX).await
+    }
+
+    /// Retrieves `[offset, offset+len)` of an object (ranged GET).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`glider_proto::ErrorCode::NotFound`] for missing keys.
+    pub async fn get_range(&self, key: &str, offset: u64, len: u64) -> GliderResult<Bytes> {
+        let inner = &self.store.inner;
+        inner.metrics.record_access(AccessKind::ObjectGet);
+        let data = inner
+            .objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| GliderError::not_found(format!("object {key}")))?;
+        let start = offset.min(data.len() as u64) as usize;
+        let end = offset.saturating_add(len).min(data.len() as u64) as usize;
+        let slice = data.slice(start..end);
+        self.store.charge(slice.len() as u64, &self.throttle).await;
+        inner
+            .metrics
+            .record_transfer(Tier::ObjectStore, Tier::Compute, slice.len() as u64);
+        Ok(slice)
+    }
+
+    /// Runs a SELECT: scans the object server-side line by line and
+    /// returns only matching lines. The whole object is charged at the
+    /// scan rate; only the result crosses the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`glider_proto::ErrorCode::NotFound`] for missing keys.
+    pub async fn select(&self, key: &str, predicate: &Predicate) -> GliderResult<Bytes> {
+        let inner = &self.store.inner;
+        inner.metrics.record_access(AccessKind::ObjectSelect);
+        let data = inner
+            .objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| GliderError::not_found(format!("object {key}")))?;
+        // Server-side scan cost.
+        if !inner.config.op_latency.is_zero() {
+            tokio::time::sleep(inner.config.op_latency).await;
+        }
+        if let Some(scan) = &inner.scan_bw {
+            scan.acquire(data.len() as u64).await;
+        }
+        inner.metrics.object_select_scanned(data.len() as u64);
+        let mut out = Vec::new();
+        for line in data.split(|&b| b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            let text = String::from_utf8_lossy(line);
+            if predicate.matches(&text) {
+                out.extend_from_slice(line);
+                out.push(b'\n');
+            }
+        }
+        let result = Bytes::from(out);
+        // Only the matching rows travel to the worker.
+        if let Some(bw) = &inner.bandwidth {
+            bw.acquire(result.len() as u64).await;
+        }
+        if let Some(t) = &self.throttle {
+            t.acquire(result.len() as u64).await;
+        }
+        inner
+            .metrics
+            .record_transfer(Tier::ObjectStore, Tier::Compute, result.len() as u64);
+        Ok(result)
+    }
+
+    /// Deletes an object (no error when missing, like S3).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible.
+    pub async fn delete(&self, key: &str) -> GliderResult<()> {
+        let inner = &self.store.inner;
+        if let Some(old) = inner.objects.write().remove(key) {
+            inner.metrics.object_free(old.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Lists keys with the given prefix, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible.
+    pub async fn list(&self, prefix: &str) -> GliderResult<Vec<String>> {
+        Ok(self
+            .store
+            .inner
+            .objects
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (ObjectStore, Arc<MetricsRegistry>) {
+        let metrics = MetricsRegistry::new();
+        (
+            ObjectStore::new(ObjectStoreConfig::instant(), Arc::clone(&metrics)),
+            metrics,
+        )
+    }
+
+    #[tokio::test]
+    async fn put_get_delete_cycle() {
+        let (store, metrics) = store();
+        let client = store.client(None);
+        client.put("a/b", Bytes::from_static(b"hello")).await.unwrap();
+        assert_eq!(&client.get("a/b").await.unwrap()[..], b"hello");
+        assert_eq!(store.total_bytes(), 5);
+        client.delete("a/b").await.unwrap();
+        assert_eq!(store.total_bytes(), 0);
+        assert_eq!(
+            client.get("a/b").await.unwrap_err().code(),
+            ErrorCode::NotFound
+        );
+        client.delete("never-existed").await.unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.accesses(AccessKind::ObjectPut), 1);
+        assert_eq!(snap.accesses(AccessKind::ObjectGet), 2);
+        assert_eq!(snap.object_peak, 5);
+    }
+
+    #[tokio::test]
+    async fn overwrite_replaces_utilization() {
+        let (store, metrics) = store();
+        let client = store.client(None);
+        client.put("k", Bytes::from(vec![0u8; 100])).await.unwrap();
+        client.put("k", Bytes::from(vec![0u8; 40])).await.unwrap();
+        assert_eq!(store.total_bytes(), 40);
+        assert_eq!(metrics.snapshot().object_current, 40);
+    }
+
+    #[tokio::test]
+    async fn ranged_get_clamps() {
+        let (store, _metrics) = store();
+        let client = store.client(None);
+        client.put("k", Bytes::from_static(b"0123456789")).await.unwrap();
+        assert_eq!(&client.get_range("k", 2, 3).await.unwrap()[..], b"234");
+        assert_eq!(&client.get_range("k", 8, 100).await.unwrap()[..], b"89");
+        assert!(client.get_range("k", 100, 5).await.unwrap().is_empty());
+    }
+
+    #[tokio::test]
+    async fn select_filters_and_meters_scan() {
+        let (store, metrics) = store();
+        let client = store.client(None);
+        let csv = b"chr1,100,A\nchr1,250,C\nchr2,300,G\nchr1,50,T\n";
+        client.put("reads", Bytes::from_static(csv)).await.unwrap();
+        let result = client
+            .select(
+                "reads",
+                &Predicate::ColI64Range {
+                    col: 1,
+                    lo: 100,
+                    hi: 300,
+                },
+            )
+            .await
+            .unwrap();
+        assert_eq!(&result[..], b"chr1,100,A\nchr1,250,C\n");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.object_scanned, csv.len() as u64);
+        assert_eq!(
+            snap.transferred(Tier::ObjectStore, Tier::Compute),
+            result.len() as u64
+        );
+        assert_eq!(snap.accesses(AccessKind::ObjectSelect), 1);
+    }
+
+    #[tokio::test]
+    async fn select_predicates() {
+        assert!(Predicate::ColEq {
+            col: 0,
+            value: "x".to_string()
+        }
+        .matches("x,1"));
+        assert!(!Predicate::ColEq {
+            col: 1,
+            value: "x".to_string()
+        }
+        .matches("x,1"));
+        assert!(Predicate::Contains("needle".to_string()).matches("hay needle hay"));
+        let range = Predicate::ColI64Range {
+            col: 1,
+            lo: 0,
+            hi: 10,
+        };
+        assert!(range.matches("a,5"));
+        assert!(!range.matches("a,10")); // exclusive hi
+        assert!(!range.matches("a,not-a-number"));
+        assert!(!range.matches("only-one-col"));
+    }
+
+    #[tokio::test]
+    async fn list_is_prefix_filtered_and_sorted() {
+        let (store, _metrics) = store();
+        let client = store.client(None);
+        for key in ["j/2", "j/1", "other/x"] {
+            client.put(key, Bytes::new()).await.unwrap();
+        }
+        assert_eq!(client.list("j/").await.unwrap(), vec!["j/1", "j/2"]);
+        assert_eq!(store.object_count(), 3);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn latency_model_charges_requests() {
+        let metrics = MetricsRegistry::new();
+        let store = ObjectStore::new(
+            ObjectStoreConfig {
+                op_latency: Duration::from_millis(20),
+                bandwidth_mibps: None,
+                select_scan_mibps: None,
+            },
+            metrics,
+        );
+        let client = store.client(None);
+        let start = tokio::time::Instant::now();
+        client.put("k", Bytes::from_static(b"v")).await.unwrap();
+        client.get("k").await.unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+}

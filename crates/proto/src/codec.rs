@@ -1,0 +1,310 @@
+//! A compact hand-rolled binary codec.
+//!
+//! All integers are little-endian. Strings are UTF-8 with a `u32` length
+//! prefix; byte blobs are `u32`-length-prefixed; sequences are
+//! `u32`-count-prefixed; options are a one-byte tag. The codec is
+//! deliberately simple — the protocol messages are small and fixed-shape,
+//! and bulk data rides as a single `Bytes` blob.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<CodecError> for crate::GliderError {
+    fn from(e: CodecError) -> Self {
+        crate::GliderError::protocol(e.0)
+    }
+}
+
+/// Result alias for decode operations.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// Types that can be encoded to and decoded from the Glider wire format.
+///
+/// # Examples
+///
+/// ```
+/// use glider_proto::codec::Wire;
+/// use bytes::BytesMut;
+///
+/// let mut buf = BytesMut::new();
+/// 42u64.encode(&mut buf);
+/// "hi".to_string().encode(&mut buf);
+/// let mut rd = buf.freeze();
+/// assert_eq!(u64::decode(&mut rd).unwrap(), 42);
+/// assert_eq!(String::decode(&mut rd).unwrap(), "hi");
+/// ```
+pub trait Wire: Sized {
+    /// Appends the wire representation of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Consumes the wire representation from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if `buf` is truncated or malformed.
+    fn decode(buf: &mut Bytes) -> CodecResult<Self>;
+}
+
+fn need(buf: &Bytes, n: usize, what: &str) -> CodecResult<()> {
+    if buf.remaining() < n {
+        Err(CodecError(format!(
+            "truncated input: need {n} bytes for {what}, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        need(buf, 1, "u8")?;
+        Ok(buf.get_u8())
+    }
+}
+
+impl Wire for u16 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        need(buf, 2, "u16")?;
+        Ok(buf.get_u16_le())
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        need(buf, 4, "u32")?;
+        Ok(buf.get_u32_le())
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        need(buf, 8, "u64")?;
+        Ok(buf.get_u64_le())
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_i64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        need(buf, 8, "i64")?;
+        Ok(buf.get_i64_le())
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        need(buf, 1, "bool")?;
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError(format!("invalid bool tag {other}"))),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        need(buf, len, "string body")?;
+        let bytes = buf.split_to(len);
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError(format!("invalid utf-8 string: {e}")))
+    }
+}
+
+impl Wire for Bytes {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        need(buf, len, "bytes body")?;
+        Ok(buf.split_to(len))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        // Sanity cap: one element needs at least one byte on the wire.
+        if len > buf.remaining() {
+            return Err(CodecError(format!(
+                "sequence length {len} exceeds remaining {} bytes",
+                buf.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        need(buf, 1, "option tag")?;
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            other => Err(CodecError(format!("invalid option tag {other}"))),
+        }
+    }
+}
+
+/// Encodes a value into a fresh buffer (convenience for tests).
+pub fn to_bytes<T: Wire>(value: &T) -> Bytes {
+    let mut buf = BytesMut::new();
+    value.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decodes a value from a buffer, requiring all bytes to be consumed.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed input or trailing bytes.
+pub fn from_bytes<T: Wire>(mut bytes: Bytes) -> CodecResult<T> {
+    let v = T::decode(&mut bytes)?;
+    if bytes.has_remaining() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after decode",
+            bytes.remaining()
+        )));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let enc = to_bytes(&v);
+        let dec: T = from_bytes(enc).unwrap();
+        assert_eq!(dec, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u16::MAX);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn strings_and_bytes_round_trip() {
+        round_trip(String::new());
+        round_trip("héllo wörld /path/to/node".to_string());
+        round_trip(Bytes::new());
+        round_trip(Bytes::from(vec![0u8, 1, 2, 255]));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(Vec::<u64>::new());
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(vec!["a".to_string(), "b".to_string()]);
+        round_trip(Option::<u32>::None);
+        round_trip(Some(77u32));
+        round_trip(vec![Some(1u8), None, Some(3)]);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut buf = BytesMut::new();
+        "hello".to_string().encode(&mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut part = full.slice(..cut);
+            assert!(String::decode(&mut part).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bogus_sequence_length_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        let mut b = buf.freeze();
+        assert!(Vec::<u64>::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        let mut b = Bytes::from(vec![2u8]);
+        assert!(bool::decode(&mut b).is_err());
+        let mut b = Bytes::from(vec![7u8]);
+        assert!(Option::<u8>::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        let mut b = buf.freeze();
+        assert!(String::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = BytesMut::new();
+        1u8.encode(&mut buf);
+        2u8.encode(&mut buf);
+        assert!(from_bytes::<u8>(buf.freeze()).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Length-prefixed framing of requests and responses.
+//!
+//! A frame on the wire is `[u32 total_len][u8 kind][payload]` where `kind`
+//! is 0 for requests and 1 for responses, and `total_len` counts the bytes
+//! after the length prefix.
+
+use crate::codec::{to_bytes, CodecError, CodecResult, Wire};
+use crate::message::{Request, Response};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum frame payload accepted, protecting against corrupt length
+/// prefixes. Large transfers are chunked well below this.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+const KIND_REQUEST: u8 = 0;
+const KIND_RESPONSE: u8 = 1;
+
+/// A request or response, as it travels on a connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A client-to-server operation.
+    Request(Request),
+    /// A server-to-client result.
+    Response(Response),
+}
+
+impl Frame {
+    /// The approximate bulk payload carried by this frame (for metering).
+    pub fn payload_len(&self) -> u64 {
+        match self {
+            Frame::Request(r) => r.body.payload_len(),
+            Frame::Response(r) => r.body.payload_len(),
+        }
+    }
+}
+
+/// Appends the encoded frame to `buf`.
+pub fn encode_frame(frame: &Frame, buf: &mut BytesMut) {
+    let (kind, body) = match frame {
+        Frame::Request(r) => (KIND_REQUEST, to_bytes(r)),
+        Frame::Response(r) => (KIND_RESPONSE, to_bytes(r)),
+    };
+    buf.put_u32_le((body.len() + 1) as u32);
+    buf.put_u8(kind);
+    buf.put_slice(&body);
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` does not yet hold a complete frame (the
+/// caller should read more bytes), consuming nothing in that case.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed frames (bad kind byte, oversized
+/// length, undecodable payload).
+pub fn decode_frame(buf: &mut BytesMut) -> CodecResult<Option<Frame>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let total = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if total == 0 {
+        return Err(CodecError("zero-length frame".to_string()));
+    }
+    if total > MAX_FRAME_LEN {
+        return Err(CodecError(format!(
+            "frame length {total} exceeds maximum {MAX_FRAME_LEN}"
+        )));
+    }
+    if buf.len() < 4 + total {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let kind = buf.get_u8();
+    let mut body: Bytes = buf.split_to(total - 1).freeze();
+    let frame = match kind {
+        KIND_REQUEST => Frame::Request(Request::decode(&mut body)?),
+        KIND_RESPONSE => Frame::Response(Response::decode(&mut body)?),
+        other => return Err(CodecError(format!("invalid frame kind {other}"))),
+    };
+    if body.has_remaining() {
+        return Err(CodecError(format!(
+            "{} trailing bytes in frame",
+            body.remaining()
+        )));
+    }
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{RequestBody, ResponseBody};
+    use crate::types::PeerTier;
+
+    fn sample_request() -> Frame {
+        Frame::Request(Request {
+            id: 5,
+            body: RequestBody::Hello {
+                tier: PeerTier::Storage,
+            },
+        })
+    }
+
+    fn sample_response() -> Frame {
+        Frame::Response(Response {
+            id: 5,
+            body: ResponseBody::Written { n: 123 },
+        })
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = BytesMut::new();
+        encode_frame(&sample_request(), &mut buf);
+        encode_frame(&sample_response(), &mut buf);
+        let a = decode_frame(&mut buf).unwrap().unwrap();
+        let b = decode_frame(&mut buf).unwrap().unwrap();
+        assert_eq!(a, sample_request());
+        assert_eq!(b, sample_response());
+        assert!(buf.is_empty());
+        assert_eq!(decode_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut full = BytesMut::new();
+        encode_frame(&sample_request(), &mut full);
+        for cut in 0..full.len() {
+            let mut partial = BytesMut::from(&full[..cut]);
+            let got = decode_frame(&mut partial).unwrap();
+            assert!(got.is_none(), "cut at {cut}");
+            assert_eq!(partial.len(), cut, "nothing consumed at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le((MAX_FRAME_LEN + 1) as u32);
+        buf.put_u8(KIND_REQUEST);
+        assert!(decode_frame(&mut buf).is_err());
+    }
+
+    #[test]
+    fn zero_length_frames_are_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        assert!(decode_frame(&mut buf).is_err());
+    }
+
+    #[test]
+    fn invalid_kind_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_u8(9);
+        buf.put_u8(0);
+        assert!(decode_frame(&mut buf).is_err());
+    }
+
+    #[test]
+    fn payload_len_propagates() {
+        let f = Frame::Request(Request {
+            id: 1,
+            body: RequestBody::StreamChunk {
+                stream_id: crate::types::StreamId(1),
+                seq: 0,
+                data: Bytes::from_static(b"abcd"),
+            },
+        });
+        assert_eq!(f.payload_len(), 4);
+        assert_eq!(sample_request().payload_len(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Wire protocol for the Glider reproduction.
+//!
+//! Glider (like Apache Crail / NodeKernel, which it extends) splits its RPC
+//! surface into a *metadata plane* (namespace structure, block allocation,
+//! server registry) and a *data plane* (block reads/writes against data
+//! servers, action streams against active servers). This crate defines:
+//!
+//! - a compact hand-rolled binary codec ([`codec`]),
+//! - the shared id/enum vocabulary ([`types`]),
+//! - the request/response messages of both planes ([`message`]),
+//! - length-prefixed framing ([`frame`]), and
+//! - the workspace-wide error type ([`error::GliderError`]).
+//!
+//! The codec is deliberately dependency-free (no serde): the protocol is an
+//! artifact of the system being reproduced and is kept explicit.
+//!
+//! # Examples
+//!
+//! ```
+//! use glider_proto::message::{Request, RequestBody};
+//! use glider_proto::frame::{encode_frame, decode_frame, Frame};
+//! use bytes::BytesMut;
+//!
+//! let req = Request {
+//!     id: 7,
+//!     body: RequestBody::LookupNode { path: "/tmp/x".into() },
+//! };
+//! let mut buf = BytesMut::new();
+//! encode_frame(&Frame::Request(req.clone()), &mut buf);
+//! let decoded = decode_frame(&mut buf).unwrap().unwrap();
+//! assert_eq!(decoded, Frame::Request(req));
+//! ```
+
+pub mod codec;
+pub mod error;
+pub mod frame;
+pub mod message;
+pub mod types;
+
+pub use error::{ErrorCode, GliderError, GliderResult};

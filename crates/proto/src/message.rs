@@ -1,0 +1,790 @@
+//! Request/response messages for the metadata and data planes.
+//!
+//! Every RPC is a [`Request`] carrying a caller-chosen id, answered by a
+//! [`Response`] echoing the same id. Message bodies encode with a `u16`
+//! opcode followed by their fields.
+
+use crate::codec::{CodecError, CodecResult, Wire};
+use crate::error::{ErrorCode, GliderError};
+use crate::types::{
+    ActionSpec, BlockExtent, BlockId, NodeId, NodeInfo, NodeKind, PeerTier, ServerId, ServerKind,
+    StorageClass, StreamDir, StreamId,
+};
+use bytes::{Bytes, BytesMut};
+
+/// A request frame: caller-chosen id plus the operation body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Correlates the response; unique per connection.
+    pub id: u64,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+/// Operations of both RPC planes.
+///
+/// Metadata-plane operations (`CreateNode` .. `RegisterServer`) are served
+/// by the metadata server; data-plane operations (`WriteBlock` ..
+/// `StreamClose`) by data and active storage servers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Connection handshake declaring the caller's tier (for transfer
+    /// metering). Must be the first request on a connection.
+    Hello {
+        /// The caller's architectural tier.
+        tier: PeerTier,
+    },
+
+    // ---- metadata plane ----
+    /// Creates a node at `path`. Parents must exist and be containers.
+    CreateNode {
+        /// Absolute namespace path (e.g. `/job1/shuffle/part-3`).
+        path: String,
+        /// Node kind to create.
+        kind: NodeKind,
+        /// Preferred storage class for data blocks (`sc` parameter of the
+        /// paper's API); defaults per kind when `None`. Ignored for actions,
+        /// which always allocate in the active class.
+        storage_class: Option<StorageClass>,
+        /// Action parameters; required iff `kind == Action`.
+        action: Option<ActionSpec>,
+    },
+    /// Looks up the node at `path`.
+    LookupNode {
+        /// Absolute namespace path.
+        path: String,
+    },
+    /// Removes the node at `path` (recursively for containers) and returns
+    /// everything the client must release on storage servers.
+    DeleteNode {
+        /// Absolute namespace path.
+        path: String,
+    },
+    /// Lists the child names of a container node.
+    ListChildren {
+        /// Absolute namespace path of a `Directory` or `Table`.
+        path: String,
+    },
+    /// Allocates and appends one block to a data node's chain.
+    AddBlock {
+        /// Target node.
+        node_id: NodeId,
+    },
+    /// Records that `len` bytes of `block_id` now hold data of `node_id`.
+    CommitBlock {
+        /// Target node.
+        node_id: NodeId,
+        /// Block within the node's chain.
+        block_id: BlockId,
+        /// Used bytes within the block.
+        len: u64,
+    },
+    /// Registers a storage server and its capacity with the metadata plane.
+    RegisterServer {
+        /// Data or active server.
+        kind: ServerKind,
+        /// The class the server joins (exactly one, per the paper).
+        storage_class: StorageClass,
+        /// Data-plane address clients should dial.
+        addr: String,
+        /// Number of blocks (data) or action slots (active) contributed.
+        capacity_blocks: u64,
+    },
+
+    // ---- data plane ----
+    /// Writes `data` into a block at `offset`.
+    WriteBlock {
+        /// Target block.
+        block_id: BlockId,
+        /// Byte offset within the block.
+        offset: u64,
+        /// Payload.
+        data: Bytes,
+    },
+    /// Reads `len` bytes from a block at `offset`.
+    ReadBlock {
+        /// Target block.
+        block_id: BlockId,
+        /// Byte offset within the block.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// Releases blocks freed by a node deletion.
+    FreeBlocks {
+        /// Blocks to release.
+        block_ids: Vec<BlockId>,
+    },
+    /// Instantiates an action object into a slot (runs `on_create`).
+    ActionCreate {
+        /// The action node.
+        node_id: NodeId,
+        /// The slot (block) assigned by the metadata server.
+        block_id: BlockId,
+        /// Action type and configuration.
+        spec: ActionSpec,
+    },
+    /// Removes an action object (runs `on_delete`, frees the slot).
+    ActionDelete {
+        /// The action node.
+        node_id: NodeId,
+    },
+    /// Opens an I/O stream against an action node, triggering `on_read` or
+    /// `on_write`.
+    StreamOpen {
+        /// The action node.
+        node_id: NodeId,
+        /// Direction from the client's point of view.
+        dir: StreamDir,
+    },
+    /// Pushes one chunk on a write stream.
+    StreamChunk {
+        /// Stream handle from `StreamOpen`.
+        stream_id: StreamId,
+        /// Sequence number (0-based) for ordering checks.
+        seq: u64,
+        /// Payload.
+        data: Bytes,
+    },
+    /// Pulls up to `max_len` bytes from a read stream. Blocks server-side
+    /// until data is available or the producing method finishes.
+    StreamFetch {
+        /// Stream handle from `StreamOpen`.
+        stream_id: StreamId,
+        /// Maximum bytes to return.
+        max_len: u64,
+    },
+    /// Ends the stream. For write streams this signals end-of-input and the
+    /// response is sent after the action method completes (write barrier).
+    StreamClose {
+        /// Stream handle from `StreamOpen`.
+        stream_id: StreamId,
+    },
+}
+
+impl RequestBody {
+    fn opcode(&self) -> u16 {
+        match self {
+            RequestBody::Hello { .. } => 0,
+            RequestBody::CreateNode { .. } => 1,
+            RequestBody::LookupNode { .. } => 2,
+            RequestBody::DeleteNode { .. } => 3,
+            RequestBody::ListChildren { .. } => 4,
+            RequestBody::AddBlock { .. } => 5,
+            RequestBody::CommitBlock { .. } => 6,
+            RequestBody::RegisterServer { .. } => 7,
+            RequestBody::WriteBlock { .. } => 20,
+            RequestBody::ReadBlock { .. } => 21,
+            RequestBody::FreeBlocks { .. } => 22,
+            RequestBody::ActionCreate { .. } => 23,
+            RequestBody::ActionDelete { .. } => 24,
+            RequestBody::StreamOpen { .. } => 25,
+            RequestBody::StreamChunk { .. } => 26,
+            RequestBody::StreamFetch { .. } => 27,
+            RequestBody::StreamClose { .. } => 28,
+        }
+    }
+
+    /// A short operation name for diagnostics.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            RequestBody::Hello { .. } => "hello",
+            RequestBody::CreateNode { .. } => "create-node",
+            RequestBody::LookupNode { .. } => "lookup-node",
+            RequestBody::DeleteNode { .. } => "delete-node",
+            RequestBody::ListChildren { .. } => "list-children",
+            RequestBody::AddBlock { .. } => "add-block",
+            RequestBody::CommitBlock { .. } => "commit-block",
+            RequestBody::RegisterServer { .. } => "register-server",
+            RequestBody::WriteBlock { .. } => "write-block",
+            RequestBody::ReadBlock { .. } => "read-block",
+            RequestBody::FreeBlocks { .. } => "free-blocks",
+            RequestBody::ActionCreate { .. } => "action-create",
+            RequestBody::ActionDelete { .. } => "action-delete",
+            RequestBody::StreamOpen { .. } => "stream-open",
+            RequestBody::StreamChunk { .. } => "stream-chunk",
+            RequestBody::StreamFetch { .. } => "stream-fetch",
+            RequestBody::StreamClose { .. } => "stream-close",
+        }
+    }
+
+    /// The approximate payload size carried by this request (bytes that
+    /// count as data transfer, as opposed to fixed header overhead).
+    pub fn payload_len(&self) -> u64 {
+        match self {
+            RequestBody::WriteBlock { data, .. } => data.len() as u64,
+            RequestBody::StreamChunk { data, .. } => data.len() as u64,
+            _ => 0,
+        }
+    }
+}
+
+impl Wire for Request {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        self.body.opcode().encode(buf);
+        match &self.body {
+            RequestBody::Hello { tier } => tier.encode(buf),
+            RequestBody::CreateNode {
+                path,
+                kind,
+                storage_class,
+                action,
+            } => {
+                path.encode(buf);
+                kind.encode(buf);
+                storage_class.encode(buf);
+                action.encode(buf);
+            }
+            RequestBody::LookupNode { path }
+            | RequestBody::DeleteNode { path }
+            | RequestBody::ListChildren { path } => path.encode(buf),
+            RequestBody::AddBlock { node_id } => node_id.encode(buf),
+            RequestBody::CommitBlock {
+                node_id,
+                block_id,
+                len,
+            } => {
+                node_id.encode(buf);
+                block_id.encode(buf);
+                len.encode(buf);
+            }
+            RequestBody::RegisterServer {
+                kind,
+                storage_class,
+                addr,
+                capacity_blocks,
+            } => {
+                kind.encode(buf);
+                storage_class.encode(buf);
+                addr.encode(buf);
+                capacity_blocks.encode(buf);
+            }
+            RequestBody::WriteBlock {
+                block_id,
+                offset,
+                data,
+            } => {
+                block_id.encode(buf);
+                offset.encode(buf);
+                data.encode(buf);
+            }
+            RequestBody::ReadBlock {
+                block_id,
+                offset,
+                len,
+            } => {
+                block_id.encode(buf);
+                offset.encode(buf);
+                len.encode(buf);
+            }
+            RequestBody::FreeBlocks { block_ids } => block_ids.encode(buf),
+            RequestBody::ActionCreate {
+                node_id,
+                block_id,
+                spec,
+            } => {
+                node_id.encode(buf);
+                block_id.encode(buf);
+                spec.encode(buf);
+            }
+            RequestBody::ActionDelete { node_id } => node_id.encode(buf),
+            RequestBody::StreamOpen { node_id, dir } => {
+                node_id.encode(buf);
+                dir.encode(buf);
+            }
+            RequestBody::StreamChunk {
+                stream_id,
+                seq,
+                data,
+            } => {
+                stream_id.encode(buf);
+                seq.encode(buf);
+                data.encode(buf);
+            }
+            RequestBody::StreamFetch { stream_id, max_len } => {
+                stream_id.encode(buf);
+                max_len.encode(buf);
+            }
+            RequestBody::StreamClose { stream_id } => stream_id.encode(buf),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        let id = u64::decode(buf)?;
+        let opcode = u16::decode(buf)?;
+        let body = match opcode {
+            0 => RequestBody::Hello {
+                tier: PeerTier::decode(buf)?,
+            },
+            1 => RequestBody::CreateNode {
+                path: String::decode(buf)?,
+                kind: NodeKind::decode(buf)?,
+                storage_class: Option::decode(buf)?,
+                action: Option::decode(buf)?,
+            },
+            2 => RequestBody::LookupNode {
+                path: String::decode(buf)?,
+            },
+            3 => RequestBody::DeleteNode {
+                path: String::decode(buf)?,
+            },
+            4 => RequestBody::ListChildren {
+                path: String::decode(buf)?,
+            },
+            5 => RequestBody::AddBlock {
+                node_id: NodeId::decode(buf)?,
+            },
+            6 => RequestBody::CommitBlock {
+                node_id: NodeId::decode(buf)?,
+                block_id: BlockId::decode(buf)?,
+                len: u64::decode(buf)?,
+            },
+            7 => RequestBody::RegisterServer {
+                kind: ServerKind::decode(buf)?,
+                storage_class: StorageClass::decode(buf)?,
+                addr: String::decode(buf)?,
+                capacity_blocks: u64::decode(buf)?,
+            },
+            20 => RequestBody::WriteBlock {
+                block_id: BlockId::decode(buf)?,
+                offset: u64::decode(buf)?,
+                data: Bytes::decode(buf)?,
+            },
+            21 => RequestBody::ReadBlock {
+                block_id: BlockId::decode(buf)?,
+                offset: u64::decode(buf)?,
+                len: u64::decode(buf)?,
+            },
+            22 => RequestBody::FreeBlocks {
+                block_ids: Vec::decode(buf)?,
+            },
+            23 => RequestBody::ActionCreate {
+                node_id: NodeId::decode(buf)?,
+                block_id: BlockId::decode(buf)?,
+                spec: ActionSpec::decode(buf)?,
+            },
+            24 => RequestBody::ActionDelete {
+                node_id: NodeId::decode(buf)?,
+            },
+            25 => RequestBody::StreamOpen {
+                node_id: NodeId::decode(buf)?,
+                dir: StreamDir::decode(buf)?,
+            },
+            26 => RequestBody::StreamChunk {
+                stream_id: StreamId::decode(buf)?,
+                seq: u64::decode(buf)?,
+                data: Bytes::decode(buf)?,
+            },
+            27 => RequestBody::StreamFetch {
+                stream_id: StreamId::decode(buf)?,
+                max_len: u64::decode(buf)?,
+            },
+            28 => RequestBody::StreamClose {
+                stream_id: StreamId::decode(buf)?,
+            },
+            other => return Err(CodecError(format!("unknown request opcode {other}"))),
+        };
+        Ok(Request { id, body })
+    }
+}
+
+/// A response frame echoing the request id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// The result.
+    pub body: ResponseBody,
+}
+
+/// Results of RPC operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// The operation succeeded with no payload.
+    Ok,
+    /// Node information (create/lookup).
+    Node(NodeInfo),
+    /// Node information of a deleted subtree root, plus all block extents
+    /// of the subtree the client must release.
+    Deleted {
+        /// The removed node.
+        info: NodeInfo,
+        /// Every extent owned by the removed subtree (including actions'
+        /// slots, which require `ActionDelete` instead of `FreeBlocks`).
+        extents: Vec<BlockExtent>,
+        /// Action nodes removed (node id + slot) so the client can
+        /// finalize them on their active servers.
+        actions: Vec<NodeInfo>,
+    },
+    /// Child names of a container.
+    Children(Vec<String>),
+    /// A freshly allocated block extent.
+    Block(BlockExtent),
+    /// The registered server's id.
+    Registered {
+        /// Assigned server id.
+        server_id: ServerId,
+        /// Block ids assigned to this server's capacity.
+        first_block_id: BlockId,
+    },
+    /// A stream was opened.
+    StreamOpened {
+        /// Handle for subsequent chunk/fetch/close calls.
+        stream_id: StreamId,
+    },
+    /// Data returned by a read or fetch.
+    Data {
+        /// Server-assigned sequence number of this payload within its
+        /// stream (0 for plain block reads). Clients reassemble windowed
+        /// stream fetches by this number.
+        seq: u64,
+        /// Payload (possibly empty).
+        bytes: Bytes,
+        /// True when the producing side has finished and no more data will
+        /// arrive after this payload.
+        eof: bool,
+    },
+    /// Bytes accepted by a write.
+    Written {
+        /// Number of bytes written.
+        n: u64,
+    },
+    /// The operation failed.
+    Error {
+        /// Machine-readable code.
+        code: u16,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl ResponseBody {
+    fn opcode(&self) -> u16 {
+        match self {
+            ResponseBody::Ok => 0,
+            ResponseBody::Node(_) => 1,
+            ResponseBody::Deleted { .. } => 2,
+            ResponseBody::Children(_) => 3,
+            ResponseBody::Block(_) => 4,
+            ResponseBody::Registered { .. } => 5,
+            ResponseBody::StreamOpened { .. } => 6,
+            ResponseBody::Data { .. } => 7,
+            ResponseBody::Written { .. } => 8,
+            ResponseBody::Error { .. } => 9,
+        }
+    }
+
+    /// Builds an error response body from a [`GliderError`].
+    pub fn from_error(err: &GliderError) -> Self {
+        ResponseBody::Error {
+            code: err.code().as_u16(),
+            message: err.message().to_string(),
+        }
+    }
+
+    /// Converts an error body back into a [`GliderError`]; other bodies
+    /// return `Ok(self)`.
+    pub fn into_result(self) -> Result<ResponseBody, GliderError> {
+        match self {
+            ResponseBody::Error { code, message } => Err(GliderError::new(
+                ErrorCode::from_u16(code).unwrap_or(ErrorCode::Protocol),
+                message,
+            )),
+            other => Ok(other),
+        }
+    }
+
+    /// The approximate payload size carried by this response.
+    pub fn payload_len(&self) -> u64 {
+        match self {
+            ResponseBody::Data { bytes, .. } => bytes.len() as u64,
+            _ => 0,
+        }
+    }
+}
+
+impl Wire for Response {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        self.body.opcode().encode(buf);
+        match &self.body {
+            ResponseBody::Ok => {}
+            ResponseBody::Node(info) => info.encode(buf),
+            ResponseBody::Deleted {
+                info,
+                extents,
+                actions,
+            } => {
+                info.encode(buf);
+                extents.encode(buf);
+                actions.encode(buf);
+            }
+            ResponseBody::Children(names) => names.encode(buf),
+            ResponseBody::Block(extent) => extent.encode(buf),
+            ResponseBody::Registered {
+                server_id,
+                first_block_id,
+            } => {
+                server_id.encode(buf);
+                first_block_id.encode(buf);
+            }
+            ResponseBody::StreamOpened { stream_id } => stream_id.encode(buf),
+            ResponseBody::Data { seq, bytes, eof } => {
+                seq.encode(buf);
+                bytes.encode(buf);
+                eof.encode(buf);
+            }
+            ResponseBody::Written { n } => n.encode(buf),
+            ResponseBody::Error { code, message } => {
+                code.encode(buf);
+                message.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        let id = u64::decode(buf)?;
+        let opcode = u16::decode(buf)?;
+        let body = match opcode {
+            0 => ResponseBody::Ok,
+            1 => ResponseBody::Node(NodeInfo::decode(buf)?),
+            2 => ResponseBody::Deleted {
+                info: NodeInfo::decode(buf)?,
+                extents: Vec::decode(buf)?,
+                actions: Vec::decode(buf)?,
+            },
+            3 => ResponseBody::Children(Vec::decode(buf)?),
+            4 => ResponseBody::Block(BlockExtent::decode(buf)?),
+            5 => ResponseBody::Registered {
+                server_id: ServerId::decode(buf)?,
+                first_block_id: BlockId::decode(buf)?,
+            },
+            6 => ResponseBody::StreamOpened {
+                stream_id: StreamId::decode(buf)?,
+            },
+            7 => ResponseBody::Data {
+                seq: u64::decode(buf)?,
+                bytes: Bytes::decode(buf)?,
+                eof: bool::decode(buf)?,
+            },
+            8 => ResponseBody::Written {
+                n: u64::decode(buf)?,
+            },
+            9 => ResponseBody::Error {
+                code: u16::decode(buf)?,
+                message: String::decode(buf)?,
+            },
+            other => return Err(CodecError(format!("unknown response opcode {other}"))),
+        };
+        Ok(Response { id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+    use crate::types::BlockLocation;
+
+    fn round_trip_req(body: RequestBody) {
+        let req = Request { id: 99, body };
+        assert_eq!(from_bytes::<Request>(to_bytes(&req)).unwrap(), req);
+    }
+
+    fn round_trip_resp(body: ResponseBody) {
+        let resp = Response { id: 7, body };
+        assert_eq!(from_bytes::<Response>(to_bytes(&resp)).unwrap(), resp);
+    }
+
+    fn extent() -> BlockExtent {
+        BlockExtent {
+            loc: BlockLocation {
+                block_id: BlockId(3),
+                server_id: ServerId(1),
+                addr: "127.0.0.1:9000".to_string(),
+            },
+            len: 4096,
+        }
+    }
+
+    #[test]
+    fn all_requests_round_trip() {
+        round_trip_req(RequestBody::Hello {
+            tier: PeerTier::Compute,
+        });
+        round_trip_req(RequestBody::CreateNode {
+            path: "/a/b".to_string(),
+            kind: NodeKind::Action,
+            storage_class: Some(StorageClass::active()),
+            action: Some(ActionSpec {
+                type_name: "merge".to_string(),
+                interleaved: true,
+                params: String::new(),
+            }),
+        });
+        round_trip_req(RequestBody::LookupNode {
+            path: "/a".to_string(),
+        });
+        round_trip_req(RequestBody::DeleteNode {
+            path: "/a".to_string(),
+        });
+        round_trip_req(RequestBody::ListChildren {
+            path: "/".to_string(),
+        });
+        round_trip_req(RequestBody::AddBlock {
+            node_id: NodeId(1),
+        });
+        round_trip_req(RequestBody::CommitBlock {
+            node_id: NodeId(1),
+            block_id: BlockId(2),
+            len: 100,
+        });
+        round_trip_req(RequestBody::RegisterServer {
+            kind: ServerKind::Active,
+            storage_class: StorageClass::active(),
+            addr: "mem://a".to_string(),
+            capacity_blocks: 8,
+        });
+        round_trip_req(RequestBody::WriteBlock {
+            block_id: BlockId(1),
+            offset: 10,
+            data: Bytes::from_static(b"hello"),
+        });
+        round_trip_req(RequestBody::ReadBlock {
+            block_id: BlockId(1),
+            offset: 0,
+            len: 64,
+        });
+        round_trip_req(RequestBody::FreeBlocks {
+            block_ids: vec![BlockId(1), BlockId(2)],
+        });
+        round_trip_req(RequestBody::ActionCreate {
+            node_id: NodeId(4),
+            block_id: BlockId(5),
+            spec: ActionSpec {
+                type_name: "filter".to_string(),
+                interleaved: false,
+                params: String::new(),
+            },
+        });
+        round_trip_req(RequestBody::ActionDelete {
+            node_id: NodeId(4),
+        });
+        round_trip_req(RequestBody::StreamOpen {
+            node_id: NodeId(4),
+            dir: StreamDir::Read,
+        });
+        round_trip_req(RequestBody::StreamChunk {
+            stream_id: StreamId(8),
+            seq: 3,
+            data: Bytes::from_static(b"chunk"),
+        });
+        round_trip_req(RequestBody::StreamFetch {
+            stream_id: StreamId(8),
+            max_len: 65536,
+        });
+        round_trip_req(RequestBody::StreamClose {
+            stream_id: StreamId(8),
+        });
+    }
+
+    #[test]
+    fn all_responses_round_trip() {
+        round_trip_resp(ResponseBody::Ok);
+        round_trip_resp(ResponseBody::Node(NodeInfo {
+            id: NodeId(1),
+            kind: NodeKind::File,
+            size: 10,
+            blocks: vec![extent()],
+            action: None,
+        }));
+        round_trip_resp(ResponseBody::Deleted {
+            info: NodeInfo {
+                id: NodeId(1),
+                kind: NodeKind::Directory,
+                size: 0,
+                blocks: vec![],
+                action: None,
+            },
+            extents: vec![extent()],
+            actions: vec![],
+        });
+        round_trip_resp(ResponseBody::Children(vec!["a".into(), "b".into()]));
+        round_trip_resp(ResponseBody::Block(extent()));
+        round_trip_resp(ResponseBody::Registered {
+            server_id: ServerId(3),
+            first_block_id: BlockId(1000),
+        });
+        round_trip_resp(ResponseBody::StreamOpened {
+            stream_id: StreamId(12),
+        });
+        round_trip_resp(ResponseBody::Data {
+            seq: 3,
+            bytes: Bytes::from_static(b"payload"),
+            eof: true,
+        });
+        round_trip_resp(ResponseBody::Written { n: 7 });
+        round_trip_resp(ResponseBody::Error {
+            code: ErrorCode::NotFound.as_u16(),
+            message: "nope".to_string(),
+        });
+    }
+
+    #[test]
+    fn error_bodies_convert_to_errors() {
+        let err = GliderError::not_found("/x");
+        let body = ResponseBody::from_error(&err);
+        let back = body.into_result().unwrap_err();
+        assert_eq!(back.code(), ErrorCode::NotFound);
+        assert!(ResponseBody::Ok.into_result().is_ok());
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        let mut buf = BytesMut::new();
+        1u64.encode(&mut buf);
+        999u16.encode(&mut buf);
+        assert!(from_bytes::<Request>(buf.freeze()).is_err());
+        let mut buf = BytesMut::new();
+        1u64.encode(&mut buf);
+        999u16.encode(&mut buf);
+        assert!(from_bytes::<Response>(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn payload_len_counts_only_bulk_data() {
+        let w = RequestBody::WriteBlock {
+            block_id: BlockId(1),
+            offset: 0,
+            data: Bytes::from_static(b"12345"),
+        };
+        assert_eq!(w.payload_len(), 5);
+        assert_eq!(
+            RequestBody::LookupNode {
+                path: "/a".to_string()
+            }
+            .payload_len(),
+            0
+        );
+        let d = ResponseBody::Data {
+            seq: 0,
+            bytes: Bytes::from_static(b"123"),
+            eof: false,
+        };
+        assert_eq!(d.payload_len(), 3);
+        assert_eq!(ResponseBody::Ok.payload_len(), 0);
+    }
+
+    #[test]
+    fn op_names_are_stable() {
+        assert_eq!(
+            RequestBody::StreamOpen {
+                node_id: NodeId(1),
+                dir: StreamDir::Read
+            }
+            .op_name(),
+            "stream-open"
+        );
+    }
+}

@@ -1,0 +1,557 @@
+//! Core identifier and descriptor types shared by both RPC planes.
+
+use crate::codec::{CodecError, CodecResult, Wire};
+use bytes::{Bytes, BytesMut};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The reserved "no id" sentinel.
+            pub const NONE: $name = $name(0);
+
+            /// Returns the raw id value.
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+
+        impl Wire for $name {
+            fn encode(&self, buf: &mut BytesMut) {
+                self.0.encode(buf);
+            }
+            fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+                Ok($name(u64::decode(buf)?))
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifier of a node in the storage namespace.
+    NodeId
+);
+id_newtype!(
+    /// Identifier of a storage block (or action slot) on a storage server.
+    BlockId
+);
+id_newtype!(
+    /// Identifier of a registered storage server.
+    ServerId
+);
+id_newtype!(
+    /// Identifier of an open action I/O stream.
+    StreamId
+);
+
+/// The node types of the NodeKernel storage semantics (paper §4.1), plus the
+/// `Action` type that Glider adds (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A byte-stream file backed by a chain of blocks.
+    File,
+    /// A container node in the hierarchical namespace.
+    Directory,
+    /// A small key-addressed value with overwrite semantics (single block).
+    KeyValue,
+    /// A container of `KeyValue` nodes.
+    Table,
+    /// An unordered multi-writer append container.
+    Bag,
+    /// A storage action: stateful near-data computation (Glider).
+    Action,
+}
+
+impl NodeKind {
+    /// Whether nodes of this kind may hold children in the namespace.
+    pub fn is_container(self) -> bool {
+        matches!(self, NodeKind::Directory | NodeKind::Table)
+    }
+
+    /// Whether nodes of this kind carry data blocks.
+    pub fn has_data(self) -> bool {
+        matches!(self, NodeKind::File | NodeKind::KeyValue | NodeKind::Bag)
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            NodeKind::File => 0,
+            NodeKind::Directory => 1,
+            NodeKind::KeyValue => 2,
+            NodeKind::Table => 3,
+            NodeKind::Bag => 4,
+            NodeKind::Action => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> CodecResult<Self> {
+        Ok(match v {
+            0 => NodeKind::File,
+            1 => NodeKind::Directory,
+            2 => NodeKind::KeyValue,
+            3 => NodeKind::Table,
+            4 => NodeKind::Bag,
+            5 => NodeKind::Action,
+            other => return Err(CodecError(format!("invalid node kind {other}"))),
+        })
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::File => "file",
+            NodeKind::Directory => "directory",
+            NodeKind::KeyValue => "key-value",
+            NodeKind::Table => "table",
+            NodeKind::Bag => "bag",
+            NodeKind::Action => "action",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Wire for NodeKind {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.as_u8().encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        NodeKind::from_u8(u8::decode(buf)?)
+    }
+}
+
+/// A named storage class grouping storage servers (paper §4.1). Typical
+/// classes: `"dram"`, `"nvme"`, `"hdd"` and Glider's dedicated `"active"`
+/// class for action slots.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StorageClass(pub String);
+
+impl StorageClass {
+    /// The default DRAM-backed data class.
+    pub fn dram() -> Self {
+        StorageClass("dram".to_string())
+    }
+
+    /// The simulated NVMe data class.
+    pub fn nvme() -> Self {
+        StorageClass("nvme".to_string())
+    }
+
+    /// The simulated HDD data class.
+    pub fn hdd() -> Self {
+        StorageClass("hdd".to_string())
+    }
+
+    /// The dedicated active class holding action slots (Glider §4.2).
+    pub fn active() -> Self {
+        StorageClass("active".to_string())
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for StorageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for StorageClass {
+    fn from(s: &str) -> Self {
+        StorageClass(s.to_string())
+    }
+}
+
+impl Wire for StorageClass {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(StorageClass(String::decode(buf)?))
+    }
+}
+
+/// Whether a registered server is a plain data server or a Glider active
+/// server hosting action slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerKind {
+    /// Stores data blocks (DRAM/NVMe/HDD tiers).
+    Data,
+    /// Hosts action slots and runs the action runtime.
+    Active,
+}
+
+impl Wire for ServerKind {
+    fn encode(&self, buf: &mut BytesMut) {
+        let v: u8 = match self {
+            ServerKind::Data => 0,
+            ServerKind::Active => 1,
+        };
+        v.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(ServerKind::Data),
+            1 => Ok(ServerKind::Active),
+            other => Err(CodecError(format!("invalid server kind {other}"))),
+        }
+    }
+}
+
+/// The tier a connecting peer declares in its handshake, used for transfer
+/// metering (see `glider-metrics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeerTier {
+    /// A serverless worker / application client.
+    Compute,
+    /// Another component of the storage cluster (action, server).
+    Storage,
+}
+
+impl Wire for PeerTier {
+    fn encode(&self, buf: &mut BytesMut) {
+        let v: u8 = match self {
+            PeerTier::Compute => 0,
+            PeerTier::Storage => 1,
+        };
+        v.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(PeerTier::Compute),
+            1 => Ok(PeerTier::Storage),
+            other => Err(CodecError(format!("invalid peer tier {other}"))),
+        }
+    }
+}
+
+/// The direction of an action I/O stream, from the client's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamDir {
+    /// Client reads; the action's `on_read` produces the data.
+    Read,
+    /// Client writes; the action's `on_write` consumes the data.
+    Write,
+}
+
+impl Wire for StreamDir {
+    fn encode(&self, buf: &mut BytesMut) {
+        let v: u8 = match self {
+            StreamDir::Read => 0,
+            StreamDir::Write => 1,
+        };
+        v.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(StreamDir::Read),
+            1 => Ok(StreamDir::Write),
+            other => Err(CodecError(format!("invalid stream dir {other}"))),
+        }
+    }
+}
+
+/// The location of one block (or action slot): which server holds it and how
+/// to reach that server.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BlockLocation {
+    /// The block id, unique across the deployment.
+    pub block_id: BlockId,
+    /// The server hosting the block.
+    pub server_id: ServerId,
+    /// The data-plane address of the server (`host:port` or an in-memory
+    /// endpoint name for the RDMA-simulation transport).
+    pub addr: String,
+}
+
+impl Wire for BlockLocation {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.block_id.encode(buf);
+        self.server_id.encode(buf);
+        self.addr.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(BlockLocation {
+            block_id: BlockId::decode(buf)?,
+            server_id: ServerId::decode(buf)?,
+            addr: String::decode(buf)?,
+        })
+    }
+}
+
+/// A block in a node's chain together with the number of bytes currently
+/// used in it.
+///
+/// File nodes keep every block full except possibly the last; `Bag` nodes
+/// (unordered multi-writer append) may interleave partially-filled blocks
+/// from different writers, so the used length is tracked per block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BlockExtent {
+    /// Where the block lives.
+    pub loc: BlockLocation,
+    /// Bytes of the block currently holding node data.
+    pub len: u64,
+}
+
+impl Wire for BlockExtent {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.loc.encode(buf);
+        self.len.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(BlockExtent {
+            loc: BlockLocation::decode(buf)?,
+            len: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Parameters for instantiating an action object into an action node
+/// (paper §6.1: `create<T extends Action>(il)`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ActionSpec {
+    /// Registered action type name (the paper's deployed action definition).
+    pub type_name: String,
+    /// Whether method interleaving is enabled (§4.2 "Actions and
+    /// concurrency").
+    pub interleaved: bool,
+    /// Free-form configuration string passed to the action factory
+    /// (the paper's "certain action configuration parameters", §3.2).
+    /// Conventionally `key=value` pairs separated by `;`.
+    pub params: String,
+}
+
+impl ActionSpec {
+    /// Creates a spec with no parameters.
+    pub fn new(type_name: impl Into<String>, interleaved: bool) -> Self {
+        ActionSpec {
+            type_name: type_name.into(),
+            interleaved,
+            params: String::new(),
+        }
+    }
+
+    /// Sets the configuration string (builder style).
+    #[must_use]
+    pub fn with_params(mut self, params: impl Into<String>) -> Self {
+        self.params = params.into();
+        self
+    }
+
+    /// Looks up one `key=value` pair in the `;`-separated parameter string.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.split(';').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k.trim() == key).then_some(v.trim())
+        })
+    }
+}
+
+impl Wire for ActionSpec {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.type_name.encode(buf);
+        self.interleaved.encode(buf);
+        self.params.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(ActionSpec {
+            type_name: String::decode(buf)?,
+            interleaved: bool::decode(buf)?,
+            params: String::decode(buf)?,
+        })
+    }
+}
+
+/// Everything a client learns about a node from a metadata lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// The node id.
+    pub id: NodeId,
+    /// The node kind.
+    pub kind: NodeKind,
+    /// Data size in bytes (0 for containers and actions).
+    pub size: u64,
+    /// Block chain (exactly one entry for `KeyValue` and `Action` nodes).
+    pub blocks: Vec<BlockExtent>,
+    /// Action parameters when `kind == Action`.
+    pub action: Option<ActionSpec>,
+}
+
+impl NodeInfo {
+    /// Convenience: the single block of a `KeyValue` or `Action` node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GliderError`] with [`crate::ErrorCode::WrongNodeKind`]
+    /// if the node has no blocks or more than one.
+    pub fn single_block(&self) -> Result<&BlockExtent, crate::GliderError> {
+        if self.blocks.len() == 1 {
+            Ok(&self.blocks[0])
+        } else {
+            Err(crate::GliderError::new(
+                crate::ErrorCode::WrongNodeKind,
+                format!(
+                    "expected exactly one block, node {} has {}",
+                    self.id,
+                    self.blocks.len()
+                ),
+            ))
+        }
+    }
+}
+
+impl Wire for NodeInfo {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        self.kind.encode(buf);
+        self.size.encode(buf);
+        self.blocks.encode(buf);
+        self.action.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(NodeInfo {
+            id: NodeId::decode(buf)?,
+            kind: NodeKind::decode(buf)?,
+            size: u64::decode(buf)?,
+            blocks: Vec::decode(buf)?,
+            action: Option::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(from_bytes::<T>(to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn ids_round_trip_and_display() {
+        round_trip(NodeId(42));
+        round_trip(BlockId(7));
+        round_trip(ServerId(1));
+        round_trip(StreamId(u64::MAX));
+        assert_eq!(NodeId(3).to_string(), "NodeId(3)");
+        assert_eq!(NodeId::NONE.as_u64(), 0);
+    }
+
+    #[test]
+    fn node_kinds_round_trip() {
+        for k in [
+            NodeKind::File,
+            NodeKind::Directory,
+            NodeKind::KeyValue,
+            NodeKind::Table,
+            NodeKind::Bag,
+            NodeKind::Action,
+        ] {
+            round_trip(k);
+        }
+    }
+
+    #[test]
+    fn node_kind_classification() {
+        assert!(NodeKind::Directory.is_container());
+        assert!(NodeKind::Table.is_container());
+        assert!(!NodeKind::File.is_container());
+        assert!(NodeKind::File.has_data());
+        assert!(NodeKind::Bag.has_data());
+        assert!(!NodeKind::Action.has_data());
+        assert!(!NodeKind::Directory.has_data());
+    }
+
+    #[test]
+    fn invalid_kind_rejected() {
+        let mut b = Bytes::from(vec![99u8]);
+        assert!(NodeKind::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn composite_types_round_trip() {
+        round_trip(StorageClass::active());
+        round_trip(ServerKind::Active);
+        round_trip(PeerTier::Compute);
+        round_trip(StreamDir::Write);
+        round_trip(BlockLocation {
+            block_id: BlockId(1),
+            server_id: ServerId(2),
+            addr: "127.0.0.1:7777".to_string(),
+        });
+        round_trip(ActionSpec {
+            type_name: "merge".to_string(),
+            interleaved: true,
+            params: String::new(),
+        });
+        round_trip(NodeInfo {
+            id: NodeId(9),
+            kind: NodeKind::Action,
+            size: 0,
+            blocks: vec![BlockExtent {
+                loc: BlockLocation {
+                    block_id: BlockId(1),
+                    server_id: ServerId(2),
+                    addr: "mem://active-0".to_string(),
+                },
+                len: 0,
+            }],
+            action: Some(ActionSpec {
+                type_name: "merge".to_string(),
+                interleaved: false,
+                params: String::new(),
+            }),
+        });
+    }
+
+    #[test]
+    fn single_block_accessor() {
+        let extent = BlockExtent {
+            loc: BlockLocation {
+                block_id: BlockId(1),
+                server_id: ServerId(2),
+                addr: "a".to_string(),
+            },
+            len: 5,
+        };
+        let mut info = NodeInfo {
+            id: NodeId(1),
+            kind: NodeKind::KeyValue,
+            size: 5,
+            blocks: vec![extent.clone()],
+            action: None,
+        };
+        assert_eq!(info.single_block().unwrap(), &extent);
+        info.blocks.push(extent);
+        assert!(info.single_block().is_err());
+        info.blocks.clear();
+        assert!(info.single_block().is_err());
+    }
+
+    #[test]
+    fn storage_class_constructors() {
+        assert_eq!(StorageClass::dram().name(), "dram");
+        assert_eq!(StorageClass::active().name(), "active");
+        assert_eq!(StorageClass::from("custom").name(), "custom");
+    }
+}

@@ -1,0 +1,245 @@
+//! In-memory block storage.
+
+use bytes::Bytes;
+use glider_proto::types::BlockId;
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A fixed-block-size in-memory store.
+///
+/// Blocks materialize lazily on first write and are zero-filled up to the
+/// written range, matching the "fixed sequence of bytes residing in a
+/// storage server" model of NodeKernel. Reads beyond the written high-water
+/// mark return zeros up to the block size (the metadata plane's extent
+/// lengths decide what is meaningful).
+///
+/// # Examples
+///
+/// ```
+/// use glider_storage::BlockStore;
+/// use glider_proto::types::BlockId;
+/// use bytes::Bytes;
+///
+/// let store = BlockStore::new(1024, BlockId(1), 4);
+/// store.write(BlockId(2), 10, Bytes::from_static(b"hi"))?;
+/// assert_eq!(&store.read(BlockId(2), 10, 2)?[..], b"hi");
+/// # Ok::<(), glider_proto::GliderError>(())
+/// ```
+#[derive(Debug)]
+pub struct BlockStore {
+    block_size: u64,
+    first: BlockId,
+    capacity: u64,
+    blocks: Mutex<HashMap<BlockId, Block>>,
+}
+
+#[derive(Debug)]
+struct Block {
+    data: Vec<u8>,
+    high_water: usize,
+}
+
+impl BlockStore {
+    /// Creates a store serving `capacity` blocks of `block_size` bytes,
+    /// with ids `first .. first+capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` or `capacity` is zero.
+    pub fn new(block_size: u64, first: BlockId, capacity: u64) -> Self {
+        assert!(block_size > 0, "block size must be non-zero");
+        assert!(capacity > 0, "capacity must be non-zero");
+        BlockStore {
+            block_size,
+            first,
+            capacity,
+            blocks: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    fn check_owned(&self, block_id: BlockId) -> GliderResult<()> {
+        let lo = self.first.as_u64();
+        let hi = lo + self.capacity;
+        if (lo..hi).contains(&block_id.as_u64()) {
+            Ok(())
+        } else {
+            Err(GliderError::not_found(format!(
+                "block {block_id} on this server"
+            )))
+        }
+    }
+
+    /// Writes `data` at `offset` within the block.
+    ///
+    /// Returns the number of bytes by which the block's high-water mark
+    /// grew (newly allocated bytes, for utilization metering).
+    ///
+    /// # Errors
+    ///
+    /// - [`ErrorCode::NotFound`] if this server does not own the block,
+    /// - [`ErrorCode::InvalidArgument`] if the write exceeds the block.
+    pub fn write(&self, block_id: BlockId, offset: u64, data: Bytes) -> GliderResult<u64> {
+        self.check_owned(block_id)?;
+        let end = offset
+            .checked_add(data.len() as u64)
+            .ok_or_else(|| GliderError::invalid("write range overflows"))?;
+        if end > self.block_size {
+            return Err(GliderError::new(
+                ErrorCode::InvalidArgument,
+                format!(
+                    "write [{offset}, {end}) exceeds block size {}",
+                    self.block_size
+                ),
+            ));
+        }
+        let mut blocks = self.blocks.lock();
+        let block = blocks.entry(block_id).or_insert_with(|| Block {
+            data: Vec::new(),
+            high_water: 0,
+        });
+        let end = end as usize;
+        if block.data.len() < end {
+            block.data.resize(end, 0);
+        }
+        block.data[offset as usize..end].copy_from_slice(&data);
+        let grew = end.saturating_sub(block.high_water) as u64;
+        block.high_water = block.high_water.max(end);
+        Ok(grew)
+    }
+
+    /// Reads `len` bytes at `offset`, zero-filling past the written range.
+    ///
+    /// # Errors
+    ///
+    /// - [`ErrorCode::NotFound`] if this server does not own the block,
+    /// - [`ErrorCode::InvalidArgument`] if the range exceeds the block.
+    pub fn read(&self, block_id: BlockId, offset: u64, len: u64) -> GliderResult<Bytes> {
+        self.check_owned(block_id)?;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| GliderError::invalid("read range overflows"))?;
+        if end > self.block_size {
+            return Err(GliderError::new(
+                ErrorCode::InvalidArgument,
+                format!(
+                    "read [{offset}, {end}) exceeds block size {}",
+                    self.block_size
+                ),
+            ));
+        }
+        let blocks = self.blocks.lock();
+        let mut out = vec![0u8; len as usize];
+        if let Some(block) = blocks.get(&block_id) {
+            let have = block.data.len() as u64;
+            if offset < have {
+                let copy_end = end.min(have) as usize;
+                let n = copy_end - offset as usize;
+                out[..n].copy_from_slice(&block.data[offset as usize..copy_end]);
+            }
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// Drops the given blocks, returning the total bytes released
+    /// (high-water marks, for utilization metering). Unknown or foreign
+    /// blocks are ignored.
+    pub fn free(&self, block_ids: &[BlockId]) -> u64 {
+        let mut blocks = self.blocks.lock();
+        let mut released = 0u64;
+        for id in block_ids {
+            if let Some(block) = blocks.remove(id) {
+                released += block.high_water as u64;
+            }
+        }
+        released
+    }
+
+    /// Bytes currently allocated across all blocks (sum of high-water
+    /// marks).
+    pub fn used_bytes(&self) -> u64 {
+        self.blocks
+            .lock()
+            .values()
+            .map(|b| b.high_water as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> BlockStore {
+        BlockStore::new(100, BlockId(10), 3) // owns blocks 10, 11, 12
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let s = store();
+        assert_eq!(s.write(BlockId(10), 0, Bytes::from_static(b"hello")).unwrap(), 5);
+        assert_eq!(&s.read(BlockId(10), 0, 5).unwrap()[..], b"hello");
+        assert_eq!(&s.read(BlockId(10), 1, 3).unwrap()[..], b"ell");
+    }
+
+    #[test]
+    fn unwritten_ranges_read_as_zeros() {
+        let s = store();
+        assert_eq!(&s.read(BlockId(11), 0, 4).unwrap()[..], &[0, 0, 0, 0]);
+        s.write(BlockId(11), 2, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(&s.read(BlockId(11), 0, 4).unwrap()[..], &[0, 0, b'x', 0]);
+    }
+
+    #[test]
+    fn foreign_blocks_rejected() {
+        let s = store();
+        assert_eq!(
+            s.write(BlockId(9), 0, Bytes::from_static(b"a")).unwrap_err().code(),
+            ErrorCode::NotFound
+        );
+        assert_eq!(
+            s.read(BlockId(13), 0, 1).unwrap_err().code(),
+            ErrorCode::NotFound
+        );
+    }
+
+    #[test]
+    fn out_of_block_ranges_rejected() {
+        let s = store();
+        assert!(s.write(BlockId(10), 99, Bytes::from_static(b"ab")).is_err());
+        assert!(s.read(BlockId(10), 50, 51).is_err());
+        assert!(s.write(BlockId(10), u64::MAX, Bytes::from_static(b"a")).is_err());
+        // Exactly filling the block is fine.
+        assert!(s.write(BlockId(10), 0, Bytes::from(vec![1u8; 100])).is_ok());
+    }
+
+    #[test]
+    fn high_water_accounting() {
+        let s = store();
+        assert_eq!(s.write(BlockId(10), 0, Bytes::from_static(b"abcde")).unwrap(), 5);
+        // Overwrite inside the high-water mark allocates nothing new.
+        assert_eq!(s.write(BlockId(10), 1, Bytes::from_static(b"XY")).unwrap(), 0);
+        // Extending allocates only the delta.
+        assert_eq!(s.write(BlockId(10), 3, Bytes::from_static(b"12345")).unwrap(), 3);
+        assert_eq!(s.used_bytes(), 8);
+    }
+
+    #[test]
+    fn free_releases_high_water() {
+        let s = store();
+        s.write(BlockId(10), 0, Bytes::from_static(b"12345")).unwrap();
+        s.write(BlockId(11), 0, Bytes::from_static(b"12")).unwrap();
+        assert_eq!(s.used_bytes(), 7);
+        assert_eq!(s.free(&[BlockId(10), BlockId(99)]), 5);
+        assert_eq!(s.used_bytes(), 2);
+        // Double-free of the same block releases nothing further.
+        assert_eq!(s.free(&[BlockId(10)]), 0);
+        // A freed block reads as zeros again.
+        assert_eq!(&s.read(BlockId(10), 0, 2).unwrap()[..], &[0, 0]);
+    }
+}

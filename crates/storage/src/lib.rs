@@ -1,0 +1,28 @@
+//! Data storage servers (the NodeKernel storage tier).
+//!
+//! A storage server (paper §4.1) is a logical encapsulation of storage
+//! resources that registers into exactly one storage class and contributes
+//! fixed-size blocks. Clients write and read block ranges directly,
+//! using locations resolved at the metadata server.
+//!
+//! Three tiers are provided, mirroring NodeKernel's tiered design:
+//!
+//! - **DRAM** — plain in-memory blocks (the tier used for data servers in
+//!   all of the paper's experiments),
+//! - **NVMe / HDD** — the same in-memory store wrapped in a latency and
+//!   bandwidth model ([`tier::TierModel`]), standing in for the device
+//!   tiers of the paper's design discussion (we have no real devices; the
+//!   model preserves the *relative* cost structure that makes tiering
+//!   meaningful).
+//!
+//! Storage utilization (a paper key indicator) is metered here: the
+//! high-water byte of every block counts as allocated until the block is
+//! freed.
+
+pub mod block;
+pub mod server;
+pub mod tier;
+
+pub use block::BlockStore;
+pub use server::{StorageServer, StorageServerConfig};
+pub use tier::TierModel;

@@ -1,0 +1,300 @@
+//! The data storage server: block RPCs over a [`BlockStore`].
+
+use crate::block::BlockStore;
+use crate::tier::TierModel;
+use futures::future::BoxFuture;
+use glider_metrics::{MetricsRegistry, Tier};
+use glider_net::rpc::{ConnCtx, RpcClient, RpcHandler, ServerHandle};
+use glider_proto::message::{RequestBody, ResponseBody};
+use glider_proto::types::{ServerId, ServerKind, StorageClass};
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use std::sync::Arc;
+
+/// Configuration for a data storage server.
+#[derive(Debug, Clone)]
+pub struct StorageServerConfig {
+    /// Address to listen on (`host:port` or `mem://name`).
+    pub listen_addr: String,
+    /// Metadata server to register with.
+    pub metadata_addr: String,
+    /// The single storage class this server joins.
+    pub storage_class: StorageClass,
+    /// Number of blocks contributed.
+    pub capacity_blocks: u64,
+    /// Block size in bytes.
+    pub block_size: u64,
+    /// Device cost model; `None` derives it from the class name.
+    pub tier: Option<TierModel>,
+}
+
+impl StorageServerConfig {
+    /// A DRAM server on an ephemeral TCP port.
+    pub fn dram(metadata_addr: impl Into<String>, capacity_blocks: u64, block_size: u64) -> Self {
+        StorageServerConfig {
+            listen_addr: "127.0.0.1:0".to_string(),
+            metadata_addr: metadata_addr.into(),
+            storage_class: StorageClass::dram(),
+            capacity_blocks,
+            block_size,
+            tier: None,
+        }
+    }
+}
+
+/// A running data storage server.
+///
+/// The server registers its capacity with the metadata server at startup
+/// and then serves block reads/writes/frees. Dropping the handle stops it.
+#[derive(Debug)]
+pub struct StorageServer {
+    handle: ServerHandle,
+    server_id: ServerId,
+    store: Arc<BlockStore>,
+}
+
+impl StorageServer {
+    /// Binds, registers with the metadata server, and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if binding or registration fails.
+    pub async fn start(
+        config: StorageServerConfig,
+        metrics: Arc<MetricsRegistry>,
+    ) -> GliderResult<Self> {
+        let listener = glider_net::conn::bind(&config.listen_addr).await?;
+        let addr = listener.local_addr().to_string();
+
+        let meta = RpcClient::connect_intra_storage(&config.metadata_addr).await?;
+        let resp = meta
+            .call(RequestBody::RegisterServer {
+                kind: ServerKind::Data,
+                storage_class: config.storage_class.clone(),
+                addr: addr.clone(),
+                capacity_blocks: config.capacity_blocks,
+            })
+            .await?;
+        let (server_id, first_block) = match resp {
+            ResponseBody::Registered {
+                server_id,
+                first_block_id,
+            } => (server_id, first_block_id),
+            other => {
+                return Err(GliderError::protocol(format!(
+                    "unexpected register response: {other:?}"
+                )))
+            }
+        };
+
+        let store = Arc::new(BlockStore::new(
+            config.block_size,
+            first_block,
+            config.capacity_blocks,
+        ));
+        let tier = config
+            .tier
+            .clone()
+            .unwrap_or_else(|| TierModel::for_class(config.storage_class.name()));
+        let handler = Arc::new(DataHandler {
+            store: Arc::clone(&store),
+            tier,
+            metrics: Arc::clone(&metrics),
+        });
+        let handle = glider_net::rpc::serve(listener, handler, metrics, Tier::Storage);
+        Ok(StorageServer {
+            handle,
+            server_id,
+            store,
+        })
+    }
+
+    /// The dialable data-plane address.
+    pub fn addr(&self) -> &str {
+        self.handle.addr()
+    }
+
+    /// The id the metadata server assigned.
+    pub fn server_id(&self) -> ServerId {
+        self.server_id
+    }
+
+    /// Bytes currently held by this server.
+    pub fn used_bytes(&self) -> u64 {
+        self.store.used_bytes()
+    }
+
+    /// Stops the server.
+    pub fn shutdown(&self) {
+        self.handle.shutdown();
+    }
+}
+
+struct DataHandler {
+    store: Arc<BlockStore>,
+    tier: TierModel,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl RpcHandler for DataHandler {
+    fn handle(
+        self: Arc<Self>,
+        _ctx: ConnCtx,
+        body: RequestBody,
+    ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
+        Box::pin(async move {
+            match body {
+                RequestBody::Hello { .. } => Ok(ResponseBody::Ok),
+                RequestBody::WriteBlock {
+                    block_id,
+                    offset,
+                    data,
+                } => {
+                    let n = data.len() as u64;
+                    self.tier.charge_write(n).await;
+                    let grew = self.store.write(block_id, offset, data)?;
+                    if grew > 0 {
+                        self.metrics.storage_alloc(grew);
+                    }
+                    Ok(ResponseBody::Written { n })
+                }
+                RequestBody::ReadBlock {
+                    block_id,
+                    offset,
+                    len,
+                } => {
+                    self.tier.charge_read(len).await;
+                    let bytes = self.store.read(block_id, offset, len)?;
+                    Ok(ResponseBody::Data { seq: 0, bytes, eof: true })
+                }
+                RequestBody::FreeBlocks { block_ids } => {
+                    let released = self.store.free(&block_ids);
+                    if released > 0 {
+                        self.metrics.storage_free(released);
+                    }
+                    Ok(ResponseBody::Ok)
+                }
+                other => Err(GliderError::new(
+                    ErrorCode::Unsupported,
+                    format!("data servers do not support {}", other.op_name()),
+                )),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use glider_metadata::MetadataServer;
+    use glider_proto::types::{BlockId, NodeKind, PeerTier};
+
+    async fn setup() -> (MetadataServer, StorageServer, RpcClient, Arc<MetricsRegistry>) {
+        let metrics = MetricsRegistry::new();
+        let meta = MetadataServer::start("127.0.0.1:0", Arc::clone(&metrics))
+            .await
+            .unwrap();
+        let server = StorageServer::start(
+            StorageServerConfig::dram(meta.addr(), 8, 1024),
+            Arc::clone(&metrics),
+        )
+        .await
+        .unwrap();
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        (meta, server, client, metrics)
+    }
+
+    #[tokio::test]
+    async fn write_read_free_over_rpc() {
+        let (_meta, server, client, metrics) = setup().await;
+        // Blocks 1..=8 belong to this server (first registration).
+        let resp = client
+            .call(RequestBody::WriteBlock {
+                block_id: BlockId(1),
+                offset: 0,
+                data: Bytes::from_static(b"hello"),
+            })
+            .await
+            .unwrap();
+        assert_eq!(resp, ResponseBody::Written { n: 5 });
+        assert_eq!(server.used_bytes(), 5);
+        assert_eq!(metrics.snapshot().storage_peak, 5);
+
+        let resp = client
+            .call(RequestBody::ReadBlock {
+                block_id: BlockId(1),
+                offset: 0,
+                len: 5,
+            })
+            .await
+            .unwrap();
+        assert!(matches!(resp, ResponseBody::Data { bytes, .. } if &bytes[..] == b"hello"));
+
+        client
+            .call_ok(RequestBody::FreeBlocks {
+                block_ids: vec![BlockId(1)],
+            })
+            .await
+            .unwrap();
+        assert_eq!(server.used_bytes(), 0);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.storage_current, 0);
+        assert_eq!(snap.storage_peak, 5);
+    }
+
+    #[tokio::test]
+    async fn registration_is_visible_at_metadata() {
+        let (meta, _server, _client, _metrics) = setup().await;
+        // A file create + add-block must succeed now that capacity exists.
+        let mclient = RpcClient::connect(meta.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        let info = match mclient
+            .call(RequestBody::CreateNode {
+                path: "/f".to_string(),
+                kind: NodeKind::File,
+                storage_class: None,
+                action: None,
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        let resp = mclient
+            .call(RequestBody::AddBlock { node_id: info.id })
+            .await
+            .unwrap();
+        assert!(matches!(resp, ResponseBody::Block(_)));
+    }
+
+    #[tokio::test]
+    async fn stream_ops_are_rejected() {
+        let (_meta, _server, client, _metrics) = setup().await;
+        let err = client
+            .call(RequestBody::StreamOpen {
+                node_id: 1.into(),
+                dir: glider_proto::types::StreamDir::Read,
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Unsupported);
+    }
+
+    #[tokio::test]
+    async fn oversized_write_is_invalid() {
+        let (_meta, _server, client, _metrics) = setup().await;
+        let err = client
+            .call(RequestBody::WriteBlock {
+                block_id: BlockId(1),
+                offset: 1020,
+                data: Bytes::from_static(b"toolong"),
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidArgument);
+    }
+}

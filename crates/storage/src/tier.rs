@@ -1,0 +1,149 @@
+//! Latency/bandwidth models for simulated device tiers.
+
+use glider_util::TokenBucket;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A simple device-cost model: fixed per-operation latency plus a shared
+/// bandwidth cap.
+///
+/// NodeKernel's tiered design backs storage classes with different
+/// hardware (DRAM, NVMe, HDD). We have no devices, so the NVMe/HDD classes
+/// wrap the DRAM store in this model, preserving the relative cost
+/// structure (DRAM ≫ NVMe ≫ HDD) that makes class selection meaningful.
+///
+/// # Examples
+///
+/// ```
+/// use glider_storage::TierModel;
+///
+/// let nvme = TierModel::nvme();
+/// assert!(nvme.read_latency() > TierModel::dram().read_latency());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TierModel {
+    read_latency: Duration,
+    write_latency: Duration,
+    bandwidth: Option<Arc<TokenBucket>>,
+}
+
+impl TierModel {
+    /// DRAM: no added latency, no bandwidth cap.
+    pub fn dram() -> Self {
+        TierModel {
+            read_latency: Duration::ZERO,
+            write_latency: Duration::ZERO,
+            bandwidth: None,
+        }
+    }
+
+    /// NVMe-like: ~80µs access latency, ~2 GiB/s.
+    pub fn nvme() -> Self {
+        TierModel::custom(
+            Duration::from_micros(80),
+            Duration::from_micros(30),
+            Some(2 * 1024),
+        )
+    }
+
+    /// HDD-like: ~5ms access latency, ~150 MiB/s.
+    pub fn hdd() -> Self {
+        TierModel::custom(
+            Duration::from_millis(5),
+            Duration::from_millis(5),
+            Some(150),
+        )
+    }
+
+    /// Builds a custom model; `bandwidth_mibps = None` means uncapped.
+    pub fn custom(
+        read_latency: Duration,
+        write_latency: Duration,
+        bandwidth_mibps: Option<u64>,
+    ) -> Self {
+        TierModel {
+            read_latency,
+            write_latency,
+            bandwidth: bandwidth_mibps.map(|m| Arc::new(TokenBucket::from_mibps(m.max(1)))),
+        }
+    }
+
+    /// The per-read latency.
+    pub fn read_latency(&self) -> Duration {
+        self.read_latency
+    }
+
+    /// The per-write latency.
+    pub fn write_latency(&self) -> Duration {
+        self.write_latency
+    }
+
+    /// Waits out the cost of reading `bytes`.
+    pub async fn charge_read(&self, bytes: u64) {
+        if !self.read_latency.is_zero() {
+            tokio::time::sleep(self.read_latency).await;
+        }
+        if let Some(bw) = &self.bandwidth {
+            bw.acquire(bytes).await;
+        }
+    }
+
+    /// Waits out the cost of writing `bytes`.
+    pub async fn charge_write(&self, bytes: u64) {
+        if !self.write_latency.is_zero() {
+            tokio::time::sleep(self.write_latency).await;
+        }
+        if let Some(bw) = &self.bandwidth {
+            bw.acquire(bytes).await;
+        }
+    }
+
+    /// The default model for a storage class name (`"dram"`, `"nvme"`,
+    /// `"hdd"`); anything else maps to DRAM.
+    pub fn for_class(class: &str) -> Self {
+        match class {
+            "nvme" => TierModel::nvme(),
+            "hdd" => TierModel::hdd(),
+            _ => TierModel::dram(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mapping() {
+        assert_eq!(TierModel::for_class("dram").read_latency(), Duration::ZERO);
+        assert_eq!(
+            TierModel::for_class("nvme").read_latency(),
+            Duration::from_micros(80)
+        );
+        assert_eq!(
+            TierModel::for_class("hdd").read_latency(),
+            Duration::from_millis(5)
+        );
+        assert_eq!(
+            TierModel::for_class("anything").read_latency(),
+            Duration::ZERO
+        );
+    }
+
+    #[tokio::test]
+    async fn dram_charges_nothing() {
+        let t = TierModel::dram();
+        let start = std::time::Instant::now();
+        t.charge_read(1 << 30).await;
+        t.charge_write(1 << 30).await;
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn hdd_charges_latency() {
+        let t = TierModel::hdd();
+        let start = tokio::time::Instant::now();
+        t.charge_read(0).await;
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+}

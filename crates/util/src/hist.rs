@@ -1,0 +1,175 @@
+//! A tiny fixed-boundary histogram for latency/size distributions.
+
+/// A histogram over `u64` samples with power-of-two bucket boundaries.
+///
+/// Used by the metrics plane to summarize operation sizes and latencies
+/// without unbounded memory.
+///
+/// # Examples
+///
+/// ```
+/// use glider_util::hist::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(100);
+/// h.record(200);
+/// h.record(100_000);
+/// assert_eq!(h.count(), 3);
+/// assert!(h.mean() > 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>, // bucket i counts samples in [2^i, 2^(i+1))
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+const NUM_BUCKETS: usize = 64;
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize;
+        let idx = idx.min(NUM_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// An approximate quantile (`q` in `[0,1]`) from bucket boundaries.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                // Upper boundary of bucket i.
+                return Some(if i >= 63 { u64::MAX } else { (1u64 << i) - 1 });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.min().is_none());
+        assert!(h.max().is_none());
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn basic_stats() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 16] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 31);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(16));
+        assert!((h.mean() - 6.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let q10 = h.quantile(0.1).unwrap();
+        let q90 = h.quantile(0.9).unwrap();
+        assert!(q10 <= q90);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(1_000_000));
+    }
+
+    #[test]
+    fn zero_sample_goes_to_first_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(0));
+    }
+}

@@ -1,0 +1,96 @@
+//! Monotonic id allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free generator of unique, monotonically increasing `u64` ids.
+///
+/// Used for node ids, block ids, stream ids and request ids. The first id
+/// handed out is `1`; `0` is reserved as a sentinel ("no id") throughout the
+/// workspace.
+///
+/// # Examples
+///
+/// ```
+/// use glider_util::ids::IdGen;
+///
+/// let ids = IdGen::new();
+/// let a = ids.next_id();
+/// let b = ids.next_id();
+/// assert!(b > a);
+/// assert!(a >= 1);
+/// ```
+#[derive(Debug)]
+pub struct IdGen {
+    next: AtomicU64,
+}
+
+impl IdGen {
+    /// Creates a generator whose first id is 1.
+    pub fn new() -> Self {
+        IdGen {
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Creates a generator whose first id is `start`.
+    pub fn starting_at(start: u64) -> Self {
+        IdGen {
+            next: AtomicU64::new(start),
+        }
+    }
+
+    /// Returns the next unique id.
+    pub fn next_id(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Returns the id that the next call to [`IdGen::next_id`] would return.
+    pub fn peek(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for IdGen {
+    fn default() -> Self {
+        IdGen::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ids_start_at_one_and_increase() {
+        let g = IdGen::new();
+        assert_eq!(g.next_id(), 1);
+        assert_eq!(g.next_id(), 2);
+        assert_eq!(g.peek(), 3);
+    }
+
+    #[test]
+    fn starting_at_offsets() {
+        let g = IdGen::starting_at(100);
+        assert_eq!(g.next_id(), 100);
+    }
+
+    #[test]
+    fn concurrent_ids_are_unique() {
+        let g = Arc::new(IdGen::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| g.next_id()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8000);
+    }
+}

@@ -1,0 +1,157 @@
+//! Token-bucket rate limiting.
+//!
+//! The FaaS emulator uses token buckets to model the limited network
+//! bandwidth of serverless functions (paper §2.2: "the limited bandwidth of
+//! FaaS"), and the simulated NVMe/HDD storage tiers use them to model device
+//! throughput.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// A token bucket that refills at a fixed rate, with async acquisition.
+///
+/// Tokens represent bytes. [`TokenBucket::acquire`] waits (without spinning)
+/// until the requested number of tokens is available and then consumes them,
+/// which caps sustained throughput at the configured rate while permitting
+/// bursts up to the bucket capacity.
+///
+/// # Examples
+///
+/// ```
+/// # tokio_test();
+/// # fn tokio_test() {
+/// # let rt = tokio::runtime::Builder::new_current_thread().enable_time().build().unwrap();
+/// # rt.block_on(async {
+/// use glider_util::rate::TokenBucket;
+///
+/// // 10 MiB/s with a 1 MiB burst.
+/// let bucket = TokenBucket::new(10 * 1024 * 1024, 1024 * 1024);
+/// bucket.acquire(4096).await;
+/// # });
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TokenBucket {
+    state: Mutex<BucketState>,
+    rate_per_sec: f64,
+    capacity: f64,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that refills `rate_bytes_per_sec` tokens per second
+    /// and holds at most `capacity_bytes` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_bytes_per_sec` is zero.
+    pub fn new(rate_bytes_per_sec: u64, capacity_bytes: u64) -> Self {
+        assert!(rate_bytes_per_sec > 0, "rate must be non-zero");
+        TokenBucket {
+            state: Mutex::new(BucketState {
+                tokens: capacity_bytes as f64,
+                last_refill: Instant::now(),
+            }),
+            rate_per_sec: rate_bytes_per_sec as f64,
+            capacity: capacity_bytes.max(1) as f64,
+        }
+    }
+
+    /// Creates a bucket from a rate in Mebibytes per second with a default
+    /// burst of one second of traffic.
+    pub fn from_mibps(mibps: u64) -> Self {
+        let rate = mibps * 1024 * 1024;
+        TokenBucket::new(rate, rate)
+    }
+
+    /// The sustained refill rate in bytes per second.
+    pub fn rate_bytes_per_sec(&self) -> u64 {
+        self.rate_per_sec as u64
+    }
+
+    /// Attempts to take `n` tokens without waiting. Returns `true` on
+    /// success.
+    pub fn try_acquire(&self, n: u64) -> bool {
+        let mut st = self.state.lock();
+        self.refill(&mut st);
+        if st.tokens >= n as f64 {
+            st.tokens -= n as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Waits until `n` tokens are available and consumes them.
+    ///
+    /// Requests larger than the bucket capacity are allowed: the bucket goes
+    /// into debt and subsequent callers wait for the refill, which preserves
+    /// the sustained rate for large transfers.
+    pub async fn acquire(&self, n: u64) {
+        let wait = {
+            let mut st = self.state.lock();
+            self.refill(&mut st);
+            st.tokens -= n as f64;
+            if st.tokens >= 0.0 {
+                None
+            } else {
+                Some(Duration::from_secs_f64(-st.tokens / self.rate_per_sec))
+            }
+        };
+        if let Some(d) = wait {
+            tokio::time::sleep(d).await;
+        }
+    }
+
+    fn refill(&self, st: &mut BucketState) {
+        let now = Instant::now();
+        let dt = now.duration_since(st.last_refill).as_secs_f64();
+        st.last_refill = now;
+        st.tokens = (st.tokens + dt * self.rate_per_sec).min(self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_empty() {
+        let b = TokenBucket::new(1_000_000, 1000);
+        assert!(b.try_acquire(600));
+        assert!(b.try_acquire(400));
+        assert!(!b.try_acquire(1000));
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let b = TokenBucket::new(1_000_000, 1000);
+        assert!(b.try_acquire(1000));
+        assert!(!b.try_acquire(500));
+        std::thread::sleep(Duration::from_millis(5));
+        // 5ms at 1MB/s refills ~5000 tokens, capped at capacity 1000.
+        assert!(b.try_acquire(1000));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn acquire_paces_large_transfers() {
+        let b = TokenBucket::new(1_000_000, 1_000_000);
+        let start = tokio::time::Instant::now();
+        b.acquire(1_000_000).await; // burst
+        b.acquire(2_000_000).await; // debt: must wait ~2s before next
+        b.acquire(1).await;
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(1900), "elapsed {elapsed:?}");
+    }
+
+    #[tokio::test]
+    async fn zero_acquire_is_free() {
+        let b = TokenBucket::new(1, 1);
+        b.acquire(0).await;
+    }
+}

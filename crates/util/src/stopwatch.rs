@@ -1,0 +1,101 @@
+//! Simple phase-aware stopwatch for the benchmark harnesses.
+
+use std::time::{Duration, Instant};
+
+/// Measures elapsed wall-clock time, optionally split into named phases.
+///
+/// The evaluation figures of the paper report per-phase times (e.g. the sort
+/// P1/P2 split of Fig. 7 and the Map/Ranges/Reduce split of Fig. 9);
+/// `Stopwatch` records those laps.
+///
+/// # Examples
+///
+/// ```
+/// use glider_util::stopwatch::Stopwatch;
+///
+/// let mut sw = Stopwatch::start();
+/// // ... phase 1 work ...
+/// sw.lap("p1");
+/// // ... phase 2 work ...
+/// sw.lap("p2");
+/// assert_eq!(sw.laps().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    start: Instant,
+    last: Instant,
+    laps: Vec<(String, Duration)>,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        let now = Instant::now();
+        Stopwatch {
+            start: now,
+            last: now,
+            laps: Vec::new(),
+        }
+    }
+
+    /// Records the time since the previous lap (or start) under `name`.
+    /// Returns the lap duration.
+    pub fn lap(&mut self, name: impl Into<String>) -> Duration {
+        let now = Instant::now();
+        let d = now.duration_since(self.last);
+        self.last = now;
+        self.laps.push((name.into(), d));
+        d
+    }
+
+    /// Total elapsed time since the stopwatch started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// All recorded laps in order.
+    pub fn laps(&self) -> &[(String, Duration)] {
+        &self.laps
+    }
+
+    /// The duration of the lap named `name`, if recorded.
+    pub fn lap_named(&self, name: &str) -> Option<Duration> {
+        self.laps
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+    }
+}
+
+/// Computes throughput in Gbit/s from bytes moved and elapsed time.
+pub fn gbps(bytes: u64, elapsed: Duration) -> f64 {
+    if elapsed.is_zero() {
+        return f64::INFINITY;
+    }
+    (bytes as f64 * 8.0) / 1e9 / elapsed.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_accumulate_in_order() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        sw.lap("a");
+        sw.lap("b");
+        assert_eq!(sw.laps().len(), 2);
+        assert_eq!(sw.laps()[0].0, "a");
+        assert!(sw.lap_named("a").unwrap() >= Duration::from_millis(1));
+        assert!(sw.lap_named("missing").is_none());
+        assert!(sw.elapsed() >= sw.lap_named("a").unwrap());
+    }
+
+    #[test]
+    fn gbps_math() {
+        let g = gbps(1_000_000_000 / 8, Duration::from_secs(1));
+        assert!((g - 1.0).abs() < 1e-9);
+        assert!(gbps(1, Duration::ZERO).is_infinite());
+    }
+}

@@ -1,0 +1,245 @@
+//! Seeded synthetic data generators.
+//!
+//! The paper evaluates on Wikipedia text dumps, random numeric pairs and
+//! randomly generated sort datasets. Those inputs are reproduced here as
+//! deterministic, seeded generators that preserve the properties the
+//! experiments depend on: line-oriented text with a controllable filter
+//! selectivity (Table 2), `(key, value)` pairs over a fixed key cardinality
+//! (Fig. 5), and fixed-width sort records with a uniform key distribution
+//! (Fig. 7).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small vocabulary used to synthesize prose-like lines.
+const VOCAB: &[&str] = &[
+    "serverless", "function", "storage", "ephemeral", "data", "stream",
+    "action", "stateful", "compute", "near", "shuffle", "aggregate", "block",
+    "namespace", "metadata", "kernel", "tenant", "elastic", "pipeline",
+    "transfer", "network", "latency", "bandwidth", "worker", "stage",
+    "reduce", "map", "sort", "genome", "variant", "cloud", "object",
+];
+
+/// Marker token injected into lines that should pass the Table 2 filter.
+pub const FILTER_MARKER: &str = "GLIDERHIT";
+
+/// Generates line-oriented text where a configurable fraction of lines
+/// contain [`FILTER_MARKER`].
+///
+/// # Examples
+///
+/// ```
+/// use glider_util::textgen::{TextGen, FILTER_MARKER};
+///
+/// let mut gen = TextGen::new(42, 0.5);
+/// let text = gen.generate_bytes(4096);
+/// assert!(text.len() >= 4096);
+/// let hits = text
+///     .split(|&b| b == b'\n')
+///     .filter(|l| windows_contain(l, FILTER_MARKER.as_bytes()))
+///     .count();
+/// assert!(hits > 0);
+///
+/// fn windows_contain(hay: &[u8], needle: &[u8]) -> bool {
+///     hay.windows(needle.len()).any(|w| w == needle)
+/// }
+/// ```
+#[derive(Debug)]
+pub struct TextGen {
+    rng: StdRng,
+    selectivity: f64,
+}
+
+impl TextGen {
+    /// Creates a generator; `selectivity` is the fraction of lines carrying
+    /// the filter marker (clamped to `[0, 1]`).
+    pub fn new(seed: u64, selectivity: f64) -> Self {
+        TextGen {
+            rng: StdRng::seed_from_u64(seed),
+            selectivity: selectivity.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Generates one line of 6-12 vocabulary words, newline-terminated.
+    pub fn line(&mut self) -> String {
+        let n = self.rng.gen_range(6..=12);
+        let mut s = String::with_capacity(96);
+        for i in 0..n {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(VOCAB[self.rng.gen_range(0..VOCAB.len())]);
+        }
+        if self.rng.gen_bool(self.selectivity) {
+            s.push(' ');
+            s.push_str(FILTER_MARKER);
+        }
+        s.push('\n');
+        s
+    }
+
+    /// Generates at least `min_bytes` of newline-separated text.
+    pub fn generate_bytes(&mut self, min_bytes: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(min_bytes + 128);
+        while out.len() < min_bytes {
+            out.extend_from_slice(self.line().as_bytes());
+        }
+        out
+    }
+}
+
+/// Generates `key,value` CSV lines with keys drawn uniformly from
+/// `0..key_cardinality` and values spanning the full `i64` range, matching
+/// the Fig. 5 workload (1024 distinct integer keys, Java `Long` values).
+#[derive(Debug)]
+pub struct PairGen {
+    rng: StdRng,
+    key_cardinality: u64,
+}
+
+impl PairGen {
+    /// Creates a pair generator with the given key cardinality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_cardinality` is zero.
+    pub fn new(seed: u64, key_cardinality: u64) -> Self {
+        assert!(key_cardinality > 0, "key cardinality must be non-zero");
+        PairGen {
+            rng: StdRng::seed_from_u64(seed),
+            key_cardinality,
+        }
+    }
+
+    /// Generates one `key,value\n` line.
+    pub fn pair_line(&mut self) -> String {
+        let k = self.rng.gen_range(0..self.key_cardinality);
+        let v: i64 = self.rng.gen();
+        format!("{k},{v}\n")
+    }
+
+    /// Generates `n` pair lines into one buffer.
+    pub fn generate_pairs(&mut self, n: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(n * 24);
+        for _ in 0..n {
+            out.extend_from_slice(self.pair_line().as_bytes());
+        }
+        out
+    }
+}
+
+/// The fixed record width used by the sort workload (paper §7.3 uses
+/// gensort-style datasets; 100-byte records with 10-byte keys).
+pub const SORT_RECORD_LEN: usize = 100;
+/// The key width within a sort record.
+pub const SORT_KEY_LEN: usize = 10;
+
+/// Generates fixed-width binary sort records with uniform random keys.
+#[derive(Debug)]
+pub struct RecordGen {
+    rng: StdRng,
+}
+
+impl RecordGen {
+    /// Creates a record generator.
+    pub fn new(seed: u64) -> Self {
+        RecordGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates `n` records (`n * 100` bytes). Keys are uniform random
+    /// bytes; payloads are pseudo-random printable filler.
+    pub fn generate_records(&mut self, n: usize) -> Vec<u8> {
+        let mut out = vec![0u8; n * SORT_RECORD_LEN];
+        for rec in out.chunks_mut(SORT_RECORD_LEN) {
+            for b in rec[..SORT_KEY_LEN].iter_mut() {
+                *b = self.rng.gen();
+            }
+            for b in rec[SORT_KEY_LEN..].iter_mut() {
+                *b = b' ' + (self.rng.gen::<u8>() % 94);
+            }
+        }
+        out
+    }
+}
+
+/// Extracts the key of the record starting at `offset` in `data`.
+///
+/// # Panics
+///
+/// Panics if `data` is too short for a full record at `offset`.
+pub fn record_key(data: &[u8], offset: usize) -> &[u8] {
+    &data[offset..offset + SORT_KEY_LEN]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marker_fraction(bytes: &[u8]) -> f64 {
+        let lines: Vec<&[u8]> = bytes
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .collect();
+        let hits = lines
+            .iter()
+            .filter(|l| {
+                l.windows(FILTER_MARKER.len())
+                    .any(|w| w == FILTER_MARKER.as_bytes())
+            })
+            .count();
+        hits as f64 / lines.len() as f64
+    }
+
+    #[test]
+    fn textgen_is_deterministic() {
+        let a = TextGen::new(7, 0.1).generate_bytes(10_000);
+        let b = TextGen::new(7, 0.1).generate_bytes(10_000);
+        assert_eq!(a, b);
+        let c = TextGen::new(8, 0.1).generate_bytes(10_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn textgen_selectivity_is_respected() {
+        let bytes = TextGen::new(1, 0.25).generate_bytes(200_000);
+        let frac = marker_fraction(&bytes);
+        assert!((frac - 0.25).abs() < 0.05, "fraction {frac}");
+        let none = TextGen::new(1, 0.0).generate_bytes(50_000);
+        assert_eq!(marker_fraction(&none), 0.0);
+    }
+
+    #[test]
+    fn pairgen_respects_cardinality() {
+        let mut g = PairGen::new(3, 16);
+        let buf = g.generate_pairs(1000);
+        for line in buf.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            let s = std::str::from_utf8(line).unwrap();
+            let (k, v) = s.split_once(',').unwrap();
+            let k: u64 = k.parse().unwrap();
+            let _: i64 = v.parse().unwrap();
+            assert!(k < 16);
+        }
+    }
+
+    #[test]
+    fn records_have_fixed_width() {
+        let mut g = RecordGen::new(5);
+        let data = g.generate_records(64);
+        assert_eq!(data.len(), 64 * SORT_RECORD_LEN);
+        let k0 = record_key(&data, 0).to_vec();
+        let k1 = record_key(&data, SORT_RECORD_LEN).to_vec();
+        assert_eq!(k0.len(), SORT_KEY_LEN);
+        assert_ne!(k0, k1, "consecutive keys should differ w.h.p.");
+    }
+
+    #[test]
+    fn record_payloads_are_printable() {
+        let mut g = RecordGen::new(9);
+        let data = g.generate_records(8);
+        for rec in data.chunks(SORT_RECORD_LEN) {
+            assert!(rec[SORT_KEY_LEN..].iter().all(|&b| (b' '..=b'~').contains(&b)));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Distributed sort with sorter actions (paper §7.3, Fig. 7).
+//!
+//! Runs the data-shipping baseline and the Glider version of the same
+//! sort back to back, validates they produce identical output, and prints
+//! the paper's indicators side by side.
+//!
+//! Run: `cargo run -p glider-examples --bin distributed_sort`
+
+use glider_analytics::sort::{input_checksum, run_baseline, run_glider, SortConfig};
+use glider_core::GliderResult;
+use glider_examples::{banner, human};
+
+#[tokio::main(flavor = "multi_thread")]
+async fn main() -> GliderResult<()> {
+    let cfg = SortConfig {
+        workers: 4,
+        records_per_worker: 40_000, // 4 MB per worker
+        ..SortConfig::default()
+    };
+    banner(&format!(
+        "distributed sort: {} workers x {} records",
+        cfg.workers, cfg.records_per_worker
+    ));
+
+    let base = run_baseline(&cfg).await?;
+    println!("{}", base.report);
+    let glider = run_glider(&cfg).await?;
+    println!("{}", glider.report);
+
+    banner("validation");
+    assert_eq!(base.output_records, glider.output_records);
+    assert_eq!(base.output_checksum, glider.output_checksum);
+    assert_eq!(base.output_checksum, input_checksum(&cfg));
+    println!(
+        "both implementations sorted the same {} records to the same output",
+        base.output_records
+    );
+
+    banner("comparison (paper Fig. 7 shape)");
+    println!(
+        "data movement: baseline {} vs glider {} ({}% less)",
+        human(base.report.tier_crossing_bytes()),
+        human(glider.report.tier_crossing_bytes()),
+        (100.0
+            * (1.0
+                - glider.report.tier_crossing_bytes() as f64
+                    / base.report.tier_crossing_bytes() as f64)) as i64
+    );
+    println!(
+        "P2 (reduce/sort) time: baseline {:.3}s vs glider {:.3}s",
+        base.report.phase("P2").unwrap_or_default().as_secs_f64(),
+        glider.report.phase("P2").unwrap_or_default().as_secs_f64()
+    );
+    println!(
+        "total speedup: {:.2}x",
+        glider.report.speedup_vs(&base.report)
+    );
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Shared helpers for the runnable Glider examples.
+//!
+//! The binaries in this crate exercise the public API end to end:
+//!
+//! - `quickstart` — files, key-values and a first stateful action;
+//! - `word_count` — the paper's motivating aggregation (Listing 1 /
+//!   Fig. 4), including a reduction tree of actions;
+//! - `distributed_sort` — the §7.3 shuffle replacement;
+//! - `genomics_pipeline` — the §7.4 variant-calling pipeline on the FaaS
+//!   emulator, baseline vs Glider side by side.
+//!
+//! Run any of them with `cargo run -p glider-examples --bin <name>`.
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Formats a byte count in binary units.
+pub fn human(bytes: u64) -> String {
+    glider_util::ByteSize::bytes(bytes).to_string()
+}

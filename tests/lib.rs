@@ -1,0 +1,10 @@
+//! Cross-crate integration tests for the Glider reproduction.
+//!
+//! The actual tests live in `tests/` (one file per concern):
+//!
+//! - `end_to_end.rs` — whole-cluster lifecycles over real RPC;
+//! - `concurrency.rs` — the action concurrency model under many clients;
+//! - `properties.rs` — property-based tests of codec, namespace,
+//!   block-store and stream invariants;
+//! - `workloads.rs` — baseline/Glider equivalence of every workload pair;
+//! - `limits.rs` — FaaS resource limits interacting with the store.

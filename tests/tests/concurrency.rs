@@ -1,0 +1,227 @@
+//! The action concurrency model (paper §4.2) exercised over real RPC by
+//! many concurrent clients.
+
+use bytes::Bytes;
+use glider_core::{ActionSpec, ByteSize, Cluster, ClusterConfig, GliderError};
+
+async fn cluster() -> Cluster {
+    Cluster::start(
+        ClusterConfig::default()
+            .with_block_size(ByteSize::kib(64))
+            .with_data(1, 512)
+            .with_active(2, 32),
+    )
+    .await
+    .expect("cluster")
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 8)]
+async fn serialized_action_accumulates_consistently_under_contention() {
+    let c = cluster().await;
+    let store = c.client().await.unwrap();
+    store
+        .create_action("/hot", ActionSpec::new("counter", false))
+        .await
+        .unwrap();
+    let mut tasks = Vec::new();
+    for _ in 0..16 {
+        let store = c.client().await.unwrap();
+        tasks.push(tokio::spawn(async move {
+            let action = store.lookup_action("/hot").await.unwrap();
+            for _ in 0..10 {
+                action.write_all(Bytes::from(vec![1u8; 1000])).await.unwrap();
+            }
+        }));
+    }
+    for t in tasks {
+        t.await.unwrap();
+    }
+    let action = store.lookup_action("/hot").await.unwrap();
+    assert_eq!(action.read_all().await.unwrap(), b"160000");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 8)]
+async fn interleaved_merge_is_exact_under_heavy_concurrency() {
+    let c = cluster().await;
+    let store = c.client().await.unwrap();
+    store
+        .create_action("/merge", ActionSpec::new("merge", true))
+        .await
+        .unwrap();
+    let writers = 12;
+    let per_writer = 500i64;
+    let mut tasks = Vec::new();
+    for w in 0..writers {
+        let store = c.client().await.unwrap();
+        tasks.push(tokio::spawn(async move {
+            let action = store.lookup_action("/merge").await.unwrap();
+            let mut out = action.output_stream().await.unwrap();
+            for k in 0..per_writer {
+                out.write_all(format!("{k},{w}\n").as_bytes()).await.unwrap();
+            }
+            out.close().await.unwrap();
+        }));
+    }
+    for t in tasks {
+        t.await.unwrap();
+    }
+    let action = store.lookup_action("/merge").await.unwrap();
+    let merged = String::from_utf8(action.read_all().await.unwrap()).unwrap();
+    let expected_sum: i64 = (0..writers).sum();
+    let lines: Vec<&str> = merged.lines().collect();
+    assert_eq!(lines.len(), per_writer as usize);
+    for line in lines {
+        let (_k, v) = line.split_once(',').unwrap();
+        assert_eq!(v.parse::<i64>().unwrap(), expected_sum);
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 8)]
+async fn independent_actions_run_in_parallel() {
+    let c = cluster().await;
+    let store = c.client().await.unwrap();
+    // Multiple actions must make progress concurrently (paper: "multiple
+    // actions may freely execute concurrently").
+    let n = 8;
+    for i in 0..n {
+        store
+            .create_action(&format!("/p{i}"), ActionSpec::new("counter", false))
+            .await
+            .unwrap();
+    }
+    let start = std::time::Instant::now();
+    let mut tasks = Vec::new();
+    for i in 0..n {
+        let store = c.client().await.unwrap();
+        tasks.push(tokio::spawn(async move {
+            let action = store.lookup_action(&format!("/p{i}")).await.unwrap();
+            action
+                .write_all(Bytes::from(vec![0u8; 2 * 1024 * 1024]))
+                .await
+                .unwrap();
+        }));
+    }
+    for t in tasks {
+        t.await.unwrap();
+    }
+    // Not a strict timing assertion — just sanity that 16 MiB over 8
+    // parallel actions completed promptly on localhost.
+    assert!(start.elapsed().as_secs() < 30);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 8)]
+async fn concurrent_readers_of_one_action_each_get_full_streams() {
+    let c = cluster().await;
+    let store = c.client().await.unwrap();
+    store
+        .create_action(
+            "/src",
+            ActionSpec::new("null", true).with_params("size=100000"),
+        )
+        .await
+        .unwrap();
+    let mut tasks = Vec::new();
+    for _ in 0..6 {
+        let store = c.client().await.unwrap();
+        tasks.push(tokio::spawn(async move {
+            let action = store.lookup_action("/src").await.unwrap();
+            let data = action.read_all().await.unwrap();
+            assert_eq!(data.len(), 100_000);
+        }));
+    }
+    for t in tasks {
+        t.await.unwrap();
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 8)]
+async fn write_close_is_a_barrier() {
+    let c = cluster().await;
+    let store = c.client().await.unwrap();
+    let action = store
+        .create_action("/barrier", ActionSpec::new("counter", false))
+        .await
+        .unwrap();
+    // Many small chunks; once close() returns, the count must be final.
+    let mut out = action.output_stream().await.unwrap();
+    for _ in 0..100 {
+        out.write(Bytes::from(vec![7u8; 333])).await.unwrap();
+    }
+    out.close().await.unwrap();
+    assert_eq!(action.read_all().await.unwrap(), b"33300");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 8)]
+async fn deleting_a_busy_action_waits_for_in_flight_methods() {
+    let c = cluster().await;
+    let store = c.client().await.unwrap();
+    let action = store
+        .create_action("/busy", ActionSpec::new("counter", true))
+        .await
+        .unwrap();
+    let mut out = action.output_stream().await.unwrap();
+    out.write(Bytes::from_static(b"12345")).await.unwrap();
+
+    let deleter = {
+        let store = c.client().await.unwrap();
+        tokio::spawn(async move { store.delete("/busy").await })
+    };
+    tokio::time::sleep(std::time::Duration::from_millis(30)).await;
+    // The write method is still open; finish it. Whatever order the
+    // runtime resolves, both operations must terminate cleanly.
+    let close_result = out.close().await;
+    let delete_result = deleter.await.unwrap();
+    delete_result.unwrap();
+    // Close may have been cut off by the delete (Closed) or completed
+    // before it — both are acceptable terminal states.
+    if let Err(e) = close_result {
+        assert!(
+            matches!(
+                e.code(),
+                glider_core::ErrorCode::Closed | glider_core::ErrorCode::NotFound
+            ),
+            "unexpected error {e}"
+        );
+    }
+    let err = store.lookup_action("/busy").await.unwrap_err();
+    assert_eq!(err.code(), glider_core::ErrorCode::NotFound);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 8)]
+async fn bag_and_action_mixed_pipeline() {
+    // Producers append raw data to a bag while a consumer pushes partial
+    // aggregates to a merge action — a composite pattern.
+    let c = cluster().await;
+    let store = c.client().await.unwrap();
+    let bag = store.create_bag("/events").await.unwrap();
+    store
+        .create_action("/agg", ActionSpec::new("merge", true))
+        .await
+        .unwrap();
+    let mut producers = Vec::new();
+    for w in 0..4i64 {
+        let bag = bag.clone();
+        let store = c.client().await.unwrap();
+        producers.push(tokio::spawn(async move {
+            let mut out = bag.output_stream().await.unwrap();
+            out.write_all(format!("{w}\n").repeat(100).as_bytes())
+                .await
+                .unwrap();
+            out.close().await.unwrap();
+            let action = store.lookup_action("/agg").await.unwrap();
+            action
+                .write_all(Bytes::from(format!("{w},100\n")))
+                .await
+                .unwrap();
+            Ok::<(), GliderError>(())
+        }));
+    }
+    for p in producers {
+        p.await.unwrap().unwrap();
+    }
+    let raw = bag.read_all().await.unwrap();
+    assert_eq!(raw.iter().filter(|&&b| b == b'\n').count(), 400);
+    let agg = store.lookup_action("/agg").await.unwrap();
+    let merged = String::from_utf8(agg.read_all().await.unwrap()).unwrap();
+    assert_eq!(merged, "0,100\n1,100\n2,100\n3,100\n");
+}

@@ -1,0 +1,160 @@
+//! Whole-cluster lifecycle tests over real RPC.
+
+use bytes::Bytes;
+use glider_core::{
+    ActionSpec, ByteSize, Cluster, ClusterConfig, ErrorCode, GliderError, StoreClient,
+};
+
+async fn small_cluster() -> Cluster {
+    Cluster::start(
+        ClusterConfig::default()
+            .with_block_size(ByteSize::kib(64))
+            .with_data(2, 256)
+            .with_active(1, 16),
+    )
+    .await
+    .expect("cluster")
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn namespace_tree_operations() {
+    let cluster = small_cluster().await;
+    let store = cluster.client().await.unwrap();
+
+    store.create_dir_all("/a/b/c").await.unwrap();
+    store.create_dir_all("/a/b/c").await.unwrap(); // idempotent
+    store.create_file("/a/b/c/f1").await.unwrap();
+    store.create_file("/a/b/f2").await.unwrap();
+    assert_eq!(store.list("/a/b").await.unwrap(), vec!["c", "f2"]);
+    assert_eq!(store.list("/a/b/c").await.unwrap(), vec!["f1"]);
+
+    // Kind checks on lookup.
+    assert_eq!(
+        store.lookup_action("/a/b/f2").await.unwrap_err().code(),
+        ErrorCode::WrongNodeKind
+    );
+    assert_eq!(
+        store.lookup_file("/a/b").await.unwrap_err().code(),
+        ErrorCode::WrongNodeKind
+    );
+
+    // Recursive delete clears the subtree.
+    store.delete("/a").await.unwrap();
+    assert_eq!(
+        store.lookup("/a/b/c/f1").await.unwrap_err().code(),
+        ErrorCode::NotFound
+    );
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn large_file_spans_servers_and_survives_read_back() {
+    let cluster = small_cluster().await;
+    let store = cluster.client().await.unwrap();
+    let data: Vec<u8> = (0..1_000_000u32).map(|i| (i * 7 % 251) as u8).collect();
+    let file = store.create_file("/big").await.unwrap();
+    file.write_all(Bytes::from(data.clone())).await.unwrap();
+
+    let info = store.lookup("/big").await.unwrap();
+    assert_eq!(info.size, 1_000_000);
+    assert!(info.blocks.len() >= 15);
+    let distinct_servers: std::collections::HashSet<_> =
+        info.blocks.iter().map(|b| b.loc.server_id).collect();
+    assert_eq!(distinct_servers.len(), 2, "round robin across data servers");
+
+    assert_eq!(file.read_all().await.unwrap(), data);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn action_state_survives_many_operations_until_recreate() {
+    let cluster = small_cluster().await;
+    let store = cluster.client().await.unwrap();
+    let action = store
+        .create_action("/acc", ActionSpec::new("counter", false))
+        .await
+        .unwrap();
+    for _ in 0..10 {
+        action.write_all(Bytes::from_static(b"xxxxx")).await.unwrap();
+    }
+    assert_eq!(action.read_all().await.unwrap(), b"50");
+
+    // The paper's recreate-to-clear-state flow: delete the object, create
+    // a fresh one in the same node.
+    action.delete_object().await.unwrap();
+    let err = action.read_all().await.unwrap_err();
+    assert_eq!(err.code(), ErrorCode::NotFound);
+    action
+        .create_object(ActionSpec::new("counter", false))
+        .await
+        .unwrap();
+    assert_eq!(action.read_all().await.unwrap(), b"0");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn storage_capacity_exhaustion_is_reported() {
+    let cluster = Cluster::start(
+        ClusterConfig::default()
+            .with_block_size(ByteSize::kib(16))
+            .with_data(1, 4),
+    )
+    .await
+    .unwrap();
+    let store = cluster.client().await.unwrap();
+    let file = store.create_file("/fill").await.unwrap();
+    let mut out = file.output_stream().await.unwrap();
+    // 4 blocks of 16 KiB = 64 KiB capacity; writing 80 KiB must fail.
+    let result = async {
+        out.write(Bytes::from(vec![0u8; 80 * 1024])).await?;
+        out.close().await?;
+        Ok::<u64, GliderError>(0)
+    }
+    .await;
+    assert_eq!(result.unwrap_err().code(), ErrorCode::OutOfCapacity);
+    // Deleting returns the capacity.
+    store.delete("/fill").await.unwrap();
+    let file2 = store.create_file("/fits").await.unwrap();
+    file2
+        .write_all(Bytes::from(vec![0u8; 60 * 1024]))
+        .await
+        .unwrap();
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn two_independent_clusters_coexist() {
+    let a = small_cluster().await;
+    let b = small_cluster().await;
+    let sa = a.client().await.unwrap();
+    let sb = b.client().await.unwrap();
+    sa.create_file("/x").await.unwrap();
+    assert_eq!(sb.lookup("/x").await.unwrap_err().code(), ErrorCode::NotFound);
+    sb.create_file("/x").await.unwrap();
+    a.shutdown();
+    // Cluster b still works after a is gone.
+    sb.lookup("/x").await.unwrap();
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn client_observes_shutdown_as_closed() {
+    let cluster = small_cluster().await;
+    let store = cluster.client().await.unwrap();
+    store.create_file("/pre").await.unwrap();
+    cluster.shutdown();
+    tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+    let err = store.create_file("/post").await.unwrap_err();
+    assert_eq!(err.code(), ErrorCode::Closed);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn intra_storage_clients_do_not_count_accesses() {
+    let cluster = small_cluster().await;
+    let compute = cluster.client().await.unwrap();
+    compute.create_file("/f").await.unwrap();
+    let before = cluster.metrics().snapshot().storage_accesses();
+    // A storage-tier client (like the one actions get) reads the file.
+    let storage_side = StoreClient::connect(cluster.client_config().intra_storage())
+        .await
+        .unwrap();
+    let f = storage_side.lookup_file("/f").await.unwrap();
+    let _ = f.read_all().await.unwrap();
+    let after = cluster.metrics().snapshot().storage_accesses();
+    assert_eq!(before, after, "intra-storage reads are not worker accesses");
+}

@@ -1,0 +1,161 @@
+//! FaaS resource limits interacting with the storage system.
+
+use bytes::Bytes;
+use glider_core::{ByteSize, Cluster, ClusterConfig, ErrorCode, GliderError, StoreClient};
+use glider_faas::{FaasPlatform, FunctionConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn throttled_function_transfers_slower() {
+    let cluster = Cluster::start(ClusterConfig::default()).await.unwrap();
+    let faas = FaasPlatform::new();
+    let payload = 3 * 1024 * 1024u64; // 3 MiB
+
+    let mut times = Vec::new();
+    for (run, bw) in [(0u32, None), (1, Some(2u64))] {
+        let mut fn_cfg = FunctionConfig::default();
+        if let Some(bw) = bw {
+            fn_cfg = fn_cfg.with_bandwidth_mibps(bw);
+        }
+        let client_config = cluster.client_config();
+        let start = std::time::Instant::now();
+        faas.invoke("writer", fn_cfg, move |ctx| {
+            let mut client_config = client_config.clone();
+            client_config.throttle = ctx.throttle.clone();
+            Box::pin(async move {
+                let store = StoreClient::connect(client_config).await?;
+                let file = store
+                    .create_file(&format!("/t-{run}-{}", ctx.name))
+                    .await?;
+                file.write_all(Bytes::from(vec![0u8; payload as usize])).await?;
+                Ok::<(), GliderError>(())
+            })
+        })
+        .await
+        .unwrap();
+        times.push(start.elapsed());
+    }
+    // 3 MiB at 2 MiB/s (with 1 s burst) needs >= ~0.5s; unthrottled is
+    // near-instant on localhost.
+    assert!(
+        times[1] > times[0] * 3,
+        "throttled {:?} vs open {:?}",
+        times[1],
+        times[0]
+    );
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn oom_function_fails_cleanly_and_cluster_survives() {
+    let cluster = Cluster::start(ClusterConfig::default()).await.unwrap();
+    let faas = FaasPlatform::new();
+    let client_config = cluster.client_config();
+    let err = faas
+        .invoke(
+            "oom",
+            FunctionConfig::default().with_memory(ByteSize::kib(64)),
+            move |ctx| {
+                let client_config = client_config.clone();
+                Box::pin(async move {
+                    let store = StoreClient::connect(client_config).await?;
+                    let file = store.create_file("/oom-buffer").await?;
+                    // Tracked allocation beyond the 64 KiB function size.
+                    ctx.memory.alloc(1024 * 1024)?;
+                    file.write_all(Bytes::from(vec![0u8; 1024 * 1024])).await?;
+                    Ok::<(), GliderError>(())
+                })
+            },
+        )
+        .await
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::ResourceLimit);
+    // The cluster is unaffected; the orphaned node is still deletable.
+    let store = cluster.client().await.unwrap();
+    store.delete("/oom-buffer").await.unwrap();
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn timed_out_function_leaves_consistent_storage() {
+    let cluster = Cluster::start(ClusterConfig::default()).await.unwrap();
+    let faas = FaasPlatform::new();
+    let client_config = cluster.client_config();
+    let err = faas
+        .invoke(
+            "slow",
+            FunctionConfig::default().with_timeout(Duration::from_millis(100)),
+            move |_ctx| {
+                let client_config = client_config.clone();
+                Box::pin(async move {
+                    let store = StoreClient::connect(client_config).await?;
+                    let file = store.create_file("/slow-file").await?;
+                    let mut out = file.output_stream().await?;
+                    loop {
+                        out.write(Bytes::from(vec![0u8; 4096])).await?;
+                        tokio::time::sleep(Duration::from_millis(20)).await;
+                        if false {
+                            // Pin the future's output type; the loop only
+                            // ends via the platform timeout.
+                            return Ok::<(), GliderError>(());
+                        }
+                    }
+                })
+            },
+        )
+        .await
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::ResourceLimit);
+    // The partially written file exists with whatever was committed; a
+    // retry (the serverless failure model: re-run the function) can
+    // delete and regenerate it.
+    let store = cluster.client().await.unwrap();
+    store.delete("/slow-file").await.unwrap();
+    let file = store.create_file("/slow-file").await.unwrap();
+    file.write_all(Bytes::from_static(b"retry")).await.unwrap();
+    assert_eq!(file.read_all().await.unwrap(), b"retry");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn hundreds_of_functions_against_one_cluster() {
+    // A smoke test in the spirit of the paper's 700-function run.
+    let cluster = Cluster::start(
+        ClusterConfig::default().with_data(2, 1024).with_active(2, 16),
+    )
+    .await
+    .unwrap();
+    let faas = Arc::new(FaasPlatform::new());
+    let store = cluster.client().await.unwrap();
+    store
+        .create_action(
+            "/sum",
+            glider_core::ActionSpec::new("counter", true),
+        )
+        .await
+        .unwrap();
+    let client_config = cluster.client_config();
+    faas.map_stage(
+        "writer",
+        FunctionConfig::default(),
+        (0..200u64).collect(),
+        32,
+        move |_ctx, i| {
+            let client_config = client_config.clone();
+            Box::pin(async move {
+                let store = StoreClient::connect(client_config).await?;
+                let action = store.lookup_action("/sum").await?;
+                action.write_all(Bytes::from(vec![0u8; (i % 7 + 1) as usize * 100])).await?;
+                Ok::<(), GliderError>(())
+            })
+        },
+    )
+    .await
+    .unwrap();
+    assert_eq!(faas.invocation_count(), 200);
+    let action = store.lookup_action("/sum").await.unwrap();
+    let total: u64 = String::from_utf8(action.read_all().await.unwrap())
+        .unwrap()
+        .parse()
+        .unwrap();
+    let expected: u64 = (0..200u64).map(|i| (i % 7 + 1) * 100).sum();
+    assert_eq!(total, expected);
+}

@@ -1,0 +1,103 @@
+//! Namespace partitioning across multiple metadata servers (paper §4.1,
+//! footnote 4).
+
+use bytes::Bytes;
+use glider_core::{ActionSpec, ClusterConfig, ErrorCode, PartitionedCluster};
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn paths_spread_across_partitions_and_round_trip() {
+    let cluster = PartitionedCluster::start(3, ClusterConfig::default())
+        .await
+        .unwrap();
+    let store = cluster.client().await.unwrap();
+    assert_eq!(store.partition_count(), 3);
+
+    // Create many top-level subtrees; they must hash across partitions.
+    for i in 0..12 {
+        store.create_dir(&format!("/job-{i}")).await.unwrap();
+        let file = store.create_file(&format!("/job-{i}/data")).await.unwrap();
+        file.write_all(Bytes::from(vec![i as u8; 10_000])).await.unwrap();
+    }
+    // Every partition got at least one subtree (12 keys over 3 partitions
+    // — a pathological hash would fail this, FNV does not for these keys).
+    let per_partition: Vec<usize> = {
+        let mut counts = vec![0usize; 3];
+        for cluster_part in cluster.partitions() {
+            let _ = cluster_part; // counted below via direct clients
+        }
+        let mut counts_real = Vec::new();
+        for part in cluster.partitions() {
+            let direct = part.client().await.unwrap();
+            counts_real.push(direct.list("/").await.unwrap().len());
+        }
+        counts.copy_from_slice(&counts_real);
+        counts
+    };
+    assert_eq!(per_partition.iter().sum::<usize>(), 12);
+    assert!(
+        per_partition.iter().all(|&c| c > 0),
+        "hash placement degenerate: {per_partition:?}"
+    );
+
+    // Everything reads back through the routing client.
+    for i in 0..12 {
+        let file = store.lookup_file(&format!("/job-{i}/data")).await.unwrap();
+        assert_eq!(file.read_all().await.unwrap(), vec![i as u8; 10_000]);
+    }
+
+    // Root listing merges all partitions.
+    let all = store.list("/").await.unwrap();
+    assert_eq!(all.len(), 12);
+    assert!(all.windows(2).all(|w| w[0] <= w[1]), "merged sorted");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn actions_work_within_their_partition() {
+    let cluster = PartitionedCluster::start(2, ClusterConfig::default())
+        .await
+        .unwrap();
+    let store = cluster.client().await.unwrap();
+    for name in ["alpha", "beta", "gamma", "delta"] {
+        store.create_dir(&format!("/{name}")).await.unwrap();
+        let action = store
+            .create_action(
+                &format!("/{name}/merge"),
+                ActionSpec::new("merge", true),
+            )
+            .await
+            .unwrap();
+        action.write_all(Bytes::from_static(b"1,1\n")).await.unwrap();
+        assert_eq!(action.read_all().await.unwrap(), b"1,1\n");
+    }
+    // Deleting a subtree cleans up on its own partition only.
+    store.delete("/alpha").await.unwrap();
+    assert_eq!(
+        store.lookup("/alpha/merge").await.unwrap_err().code(),
+        ErrorCode::NotFound
+    );
+    store.lookup("/beta/merge").await.unwrap();
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn near_data_traffic_stays_inside_one_partition() {
+    // A filter action must read its backing file from the partition it
+    // shares a subtree with (same first path component).
+    let cluster = PartitionedCluster::start(2, ClusterConfig::default())
+        .await
+        .unwrap();
+    let store = cluster.client().await.unwrap();
+    store.create_dir("/pipe").await.unwrap();
+    let file = store.create_file("/pipe/input").await.unwrap();
+    file.write_all(Bytes::from_static(b"keep HIT\ndrop\nanother HIT\n"))
+        .await
+        .unwrap();
+    let action = store
+        .create_action(
+            "/pipe/filter",
+            ActionSpec::new("filter", false).with_params("src=/pipe/input;pattern=HIT"),
+        )
+        .await
+        .unwrap();
+    let out = action.read_all().await.unwrap();
+    assert_eq!(&out[..], b"keep HIT\nanother HIT\n");
+}

@@ -1,0 +1,112 @@
+//! Baseline/Glider equivalence and indicator relations for every
+//! workload pair, at tiny scale (the full sweeps are the bench
+//! harnesses).
+
+use glider_analytics::genomics::{self, GenomicsConfig};
+use glider_analytics::pipeline::{self, PipelineConfig};
+use glider_analytics::reduce::{self, ReduceConfig};
+use glider_analytics::sort::{self, SortConfig};
+use glider_util::ByteSize;
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn table2_pipeline_pair() {
+    let cfg = PipelineConfig {
+        workers: 2,
+        bytes_per_worker: ByteSize::kib(512),
+        selectivity: 0.01,
+        seed: 1,
+        rdma: false,
+        worker_bandwidth_mibps: None,
+    };
+    let base = pipeline::run_baseline(&cfg).await.unwrap();
+    let glider = pipeline::run_glider(&cfg).await.unwrap();
+    assert_eq!(base.total_words, glider.total_words);
+    // Table 2 shape: worker ingestion collapses.
+    assert!(
+        glider.report.metrics.compute_ingress_bytes() * 10
+            < base.report.metrics.compute_ingress_bytes()
+    );
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn fig5_reduce_pair() {
+    let cfg = ReduceConfig {
+        workers: 2,
+        pairs_per_worker: 10_000,
+        key_cardinality: 128,
+        seed: 2,
+    };
+    let base = reduce::run_baseline(&cfg).await.unwrap();
+    let glider = reduce::run_glider(&cfg).await.unwrap();
+    assert_eq!(base.dictionary, glider.dictionary);
+    // Fig. 5 shape: roughly half the transfers, far lower utilization.
+    assert!(glider.report.tier_crossing_bytes() < base.report.tier_crossing_bytes());
+    assert!(glider.report.peak_utilization() * 10 < base.report.peak_utilization());
+    assert!(glider.report.storage_accesses() < base.report.storage_accesses());
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn fig7_sort_pair() {
+    let cfg = SortConfig {
+        workers: 2,
+        records_per_worker: 2_000,
+        seed: 3,
+    };
+    let base = sort::run_baseline(&cfg).await.unwrap();
+    let glider = sort::run_glider(&cfg).await.unwrap();
+    assert_eq!(base.output_checksum, glider.output_checksum);
+    assert_eq!(base.output_checksum, sort::input_checksum(&cfg));
+    assert!(glider.report.tier_crossing_bytes() < base.report.tier_crossing_bytes());
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn fig9_genomics_pair() {
+    let cfg = GenomicsConfig {
+        fasta_chunks: 1,
+        fastq_chunks: 3,
+        reducers_per_chunk: 2,
+        records_per_map: 3_000,
+        chunk_span: 20_000,
+        seed: 4,
+        map_bandwidth_mibps: None,
+        reduce_bandwidth_mibps: None,
+    };
+    let base = genomics::run_baseline(&cfg).await.unwrap();
+    let glider = genomics::run_glider(&cfg).await.unwrap();
+    assert_eq!(base.variants_checksum, glider.variants_checksum);
+    assert!(base.total_variant_lines > 0);
+    // The baseline needs sampler functions; Glider does not.
+    assert!(glider.invocations < base.invocations);
+    // Only the baseline pays SELECT scans.
+    assert!(base.report.metrics.object_scanned > 0);
+    assert_eq!(glider.report.metrics.object_scanned, 0);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn genomics_respects_bandwidth_caps() {
+    // The same workload with a tight function bandwidth cap must be
+    // measurably slower — the paper's "limited bandwidth of FaaS".
+    // ~3 MiB per map task so the 1 MiB/s cap (with its 1 MiB burst)
+    // actually bites.
+    let fast_cfg = GenomicsConfig {
+        fasta_chunks: 1,
+        fastq_chunks: 2,
+        reducers_per_chunk: 1,
+        records_per_map: 150_000,
+        chunk_span: 20_000,
+        seed: 5,
+        map_bandwidth_mibps: None,
+        reduce_bandwidth_mibps: None,
+    };
+    let mut slow_cfg = fast_cfg.clone();
+    slow_cfg.map_bandwidth_mibps = Some(1); // 1 MiB/s
+    let fast = genomics::run_baseline(&fast_cfg).await.unwrap();
+    let slow = genomics::run_baseline(&slow_cfg).await.unwrap();
+    assert_eq!(fast.variants_checksum, slow.variants_checksum);
+    assert!(
+        slow.report.phase("map").unwrap() > fast.report.phase("map").unwrap() * 2,
+        "slow {:?} vs fast {:?}",
+        slow.report.phase("map"),
+        fast.report.phase("map")
+    );
+}
