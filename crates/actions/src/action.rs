@@ -330,7 +330,10 @@ mod tests {
         assert_eq!(a.state_size(), 0);
         // Default on_write drains a stream to EOF.
         let (mut input, pusher) = crate::stream::ActionInputStream::new(8);
-        pusher.push(0, Bytes::from_static(b"ignored")).await.unwrap();
+        pusher
+            .push(0, Bytes::from_static(b"ignored"))
+            .await
+            .unwrap();
         pusher.finish();
         a.on_write(&mut input, &ctx).await.unwrap();
         assert!(input.next_chunk().await.unwrap().is_none());

@@ -224,8 +224,9 @@ impl Action for MergeAction {
                 let (Ok(k), Ok(v)) = (k.trim().parse::<i64>(), v.trim().parse::<i64>()) else {
                     continue;
                 };
-                self.result
-                    .with(|m| *m.entry(k).or_insert(0) = m.get(&k).copied().unwrap_or(0).wrapping_add(v));
+                self.result.with(|m| {
+                    *m.entry(k).or_insert(0) = m.get(&k).copied().unwrap_or(0).wrapping_add(v)
+                });
             }
             Ok(())
         })
@@ -237,8 +238,9 @@ impl Action for MergeAction {
         _ctx: &'a ActionContext,
     ) -> BoxFuture<'a, GliderResult<()>> {
         Box::pin(async move {
-            let mut entries: Vec<(i64, i64)> =
-                self.result.with(|m| m.iter().map(|(k, v)| (*k, *v)).collect());
+            let mut entries: Vec<(i64, i64)> = self
+                .result
+                .with(|m| m.iter().map(|(k, v)| (*k, *v)).collect());
             entries.sort_unstable();
             for (k, v) in entries {
                 output.write_all(format!("{k},{v}\n").as_bytes()).await?;
@@ -288,7 +290,11 @@ impl Action for CacheAction {
                 }
                 self.entries.with(|state| match line.split_once('=') {
                     Some((key, value)) => {
-                        if state.map.insert(key.to_string(), value.to_string()).is_none() {
+                        if state
+                            .map
+                            .insert(key.to_string(), value.to_string())
+                            .is_none()
+                        {
                             state.order.push_back(key.to_string());
                             while state.order.len() > self.capacity {
                                 if let Some(evicted) = state.order.pop_front() {
@@ -322,7 +328,9 @@ impl Action for CacheAction {
             });
             for (key, value) in hits {
                 if let Some(value) = value {
-                    output.write_all(format!("{key}={value}\n").as_bytes()).await?;
+                    output
+                        .write_all(format!("{key}={value}\n").as_bytes())
+                        .await?;
                 }
             }
             Ok(())
@@ -359,8 +367,9 @@ pub struct CheckpointedMergeAction {
 
 impl CheckpointedMergeAction {
     fn serialize(&self) -> Vec<u8> {
-        let mut entries: Vec<(i64, i64)> =
-            self.result.with(|m| m.iter().map(|(k, v)| (*k, *v)).collect());
+        let mut entries: Vec<(i64, i64)> = self
+            .result
+            .with(|m| m.iter().map(|(k, v)| (*k, *v)).collect());
         entries.sort_unstable();
         let mut out = Vec::with_capacity(entries.len() * 16);
         for (k, v) in entries {
@@ -415,7 +424,9 @@ impl Action for CheckpointedMergeAction {
         Box::pin(async move {
             let mut lines = LineReader::new(input);
             while let Some(line) = lines.next_line().await? {
-                let Some((k, v)) = line.split_once(',') else { continue };
+                let Some((k, v)) = line.split_once(',') else {
+                    continue;
+                };
                 let (Ok(k), Ok(v)) = (k.trim().parse::<i64>(), v.trim().parse::<i64>()) else {
                     continue;
                 };
@@ -667,10 +678,7 @@ mod tests {
 
     async fn run_write(action: &dyn Action, data: &[u8]) -> GliderResult<()> {
         let (mut input, pusher) = ActionInputStream::new(8);
-        let fed: Vec<Bytes> = data
-            .chunks(7)
-            .map(Bytes::copy_from_slice)
-            .collect();
+        let fed: Vec<Bytes> = data.chunks(7).map(Bytes::copy_from_slice).collect();
         let push_task = async {
             for (i, c) in fed.into_iter().enumerate() {
                 pusher.push(i as u64, c).await.unwrap();
@@ -712,7 +720,10 @@ mod tests {
     async fn feed(action: &dyn Action, data: &[u8]) {
         let (mut input, pusher) = ActionInputStream::new(64);
         for (i, c) in data.chunks(7).enumerate() {
-            pusher.push(i as u64, Bytes::copy_from_slice(c)).await.unwrap();
+            pusher
+                .push(i as u64, Bytes::copy_from_slice(c))
+                .await
+                .unwrap();
         }
         pusher.finish();
         action.on_write(&mut input, &ctx()).await.unwrap();
@@ -815,13 +826,9 @@ mod tests {
     #[tokio::test]
     async fn factory_validation() {
         let reg = ActionRegistry::with_builtins();
+        assert!(reg.instantiate(&ActionSpec::new("filter", false)).is_err());
         assert!(reg
-            .instantiate(&ActionSpec::new("filter", false))
-            .is_err());
-        assert!(reg
-            .instantiate(
-                &ActionSpec::new("filter", false).with_params("src=/f;pattern=x")
-            )
+            .instantiate(&ActionSpec::new("filter", false).with_params("src=/f;pattern=x"))
             .is_ok());
         assert!(reg
             .instantiate(&ActionSpec::new("null", false).with_params("size=nope"))
@@ -852,7 +859,10 @@ mod tests {
             Bytes::from_static(b"tial"),
         ]);
         let mut lines = ByteStreamLines::new(Box::new(stream));
-        assert_eq!(lines.next_line().await.unwrap().as_deref(), Some("hello world"));
+        assert_eq!(
+            lines.next_line().await.unwrap().as_deref(),
+            Some("hello world")
+        );
         assert_eq!(lines.next_line().await.unwrap().as_deref(), Some("partial"));
         assert_eq!(lines.next_line().await.unwrap(), None);
     }

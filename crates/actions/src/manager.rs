@@ -176,11 +176,10 @@ impl ActionManager {
     ///
     /// Returns [`ErrorCode::NotFound`] when the node hosts no object.
     pub async fn delete_action(&self, node_id: NodeId) -> GliderResult<()> {
-        let handle = self
-            .instances
-            .lock()
-            .remove(&node_id)
-            .ok_or_else(|| GliderError::not_found(format!("action object in node {node_id}")))?;
+        let handle =
+            self.instances.lock().remove(&node_id).ok_or_else(|| {
+                GliderError::not_found(format!("action object in node {node_id}"))
+            })?;
         let (done_tx, done_rx) = oneshot::channel();
         handle.enqueue(Invocation::Delete { done: done_tx }).await?;
         done_rx
@@ -265,9 +264,7 @@ impl ActionManager {
                         "cannot push chunks on a read stream",
                     ))
                 }
-                None => {
-                    return Err(GliderError::not_found(format!("stream {stream_id}")))
-                }
+                None => return Err(GliderError::not_found(format!("stream {stream_id}"))),
             }
         };
         pusher.push(seq, data).await
@@ -302,9 +299,7 @@ impl ActionManager {
                         "cannot fetch from a write stream",
                     ))
                 }
-                None => {
-                    return Err(GliderError::not_found(format!("stream {stream_id}")))
-                }
+                None => return Err(GliderError::not_found(format!("stream {stream_id}"))),
             }
         };
         let mut side = side.lock().await;
@@ -407,8 +402,12 @@ mod tests {
             .await
             .unwrap();
         let sid = m.open_stream(NodeId(1), StreamDir::Write).await.unwrap();
-        m.push_chunk(sid, 0, Bytes::from_static(b"hello ")).await.unwrap();
-        m.push_chunk(sid, 1, Bytes::from_static(b"world")).await.unwrap();
+        m.push_chunk(sid, 0, Bytes::from_static(b"hello "))
+            .await
+            .unwrap();
+        m.push_chunk(sid, 1, Bytes::from_static(b"world"))
+            .await
+            .unwrap();
         m.close_stream(sid).await.unwrap();
         assert_eq!(read_all(&m, NodeId(1)).await, b"11");
         assert_eq!(m.open_streams(), 0);
@@ -507,8 +506,12 @@ mod tests {
         // Two concurrent writers, interleaved on the same action.
         let s1 = m.open_stream(NodeId(1), StreamDir::Write).await.unwrap();
         let s2 = m.open_stream(NodeId(1), StreamDir::Write).await.unwrap();
-        m.push_chunk(s1, 0, Bytes::from_static(b"1,10\n2,5\n")).await.unwrap();
-        m.push_chunk(s2, 0, Bytes::from_static(b"1,7\n3,1\n")).await.unwrap();
+        m.push_chunk(s1, 0, Bytes::from_static(b"1,10\n2,5\n"))
+            .await
+            .unwrap();
+        m.push_chunk(s2, 0, Bytes::from_static(b"1,7\n3,1\n"))
+            .await
+            .unwrap();
         m.close_stream(s1).await.unwrap();
         m.close_stream(s2).await.unwrap();
         let out = read_all(&m, NodeId(1)).await;

@@ -63,7 +63,10 @@ impl ActionRegistry {
 
     /// Registers a `Default`-constructible action type under `name`.
     pub fn register_default<T: Action + Default>(&self, name: impl Into<String>) {
-        self.register(name, Arc::new(|_spec| Ok(Arc::new(T::default()) as Arc<dyn Action>)));
+        self.register(
+            name,
+            Arc::new(|_spec| Ok(Arc::new(T::default()) as Arc<dyn Action>)),
+        );
     }
 
     /// Instantiates an action object for `spec`.
@@ -140,7 +143,9 @@ mod tests {
                 Ok(Arc::new(Noop) as Arc<dyn Action>)
             }),
         );
-        assert!(reg.instantiate(&ActionSpec::new("needs-param", false)).is_err());
+        assert!(reg
+            .instantiate(&ActionSpec::new("needs-param", false))
+            .is_err());
         assert!(reg
             .instantiate(&ActionSpec::new("needs-param", false).with_params("size=4"))
             .is_ok());

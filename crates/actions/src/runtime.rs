@@ -296,7 +296,10 @@ mod tests {
     async fn write_stream(
         handle: &InstanceHandle,
         chunks: Vec<&'static [u8]>,
-    ) -> (crate::stream::InputPusher, oneshot::Receiver<GliderResult<()>>) {
+    ) -> (
+        crate::stream::InputPusher,
+        oneshot::Receiver<GliderResult<()>>,
+    ) {
         let (input, pusher) = ActionInputStream::new(8);
         let (done_tx, done_rx) = oneshot::channel();
         handle

@@ -396,9 +396,15 @@ mod tests {
     #[tokio::test]
     async fn line_reader_handles_split_lines_and_tail() {
         let (mut input, pusher) = ActionInputStream::new(8);
-        pusher.push(0, Bytes::from_static(b"alpha\nbe")).await.unwrap();
+        pusher
+            .push(0, Bytes::from_static(b"alpha\nbe"))
+            .await
+            .unwrap();
         pusher.push(1, Bytes::from_static(b"ta\n")).await.unwrap();
-        pusher.push(2, Bytes::from_static(b"tail-no-newline")).await.unwrap();
+        pusher
+            .push(2, Bytes::from_static(b"tail-no-newline"))
+            .await
+            .unwrap();
         pusher.finish();
         let mut lines = LineReader::new(&mut input);
         assert_eq!(lines.next_line().await.unwrap().as_deref(), Some("alpha"));

@@ -317,7 +317,9 @@ mod tests {
             tasks.push(tokio::spawn(async move {
                 let mut out = action.output_stream().await.unwrap();
                 for k in 0..100i64 {
-                    out.write_all(format!("{k},{w}\n").as_bytes()).await.unwrap();
+                    out.write_all(format!("{k},{w}\n").as_bytes())
+                        .await
+                        .unwrap();
                 }
                 out.close().await.unwrap();
             }));
@@ -356,7 +358,11 @@ mod tests {
         // The full file moved only inside the storage tier; the client
         // ingested just the matching lines.
         let snap = c.metrics.snapshot();
-        assert!(snap.intra_storage_bytes() >= 54, "{}", snap.intra_storage_bytes());
+        assert!(
+            snap.intra_storage_bytes() >= 54,
+            "{}",
+            snap.intra_storage_bytes()
+        );
         assert_eq!(
             snap.transferred(Tier::Storage, Tier::Compute),
             out.len() as u64
@@ -420,11 +426,10 @@ mod tests {
         .await
         .unwrap();
         assert!(active.addr().starts_with("mem://"));
-        let store = StoreClient::connect(
-            ClientConfig::new(meta.addr()).with_metrics(Arc::clone(&metrics)),
-        )
-        .await
-        .unwrap();
+        let store =
+            StoreClient::connect(ClientConfig::new(meta.addr()).with_metrics(Arc::clone(&metrics)))
+                .await
+                .unwrap();
         let action = store
             .create_action("/c", ActionSpec::new("counter", false))
             .await

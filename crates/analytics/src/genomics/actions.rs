@@ -17,7 +17,7 @@ use super::{compute_ranges, is_sample_bytes};
 use bytes::Bytes;
 use futures::future::BoxFuture;
 use glider_core::actions::stream::{ActionInputStream, ActionOutputStream, LineReader};
-use glider_core::actions::{ActionRegistry, ActionCell, ActionContext};
+use glider_core::actions::{ActionCell, ActionContext, ActionRegistry};
 use glider_core::{Action, GliderError, GliderResult};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -116,7 +116,9 @@ impl Action for SamplerAction {
                 n
             });
             let store = ctx.store()?;
-            let mut sink = store.create_file(&format!("{}/{file_no}", self.dir)).await?;
+            let mut sink = store
+                .create_file(&format!("{}/{file_no}", self.dir))
+                .await?;
             let mut scanner = crate::text::ByteLineScanner::new();
             let mut picked: Vec<i64> = Vec::new();
             while let Some(chunk) = input.next_chunk().await? {
@@ -211,8 +213,7 @@ impl Action for ManagerAction {
         _ctx: &'a ActionContext,
     ) -> BoxFuture<'a, GliderResult<()>> {
         Box::pin(async move {
-            let mut per_chunk: Vec<(usize, Vec<i64>)> =
-                self.samples.with(|m| m.drain().collect());
+            let mut per_chunk: Vec<(usize, Vec<i64>)> = self.samples.with(|m| m.drain().collect());
             per_chunk.sort_by_key(|(chunk, _)| *chunk);
             for (chunk, mut samples) in per_chunk {
                 for (k, (lo, hi)) in compute_ranges(&mut samples, self.reducers, self.span)
@@ -257,9 +258,7 @@ impl Action for ReaderAction {
             let mut arena: Vec<u8> = Vec::new();
             let mut index: Vec<(i64, u32, u32)> = Vec::new();
             for name in store.list(&self.dir).await? {
-                let mut reader = store
-                    .open_read(&format!("{}/{name}", self.dir))
-                    .await?;
+                let mut reader = store.open_read(&format!("{}/{name}", self.dir)).await?;
                 let mut scanner = crate::text::ByteLineScanner::new();
                 let mut keep = |line: &[u8]| {
                     if let Some(pos) = crate::text::leading_i64(line) {
@@ -303,14 +302,17 @@ mod tests {
     #[test]
     fn factories_validate_params() {
         let reg = genomics_registry();
-        assert!(reg.instantiate(&ActionSpec::new("gen-sampler", true)).is_err());
+        assert!(reg
+            .instantiate(&ActionSpec::new("gen-sampler", true))
+            .is_err());
         assert!(reg
             .instantiate(
-                &ActionSpec::new("gen-sampler", true)
-                    .with_params("dir=/t;manager=/m;chunk=0")
+                &ActionSpec::new("gen-sampler", true).with_params("dir=/t;manager=/m;chunk=0")
             )
             .is_ok());
-        assert!(reg.instantiate(&ActionSpec::new("gen-manager", true)).is_err());
+        assert!(reg
+            .instantiate(&ActionSpec::new("gen-manager", true))
+            .is_err());
         assert!(reg
             .instantiate(&ActionSpec::new("gen-manager", true).with_params("reducers=2;span=100"))
             .is_ok());

@@ -142,13 +142,8 @@ pub async fn run_baseline(cfg: &GenomicsConfig) -> GliderResult<GenomicsOutcome>
             let s3 = s3.client(ctx.throttle.clone());
             let cfg = cfg.clone();
             Box::pin(async move {
-                let records = generate_map_records(
-                    cfg.seed,
-                    i,
-                    j,
-                    cfg.records_per_map,
-                    cfg.chunk_span,
-                );
+                let records =
+                    generate_map_records(cfg.seed, i, j, cfg.records_per_map, cfg.chunk_span);
                 ctx.memory.alloc(records.len() as u64)?;
                 s3.put(&format!("gen/tmp/{i}-{j}"), Bytes::from(records))
                     .await
@@ -280,8 +275,7 @@ pub async fn run_glider(cfg: &GenomicsConfig) -> GliderResult<GenomicsOutcome> {
     let metrics = MetricsRegistry::new();
     // Enough slots for samplers + manager + readers, and blocks for the
     // intermediate files.
-    let inter_bytes =
-        (cfg.fasta_chunks * cfg.fastq_chunks * cfg.records_per_map * 20) as u64;
+    let inter_bytes = (cfg.fasta_chunks * cfg.fastq_chunks * cfg.records_per_map * 20) as u64;
     let blocks = (inter_bytes * 3)
         .div_ceil(ByteSize::mib(1).as_u64())
         .max(64)
@@ -318,9 +312,8 @@ pub async fn run_glider(cfg: &GenomicsConfig) -> GliderResult<GenomicsOutcome> {
         driver
             .create_action(
                 &format!("/gen/sampler/{i}"),
-                ActionSpec::new("gen-sampler", true).with_params(format!(
-                    "dir=/gen/tmp/{i};manager=/gen/manager;chunk={i}"
-                )),
+                ActionSpec::new("gen-sampler", true)
+                    .with_params(format!("dir=/gen/tmp/{i};manager=/gen/manager;chunk={i}")),
             )
             .await?;
     }
@@ -343,13 +336,8 @@ pub async fn run_glider(cfg: &GenomicsConfig) -> GliderResult<GenomicsOutcome> {
             let cfg = cfg.clone();
             Box::pin(async move {
                 let store = StoreClient::connect(client_config).await?;
-                let records = generate_map_records(
-                    cfg.seed,
-                    i,
-                    j,
-                    cfg.records_per_map,
-                    cfg.chunk_span,
-                );
+                let records =
+                    generate_map_records(cfg.seed, i, j, cfg.records_per_map, cfg.chunk_span);
                 ctx.memory.alloc(records.len() as u64)?;
                 let sampler = store.lookup_action(&format!("/gen/sampler/{i}")).await?;
                 let mut out = sampler.output_stream().await?;
@@ -385,9 +373,9 @@ pub async fn run_glider(cfg: &GenomicsConfig) -> GliderResult<GenomicsOutcome> {
     for line in ranges_text.lines() {
         let parts: Vec<&str> = line.split(',').collect();
         if let [chunk, _k, lo, hi] = parts[..] {
-            let chunk: usize = chunk.parse().map_err(|_| {
-                GliderError::protocol(format!("bad manager output line {line:?}"))
-            })?;
+            let chunk: usize = chunk
+                .parse()
+                .map_err(|_| GliderError::protocol(format!("bad manager output line {line:?}")))?;
             ranges[chunk].push((
                 lo.parse().map_err(|_| GliderError::protocol("bad lo"))?,
                 hi.parse().map_err(|_| GliderError::protocol("bad hi"))?,

@@ -64,15 +64,12 @@ pub struct PipelineOutcome {
     pub input_bytes: u64,
 }
 
-fn worker_config(
-    cluster: &Cluster,
-    cfg: &PipelineConfig,
-) -> glider_core::ClientConfig {
+fn worker_config(cluster: &Cluster, cfg: &PipelineConfig) -> glider_core::ClientConfig {
     let mut config = cluster.client_config();
     if let Some(bw) = cfg.worker_bandwidth_mibps {
-        config.throttle = Some(std::sync::Arc::new(
-            glider_util::TokenBucket::from_mibps(bw.max(1)),
-        ));
+        config.throttle = Some(std::sync::Arc::new(glider_util::TokenBucket::from_mibps(
+            bw.max(1),
+        )));
     }
     config
 }
@@ -176,7 +173,9 @@ pub async fn run_glider(cfg: &PipelineConfig) -> GliderResult<PipelineOutcome> {
     for w in 0..cfg.workers {
         let store = StoreClient::connect(worker_config(&cluster, cfg)).await?;
         tasks.push(tokio::spawn(async move {
-            let action = store.lookup_action(&format!("/pipeline/filter-{w}")).await?;
+            let action = store
+                .lookup_action(&format!("/pipeline/filter-{w}"))
+                .await?;
             let mut reader = action.input_stream().await?;
             let mut words = WordCounter::new();
             while let Some(chunk) = reader.next_chunk().await? {

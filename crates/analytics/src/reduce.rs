@@ -246,8 +246,7 @@ mod tests {
         let base_xfer = base.report.tier_crossing_bytes();
         let glider_xfer = glider.report.tier_crossing_bytes();
         assert!(
-            glider_xfer as f64
-                <= base_xfer as f64 * 0.6,
+            glider_xfer as f64 <= base_xfer as f64 * 0.6,
             "glider {glider_xfer} vs baseline {base_xfer}"
         );
         // Paper §7.1: storage accesses cut by half.

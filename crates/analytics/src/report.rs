@@ -46,10 +46,7 @@ impl WorkloadReport {
 
     /// A phase's duration, if present.
     pub fn phase(&self, name: &str) -> Option<Duration> {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
     }
 
     /// Bytes that crossed the compute boundary during the run.

@@ -95,10 +95,7 @@ async fn map_partitions(
     Ok(buffers)
 }
 
-async fn validate_outputs(
-    store: &StoreClient,
-    reducers: usize,
-) -> GliderResult<(u64, u64)> {
+async fn validate_outputs(store: &StoreClient, reducers: usize) -> GliderResult<(u64, u64)> {
     let mut records = 0u64;
     let mut checksum = 0u64;
     for r in 0..reducers {
@@ -115,9 +112,8 @@ async fn validate_outputs(
             prev = Some(key);
             records += 1;
         }
-        checksum = checksum.wrapping_add(crate::text::multiset_checksum(
-            data.chunks(SORT_RECORD_LEN),
-        ));
+        checksum =
+            checksum.wrapping_add(crate::text::multiset_checksum(data.chunks(SORT_RECORD_LEN)));
     }
     Ok((records, checksum))
 }
@@ -360,9 +356,6 @@ mod tests {
         // shuffle once; no read-back, results written near data).
         let b = base.report.tier_crossing_bytes();
         let g = glider.report.tier_crossing_bytes();
-        assert!(
-            (g as f64) < (b as f64) * 0.65,
-            "glider {g} vs baseline {b}"
-        );
+        assert!((g as f64) < (b as f64) * 0.65, "glider {g} vs baseline {b}");
     }
 }

@@ -145,10 +145,7 @@ impl ByteLineScanner {
 /// Parses the leading decimal integer (up to the first `,` or the end) of
 /// a record line without allocating.
 pub fn leading_i64(line: &[u8]) -> Option<i64> {
-    let end = line
-        .iter()
-        .position(|&b| b == b',')
-        .unwrap_or(line.len());
+    let end = line.iter().position(|&b| b == b',').unwrap_or(line.len());
     if end == 0 || end > 18 {
         return None;
     }
@@ -213,10 +210,7 @@ mod tests {
                 scanner.push(chunk, |l| from_scanner.push(l.to_vec()));
             }
             scanner.finish(|l| from_scanner.push(l.to_vec()));
-            let expected: Vec<Vec<u8>> = text
-                .split(|&b| b == b'\n')
-                .map(|l| l.to_vec())
-                .collect();
+            let expected: Vec<Vec<u8>> = text.split(|&b| b == b'\n').map(|l| l.to_vec()).collect();
             assert_eq!(from_scanner, expected, "chunk size {chunk_size}");
         }
     }

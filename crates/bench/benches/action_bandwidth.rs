@@ -25,22 +25,18 @@ fn bench_bandwidth(c: &mut Criterion) {
                 .expect("harness")
         });
 
-        group.bench_with_input(
-            BenchmarkId::new("file_write", chunk_kib),
-            &chunk,
-            |b, _| {
-                b.to_async(&rt).iter(|| async {
-                    // Fresh file per iteration, deleted afterwards so the
-                    // block pool never exhausts (the delete is one
-                    // metadata op against a 4 MiB transfer).
-                    let path = format!("/bw-{}", UNIQUE.fetch_add(1, Ordering::Relaxed));
-                    let gbps = harness.file_write(&path, total).await.expect("write");
-                    let store = harness.client().await.expect("client");
-                    store.delete(&path).await.expect("cleanup");
-                    gbps
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("file_write", chunk_kib), &chunk, |b, _| {
+            b.to_async(&rt).iter(|| async {
+                // Fresh file per iteration, deleted afterwards so the
+                // block pool never exhausts (the delete is one
+                // metadata op against a 4 MiB transfer).
+                let path = format!("/bw-{}", UNIQUE.fetch_add(1, Ordering::Relaxed));
+                let gbps = harness.file_write(&path, total).await.expect("write");
+                let store = harness.client().await.expect("client");
+                store.delete(&path).await.expect("cleanup");
+                gbps
+            });
+        });
         // One action is created per configuration and reused: `null`
         // discards writes and regenerates reads, so iterations are
         // independent and slots never exhaust.

@@ -49,19 +49,31 @@ fn main() {
                     &[
                         workers.to_string(),
                         name.into(),
-                        format!("{:.3}s", outcome.report.phase("P1").unwrap_or_default().as_secs_f64()),
-                        format!("{:.3}s", outcome.report.phase("P2").unwrap_or_default().as_secs_f64()),
+                        format!(
+                            "{:.3}s",
+                            outcome.report.phase("P1").unwrap_or_default().as_secs_f64()
+                        ),
+                        format!(
+                            "{:.3}s",
+                            outcome.report.phase("P2").unwrap_or_default().as_secs_f64()
+                        ),
                         format!("{:.3}s", outcome.report.elapsed.as_secs_f64()),
                         outcome.output_records.to_string(),
                     ],
                     &widths,
                 );
             }
-            let cut = (1.0 - glider.report.elapsed.as_secs_f64() / base.report.elapsed.as_secs_f64())
+            let cut = (1.0
+                - glider.report.elapsed.as_secs_f64() / base.report.elapsed.as_secs_f64())
                 * 100.0;
             let p2_cut = (1.0
                 - glider.report.phase("P2").unwrap_or_default().as_secs_f64()
-                    / base.report.phase("P2").unwrap_or_default().as_secs_f64().max(1e-9))
+                    / base
+                        .report
+                        .phase("P2")
+                        .unwrap_or_default()
+                        .as_secs_f64()
+                        .max(1e-9))
                 * 100.0;
             println!(
                 "  w={workers}: total run-time cut {cut:.1}% (paper: 49.8% at 16), \

@@ -1,0 +1,58 @@
+//! Sweeps raw data-plane throughput (windowed `WriteBlock`/`ReadBlock`
+//! RPCs, 4 KiB → 4 MiB payloads) over TCP loopback and the `mem://`
+//! fabric, and writes `BENCH_transport.json` at the repository root.
+//!
+//! To record a before/after comparison, run the pre-change build first,
+//! note its 1 MiB TCP write number, then re-run the post-change build
+//! with `GLIDER_TRANSPORT_BASELINE_GBPS=<that number>`:
+//!
+//! ```text
+//! cargo run -p glider-bench --release --bin transport_sweep
+//! GLIDER_TRANSPORT_BASELINE_GBPS=9.4 \
+//!     cargo run -p glider-bench --release --bin transport_sweep
+//! ```
+
+use glider_bench::transport::{
+    baseline_from_env, render_transport_json, sweep_transport, SWEEP_SIZES, SWEEP_WINDOW,
+};
+use glider_util::ByteSize;
+
+fn main() {
+    let scale = glider_bench::scale_from_args();
+    let total = ((256.0 * scale) as u64).max(16) * 1024 * 1024;
+    let rt = glider_bench::runtime();
+    let mut samples = Vec::new();
+    rt.block_on(async {
+        for addr in ["127.0.0.1:0", "mem://transport-sweep"] {
+            let batch = sweep_transport(addr, SWEEP_SIZES, total, SWEEP_WINDOW)
+                .await
+                .expect("transport sweep");
+            samples.extend(batch);
+        }
+    });
+
+    println!(
+        "transport sweep — {} per size per direction, window {SWEEP_WINDOW}",
+        ByteSize::bytes(total)
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "xport", "payload", "write Gbps", "read Gbps"
+    );
+    for s in &samples {
+        println!(
+            "{:>6} {:>12} {:>12.2} {:>12.2}",
+            s.transport,
+            ByteSize::bytes(s.payload_bytes).to_string(),
+            s.write_gbps,
+            s.read_gbps
+        );
+    }
+
+    let doc = render_transport_json(&samples, baseline_from_env());
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_transport.json");
+    std::fs::write(&path, doc).expect("write BENCH_transport.json");
+    println!("wrote {}", path.display());
+}

@@ -21,10 +21,10 @@
 //! bandwidth, the interleaving ablation, transport (TCP vs RDMA-sim),
 //! operation-window and block-size sweeps.
 
+pub mod transport;
+
 use bytes::Bytes;
-use glider_core::{
-    ActionSpec, Cluster, ClusterConfig, GliderResult, MetricsRegistry, StoreClient,
-};
+use glider_core::{ActionSpec, Cluster, ClusterConfig, GliderResult, MetricsRegistry, StoreClient};
 use glider_util::stopwatch::gbps;
 use glider_util::ByteSize;
 use std::sync::Arc;

@@ -1,0 +1,289 @@
+//! Raw data-plane throughput sweeps over the framed RPC transports.
+//!
+//! Unlike the cluster-level harnesses, this module measures the wire path
+//! itself: a windowed stream of `WriteBlock`/`ReadBlock` RPCs against a
+//! sink handler, over TCP loopback and the `mem://` fabric. It backs the
+//! `transport` Criterion bench and the `transport_sweep` binary, both of
+//! which emit `BENCH_transport.json` so PRs can track data-plane
+//! throughput over time (the zero-copy/batched framing work is judged on
+//! these numbers).
+
+use bytes::Bytes;
+use futures::future::BoxFuture;
+use glider_metrics::{MetricsRegistry, Tier};
+use glider_net::rpc::{ConnCtx, RpcClient, RpcHandler};
+use glider_proto::message::{RequestBody, ResponseBody};
+use glider_proto::types::BlockId;
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use glider_util::stopwatch::gbps;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Payload sizes of the standard sweep: 4 KiB → 4 MiB.
+pub const SWEEP_SIZES: &[u64] = &[
+    4 * 1024,
+    16 * 1024,
+    64 * 1024,
+    256 * 1024,
+    1024 * 1024,
+    4 * 1024 * 1024,
+];
+
+/// Concurrent in-flight RPCs per measurement (the paper's batched-async
+/// operation window, §7.2).
+pub const SWEEP_WINDOW: usize = 16;
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct TransportSample {
+    /// `"tcp"` or `"mem"`.
+    pub transport: &'static str,
+    /// Bulk payload bytes per RPC.
+    pub payload_bytes: u64,
+    /// Client→server throughput (windowed `WriteBlock` stream).
+    pub write_gbps: f64,
+    /// Server→client throughput (windowed `ReadBlock` stream).
+    pub read_gbps: f64,
+}
+
+/// Server side of the sweep: acknowledges writes and answers reads with
+/// zero-copy slices of one preallocated blob (so the measurement sees the
+/// transport, not server-side allocation).
+struct SinkHandler {
+    blob: Bytes,
+}
+
+impl RpcHandler for SinkHandler {
+    fn handle(
+        self: Arc<Self>,
+        _ctx: ConnCtx,
+        body: RequestBody,
+    ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
+        let resp = match body {
+            RequestBody::Hello { .. } => Ok(ResponseBody::Ok),
+            RequestBody::WriteBlock { data, .. } => Ok(ResponseBody::Written {
+                n: data.len() as u64,
+            }),
+            RequestBody::ReadBlock { len, .. } => {
+                let n = (len as usize).min(self.blob.len());
+                Ok(ResponseBody::Data {
+                    seq: 0,
+                    bytes: self.blob.slice(..n),
+                    eof: true,
+                })
+            }
+            other => Err(GliderError::new(
+                ErrorCode::Unsupported,
+                format!("transport sink does not serve {}", other.op_name()),
+            )),
+        };
+        Box::pin(async move { resp })
+    }
+}
+
+/// Sweeps windowed write and read throughput for every payload size in
+/// `sizes`, moving roughly `total_per_size` bytes per direction per size.
+///
+/// `addr` selects the transport (`127.0.0.1:0` or `mem://…`).
+///
+/// # Errors
+///
+/// Propagates bind/connect/RPC failures.
+pub async fn sweep_transport(
+    addr: &str,
+    sizes: &[u64],
+    total_per_size: u64,
+    window: usize,
+) -> GliderResult<Vec<TransportSample>> {
+    let transport = if addr.starts_with(glider_net::conn::MEM_SCHEME) {
+        "mem"
+    } else {
+        "tcp"
+    };
+    let metrics = MetricsRegistry::new();
+    let listener = glider_net::conn::bind(addr).await?;
+    let max = sizes.iter().copied().max().unwrap_or(0) as usize;
+    let server = glider_net::rpc::serve(
+        listener,
+        Arc::new(SinkHandler {
+            blob: Bytes::from(vec![0x42u8; max]),
+        }),
+        metrics,
+        Tier::Storage,
+    );
+    let client = RpcClient::connect_intra_storage(server.addr()).await?;
+
+    let mut out = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let iters = (total_per_size / size).max(window as u64) as usize;
+        let payload = Bytes::from(vec![0x42u8; size as usize]);
+
+        let start = Instant::now();
+        run_window(window, iters, |_| {
+            let c = client.clone();
+            let p = payload.clone();
+            async move {
+                c.call(RequestBody::WriteBlock {
+                    block_id: BlockId(1),
+                    offset: 0,
+                    data: p,
+                })
+                .await
+                .map(|_| ())
+            }
+        })
+        .await?;
+        let write_gbps = gbps(size * iters as u64, start.elapsed());
+
+        let start = Instant::now();
+        run_window(window, iters, |_| {
+            let c = client.clone();
+            async move {
+                c.call(RequestBody::ReadBlock {
+                    block_id: BlockId(1),
+                    offset: 0,
+                    len: size,
+                })
+                .await
+                .map(|_| ())
+            }
+        })
+        .await?;
+        let read_gbps = gbps(size * iters as u64, start.elapsed());
+
+        out.push(TransportSample {
+            transport,
+            payload_bytes: size,
+            write_gbps,
+            read_gbps,
+        });
+    }
+    server.shutdown();
+    Ok(out)
+}
+
+/// Runs `iters` invocations of `op` spread over `window` concurrent
+/// worker tasks (each worker issues its share back-to-back, keeping the
+/// window full).
+async fn run_window<F, Fut>(window: usize, iters: usize, op: F) -> GliderResult<()>
+where
+    F: Fn(usize) -> Fut,
+    Fut: std::future::Future<Output = GliderResult<()>> + Send + 'static,
+{
+    let mut tasks = Vec::with_capacity(window);
+    for w in 0..window {
+        let share = iters / window + usize::from(w < iters % window);
+        let mut ops = Vec::with_capacity(share);
+        for i in 0..share {
+            ops.push(op(w * share + i));
+        }
+        tasks.push(tokio::spawn(async move {
+            for fut in ops {
+                fut.await?;
+            }
+            Ok::<(), GliderError>(())
+        }));
+    }
+    for t in tasks {
+        t.await.expect("sweep worker panicked")?;
+    }
+    Ok(())
+}
+
+/// Renders the sweep (and the 1 MiB TCP acceptance numbers) as the
+/// `BENCH_transport.json` document.
+///
+/// `baseline_1mib_tcp_write_gbps` is the pre-change number; pass it via
+/// the `GLIDER_TRANSPORT_BASELINE_GBPS` environment variable when
+/// regenerating after a data-plane change (see the `transport_sweep`
+/// binary). Without it the current number doubles as the baseline.
+pub fn render_transport_json(samples: &[TransportSample], baseline: Option<f64>) -> String {
+    let current = samples
+        .iter()
+        .find(|s| s.transport == "tcp" && s.payload_bytes == 1024 * 1024)
+        .map(|s| s.write_gbps);
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"transport\",\n  \"schema_version\": 1,\n");
+    out.push_str("  \"description\": \"windowed WriteBlock/ReadBlock throughput per payload size; Gbit/s\",\n");
+    out.push_str(&format!("  \"window\": {SWEEP_WINDOW},\n"));
+    out.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"payload_bytes\": {}, \"write_gbps\": {:.3}, \"read_gbps\": {:.3}}}{}\n",
+            s.transport,
+            s.payload_bytes,
+            s.write_gbps,
+            s.read_gbps,
+            if i + 1 == samples.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"acceptance\": {\n");
+    let fmt = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.3}"));
+    out.push_str(&format!(
+        "    \"baseline_1mib_tcp_write_gbps\": {},\n",
+        fmt(baseline.or(current))
+    ));
+    out.push_str(&format!(
+        "    \"current_1mib_tcp_write_gbps\": {},\n",
+        fmt(current)
+    ));
+    let speedup = match (baseline.or(current), current) {
+        (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+        _ => None,
+    };
+    out.push_str(&format!("    \"speedup\": {}\n  }}\n}}\n", fmt(speedup)));
+    out
+}
+
+/// Reads the baseline throughput from `GLIDER_TRANSPORT_BASELINE_GBPS`.
+pub fn baseline_from_env() -> Option<f64> {
+    std::env::var("GLIDER_TRANSPORT_BASELINE_GBPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn sweep_runs_on_both_transports() {
+        for addr in ["127.0.0.1:0", "mem://transport-sweep-test"] {
+            let samples = sweep_transport(addr, &[4096, 65536], 256 * 1024, 4)
+                .await
+                .unwrap();
+            assert_eq!(samples.len(), 2);
+            for s in &samples {
+                assert!(s.write_gbps.is_finite() && s.write_gbps > 0.0);
+                assert!(s.read_gbps.is_finite() && s.read_gbps > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let samples = vec![
+            TransportSample {
+                transport: "tcp",
+                payload_bytes: 1024 * 1024,
+                write_gbps: 10.0,
+                read_gbps: 12.0,
+            },
+            TransportSample {
+                transport: "mem",
+                payload_bytes: 4096,
+                write_gbps: 5.0,
+                read_gbps: 6.0,
+            },
+        ];
+        let doc = render_transport_json(&samples, Some(4.0));
+        assert!(doc.contains("\"baseline_1mib_tcp_write_gbps\": 4.000"));
+        assert!(doc.contains("\"current_1mib_tcp_write_gbps\": 10.000"));
+        assert!(doc.contains("\"speedup\": 2.500"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        // Without a baseline the current number stands in for it.
+        let doc = render_transport_json(&samples, None);
+        assert!(doc.contains("\"baseline_1mib_tcp_write_gbps\": 10.000"));
+        assert!(doc.contains("\"speedup\": 1.000"));
+    }
+}

@@ -242,9 +242,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                 match arg {
                     "--params" => params = take_value(&mut it, "--params")?.to_string(),
                     "--interleaved" => interleaved = true,
-                    other => {
-                        return Err(UsageError(format!("unknown mkaction flag {other:?}")))
-                    }
+                    other => return Err(UsageError(format!("unknown mkaction flag {other:?}"))),
                 }
             }
             Ok(Command::MkAction {
@@ -301,8 +299,18 @@ mod tests {
             }
         );
         assert_eq!(
-            parse(&["serve", "--data", "3", "--active", "2", "--slots", "8", "--block-size", "64KiB"])
-                .unwrap(),
+            parse(&[
+                "serve",
+                "--data",
+                "3",
+                "--active",
+                "2",
+                "--slots",
+                "8",
+                "--block-size",
+                "64KiB"
+            ])
+            .unwrap(),
             Command::Serve {
                 data: 3,
                 active: 2,

@@ -103,7 +103,10 @@ fn cli_round_trip_files_and_actions() {
     assert!(ok, "stat failed");
     let stat = String::from_utf8_lossy(&out);
     assert!(stat.contains("kind:   file"), "{stat}");
-    assert!(stat.contains(&format!("size:   {}", payload.len())), "{stat}");
+    assert!(
+        stat.contains(&format!("size:   {}", payload.len())),
+        "{stat}"
+    );
 
     // Actions through the CLI: a merge aggregation.
     let (ok, _) = glider(

@@ -136,7 +136,10 @@ impl StoreClient {
         )
         .await?;
         // Racing connects may both dial; last insert wins, both work.
-        self.inner.pool.lock().insert(addr.to_string(), conn.clone());
+        self.inner
+            .pool
+            .lock()
+            .insert(addr.to_string(), conn.clone());
         Ok(conn)
     }
 
@@ -461,9 +464,7 @@ impl StoreClient {
             let slot = action.single_block()?;
             let conn = self.data_conn(&slot.loc.addr).await?;
             match conn
-                .call_ok(RequestBody::ActionDelete {
-                    node_id: action.id,
-                })
+                .call_ok(RequestBody::ActionDelete { node_id: action.id })
                 .await
             {
                 Ok(()) => {}

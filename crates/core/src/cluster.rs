@@ -1,7 +1,7 @@
 //! In-process cluster deployment.
 
-use glider_active::{ActiveServer, ActiveServerConfig};
 use glider_actions::ActionRegistry;
+use glider_active::{ActiveServer, ActiveServerConfig};
 use glider_client::{ClientConfig, StoreClient};
 use glider_metadata::MetadataServer;
 use glider_metrics::MetricsRegistry;
@@ -206,11 +206,13 @@ impl Cluster {
 
         let mut active = Vec::with_capacity(config.active_servers);
         for i in 0..config.active_servers {
-            let mut server_config = ActiveServerConfig::new(metadata.addr(), config.slots_per_server)
-                .with_registry(Arc::clone(&config.registry))
-                .with_block_size(config.block_size);
+            let mut server_config =
+                ActiveServerConfig::new(metadata.addr(), config.slots_per_server)
+                    .with_registry(Arc::clone(&config.registry))
+                    .with_block_size(config.block_size);
             if config.rdma_sim {
-                server_config = server_config.on_rdma_sim(format!("glider-{cluster_id}-active-{i}"));
+                server_config =
+                    server_config.on_rdma_sim(format!("glider-{cluster_id}-active-{i}"));
             }
             active.push(ActiveServer::start(server_config, Arc::clone(&metrics)).await?);
         }
@@ -388,11 +390,9 @@ mod tests {
 
     #[tokio::test]
     async fn range_reads_slice_files() {
-        let cluster = Cluster::start(
-            ClusterConfig::default().with_block_size(ByteSize::kib(16)),
-        )
-        .await
-        .unwrap();
+        let cluster = Cluster::start(ClusterConfig::default().with_block_size(ByteSize::kib(16)))
+            .await
+            .unwrap();
         let store = cluster.client().await.unwrap();
         let file = store.create_file("/r").await.unwrap();
         let data: Vec<u8> = (0..60_000u32).map(|i| (i % 127) as u8).collect();
@@ -411,11 +411,9 @@ mod tests {
 
     #[tokio::test]
     async fn bag_supports_concurrent_writers() {
-        let cluster = Cluster::start(
-            ClusterConfig::default().with_block_size(ByteSize::kib(16)),
-        )
-        .await
-        .unwrap();
+        let cluster = Cluster::start(ClusterConfig::default().with_block_size(ByteSize::kib(16)))
+            .await
+            .unwrap();
         let store = cluster.client().await.unwrap();
         let bag = store.create_bag("/bag").await.unwrap();
         let mut tasks = Vec::new();
@@ -423,7 +421,9 @@ mod tests {
             let bag = bag.clone();
             tasks.push(tokio::spawn(async move {
                 let mut out = bag.output_stream().await.unwrap();
-                out.write(Bytes::from(vec![b'a' + w; 20_000])).await.unwrap();
+                out.write(Bytes::from(vec![b'a' + w; 20_000]))
+                    .await
+                    .unwrap();
                 out.close().await.unwrap()
             }));
         }
@@ -464,14 +464,14 @@ mod tests {
 
     #[tokio::test]
     async fn delete_releases_storage_utilization() {
-        let cluster = Cluster::start(
-            ClusterConfig::default().with_block_size(ByteSize::kib(16)),
-        )
-        .await
-        .unwrap();
+        let cluster = Cluster::start(ClusterConfig::default().with_block_size(ByteSize::kib(16)))
+            .await
+            .unwrap();
         let store = cluster.client().await.unwrap();
         let file = store.create_file("/todel").await.unwrap();
-        file.write_all(Bytes::from(vec![1u8; 50_000])).await.unwrap();
+        file.write_all(Bytes::from(vec![1u8; 50_000]))
+            .await
+            .unwrap();
         let peak = cluster.metrics().snapshot();
         assert_eq!(peak.storage_current, 50_000);
         store.delete("/todel").await.unwrap();
@@ -482,11 +482,9 @@ mod tests {
 
     #[tokio::test]
     async fn actions_spread_across_active_servers() {
-        let cluster = Cluster::start(
-            ClusterConfig::default().with_active(2, 2),
-        )
-        .await
-        .unwrap();
+        let cluster = Cluster::start(ClusterConfig::default().with_active(2, 2))
+            .await
+            .unwrap();
         let store = cluster.client().await.unwrap();
         for i in 0..4 {
             store
@@ -512,11 +510,9 @@ mod tests {
     async fn direct_streams_window_one_round_trip() {
         // The paper's "direct streams": one operation in flight, full
         // user control. Must be functionally identical to buffered ones.
-        let cluster = Cluster::start(
-            ClusterConfig::default().with_block_size(ByteSize::kib(16)),
-        )
-        .await
-        .unwrap();
+        let cluster = Cluster::start(ClusterConfig::default().with_block_size(ByteSize::kib(16)))
+            .await
+            .unwrap();
         let store = glider_client::StoreClient::connect(
             cluster
                 .client_config()
@@ -593,7 +589,9 @@ mod tests {
             .create_file_in_class("/on-nvme", StorageClass::nvme())
             .await
             .unwrap();
-        file.write_all(Bytes::from(vec![9u8; 10_000])).await.unwrap();
+        file.write_all(Bytes::from(vec![9u8; 10_000]))
+            .await
+            .unwrap();
         assert_eq!(file.read_all().await.unwrap().len(), 10_000);
     }
 

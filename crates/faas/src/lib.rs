@@ -363,17 +363,23 @@ mod tests {
         let max_running = Arc::new(AtomicU64::new(0));
         let (r, m) = (Arc::clone(&running), Arc::clone(&max_running));
         let out = faas
-            .map_stage("stage", FunctionConfig::default(), (0..20u64).collect(), 4, move |_ctx, x| {
-                let r = Arc::clone(&r);
-                let m = Arc::clone(&m);
-                Box::pin(async move {
-                    let now = r.fetch_add(1, Ordering::SeqCst) + 1;
-                    m.fetch_max(now, Ordering::SeqCst);
-                    tokio::time::sleep(Duration::from_millis(5)).await;
-                    r.fetch_sub(1, Ordering::SeqCst);
-                    Ok(x * x)
-                })
-            })
+            .map_stage(
+                "stage",
+                FunctionConfig::default(),
+                (0..20u64).collect(),
+                4,
+                move |_ctx, x| {
+                    let r = Arc::clone(&r);
+                    let m = Arc::clone(&m);
+                    Box::pin(async move {
+                        let now = r.fetch_add(1, Ordering::SeqCst) + 1;
+                        m.fetch_max(now, Ordering::SeqCst);
+                        tokio::time::sleep(Duration::from_millis(5)).await;
+                        r.fetch_sub(1, Ordering::SeqCst);
+                        Ok(x * x)
+                    })
+                },
+            )
             .await
             .unwrap();
         assert_eq!(out, (0..20u64).map(|x| x * x).collect::<Vec<_>>());
@@ -385,15 +391,21 @@ mod tests {
     async fn map_stage_fails_fast_on_error() {
         let faas = FaasPlatform::new();
         let err = faas
-            .map_stage("stage", FunctionConfig::default(), vec![1, 2, 3], 2, |_ctx, x| {
-                Box::pin(async move {
-                    if x == 2 {
-                        Err(GliderError::invalid("boom"))
-                    } else {
-                        Ok(x)
-                    }
-                })
-            })
+            .map_stage(
+                "stage",
+                FunctionConfig::default(),
+                vec![1, 2, 3],
+                2,
+                |_ctx, x| {
+                    Box::pin(async move {
+                        if x == 2 {
+                            Err(GliderError::invalid("boom"))
+                        } else {
+                            Ok(x)
+                        }
+                    })
+                },
+            )
             .await
             .unwrap_err();
         assert_eq!(err.code(), ErrorCode::InvalidArgument);

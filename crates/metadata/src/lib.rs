@@ -161,9 +161,7 @@ impl MetadataHandler {
         loop {
             match st.reg.allocate(&current) {
                 Ok(loc) => return Ok(loc),
-                Err(e)
-                    if matches!(e.code(), ErrorCode::OutOfCapacity | ErrorCode::NotFound) =>
-                {
+                Err(e) if matches!(e.code(), ErrorCode::OutOfCapacity | ErrorCode::NotFound) => {
                     match self.options.class_fallbacks.get(&current) {
                         // Cap hops to tolerate accidental fallback cycles.
                         Some(next) if hops < 8 => {
@@ -189,7 +187,8 @@ impl MetadataHandler {
                 capacity_blocks,
             } => {
                 let (server_id, first_block_id) =
-                    st.reg.register(kind, storage_class, addr, capacity_blocks)?;
+                    st.reg
+                        .register(kind, storage_class, addr, capacity_blocks)?;
                 Ok(ResponseBody::Registered {
                     server_id,
                     first_block_id,
@@ -206,7 +205,12 @@ impl MetadataHandler {
                 // KeyValue and Action nodes get their single block up
                 // front so clients reach storage with one metadata trip.
                 if matches!(kind, NodeKind::KeyValue | NodeKind::Action) {
-                    let class = st.ns.get(node_id).expect("just created").storage_class.clone();
+                    let class = st
+                        .ns
+                        .get(node_id)
+                        .expect("just created")
+                        .storage_class
+                        .clone();
                     let loc = match self.allocate_with_fallback(&mut st, &class) {
                         Ok(loc) => loc,
                         Err(e) => {

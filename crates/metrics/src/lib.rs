@@ -563,6 +563,9 @@ mod tests {
                 });
             }
         });
-        assert_eq!(m.snapshot().transferred(Tier::Compute, Tier::Storage), 40_000);
+        assert_eq!(
+            m.snapshot().transferred(Tier::Compute, Tier::Storage),
+            40_000
+        );
     }
 }

@@ -165,7 +165,14 @@ mod tests {
         assert_eq!(p.name(), Some("c"));
         assert_eq!(p.parent().unwrap().as_str(), "/a/b");
         assert_eq!(p.parent().unwrap().parent().unwrap().as_str(), "/a");
-        assert!(p.parent().unwrap().parent().unwrap().parent().unwrap().is_root());
+        assert!(p
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .is_root());
     }
 
     #[test]

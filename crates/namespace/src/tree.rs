@@ -155,9 +155,7 @@ impl Namespace {
         }
         match (kind, &action) {
             (NodeKind::Action, None) => {
-                return Err(GliderError::invalid(
-                    "action nodes require an action spec",
-                ))
+                return Err(GliderError::invalid("action nodes require an action spec"))
             }
             (NodeKind::Action, Some(_)) => {}
             (_, Some(_)) => {
@@ -176,7 +174,10 @@ impl Namespace {
         if !parent.kind.is_container() {
             return Err(GliderError::new(
                 ErrorCode::WrongNodeKind,
-                format!("parent {parent_path} is a {} and cannot hold children", parent.kind),
+                format!(
+                    "parent {parent_path} is a {} and cannot hold children",
+                    parent.kind
+                ),
             ));
         }
         let class = if kind == NodeKind::Action {
@@ -266,7 +267,12 @@ impl Namespace {
     /// # Errors
     ///
     /// Returns [`ErrorCode::NotFound`] if the node or block is unknown.
-    pub fn commit_block(&mut self, node_id: NodeId, block_id: BlockId, len: u64) -> GliderResult<()> {
+    pub fn commit_block(
+        &mut self,
+        node_id: NodeId,
+        block_id: BlockId,
+        len: u64,
+    ) -> GliderResult<()> {
         let node = self
             .nodes
             .get_mut(&node_id)
@@ -276,9 +282,7 @@ impl Namespace {
             .blocks
             .iter_mut()
             .find(|b| b.loc.block_id == block_id)
-            .ok_or_else(|| {
-                GliderError::not_found(format!("block {block_id} in node {node_id}"))
-            })?;
+            .ok_or_else(|| GliderError::not_found(format!("block {block_id} in node {node_id}")))?;
         extent.len = if overwrite { len } else { extent.len.max(len) };
         Ok(())
     }
@@ -401,10 +405,14 @@ mod tests {
     #[test]
     fn create_requires_existing_container_parent() {
         let mut ns = Namespace::new();
-        let err = ns.create(p("/a/b"), NodeKind::File, None, None).unwrap_err();
+        let err = ns
+            .create(p("/a/b"), NodeKind::File, None, None)
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::NotFound);
         ns.create(p("/f"), NodeKind::File, None, None).unwrap();
-        let err = ns.create(p("/f/x"), NodeKind::File, None, None).unwrap_err();
+        let err = ns
+            .create(p("/f/x"), NodeKind::File, None, None)
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::WrongNodeKind);
     }
 
@@ -426,14 +434,21 @@ mod tests {
     #[test]
     fn action_spec_rules() {
         let mut ns = Namespace::new();
-        let err = ns.create(p("/a"), NodeKind::Action, None, None).unwrap_err();
+        let err = ns
+            .create(p("/a"), NodeKind::Action, None, None)
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::InvalidArgument);
         let err = ns
             .create(p("/f"), NodeKind::File, None, Some(action_spec()))
             .unwrap_err();
         assert_eq!(err.code(), ErrorCode::InvalidArgument);
         let node = ns
-            .create(p("/a"), NodeKind::Action, Some(StorageClass::dram()), Some(action_spec()))
+            .create(
+                p("/a"),
+                NodeKind::Action,
+                Some(StorageClass::dram()),
+                Some(action_spec()),
+            )
             .unwrap();
         // Actions always land in the active class even if the caller asked
         // for another class.
@@ -459,7 +474,10 @@ mod tests {
     #[test]
     fn keyvalue_commit_can_shrink() {
         let mut ns = Namespace::new();
-        let id = ns.create(p("/kv"), NodeKind::KeyValue, None, None).unwrap().id;
+        let id = ns
+            .create(p("/kv"), NodeKind::KeyValue, None, None)
+            .unwrap()
+            .id;
         ns.add_extent(id, loc(1)).unwrap();
         ns.commit_block(id, BlockId(1), 100).unwrap();
         ns.commit_block(id, BlockId(1), 10).unwrap();
@@ -469,7 +487,10 @@ mod tests {
     #[test]
     fn single_block_nodes_reject_second_extent() {
         let mut ns = Namespace::new();
-        let kv = ns.create(p("/kv"), NodeKind::KeyValue, None, None).unwrap().id;
+        let kv = ns
+            .create(p("/kv"), NodeKind::KeyValue, None, None)
+            .unwrap()
+            .id;
         ns.add_extent(kv, loc(1)).unwrap();
         assert!(ns.add_extent(kv, loc(2)).is_err());
         let act = ns
@@ -483,7 +504,10 @@ mod tests {
     #[test]
     fn containers_hold_no_blocks() {
         let mut ns = Namespace::new();
-        let d = ns.create(p("/d"), NodeKind::Directory, None, None).unwrap().id;
+        let d = ns
+            .create(p("/d"), NodeKind::Directory, None, None)
+            .unwrap()
+            .id;
         let err = ns.add_extent(d, loc(1)).unwrap_err();
         assert_eq!(err.code(), ErrorCode::WrongNodeKind);
     }
@@ -509,7 +533,8 @@ mod tests {
             .id;
         ns.add_extent(a, loc(3)).unwrap();
         ns.create(p("/d/sub"), NodeKind::Table, None, None).unwrap();
-        ns.create(p("/d/sub/kv"), NodeKind::KeyValue, None, None).unwrap();
+        ns.create(p("/d/sub/kv"), NodeKind::KeyValue, None, None)
+            .unwrap();
         let out = ns.delete(&p("/d")).unwrap();
         assert_eq!(out.extents.len(), 2);
         assert_eq!(out.actions.len(), 1);

@@ -3,13 +3,15 @@
 //! Addresses are either `host:port` (TCP) or `mem://<name>` (the in-process
 //! RDMA-simulation transport; see the [crate docs](crate)).
 
-use bytes::BytesMut;
-use glider_proto::frame::{decode_frame, encode_frame, Frame};
+use bytes::{Bytes, BytesMut};
+use glider_proto::frame::{decode_frame, encode_frame_header, Frame};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::io::IoSlice;
+use std::ops::Range;
 use std::sync::Arc;
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::io::{AsyncReadExt, AsyncWrite, AsyncWriteExt};
 use tokio::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc;
@@ -20,6 +22,16 @@ pub const MEM_SCHEME: &str = "mem://";
 /// Bounded depth of in-memory connections, providing backpressure roughly
 /// equivalent to a TCP send window.
 const MEM_CHANNEL_DEPTH: usize = 64;
+
+/// Initial capacity of per-connection encode/receive buffers.
+const IO_BUF_INIT: usize = 64 * 1024;
+
+/// A receive buffer whose capacity outgrew this threshold is replaced with
+/// a fresh [`IO_BUF_INIT`]-sized one as soon as it drains, so one large
+/// frame does not pin its high-water allocation for the connection's
+/// lifetime (decoded payloads keep the old allocation alive only as long
+/// as the application holds them).
+const RECV_BUF_RECLAIM: usize = 256 * 1024;
 
 /// Sending half of a framed connection.
 #[derive(Debug)]
@@ -44,6 +56,10 @@ enum RxInner {
 impl FrameTx {
     /// Sends one frame, waiting for transport backpressure as needed.
     ///
+    /// On TCP the header and any bulk payload are written as separate I/O
+    /// slices in one vectored write — payload bytes are never copied into
+    /// a staging buffer.
+    ///
     /// # Errors
     ///
     /// Returns an error when the peer has closed the connection or the
@@ -52,8 +68,14 @@ impl FrameTx {
         match &mut self.0 {
             TxInner::Tcp { io, buf } => {
                 buf.clear();
-                encode_frame(&frame, buf);
-                io.write_all(buf).await?;
+                let payload = encode_frame_header(&frame, buf);
+                let header: &[u8] = buf;
+                match &payload {
+                    Some(p) if !p.is_empty() => {
+                        write_all_vectored(io, &[header, p]).await?;
+                    }
+                    _ => io.write_all(header).await?,
+                }
                 Ok(())
             }
             TxInner::Mem(tx) => tx
@@ -62,6 +84,92 @@ impl FrameTx {
                 .map_err(|_| GliderError::closed("connection")),
         }
     }
+
+    /// Sends every frame in `frames` (draining the vector), coalescing the
+    /// whole batch into a single vectored write on TCP so a burst of
+    /// queued frames costs one syscall instead of one per frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the peer has closed the connection or the
+    /// underlying I/O fails; the batch may then be partially transmitted.
+    pub async fn send_batch(&mut self, frames: &mut Vec<Frame>) -> GliderResult<()> {
+        match &mut self.0 {
+            TxInner::Tcp { io, buf } => {
+                buf.clear();
+                // All headers are staged contiguously in `buf`; payloads
+                // ride out-of-band as reference-counted `Bytes`.
+                let mut parts: Vec<(Range<usize>, Option<Bytes>)> =
+                    Vec::with_capacity(frames.len());
+                for frame in frames.drain(..) {
+                    let start = buf.len();
+                    let payload = encode_frame_header(&frame, buf);
+                    parts.push((start..buf.len(), payload));
+                }
+                let mut slices: Vec<&[u8]> = Vec::with_capacity(parts.len() * 2);
+                for (header, payload) in &parts {
+                    slices.push(&buf[header.clone()]);
+                    if let Some(p) = payload {
+                        if !p.is_empty() {
+                            slices.push(p);
+                        }
+                    }
+                }
+                write_all_vectored(io, &slices).await?;
+                Ok(())
+            }
+            TxInner::Mem(tx) => {
+                for frame in frames.drain(..) {
+                    tx.send(frame)
+                        .await
+                        .map_err(|_| GliderError::closed("connection"))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Writes every byte of `parts` to `io`, preferring one vectored write per
+/// syscall and falling back to sequential [`AsyncWriteExt::write_all`]
+/// when the transport does not support vectored I/O.
+async fn write_all_vectored(io: &mut OwnedWriteHalf, parts: &[&[u8]]) -> std::io::Result<()> {
+    if !io.is_write_vectored() {
+        for part in parts {
+            io.write_all(part).await?;
+        }
+        return Ok(());
+    }
+    // Index of the first unfinished part and the bytes of it already sent.
+    let mut idx = 0;
+    let mut offset = 0;
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(parts.len());
+    while idx < parts.len() {
+        if parts[idx].len() == offset {
+            idx += 1;
+            offset = 0;
+            continue;
+        }
+        slices.clear();
+        slices.push(IoSlice::new(&parts[idx][offset..]));
+        slices.extend(parts[idx + 1..].iter().map(|p| IoSlice::new(p)));
+        let mut written = io.write_vectored(&slices).await?;
+        if written == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        while idx < parts.len() && written > 0 {
+            let remaining = parts[idx].len() - offset;
+            if written >= remaining {
+                written -= remaining;
+                idx += 1;
+                offset = 0;
+            } else {
+                offset += written;
+                written = 0;
+            }
+        }
+    }
+    Ok(())
 }
 
 impl FrameRx {
@@ -74,6 +182,11 @@ impl FrameRx {
         match &mut self.0 {
             RxInner::Tcp { io, buf } => loop {
                 if let Some(frame) = decode_frame(buf).map_err(GliderError::from)? {
+                    // Don't let one oversized frame pin its high-water
+                    // capacity for the rest of the connection.
+                    if buf.is_empty() && buf.capacity() > RECV_BUF_RECLAIM {
+                        *buf = BytesMut::with_capacity(IO_BUF_INIT);
+                    }
                     return Ok(Some(frame));
                 }
                 let n = io.read_buf(buf).await?;
@@ -98,11 +211,11 @@ fn tcp_pair(stream: TcpStream) -> (FrameTx, FrameRx) {
     (
         FrameTx(TxInner::Tcp {
             io: w,
-            buf: BytesMut::with_capacity(64 * 1024),
+            buf: BytesMut::with_capacity(IO_BUF_INIT),
         }),
         FrameRx(RxInner::Tcp {
             io: r,
-            buf: BytesMut::with_capacity(64 * 1024),
+            buf: BytesMut::with_capacity(IO_BUF_INIT),
         }),
     )
 }
@@ -125,7 +238,10 @@ pub struct BoundListener(ListenerInner);
 
 #[derive(Debug)]
 enum ListenerInner {
-    Tcp { listener: TcpListener, addr: String },
+    Tcp {
+        listener: TcpListener,
+        addr: String,
+    },
     Mem {
         name: String,
         rx: mpsc::UnboundedReceiver<MemConn>,
@@ -241,13 +357,24 @@ pub async fn connect(addr: &str) -> GliderResult<(FrameTx, FrameRx)> {
 mod tests {
     use super::*;
     use glider_proto::message::{Request, RequestBody};
-    use glider_proto::types::PeerTier;
+    use glider_proto::types::{BlockId, PeerTier};
 
     fn hello(id: u64) -> Frame {
         Frame::Request(Request {
             id,
             body: RequestBody::Hello {
                 tier: PeerTier::Compute,
+            },
+        })
+    }
+
+    fn write_frame(id: u64, len: usize, fill: u8) -> Frame {
+        Frame::Request(Request {
+            id,
+            body: RequestBody::WriteBlock {
+                block_id: BlockId(id),
+                offset: 0,
+                data: Bytes::from(vec![fill; len]),
             },
         })
     }
@@ -288,6 +415,80 @@ mod tests {
         assert!(connect(addr).await.is_err());
         let again = bind(addr).await.unwrap();
         drop(again);
+    }
+
+    #[tokio::test]
+    async fn tcp_batch_send_round_trips() {
+        let mut listener = bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().to_string();
+        let server = tokio::spawn(async move {
+            let (_tx, mut rx) = listener.accept().await.unwrap();
+            let mut got = Vec::new();
+            for _ in 0..6 {
+                got.push(rx.recv().await.unwrap().unwrap());
+            }
+            got
+        });
+        let (mut tx, _rx) = connect(&addr).await.unwrap();
+        // Mix of payload-free, small- and large-payload frames in one batch.
+        let mut batch: Vec<Frame> = vec![
+            hello(0),
+            write_frame(1, 0, 0),
+            write_frame(2, 1, 0xAA),
+            write_frame(3, 64 * 1024, 0xBB),
+            hello(4),
+            write_frame(5, 1024 * 1024, 0xCC),
+        ];
+        let expect = batch.clone();
+        tx.send_batch(&mut batch).await.unwrap();
+        assert!(batch.is_empty(), "send_batch drains the queue");
+        assert_eq!(server.await.unwrap(), expect);
+    }
+
+    #[tokio::test]
+    async fn mem_batch_send_round_trips() {
+        let addr = "mem://conn-test-batch";
+        let mut listener = bind(addr).await.unwrap();
+        let server = tokio::spawn(async move {
+            let (_tx, mut rx) = listener.accept().await.unwrap();
+            let a = rx.recv().await.unwrap().unwrap();
+            let b = rx.recv().await.unwrap().unwrap();
+            (a, b)
+        });
+        let (mut tx, _rx) = connect(addr).await.unwrap();
+        let mut batch = vec![write_frame(1, 16, 1), hello(2)];
+        let expect = (batch[0].clone(), batch[1].clone());
+        tx.send_batch(&mut batch).await.unwrap();
+        assert_eq!(server.await.unwrap(), expect);
+    }
+
+    #[tokio::test]
+    async fn tcp_large_frame_round_trips_and_reclaims_capacity() {
+        let mut listener = bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().to_string();
+        // 8 MiB forces many partial vectored writes and grows the receive
+        // buffer far past the reclaim threshold.
+        let big = write_frame(9, 8 * 1024 * 1024, 0x5A);
+        let expect = big.clone();
+        let server = tokio::spawn(async move {
+            let (mut tx, mut rx) = listener.accept().await.unwrap();
+            let frame = rx.recv().await.unwrap().unwrap();
+            tx.send(frame).await.unwrap();
+            // After the oversized frame drained, the buffer was reset.
+            match &rx.0 {
+                RxInner::Tcp { buf, .. } => assert!(
+                    buf.capacity() <= RECV_BUF_RECLAIM,
+                    "receive buffer kept {} bytes of capacity",
+                    buf.capacity()
+                ),
+                RxInner::Mem(_) => unreachable!(),
+            }
+        });
+        let (mut tx, mut rx) = connect(&addr).await.unwrap();
+        tx.send(big).await.unwrap();
+        let echoed = rx.recv().await.unwrap().unwrap();
+        assert_eq!(echoed, expect);
+        server.await.unwrap();
     }
 
     #[tokio::test]

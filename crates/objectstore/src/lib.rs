@@ -19,9 +19,9 @@
 
 use bytes::Bytes;
 use glider_metrics::{AccessKind, MetricsRegistry, Tier};
-use glider_proto::{GliderError, GliderResult};
 #[cfg(test)]
 use glider_proto::ErrorCode;
+use glider_proto::{GliderError, GliderResult};
 use glider_util::TokenBucket;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -125,7 +125,9 @@ impl ObjectStore {
         ObjectStore {
             inner: Arc::new(Inner {
                 objects: RwLock::new(BTreeMap::new()),
-                bandwidth: config.bandwidth_mibps.map(|m| Arc::new(TokenBucket::from_mibps(m))),
+                bandwidth: config
+                    .bandwidth_mibps
+                    .map(|m| Arc::new(TokenBucket::from_mibps(m))),
                 scan_bw: config
                     .select_scan_mibps
                     .map(|m| Arc::new(TokenBucket::from_mibps(m))),
@@ -328,7 +330,10 @@ mod tests {
     async fn put_get_delete_cycle() {
         let (store, metrics) = store();
         let client = store.client(None);
-        client.put("a/b", Bytes::from_static(b"hello")).await.unwrap();
+        client
+            .put("a/b", Bytes::from_static(b"hello"))
+            .await
+            .unwrap();
         assert_eq!(&client.get("a/b").await.unwrap()[..], b"hello");
         assert_eq!(store.total_bytes(), 5);
         client.delete("a/b").await.unwrap();
@@ -358,7 +363,10 @@ mod tests {
     async fn ranged_get_clamps() {
         let (store, _metrics) = store();
         let client = store.client(None);
-        client.put("k", Bytes::from_static(b"0123456789")).await.unwrap();
+        client
+            .put("k", Bytes::from_static(b"0123456789"))
+            .await
+            .unwrap();
         assert_eq!(&client.get_range("k", 2, 3).await.unwrap()[..], b"234");
         assert_eq!(&client.get_range("k", 8, 100).await.unwrap()[..], b"89");
         assert!(client.get_range("k", 100, 5).await.unwrap().is_empty());

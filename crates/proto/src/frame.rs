@@ -1,16 +1,28 @@
 //! Length-prefixed framing of requests and responses.
 //!
-//! A frame on the wire is `[u32 total_len][u8 kind][payload]` where `kind`
-//! is 0 for requests and 1 for responses, and `total_len` counts the bytes
-//! after the length prefix.
+//! A frame on the wire is `[u32 total_len][u8 kind][header][payload]`
+//! where `kind` is 0 for requests and 1 for responses, and `total_len`
+//! counts the bytes after the length prefix. The header encodes every
+//! message field except bulk payload bytes; for payload-carrying messages
+//! (`WriteBlock`, `StreamChunk`, `Data`) the header holds only the
+//! payload's `u32` length and the payload itself rides *out-of-band* as
+//! the final `payload` bytes of the frame. [`encode_frame_parts`] exposes
+//! that split so transports can transmit header and payload as separate
+//! I/O slices (vectored writes) without copying the payload into a
+//! staging buffer, and [`decode_frame`] hands the payload back as a
+//! zero-copy slice of the receive buffer.
 
-use crate::codec::{to_bytes, CodecError, CodecResult, Wire};
+use crate::codec::{CodecError, CodecResult, Wire};
 use crate::message::{Request, Response};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Maximum frame payload accepted, protecting against corrupt length
 /// prefixes. Large transfers are chunked well below this.
 pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Initial capacity for per-frame header buffers: large enough for every
+/// fixed-shape header plus typical paths/messages without reallocating.
+pub const FRAME_HEADER_CAPACITY: usize = 256;
 
 const KIND_REQUEST: u8 = 0;
 const KIND_RESPONSE: u8 = 1;
@@ -34,21 +46,72 @@ impl Frame {
     }
 }
 
-/// Appends the encoded frame to `buf`.
-pub fn encode_frame(frame: &Frame, buf: &mut BytesMut) {
-    let (kind, body) = match frame {
-        Frame::Request(r) => (KIND_REQUEST, to_bytes(r)),
-        Frame::Response(r) => (KIND_RESPONSE, to_bytes(r)),
+impl From<Request> for Frame {
+    fn from(req: Request) -> Self {
+        Frame::Request(req)
+    }
+}
+
+impl From<Response> for Frame {
+    fn from(resp: Response) -> Self {
+        Frame::Response(resp)
+    }
+}
+
+/// Appends the frame's length prefix, kind byte and header to `buf` and
+/// returns the out-of-band bulk payload, if any.
+///
+/// The returned payload is a cheap reference-counted clone of the
+/// frame's `Bytes`; the caller must transmit it directly after the header
+/// bytes (the length prefix already accounts for it). This is the
+/// zero-copy encode path: bulk bytes are never written into `buf`.
+pub fn encode_frame_header(frame: &Frame, buf: &mut BytesMut) -> Option<Bytes> {
+    let start = buf.len();
+    buf.put_u32_le(0); // patched below once the header length is known
+    let payload = match frame {
+        Frame::Request(r) => {
+            buf.put_u8(KIND_REQUEST);
+            r.encode_header(buf);
+            r.body.payload().cloned()
+        }
+        Frame::Response(r) => {
+            buf.put_u8(KIND_RESPONSE);
+            r.encode_header(buf);
+            r.body.payload().cloned()
+        }
     };
-    buf.put_u32_le((body.len() + 1) as u32);
-    buf.put_u8(kind);
-    buf.put_slice(&body);
+    let payload_len = payload.as_ref().map_or(0, Bytes::len);
+    let total = (buf.len() - start - 4 + payload_len) as u32;
+    buf[start..start + 4].copy_from_slice(&total.to_le_bytes());
+    payload
+}
+
+/// Encodes the frame into a fresh header buffer plus its out-of-band
+/// payload (see [`encode_frame_header`]).
+pub fn encode_frame_parts(frame: &Frame) -> (BytesMut, Option<Bytes>) {
+    let mut header = BytesMut::with_capacity(FRAME_HEADER_CAPACITY);
+    let payload = encode_frame_header(frame, &mut header);
+    (header, payload)
+}
+
+/// Appends the fully assembled frame (header *and* payload) to `buf`.
+///
+/// Transports should prefer [`encode_frame_parts`] to avoid copying the
+/// payload; this helper exists for tests and single-buffer consumers.
+pub fn encode_frame(frame: &Frame, buf: &mut BytesMut) {
+    if let Some(payload) = encode_frame_header(frame, buf) {
+        buf.put_slice(&payload);
+    }
 }
 
 /// Attempts to decode one frame from the front of `buf`.
 ///
 /// Returns `Ok(None)` when `buf` does not yet hold a complete frame (the
 /// caller should read more bytes), consuming nothing in that case.
+///
+/// Decoding is zero-copy for bulk payloads: the frame body is split off
+/// `buf` and frozen, so a decoded `Bytes` payload is a reference-counted
+/// slice of the receive buffer's allocation, never a fresh copy.
 ///
 /// # Errors
 ///
@@ -156,6 +219,75 @@ mod tests {
         buf.put_u8(9);
         buf.put_u8(0);
         assert!(decode_frame(&mut buf).is_err());
+    }
+
+    #[test]
+    fn split_parts_round_trip_and_share_the_payload() {
+        let data = Bytes::from(vec![0xAB; 4096]);
+        let frame = Frame::Request(Request {
+            id: 42,
+            body: RequestBody::WriteBlock {
+                block_id: crate::types::BlockId(7),
+                offset: 16,
+                data: data.clone(),
+            },
+        });
+        let (header, payload) = encode_frame_parts(&frame);
+        // The payload is the caller's Bytes by reference, not a copy.
+        let payload = payload.expect("write carries a payload");
+        assert_eq!(payload.as_ptr(), data.as_ptr());
+        assert_eq!(payload.len(), data.len());
+        // Reassembling header + payload yields a decodable frame.
+        let mut wire = BytesMut::new();
+        wire.put_slice(&header);
+        wire.put_slice(&payload);
+        let decoded = decode_frame(&mut wire).unwrap().unwrap();
+        assert_eq!(decoded, frame);
+        assert!(wire.is_empty());
+        // And it is byte-identical to the single-buffer encoding.
+        let mut inline = BytesMut::new();
+        encode_frame(&frame, &mut inline);
+        let mut joined = BytesMut::new();
+        joined.put_slice(&header);
+        joined.put_slice(&payload);
+        assert_eq!(inline, joined);
+    }
+
+    #[test]
+    fn headerless_frames_have_no_payload_part() {
+        let (header, payload) = encode_frame_parts(&sample_request());
+        assert!(payload.is_none());
+        let mut wire = BytesMut::from(&header[..]);
+        assert_eq!(decode_frame(&mut wire).unwrap().unwrap(), sample_request());
+    }
+
+    #[test]
+    fn decoded_payload_is_a_slice_of_the_receive_buffer() {
+        let data = Bytes::from(vec![0x5A; 64 * 1024]);
+        let frame = Frame::Response(Response {
+            id: 9,
+            body: ResponseBody::Data {
+                seq: 0,
+                bytes: data,
+                eof: true,
+            },
+        });
+        let mut wire = BytesMut::new();
+        encode_frame(&frame, &mut wire);
+        let range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        let decoded = decode_frame(&mut wire).unwrap().unwrap();
+        let bytes = match decoded {
+            Frame::Response(Response {
+                body: ResponseBody::Data { bytes, .. },
+                ..
+            }) => bytes,
+            other => panic!("unexpected {other:?}"),
+        };
+        let ptr = bytes.as_ptr() as usize;
+        assert!(
+            range.contains(&ptr) && range.contains(&(ptr + bytes.len() - 1)),
+            "payload [{ptr:#x}..) escaped receive buffer {range:#x?}"
+        );
     }
 
     #[test]

@@ -8,11 +8,18 @@
 //! - a compact hand-rolled binary codec ([`codec`]),
 //! - the shared id/enum vocabulary ([`types`]),
 //! - the request/response messages of both planes ([`message`]),
-//! - length-prefixed framing ([`frame`]), and
+//! - length-prefixed framing with out-of-band bulk payloads ([`frame`]),
+//!   and
 //! - the workspace-wide error type ([`error::GliderError`]).
 //!
 //! The codec is deliberately dependency-free (no serde): the protocol is an
 //! artifact of the system being reproduced and is kept explicit.
+//!
+//! Bulk `Bytes` payloads (`WriteBlock`, `StreamChunk`, `Data`) are framed
+//! *out-of-band*: headers carry only the payload length and transports
+//! send the payload as its own I/O slice ([`frame::encode_frame_parts`]),
+//! so the hot data path never copies payload bytes into an encode buffer
+//! and decodes them as zero-copy slices of the receive buffer.
 //!
 //! # Examples
 //!

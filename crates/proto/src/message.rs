@@ -217,10 +217,27 @@ impl RequestBody {
             _ => 0,
         }
     }
+
+    /// The bulk payload this request carries out-of-band, if any.
+    ///
+    /// Payload bytes are always the *last* bytes of a frame: the header
+    /// encodes only their length, so transports can transmit the payload
+    /// by reference (vectored I/O) without staging it in an encode buffer.
+    pub fn payload(&self) -> Option<&Bytes> {
+        match self {
+            RequestBody::WriteBlock { data, .. } => Some(data),
+            RequestBody::StreamChunk { data, .. } => Some(data),
+            _ => None,
+        }
+    }
 }
 
-impl Wire for Request {
-    fn encode(&self, buf: &mut BytesMut) {
+impl Request {
+    /// Encodes everything except the bulk payload bytes; where the payload
+    /// would sit, only its `u32` length is written. The payload itself
+    /// (see [`RequestBody::payload`]) travels out-of-band and is appended
+    /// verbatim as the final bytes of the frame.
+    pub fn encode_header(&self, buf: &mut BytesMut) {
         self.id.encode(buf);
         self.body.opcode().encode(buf);
         match &self.body {
@@ -267,7 +284,7 @@ impl Wire for Request {
             } => {
                 block_id.encode(buf);
                 offset.encode(buf);
-                data.encode(buf);
+                (data.len() as u32).encode(buf);
             }
             RequestBody::ReadBlock {
                 block_id,
@@ -300,13 +317,22 @@ impl Wire for Request {
             } => {
                 stream_id.encode(buf);
                 seq.encode(buf);
-                data.encode(buf);
+                (data.len() as u32).encode(buf);
             }
             RequestBody::StreamFetch { stream_id, max_len } => {
                 stream_id.encode(buf);
                 max_len.encode(buf);
             }
             RequestBody::StreamClose { stream_id } => stream_id.encode(buf),
+        }
+    }
+}
+
+impl Wire for Request {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.encode_header(buf);
+        if let Some(data) = self.body.payload() {
+            buf.extend_from_slice(data);
         }
     }
 
@@ -502,10 +528,24 @@ impl ResponseBody {
             _ => 0,
         }
     }
+
+    /// The bulk payload this response carries out-of-band, if any.
+    ///
+    /// See [`RequestBody::payload`] for the out-of-band rule.
+    pub fn payload(&self) -> Option<&Bytes> {
+        match self {
+            ResponseBody::Data { bytes, .. } => Some(bytes),
+            _ => None,
+        }
+    }
 }
 
-impl Wire for Response {
-    fn encode(&self, buf: &mut BytesMut) {
+impl Response {
+    /// Encodes everything except the bulk payload bytes; where the payload
+    /// would sit, only its `u32` length is written (the payload field of
+    /// `Data` is therefore ordered *after* `eof` on the wire). The payload
+    /// itself travels out-of-band as the final bytes of the frame.
+    pub fn encode_header(&self, buf: &mut BytesMut) {
         self.id.encode(buf);
         self.body.opcode().encode(buf);
         match &self.body {
@@ -532,14 +572,23 @@ impl Wire for Response {
             ResponseBody::StreamOpened { stream_id } => stream_id.encode(buf),
             ResponseBody::Data { seq, bytes, eof } => {
                 seq.encode(buf);
-                bytes.encode(buf);
                 eof.encode(buf);
+                (bytes.len() as u32).encode(buf);
             }
             ResponseBody::Written { n } => n.encode(buf),
             ResponseBody::Error { code, message } => {
                 code.encode(buf);
                 message.encode(buf);
             }
+        }
+    }
+}
+
+impl Wire for Response {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.encode_header(buf);
+        if let Some(bytes) = self.body.payload() {
+            buf.extend_from_slice(bytes);
         }
     }
 
@@ -563,11 +612,12 @@ impl Wire for Response {
             6 => ResponseBody::StreamOpened {
                 stream_id: StreamId::decode(buf)?,
             },
-            7 => ResponseBody::Data {
-                seq: u64::decode(buf)?,
-                bytes: Bytes::decode(buf)?,
-                eof: bool::decode(buf)?,
-            },
+            7 => {
+                let seq = u64::decode(buf)?;
+                let eof = bool::decode(buf)?;
+                let bytes = Bytes::decode(buf)?;
+                ResponseBody::Data { seq, bytes, eof }
+            }
             8 => ResponseBody::Written {
                 n: u64::decode(buf)?,
             },
@@ -632,9 +682,7 @@ mod tests {
         round_trip_req(RequestBody::ListChildren {
             path: "/".to_string(),
         });
-        round_trip_req(RequestBody::AddBlock {
-            node_id: NodeId(1),
-        });
+        round_trip_req(RequestBody::AddBlock { node_id: NodeId(1) });
         round_trip_req(RequestBody::CommitBlock {
             node_id: NodeId(1),
             block_id: BlockId(2),
@@ -668,9 +716,7 @@ mod tests {
                 params: String::new(),
             },
         });
-        round_trip_req(RequestBody::ActionDelete {
-            node_id: NodeId(4),
-        });
+        round_trip_req(RequestBody::ActionDelete { node_id: NodeId(4) });
         round_trip_req(RequestBody::StreamOpen {
             node_id: NodeId(4),
             dir: StreamDir::Read,
@@ -774,6 +820,54 @@ mod tests {
         };
         assert_eq!(d.payload_len(), 3);
         assert_eq!(ResponseBody::Ok.payload_len(), 0);
+    }
+
+    #[test]
+    fn header_plus_payload_equals_inline_encoding() {
+        use crate::codec::Wire;
+        use bytes::BufMut;
+
+        let req = Request {
+            id: 3,
+            body: RequestBody::WriteBlock {
+                block_id: BlockId(1),
+                offset: 8,
+                data: Bytes::from_static(b"out-of-band"),
+            },
+        };
+        let mut header = BytesMut::new();
+        req.encode_header(&mut header);
+        header.put_slice(req.body.payload().unwrap());
+        let mut full = BytesMut::new();
+        req.encode(&mut full);
+        assert_eq!(header, full);
+
+        let resp = Response {
+            id: 3,
+            body: ResponseBody::Data {
+                seq: 1,
+                bytes: Bytes::from_static(b"resp-payload"),
+                eof: true,
+            },
+        };
+        let mut header = BytesMut::new();
+        resp.encode_header(&mut header);
+        header.put_slice(resp.body.payload().unwrap());
+        let mut full = BytesMut::new();
+        resp.encode(&mut full);
+        assert_eq!(header, full);
+
+        // Non-payload bodies have no out-of-band part.
+        assert_eq!(
+            RequestBody::ReadBlock {
+                block_id: BlockId(1),
+                offset: 0,
+                len: 4,
+            }
+            .payload(),
+            None
+        );
+        assert_eq!(ResponseBody::Ok.payload(), None);
     }
 
     #[test]

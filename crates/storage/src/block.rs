@@ -38,6 +38,12 @@ pub struct BlockStore {
 struct Block {
     data: Vec<u8>,
     high_water: usize,
+    /// Frozen copy of `data`, built lazily on read and invalidated by any
+    /// write. While valid, reads are served as zero-copy `Bytes` slices of
+    /// this one allocation — the common write-once/read-many block goes
+    /// through a single copy total, and the response path (out-of-band
+    /// frame payloads) sends the slice straight to the socket.
+    snapshot: Option<Bytes>,
 }
 
 impl BlockStore {
@@ -102,18 +108,27 @@ impl BlockStore {
         let block = blocks.entry(block_id).or_insert_with(|| Block {
             data: Vec::new(),
             high_water: 0,
+            snapshot: None,
         });
         let end = end as usize;
         if block.data.len() < end {
             block.data.resize(end, 0);
         }
         block.data[offset as usize..end].copy_from_slice(&data);
+        block.snapshot = None;
         let grew = end.saturating_sub(block.high_water) as u64;
         block.high_water = block.high_water.max(end);
         Ok(grew)
     }
 
     /// Reads `len` bytes at `offset`, zero-filling past the written range.
+    ///
+    /// Reads inside the written range return shared `Bytes` slices of a
+    /// per-block frozen snapshot (refreshed after each write): repeated
+    /// reads of a settled block allocate and copy nothing, and the slice
+    /// travels to the client as an out-of-band frame payload without any
+    /// further copy. Only reads extending past the written range fall back
+    /// to a zero-filled fresh buffer.
     ///
     /// # Errors
     ///
@@ -133,17 +148,25 @@ impl BlockStore {
                 ),
             ));
         }
-        let blocks = self.blocks.lock();
-        let mut out = vec![0u8; len as usize];
-        if let Some(block) = blocks.get(&block_id) {
-            let have = block.data.len() as u64;
-            if offset < have {
-                let copy_end = end.min(have) as usize;
+        let mut blocks = self.blocks.lock();
+        if let Some(block) = blocks.get_mut(&block_id) {
+            if end as usize <= block.data.len() {
+                let snapshot = block
+                    .snapshot
+                    .get_or_insert_with(|| Bytes::copy_from_slice(&block.data));
+                return Ok(snapshot.slice(offset as usize..end as usize));
+            }
+            if (offset as usize) < block.data.len() {
+                // Straddles the written range: copy what exists, zero-fill
+                // the tail.
+                let mut out = vec![0u8; len as usize];
+                let copy_end = block.data.len();
                 let n = copy_end - offset as usize;
                 out[..n].copy_from_slice(&block.data[offset as usize..copy_end]);
+                return Ok(Bytes::from(out));
             }
         }
-        Ok(Bytes::from(out))
+        Ok(Bytes::from(vec![0u8; len as usize]))
     }
 
     /// Drops the given blocks, returning the total bytes released
@@ -182,7 +205,11 @@ mod tests {
     #[test]
     fn write_then_read_round_trips() {
         let s = store();
-        assert_eq!(s.write(BlockId(10), 0, Bytes::from_static(b"hello")).unwrap(), 5);
+        assert_eq!(
+            s.write(BlockId(10), 0, Bytes::from_static(b"hello"))
+                .unwrap(),
+            5
+        );
         assert_eq!(&s.read(BlockId(10), 0, 5).unwrap()[..], b"hello");
         assert_eq!(&s.read(BlockId(10), 1, 3).unwrap()[..], b"ell");
     }
@@ -199,7 +226,9 @@ mod tests {
     fn foreign_blocks_rejected() {
         let s = store();
         assert_eq!(
-            s.write(BlockId(9), 0, Bytes::from_static(b"a")).unwrap_err().code(),
+            s.write(BlockId(9), 0, Bytes::from_static(b"a"))
+                .unwrap_err()
+                .code(),
             ErrorCode::NotFound
         );
         assert_eq!(
@@ -213,26 +242,68 @@ mod tests {
         let s = store();
         assert!(s.write(BlockId(10), 99, Bytes::from_static(b"ab")).is_err());
         assert!(s.read(BlockId(10), 50, 51).is_err());
-        assert!(s.write(BlockId(10), u64::MAX, Bytes::from_static(b"a")).is_err());
+        assert!(s
+            .write(BlockId(10), u64::MAX, Bytes::from_static(b"a"))
+            .is_err());
         // Exactly filling the block is fine.
         assert!(s.write(BlockId(10), 0, Bytes::from(vec![1u8; 100])).is_ok());
     }
 
     #[test]
+    fn reads_share_one_snapshot_until_a_write() {
+        let s = store();
+        s.write(BlockId(10), 0, Bytes::from_static(b"0123456789"))
+            .unwrap();
+        let a = s.read(BlockId(10), 0, 10).unwrap();
+        let b = s.read(BlockId(10), 2, 5).unwrap();
+        assert_eq!(&b[..], &a[2..7]);
+        // Both reads are zero-copy slices of one shared snapshot.
+        assert_eq!(a.as_ptr() as usize + 2, b.as_ptr() as usize);
+        // A write invalidates the snapshot without disturbing old readers.
+        s.write(BlockId(10), 0, Bytes::from_static(b"X")).unwrap();
+        let c = s.read(BlockId(10), 0, 10).unwrap();
+        assert_eq!(&c[..], b"X123456789");
+        assert_ne!(c.as_ptr(), a.as_ptr());
+        assert_eq!(&a[..], b"0123456789");
+    }
+
+    #[test]
+    fn reads_past_the_written_range_zero_fill() {
+        let s = store();
+        s.write(BlockId(10), 0, Bytes::from_static(b"abc")).unwrap();
+        // Fully inside, straddling, and fully beyond the written range.
+        assert_eq!(&s.read(BlockId(10), 1, 2).unwrap()[..], b"bc");
+        assert_eq!(&s.read(BlockId(10), 2, 4).unwrap()[..], &[b'c', 0, 0, 0]);
+        assert_eq!(&s.read(BlockId(10), 50, 3).unwrap()[..], &[0, 0, 0]);
+    }
+
+    #[test]
     fn high_water_accounting() {
         let s = store();
-        assert_eq!(s.write(BlockId(10), 0, Bytes::from_static(b"abcde")).unwrap(), 5);
+        assert_eq!(
+            s.write(BlockId(10), 0, Bytes::from_static(b"abcde"))
+                .unwrap(),
+            5
+        );
         // Overwrite inside the high-water mark allocates nothing new.
-        assert_eq!(s.write(BlockId(10), 1, Bytes::from_static(b"XY")).unwrap(), 0);
+        assert_eq!(
+            s.write(BlockId(10), 1, Bytes::from_static(b"XY")).unwrap(),
+            0
+        );
         // Extending allocates only the delta.
-        assert_eq!(s.write(BlockId(10), 3, Bytes::from_static(b"12345")).unwrap(), 3);
+        assert_eq!(
+            s.write(BlockId(10), 3, Bytes::from_static(b"12345"))
+                .unwrap(),
+            3
+        );
         assert_eq!(s.used_bytes(), 8);
     }
 
     #[test]
     fn free_releases_high_water() {
         let s = store();
-        s.write(BlockId(10), 0, Bytes::from_static(b"12345")).unwrap();
+        s.write(BlockId(10), 0, Bytes::from_static(b"12345"))
+            .unwrap();
         s.write(BlockId(11), 0, Bytes::from_static(b"12")).unwrap();
         assert_eq!(s.used_bytes(), 7);
         assert_eq!(s.free(&[BlockId(10), BlockId(99)]), 5);

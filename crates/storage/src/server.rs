@@ -164,7 +164,11 @@ impl RpcHandler for DataHandler {
                 } => {
                     self.tier.charge_read(len).await;
                     let bytes = self.store.read(block_id, offset, len)?;
-                    Ok(ResponseBody::Data { seq: 0, bytes, eof: true })
+                    Ok(ResponseBody::Data {
+                        seq: 0,
+                        bytes,
+                        eof: true,
+                    })
                 }
                 RequestBody::FreeBlocks { block_ids } => {
                     let released = self.store.free(&block_ids);
@@ -189,7 +193,12 @@ mod tests {
     use glider_metadata::MetadataServer;
     use glider_proto::types::{BlockId, NodeKind, PeerTier};
 
-    async fn setup() -> (MetadataServer, StorageServer, RpcClient, Arc<MetricsRegistry>) {
+    async fn setup() -> (
+        MetadataServer,
+        StorageServer,
+        RpcClient,
+        Arc<MetricsRegistry>,
+    ) {
         let metrics = MetricsRegistry::new();
         let meta = MetadataServer::start("127.0.0.1:0", Arc::clone(&metrics))
             .await

@@ -146,7 +146,10 @@ mod tests {
         b.acquire(2_000_000).await; // debt: must wait ~2s before next
         b.acquire(1).await;
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_millis(1900), "elapsed {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(1900),
+            "elapsed {elapsed:?}"
+        );
     }
 
     #[tokio::test]

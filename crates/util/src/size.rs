@@ -199,7 +199,10 @@ mod tests {
         assert_eq!("64 KiB".parse::<ByteSize>().unwrap(), ByteSize::kib(64));
         assert_eq!("4MiB".parse::<ByteSize>().unwrap(), ByteSize::mib(4));
         assert_eq!("2 g".parse::<ByteSize>().unwrap(), ByteSize::gib(2));
-        assert_eq!("1.5 KiB".parse::<ByteSize>().unwrap(), ByteSize::bytes(1536));
+        assert_eq!(
+            "1.5 KiB".parse::<ByteSize>().unwrap(),
+            ByteSize::bytes(1536)
+        );
     }
 
     #[test]

@@ -60,10 +60,7 @@ impl Stopwatch {
 
     /// The duration of the lap named `name`, if recorded.
     pub fn lap_named(&self, name: &str) -> Option<Duration> {
-        self.laps
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
+        self.laps.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
     }
 }
 

@@ -13,11 +13,38 @@ use rand::{Rng, SeedableRng};
 
 /// A small vocabulary used to synthesize prose-like lines.
 const VOCAB: &[&str] = &[
-    "serverless", "function", "storage", "ephemeral", "data", "stream",
-    "action", "stateful", "compute", "near", "shuffle", "aggregate", "block",
-    "namespace", "metadata", "kernel", "tenant", "elastic", "pipeline",
-    "transfer", "network", "latency", "bandwidth", "worker", "stage",
-    "reduce", "map", "sort", "genome", "variant", "cloud", "object",
+    "serverless",
+    "function",
+    "storage",
+    "ephemeral",
+    "data",
+    "stream",
+    "action",
+    "stateful",
+    "compute",
+    "near",
+    "shuffle",
+    "aggregate",
+    "block",
+    "namespace",
+    "metadata",
+    "kernel",
+    "tenant",
+    "elastic",
+    "pipeline",
+    "transfer",
+    "network",
+    "latency",
+    "bandwidth",
+    "worker",
+    "stage",
+    "reduce",
+    "map",
+    "sort",
+    "genome",
+    "variant",
+    "cloud",
+    "object",
 ];
 
 /// Marker token injected into lines that should pass the Table 2 filter.
@@ -239,7 +266,9 @@ mod tests {
         let mut g = RecordGen::new(9);
         let data = g.generate_records(8);
         for rec in data.chunks(SORT_RECORD_LEN) {
-            assert!(rec[SORT_KEY_LEN..].iter().all(|&b| (b' '..=b'~').contains(&b)));
+            assert!(rec[SORT_KEY_LEN..]
+                .iter()
+                .all(|&b| (b' '..=b'~').contains(&b)));
         }
     }
 }

@@ -42,9 +42,16 @@ async fn main() -> GliderResult<()> {
     println!(
         "ranges phase: baseline {:.3}s (SELECT re-reads {}) vs glider {:.3}s (samples \
          already at the actions)",
-        base.report.phase("ranges").unwrap_or_default().as_secs_f64(),
+        base.report
+            .phase("ranges")
+            .unwrap_or_default()
+            .as_secs_f64(),
         human(base.report.metrics.object_scanned),
-        glider.report.phase("ranges").unwrap_or_default().as_secs_f64(),
+        glider
+            .report
+            .phase("ranges")
+            .unwrap_or_default()
+            .as_secs_f64(),
     );
     println!(
         "tier-crossing data: baseline {} vs glider {}",

@@ -25,7 +25,10 @@ async fn main() -> GliderResult<()> {
 
     let kv = store.create_kv("/job/progress").await?;
     kv.put(Bytes::from_static(b"stage-1-done")).await?;
-    println!("key-value /job/progress = {:?}", String::from_utf8_lossy(&kv.get().await?));
+    println!(
+        "key-value /job/progress = {:?}",
+        String::from_utf8_lossy(&kv.get().await?)
+    );
 
     banner("a storage action: stateful near-data computation");
     // `counter` is a tiny built-in action: it counts every byte written

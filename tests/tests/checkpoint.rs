@@ -19,7 +19,10 @@ async fn checkpointed_action_survives_object_replacement() {
         .write_all(Bytes::from_static(b"1,10\n2,20\n"))
         .await
         .unwrap();
-    action.write_all(Bytes::from_static(b"1,5\n")).await.unwrap();
+    action
+        .write_all(Bytes::from_static(b"1,5\n"))
+        .await
+        .unwrap();
 
     // Simulate the action object being lost (server reclaim / failure):
     // remove the object, then re-instantiate the same definition.
@@ -35,7 +38,10 @@ async fn checkpointed_action_survives_object_replacement() {
     assert_eq!(String::from_utf8(restored).unwrap(), "1,15\n2,20\n");
 
     // And it keeps aggregating on top of the restored state.
-    action.write_all(Bytes::from_static(b"2,1\n")).await.unwrap();
+    action
+        .write_all(Bytes::from_static(b"2,1\n"))
+        .await
+        .unwrap();
     let after = action.read_all().await.unwrap();
     assert_eq!(String::from_utf8(after).unwrap(), "1,15\n2,21\n");
 }
@@ -48,7 +54,10 @@ async fn checkpoint_reflects_only_completed_write_barriers() {
     let action = store.create_action("/agg", ckpt_spec()).await.unwrap();
 
     // A closed stream is checkpointed...
-    action.write_all(Bytes::from_static(b"7,7\n")).await.unwrap();
+    action
+        .write_all(Bytes::from_static(b"7,7\n"))
+        .await
+        .unwrap();
     // ...an open stream is not (drop the writer without close).
     let mut dangling = action.output_stream().await.unwrap();
     dangling.write(Bytes::from_static(b"9,9\n")).await.unwrap();

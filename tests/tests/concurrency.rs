@@ -29,7 +29,10 @@ async fn serialized_action_accumulates_consistently_under_contention() {
         tasks.push(tokio::spawn(async move {
             let action = store.lookup_action("/hot").await.unwrap();
             for _ in 0..10 {
-                action.write_all(Bytes::from(vec![1u8; 1000])).await.unwrap();
+                action
+                    .write_all(Bytes::from(vec![1u8; 1000]))
+                    .await
+                    .unwrap();
             }
         }));
     }
@@ -57,7 +60,9 @@ async fn interleaved_merge_is_exact_under_heavy_concurrency() {
             let action = store.lookup_action("/merge").await.unwrap();
             let mut out = action.output_stream().await.unwrap();
             for k in 0..per_writer {
-                out.write_all(format!("{k},{w}\n").as_bytes()).await.unwrap();
+                out.write_all(format!("{k},{w}\n").as_bytes())
+                    .await
+                    .unwrap();
             }
             out.close().await.unwrap();
         }));

@@ -73,7 +73,10 @@ async fn action_state_survives_many_operations_until_recreate() {
         .await
         .unwrap();
     for _ in 0..10 {
-        action.write_all(Bytes::from_static(b"xxxxx")).await.unwrap();
+        action
+            .write_all(Bytes::from_static(b"xxxxx"))
+            .await
+            .unwrap();
     }
     assert_eq!(action.read_all().await.unwrap(), b"50");
 
@@ -125,7 +128,10 @@ async fn two_independent_clusters_coexist() {
     let sa = a.client().await.unwrap();
     let sb = b.client().await.unwrap();
     sa.create_file("/x").await.unwrap();
-    assert_eq!(sb.lookup("/x").await.unwrap_err().code(), ErrorCode::NotFound);
+    assert_eq!(
+        sb.lookup("/x").await.unwrap_err().code(),
+        ErrorCode::NotFound
+    );
     sb.create_file("/x").await.unwrap();
     a.shutdown();
     // Cluster b still works after a is gone.

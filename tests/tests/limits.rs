@@ -25,10 +25,9 @@ async fn throttled_function_transfers_slower() {
             client_config.throttle = ctx.throttle.clone();
             Box::pin(async move {
                 let store = StoreClient::connect(client_config).await?;
-                let file = store
-                    .create_file(&format!("/t-{run}-{}", ctx.name))
+                let file = store.create_file(&format!("/t-{run}-{}", ctx.name)).await?;
+                file.write_all(Bytes::from(vec![0u8; payload as usize]))
                     .await?;
-                file.write_all(Bytes::from(vec![0u8; payload as usize])).await?;
                 Ok::<(), GliderError>(())
             })
         })
@@ -119,17 +118,16 @@ async fn timed_out_function_leaves_consistent_storage() {
 async fn hundreds_of_functions_against_one_cluster() {
     // A smoke test in the spirit of the paper's 700-function run.
     let cluster = Cluster::start(
-        ClusterConfig::default().with_data(2, 1024).with_active(2, 16),
+        ClusterConfig::default()
+            .with_data(2, 1024)
+            .with_active(2, 16),
     )
     .await
     .unwrap();
     let faas = Arc::new(FaasPlatform::new());
     let store = cluster.client().await.unwrap();
     store
-        .create_action(
-            "/sum",
-            glider_core::ActionSpec::new("counter", true),
-        )
+        .create_action("/sum", glider_core::ActionSpec::new("counter", true))
         .await
         .unwrap();
     let client_config = cluster.client_config();
@@ -143,7 +141,9 @@ async fn hundreds_of_functions_against_one_cluster() {
             Box::pin(async move {
                 let store = StoreClient::connect(client_config).await?;
                 let action = store.lookup_action("/sum").await?;
-                action.write_all(Bytes::from(vec![0u8; (i % 7 + 1) as usize * 100])).await?;
+                action
+                    .write_all(Bytes::from(vec![0u8; (i % 7 + 1) as usize * 100]))
+                    .await?;
                 Ok::<(), GliderError>(())
             })
         },

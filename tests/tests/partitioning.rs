@@ -16,7 +16,9 @@ async fn paths_spread_across_partitions_and_round_trip() {
     for i in 0..12 {
         store.create_dir(&format!("/job-{i}")).await.unwrap();
         let file = store.create_file(&format!("/job-{i}/data")).await.unwrap();
-        file.write_all(Bytes::from(vec![i as u8; 10_000])).await.unwrap();
+        file.write_all(Bytes::from(vec![i as u8; 10_000]))
+            .await
+            .unwrap();
     }
     // Every partition got at least one subtree (12 keys over 3 partitions
     // — a pathological hash would fail this, FNV does not for these keys).
@@ -60,13 +62,13 @@ async fn actions_work_within_their_partition() {
     for name in ["alpha", "beta", "gamma", "delta"] {
         store.create_dir(&format!("/{name}")).await.unwrap();
         let action = store
-            .create_action(
-                &format!("/{name}/merge"),
-                ActionSpec::new("merge", true),
-            )
+            .create_action(&format!("/{name}/merge"), ActionSpec::new("merge", true))
             .await
             .unwrap();
-        action.write_all(Bytes::from_static(b"1,1\n")).await.unwrap();
+        action
+            .write_all(Bytes::from_static(b"1,1\n"))
+            .await
+            .unwrap();
         assert_eq!(action.read_all().await.unwrap(), b"1,1\n");
     }
     // Deleting a subtree cleans up on its own partition only.

@@ -3,7 +3,7 @@
 use bytes::{Bytes, BytesMut};
 use glider_core::namespace::{Namespace, NodePath};
 use glider_core::proto::codec::{from_bytes, to_bytes};
-use glider_core::proto::frame::{decode_frame, encode_frame, Frame};
+use glider_core::proto::frame::{decode_frame, encode_frame, encode_frame_parts, Frame};
 use glider_core::proto::message::{Request, RequestBody, Response, ResponseBody};
 use glider_core::proto::types::{
     ActionSpec, BlockId, NodeId, NodeKind, PeerTier, ServerId, ServerKind, StorageClass, StreamDir,
@@ -29,16 +29,19 @@ fn arb_node_kind() -> impl Strategy<Value = NodeKind> {
 }
 
 fn arb_action_spec() -> impl Strategy<Value = ActionSpec> {
-    ("[a-z]{1,12}", any::<bool>(), "[a-z0-9=;/]{0,40}").prop_map(|(name, il, params)| {
-        ActionSpec::new(name, il).with_params(params)
-    })
+    ("[a-z]{1,12}", any::<bool>(), "[a-z0-9=;/]{0,40}")
+        .prop_map(|(name, il, params)| ActionSpec::new(name, il).with_params(params))
 }
 
 fn arb_request_body() -> impl Strategy<Value = RequestBody> {
     prop_oneof![
         prop_oneof![Just(PeerTier::Compute), Just(PeerTier::Storage)]
             .prop_map(|tier| RequestBody::Hello { tier }),
-        ("(/[a-z0-9]{1,8}){1,4}", arb_node_kind(), proptest::option::of(arb_action_spec()))
+        (
+            "(/[a-z0-9]{1,8}){1,4}",
+            arb_node_kind(),
+            proptest::option::of(arb_action_spec())
+        )
             .prop_map(|(path, kind, action)| RequestBody::CreateNode {
                 path,
                 kind,
@@ -57,19 +60,26 @@ fn arb_request_body() -> impl Strategy<Value = RequestBody> {
         }),
         (any::<bool>(), "[a-z]{1,8}", any::<u64>()).prop_map(|(active, addr, cap)| {
             RequestBody::RegisterServer {
-                kind: if active { ServerKind::Active } else { ServerKind::Data },
+                kind: if active {
+                    ServerKind::Active
+                } else {
+                    ServerKind::Data
+                },
                 storage_class: StorageClass::from("dram"),
                 addr,
                 capacity_blocks: cap,
             }
         }),
-        (any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256)).prop_map(
-            |(b, off, data)| RequestBody::WriteBlock {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
+            .prop_map(|(b, off, data)| RequestBody::WriteBlock {
                 block_id: BlockId(b),
                 offset: off,
                 data: Bytes::from(data),
-            }
-        ),
+            }),
         (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(b, off, len)| {
             RequestBody::ReadBlock {
                 block_id: BlockId(b),
@@ -79,15 +89,22 @@ fn arb_request_body() -> impl Strategy<Value = RequestBody> {
         }),
         (any::<u64>(), any::<bool>()).prop_map(|(n, read)| RequestBody::StreamOpen {
             node_id: NodeId(n),
-            dir: if read { StreamDir::Read } else { StreamDir::Write },
+            dir: if read {
+                StreamDir::Read
+            } else {
+                StreamDir::Write
+            },
         }),
-        (any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256)).prop_map(
-            |(s, seq, data)| RequestBody::StreamChunk {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
+            .prop_map(|(s, seq, data)| RequestBody::StreamChunk {
                 stream_id: StreamId(s),
                 seq,
                 data: Bytes::from(data),
-            }
-        ),
+            }),
         (any::<u64>(), any::<u64>()).prop_map(|(s, max)| RequestBody::StreamFetch {
             stream_id: StreamId(s),
             max_len: max,
@@ -109,18 +126,19 @@ fn arb_response_body() -> impl Strategy<Value = ResponseBody> {
         any::<u64>().prop_map(|s| ResponseBody::StreamOpened {
             stream_id: StreamId(s),
         }),
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..512), any::<bool>()).prop_map(
-            |(seq, data, eof)| ResponseBody::Data {
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..512),
+            any::<bool>()
+        )
+            .prop_map(|(seq, data, eof)| ResponseBody::Data {
                 seq,
                 bytes: Bytes::from(data),
                 eof,
-            }
-        ),
+            }),
         any::<u64>().prop_map(|n| ResponseBody::Written { n }),
-        (any::<u16>(), "[ -~]{0,40}").prop_map(|(code, message)| ResponseBody::Error {
-            code,
-            message,
-        }),
+        (any::<u16>(), "[ -~]{0,40}")
+            .prop_map(|(code, message)| ResponseBody::Error { code, message }),
     ]
 }
 
@@ -167,6 +185,127 @@ proptest! {
         // Display rounds to 2 decimals above 1 MiB: allow 1% error.
         let err = parsed.as_u64().abs_diff(n);
         prop_assert!(err as f64 <= (n as f64) * 0.01 + 8.0, "{n} vs {}", parsed.as_u64());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Split framing: header/payload parts reassemble at any cut point, match the
+// inline encoding byte-for-byte, and stay zero-copy on both ends.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn split_encoding_matches_inline_for_requests(
+        id in any::<u64>(),
+        body in arb_request_body(),
+    ) {
+        let frame = Frame::Request(Request { id, body });
+        let (header, payload) = encode_frame_parts(&frame);
+        let mut joined = BytesMut::from(&header[..]);
+        if let Some(p) = &payload {
+            joined.extend_from_slice(p);
+        }
+        let mut inline = BytesMut::new();
+        encode_frame(&frame, &mut inline);
+        prop_assert_eq!(&joined, &inline);
+        let decoded = decode_frame(&mut joined).unwrap().unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn split_encoding_matches_inline_for_responses(
+        id in any::<u64>(),
+        body in arb_response_body(),
+    ) {
+        let frame = Frame::Response(Response { id, body });
+        let (header, payload) = encode_frame_parts(&frame);
+        let mut joined = BytesMut::from(&header[..]);
+        if let Some(p) = &payload {
+            joined.extend_from_slice(p);
+        }
+        let mut inline = BytesMut::new();
+        encode_frame(&frame, &mut inline);
+        prop_assert_eq!(&joined, &inline);
+        let decoded = decode_frame(&mut joined).unwrap().unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+}
+
+proptest! {
+    // 8 MiB payloads make each case real work; few cases suffice since the
+    // interesting variation is (size, cut) not the byte values.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn split_framing_survives_any_cut_and_stays_zero_copy(
+        id in any::<u64>(),
+        size in prop::sample::select(vec![0usize, 1, 64 * 1024, 8 * 1024 * 1024]),
+        cut_frac in 0.0f64..1.0,
+        fill in any::<u8>(),
+        as_request in any::<bool>(),
+    ) {
+        let data = Bytes::from(vec![fill; size]);
+        let frame = if as_request {
+            Frame::Request(Request {
+                id,
+                body: RequestBody::WriteBlock {
+                    block_id: BlockId(3),
+                    offset: 9,
+                    data: data.clone(),
+                },
+            })
+        } else {
+            Frame::Response(Response {
+                id,
+                body: ResponseBody::Data {
+                    seq: 7,
+                    bytes: data.clone(),
+                    eof: true,
+                },
+            })
+        };
+
+        // Encode-side zero copy: the out-of-band part is the caller's
+        // allocation, not a staged copy.
+        let (header, payload) = encode_frame_parts(&frame);
+        let payload = payload.expect("payload-carrying frame");
+        if size > 0 {
+            prop_assert_eq!(payload.as_ptr(), data.as_ptr());
+        }
+        prop_assert_eq!(payload.len(), size);
+
+        // Deliver the wire bytes in two arbitrary slices, as a socket would.
+        let mut wire = BytesMut::from(&header[..]);
+        wire.extend_from_slice(&payload);
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        let full = wire.len();
+        let mut rx = BytesMut::from(&wire[..cut]);
+        if cut < full {
+            prop_assert_eq!(decode_frame(&mut rx).unwrap(), None);
+            prop_assert_eq!(rx.len(), cut, "partial decode consumed bytes");
+        }
+        rx.extend_from_slice(&wire[cut..]);
+        let range = rx.as_ptr() as usize..rx.as_ptr() as usize + rx.len();
+        let decoded = decode_frame(&mut rx).unwrap().unwrap();
+        prop_assert!(rx.is_empty());
+
+        // Decode-side zero copy: the payload is a slice of the receive
+        // buffer, not a fresh allocation.
+        let bytes = match &decoded {
+            Frame::Request(Request { body: RequestBody::WriteBlock { data, .. }, .. }) => data,
+            Frame::Response(Response { body: ResponseBody::Data { bytes, .. }, .. }) => bytes,
+            other => panic!("unexpected {other:?}"),
+        };
+        if size > 0 {
+            let ptr = bytes.as_ptr() as usize;
+            prop_assert!(
+                range.contains(&ptr) && range.contains(&(ptr + bytes.len() - 1)),
+                "decoded payload escaped the receive buffer"
+            );
+        }
+        prop_assert_eq!(decoded, frame);
     }
 }
 
