@@ -4,13 +4,14 @@
 
 use crate::action::StoreAccess;
 use crate::registry::ActionRegistry;
-use crate::runtime::{spawn_instance, InstanceHandle, Invocation};
+use crate::runtime::{spawn_instance, Enqueued, InstanceHandle, Invocation};
 use crate::stream::{ActionInputStream, ActionOutputStream, InputPusher};
 use crate::ActionContext;
 use bytes::Bytes;
 use glider_metrics::MetricsRegistry;
 use glider_proto::types::{ActionSpec, NodeId, StreamDir, StreamId};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
+use glider_trace::SpanContext;
 use glider_util::IdGen;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -169,6 +170,27 @@ impl ActionManager {
         }
     }
 
+    /// Enqueues `inv` with queue-depth accounting and an `action.queue`
+    /// span parented under `parent`.
+    async fn enqueue_on(
+        &self,
+        handle: &InstanceHandle,
+        parent: SpanContext,
+        inv: Invocation,
+    ) -> GliderResult<()> {
+        if let Some(m) = &self.metrics {
+            m.queue_enter();
+        }
+        let result = handle.enqueue_traced(Enqueued::new(parent), inv).await;
+        if result.is_err() {
+            // The invocation never reached a mailbox; undo the gauge.
+            if let Some(m) = &self.metrics {
+                m.queue_exit();
+            }
+        }
+        result
+    }
+
     /// Removes the action object of `node_id`, running `on_delete` after
     /// in-flight methods finish.
     ///
@@ -176,12 +198,26 @@ impl ActionManager {
     ///
     /// Returns [`ErrorCode::NotFound`] when the node hosts no object.
     pub async fn delete_action(&self, node_id: NodeId) -> GliderResult<()> {
+        self.delete_action_traced(SpanContext::NONE, node_id).await
+    }
+
+    /// [`ActionManager::delete_action`] continuing the caller's trace.
+    ///
+    /// # Errors
+    ///
+    /// See [`ActionManager::delete_action`].
+    pub async fn delete_action_traced(
+        &self,
+        parent: SpanContext,
+        node_id: NodeId,
+    ) -> GliderResult<()> {
         let handle =
             self.instances.lock().remove(&node_id).ok_or_else(|| {
                 GliderError::not_found(format!("action object in node {node_id}"))
             })?;
         let (done_tx, done_rx) = oneshot::channel();
-        handle.enqueue(Invocation::Delete { done: done_tx }).await?;
+        self.enqueue_on(&handle, parent, Invocation::Delete { done: done_tx })
+            .await?;
         done_rx
             .await
             .unwrap_or_else(|_| Err(GliderError::closed("action instance during delete")))
@@ -194,6 +230,23 @@ impl ActionManager {
     ///
     /// Returns [`ErrorCode::NotFound`] when the node hosts no object.
     pub async fn open_stream(&self, node_id: NodeId, dir: StreamDir) -> GliderResult<StreamId> {
+        self.open_stream_traced(SpanContext::NONE, node_id, dir)
+            .await
+    }
+
+    /// [`ActionManager::open_stream`] continuing the caller's trace: the
+    /// queued method invocation's `action.queue`/`action.run` spans become
+    /// children of `parent`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ActionManager::open_stream`].
+    pub async fn open_stream_traced(
+        &self,
+        parent: SpanContext,
+        node_id: NodeId,
+        dir: StreamDir,
+    ) -> GliderResult<StreamId> {
         let handle = self
             .instances
             .lock()
@@ -205,12 +258,15 @@ impl ActionManager {
             StreamDir::Write => {
                 let (input, pusher) = ActionInputStream::new(INPUT_QUEUE_DEPTH);
                 let (done_tx, done_rx) = oneshot::channel();
-                handle
-                    .enqueue(Invocation::Write {
+                self.enqueue_on(
+                    &handle,
+                    parent,
+                    Invocation::Write {
                         input,
                         done: done_tx,
-                    })
-                    .await?;
+                    },
+                )
+                .await?;
                 self.streams.lock().insert(
                     stream_id,
                     StreamEntry::Write {
@@ -223,12 +279,15 @@ impl ActionManager {
             StreamDir::Read => {
                 let (output, rx) = ActionOutputStream::new(OUTPUT_QUEUE_DEPTH);
                 let (done_tx, done_rx) = oneshot::channel();
-                handle
-                    .enqueue(Invocation::Read {
+                self.enqueue_on(
+                    &handle,
+                    parent,
+                    Invocation::Read {
                         output,
                         done: done_tx,
-                    })
-                    .await?;
+                    },
+                )
+                .await?;
                 self.streams.lock().insert(
                     stream_id,
                     StreamEntry::Read {

@@ -11,13 +11,65 @@ use crate::action::{Action, ActionContext};
 use crate::stream::{ActionInputStream, ActionOutputStream};
 use futures::future::BoxFuture;
 use futures::stream::{FuturesUnordered, StreamExt};
-use glider_metrics::MetricsRegistry;
+use glider_metrics::{MetricsRegistry, OpKind};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
+use glider_trace::{Span, SpanContext};
 use std::sync::Arc;
+use std::time::Instant;
 use tokio::sync::{mpsc, oneshot};
 
 /// Mailbox depth for queued method invocations.
 const MAILBOX_DEPTH: usize = 1024;
+
+/// Tracing/timing context that rides the mailbox alongside each
+/// [`Invocation`]: an `action.queue` span (child of the server's handler
+/// span) that is open exactly while the invocation waits in the mailbox,
+/// and the enqueue timestamp feeding the `queue-wait` histogram.
+#[derive(Debug)]
+pub struct Enqueued {
+    span: Span,
+    at: Instant,
+}
+
+impl Enqueued {
+    /// Context for an invocation enqueued on behalf of a traced request.
+    /// A [`SpanContext::NONE`] parent yields a detached (span-less) entry.
+    pub fn new(parent: SpanContext) -> Enqueued {
+        let span = if parent.is_none() {
+            Span::none()
+        } else {
+            Span::child_of(parent, "action.queue")
+        };
+        Enqueued {
+            span,
+            at: Instant::now(),
+        }
+    }
+
+    /// Context for an invocation with no originating trace (internal or
+    /// test enqueues); still timed for the queue-wait histogram.
+    pub fn detached() -> Enqueued {
+        Enqueued {
+            span: Span::none(),
+            at: Instant::now(),
+        }
+    }
+
+    /// Marks the invocation dequeued: records the queue wait, closes the
+    /// `action.queue` span, and opens the `action.run` span under it.
+    fn into_run_span(self, metrics: Option<&MetricsRegistry>) -> Span {
+        if let Some(m) = metrics {
+            m.record_latency(OpKind::QueueWait, self.at.elapsed());
+            m.queue_exit();
+        }
+        let parent = self.span.context();
+        if parent.is_none() {
+            Span::none()
+        } else {
+            Span::child_of(parent, "action.run")
+        }
+    }
+}
 
 /// A method invocation queued on an instance.
 #[derive(Debug)]
@@ -46,18 +98,27 @@ pub enum Invocation {
 /// Handle for enqueueing invocations on a running instance.
 #[derive(Debug, Clone)]
 pub struct InstanceHandle {
-    inv_tx: mpsc::Sender<Invocation>,
+    inv_tx: mpsc::Sender<(Enqueued, Invocation)>,
 }
 
 impl InstanceHandle {
-    /// Enqueues an invocation.
+    /// Enqueues an invocation with no originating trace.
     ///
     /// # Errors
     ///
     /// Returns [`ErrorCode::Closed`] if the instance has stopped.
     pub async fn enqueue(&self, inv: Invocation) -> GliderResult<()> {
+        self.enqueue_traced(Enqueued::detached(), inv).await
+    }
+
+    /// Enqueues an invocation carrying its tracing/timing context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::Closed`] if the instance has stopped.
+    pub async fn enqueue_traced(&self, queued: Enqueued, inv: Invocation) -> GliderResult<()> {
         self.inv_tx
-            .send(inv)
+            .send((queued, inv))
             .await
             .map_err(|_| GliderError::new(ErrorCode::Closed, "action instance stopped"))
     }
@@ -112,7 +173,7 @@ async fn run_instance(
     action: Arc<dyn Action>,
     ctx: ActionContext,
     metrics: Option<Arc<MetricsRegistry>>,
-    mut inv_rx: mpsc::Receiver<Invocation>,
+    mut inv_rx: mpsc::Receiver<(Enqueued, Invocation)>,
     created_tx: oneshot::Sender<GliderResult<()>>,
 ) {
     let created = action.on_create(&ctx).await;
@@ -184,15 +245,21 @@ async fn run_serial(
     action: &Arc<dyn Action>,
     ctx: &ActionContext,
     gauge: &mut StateGauge,
-    inv_rx: &mut mpsc::Receiver<Invocation>,
+    inv_rx: &mut mpsc::Receiver<(Enqueued, Invocation)>,
 ) {
-    while let Some(inv) = inv_rx.recv().await {
+    while let Some((queued, inv)) = inv_rx.recv().await {
+        let run_span = queued.into_run_span(gauge.metrics.as_deref());
         if let Invocation::Delete { done } = inv {
             let result = action.on_delete(ctx).await;
             let _ = done.send(result);
             return;
         }
+        let start = Instant::now();
         run_one(action, ctx, inv).await;
+        if let Some(m) = &gauge.metrics {
+            m.record_latency(OpKind::ActionHandlerRun, start.elapsed());
+        }
+        drop(run_span);
         gauge.sample(action.as_ref());
     }
 }
@@ -201,7 +268,7 @@ async fn run_interleaved(
     action: &Arc<dyn Action>,
     ctx: &ActionContext,
     gauge: &mut StateGauge,
-    inv_rx: &mut mpsc::Receiver<Invocation>,
+    inv_rx: &mut mpsc::Receiver<(Enqueued, Invocation)>,
 ) {
     // All in-flight method futures are polled by THIS task only: execution
     // is single-threaded-like, methods merely take turns at await points.
@@ -222,12 +289,22 @@ async fn run_interleaved(
         tokio::select! {
             inv = inv_rx.recv(), if mailbox_open && deleting.is_none() => {
                 match inv {
-                    Some(Invocation::Delete { done }) => deleting = Some(done),
-                    Some(inv) => {
+                    Some((queued, Invocation::Delete { done })) => {
+                        drop(queued.into_run_span(gauge.metrics.as_deref()));
+                        deleting = Some(done);
+                    }
+                    Some((queued, inv)) => {
+                        let run_span = queued.into_run_span(gauge.metrics.as_deref());
                         let action = Arc::clone(action);
                         let ctx = ctx.clone();
+                        let metrics = gauge.metrics.clone();
                         in_flight.push(Box::pin(async move {
+                            let start = Instant::now();
                             run_one(&action, &ctx, inv).await;
+                            if let Some(m) = &metrics {
+                                m.record_latency(OpKind::ActionHandlerRun, start.elapsed());
+                            }
+                            drop(run_span);
                         }));
                     }
                     None => mailbox_open = false,
@@ -439,6 +516,24 @@ mod tests {
         p1.finish();
         d1.await.unwrap().unwrap();
         del_rx.await.unwrap().unwrap();
+    }
+
+    #[tokio::test]
+    async fn queue_wait_and_run_latency_feed_histograms() {
+        let metrics = MetricsRegistry::new();
+        let (handle, created) = spawn_instance(
+            Arc::new(Counter::default()),
+            ctx(false),
+            Some(Arc::clone(&metrics)),
+        );
+        created.await.unwrap().unwrap();
+        let (pusher, done) = write_stream(&handle, vec![b"abc"]).await;
+        pusher.finish();
+        done.await.unwrap().unwrap();
+        let s = metrics.snapshot();
+        assert_eq!(s.op_latency(OpKind::QueueWait).count(), 1);
+        assert_eq!(s.op_latency(OpKind::ActionHandlerRun).count(), 1);
+        assert!(s.op_latency(OpKind::ActionHandlerRun).p50() > 0);
     }
 
     #[tokio::test]

@@ -187,10 +187,12 @@ struct ActiveHandler {
 impl RpcHandler for ActiveHandler {
     fn handle(
         self: Arc<Self>,
-        _ctx: ConnCtx,
+        ctx: ConnCtx,
         body: RequestBody,
     ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
         Box::pin(async move {
+            let span = glider_trace::Span::child_of(ctx.span_context(), "active.handle");
+            let span_ctx = span.context();
             match body {
                 RequestBody::Hello { .. } => Ok(ResponseBody::Ok),
                 RequestBody::ActionCreate { node_id, spec, .. } => {
@@ -199,11 +201,11 @@ impl RpcHandler for ActiveHandler {
                 }
                 RequestBody::ActionDelete { node_id } => {
                     self.manager.abort_streams_of(node_id);
-                    self.manager.delete_action(node_id).await?;
+                    self.manager.delete_action_traced(span_ctx, node_id).await?;
                     Ok(ResponseBody::Ok)
                 }
                 RequestBody::StreamOpen { node_id, dir } => {
-                    let stream_id = self.manager.open_stream(node_id, dir).await?;
+                    let stream_id = self.manager.open_stream_traced(span_ctx, node_id, dir).await?;
                     Ok(ResponseBody::StreamOpened { stream_id })
                 }
                 RequestBody::StreamChunk {

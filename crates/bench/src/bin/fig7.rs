@@ -10,6 +10,7 @@
 
 use glider_analytics::sort::{run_baseline, run_glider, SortConfig};
 use glider_bench::{print_row, print_rule, scale_from_args, scaled};
+use glider_net::stats::{build_stats, render_stats_json};
 
 fn main() {
     let scale = scale_from_args();
@@ -32,6 +33,7 @@ fn main() {
             &widths,
         );
         print_rule(&widths);
+        let mut last_glider_metrics = None;
         for workers in [1usize, 2, 4, 8, 16] {
             let cfg = SortConfig {
                 workers,
@@ -79,6 +81,18 @@ fn main() {
                 "  w={workers}: total run-time cut {cut:.1}% (paper: 49.8% at 16), \
                  P2 cut {p2_cut:.1}% (paper: up to 71%)"
             );
+            last_glider_metrics = Some(glider.report.metrics.clone());
+        }
+
+        // Per-op latency percentiles of the largest Glider run, in the
+        // same schema as `glider stats --json`.
+        if let Some(snapshot) = last_glider_metrics {
+            let doc = render_stats_json(&build_stats(&snapshot));
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_latency.json");
+            std::fs::write(&path, doc).expect("write BENCH_latency.json");
+            println!("wrote {}", path.display());
         }
     });
 }

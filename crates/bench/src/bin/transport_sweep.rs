@@ -36,16 +36,18 @@ fn main() {
         ByteSize::bytes(total)
     );
     println!(
-        "{:>6} {:>12} {:>12} {:>12}",
-        "xport", "payload", "write Gbps", "read Gbps"
+        "{:>6} {:>12} {:>12} {:>12} {:>13} {:>13}",
+        "xport", "payload", "write Gbps", "read Gbps", "write p50 us", "read p50 us"
     );
     for s in &samples {
         println!(
-            "{:>6} {:>12} {:>12.2} {:>12.2}",
+            "{:>6} {:>12} {:>12.2} {:>12.2} {:>13.1} {:>13.1}",
             s.transport,
             ByteSize::bytes(s.payload_bytes).to_string(),
             s.write_gbps,
-            s.read_gbps
+            s.read_gbps,
+            s.write_latency.p50() as f64 / 1e3,
+            s.read_latency.p50() as f64 / 1e3,
         );
     }
 

@@ -10,7 +10,7 @@
 
 use bytes::Bytes;
 use futures::future::BoxFuture;
-use glider_metrics::{MetricsRegistry, Tier};
+use glider_metrics::{HistogramSnapshot, MetricsRegistry, OpKind, Tier};
 use glider_net::rpc::{ConnCtx, RpcClient, RpcHandler};
 use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::types::BlockId;
@@ -44,6 +44,10 @@ pub struct TransportSample {
     pub write_gbps: f64,
     /// Server→client throughput (windowed `ReadBlock` stream).
     pub read_gbps: f64,
+    /// Server-side per-op dispatch latency of the write phase.
+    pub write_latency: HistogramSnapshot,
+    /// Server-side per-op dispatch latency of the read phase.
+    pub read_latency: HistogramSnapshot,
 }
 
 /// Server side of the sweep: acknowledges writes and answers reads with
@@ -108,7 +112,7 @@ pub async fn sweep_transport(
         Arc::new(SinkHandler {
             blob: Bytes::from(vec![0x42u8; max]),
         }),
-        metrics,
+        Arc::clone(&metrics),
         Tier::Storage,
     );
     let client = RpcClient::connect_intra_storage(server.addr()).await?;
@@ -118,6 +122,9 @@ pub async fn sweep_transport(
         let iters = (total_per_size / size).max(window as u64) as usize;
         let payload = Bytes::from(vec![0x42u8; size as usize]);
 
+        // Per-size dispatch latency: clear the server's histograms so the
+        // percentiles below describe exactly this payload size.
+        metrics.reset();
         let start = Instant::now();
         run_window(window, iters, |_| {
             let c = client.clone();
@@ -134,6 +141,7 @@ pub async fn sweep_transport(
         })
         .await?;
         let write_gbps = gbps(size * iters as u64, start.elapsed());
+        let write_latency = metrics.snapshot().op_latency(OpKind::BlockWrite).clone();
 
         let start = Instant::now();
         run_window(window, iters, |_| {
@@ -150,12 +158,15 @@ pub async fn sweep_transport(
         })
         .await?;
         let read_gbps = gbps(size * iters as u64, start.elapsed());
+        let read_latency = metrics.snapshot().op_latency(OpKind::BlockRead).clone();
 
         out.push(TransportSample {
             transport,
             payload_bytes: size,
             write_gbps,
             read_gbps,
+            write_latency,
+            read_latency,
         });
     }
     server.shutdown();
@@ -209,11 +220,16 @@ pub fn render_transport_json(samples: &[TransportSample], baseline: Option<f64>)
     out.push_str("  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"transport\": \"{}\", \"payload_bytes\": {}, \"write_gbps\": {:.3}, \"read_gbps\": {:.3}}}{}\n",
+            "    {{\"transport\": \"{}\", \"payload_bytes\": {}, \"write_gbps\": {:.3}, \"read_gbps\": {:.3}, \
+             \"write_p50_ns\": {}, \"write_p99_ns\": {}, \"read_p50_ns\": {}, \"read_p99_ns\": {}}}{}\n",
             s.transport,
             s.payload_bytes,
             s.write_gbps,
             s.read_gbps,
+            s.write_latency.p50(),
+            s.write_latency.p99(),
+            s.read_latency.p50(),
+            s.read_latency.p99(),
             if i + 1 == samples.len() { "" } else { "," },
         ));
     }
@@ -256,27 +272,45 @@ mod tests {
             for s in &samples {
                 assert!(s.write_gbps.is_finite() && s.write_gbps > 0.0);
                 assert!(s.read_gbps.is_finite() && s.read_gbps > 0.0);
+                // The server-side dispatch histograms saw every RPC of
+                // their phase, and dispatching takes non-zero time.
+                assert!(s.write_latency.count() > 0);
+                assert!(s.read_latency.count() > 0);
+                assert!(s.write_latency.p50() > 0);
+                assert!(s.read_latency.p50() > 0);
             }
         }
     }
 
     #[test]
     fn json_rendering_is_well_formed() {
+        let hist = {
+            let h = glider_metrics::LogHistogram::new();
+            h.record(1_000);
+            h.record(2_000);
+            h.snapshot()
+        };
         let samples = vec![
             TransportSample {
                 transport: "tcp",
                 payload_bytes: 1024 * 1024,
                 write_gbps: 10.0,
                 read_gbps: 12.0,
+                write_latency: hist.clone(),
+                read_latency: hist.clone(),
             },
             TransportSample {
                 transport: "mem",
                 payload_bytes: 4096,
                 write_gbps: 5.0,
                 read_gbps: 6.0,
+                write_latency: hist.clone(),
+                read_latency: hist,
             },
         ];
         let doc = render_transport_json(&samples, Some(4.0));
+        assert!(doc.contains("\"write_p50_ns\""));
+        assert!(!doc.contains("\"write_p50_ns\": 0"), "{doc}");
         assert!(doc.contains("\"baseline_1mib_tcp_write_gbps\": 4.000"));
         assert!(doc.contains("\"current_1mib_tcp_write_gbps\": 10.000"));
         assert!(doc.contains("\"speedup\": 2.500"));

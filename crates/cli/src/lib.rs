@@ -15,6 +15,7 @@
 //!                             create an action node
 //!     write-action PATH       stream stdin into an action
 //!     read-action PATH        stream an action's output to stdout
+//!     stats [--json]          print server latency histograms
 //! ```
 //!
 //! The parser is dependency-free and unit-tested; `main.rs` is a thin
@@ -105,6 +106,13 @@ pub enum Command {
         meta: String,
         /// Action path.
         path: String,
+    },
+    /// Print server-side latency histograms, gauges, and counters.
+    Stats {
+        /// Metadata address.
+        meta: String,
+        /// Emit machine-readable JSON instead of a table.
+        json: bool,
     },
     /// Print usage.
     Help,
@@ -261,6 +269,19 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
             meta: need_meta(&meta)?,
             path: one_path(tail, "read-action")?,
         }),
+        "stats" => {
+            let mut json = false;
+            for arg in tail {
+                match *arg {
+                    "--json" => json = true,
+                    other => return Err(UsageError(format!("unknown stats flag {other:?}"))),
+                }
+            }
+            Ok(Command::Stats {
+                meta: need_meta(&meta)?,
+                json,
+            })
+        }
         other => Err(UsageError(format!(
             "unknown command {other:?}; run `glider help`"
         ))),
@@ -281,6 +302,7 @@ glider — ephemeral storage with near-data actions
   glider --meta ADDR mkaction PATH TYPE [--params K=V;..] [--interleaved]
   glider --meta ADDR write-action PATH   (reads stdin)
   glider --meta ADDR read-action PATH    (writes stdout)
+  glider --meta ADDR stats [--json]
 ";
 
 #[cfg(test)]
@@ -367,6 +389,26 @@ mod tests {
             }
         );
         assert!(parse(&["--meta", "m:1", "mkaction", "/a"]).is_err());
+    }
+
+    #[test]
+    fn stats_parses_json_flag() {
+        assert_eq!(
+            parse(&["--meta", "m:1", "stats"]).unwrap(),
+            Command::Stats {
+                meta: "m:1".into(),
+                json: false
+            }
+        );
+        assert_eq!(
+            parse(&["--meta", "m:1", "stats", "--json"]).unwrap(),
+            Command::Stats {
+                meta: "m:1".into(),
+                json: true
+            }
+        );
+        assert!(parse(&["stats"]).is_err());
+        assert!(parse(&["--meta", "m:1", "stats", "--bogus"]).is_err());
     }
 
     #[test]

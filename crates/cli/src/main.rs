@@ -7,6 +7,8 @@ use std::io::{Read, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Honor GLIDER_TRACE / RUST_LOG before any spans are created.
+    glider_core::trace::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
     let command = match parse(&arg_refs) {
@@ -162,6 +164,16 @@ async fn run(command: Command) -> GliderResult<()> {
             }
             stdout.flush()?;
             reader.close().await
+        }
+        Command::Stats { meta, json } => {
+            let store = client(&meta).await?;
+            let payload = store.stats().await?;
+            if json {
+                println!("{}", glider_core::net::render_stats_json(&payload));
+            } else {
+                print!("{}", glider_core::net::render_stats_table(&payload));
+            }
+            Ok(())
         }
     }
 }

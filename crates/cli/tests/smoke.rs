@@ -129,6 +129,48 @@ fn cli_round_trip_files_and_actions() {
 }
 
 #[test]
+fn cli_stats_reports_latency_percentiles() {
+    let server = start_server();
+    std::thread::sleep(Duration::from_millis(200));
+    let meta = server.meta.clone();
+
+    // A small workload touching every layer: metadata (mkdir/create),
+    // block writes and reads (put/get), and actions (mkaction + stream).
+    let (ok, _) = glider(&meta, &["mkdir", "/obs"], None);
+    assert!(ok, "mkdir failed");
+    let (ok, _) = glider(&meta, &["put", "/obs/file"], Some(b"stats smoke payload\n"));
+    assert!(ok, "put failed");
+    let (ok, _) = glider(&meta, &["get", "/obs/file"], None);
+    assert!(ok, "get failed");
+    let (ok, _) = glider(&meta, &["mkaction", "/obs/merge", "merge"], None);
+    assert!(ok, "mkaction failed");
+    let (ok, _) = glider(&meta, &["write-action", "/obs/merge"], Some(b"1,1\n"));
+    assert!(ok, "write-action failed");
+
+    // The served cluster shares one metrics registry, so the metadata
+    // server's Stats answer covers block and action ops too.
+    let (ok, out) = glider(&meta, &["stats", "--json"], None);
+    assert!(ok, "stats --json failed");
+    let json = String::from_utf8_lossy(&out);
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
+    for op in ["meta-create-node", "block-write", "block-read", "action-invoke"] {
+        let line = json
+            .lines()
+            .find(|l| l.contains(&format!("\"{op}\"")))
+            .unwrap_or_else(|| panic!("no line for {op} in {json}"));
+        assert!(!line.contains("\"count\": 0"), "{op} never recorded: {line}");
+        assert!(!line.contains("\"p50_ns\": 0"), "{op} has zero p50: {line}");
+    }
+
+    // The table view renders the same data for humans.
+    let (ok, out) = glider(&meta, &["stats"], None);
+    assert!(ok, "stats failed");
+    let table = String::from_utf8_lossy(&out);
+    assert!(table.contains("block-write"), "{table}");
+    assert!(table.contains("p99"), "{table}");
+}
+
+#[test]
 fn cli_reports_usage_errors() {
     let out = Command::new(env!("CARGO_BIN_EXE_glider"))
         .arg("frobnicate")

@@ -7,6 +7,7 @@ use crate::kv::KeyValueNode;
 use glider_metrics::AccessKind;
 use glider_net::rpc::RpcClient;
 use glider_proto::message::{RequestBody, ResponseBody};
+use glider_proto::stats::StatsPayload;
 use glider_proto::types::{ActionSpec, NodeInfo, NodeKind, PeerTier, StorageClass};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
 use parking_lot::Mutex;
@@ -76,7 +77,10 @@ impl StoreClient {
         };
         let mut metas = Vec::with_capacity(addrs.len());
         for addr in &addrs {
-            metas.push(RpcClient::connect(addr, config.tier, None).await?);
+            metas.push(
+                RpcClient::connect_with_metrics(addr, config.tier, None, config.metrics.clone())
+                    .await?,
+            );
         }
         Ok(StoreClient {
             inner: Arc::new(Inner {
@@ -129,10 +133,11 @@ impl StoreClient {
         if let Some(conn) = self.inner.pool.lock().get(addr) {
             return Ok(conn.clone());
         }
-        let conn = RpcClient::connect(
+        let conn = RpcClient::connect_with_metrics(
             addr,
             self.inner.config.tier,
             self.inner.config.throttle.clone(),
+            self.inner.config.metrics.clone(),
         )
         .await?;
         // Racing connects may both dial; last insert wins, both work.
@@ -474,6 +479,31 @@ impl StoreClient {
             }
         }
         Ok(())
+    }
+
+    /// Fetches the server-side observability snapshot (latency histograms,
+    /// gauges, counters) from every metadata partition and merges them.
+    ///
+    /// When the cluster shares one metrics registry (the in-process
+    /// `Cluster` and `glider-cli serve` do), the metadata server's answer
+    /// already covers block and action operations too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RPC failures from any partition.
+    pub async fn stats(&self) -> GliderResult<StatsPayload> {
+        let mut merged = StatsPayload::default();
+        for meta in &self.inner.metas {
+            match meta.call(RequestBody::Stats).await? {
+                ResponseBody::Stats(payload) => merged.merge(&payload),
+                other => {
+                    return Err(GliderError::protocol(format!(
+                        "expected stats response, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(merged)
     }
 }
 

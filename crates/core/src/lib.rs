@@ -68,6 +68,7 @@ pub use glider_namespace as namespace;
 pub use glider_net as net;
 pub use glider_proto as proto;
 pub use glider_storage as storage;
+pub use glider_trace as trace;
 pub use glider_util as util;
 
 pub use glider_actions::{Action, ActionCell, ActionContext, ActionRegistry};

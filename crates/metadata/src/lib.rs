@@ -295,10 +295,13 @@ impl MetadataHandler {
 impl RpcHandler for MetadataHandler {
     fn handle(
         self: Arc<Self>,
-        _ctx: ConnCtx,
+        ctx: ConnCtx,
         body: RequestBody,
     ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
-        Box::pin(async move { self.handle_sync(body) })
+        Box::pin(async move {
+            let _span = glider_trace::Span::child_of(ctx.span_context(), "meta.handle");
+            self.handle_sync(body)
+        })
     }
 }
 

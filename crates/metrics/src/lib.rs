@@ -35,6 +35,10 @@ use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+mod hist;
+pub use hist::{HistogramSnapshot, LogHistogram, OpKind, HIST_BUCKETS};
 
 /// The architectural tier an endpoint belongs to.
 ///
@@ -193,6 +197,9 @@ pub struct MetricsRegistry {
     storage: Gauge,
     object: Gauge,
     object_scanned: AtomicU64,
+    latency: [LogHistogram; OpKind::COUNT],
+    batch_occupancy: LogHistogram,
+    queue: Gauge,
     notes: Mutex<Vec<String>>,
 }
 
@@ -206,6 +213,9 @@ impl MetricsRegistry {
             storage: Gauge::default(),
             object: Gauge::default(),
             object_scanned: AtomicU64::new(0),
+            latency: Default::default(),
+            batch_occupancy: LogHistogram::new(),
+            queue: Gauge::default(),
             notes: Mutex::new(Vec::new()),
         })
     }
@@ -247,6 +257,49 @@ impl MetricsRegistry {
         self.object_scanned.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records the latency of one `kind` operation: one relaxed atomic
+    /// add into the kind's histogram. Operations at or above the slow-op
+    /// threshold (see [`set_slow_op_threshold`]) are additionally
+    /// reported, off the fast path.
+    pub fn record_latency(&self, kind: OpKind, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.latency[kind.index()].record(ns);
+        let threshold = slow_op_threshold_ns();
+        if threshold != 0 && ns >= threshold {
+            report_slow_op(kind, ns);
+        }
+    }
+
+    /// Starts an RAII timer that records into `kind`'s histogram on drop.
+    pub fn op_timer(&self, kind: OpKind) -> OpTimer<'_> {
+        OpTimer {
+            metrics: self,
+            kind,
+            start: Instant::now(),
+        }
+    }
+
+    /// The latency histogram of one operation kind (e.g. for benches that
+    /// want direct access to the live buckets).
+    pub fn latency(&self, kind: OpKind) -> &LogHistogram {
+        &self.latency[kind.index()]
+    }
+
+    /// Records how many frames one coalesced writer flush carried.
+    pub fn record_batch_occupancy(&self, frames: u64) {
+        self.batch_occupancy.record(frames);
+    }
+
+    /// Marks one invocation entering an action mailbox.
+    pub fn queue_enter(&self) {
+        self.queue.add(1);
+    }
+
+    /// Marks one invocation leaving an action mailbox.
+    pub fn queue_exit(&self) {
+        self.queue.sub(1);
+    }
+
     /// Attaches a free-form note to the registry (harnesses use this to
     /// remember configuration alongside results).
     pub fn note(&self, s: impl Into<String>) {
@@ -255,8 +308,11 @@ impl MetricsRegistry {
 
     /// Takes a consistent-enough snapshot of all counters.
     ///
-    /// Counters are read individually with relaxed ordering; for the
-    /// harnesses (which snapshot while quiescent) this is exact.
+    /// Counters are read individually with relaxed ordering, so a
+    /// snapshot taken during traffic is *relaxed*, not atomic: it may
+    /// split an in-flight operation (e.g. count its transfer but not yet
+    /// its latency). For the harnesses, which snapshot while quiescent,
+    /// it is exact. The notes mutex is taken exactly once.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut transfers = [[0u64; Tier::COUNT]; Tier::COUNT];
         let mut transfer_ops = [[0u64; Tier::COUNT]; Tier::COUNT];
@@ -279,6 +335,10 @@ impl MetricsRegistry {
             object_current: self.object.current.load(Ordering::Relaxed),
             object_peak: self.object.peak.load(Ordering::Relaxed),
             object_scanned: self.object_scanned.load(Ordering::Relaxed),
+            latency: std::array::from_fn(|i| self.latency[i].snapshot()),
+            batch_occupancy: self.batch_occupancy.snapshot(),
+            queue_current: self.queue.current.load(Ordering::Relaxed),
+            queue_peak: self.queue.peak.load(Ordering::Relaxed),
             notes: self.notes.lock().clone(),
         }
     }
@@ -303,7 +363,71 @@ impl MetricsRegistry {
         self.object.current.store(0, Ordering::Relaxed);
         self.object.peak.store(0, Ordering::Relaxed);
         self.object_scanned.store(0, Ordering::Relaxed);
-        self.notes.lock().clear();
+        for h in &self.latency {
+            h.reset();
+        }
+        self.batch_occupancy.reset();
+        self.queue.current.store(0, Ordering::Relaxed);
+        self.queue.peak.store(0, Ordering::Relaxed);
+        // Swap the notes out under the lock; the old buffer deallocates
+        // after the lock is released.
+        let old_notes = std::mem::take(&mut *self.notes.lock());
+        drop(old_notes);
+    }
+}
+
+/// RAII latency timer: records the elapsed time into its [`OpKind`]'s
+/// histogram when dropped. Created by [`MetricsRegistry::op_timer`].
+#[derive(Debug)]
+pub struct OpTimer<'a> {
+    metrics: &'a MetricsRegistry,
+    kind: OpKind,
+    start: Instant,
+}
+
+impl Drop for OpTimer<'_> {
+    fn drop(&mut self) {
+        self.metrics.record_latency(self.kind, self.start.elapsed());
+    }
+}
+
+/// Sentinel: threshold not yet initialized from the environment.
+const SLOW_OP_UNSET: u64 = u64::MAX;
+
+static SLOW_OP_NS: AtomicU64 = AtomicU64::new(SLOW_OP_UNSET);
+
+/// The slow-op threshold in ns, lazily read from `GLIDER_SLOW_OP_MS` on
+/// first use; 0 disables reporting.
+fn slow_op_threshold_ns() -> u64 {
+    let v = SLOW_OP_NS.load(Ordering::Relaxed);
+    if v != SLOW_OP_UNSET {
+        return v;
+    }
+    let parsed = std::env::var("GLIDER_SLOW_OP_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .map(|ms| ms.saturating_mul(1_000_000).min(SLOW_OP_UNSET - 1))
+        .unwrap_or(0);
+    SLOW_OP_NS.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Sets the slow-op reporting threshold programmatically, overriding the
+/// `GLIDER_SLOW_OP_MS` environment variable; `None` disables reporting.
+pub fn set_slow_op_threshold(threshold: Option<Duration>) {
+    let ns = threshold
+        .map(|d| (d.as_nanos().min((SLOW_OP_UNSET - 1) as u128)) as u64)
+        .unwrap_or(0);
+    SLOW_OP_NS.store(ns, Ordering::Relaxed);
+}
+
+#[cold]
+fn report_slow_op(kind: OpKind, ns: u64) {
+    let message = format!("{} took {:.3} ms", kind.name(), ns as f64 / 1e6);
+    if glider_trace::tracing_enabled() {
+        glider_trace::event("slow-op", &message, glider_trace::SpanContext::NONE);
+    } else {
+        eprintln!("[glider slow-op] {message}");
     }
 }
 
@@ -323,6 +447,14 @@ pub struct MetricsSnapshot {
     pub object_peak: u64,
     /// Bytes scanned server-side by object SELECT operations.
     pub object_scanned: u64,
+    /// Per-[`OpKind`] latency histograms (indexed by [`OpKind::index`]).
+    pub latency: [HistogramSnapshot; OpKind::COUNT],
+    /// Frames per coalesced writer-batch flush.
+    pub batch_occupancy: HistogramSnapshot,
+    /// Invocations currently waiting in action mailboxes.
+    pub queue_current: u64,
+    /// Peak mailbox occupancy across all action instances.
+    pub queue_peak: u64,
     /// Free-form notes recorded during the run.
     pub notes: Vec<String>,
 }
@@ -371,6 +503,11 @@ impl MetricsSnapshot {
     /// Count of one access kind.
     pub fn accesses(&self, kind: AccessKind) -> u64 {
         self.accesses[kind.index()]
+    }
+
+    /// The latency histogram of one operation kind.
+    pub fn op_latency(&self, kind: OpKind) -> &HistogramSnapshot {
+        &self.latency[kind.index()]
     }
 
     /// Total data-plane storage accesses (the paper's "number of
@@ -447,7 +584,7 @@ fn glider_fmt_bytes(b: u64) -> String {
     } else if b >= MIB {
         format!("{:.2} MiB", b as f64 / MIB as f64)
     } else if b >= KIB {
-        format!("{} KiB", b / KIB)
+        format!("{:.2} KiB", b as f64 / KIB as f64)
     } else {
         format!("{b} B")
     }
@@ -567,5 +704,75 @@ mod tests {
             m.snapshot().transferred(Tier::Compute, Tier::Storage),
             40_000
         );
+    }
+
+    #[test]
+    fn fmt_bytes_uses_fractional_units() {
+        assert_eq!(glider_fmt_bytes(0), "0 B");
+        assert_eq!(glider_fmt_bytes(1023), "1023 B");
+        assert_eq!(glider_fmt_bytes(1024), "1.00 KiB");
+        // The old integer division printed 1535 B as "1 KiB".
+        assert_eq!(glider_fmt_bytes(1535), "1.50 KiB");
+        assert_eq!(glider_fmt_bytes(1024 * 1024 - 1), "1024.00 KiB");
+        assert_eq!(glider_fmt_bytes(1024 * 1024), "1.00 MiB");
+        assert_eq!(glider_fmt_bytes(3 * 1024 * 1024 / 2), "1.50 MiB");
+        assert_eq!(glider_fmt_bytes(1024 * 1024 * 1024), "1.00 GiB");
+    }
+
+    #[test]
+    fn latency_histograms_record_per_kind() {
+        let m = MetricsRegistry::new();
+        m.record_latency(OpKind::BlockWrite, Duration::from_micros(10));
+        m.record_latency(OpKind::BlockWrite, Duration::from_micros(20));
+        m.record_latency(OpKind::MetaLookupNode, Duration::from_nanos(100));
+        let s = m.snapshot();
+        assert_eq!(s.op_latency(OpKind::BlockWrite).count(), 2);
+        assert_eq!(s.op_latency(OpKind::MetaLookupNode).count(), 1);
+        assert_eq!(s.op_latency(OpKind::BlockRead).count(), 0);
+        assert!(s.op_latency(OpKind::BlockWrite).p50() > 0);
+    }
+
+    #[test]
+    fn op_timer_records_on_drop() {
+        let m = MetricsRegistry::new();
+        {
+            let _t = m.op_timer(OpKind::ActionInvoke);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.op_latency(OpKind::ActionInvoke).count(), 1);
+        assert!(s.op_latency(OpKind::ActionInvoke).p50() >= 1_000_000 / 2);
+    }
+
+    #[test]
+    fn queue_gauge_and_batch_occupancy() {
+        let m = MetricsRegistry::new();
+        m.queue_enter();
+        m.queue_enter();
+        m.queue_exit();
+        m.record_batch_occupancy(8);
+        m.record_batch_occupancy(32);
+        let s = m.snapshot();
+        assert_eq!(s.queue_current, 1);
+        assert_eq!(s.queue_peak, 2);
+        assert_eq!(s.batch_occupancy.count(), 2);
+        // Exit beyond zero saturates like the storage gauge.
+        m.queue_exit();
+        m.queue_exit();
+        assert_eq!(m.snapshot().queue_current, 0);
+    }
+
+    #[test]
+    fn reset_clears_latency_and_queue() {
+        let m = MetricsRegistry::new();
+        m.record_latency(OpKind::QueueWait, Duration::from_micros(5));
+        m.record_batch_occupancy(4);
+        m.queue_enter();
+        m.reset();
+        let s = m.snapshot();
+        assert!(s.op_latency(OpKind::QueueWait).is_empty());
+        assert!(s.batch_occupancy.is_empty());
+        assert_eq!(s.queue_current, 0);
+        assert_eq!(s.queue_peak, 0);
     }
 }

@@ -362,6 +362,7 @@ mod tests {
     fn hello(id: u64) -> Frame {
         Frame::Request(Request {
             id,
+            trace_id: 0,
             body: RequestBody::Hello {
                 tier: PeerTier::Compute,
             },
@@ -371,6 +372,7 @@ mod tests {
     fn write_frame(id: u64, len: usize, fill: u8) -> Frame {
         Frame::Request(Request {
             id,
+            trace_id: 0,
             body: RequestBody::WriteBlock {
                 block_id: BlockId(id),
                 offset: 0,

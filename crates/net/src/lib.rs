@@ -23,6 +23,8 @@
 
 pub mod conn;
 pub mod rpc;
+pub mod stats;
 
 pub use conn::{bind, connect, BoundListener, FrameRx, FrameTx};
 pub use rpc::{serve, ConnCtx, RpcClient, RpcHandler, ServerHandle};
+pub use stats::{build_stats, render_stats_json, render_stats_table};

@@ -1,17 +1,20 @@
 //! Multiplexing RPC client and server over framed connections.
 
 use crate::conn::{connect, BoundListener, FrameRx, FrameTx};
+use crate::stats::build_stats;
 use futures::future::BoxFuture;
-use glider_metrics::{MetricsRegistry, Tier};
+use glider_metrics::{MetricsRegistry, OpKind, Tier};
 use glider_proto::frame::Frame;
 use glider_proto::message::{Request, RequestBody, Response, ResponseBody};
 use glider_proto::types::PeerTier;
 use glider_proto::{ErrorCode, GliderError, GliderResult};
+use glider_trace::{Span, SpanContext};
 use glider_util::TokenBucket;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use tokio::sync::{mpsc, oneshot};
 use tokio::task::JoinSet;
 
@@ -65,11 +68,26 @@ impl RpcClient {
         tier: PeerTier,
         throttle: Option<Arc<TokenBucket>>,
     ) -> GliderResult<Self> {
+        RpcClient::connect_with_metrics(addr, tier, throttle, None).await
+    }
+
+    /// Like [`RpcClient::connect`], but also records client-side transport
+    /// indicators (writer batch occupancy, flush latency) into `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcClient::connect`].
+    pub async fn connect_with_metrics(
+        addr: &str,
+        tier: PeerTier,
+        throttle: Option<Arc<TokenBucket>>,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) -> GliderResult<Self> {
         let (tx, rx) = connect(addr).await?;
         let pending: Pending = Arc::new(Mutex::new(Some(HashMap::new())));
         let (req_tx, req_rx) = mpsc::channel::<Request>(256);
 
-        tokio::spawn(writer_task(tx, req_rx));
+        tokio::spawn(writer_task(tx, req_rx, metrics));
         tokio::spawn(reader_task(rx, Arc::clone(&pending)));
 
         let client = RpcClient {
@@ -108,11 +126,35 @@ impl RpcClient {
     /// Issues one RPC and awaits its response. Error responses from the
     /// server are converted back into [`GliderError`]s.
     ///
+    /// The call runs in a fresh `client.call` root span whose trace id
+    /// rides the request header, so the server-side spans of this
+    /// operation join the same trace.
+    ///
     /// # Errors
     ///
     /// Returns the server-reported error, or [`ErrorCode::Closed`] when the
     /// connection dropped before the response arrived.
     pub async fn call(&self, body: RequestBody) -> GliderResult<ResponseBody> {
+        self.call_traced(SpanContext::NONE, body).await
+    }
+
+    /// Like [`RpcClient::call`], but the `client.call` span becomes a
+    /// child of `parent` (pass [`SpanContext::NONE`] to start a fresh
+    /// trace). This is how intra-storage hops — an action reading blocks
+    /// on behalf of a client request — keep the originating trace id.
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcClient::call`].
+    pub async fn call_traced(
+        &self,
+        parent: SpanContext,
+        body: RequestBody,
+    ) -> GliderResult<ResponseBody> {
+        // child_of(NONE) degenerates to a root, so both entry points share
+        // this path; the span closes (and reports) when the call returns.
+        let span = Span::child_of(parent, "client.call");
+        let trace_id = span.trace_id();
         if let Some(bucket) = &self.inner.throttle {
             let out = body.payload_len();
             if out > 0 {
@@ -130,7 +172,13 @@ impl RpcClient {
                 None => return Err(GliderError::closed(format!("rpc to {}", self.inner.addr))),
             }
         }
-        if self.inner.req_tx.send(Request { id, body }).await.is_err() {
+        if self
+            .inner
+            .req_tx
+            .send(Request { id, trace_id, body })
+            .await
+            .is_err()
+        {
             self.inner.pending.lock().as_mut().map(|m| m.remove(&id));
             return Err(GliderError::closed(format!("rpc to {}", self.inner.addr)));
         }
@@ -193,12 +241,22 @@ fn collect_batch<T: Into<Frame>>(first: T, rx: &mut mpsc::Receiver<T>, batch: &m
     }
 }
 
-async fn writer_task(mut tx: FrameTx, mut req_rx: mpsc::Receiver<Request>) {
+async fn writer_task(
+    mut tx: FrameTx,
+    mut req_rx: mpsc::Receiver<Request>,
+    metrics: Option<Arc<MetricsRegistry>>,
+) {
     let mut batch: Vec<Frame> = Vec::with_capacity(WRITE_BATCH_FRAMES);
     while let Some(req) = req_rx.recv().await {
         collect_batch(req, &mut req_rx, &mut batch);
+        let frames = batch.len() as u64;
+        let start = Instant::now();
         if tx.send_batch(&mut batch).await.is_err() {
             break;
+        }
+        if let Some(m) = &metrics {
+            m.record_batch_occupancy(frames);
+            m.record_latency(OpKind::WriterFlush, start.elapsed());
         }
     }
 }
@@ -234,13 +292,52 @@ async fn reader_task(mut rx: FrameRx, pending: Pending) {
 // Server
 // ---------------------------------------------------------------------------
 
-/// Per-connection context passed to handlers.
+/// Per-request context passed to handlers.
 #[derive(Debug, Clone, Copy)]
 pub struct ConnCtx {
     /// The tier the peer declared in its handshake.
     pub peer: PeerTier,
     /// A server-unique id for the connection.
     pub conn_id: u64,
+    /// The end-to-end trace id of this request (0 when untraced).
+    pub trace_id: u64,
+    /// The span id of the server's `rpc.dispatch` span, for handlers to
+    /// parent their own spans under.
+    pub parent_span: u64,
+}
+
+impl ConnCtx {
+    /// The dispatch span's context, for building handler child spans.
+    pub fn span_context(&self) -> SpanContext {
+        SpanContext {
+            trace_id: self.trace_id,
+            span_id: self.parent_span,
+        }
+    }
+}
+
+/// The latency class a request is recorded under; `None` for requests
+/// that are not measured (handshake, stats introspection).
+fn op_kind(body: &RequestBody) -> Option<OpKind> {
+    Some(match body {
+        RequestBody::CreateNode { .. } => OpKind::MetaCreateNode,
+        RequestBody::LookupNode { .. } => OpKind::MetaLookupNode,
+        RequestBody::DeleteNode { .. } => OpKind::MetaDeleteNode,
+        RequestBody::ListChildren { .. } => OpKind::MetaListChildren,
+        RequestBody::AddBlock { .. } => OpKind::MetaAddBlock,
+        RequestBody::CommitBlock { .. } => OpKind::MetaCommitBlock,
+        RequestBody::RegisterServer { .. } => OpKind::MetaRegisterServer,
+        RequestBody::WriteBlock { .. } => OpKind::BlockWrite,
+        RequestBody::ReadBlock { .. } => OpKind::BlockRead,
+        RequestBody::FreeBlocks { .. } => OpKind::BlockFree,
+        RequestBody::ActionCreate { .. }
+        | RequestBody::ActionDelete { .. }
+        | RequestBody::StreamOpen { .. }
+        | RequestBody::StreamChunk { .. }
+        | RequestBody::StreamFetch { .. }
+        | RequestBody::StreamClose { .. } => OpKind::ActionInvoke,
+        RequestBody::Hello { .. } | RequestBody::Stats => return None,
+    })
 }
 
 /// Server-side request dispatch.
@@ -344,6 +441,7 @@ async fn connection_task(
         Ok(Some(Frame::Request(Request {
             id,
             body: RequestBody::Hello { tier },
+            ..
         }))) => (id, tier),
         _ => return,
     };
@@ -364,7 +462,6 @@ async fn connection_task(
         })
         .await;
 
-    let ctx = ConnCtx { peer, conn_id };
     let peer_tier = tier_of(peer);
     let mut requests = JoinSet::new();
     loop {
@@ -376,13 +473,45 @@ async fn connection_task(
                         if inbound > 0 {
                             metrics.record_transfer(peer_tier, server_tier, inbound);
                         }
+                        // Stats is answered here, uniformly for every
+                        // server, from the connection's own registry;
+                        // handlers never see it.
+                        if matches!(req.body, RequestBody::Stats) {
+                            let resp_tx = resp_tx.clone();
+                            let metrics = Arc::clone(&metrics);
+                            requests.spawn(async move {
+                                let body =
+                                    ResponseBody::Stats(build_stats(&metrics.snapshot()));
+                                let _ = resp_tx.send(Response { id: req.id, body }).await;
+                            });
+                            continue;
+                        }
                         let handler = Arc::clone(&handler);
                         let resp_tx = resp_tx.clone();
+                        let metrics = Arc::clone(&metrics);
+                        let kind = op_kind(&req.body);
                         requests.spawn(async move {
+                            // The server half of the trace: continues the
+                            // trace id carried in the request header.
+                            let span = Span::remote("rpc.dispatch", req.trace_id);
+                            let ctx = ConnCtx {
+                                peer,
+                                conn_id,
+                                trace_id: span.trace_id(),
+                                parent_span: span.context().span_id,
+                            };
+                            let start = Instant::now();
                             let body = match handler.handle(ctx, req.body).await {
                                 Ok(body) => body,
                                 Err(err) => ResponseBody::from_error(&err),
                             };
+                            // Latency is recorded server-side only, so
+                            // in-process setups sharing one registry do
+                            // not double-count an op per hop.
+                            if let Some(kind) = kind {
+                                metrics.record_latency(kind, start.elapsed());
+                            }
+                            drop(span);
                             let _ = resp_tx.send(Response { id: req.id, body }).await;
                         });
                     }
@@ -417,9 +546,13 @@ async fn response_writer(
                 metrics.record_transfer(server_tier, peer_tier, outbound);
             }
         }
+        let frames = batch.len() as u64;
+        let start = Instant::now();
         if tx.send_batch(&mut batch).await.is_err() {
             break;
         }
+        metrics.record_batch_occupancy(frames);
+        metrics.record_latency(OpKind::WriterFlush, start.elapsed());
     }
 }
 
@@ -619,6 +752,95 @@ mod tests {
         }
         let err = last.expect("server kept answering after shutdown");
         assert_eq!(err.code(), ErrorCode::Closed);
+    }
+
+    #[tokio::test]
+    async fn stats_rpc_reports_server_histograms() {
+        let (server, metrics) = start("127.0.0.1:0").await;
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        for i in 0..10u64 {
+            client
+                .call(RequestBody::WriteBlock {
+                    block_id: BlockId(i),
+                    offset: 0,
+                    data: Bytes::from_static(b"x"),
+                })
+                .await
+                .unwrap();
+        }
+        let resp = client.call(RequestBody::Stats).await.unwrap();
+        let payload = match resp {
+            ResponseBody::Stats(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        let write = payload
+            .ops
+            .iter()
+            .find(|o| o.name == OpKind::BlockWrite.name())
+            .unwrap();
+        assert_eq!(write.buckets.iter().sum::<u64>(), 10);
+        // The write latencies also landed in the server registry directly.
+        let snap = metrics.snapshot();
+        assert_eq!(snap.op_latency(OpKind::BlockWrite).count(), 10);
+        assert!(snap.op_latency(OpKind::BlockWrite).p50() > 0);
+        // Hello and Stats themselves are not measured as ops.
+        assert_eq!(snap.op_latency(OpKind::BlockRead).count(), 0);
+        // Response flushes were batched and timed.
+        assert!(snap.batch_occupancy.count() > 0);
+        assert!(snap.op_latency(OpKind::WriterFlush).count() > 0);
+    }
+
+    #[tokio::test]
+    async fn client_metrics_observe_writer_batches() {
+        let (server, _metrics) = start("127.0.0.1:0").await;
+        let client_metrics = MetricsRegistry::new();
+        let client = RpcClient::connect_with_metrics(
+            server.addr(),
+            PeerTier::Compute,
+            None,
+            Some(Arc::clone(&client_metrics)),
+        )
+        .await
+        .unwrap();
+        client
+            .call(RequestBody::AddBlock { node_id: 1.into() })
+            .await
+            .unwrap();
+        let snap = client_metrics.snapshot();
+        assert!(snap.batch_occupancy.count() > 0);
+        assert!(snap.op_latency(OpKind::WriterFlush).count() > 0);
+        // The client does not record op latency; servers do.
+        assert_eq!(snap.op_latency(OpKind::MetaAddBlock).count(), 0);
+    }
+
+    #[tokio::test]
+    async fn dispatch_spans_continue_the_client_trace() {
+        // The subscriber registry is process-global; give this test its
+        // own server so other tests' spans cannot interleave ids we
+        // assert on (they may still add unrelated records).
+        let sub = glider_trace::CapturingSubscriber::install();
+        let (server, _metrics) = start("127.0.0.1:0").await;
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        client
+            .call(RequestBody::AddBlock { node_id: 9.into() })
+            .await
+            .unwrap();
+        glider_trace::set_subscriber(None);
+        let spans = sub.spans();
+        // Find a client.call whose trace also has an rpc.dispatch.
+        let linked = spans
+            .iter()
+            .filter(|s| s.name == "client.call")
+            .any(|c| {
+                spans
+                    .iter()
+                    .any(|d| d.name == "rpc.dispatch" && d.trace_id == c.trace_id && d.remote)
+            });
+        assert!(linked, "no linked client.call/rpc.dispatch pair: {spans:?}");
     }
 
     #[tokio::test]

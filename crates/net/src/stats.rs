@@ -1,0 +1,243 @@
+//! Building and rendering the `Stats` RPC payload.
+//!
+//! Every Glider server answers [`RequestBody::Stats`] from its
+//! [`MetricsRegistry`] via [`build_stats`]; clients merge the payloads of
+//! many servers ([`glider_proto::stats::StatsPayload::merge`]) and render
+//! them with [`render_stats_table`] (human) or [`render_stats_json`]
+//! (the bench harness's `BENCH_latency.json`).
+//!
+//! [`RequestBody::Stats`]: glider_proto::message::RequestBody::Stats
+//! [`MetricsRegistry`]: glider_metrics::MetricsRegistry
+
+use glider_metrics::{AccessKind, HistogramSnapshot, MetricsSnapshot, OpKind};
+use glider_proto::stats::{NamedValue, OpLatency, StatsPayload};
+use std::fmt::Write as _;
+
+/// Name of the pseudo-op carrying writer batch occupancy. Its histogram
+/// counts *frames per flush*, not nanoseconds.
+pub const BATCH_OCCUPANCY_OP: &str = "writer-batch-frames";
+
+/// Builds the wire stats payload from a metrics snapshot.
+pub fn build_stats(snap: &MetricsSnapshot) -> StatsPayload {
+    let mut ops: Vec<OpLatency> = OpKind::ALL
+        .iter()
+        .map(|k| OpLatency {
+            name: k.name().to_string(),
+            buckets: snap.op_latency(*k).bucket_counts().to_vec(),
+        })
+        .collect();
+    ops.push(OpLatency {
+        name: BATCH_OCCUPANCY_OP.to_string(),
+        buckets: snap.batch_occupancy.bucket_counts().to_vec(),
+    });
+    StatsPayload {
+        ops,
+        gauges: vec![
+            named("queue-current", snap.queue_current),
+            named("queue-peak", snap.queue_peak),
+            named("storage-current", snap.storage_current),
+            named("storage-peak", snap.storage_peak),
+        ],
+        counters: vec![
+            named("storage-accesses", snap.storage_accesses()),
+            named("metadata-rpcs", snap.accesses(AccessKind::Metadata)),
+            named("tier-crossing-bytes", snap.tier_crossing_bytes()),
+            named("intra-storage-bytes", snap.intra_storage_bytes()),
+        ],
+    }
+}
+
+fn named(name: &str, value: u64) -> NamedValue {
+    NamedValue {
+        name: name.to_string(),
+        value,
+    }
+}
+
+/// Whether an op's histogram holds frame counts rather than nanoseconds.
+fn is_frame_op(name: &str) -> bool {
+    name == BATCH_OCCUPANCY_OP
+}
+
+/// Formats a nanosecond value with a readable unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders a stats payload as machine-readable JSON, one op per line.
+///
+/// Schema (version 1): `ops` is a list of
+/// `{name, count, p50_ns, p90_ns, p99_ns, p999_ns, max_ns}` objects —
+/// for `writer-batch-frames` the `_ns` fields hold frame counts —
+/// followed by flat `gauges` and `counters` objects.
+pub fn render_stats_json(payload: &StatsPayload) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema_version\": 1,\n  \"ops\": [\n");
+    for (i, op) in payload.ops.iter().enumerate() {
+        let h = HistogramSnapshot::from_bucket_counts(&op.buckets);
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+             \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}",
+            op.name,
+            h.count(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.p999(),
+            h.max()
+        );
+        out.push_str(if i + 1 < payload.ops.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    for (key, values) in [("gauges", &payload.gauges), ("counters", &payload.counters)] {
+        let _ = write!(out, "  \"{key}\": {{");
+        for (i, v) in values.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}\"{}\": {}", v.name, v.value);
+        }
+        out.push_str(if key == "gauges" { "},\n" } else { "}\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a stats payload as a human-readable table. Ops with no
+/// recordings are omitted.
+pub fn render_stats_table(payload: &StatsPayload) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "op", "count", "p50", "p90", "p99", "p999", "max"
+    );
+    for op in &payload.ops {
+        let h = HistogramSnapshot::from_bucket_counts(&op.buckets);
+        if h.is_empty() {
+            continue;
+        }
+        let fmt = |v: u64| {
+            if is_frame_op(&op.name) {
+                v.to_string()
+            } else {
+                fmt_ns(v)
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            op.name,
+            h.count(),
+            fmt(h.p50()),
+            fmt(h.p90()),
+            fmt(h.p99()),
+            fmt(h.p999()),
+            fmt(h.max())
+        );
+    }
+    for (title, values) in [("gauges", &payload.gauges), ("counters", &payload.counters)] {
+        let interesting: Vec<&NamedValue> = values.iter().filter(|v| v.value > 0).collect();
+        if interesting.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{title}:");
+        for v in interesting {
+            let _ = writeln!(out, "  {:<22} {}", v.name, v.value);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glider_metrics::{MetricsRegistry, Tier};
+    use std::time::Duration;
+
+    fn sample_payload() -> StatsPayload {
+        let m = MetricsRegistry::new();
+        m.record_latency(OpKind::BlockWrite, Duration::from_micros(100));
+        m.record_latency(OpKind::BlockWrite, Duration::from_micros(200));
+        m.record_latency(OpKind::MetaLookupNode, Duration::from_nanos(500));
+        m.record_batch_occupancy(16);
+        m.queue_enter();
+        m.record_transfer(Tier::Compute, Tier::Storage, 4096);
+        m.record_access(AccessKind::FileWrite);
+        build_stats(&m.snapshot())
+    }
+
+    #[test]
+    fn build_covers_every_op_kind_plus_batch() {
+        let payload = sample_payload();
+        assert_eq!(payload.ops.len(), OpKind::COUNT + 1);
+        for kind in OpKind::ALL {
+            assert!(
+                payload.ops.iter().any(|o| o.name == kind.name()),
+                "missing op {}",
+                kind.name()
+            );
+        }
+        assert!(payload.ops.iter().any(|o| o.name == BATCH_OCCUPANCY_OP));
+        let write = payload
+            .ops
+            .iter()
+            .find(|o| o.name == "block-write")
+            .unwrap();
+        assert_eq!(write.buckets.iter().sum::<u64>(), 2);
+        let gauge = |n: &str| payload.gauges.iter().find(|v| v.name == n).unwrap().value;
+        assert_eq!(gauge("queue-current"), 1);
+        assert_eq!(gauge("queue-peak"), 1);
+        let counter = |n: &str| payload.counters.iter().find(|v| v.name == n).unwrap().value;
+        assert_eq!(counter("tier-crossing-bytes"), 4096);
+        assert_eq!(counter("storage-accesses"), 1);
+    }
+
+    #[test]
+    fn json_reports_percentiles_per_op() {
+        let json = render_stats_json(&sample_payload());
+        assert!(json.contains("\"schema_version\": 1"));
+        // block-write saw two ~100-200us ops; its p50 must be non-zero.
+        let line = json
+            .lines()
+            .find(|l| l.contains("\"block-write\""))
+            .unwrap();
+        assert!(line.contains("\"count\": 2"), "line: {line}");
+        assert!(!line.contains("\"p50_ns\": 0"), "line: {line}");
+        // Untouched ops are present with zero counts.
+        let idle = json
+            .lines()
+            .find(|l| l.contains("\"block-free\""))
+            .unwrap();
+        assert!(idle.contains("\"count\": 0"), "line: {idle}");
+        assert!(json.contains("\"queue-peak\": 1"));
+        assert!(json.contains("\"tier-crossing-bytes\": 4096"));
+    }
+
+    #[test]
+    fn table_skips_empty_ops_and_scales_units() {
+        let table = render_stats_table(&sample_payload());
+        assert!(table.contains("block-write"));
+        assert!(table.contains("meta-lookup-node"));
+        assert!(!table.contains("block-free"), "empty ops are omitted");
+        assert!(table.contains("us"), "microsecond ops print as us");
+        assert!(table.contains(BATCH_OCCUPANCY_OP));
+        assert!(table.contains("queue-peak"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_readable_units() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -159,6 +159,7 @@ mod tests {
     fn sample_request() -> Frame {
         Frame::Request(Request {
             id: 5,
+            trace_id: 0,
             body: RequestBody::Hello {
                 tier: PeerTier::Storage,
             },
@@ -226,6 +227,7 @@ mod tests {
         let data = Bytes::from(vec![0xAB; 4096]);
         let frame = Frame::Request(Request {
             id: 42,
+            trace_id: 7,
             body: RequestBody::WriteBlock {
                 block_id: crate::types::BlockId(7),
                 offset: 16,
@@ -294,6 +296,7 @@ mod tests {
     fn payload_len_propagates() {
         let f = Frame::Request(Request {
             id: 1,
+            trace_id: 0,
             body: RequestBody::StreamChunk {
                 stream_id: crate::types::StreamId(1),
                 seq: 0,

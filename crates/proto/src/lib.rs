@@ -30,6 +30,7 @@
 //!
 //! let req = Request {
 //!     id: 7,
+//!     trace_id: 0,
 //!     body: RequestBody::LookupNode { path: "/tmp/x".into() },
 //! };
 //! let mut buf = BytesMut::new();
@@ -42,6 +43,7 @@ pub mod codec;
 pub mod error;
 pub mod frame;
 pub mod message;
+pub mod stats;
 pub mod types;
 
 pub use error::{ErrorCode, GliderError, GliderResult};

@@ -6,6 +6,7 @@
 
 use crate::codec::{CodecError, CodecResult, Wire};
 use crate::error::{ErrorCode, GliderError};
+use crate::stats::StatsPayload;
 use crate::types::{
     ActionSpec, BlockExtent, BlockId, NodeId, NodeInfo, NodeKind, PeerTier, ServerId, ServerKind,
     StorageClass, StreamDir, StreamId,
@@ -17,6 +18,11 @@ use bytes::{Bytes, BytesMut};
 pub struct Request {
     /// Correlates the response; unique per connection.
     pub id: u64,
+    /// End-to-end trace id: minted once at the root of a client
+    /// operation and copied into every RPC it causes, so all hops of one
+    /// logical request can be correlated across processes. 0 means
+    /// untraced.
+    pub trace_id: u64,
     /// The operation.
     pub body: RequestBody,
 }
@@ -90,6 +96,9 @@ pub enum RequestBody {
         /// Number of blocks (data) or action slots (active) contributed.
         capacity_blocks: u64,
     },
+    /// Requests the server's observability snapshot (latency histograms,
+    /// gauges, counters). Answered uniformly by every Glider server.
+    Stats,
 
     // ---- data plane ----
     /// Writes `data` into a block at `offset`.
@@ -173,6 +182,7 @@ impl RequestBody {
             RequestBody::AddBlock { .. } => 5,
             RequestBody::CommitBlock { .. } => 6,
             RequestBody::RegisterServer { .. } => 7,
+            RequestBody::Stats => 8,
             RequestBody::WriteBlock { .. } => 20,
             RequestBody::ReadBlock { .. } => 21,
             RequestBody::FreeBlocks { .. } => 22,
@@ -196,6 +206,7 @@ impl RequestBody {
             RequestBody::AddBlock { .. } => "add-block",
             RequestBody::CommitBlock { .. } => "commit-block",
             RequestBody::RegisterServer { .. } => "register-server",
+            RequestBody::Stats => "stats",
             RequestBody::WriteBlock { .. } => "write-block",
             RequestBody::ReadBlock { .. } => "read-block",
             RequestBody::FreeBlocks { .. } => "free-blocks",
@@ -239,6 +250,7 @@ impl Request {
     /// verbatim as the final bytes of the frame.
     pub fn encode_header(&self, buf: &mut BytesMut) {
         self.id.encode(buf);
+        self.trace_id.encode(buf);
         self.body.opcode().encode(buf);
         match &self.body {
             RequestBody::Hello { tier } => tier.encode(buf),
@@ -277,6 +289,7 @@ impl Request {
                 addr.encode(buf);
                 capacity_blocks.encode(buf);
             }
+            RequestBody::Stats => {}
             RequestBody::WriteBlock {
                 block_id,
                 offset,
@@ -338,6 +351,7 @@ impl Wire for Request {
 
     fn decode(buf: &mut Bytes) -> CodecResult<Self> {
         let id = u64::decode(buf)?;
+        let trace_id = u64::decode(buf)?;
         let opcode = u16::decode(buf)?;
         let body = match opcode {
             0 => RequestBody::Hello {
@@ -372,6 +386,7 @@ impl Wire for Request {
                 addr: String::decode(buf)?,
                 capacity_blocks: u64::decode(buf)?,
             },
+            8 => RequestBody::Stats,
             20 => RequestBody::WriteBlock {
                 block_id: BlockId::decode(buf)?,
                 offset: u64::decode(buf)?,
@@ -411,7 +426,7 @@ impl Wire for Request {
             },
             other => return Err(CodecError(format!("unknown request opcode {other}"))),
         };
-        Ok(Request { id, body })
+        Ok(Request { id, trace_id, body })
     }
 }
 
@@ -483,6 +498,9 @@ pub enum ResponseBody {
         /// Human-readable message.
         message: String,
     },
+    /// The server's observability snapshot (answer to
+    /// [`RequestBody::Stats`]).
+    Stats(StatsPayload),
 }
 
 impl ResponseBody {
@@ -498,6 +516,7 @@ impl ResponseBody {
             ResponseBody::Data { .. } => 7,
             ResponseBody::Written { .. } => 8,
             ResponseBody::Error { .. } => 9,
+            ResponseBody::Stats(_) => 10,
         }
     }
 
@@ -580,6 +599,7 @@ impl Response {
                 code.encode(buf);
                 message.encode(buf);
             }
+            ResponseBody::Stats(payload) => payload.encode(buf),
         }
     }
 }
@@ -625,6 +645,7 @@ impl Wire for Response {
                 code: u16::decode(buf)?,
                 message: String::decode(buf)?,
             },
+            10 => ResponseBody::Stats(StatsPayload::decode(buf)?),
             other => return Err(CodecError(format!("unknown response opcode {other}"))),
         };
         Ok(Response { id, body })
@@ -638,7 +659,11 @@ mod tests {
     use crate::types::BlockLocation;
 
     fn round_trip_req(body: RequestBody) {
-        let req = Request { id: 99, body };
+        let req = Request {
+            id: 99,
+            trace_id: 0xDEAD_BEEF,
+            body,
+        };
         assert_eq!(from_bytes::<Request>(to_bytes(&req)).unwrap(), req);
     }
 
@@ -733,6 +758,7 @@ mod tests {
         round_trip_req(RequestBody::StreamClose {
             stream_id: StreamId(8),
         });
+        round_trip_req(RequestBody::Stats);
     }
 
     #[test]
@@ -775,6 +801,17 @@ mod tests {
             code: ErrorCode::NotFound.as_u16(),
             message: "nope".to_string(),
         });
+        round_trip_resp(ResponseBody::Stats(crate::stats::StatsPayload {
+            ops: vec![crate::stats::OpLatency {
+                name: "block-write".to_string(),
+                buckets: vec![0, 1, 2],
+            }],
+            gauges: vec![],
+            counters: vec![crate::stats::NamedValue {
+                name: "metadata-rpcs".to_string(),
+                value: 9,
+            }],
+        }));
     }
 
     #[test]
@@ -789,7 +826,8 @@ mod tests {
     #[test]
     fn unknown_opcodes_are_rejected() {
         let mut buf = BytesMut::new();
-        1u64.encode(&mut buf);
+        1u64.encode(&mut buf); // id
+        2u64.encode(&mut buf); // trace_id
         999u16.encode(&mut buf);
         assert!(from_bytes::<Request>(buf.freeze()).is_err());
         let mut buf = BytesMut::new();
@@ -829,6 +867,7 @@ mod tests {
 
         let req = Request {
             id: 3,
+            trace_id: 77,
             body: RequestBody::WriteBlock {
                 block_id: BlockId(1),
                 offset: 8,

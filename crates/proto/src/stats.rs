@@ -1,0 +1,204 @@
+//! Wire representation of server statistics (the `Stats` RPC).
+//!
+//! Servers answer [`crate::message::RequestBody::Stats`] with a
+//! [`StatsPayload`]: per-operation latency histogram buckets plus named
+//! gauges and counters. Histograms travel as their raw bucket counts so
+//! the client can merge payloads from many servers bucket-wise and only
+//! then derive percentiles.
+
+use crate::codec::{CodecResult, Wire};
+use bytes::{Bytes, BytesMut};
+
+/// Latency of one operation kind, as raw log-histogram bucket counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpLatency {
+    /// The operation name (a `glider_metrics::OpKind` name).
+    pub name: String,
+    /// Bucket counts of the log-scale histogram (bucket `i` ≥ 1 counts
+    /// values in `[2^(i-1), 2^i)` ns; bucket 0 counts zeros).
+    pub buckets: Vec<u64>,
+}
+
+impl Wire for OpLatency {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.name.encode(buf);
+        self.buckets.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(OpLatency {
+            name: String::decode(buf)?,
+            buckets: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// A named scalar (gauge or counter) in a stats payload.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NamedValue {
+    /// Stable name (e.g. `queue-peak`).
+    pub name: String,
+    /// The value.
+    pub value: u64,
+}
+
+impl Wire for NamedValue {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.name.encode(buf);
+        self.value.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(NamedValue {
+            name: String::decode(buf)?,
+            value: u64::decode(buf)?,
+        })
+    }
+}
+
+/// A server's observability snapshot, merged client-side across servers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsPayload {
+    /// Per-operation latency histograms.
+    pub ops: Vec<OpLatency>,
+    /// Point-in-time gauges (current/peak values; merged by max would be
+    /// more precise, but sums keep partition totals comparable).
+    pub gauges: Vec<NamedValue>,
+    /// Monotonic counters (merged by sum).
+    pub counters: Vec<NamedValue>,
+}
+
+impl StatsPayload {
+    /// Merges `other` into `self`: histograms add bucket-wise by op
+    /// name, gauges and counters add by name; unknown names append.
+    pub fn merge(&mut self, other: &StatsPayload) {
+        for op in &other.ops {
+            match self.ops.iter_mut().find(|o| o.name == op.name) {
+                Some(mine) => {
+                    if mine.buckets.len() < op.buckets.len() {
+                        mine.buckets.resize(op.buckets.len(), 0);
+                    }
+                    for (a, b) in mine.buckets.iter_mut().zip(op.buckets.iter()) {
+                        *a = a.saturating_add(*b);
+                    }
+                }
+                None => self.ops.push(op.clone()),
+            }
+        }
+        for (mine, theirs) in [
+            (&mut self.gauges, &other.gauges),
+            (&mut self.counters, &other.counters),
+        ] {
+            for value in theirs {
+                match mine.iter_mut().find(|v| v.name == value.name) {
+                    Some(v) => v.value = v.value.saturating_add(value.value),
+                    None => mine.push(value.clone()),
+                }
+            }
+        }
+    }
+}
+
+impl Wire for StatsPayload {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.ops.encode(buf);
+        self.gauges.encode(buf);
+        self.counters.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(StatsPayload {
+            ops: Vec::decode(buf)?,
+            gauges: Vec::decode(buf)?,
+            counters: Vec::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+
+    fn sample() -> StatsPayload {
+        StatsPayload {
+            ops: vec![
+                OpLatency {
+                    name: "block-write".to_string(),
+                    buckets: vec![0, 1, 2, 3],
+                },
+                OpLatency {
+                    name: "block-read".to_string(),
+                    buckets: vec![5; 64],
+                },
+            ],
+            gauges: vec![NamedValue {
+                name: "queue-peak".to_string(),
+                value: 7,
+            }],
+            counters: vec![NamedValue {
+                name: "metadata-rpcs".to_string(),
+                value: 123,
+            }],
+        }
+    }
+
+    #[test]
+    fn stats_payload_round_trips() {
+        let payload = sample();
+        let decoded: StatsPayload = from_bytes(to_bytes(&payload)).unwrap();
+        assert_eq!(decoded, payload);
+        let empty: StatsPayload = from_bytes(to_bytes(&StatsPayload::default())).unwrap();
+        assert_eq!(empty, StatsPayload::default());
+    }
+
+    #[test]
+    fn merge_adds_matching_and_appends_new() {
+        let mut a = sample();
+        let b = StatsPayload {
+            ops: vec![
+                OpLatency {
+                    name: "block-write".to_string(),
+                    buckets: vec![1, 1],
+                },
+                OpLatency {
+                    name: "queue-wait".to_string(),
+                    buckets: vec![9],
+                },
+            ],
+            gauges: vec![NamedValue {
+                name: "queue-peak".to_string(),
+                value: 3,
+            }],
+            counters: vec![NamedValue {
+                name: "storage-accesses".to_string(),
+                value: 2,
+            }],
+        };
+        a.merge(&b);
+        let write = a.ops.iter().find(|o| o.name == "block-write").unwrap();
+        assert_eq!(write.buckets, vec![1, 2, 2, 3]);
+        assert!(a.ops.iter().any(|o| o.name == "queue-wait"));
+        assert_eq!(a.gauges[0].value, 10);
+        assert_eq!(a.counters.len(), 2);
+    }
+
+    #[test]
+    fn merge_grows_shorter_bucket_vectors() {
+        let mut a = StatsPayload {
+            ops: vec![OpLatency {
+                name: "x".to_string(),
+                buckets: vec![1],
+            }],
+            ..Default::default()
+        };
+        a.merge(&StatsPayload {
+            ops: vec![OpLatency {
+                name: "x".to_string(),
+                buckets: vec![1, 2, 3],
+            }],
+            ..Default::default()
+        });
+        assert_eq!(a.ops[0].buckets, vec![2, 2, 3]);
+    }
+}

@@ -138,10 +138,11 @@ struct DataHandler {
 impl RpcHandler for DataHandler {
     fn handle(
         self: Arc<Self>,
-        _ctx: ConnCtx,
+        ctx: ConnCtx,
         body: RequestBody,
     ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
         Box::pin(async move {
+            let _span = glider_trace::Span::child_of(ctx.span_context(), "data.handle");
             match body {
                 RequestBody::Hello { .. } => Ok(ResponseBody::Ok),
                 RequestBody::WriteBlock {

@@ -1,0 +1,550 @@
+//! Request tracing spans for Glider, with zero dependencies.
+//!
+//! This crate is a small, self-contained stand-in for the `tracing`
+//! facade (the workspace builds in hermetic environments where external
+//! crates are unavailable), shaped after the same concepts:
+//!
+//! - a [`Span`] measures one named unit of work and carries a
+//!   [`SpanContext`] — a `(trace_id, span_id)` pair. The trace id is
+//!   minted once at the root of a request and propagated across process
+//!   boundaries in the RPC header, so every hop of one client operation
+//!   shares it.
+//! - a global [`Subscriber`] observes span closures and events. When no
+//!   subscriber is installed (the default), spans skip timing entirely:
+//!   creating and dropping one costs a single relaxed atomic load plus
+//!   the id arithmetic needed to keep wire trace ids flowing.
+//! - [`init_from_env`] installs a stderr subscriber when `GLIDER_TRACE`
+//!   (or, as a fallback, `RUST_LOG`) selects one — the env-filter style
+//!   switch: off by default, `all` for everything, or a comma-separated
+//!   list of span-name prefixes (`rpc,action` traces the RPC layer and
+//!   the action runtime).
+//!
+//! The span hierarchy Glider emits for one client call is documented in
+//! DESIGN.md §Observability:
+//!
+//! ```text
+//! client.call                 (root, client process)
+//! └── rpc.dispatch            (remote: same trace id, new process)
+//!     └── <server>.handle     (meta.handle / data.handle / active.handle)
+//!         └── action.queue    (time spent waiting in the mailbox)
+//!             └── action.run  (the handler method itself)
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Ids and context
+// ---------------------------------------------------------------------------
+
+/// The identity of a span: which trace it belongs to and which span it is.
+///
+/// A zero `trace_id` means "no trace" ([`SpanContext::NONE`]); real ids
+/// are never zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// Shared by every span of one end-to-end request.
+    pub trace_id: u64,
+    /// Unique per span (within a process run).
+    pub span_id: u64,
+}
+
+impl SpanContext {
+    /// The absent context: no trace, no span.
+    pub const NONE: SpanContext = SpanContext {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// True when this is [`SpanContext::NONE`].
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// SplitMix64: decorrelates the sequential counter so ids look random
+/// without any external RNG.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fresh non-zero id.
+fn next_id() -> u64 {
+    loop {
+        let id = mix(NEXT_ID.fetch_add(1, Ordering::Relaxed));
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Subscriber
+// ---------------------------------------------------------------------------
+
+/// A closed span, as delivered to subscribers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's static name (e.g. `rpc.dispatch`).
+    pub name: &'static str,
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// The parent span's id; 0 for roots and remote continuations.
+    pub parent_span: u64,
+    /// True when the span continues a trace that crossed a process (or
+    /// connection) boundary, so its parent span lives elsewhere.
+    pub remote: bool,
+    /// Wall-clock time between span creation and drop.
+    pub duration: Duration,
+}
+
+/// Observer of span closures and events.
+pub trait Subscriber: Send + Sync {
+    /// Whether spans/events with this name should be recorded at all.
+    fn enabled(&self, name: &str) -> bool;
+    /// Called when an enabled span is dropped.
+    fn on_span_close(&self, span: &SpanRecord);
+    /// Called for point-in-time events (e.g. slow-op reports).
+    fn on_event(&self, name: &str, message: &str, ctx: SpanContext);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SUBSCRIBER: Mutex<Option<Arc<dyn Subscriber>>> = Mutex::new(None);
+
+fn subscriber_slot() -> std::sync::MutexGuard<'static, Option<Arc<dyn Subscriber>>> {
+    // A panicking subscriber must not poison tracing for everyone else.
+    SUBSCRIBER.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs (or, with `None`, removes) the global subscriber.
+///
+/// Later installations replace earlier ones; spans created before the
+/// switch report to whatever is installed when they *close*.
+pub fn set_subscriber(subscriber: Option<Arc<dyn Subscriber>>) {
+    let mut slot = subscriber_slot();
+    ENABLED.store(subscriber.is_some(), Ordering::Release);
+    *slot = subscriber;
+}
+
+/// Runs `f` with the current subscriber, if any. The registry lock is
+/// released before `f` runs, so subscribers may re-enter the API.
+fn with_subscriber(f: impl FnOnce(&dyn Subscriber)) {
+    if !ENABLED.load(Ordering::Acquire) {
+        return;
+    }
+    let subscriber = subscriber_slot().clone();
+    if let Some(s) = subscriber {
+        f(&*s);
+    }
+}
+
+/// Whether a span/event with `name` would currently be recorded.
+pub fn enabled_for(name: &str) -> bool {
+    if !ENABLED.load(Ordering::Acquire) {
+        return false;
+    }
+    let mut yes = false;
+    with_subscriber(|s| yes = s.enabled(name));
+    yes
+}
+
+/// True when any subscriber is installed (one relaxed atomic load; the
+/// hot-path check).
+pub fn tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Emits a point-in-time event to the subscriber, if one is installed
+/// and enables `name`.
+pub fn event(name: &'static str, message: &str, ctx: SpanContext) {
+    with_subscriber(|s| {
+        if s.enabled(name) {
+            s.on_event(name, message, ctx);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+/// A named unit of work; reports its duration to the subscriber on drop.
+///
+/// Spans always carry real ids (so trace ids can propagate on the wire
+/// even while tracing output is off) but only start a timer — and only
+/// report on drop — when a subscriber enabling their name was installed
+/// at creation time.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    ctx: SpanContext,
+    parent_span: u64,
+    remote: bool,
+    start: Option<Instant>,
+}
+
+impl Span {
+    fn new(name: &'static str, ctx: SpanContext, parent_span: u64, remote: bool) -> Span {
+        let start = if enabled_for(name) {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Span {
+            name,
+            ctx,
+            parent_span,
+            remote,
+            start,
+        }
+    }
+
+    /// Starts a new trace: fresh trace id, no parent.
+    pub fn root(name: &'static str) -> Span {
+        let ctx = SpanContext {
+            trace_id: next_id(),
+            span_id: next_id(),
+        };
+        Span::new(name, ctx, 0, false)
+    }
+
+    /// Continues a trace that arrived over the wire. The parent span ran
+    /// in another process, so the record is marked `remote` with no local
+    /// parent. A zero `trace_id` (untraced peer) starts a fresh trace.
+    pub fn remote(name: &'static str, trace_id: u64) -> Span {
+        let (trace_id, remote) = if trace_id == 0 {
+            (next_id(), false)
+        } else {
+            (trace_id, true)
+        };
+        let ctx = SpanContext {
+            trace_id,
+            span_id: next_id(),
+        };
+        Span::new(name, ctx, 0, remote)
+    }
+
+    /// A child span within the same process. With a [`SpanContext::NONE`]
+    /// parent this degenerates to a fresh root.
+    pub fn child_of(parent: SpanContext, name: &'static str) -> Span {
+        if parent.is_none() {
+            return Span::root(name);
+        }
+        let ctx = SpanContext {
+            trace_id: parent.trace_id,
+            span_id: next_id(),
+        };
+        Span::new(name, ctx, parent.span_id, false)
+    }
+
+    /// An inert span: no ids, no timing, nothing reported on drop.
+    pub fn none() -> Span {
+        Span {
+            name: "",
+            ctx: SpanContext::NONE,
+            parent_span: 0,
+            remote: false,
+            start: None,
+        }
+    }
+
+    /// This span's context, for building children or wire propagation.
+    pub fn context(&self) -> SpanContext {
+        self.ctx
+    }
+
+    /// The trace id to propagate on the wire.
+    pub fn trace_id(&self) -> u64 {
+        self.ctx.trace_id
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let record = SpanRecord {
+            name: self.name,
+            trace_id: self.ctx.trace_id,
+            span_id: self.ctx.span_id,
+            parent_span: self.parent_span,
+            remote: self.remote,
+            duration: start.elapsed(),
+        };
+        with_subscriber(|s| {
+            if s.enabled(record.name) {
+                s.on_span_close(&record);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Subscribers
+// ---------------------------------------------------------------------------
+
+/// Collects every span and event in memory; for tests.
+#[derive(Debug, Default)]
+pub struct CapturingSubscriber {
+    spans: Mutex<Vec<SpanRecord>>,
+    events: Mutex<Vec<(String, String, SpanContext)>>,
+}
+
+impl CapturingSubscriber {
+    /// Creates an empty capture buffer.
+    pub fn new() -> Arc<CapturingSubscriber> {
+        Arc::new(CapturingSubscriber::default())
+    }
+
+    /// Creates a capture buffer and installs it as the global subscriber.
+    pub fn install() -> Arc<CapturingSubscriber> {
+        let sub = CapturingSubscriber::new();
+        set_subscriber(Some(Arc::clone(&sub) as Arc<dyn Subscriber>));
+        sub
+    }
+
+    /// All spans closed so far.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// All events emitted so far.
+    pub fn events(&self) -> Vec<(String, String, SpanContext)> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+impl Subscriber for CapturingSubscriber {
+    fn enabled(&self, _name: &str) -> bool {
+        true
+    }
+
+    fn on_span_close(&self, span: &SpanRecord) {
+        self.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(span.clone());
+    }
+
+    fn on_event(&self, name: &str, message: &str, ctx: SpanContext) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((name.to_string(), message.to_string(), ctx));
+    }
+}
+
+/// Prints span closures and events to stderr, filtered by name prefixes.
+#[derive(Debug)]
+pub struct StderrSubscriber {
+    /// Span-name prefixes to print; empty means everything.
+    prefixes: Vec<String>,
+}
+
+impl StderrSubscriber {
+    /// A subscriber printing spans whose name starts with any of
+    /// `prefixes` (all spans when empty).
+    pub fn new(prefixes: Vec<String>) -> StderrSubscriber {
+        StderrSubscriber { prefixes }
+    }
+}
+
+impl Subscriber for StderrSubscriber {
+    fn enabled(&self, name: &str) -> bool {
+        self.prefixes.is_empty() || self.prefixes.iter().any(|p| name.starts_with(p.as_str()))
+    }
+
+    fn on_span_close(&self, span: &SpanRecord) {
+        eprintln!(
+            "[trace {:016x}] {} span={:016x} parent={:016x}{} {:?}",
+            span.trace_id,
+            span.name,
+            span.span_id,
+            span.parent_span,
+            if span.remote { " remote" } else { "" },
+            span.duration,
+        );
+    }
+
+    fn on_event(&self, name: &str, message: &str, ctx: SpanContext) {
+        if ctx.is_none() {
+            eprintln!("[trace] {name}: {message}");
+        } else {
+            eprintln!("[trace {:016x}] {name}: {message}", ctx.trace_id);
+        }
+    }
+}
+
+/// Parses a `GLIDER_TRACE`/`RUST_LOG`-style value into a subscriber
+/// choice: `None` when tracing should stay off, otherwise the name
+/// prefixes to print (empty = everything).
+fn parse_filter(value: &str) -> Option<Vec<String>> {
+    let value = value.trim();
+    match value {
+        "" | "0" | "off" | "none" => None,
+        "1" | "all" | "trace" | "debug" | "info" => Some(Vec::new()),
+        list => Some(
+            list.split(',')
+                .map(|p| p.trim().to_string())
+                .filter(|p| !p.is_empty())
+                .collect(),
+        ),
+    }
+}
+
+/// Installs a [`StderrSubscriber`] when `GLIDER_TRACE` (preferred) or
+/// `RUST_LOG` enables tracing; leaves tracing off otherwise. Returns
+/// whether a subscriber was installed.
+pub fn init_from_env() -> bool {
+    let value = std::env::var("GLIDER_TRACE")
+        .or_else(|_| std::env::var("RUST_LOG"))
+        .unwrap_or_default();
+    match parse_filter(&value) {
+        Some(prefixes) => {
+            set_subscriber(Some(Arc::new(StderrSubscriber::new(prefixes))));
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The subscriber registry is process-global, so tests that install
+    // one must not run concurrently with each other.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+    }
+
+    #[test]
+    fn disabled_spans_report_nothing() {
+        let _guard = serial();
+        set_subscriber(None);
+        let root = Span::root("t.root");
+        assert_ne!(root.trace_id(), 0, "ids flow even when tracing is off");
+        drop(root);
+        // Installing after the fact must not resurrect old spans.
+        let sub = CapturingSubscriber::install();
+        assert!(sub.spans().is_empty());
+        set_subscriber(None);
+    }
+
+    #[test]
+    fn span_tree_links_parents_and_trace() {
+        let _guard = serial();
+        let sub = CapturingSubscriber::install();
+        let root = Span::root("t.a");
+        let child = Span::child_of(root.context(), "t.b");
+        let grandchild = Span::child_of(child.context(), "t.c");
+        let trace = root.trace_id();
+        drop(grandchild);
+        drop(child);
+        drop(root);
+        set_subscriber(None);
+
+        let spans = sub.spans();
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.trace_id == trace));
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("t.a").parent_span, 0);
+        assert_eq!(by_name("t.b").parent_span, by_name("t.a").span_id);
+        assert_eq!(by_name("t.c").parent_span, by_name("t.b").span_id);
+    }
+
+    #[test]
+    fn remote_spans_continue_the_wire_trace() {
+        let _guard = serial();
+        let sub = CapturingSubscriber::install();
+        drop(Span::remote("t.remote", 42));
+        drop(Span::remote("t.fresh", 0));
+        set_subscriber(None);
+        let spans = sub.spans();
+        let remote = spans.iter().find(|s| s.name == "t.remote").unwrap();
+        assert_eq!(remote.trace_id, 42);
+        assert!(remote.remote);
+        let fresh = spans.iter().find(|s| s.name == "t.fresh").unwrap();
+        assert_ne!(fresh.trace_id, 0);
+        assert!(!fresh.remote);
+    }
+
+    #[test]
+    fn none_spans_are_inert() {
+        let _guard = serial();
+        let sub = CapturingSubscriber::install();
+        let span = Span::none();
+        assert!(span.context().is_none());
+        drop(span);
+        // child_of(NONE) becomes a root.
+        let orphan = Span::child_of(SpanContext::NONE, "t.orphan");
+        assert_ne!(orphan.trace_id(), 0);
+        drop(orphan);
+        set_subscriber(None);
+        let spans = sub.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "t.orphan");
+        assert_eq!(spans[0].parent_span, 0);
+    }
+
+    #[test]
+    fn events_reach_the_subscriber() {
+        let _guard = serial();
+        let sub = CapturingSubscriber::install();
+        event("t.slow-op", "write-block took 12ms", SpanContext::NONE);
+        set_subscriber(None);
+        event("t.slow-op", "dropped after uninstall", SpanContext::NONE);
+        let events = sub.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, "t.slow-op");
+    }
+
+    #[test]
+    fn filter_parsing_matches_env_conventions() {
+        assert_eq!(parse_filter(""), None);
+        assert_eq!(parse_filter("off"), None);
+        assert_eq!(parse_filter("0"), None);
+        assert_eq!(parse_filter("none"), None);
+        assert_eq!(parse_filter("all"), Some(vec![]));
+        assert_eq!(parse_filter("1"), Some(vec![]));
+        assert_eq!(parse_filter("info"), Some(vec![]));
+        assert_eq!(
+            parse_filter("rpc, action"),
+            Some(vec!["rpc".to_string(), "action".to_string()])
+        );
+    }
+
+    #[test]
+    fn stderr_subscriber_prefix_filter() {
+        let all = StderrSubscriber::new(vec![]);
+        assert!(all.enabled("anything"));
+        let some = StderrSubscriber::new(vec!["rpc".into(), "action".into()]);
+        assert!(some.enabled("rpc.dispatch"));
+        assert!(some.enabled("action.queue"));
+        assert!(!some.enabled("meta.handle"));
+    }
+}

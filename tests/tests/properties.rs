@@ -146,8 +146,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn request_frames_round_trip(id in any::<u64>(), body in arb_request_body()) {
-        let frame = Frame::Request(Request { id, body });
+    fn request_frames_round_trip(
+        id in any::<u64>(),
+        trace_id in any::<u64>(),
+        body in arb_request_body(),
+    ) {
+        let frame = Frame::Request(Request { id, trace_id, body });
         let mut buf = BytesMut::new();
         encode_frame(&frame, &mut buf);
         let decoded = decode_frame(&mut buf).unwrap().unwrap();
@@ -199,9 +203,10 @@ proptest! {
     #[test]
     fn split_encoding_matches_inline_for_requests(
         id in any::<u64>(),
+        trace_id in any::<u64>(),
         body in arb_request_body(),
     ) {
-        let frame = Frame::Request(Request { id, body });
+        let frame = Frame::Request(Request { id, trace_id, body });
         let (header, payload) = encode_frame_parts(&frame);
         let mut joined = BytesMut::from(&header[..]);
         if let Some(p) = &payload {
@@ -250,6 +255,7 @@ proptest! {
         let frame = if as_request {
             Frame::Request(Request {
                 id,
+                trace_id: 0,
                 body: RequestBody::WriteBlock {
                     block_id: BlockId(3),
                     offset: 9,
