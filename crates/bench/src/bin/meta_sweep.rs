@@ -1,0 +1,67 @@
+//! Sweeps metadata-plane throughput (create / lookup / batched
+//! `AddBlocks` ops/s) over 1–64 concurrent clients, measures metadata
+//! RPCs per MiB streamed for the singular vs. batched protocol, and
+//! writes `BENCH_metadata.json` at the repository root.
+//!
+//! ```text
+//! cargo run -p glider-bench --release --bin meta_sweep
+//! cargo run -p glider-bench --release --bin meta_sweep -- --smoke
+//! ```
+//!
+//! `--smoke` runs a seconds-long sanity pass (used by CI) and does not
+//! rewrite `BENCH_metadata.json`.
+
+use glider_bench::meta::{
+    measure_rpc_efficiency, render_metadata_json, sweep_concurrency, SWEEP_ALLOC_BATCH,
+};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = glider_bench::scale_from_args();
+    let (levels, ops, mib): (&[usize], usize, u64) = if smoke {
+        (&[1, 4], 16, 1)
+    } else {
+        (&[1, 4, 16, 64], glider_bench::scaled(100, scale), 16)
+    };
+
+    let rt = glider_bench::runtime();
+    let (samples, efficiency) = rt.block_on(async {
+        let samples = sweep_concurrency(levels, ops).await.expect("meta sweep");
+        let efficiency = measure_rpc_efficiency(mib).await.expect("rpc efficiency");
+        (samples, efficiency)
+    });
+
+    println!("metadata sweep — {ops} ops/client/phase, AddBlocks batch {SWEEP_ALLOC_BATCH}");
+    println!(
+        "{:>8} {:>14} {:>14} {:>16}",
+        "clients", "create op/s", "lookup op/s", "add-blocks op/s"
+    );
+    for s in &samples {
+        println!(
+            "{:>8} {:>14.0} {:>14.0} {:>16.0}",
+            s.clients, s.create_ops_per_s, s.lookup_ops_per_s, s.add_blocks_ops_per_s
+        );
+    }
+    println!(
+        "metadata RPCs per MiB streamed: singular {:.2}, batched {:.2} ({:.1}x fewer)",
+        efficiency.singular_rpcs_per_mib,
+        efficiency.batched_rpcs_per_mib,
+        efficiency.improvement()
+    );
+
+    if smoke {
+        assert!(
+            efficiency.improvement() >= 2.0,
+            "batched protocol must at least halve metadata RPCs"
+        );
+        println!("smoke pass ok");
+        return;
+    }
+
+    let doc = render_metadata_json(&samples, Some(efficiency));
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_metadata.json");
+    std::fs::write(&path, doc).expect("write BENCH_metadata.json");
+    println!("wrote {}", path.display());
+}

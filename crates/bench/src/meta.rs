@@ -1,0 +1,292 @@
+//! Metadata-plane throughput sweeps.
+//!
+//! Measures the sharded metadata server under concurrent clients —
+//! create, lookup, and batched `AddBlocks` operations per second — and
+//! the client-side efficiency win of the batched protocol: metadata RPCs
+//! issued per MiB streamed, with and without block prefetch and commit
+//! coalescing. Backs the `meta_sweep` binary, which emits
+//! `BENCH_metadata.json` at the repository root.
+
+use bytes::Bytes;
+use glider_core::{Cluster, ClusterConfig, GliderResult, StoreClient};
+use glider_metrics::AccessKind;
+use glider_net::rpc::RpcClient;
+use glider_proto::message::{RequestBody, ResponseBody};
+use glider_proto::GliderError;
+use glider_util::ByteSize;
+use std::time::Instant;
+
+/// Blocks requested per `AddBlocks` RPC during the allocation phase.
+pub const SWEEP_ALLOC_BATCH: u32 = 4;
+
+/// One measured concurrency level.
+#[derive(Debug, Clone)]
+pub struct MetaSample {
+    /// Concurrent clients issuing operations.
+    pub clients: usize,
+    /// `CreateNode` operations per second (aggregate).
+    pub create_ops_per_s: f64,
+    /// `LookupNode` operations per second (aggregate, cache disabled).
+    pub lookup_ops_per_s: f64,
+    /// `AddBlocks` RPCs per second (aggregate, batch of
+    /// [`SWEEP_ALLOC_BATCH`]).
+    pub add_blocks_ops_per_s: f64,
+}
+
+/// Metadata RPCs per MiB streamed, singular vs. batched protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcEfficiency {
+    /// Prefetch off, one `AddBlock`/`CommitBlock` per block.
+    pub singular_rpcs_per_mib: f64,
+    /// Default prefetch + commit coalescing (`AddBlocks`/`CommitBlocks`).
+    pub batched_rpcs_per_mib: f64,
+}
+
+impl RpcEfficiency {
+    /// How many times fewer RPCs the batched protocol issues.
+    pub fn improvement(&self) -> f64 {
+        if self.batched_rpcs_per_mib > 0.0 {
+            self.singular_rpcs_per_mib / self.batched_rpcs_per_mib
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `ops_per_client` operations of each kind at every concurrency
+/// level, against a fresh single-metadata-server cluster per level.
+///
+/// # Errors
+///
+/// Propagates cluster and RPC failures.
+pub async fn sweep_concurrency(
+    levels: &[usize],
+    ops_per_client: usize,
+) -> GliderResult<Vec<MetaSample>> {
+    let mut samples = Vec::with_capacity(levels.len());
+    for &clients in levels {
+        // Enough block budget for every AddBlocks call to succeed in full.
+        let capacity = (clients * ops_per_client) as u64 * u64::from(SWEEP_ALLOC_BATCH) + 64;
+        let cluster =
+            Cluster::start(ClusterConfig::default().with_data(1, capacity).with_active(0, 0))
+                .await?;
+
+        // Connect every client (and its raw metadata connection) up front
+        // so dialing stays out of the measured window.
+        let mut stores = Vec::with_capacity(clients);
+        for _ in 0..clients {
+            stores.push(
+                StoreClient::connect(cluster.client_config().with_lookup_cache_ttl(None)).await?,
+            );
+        }
+
+        // Phase 1: creates. Top-level file names hash across shards.
+        let t0 = Instant::now();
+        let mut tasks = Vec::with_capacity(clients);
+        for (j, store) in stores.iter().enumerate() {
+            let store = store.clone();
+            tasks.push(tokio::spawn(async move {
+                for i in 0..ops_per_client {
+                    store.create_file(&format!("/f{j}x{i}")).await?;
+                }
+                Ok::<(), GliderError>(())
+            }));
+        }
+        join_all(tasks).await?;
+        let create_ops_per_s = rate(clients * ops_per_client, t0);
+
+        // Phase 2: lookups (cache disabled above, so every op is an RPC).
+        let t0 = Instant::now();
+        let mut tasks = Vec::with_capacity(clients);
+        for (j, store) in stores.iter().enumerate() {
+            let store = store.clone();
+            tasks.push(tokio::spawn(async move {
+                for i in 0..ops_per_client {
+                    store.lookup(&format!("/f{j}x{i}")).await?;
+                }
+                Ok::<(), GliderError>(())
+            }));
+        }
+        join_all(tasks).await?;
+        let lookup_ops_per_s = rate(clients * ops_per_client, t0);
+
+        // Phase 3: batched allocation on one node per client, over raw
+        // metadata connections.
+        let mut conns = Vec::with_capacity(clients);
+        for (j, store) in stores.iter().enumerate() {
+            let node = store.lookup(&format!("/f{j}x0")).await?;
+            conns.push((RpcClient::connect_intra_storage(cluster.metadata_addr()).await?, node.id));
+        }
+        let t0 = Instant::now();
+        let mut tasks = Vec::with_capacity(clients);
+        for (conn, node_id) in conns {
+            tasks.push(tokio::spawn(async move {
+                for _ in 0..ops_per_client {
+                    match conn
+                        .call(RequestBody::AddBlocks {
+                            node_id,
+                            count: SWEEP_ALLOC_BATCH,
+                        })
+                        .await?
+                    {
+                        ResponseBody::Blocks(_) => {}
+                        other => {
+                            return Err(GliderError::protocol(format!(
+                                "expected blocks response, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok::<(), GliderError>(())
+            }));
+        }
+        join_all(tasks).await?;
+        let add_blocks_ops_per_s = rate(clients * ops_per_client, t0);
+
+        cluster.shutdown();
+        samples.push(MetaSample {
+            clients,
+            create_ops_per_s,
+            lookup_ops_per_s,
+            add_blocks_ops_per_s,
+        });
+    }
+    Ok(samples)
+}
+
+/// Streams `mib` MiB twice — once with the singular per-block protocol,
+/// once with default prefetch and commit coalescing — and reports the
+/// metadata RPCs each issued per MiB.
+///
+/// # Errors
+///
+/// Propagates cluster and stream failures.
+pub async fn measure_rpc_efficiency(mib: u64) -> GliderResult<RpcEfficiency> {
+    // 64 KiB blocks: each MiB spans 16 blocks, so the metadata plane is
+    // exercised hard relative to the data volume.
+    let cluster = Cluster::start(
+        ClusterConfig::default()
+            .with_block_size(ByteSize::kib(64))
+            .with_data(1, mib * 16 * 4 + 64)
+            .with_active(0, 0),
+    )
+    .await?;
+    let payload = Bytes::from(vec![0x5au8; (mib * 1024 * 1024) as usize]);
+
+    let singular = StoreClient::connect(
+        cluster
+            .client_config()
+            .with_prefetch_blocks(0)
+            .with_commit_batch(1)
+            .with_lookup_cache_ttl(None),
+    )
+    .await?;
+    let before = cluster.metrics().snapshot().accesses(AccessKind::Metadata);
+    let file = singular.create_file("/singular").await?;
+    file.write_all(payload.clone()).await?;
+    let singular_rpcs = cluster.metrics().snapshot().accesses(AccessKind::Metadata) - before;
+
+    let batched = StoreClient::connect(cluster.client_config()).await?;
+    let before = cluster.metrics().snapshot().accesses(AccessKind::Metadata);
+    let file = batched.create_file("/batched").await?;
+    file.write_all(payload).await?;
+    let batched_rpcs = cluster.metrics().snapshot().accesses(AccessKind::Metadata) - before;
+
+    cluster.shutdown();
+    Ok(RpcEfficiency {
+        singular_rpcs_per_mib: singular_rpcs as f64 / mib as f64,
+        batched_rpcs_per_mib: batched_rpcs as f64 / mib as f64,
+    })
+}
+
+async fn join_all(tasks: Vec<tokio::task::JoinHandle<GliderResult<()>>>) -> GliderResult<()> {
+    for task in tasks {
+        task.await
+            .map_err(|e| GliderError::protocol(format!("bench task failed: {e}")))??;
+    }
+    Ok(())
+}
+
+fn rate(ops: usize, since: Instant) -> f64 {
+    ops as f64 / since.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Renders `BENCH_metadata.json` (same shape conventions as the
+/// transport bench: samples plus an acceptance block).
+pub fn render_metadata_json(samples: &[MetaSample], efficiency: Option<RpcEfficiency>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"metadata\",\n  \"schema_version\": 1,\n");
+    out.push_str(
+        "  \"description\": \"metadata ops/s per concurrency level; metadata RPCs per MiB streamed, singular vs batched protocol\",\n",
+    );
+    out.push_str(&format!("  \"alloc_batch\": {SWEEP_ALLOC_BATCH},\n"));
+    out.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"create_ops_per_s\": {:.1}, \"lookup_ops_per_s\": {:.1}, \
+             \"add_blocks_ops_per_s\": {:.1}}}{}\n",
+            s.clients,
+            s.create_ops_per_s,
+            s.lookup_ops_per_s,
+            s.add_blocks_ops_per_s,
+            if i + 1 == samples.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"acceptance\": {\n");
+    let fmt = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.3}"));
+    out.push_str(&format!(
+        "    \"singular_rpcs_per_mib\": {},\n",
+        fmt(efficiency.map(|e| e.singular_rpcs_per_mib))
+    ));
+    out.push_str(&format!(
+        "    \"batched_rpcs_per_mib\": {},\n",
+        fmt(efficiency.map(|e| e.batched_rpcs_per_mib))
+    ));
+    out.push_str(&format!(
+        "    \"rpc_reduction\": {}\n  }}\n}}\n",
+        fmt(efficiency.map(|e| e.improvement()))
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn sweep_and_efficiency_smoke() {
+        let samples = sweep_concurrency(&[1, 2], 8).await.unwrap();
+        assert_eq!(samples.len(), 2);
+        for s in &samples {
+            assert!(s.create_ops_per_s > 0.0);
+            assert!(s.lookup_ops_per_s > 0.0);
+            assert!(s.add_blocks_ops_per_s > 0.0);
+        }
+        let eff = measure_rpc_efficiency(1).await.unwrap();
+        assert!(
+            eff.improvement() >= 2.0,
+            "batched protocol must at least halve metadata RPCs: {eff:?}"
+        );
+    }
+
+    #[test]
+    fn json_is_balanced_and_null_safe() {
+        let samples = vec![MetaSample {
+            clients: 4,
+            create_ops_per_s: 1000.0,
+            lookup_ops_per_s: 2000.0,
+            add_blocks_ops_per_s: 1500.0,
+        }];
+        let eff = RpcEfficiency {
+            singular_rpcs_per_mib: 33.0,
+            batched_rpcs_per_mib: 8.0,
+        };
+        let doc = render_metadata_json(&samples, Some(eff));
+        assert!(doc.contains("\"clients\": 4"));
+        assert!(doc.contains("\"singular_rpcs_per_mib\": 33.000"));
+        assert!(doc.contains("\"rpc_reduction\": 4.125"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        let doc = render_metadata_json(&[], None);
+        assert!(doc.contains("\"rpc_reduction\": null"));
+    }
+}

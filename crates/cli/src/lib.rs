@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! glider serve [--data N] [--active N] [--slots N] [--block-size SZ]
+//!         [--meta-shards N]
 //!     start an in-process cluster and print its metadata address
 //!
-//! glider --meta ADDR <command>
+//! glider --meta ADDR [--prefetch-blocks N] [--commit-batch N]
+//!        [--cache-ttl-ms N] <command>
 //!     ls PATH                 list a container
 //!     stat PATH               show node metadata
 //!     mkdir PATH              create a directory (and parents)
@@ -37,6 +39,8 @@ pub enum Command {
         slots: u64,
         /// Block size.
         block_size: ByteSize,
+        /// Namespace shards inside the metadata server (0 = default).
+        meta_shards: usize,
     },
     /// List a container's children.
     Ls {
@@ -118,6 +122,19 @@ pub enum Command {
     Help,
 }
 
+/// Client tuning accepted before or after any data command (the
+/// metadata-plane knobs of `glider_client::ClientConfig`). `None` keeps
+/// the client library's default.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientOpts {
+    /// `--prefetch-blocks N`: writer block-prefetch batch (0 = off).
+    pub prefetch_blocks: Option<u32>,
+    /// `--commit-batch N`: commits coalesced per `CommitBlocks` RPC.
+    pub commit_batch: Option<usize>,
+    /// `--cache-ttl-ms N`: lookup-cache TTL in milliseconds (0 = off).
+    pub cache_ttl_ms: Option<u64>,
+}
+
 /// A CLI parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UsageError(pub String);
@@ -145,18 +162,52 @@ fn take_value<'a>(
 /// Returns [`UsageError`] with a human-readable message on malformed
 /// input.
 pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
+    parse_with_opts(args).map(|(cmd, _)| cmd)
+}
+
+/// Parses an argument list plus the global [`ClientOpts`] tuning flags.
+///
+/// # Errors
+///
+/// Returns [`UsageError`] with a human-readable message on malformed
+/// input.
+pub fn parse_with_opts(args: &[&str]) -> Result<(Command, ClientOpts), UsageError> {
     let mut meta: Option<String> = None;
+    let mut opts = ClientOpts::default();
     let mut rest: Vec<&str> = Vec::new();
     let mut it = args.iter().copied();
     while let Some(arg) = it.next() {
         match arg {
             "--meta" => meta = Some(take_value(&mut it, "--meta")?.to_string()),
-            "-h" | "--help" | "help" => return Ok(Command::Help),
+            "--prefetch-blocks" => {
+                opts.prefetch_blocks = Some(
+                    take_value(&mut it, "--prefetch-blocks")?
+                        .parse()
+                        .map_err(|_| {
+                            UsageError("--prefetch-blocks expects a number".to_string())
+                        })?,
+                );
+            }
+            "--commit-batch" => {
+                opts.commit_batch = Some(
+                    take_value(&mut it, "--commit-batch")?
+                        .parse()
+                        .map_err(|_| UsageError("--commit-batch expects a number".to_string()))?,
+                );
+            }
+            "--cache-ttl-ms" => {
+                opts.cache_ttl_ms = Some(
+                    take_value(&mut it, "--cache-ttl-ms")?
+                        .parse()
+                        .map_err(|_| UsageError("--cache-ttl-ms expects a number".to_string()))?,
+                );
+            }
+            "-h" | "--help" | "help" => return Ok((Command::Help, opts)),
             other => rest.push(other),
         }
     }
     let Some((&cmd, tail)) = rest.split_first() else {
-        return Ok(Command::Help);
+        return Ok((Command::Help, opts));
     };
 
     let need_meta = |meta: &Option<String>| -> Result<String, UsageError> {
@@ -170,12 +221,13 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
         }
     };
 
-    match cmd {
+    let command = match cmd {
         "serve" => {
             let mut data = 1usize;
             let mut active = 1usize;
             let mut slots = 64u64;
             let mut block_size = ByteSize::mib(1);
+            let mut meta_shards = 0usize;
             let mut it = tail.iter().copied();
             while let Some(arg) = it.next() {
                 match arg {
@@ -199,6 +251,13 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                             .parse()
                             .map_err(|e| UsageError(format!("--block-size: {e}")))?;
                     }
+                    "--meta-shards" => {
+                        meta_shards = take_value(&mut it, "--meta-shards")?
+                            .parse()
+                            .map_err(|_| {
+                                UsageError("--meta-shards expects a number".to_string())
+                            })?;
+                    }
                     other => return Err(UsageError(format!("unknown serve flag {other:?}"))),
                 }
             }
@@ -207,6 +266,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                 active,
                 slots,
                 block_size,
+                meta_shards,
             })
         }
         "ls" => Ok(Command::Ls {
@@ -285,7 +345,8 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
         other => Err(UsageError(format!(
             "unknown command {other:?}; run `glider help`"
         ))),
-    }
+    }?;
+    Ok((command, opts))
 }
 
 /// The usage text printed by `glider help`.
@@ -293,6 +354,7 @@ pub const USAGE: &str = "\
 glider — ephemeral storage with near-data actions
 
   glider serve [--data N] [--active N] [--slots N] [--block-size SZ]
+         [--meta-shards N]
   glider --meta ADDR ls PATH
   glider --meta ADDR stat PATH
   glider --meta ADDR mkdir PATH
@@ -303,6 +365,11 @@ glider — ephemeral storage with near-data actions
   glider --meta ADDR write-action PATH   (reads stdin)
   glider --meta ADDR read-action PATH    (writes stdout)
   glider --meta ADDR stats [--json]
+
+client tuning (any data command):
+  --prefetch-blocks N   blocks prefetched per AddBlocks batch (0 = off)
+  --commit-batch N      commits coalesced per CommitBlocks RPC
+  --cache-ttl-ms N      lookup-cache freshness window (0 = off)
 ";
 
 #[cfg(test)]
@@ -317,7 +384,8 @@ mod tests {
                 data: 1,
                 active: 1,
                 slots: 64,
-                block_size: ByteSize::mib(1)
+                block_size: ByteSize::mib(1),
+                meta_shards: 0
             }
         );
         assert_eq!(
@@ -330,19 +398,59 @@ mod tests {
                 "--slots",
                 "8",
                 "--block-size",
-                "64KiB"
+                "64KiB",
+                "--meta-shards",
+                "4"
             ])
             .unwrap(),
             Command::Serve {
                 data: 3,
                 active: 2,
                 slots: 8,
-                block_size: ByteSize::kib(64)
+                block_size: ByteSize::kib(64),
+                meta_shards: 4
             }
         );
         assert!(parse(&["serve", "--data"]).is_err());
         assert!(parse(&["serve", "--bogus"]).is_err());
         assert!(parse(&["serve", "--block-size", "a lot"]).is_err());
+        assert!(parse(&["serve", "--meta-shards", "many"]).is_err());
+    }
+
+    #[test]
+    fn client_tuning_flags_parse_anywhere() {
+        let (cmd, opts) = parse_with_opts(&[
+            "--meta",
+            "m:1",
+            "--prefetch-blocks",
+            "8",
+            "get",
+            "/f",
+            "--commit-batch",
+            "16",
+            "--cache-ttl-ms",
+            "0",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Get {
+                meta: "m:1".into(),
+                path: "/f".into()
+            }
+        );
+        assert_eq!(
+            opts,
+            ClientOpts {
+                prefetch_blocks: Some(8),
+                commit_batch: Some(16),
+                cache_ttl_ms: Some(0),
+            }
+        );
+        // Defaults stay unset so the client library's defaults apply.
+        let (_, opts) = parse_with_opts(&["--meta", "m:1", "ls", "/"]).unwrap();
+        assert_eq!(opts, ClientOpts::default());
+        assert!(parse_with_opts(&["--prefetch-blocks", "x", "ls", "/"]).is_err());
     }
 
     #[test]

@@ -1,18 +1,19 @@
 //! The `glider` binary: executes parsed [`glider_cli::Command`]s.
 
 use bytes::Bytes;
-use glider_cli::{parse, Command, USAGE};
+use glider_cli::{parse_with_opts, ClientOpts, Command, USAGE};
 use glider_core::{ActionSpec, ClientConfig, Cluster, ClusterConfig, GliderResult, StoreClient};
 use std::io::{Read, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     // Honor GLIDER_TRACE / RUST_LOG before any spans are created.
     glider_core::trace::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
-    let command = match parse(&arg_refs) {
-        Ok(cmd) => cmd,
+    let (command, opts) = match parse_with_opts(&arg_refs) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
@@ -23,7 +24,7 @@ fn main() -> ExitCode {
         .enable_all()
         .build()
         .expect("tokio runtime");
-    match rt.block_on(run(command)) {
+    match rt.block_on(run(command, opts)) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -32,11 +33,22 @@ fn main() -> ExitCode {
     }
 }
 
-async fn client(meta: &str) -> GliderResult<StoreClient> {
-    StoreClient::connect(ClientConfig::new(meta)).await
+async fn client(meta: &str, opts: &ClientOpts) -> GliderResult<StoreClient> {
+    let mut config = ClientConfig::new(meta);
+    if let Some(blocks) = opts.prefetch_blocks {
+        config = config.with_prefetch_blocks(blocks);
+    }
+    if let Some(batch) = opts.commit_batch {
+        config = config.with_commit_batch(batch);
+    }
+    if let Some(ms) = opts.cache_ttl_ms {
+        let ttl = (ms > 0).then(|| Duration::from_millis(ms));
+        config = config.with_lookup_cache_ttl(ttl);
+    }
+    StoreClient::connect(config).await
 }
 
-async fn run(command: Command) -> GliderResult<()> {
+async fn run(command: Command, opts: ClientOpts) -> GliderResult<()> {
     match command {
         Command::Help => {
             println!("{USAGE}");
@@ -47,14 +59,16 @@ async fn run(command: Command) -> GliderResult<()> {
             active,
             slots,
             block_size,
+            meta_shards,
         } => {
-            let cluster = Cluster::start(
-                ClusterConfig::default()
-                    .with_data(data, 1024)
-                    .with_active(active, slots)
-                    .with_block_size(block_size),
-            )
-            .await?;
+            let mut config = ClusterConfig::default()
+                .with_data(data, 1024)
+                .with_active(active, slots)
+                .with_block_size(block_size);
+            if meta_shards > 0 {
+                config = config.with_metadata_shards(meta_shards);
+            }
+            let cluster = Cluster::start(config).await?;
             println!("glider cluster up");
             println!("  metadata: {}", cluster.metadata_addr());
             println!(
@@ -67,14 +81,14 @@ async fn run(command: Command) -> GliderResult<()> {
             Ok(())
         }
         Command::Ls { meta, path } => {
-            let store = client(&meta).await?;
+            let store = client(&meta, &opts).await?;
             for name in store.list(&path).await? {
                 println!("{name}");
             }
             Ok(())
         }
         Command::Stat { meta, path } => {
-            let store = client(&meta).await?;
+            let store = client(&meta, &opts).await?;
             let info = store.lookup(&path).await?;
             println!("path:   {path}");
             println!("kind:   {}", info.kind);
@@ -89,11 +103,11 @@ async fn run(command: Command) -> GliderResult<()> {
             Ok(())
         }
         Command::Mkdir { meta, path } => {
-            let store = client(&meta).await?;
+            let store = client(&meta, &opts).await?;
             store.create_dir_all(&path).await
         }
         Command::Put { meta, path } => {
-            let store = client(&meta).await?;
+            let store = client(&meta, &opts).await?;
             let file = store.create_file(&path).await?;
             let mut writer = file.output_stream().await?;
             let mut stdin = std::io::stdin().lock();
@@ -110,7 +124,7 @@ async fn run(command: Command) -> GliderResult<()> {
             Ok(())
         }
         Command::Get { meta, path } => {
-            let store = client(&meta).await?;
+            let store = client(&meta, &opts).await?;
             let file = store.lookup_file(&path).await?;
             let mut reader = file.input_stream().await?;
             let mut stdout = std::io::stdout().lock();
@@ -121,7 +135,7 @@ async fn run(command: Command) -> GliderResult<()> {
             Ok(())
         }
         Command::Rm { meta, path } => {
-            let store = client(&meta).await?;
+            let store = client(&meta, &opts).await?;
             store.delete(&path).await
         }
         Command::MkAction {
@@ -131,14 +145,14 @@ async fn run(command: Command) -> GliderResult<()> {
             params,
             interleaved,
         } => {
-            let store = client(&meta).await?;
+            let store = client(&meta, &opts).await?;
             let spec = ActionSpec::new(type_name, interleaved).with_params(params);
             store.create_action(&path, spec).await?;
             eprintln!("created action at {path}");
             Ok(())
         }
         Command::WriteAction { meta, path } => {
-            let store = client(&meta).await?;
+            let store = client(&meta, &opts).await?;
             let action = store.lookup_action(&path).await?;
             let mut writer = action.output_stream().await?;
             let mut stdin = std::io::stdin().lock();
@@ -155,7 +169,7 @@ async fn run(command: Command) -> GliderResult<()> {
             Ok(())
         }
         Command::ReadAction { meta, path } => {
-            let store = client(&meta).await?;
+            let store = client(&meta, &opts).await?;
             let action = store.lookup_action(&path).await?;
             let mut reader = action.input_stream().await?;
             let mut stdout = std::io::stdout().lock();
@@ -166,7 +180,7 @@ async fn run(command: Command) -> GliderResult<()> {
             reader.close().await
         }
         Command::Stats { meta, json } => {
-            let store = client(&meta).await?;
+            let store = client(&meta, &opts).await?;
             let payload = store.stats().await?;
             if json {
                 println!("{}", glider_core::net::render_stats_json(&payload));

@@ -13,6 +13,7 @@ use glider_proto::{ErrorCode, GliderError, GliderResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The top-level client object (paper Table 1, *StoreClient*): connects to
 /// a namespace and creates, looks up, and deletes data nodes by path.
@@ -46,21 +47,17 @@ struct Inner {
     metas: Vec<RpcClient>,
     config: ClientConfig,
     pool: Mutex<HashMap<String, RpcClient>>,
+    /// Recent `LookupNode` answers, keyed by path. Bounded staleness: a
+    /// mutation through this client evicts eagerly; the configured TTL
+    /// covers mutations from other clients.
+    lookup_cache: Mutex<HashMap<String, (NodeInfo, Instant)>>,
 }
 
-/// Deterministic FNV-1a over the first path component, shared by every
-/// client so they agree on partition placement.
+/// Deterministic routing over the first path component, shared by every
+/// client — and by the metadata server's internal namespace shards — so
+/// they all agree on placement ([`glider_namespace::shard_of`]).
 fn partition_of(path: &str, partitions: usize) -> usize {
-    if partitions <= 1 {
-        return 0;
-    }
-    let first = path.trim_start_matches('/').split('/').next().unwrap_or("");
-    let mut hash: u64 = 0xcbf29ce484222325;
-    for b in first.bytes() {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x100000001b3);
-    }
-    (hash % partitions as u64) as usize
+    glider_namespace::shard_of(path, partitions)
 }
 
 impl StoreClient {
@@ -87,6 +84,7 @@ impl StoreClient {
                 metas,
                 config,
                 pool: Mutex::new(HashMap::new()),
+                lookup_cache: Mutex::new(HashMap::new()),
             }),
         })
     }
@@ -113,15 +111,36 @@ impl StoreClient {
     }
 
     /// Issues a metadata RPC against the partition owning `path`,
-    /// counting the access.
+    /// counting the access. Mutating requests evict `path` (and, for
+    /// deletes, its whole subtree) from the lookup cache so later lookups
+    /// through this client observe the change.
     pub(crate) async fn meta_call(
         &self,
         path: &str,
         body: RequestBody,
     ) -> GliderResult<ResponseBody> {
         self.count_access(AccessKind::Metadata);
+        let invalidates = matches!(
+            body,
+            RequestBody::CreateNode { .. }
+                | RequestBody::DeleteNode { .. }
+                | RequestBody::AddBlock { .. }
+                | RequestBody::AddBlocks { .. }
+                | RequestBody::CommitBlock { .. }
+                | RequestBody::CommitBlocks { .. }
+        );
+        let subtree = matches!(body, RequestBody::DeleteNode { .. });
         let idx = partition_of(path, self.inner.metas.len());
-        self.inner.metas[idx].call(body).await
+        let resp = self.inner.metas[idx].call(body).await;
+        if invalidates {
+            let mut cache = self.inner.lookup_cache.lock();
+            cache.remove(path);
+            if subtree {
+                let prefix = format!("{}/", path.trim_end_matches('/'));
+                cache.retain(|p, _| !p.starts_with(&prefix));
+            }
+        }
+        resp
     }
 
     /// Returns (or establishes) the pooled data-plane connection to `addr`.
@@ -317,10 +336,22 @@ impl StoreClient {
 
     /// Looks up any node.
     ///
+    /// Served from the client's lookup cache when a fresh entry exists
+    /// (see [`ClientConfig::lookup_cache_ttl`]); cache hits do not issue
+    /// an RPC and are not counted as metadata accesses.
+    ///
     /// # Errors
     ///
     /// Returns [`ErrorCode::NotFound`] for unknown paths.
     pub async fn lookup(&self, path: &str) -> GliderResult<NodeInfo> {
+        let ttl = self.inner.config.lookup_cache_ttl;
+        if let Some(ttl) = ttl {
+            if let Some((info, at)) = self.inner.lookup_cache.lock().get(path) {
+                if at.elapsed() < ttl {
+                    return Ok(info.clone());
+                }
+            }
+        }
         let resp = self
             .meta_call(
                 path,
@@ -329,7 +360,14 @@ impl StoreClient {
                 },
             )
             .await?;
-        Self::expect_node(resp)
+        let info = Self::expect_node(resp)?;
+        if ttl.is_some() {
+            self.inner
+                .lookup_cache
+                .lock()
+                .insert(path.to_string(), (info.clone(), Instant::now()));
+        }
+        Ok(info)
     }
 
     /// Looks up a file or bag node and returns its proxy.
@@ -514,5 +552,43 @@ impl std::fmt::Debug for StoreClient {
             .field("tier", &self.inner.config.tier)
             .field("pooled_conns", &self.inner.pool.lock().len())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::partition_of;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Client partition routing and the metadata server's internal
+        /// namespace-shard routing are the same function: a client that
+        /// picks partition `p` for a path finds the path on shard `p` of
+        /// a server sharded the same number of ways. This is the contract
+        /// that keeps whole subtrees on one partition *and* one lock.
+        #[test]
+        fn partition_routing_agrees_with_server_shards(
+            path in "/[a-zA-Z0-9/._-]{0,48}",
+            partitions in 1usize..32,
+        ) {
+            prop_assert_eq!(
+                partition_of(&path, partitions),
+                glider_namespace::shard_of(&path, partitions)
+            );
+        }
+
+        /// Routing depends only on the first path component, so every
+        /// node of a subtree reaches the same metadata partition.
+        #[test]
+        fn subtrees_stay_on_one_partition(
+            first in "[a-zA-Z0-9._-]{1,16}",
+            leaf in "[a-zA-Z0-9/._-]{0,32}",
+            partitions in 1usize..32,
+        ) {
+            prop_assert_eq!(
+                partition_of(&format!("/{first}"), partitions),
+                partition_of(&format!("/{first}/{leaf}"), partitions)
+            );
+        }
     }
 }

@@ -4,6 +4,7 @@ use glider_metrics::MetricsRegistry;
 use glider_proto::types::PeerTier;
 use glider_util::{ByteSize, TokenBucket};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Configuration for a [`crate::StoreClient`].
 ///
@@ -45,6 +46,18 @@ pub struct ClientConfig {
     pub throttle: Option<Arc<TokenBucket>>,
     /// Registry receiving storage-access counts (typically the cluster's).
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Blocks requested per `AddBlocks` batch by file writers. While the
+    /// current block streams, the writer prefetches the next batch in the
+    /// background so a block rotation never stalls on the metadata server.
+    /// `0` disables prefetch (one synchronous `AddBlock` per rotation).
+    pub prefetch_blocks: u32,
+    /// Number of block commits a writer coalesces into one `CommitBlocks`
+    /// RPC. `<= 1` sends one `CommitBlock` per filled block.
+    pub commit_batch: usize,
+    /// How long a cached `lookup` result stays fresh. Mutations issued
+    /// through the same client invalidate eagerly; the TTL bounds staleness
+    /// across clients. `None` disables the cache entirely.
+    pub lookup_cache_ttl: Option<Duration>,
 }
 
 impl ClientConfig {
@@ -60,6 +73,9 @@ impl ClientConfig {
             window: 8,
             throttle: None,
             metrics: None,
+            prefetch_blocks: 4,
+            commit_batch: 8,
+            lookup_cache_ttl: Some(Duration::from_millis(500)),
         }
     }
 
@@ -115,6 +131,29 @@ impl ClientConfig {
         self.metrics = Some(metrics);
         self
     }
+
+    /// Sets the writer's block-prefetch batch size (`0` = no prefetch,
+    /// one synchronous `AddBlock` per block rotation).
+    #[must_use]
+    pub fn with_prefetch_blocks(mut self, blocks: u32) -> Self {
+        self.prefetch_blocks = blocks;
+        self
+    }
+
+    /// Sets how many block commits writers coalesce per `CommitBlocks`
+    /// RPC (`<= 1` = one `CommitBlock` per block).
+    #[must_use]
+    pub fn with_commit_batch(mut self, batch: usize) -> Self {
+        self.commit_batch = batch;
+        self
+    }
+
+    /// Sets the lookup-cache TTL (`None` disables caching).
+    #[must_use]
+    pub fn with_lookup_cache_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.lookup_cache_ttl = ttl;
+        self
+    }
 }
 
 impl std::fmt::Debug for ClientConfig {
@@ -125,6 +164,9 @@ impl std::fmt::Debug for ClientConfig {
             .field("chunk_size", &self.chunk_size)
             .field("block_size", &self.block_size)
             .field("window", &self.window)
+            .field("prefetch_blocks", &self.prefetch_blocks)
+            .field("commit_batch", &self.commit_batch)
+            .field("lookup_cache_ttl", &self.lookup_cache_ttl)
             .field("throttled", &self.throttle.is_some())
             .finish()
     }
@@ -142,6 +184,9 @@ mod tests {
         assert_eq!(cfg.block_size, ByteSize::mib(1));
         assert!(cfg.window >= 1);
         assert!(cfg.throttle.is_none());
+        assert!(cfg.prefetch_blocks >= 1, "prefetch on by default");
+        assert!(cfg.commit_batch > 1, "commit coalescing on by default");
+        assert!(cfg.lookup_cache_ttl.is_some(), "lookup cache on by default");
     }
 
     #[test]
@@ -151,10 +196,16 @@ mod tests {
             .with_window(0)
             .with_chunk_size(ByteSize::kib(64))
             .with_block_size(ByteSize::mib(4))
+            .with_prefetch_blocks(0)
+            .with_commit_batch(1)
+            .with_lookup_cache_ttl(None)
             .with_bandwidth_limit(1024);
         assert_eq!(cfg.tier, PeerTier::Storage);
         assert_eq!(cfg.window, 1, "window clamps to 1");
         assert_eq!(cfg.chunk_size, ByteSize::kib(64));
+        assert_eq!(cfg.prefetch_blocks, 0, "prefetch can be disabled");
+        assert_eq!(cfg.commit_batch, 1, "coalescing can be disabled");
+        assert!(cfg.lookup_cache_ttl.is_none(), "cache can be disabled");
         // intra_storage clears throttle only if set before; set after wins.
         assert!(cfg.throttle.is_some());
         assert!(format!("{cfg:?}").contains("throttled: true"));

@@ -6,8 +6,11 @@ use futures::future::BoxFuture;
 use futures::stream::{FuturesOrdered, StreamExt};
 use glider_metrics::AccessKind;
 use glider_proto::message::{RequestBody, ResponseBody};
-use glider_proto::types::{BlockExtent, NodeId, NodeInfo};
+use glider_proto::types::{BlockExtent, BlockId, NodeId, NodeInfo};
 use glider_proto::{GliderError, GliderResult};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use tokio::task::JoinHandle;
 
 /// Proxy to a `File` or `Bag` node.
 ///
@@ -116,20 +119,31 @@ impl FileNode {
 
 struct CurrentBlock {
     extent: BlockExtent,
+    /// The owning server's address, shared by every chunk future of this
+    /// block instead of cloning the `String` per chunk.
+    addr: Arc<str>,
     written: u64,
 }
 
 /// Windowed, block-aware write stream for file/bag nodes.
 ///
-/// The writer splits data into chunks, asks the metadata server for a new
-/// block whenever the current one fills, keeps up to `window` write
-/// operations in flight, and commits block lengths eagerly (filled blocks)
-/// and on [`FileWriter::close`] (the final partial block).
+/// The writer splits data into chunks, keeps up to `window` write
+/// operations in flight, and hides the metadata plane behind the data
+/// plane: blocks are allocated in `AddBlocks` batches prefetched while the
+/// current block streams (so rotations don't stall on the metadata
+/// server), and block commits are coalesced into `CommitBlocks` batches
+/// flushed on window pressure and on [`FileWriter::close`].
 pub struct FileWriter {
     store: StoreClient,
     path: String,
     node_id: NodeId,
     cur: Option<CurrentBlock>,
+    /// Blocks already allocated and ready to stream into.
+    ready: VecDeque<BlockExtent>,
+    /// In-flight background `AddBlocks` batch, if any.
+    alloc: Option<JoinHandle<GliderResult<Vec<BlockExtent>>>>,
+    /// Filled-block commits not yet sent (coalesced into `CommitBlocks`).
+    commits: Vec<(BlockId, u64)>,
     pending: FuturesOrdered<BoxFuture<'static, GliderResult<()>>>,
     total: u64,
 }
@@ -141,6 +155,9 @@ impl FileWriter {
             path,
             node_id,
             cur: None,
+            ready: VecDeque::new(),
+            alloc: None,
+            commits: Vec::new(),
             pending: FuturesOrdered::new(),
             total: 0,
         }
@@ -156,30 +173,85 @@ impl FileWriter {
         Ok(())
     }
 
-    fn push_commit(&mut self, extent: &BlockExtent, len: u64) {
+    /// Queues the commit for a finished block: coalesced when
+    /// `commit_batch > 1`, otherwise one `CommitBlock` RPC right away.
+    fn queue_commit(&mut self, extent: &BlockExtent, len: u64) {
+        let block_id = extent.loc.block_id;
+        if self.store.config().commit_batch <= 1 {
+            let store = self.store.clone();
+            let path = self.path.clone();
+            let node_id = self.node_id;
+            self.pending.push_back(Box::pin(async move {
+                store
+                    .meta_call(
+                        &path,
+                        RequestBody::CommitBlock {
+                            node_id,
+                            block_id,
+                            len,
+                        },
+                    )
+                    .await?;
+                Ok(())
+            }));
+            return;
+        }
+        self.commits.push((block_id, len));
+        if self.commits.len() >= self.store.config().commit_batch {
+            self.flush_commits();
+        }
+    }
+
+    /// Sends every coalesced commit as a single `CommitBlocks` RPC.
+    fn flush_commits(&mut self) {
+        if self.commits.is_empty() {
+            return;
+        }
+        let commits = std::mem::take(&mut self.commits);
         let store = self.store.clone();
         let path = self.path.clone();
         let node_id = self.node_id;
-        let block_id = extent.loc.block_id;
         self.pending.push_back(Box::pin(async move {
             store
-                .meta_call(
-                    &path,
-                    RequestBody::CommitBlock {
-                        node_id,
-                        block_id,
-                        len,
-                    },
-                )
+                .meta_call(&path, RequestBody::CommitBlocks { node_id, commits })
                 .await?;
             Ok(())
         }));
     }
 
-    async fn rotate(&mut self) -> GliderResult<()> {
-        if let Some(cur) = self.cur.take() {
-            self.push_commit(&cur.extent, cur.written);
+    /// Starts a background `AddBlocks` batch if prefetching is on and no
+    /// batch is already in flight.
+    fn spawn_alloc(&mut self) {
+        let count = self.store.config().prefetch_blocks;
+        if count == 0 || self.alloc.is_some() {
+            return;
         }
+        let store = self.store.clone();
+        let path = self.path.clone();
+        let node_id = self.node_id;
+        self.alloc = Some(tokio::spawn(async move {
+            match store
+                .meta_call(&path, RequestBody::AddBlocks { node_id, count })
+                .await?
+            {
+                ResponseBody::Blocks(extents) => Ok(extents),
+                other => Err(GliderError::protocol(format!(
+                    "expected blocks response, got {other:?}"
+                ))),
+            }
+        }));
+    }
+
+    async fn await_alloc(&mut self) -> GliderResult<Vec<BlockExtent>> {
+        let handle = self.alloc.take().expect("caller checked alloc is in flight");
+        handle
+            .await
+            .map_err(|e| GliderError::protocol(format!("allocation task failed: {e}")))?
+    }
+
+    /// Allocates synchronously — the legacy one-`AddBlock`-per-rotation
+    /// path used when prefetching is disabled.
+    async fn alloc_one(&mut self) -> GliderResult<BlockExtent> {
         let resp = self
             .store
             .meta_call(
@@ -189,15 +261,45 @@ impl FileWriter {
                 },
             )
             .await?;
-        let extent = match resp {
-            ResponseBody::Block(extent) => extent,
-            other => {
-                return Err(GliderError::protocol(format!(
-                    "expected block response, got {other:?}"
-                )))
+        match resp {
+            ResponseBody::Block(extent) => Ok(extent),
+            other => Err(GliderError::protocol(format!(
+                "expected block response, got {other:?}"
+            ))),
+        }
+    }
+
+    async fn rotate(&mut self) -> GliderResult<()> {
+        if let Some(cur) = self.cur.take() {
+            self.queue_commit(&cur.extent, cur.written);
+        }
+        let extent = if self.store.config().prefetch_blocks == 0 {
+            self.alloc_one().await?
+        } else {
+            if self.ready.is_empty() {
+                // First rotation (or the prefetch fell behind): start a
+                // batch if none is running, then wait for it.
+                self.spawn_alloc();
+                let batch = self.await_alloc().await?;
+                self.ready.extend(batch);
             }
+            let extent = self
+                .ready
+                .pop_front()
+                .expect("successful AddBlocks returns at least one extent");
+            // Refill in the background while this block streams so the
+            // next rotation pops without waiting.
+            if self.ready.is_empty() {
+                self.spawn_alloc();
+            }
+            extent
         };
-        self.cur = Some(CurrentBlock { extent, written: 0 });
+        let addr = Arc::<str>::from(extent.loc.addr.as_str());
+        self.cur = Some(CurrentBlock {
+            extent,
+            addr,
+            written: 0,
+        });
         Ok(())
     }
 
@@ -225,7 +327,7 @@ impl FileWriter {
                 .min(block_size - cur.written)
                 .min(chunk_size);
             let piece = data.split_to(n as usize);
-            let conn_addr = cur.extent.loc.addr.clone();
+            let conn_addr = Arc::clone(&cur.addr);
             let block_id = cur.extent.loc.block_id;
             let offset = cur.written;
             let store = self.store.clone();
@@ -264,14 +366,24 @@ impl FileWriter {
     /// Flushes outstanding operations, commits the final block, and
     /// returns the total bytes written by this stream.
     ///
+    /// Prefetched blocks this stream never wrote stay in the chain with
+    /// length zero — readers skip them and deleting the node frees them.
+    ///
     /// # Errors
     ///
     /// Surfaces any failed in-flight operation.
     pub async fn close(mut self) -> GliderResult<u64> {
         if let Some(cur) = self.cur.take() {
-            self.push_commit(&cur.extent, cur.written);
+            self.queue_commit(&cur.extent, cur.written);
         }
+        self.flush_commits();
         self.reap_to(0).await?;
+        // Drain a still-running prefetch so its task doesn't outlive the
+        // stream. Its blocks were never written, so an allocation failure
+        // here is not a stream failure.
+        if let Some(handle) = self.alloc.take() {
+            let _ = handle.await;
+        }
         Ok(self.total)
     }
 
@@ -292,8 +404,10 @@ impl std::fmt::Debug for FileWriter {
 }
 
 struct ReadOp {
-    addr: String,
-    block_id: glider_proto::types::BlockId,
+    /// Shared with every other op on the same extent instead of one
+    /// `String` clone per chunk.
+    addr: Arc<str>,
+    block_id: BlockId,
     offset: u64,
     len: u64,
 }
@@ -303,6 +417,8 @@ pub struct FileReader {
     store: StoreClient,
     ops: std::vec::IntoIter<ReadOp>,
     pending: FuturesOrdered<BoxFuture<'static, GliderResult<Bytes>>>,
+    /// Total bytes the planned ops will deliver (pre-sizes buffers).
+    planned: u64,
     total: u64,
 }
 
@@ -310,6 +426,7 @@ impl FileReader {
     fn new(store: StoreClient, info: &NodeInfo, start: u64, len: u64) -> Self {
         let chunk_size = store.config().chunk_size.as_u64().max(1);
         let mut ops = Vec::new();
+        let mut planned = 0u64;
         let mut node_off = 0u64; // absolute offset of the current extent
         let end = start.saturating_add(len);
         for extent in &info.blocks {
@@ -321,23 +438,26 @@ impl FileReader {
             if lo >= hi {
                 continue;
             }
+            let addr = Arc::<str>::from(extent.loc.addr.as_str());
             // Split the in-extent range into chunk-size operations.
             let mut pos = lo;
             while pos < hi {
                 let n = (hi - pos).min(chunk_size);
                 ops.push(ReadOp {
-                    addr: extent.loc.addr.clone(),
+                    addr: Arc::clone(&addr),
                     block_id: extent.loc.block_id,
                     offset: pos - ext_start,
                     len: n,
                 });
                 pos += n;
             }
+            planned += hi - lo;
         }
         FileReader {
             store,
             ops: ops.into_iter(),
             pending: FuturesOrdered::new(),
+            planned,
             total: 0,
         }
     }
@@ -387,11 +507,15 @@ impl FileReader {
 
     /// Reads the remaining range into memory.
     ///
+    /// The output is pre-sized from the planned op lengths, so the bytes
+    /// land in one allocation instead of growing by doubling.
+    ///
     /// # Errors
     ///
     /// Propagates read failures.
     pub async fn read_to_end(&mut self) -> GliderResult<Vec<u8>> {
-        let mut out = Vec::new();
+        let remaining = self.planned.saturating_sub(self.total);
+        let mut out = Vec::with_capacity(remaining as usize);
         while let Some(chunk) = self.next_chunk().await? {
             out.extend_from_slice(&chunk);
         }

@@ -1,0 +1,174 @@
+//! Client-side metadata-plane behavior against live servers: block
+//! prefetching hides allocation latency, batched RPCs shrink the
+//! metadata traffic, and the lookup cache serves repeats without RPCs
+//! while staying coherent with this client's own mutations.
+
+use bytes::Bytes;
+use glider_client::{ClientConfig, StoreClient};
+use glider_metadata::{MetadataOptions, MetadataServer};
+use glider_metrics::{AccessKind, MetricsRegistry};
+use glider_storage::{StorageServer, StorageServerConfig};
+use glider_util::ByteSize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BLOCK: u64 = 4096;
+
+/// One metadata server + one DRAM server with `capacity` blocks.
+async fn tiny_cluster(
+    options: MetadataOptions,
+    capacity: u64,
+) -> (MetadataServer, StorageServer, Arc<MetricsRegistry>) {
+    let metrics = MetricsRegistry::new();
+    let meta = MetadataServer::start_with_options("127.0.0.1:0", Arc::clone(&metrics), options)
+        .await
+        .unwrap();
+    let data = StorageServer::start(
+        StorageServerConfig::dram(meta.addr(), capacity, BLOCK),
+        Arc::clone(&metrics),
+    )
+    .await
+    .unwrap();
+    (meta, data, metrics)
+}
+
+fn client_config(meta_addr: &str, metrics: &Arc<MetricsRegistry>) -> ClientConfig {
+    ClientConfig::new(meta_addr)
+        .with_block_size(ByteSize::bytes(BLOCK))
+        .with_chunk_size(ByteSize::bytes(BLOCK))
+        .with_metrics(Arc::clone(metrics))
+}
+
+/// The headline tentpole property: with allocation latency injected at
+/// the metadata server, a prefetching writer streams without stalling on
+/// rotations while the synchronous writer pays the delay per block.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn prefetch_hides_allocation_latency() {
+    const DELAY: Duration = Duration::from_millis(25);
+    const BLOCKS: u64 = 12;
+    let (meta, _data, metrics) =
+        tiny_cluster(MetadataOptions::default().with_alloc_delay(DELAY), 64).await;
+    let payload = Bytes::from(vec![7u8; (BLOCKS * BLOCK) as usize]);
+
+    let sync = StoreClient::connect(
+        client_config(meta.addr(), &metrics)
+            .with_prefetch_blocks(0)
+            .with_commit_batch(1),
+    )
+    .await
+    .unwrap();
+    let file = sync.create_file("/sync").await.unwrap();
+    let t0 = Instant::now();
+    file.write_all(payload.clone()).await.unwrap();
+    let sync_elapsed = t0.elapsed();
+
+    let prefetching = StoreClient::connect(client_config(meta.addr(), &metrics))
+        .await
+        .unwrap();
+    let file = prefetching.create_file("/prefetched").await.unwrap();
+    let t0 = Instant::now();
+    file.write_all(payload.clone()).await.unwrap();
+    let prefetch_elapsed = t0.elapsed();
+
+    // 12 rotations x 25 ms serially vs. 3-4 awaited batches: require at
+    // least a 2x win, with lots of slack against CI jitter.
+    assert!(
+        prefetch_elapsed * 2 < sync_elapsed,
+        "prefetch {prefetch_elapsed:?} should be well under half of sync {sync_elapsed:?}"
+    );
+    // And identical results on the wire.
+    assert_eq!(file.read_all().await.unwrap(), payload);
+}
+
+/// Batched `AddBlocks`/`CommitBlocks` cut the metadata RPCs for a
+/// multi-block stream by at least 2x versus the singular protocol.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn batching_halves_metadata_rpcs_per_stream() {
+    const BLOCKS: u64 = 16;
+    let (meta, _data, metrics) = tiny_cluster(MetadataOptions::default(), 64).await;
+    let payload = Bytes::from(vec![3u8; (BLOCKS * BLOCK) as usize]);
+
+    let singular = StoreClient::connect(
+        client_config(meta.addr(), &metrics)
+            .with_prefetch_blocks(0)
+            .with_commit_batch(1),
+    )
+    .await
+    .unwrap();
+    let before = metrics.snapshot().accesses(AccessKind::Metadata);
+    let file = singular.create_file("/singular").await.unwrap();
+    file.write_all(payload.clone()).await.unwrap();
+    let singular_rpcs = metrics.snapshot().accesses(AccessKind::Metadata) - before;
+
+    let batched = StoreClient::connect(client_config(meta.addr(), &metrics))
+        .await
+        .unwrap();
+    let before = metrics.snapshot().accesses(AccessKind::Metadata);
+    let file = batched.create_file("/batched").await.unwrap();
+    file.write_all(payload).await.unwrap();
+    let batched_rpcs = metrics.snapshot().accesses(AccessKind::Metadata) - before;
+
+    assert!(
+        batched_rpcs * 2 <= singular_rpcs,
+        "batched stream used {batched_rpcs} metadata RPCs vs {singular_rpcs} singular"
+    );
+}
+
+/// Repeated lookups are served from the cache (no RPC), and a mutation
+/// through the same client invalidates so the next lookup is coherent.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn lookup_cache_hits_and_invalidation() {
+    let (meta, _data, metrics) = tiny_cluster(MetadataOptions::default(), 64).await;
+    let store = StoreClient::connect(
+        client_config(meta.addr(), &metrics)
+            .with_lookup_cache_ttl(Some(Duration::from_secs(3600))),
+    )
+    .await
+    .unwrap();
+    let file = store.create_file("/cached").await.unwrap();
+
+    store.lookup("/cached").await.unwrap();
+    let before = metrics.snapshot().accesses(AccessKind::Metadata);
+    let cached = store.lookup("/cached").await.unwrap();
+    assert_eq!(
+        metrics.snapshot().accesses(AccessKind::Metadata),
+        before,
+        "second lookup must be a cache hit"
+    );
+    assert_eq!(cached.size, 0);
+
+    // Writing through this client commits lengths, which evicts the
+    // entry: the very next lookup observes the new size despite the
+    // hour-long TTL.
+    file.write_all(Bytes::from(vec![1u8; 1000])).await.unwrap();
+    let fresh = store.lookup("/cached").await.unwrap();
+    assert_eq!(fresh.size, 1000, "commit must invalidate the cached entry");
+
+    // Deleting a subtree evicts every cached path under it.
+    store.create_dir("/tree").await.unwrap();
+    store.create_file("/tree/leaf").await.unwrap();
+    store.lookup("/tree/leaf").await.unwrap();
+    store.delete("/tree").await.unwrap();
+    let err = store.lookup("/tree/leaf").await.unwrap_err();
+    assert_eq!(err.code(), glider_proto::ErrorCode::NotFound);
+}
+
+/// With the cache disabled every lookup is an RPC.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn disabled_cache_always_issues_rpcs() {
+    let (meta, _data, metrics) = tiny_cluster(MetadataOptions::default(), 64).await;
+    let store = StoreClient::connect(
+        client_config(meta.addr(), &metrics).with_lookup_cache_ttl(None),
+    )
+    .await
+    .unwrap();
+    store.create_file("/plain").await.unwrap();
+    let before = metrics.snapshot().accesses(AccessKind::Metadata);
+    store.lookup("/plain").await.unwrap();
+    store.lookup("/plain").await.unwrap();
+    assert_eq!(
+        metrics.snapshot().accesses(AccessKind::Metadata) - before,
+        2,
+        "cache off: both lookups hit the server"
+    );
+}

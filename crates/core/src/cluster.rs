@@ -42,6 +42,9 @@ pub struct ClusterConfig {
     /// Storage-class fallback edges (`from` exhausted → allocate on `to`),
     /// the paper's DRAM→NVMe spill (§4.1).
     pub class_fallbacks: Vec<(StorageClass, StorageClass)>,
+    /// Independently locked namespace shards inside the metadata server
+    /// (`0` = the metadata crate's default).
+    pub metadata_shards: usize,
 }
 
 impl Default for ClusterConfig {
@@ -59,6 +62,7 @@ impl Default for ClusterConfig {
             rdma_sim: false,
             extra_tiers: Vec::new(),
             class_fallbacks: Vec::new(),
+            metadata_shards: 0,
         }
     }
 }
@@ -114,6 +118,14 @@ impl ClusterConfig {
         self.class_fallbacks.push((from, to));
         self
     }
+
+    /// Sets the metadata server's namespace shard count (`0` keeps the
+    /// metadata crate's default).
+    #[must_use]
+    pub fn with_metadata_shards(mut self, shards: usize) -> Self {
+        self.metadata_shards = shards;
+        self
+    }
 }
 
 impl std::fmt::Debug for ClusterConfig {
@@ -166,6 +178,9 @@ impl Cluster {
         let mut meta_options = glider_metadata::MetadataOptions::default();
         for (from, to) in &config.class_fallbacks {
             meta_options = meta_options.with_fallback(from.clone(), to.clone());
+        }
+        if config.metadata_shards > 0 {
+            meta_options = meta_options.with_namespace_shards(config.metadata_shards);
         }
         let metadata =
             MetadataServer::start_with_options("127.0.0.1:0", Arc::clone(&metrics), meta_options)
@@ -573,6 +588,36 @@ mod tests {
             .await
             .unwrap_err();
         assert_eq!(err.code(), ErrorCode::OutOfCapacity);
+    }
+
+    #[tokio::test]
+    async fn sharded_metadata_cluster_round_trips() {
+        // Several top-level subtrees spread across namespace shards; all
+        // operations behave exactly as with a single shard.
+        let cluster = Cluster::start(
+            ClusterConfig::default()
+                .with_block_size(ByteSize::kib(16))
+                .with_metadata_shards(4),
+        )
+        .await
+        .unwrap();
+        let store = cluster.client().await.unwrap();
+        for i in 0..6 {
+            store.create_dir(&format!("/d{i}")).await.unwrap();
+            let file = store.create_file(&format!("/d{i}/f")).await.unwrap();
+            file.write_all(Bytes::from(vec![i as u8; 40_000]))
+                .await
+                .unwrap();
+        }
+        for i in 0..6 {
+            let file = store.lookup_file(&format!("/d{i}/f")).await.unwrap();
+            assert_eq!(file.read_all().await.unwrap(), vec![i as u8; 40_000]);
+        }
+        let mut roots = store.list("/").await.unwrap();
+        roots.sort();
+        assert_eq!(roots, (0..6).map(|i| format!("d{i}")).collect::<Vec<_>>());
+        store.delete("/d0").await.unwrap();
+        assert!(store.lookup("/d0/f").await.is_err());
     }
 
     #[tokio::test]

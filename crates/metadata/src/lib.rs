@@ -18,19 +18,37 @@
 //!   contact the metadata server once").
 //!
 //! The server is a thin RPC shell over the pure structures in
-//! `glider-namespace`; all state sits behind one mutex, mirroring the
-//! single-metadata-server deployments used throughout the paper's
-//! evaluation ("all experiments require a single metadata server").
+//! `glider-namespace`. State is split for concurrency (λFS-style): the
+//! block allocator ([`glider_namespace::ServerRegistry`]) has its own
+//! mutex, and the namespace tree is sharded by top-level path component
+//! using the same FNV-1a hash clients use for partition routing
+//! ([`glider_namespace::shard_of`]), so clients working under distinct
+//! top-level directories never contend on one lock. Shard locks are
+//! always taken before the registry lock, and at most one shard lock is
+//! held at a time, so the ordering is deadlock-free by construction.
+//!
+//! Batched allocation (`AddBlocks`) and batched commit (`CommitBlocks`)
+//! are served under a single shard-lock acquisition; a batch that cannot
+//! be applied rolls back atomically (allocated blocks return to the
+//! registry, the chain is untouched).
 
 use futures::future::BoxFuture;
 use glider_metrics::{MetricsRegistry, Tier};
-use glider_namespace::{Namespace, NodePath, ServerRegistry};
+use glider_namespace::{shard_of, Namespace, NodePath, ServerRegistry};
 use glider_net::rpc::{ConnCtx, RpcHandler, ServerHandle};
 use glider_proto::message::{RequestBody, ResponseBody};
-use glider_proto::types::NodeKind;
+use glider_proto::types::{BlockLocation, NodeId, NodeKind, StorageClass};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Default number of namespace shards per metadata server.
+pub const DEFAULT_NAMESPACE_SHARDS: usize = 8;
+
+/// Bits of a `NodeId` reserved below the shard index: shard `s` of a
+/// server with id base `b` mints node ids in `b + (s << 40) + 1 ..`.
+const SHARD_ID_SHIFT: u32 = 40;
 
 /// A running metadata server.
 ///
@@ -55,32 +73,45 @@ pub struct MetadataServer {
 }
 
 /// Tuning options for a metadata server.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MetadataOptions {
     /// Storage-class fallback chain: when the keyed class has no free
     /// blocks, allocation retries on the mapped class (transitively).
     /// This is the paper's "preferred DRAM tier that falls back to an
     /// NVMe tier when full" (§4.1).
-    pub class_fallbacks: std::collections::HashMap<
-        glider_proto::types::StorageClass,
-        glider_proto::types::StorageClass,
-    >,
-    /// Base offset for the ids (server/block) this server assigns. When
-    /// several metadata servers partition one namespace (paper §4.1
+    pub class_fallbacks: std::collections::HashMap<StorageClass, StorageClass>,
+    /// Base offset for the ids (server/block/node) this server assigns.
+    /// When several metadata servers partition one namespace (paper §4.1
     /// footnote: "metadata servers may distribute their work by
-    /// partitioning the namespaces"), distinct bases keep block ids
-    /// globally unique.
+    /// partitioning the namespaces"), distinct bases keep ids globally
+    /// unique.
     pub id_base: u64,
+    /// Number of independently locked namespace shards (≥ 1). Paths are
+    /// routed to shards by their top-level component with the same hash
+    /// clients use for partition routing, so one subtree is always served
+    /// under one lock.
+    pub namespace_shards: usize,
+    /// Test hook: added latency before every block-allocation RPC
+    /// (`AddBlock`/`AddBlocks`), applied outside any lock. Lets tests
+    /// prove that client-side prefetching hides allocation latency.
+    pub alloc_delay: Option<Duration>,
+}
+
+impl Default for MetadataOptions {
+    fn default() -> Self {
+        MetadataOptions {
+            class_fallbacks: std::collections::HashMap::new(),
+            id_base: 0,
+            namespace_shards: DEFAULT_NAMESPACE_SHARDS,
+            alloc_delay: None,
+        }
+    }
 }
 
 impl MetadataOptions {
     /// Adds a fallback edge (`from` exhausted → allocate on `to`).
     #[must_use]
-    pub fn with_fallback(
-        mut self,
-        from: glider_proto::types::StorageClass,
-        to: glider_proto::types::StorageClass,
-    ) -> Self {
+    pub fn with_fallback(mut self, from: StorageClass, to: StorageClass) -> Self {
         self.class_fallbacks.insert(from, to);
         self
     }
@@ -89,6 +120,20 @@ impl MetadataOptions {
     #[must_use]
     pub fn with_id_base(mut self, base: u64) -> Self {
         self.id_base = base;
+        self
+    }
+
+    /// Sets the namespace shard count, clamped to `1..=64`.
+    #[must_use]
+    pub fn with_namespace_shards(mut self, shards: usize) -> Self {
+        self.namespace_shards = shards.clamp(1, 64);
+        self
+    }
+
+    /// Injects latency before allocation RPCs (test hook).
+    #[must_use]
+    pub fn with_alloc_delay(mut self, delay: Duration) -> Self {
+        self.alloc_delay = Some(delay);
         self
     }
 }
@@ -115,11 +160,17 @@ impl MetadataServer {
         options: MetadataOptions,
     ) -> GliderResult<Self> {
         let listener = glider_net::conn::bind(addr).await?;
+        let shard_count = options.namespace_shards.clamp(1, 64);
+        let shards = (0..shard_count)
+            .map(|s| {
+                Mutex::new(Namespace::with_id_base(
+                    options.id_base + ((s as u64) << SHARD_ID_SHIFT),
+                ))
+            })
+            .collect();
         let handler = Arc::new(MetadataHandler {
-            state: Mutex::new(State {
-                ns: Namespace::new(),
-                reg: ServerRegistry::with_id_base(options.id_base),
-            }),
+            shards,
+            reg: Mutex::new(ServerRegistry::with_id_base(options.id_base)),
             options,
         });
         let handle = glider_net::rpc::serve(listener, handler, metrics, Tier::Storage);
@@ -137,47 +188,93 @@ impl MetadataServer {
     }
 }
 
-#[derive(Debug)]
-struct State {
-    ns: Namespace,
-    reg: ServerRegistry,
+/// Allocates a block from `class`, walking the configured fallback chain
+/// when a class is out of capacity.
+fn allocate_with_fallback(
+    reg: &mut ServerRegistry,
+    fallbacks: &std::collections::HashMap<StorageClass, StorageClass>,
+    class: &StorageClass,
+) -> GliderResult<BlockLocation> {
+    let mut current = class.clone();
+    let mut hops = 0;
+    loop {
+        match reg.allocate(&current) {
+            Ok(loc) => return Ok(loc),
+            Err(e) if matches!(e.code(), ErrorCode::OutOfCapacity | ErrorCode::NotFound) => {
+                match fallbacks.get(&current) {
+                    // Cap hops to tolerate accidental fallback cycles.
+                    Some(next) if hops < 8 => {
+                        current = next.clone();
+                        hops += 1;
+                    }
+                    _ => return Err(e),
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 struct MetadataHandler {
-    state: Mutex<State>,
+    /// Namespace shards, routed by top-level path component. Lock order:
+    /// one shard, then (optionally) `reg` — never two shards at once.
+    shards: Vec<Mutex<Namespace>>,
+    /// The block allocator, shared by every shard.
+    reg: Mutex<ServerRegistry>,
     options: MetadataOptions,
 }
 
 impl MetadataHandler {
-    /// Allocates a block from `class`, walking the configured fallback
-    /// chain when a class is out of capacity.
-    fn allocate_with_fallback(
+    /// The shard owning `path` (same hash as client partition routing).
+    fn shard_for_path(&self, path: &NodePath) -> &Mutex<Namespace> {
+        &self.shards[shard_of(path.as_str(), self.shards.len())]
+    }
+
+    /// The shard that minted `id`, recovered from the id's shard bits.
+    fn shard_for_id(&self, id: NodeId) -> GliderResult<&Mutex<Namespace>> {
+        let rel = id.0.wrapping_sub(self.options.id_base);
+        let idx = (rel >> SHARD_ID_SHIFT) as usize;
+        self.shards
+            .get(idx)
+            .ok_or_else(|| GliderError::not_found(format!("node {id}")))
+    }
+
+    /// Allocates up to `count` blocks of `class` and appends them to
+    /// `node_id`'s chain, all under the already-held shard lock plus a
+    /// single registry-lock acquisition. Errors only if *no* block can be
+    /// allocated or the chain rejects the batch; either way the registry
+    /// is restored exactly (all-or-nothing).
+    fn add_blocks_locked(
         &self,
-        st: &mut State,
-        class: &glider_proto::types::StorageClass,
-    ) -> GliderResult<glider_proto::types::BlockLocation> {
-        let mut current = class.clone();
-        let mut hops = 0;
-        loop {
-            match st.reg.allocate(&current) {
-                Ok(loc) => return Ok(loc),
-                Err(e) if matches!(e.code(), ErrorCode::OutOfCapacity | ErrorCode::NotFound) => {
-                    match self.options.class_fallbacks.get(&current) {
-                        // Cap hops to tolerate accidental fallback cycles.
-                        Some(next) if hops < 8 => {
-                            current = next.clone();
-                            hops += 1;
-                        }
-                        _ => return Err(e),
-                    }
+        ns: &mut Namespace,
+        node_id: NodeId,
+        class: &StorageClass,
+        count: u32,
+    ) -> GliderResult<Vec<glider_proto::types::BlockExtent>> {
+        let mut reg = self.reg.lock();
+        let mut locs: Vec<BlockLocation> = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            match allocate_with_fallback(&mut reg, &self.options.class_fallbacks, class) {
+                Ok(loc) => locs.push(loc),
+                Err(e) if locs.is_empty() => return Err(e),
+                // Partial capacity: hand back what we got; the client asks
+                // again (and gets a clean OutOfCapacity) when it is truly
+                // exhausted.
+                Err(_) => break,
+            }
+        }
+        match ns.add_extents(node_id, locs.clone()) {
+            Ok(extents) => Ok(extents),
+            Err(e) => {
+                for loc in &locs {
+                    reg.free(loc.block_id);
                 }
-                Err(e) => return Err(e),
+                Err(e)
             }
         }
     }
 
     fn handle_sync(&self, body: RequestBody) -> GliderResult<ResponseBody> {
-        let mut st = self.state.lock();
         match body {
             RequestBody::Hello { .. } => Ok(ResponseBody::Ok),
             RequestBody::RegisterServer {
@@ -187,7 +284,8 @@ impl MetadataHandler {
                 capacity_blocks,
             } => {
                 let (server_id, first_block_id) =
-                    st.reg
+                    self.reg
+                        .lock()
                         .register(kind, storage_class, addr, capacity_blocks)?;
                 Ok(ResponseBody::Registered {
                     server_id,
@@ -201,50 +299,42 @@ impl MetadataHandler {
                 action,
             } => {
                 let path = NodePath::parse(&path)?;
-                let node_id = st.ns.create(path.clone(), kind, storage_class, action)?.id;
+                let mut ns = self.shard_for_path(&path).lock();
+                let node_id = ns.create(path.clone(), kind, storage_class, action)?.id;
                 // KeyValue and Action nodes get their single block up
                 // front so clients reach storage with one metadata trip.
                 if matches!(kind, NodeKind::KeyValue | NodeKind::Action) {
-                    let class = st
-                        .ns
-                        .get(node_id)
-                        .expect("just created")
-                        .storage_class
-                        .clone();
-                    let loc = match self.allocate_with_fallback(&mut st, &class) {
-                        Ok(loc) => loc,
-                        Err(e) => {
-                            // Roll back the node so the failure is atomic.
-                            let _ = st.ns.delete(&path);
-                            return Err(e);
-                        }
-                    };
-                    if let Err(e) = st.ns.add_extent(node_id, loc.clone()) {
-                        st.reg.free(loc.block_id);
-                        let _ = st.ns.delete(&path);
+                    let class = ns.get(node_id).expect("just created").storage_class.clone();
+                    if let Err(e) = self.add_blocks_locked(&mut ns, node_id, &class, 1) {
+                        // Roll back the node so the failure is atomic.
+                        let _ = ns.delete(&path);
                         return Err(e);
                     }
                 }
                 Ok(ResponseBody::Node(
-                    st.ns.get(node_id).expect("just created").info(),
+                    ns.get(node_id).expect("just created").info(),
                 ))
             }
             RequestBody::LookupNode { path } => {
                 let path = NodePath::parse(&path)?;
-                Ok(ResponseBody::Node(st.ns.lookup(&path)?.info()))
+                Ok(ResponseBody::Node(
+                    self.shard_for_path(&path).lock().lookup(&path)?.info(),
+                ))
             }
             RequestBody::DeleteNode { path } => {
                 let path = NodePath::parse(&path)?;
-                let out = st.ns.delete(&path)?;
+                let mut ns = self.shard_for_path(&path).lock();
+                let out = ns.delete(&path)?;
                 // Return freed capacity to the allocator. The client is
                 // responsible for releasing the actual bytes/objects on the
                 // storage servers (FreeBlocks / ActionDelete).
+                let mut reg = self.reg.lock();
                 for extent in &out.extents {
-                    st.reg.free(extent.loc.block_id);
+                    reg.free(extent.loc.block_id);
                 }
                 for action in &out.actions {
                     for extent in &action.blocks {
-                        st.reg.free(extent.loc.block_id);
+                        reg.free(extent.loc.block_id);
                     }
                 }
                 Ok(ResponseBody::Deleted {
@@ -255,30 +345,76 @@ impl MetadataHandler {
             }
             RequestBody::ListChildren { path } => {
                 let path = NodePath::parse(&path)?;
-                Ok(ResponseBody::Children(st.ns.list_children(&path)?))
+                if path.is_root() {
+                    // Top-level directories are scattered across shards;
+                    // merge every shard's root listing (locks taken one at
+                    // a time, so no ordering hazard).
+                    let mut names = Vec::new();
+                    for shard in &self.shards {
+                        names.extend(shard.lock().list_children(&path)?);
+                    }
+                    names.sort();
+                    return Ok(ResponseBody::Children(names));
+                }
+                Ok(ResponseBody::Children(
+                    self.shard_for_path(&path).lock().list_children(&path)?,
+                ))
             }
             RequestBody::AddBlock { node_id } => {
-                let class = st
-                    .ns
+                let mut ns = self.shard_for_id(node_id)?.lock();
+                let class = ns
                     .get(node_id)
                     .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?
                     .storage_class
                     .clone();
-                let loc = self.allocate_with_fallback(&mut st, &class)?;
-                match st.ns.add_extent(node_id, loc.clone()) {
-                    Ok(extent) => Ok(ResponseBody::Block(extent)),
-                    Err(e) => {
-                        st.reg.free(loc.block_id);
-                        Err(e)
-                    }
+                let extents = self.add_blocks_locked(&mut ns, node_id, &class, 1)?;
+                Ok(ResponseBody::Block(
+                    extents.into_iter().next().expect("one block requested"),
+                ))
+            }
+            RequestBody::AddBlocks { node_id, count } => {
+                if count == 0 {
+                    return Err(GliderError::invalid("AddBlocks count must be >= 1"));
                 }
+                // Cap runaway batches; the response says how many we gave.
+                let count = count.min(4096);
+                let mut ns = self.shard_for_id(node_id)?.lock();
+                let class = ns
+                    .get(node_id)
+                    .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?
+                    .storage_class
+                    .clone();
+                let extents = self.add_blocks_locked(&mut ns, node_id, &class, count)?;
+                Ok(ResponseBody::Blocks(extents))
             }
             RequestBody::CommitBlock {
                 node_id,
                 block_id,
                 len,
             } => {
-                st.ns.commit_block(node_id, block_id, len)?;
+                self.shard_for_id(node_id)?
+                    .lock()
+                    .commit_block(node_id, block_id, len)?;
+                Ok(ResponseBody::Ok)
+            }
+            RequestBody::CommitBlocks { node_id, commits } => {
+                let mut ns = self.shard_for_id(node_id)?.lock();
+                // Validate the whole batch before applying any of it, so a
+                // bad commit cannot leave the chain half-updated.
+                let node = ns
+                    .get(node_id)
+                    .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+                for (block_id, _) in &commits {
+                    if !node.blocks.iter().any(|b| b.loc.block_id == *block_id) {
+                        return Err(GliderError::not_found(format!(
+                            "block {block_id} in node {node_id}"
+                        )));
+                    }
+                }
+                for (block_id, len) in commits {
+                    ns.commit_block(node_id, block_id, len)
+                        .expect("validated above");
+                }
                 Ok(ResponseBody::Ok)
             }
             other => Err(GliderError::new(
@@ -300,6 +436,14 @@ impl RpcHandler for MetadataHandler {
     ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
         Box::pin(async move {
             let _span = glider_trace::Span::child_of(ctx.span_context(), "meta.handle");
+            if let Some(delay) = self.options.alloc_delay {
+                if matches!(
+                    body,
+                    RequestBody::AddBlock { .. } | RequestBody::AddBlocks { .. }
+                ) {
+                    tokio::time::sleep(delay).await;
+                }
+            }
             self.handle_sync(body)
         })
     }
@@ -309,11 +453,17 @@ impl RpcHandler for MetadataHandler {
 mod tests {
     use super::*;
     use glider_net::rpc::RpcClient;
-    use glider_proto::types::{ActionSpec, NodeKind, PeerTier, ServerKind, StorageClass};
+    use glider_proto::types::{ActionSpec, BlockId, NodeKind, PeerTier, ServerKind, StorageClass};
 
     async fn setup() -> (MetadataServer, RpcClient) {
+        setup_with_options(MetadataOptions::default()).await
+    }
+
+    async fn setup_with_options(options: MetadataOptions) -> (MetadataServer, RpcClient) {
         let metrics = MetricsRegistry::new();
-        let server = MetadataServer::start("127.0.0.1:0", metrics).await.unwrap();
+        let server = MetadataServer::start_with_options("127.0.0.1:0", metrics, options)
+            .await
+            .unwrap();
         let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
             .await
             .unwrap();
@@ -331,6 +481,36 @@ mod tests {
             .await
             .unwrap();
         assert!(matches!(resp, ResponseBody::Registered { .. }));
+    }
+
+    async fn create_file(client: &RpcClient, path: &str) -> glider_proto::types::NodeInfo {
+        match client
+            .call(RequestBody::CreateNode {
+                path: path.to_string(),
+                kind: NodeKind::File,
+                storage_class: None,
+                action: None,
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    async fn add_blocks(
+        client: &RpcClient,
+        node_id: NodeId,
+        count: u32,
+    ) -> GliderResult<Vec<glider_proto::types::BlockExtent>> {
+        match client
+            .call(RequestBody::AddBlocks { node_id, count })
+            .await?
+        {
+            ResponseBody::Blocks(extents) => Ok(extents),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[tokio::test]
@@ -470,19 +650,7 @@ mod tests {
     async fn file_block_chain_via_rpc() {
         let (_server, client) = setup().await;
         register(&client, ServerKind::Data, StorageClass::dram(), 4).await;
-        let info = match client
-            .call(RequestBody::CreateNode {
-                path: "/f".to_string(),
-                kind: NodeKind::File,
-                storage_class: None,
-                action: None,
-            })
-            .await
-            .unwrap()
-        {
-            ResponseBody::Node(i) => i,
-            other => panic!("unexpected {other:?}"),
-        };
+        let info = create_file(&client, "/f").await;
         let b1 = match client
             .call(RequestBody::AddBlock { node_id: info.id })
             .await
@@ -551,5 +719,302 @@ mod tests {
             .await
             .unwrap_err();
         assert_eq!(err.code(), ErrorCode::InvalidArgument);
+    }
+
+    #[tokio::test]
+    async fn batched_add_blocks_allocates_up_to_count() {
+        let (_server, client) = setup().await;
+        register(&client, ServerKind::Data, StorageClass::dram(), 4).await;
+        let info = create_file(&client, "/f").await;
+        let got = add_blocks(&client, info.id, 3).await.unwrap();
+        assert_eq!(got.len(), 3);
+        // Only one block left: an oversized request returns the remainder
+        // rather than failing (partial semantics).
+        let got = add_blocks(&client, info.id, 8).await.unwrap();
+        assert_eq!(got.len(), 1);
+        // Truly exhausted: a clean OutOfCapacity.
+        let err = add_blocks(&client, info.id, 1).await.unwrap_err();
+        assert_eq!(err.code(), ErrorCode::OutOfCapacity);
+        // count == 0 is rejected outright.
+        let err = add_blocks(&client, info.id, 0).await.unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidArgument);
+        // The committed chain holds all four blocks, in allocation order.
+        let after = match client
+            .call(RequestBody::LookupNode {
+                path: "/f".to_string(),
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(after.blocks.len(), 4);
+    }
+
+    #[tokio::test]
+    async fn failed_add_blocks_batch_rolls_back_atomically() {
+        let (_server, client) = setup().await;
+        register(&client, ServerKind::Data, StorageClass::dram(), 4).await;
+        // The KV node takes 1 of the 4 blocks at create.
+        let kv = match client
+            .call(RequestBody::CreateNode {
+                path: "/kv".to_string(),
+                kind: NodeKind::KeyValue,
+                storage_class: None,
+                action: None,
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        // A batch on a single-block node fails after allocation; the
+        // blocks must all return to the registry and the chain must be
+        // untouched.
+        let err = add_blocks(&client, kv.id, 2).await.unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidArgument);
+        let kv_after = match client
+            .call(RequestBody::LookupNode {
+                path: "/kv".to_string(),
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(kv_after.blocks.len(), 1);
+        // All 3 remaining blocks are still allocatable — nothing leaked.
+        let f = create_file(&client, "/f").await;
+        let got = add_blocks(&client, f.id, 3).await.unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(
+            add_blocks(&client, f.id, 1).await.unwrap_err().code(),
+            ErrorCode::OutOfCapacity
+        );
+    }
+
+    #[tokio::test]
+    async fn commit_blocks_batch_validates_before_applying() {
+        let (_server, client) = setup().await;
+        register(&client, ServerKind::Data, StorageClass::dram(), 4).await;
+        let f = create_file(&client, "/f").await;
+        let got = add_blocks(&client, f.id, 2).await.unwrap();
+        client
+            .call_ok(RequestBody::CommitBlocks {
+                node_id: f.id,
+                commits: vec![(got[0].loc.block_id, 100), (got[1].loc.block_id, 50)],
+            })
+            .await
+            .unwrap();
+        let after = match client
+            .call(RequestBody::LookupNode {
+                path: "/f".to_string(),
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(after.size, 150);
+        // A batch containing an unknown block fails whole: the valid
+        // commit ahead of it must not be applied.
+        let err = client
+            .call_ok(RequestBody::CommitBlocks {
+                node_id: f.id,
+                commits: vec![(got[0].loc.block_id, 4096), (BlockId(u64::MAX), 1)],
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound);
+        let after = match client
+            .call(RequestBody::LookupNode {
+                path: "/f".to_string(),
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(after.size, 150, "failed batch must not partially apply");
+    }
+
+    #[tokio::test]
+    async fn singular_and_batched_rpcs_interoperate() {
+        // Backward compatibility: a client may mix AddBlock/CommitBlock
+        // with the batched forms on the same node.
+        let (_server, client) = setup().await;
+        register(&client, ServerKind::Data, StorageClass::dram(), 8).await;
+        let f = create_file(&client, "/mixed").await;
+        let b1 = match client
+            .call(RequestBody::AddBlock { node_id: f.id })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Block(b) => b,
+            other => panic!("unexpected {other:?}"),
+        };
+        let batch = add_blocks(&client, f.id, 2).await.unwrap();
+        client
+            .call_ok(RequestBody::CommitBlock {
+                node_id: f.id,
+                block_id: b1.loc.block_id,
+                len: 10,
+            })
+            .await
+            .unwrap();
+        client
+            .call_ok(RequestBody::CommitBlocks {
+                node_id: f.id,
+                commits: batch.iter().map(|b| (b.loc.block_id, 20)).collect(),
+            })
+            .await
+            .unwrap();
+        let after = match client
+            .call(RequestBody::LookupNode {
+                path: "/mixed".to_string(),
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(after.blocks.len(), 3);
+        assert_eq!(after.size, 50);
+        assert_eq!(after.blocks[0].loc.block_id, b1.loc.block_id);
+    }
+
+    #[tokio::test]
+    async fn shards_route_ids_and_merge_root_listing() {
+        let (_server, client) = setup_with_options(
+            MetadataOptions::default().with_namespace_shards(4),
+        )
+        .await;
+        register(&client, ServerKind::Data, StorageClass::dram(), 32).await;
+        // Top-level dirs scatter across shards; ids must still route back
+        // to the owning shard.
+        let mut ids = Vec::new();
+        for name in ["alpha", "beta", "gamma", "delta", "epsilon"] {
+            client
+                .call(RequestBody::CreateNode {
+                    path: format!("/{name}"),
+                    kind: NodeKind::Directory,
+                    storage_class: None,
+                    action: None,
+                })
+                .await
+                .unwrap();
+            let f = create_file(&client, &format!("/{name}/f")).await;
+            ids.push(f.id);
+        }
+        // Node ids are unique across shards.
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+        // Id-routed ops reach the right shard.
+        for id in &ids {
+            assert_eq!(add_blocks(&client, *id, 1).await.unwrap().len(), 1);
+        }
+        // An id from a shard range that does not exist is NotFound, not a
+        // panic.
+        let err = add_blocks(&client, NodeId(u64::MAX), 1).await.unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound);
+        // The root listing merges every shard, sorted.
+        let names = match client
+            .call(RequestBody::ListChildren {
+                path: "/".to_string(),
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Children(names) => names,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(names, vec!["alpha", "beta", "delta", "epsilon", "gamma"]);
+    }
+
+    #[tokio::test]
+    async fn concurrent_subtrees_conserve_capacity() {
+        // N tasks create/allocate/delete under distinct top-level dirs
+        // through one server. Afterwards the allocator must hold exactly
+        // its original capacity: nothing lost, nothing double-freed.
+        const TASKS: usize = 8;
+        const CAP: u64 = 64;
+        let (server, client) = setup().await;
+        register(&client, ServerKind::Data, StorageClass::dram(), CAP).await;
+        let mut handles = Vec::new();
+        for t in 0..TASKS {
+            let addr = server.addr().to_string();
+            handles.push(tokio::spawn(async move {
+                let client = RpcClient::connect(&addr, PeerTier::Compute, None)
+                    .await
+                    .unwrap();
+                for round in 0..3 {
+                    let dir = format!("/task-{t}");
+                    client
+                        .call(RequestBody::CreateNode {
+                            path: dir.clone(),
+                            kind: NodeKind::Directory,
+                            storage_class: None,
+                            action: None,
+                        })
+                        .await
+                        .unwrap();
+                    let f = match client
+                        .call(RequestBody::CreateNode {
+                            path: format!("{dir}/f-{round}"),
+                            kind: NodeKind::File,
+                            storage_class: None,
+                            action: None,
+                        })
+                        .await
+                        .unwrap()
+                    {
+                        ResponseBody::Node(i) => i,
+                        other => panic!("unexpected {other:?}"),
+                    };
+                    let got = match client
+                        .call(RequestBody::AddBlocks {
+                            node_id: f.id,
+                            count: 4,
+                        })
+                        .await
+                        .unwrap()
+                    {
+                        ResponseBody::Blocks(b) => b,
+                        other => panic!("unexpected {other:?}"),
+                    };
+                    assert!(!got.is_empty());
+                    client
+                        .call_ok(RequestBody::CommitBlocks {
+                            node_id: f.id,
+                            commits: got.iter().map(|b| (b.loc.block_id, 1)).collect(),
+                        })
+                        .await
+                        .unwrap();
+                    client
+                        .call(RequestBody::DeleteNode { path: dir })
+                        .await
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.await.unwrap();
+        }
+        // Conservation: the full capacity is allocatable again, and not a
+        // block more.
+        let f = create_file(&client, "/final").await;
+        let got = add_blocks(&client, f.id, CAP as u32).await.unwrap();
+        assert_eq!(got.len(), CAP as usize, "allocator lost blocks");
+        assert_eq!(
+            add_blocks(&client, f.id, 1).await.unwrap_err().code(),
+            ErrorCode::OutOfCapacity,
+            "allocator gained phantom blocks"
+        );
     }
 }

@@ -191,8 +191,12 @@ pub enum OpKind {
     MetaListChildren,
     /// `AddBlock` metadata RPC.
     MetaAddBlock,
+    /// `AddBlocks` (batched allocation) metadata RPC.
+    MetaAddBlocks,
     /// `CommitBlock` metadata RPC.
     MetaCommitBlock,
+    /// `CommitBlocks` (batched commit) metadata RPC.
+    MetaCommitBlocks,
     /// `RegisterServer` metadata RPC.
     MetaRegisterServer,
     /// `ReadBlock` on a data server.
@@ -214,7 +218,7 @@ pub enum OpKind {
 
 impl OpKind {
     /// Number of operation kinds.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 16;
 
     /// All kinds, in index order.
     pub const ALL: [OpKind; OpKind::COUNT] = [
@@ -223,7 +227,9 @@ impl OpKind {
         OpKind::MetaDeleteNode,
         OpKind::MetaListChildren,
         OpKind::MetaAddBlock,
+        OpKind::MetaAddBlocks,
         OpKind::MetaCommitBlock,
+        OpKind::MetaCommitBlocks,
         OpKind::MetaRegisterServer,
         OpKind::BlockRead,
         OpKind::BlockWrite,
@@ -242,15 +248,17 @@ impl OpKind {
             OpKind::MetaDeleteNode => 2,
             OpKind::MetaListChildren => 3,
             OpKind::MetaAddBlock => 4,
-            OpKind::MetaCommitBlock => 5,
-            OpKind::MetaRegisterServer => 6,
-            OpKind::BlockRead => 7,
-            OpKind::BlockWrite => 8,
-            OpKind::BlockFree => 9,
-            OpKind::ActionInvoke => 10,
-            OpKind::ActionHandlerRun => 11,
-            OpKind::QueueWait => 12,
-            OpKind::WriterFlush => 13,
+            OpKind::MetaAddBlocks => 5,
+            OpKind::MetaCommitBlock => 6,
+            OpKind::MetaCommitBlocks => 7,
+            OpKind::MetaRegisterServer => 8,
+            OpKind::BlockRead => 9,
+            OpKind::BlockWrite => 10,
+            OpKind::BlockFree => 11,
+            OpKind::ActionInvoke => 12,
+            OpKind::ActionHandlerRun => 13,
+            OpKind::QueueWait => 14,
+            OpKind::WriterFlush => 15,
         }
     }
 
@@ -262,7 +270,9 @@ impl OpKind {
             OpKind::MetaDeleteNode => "meta-delete-node",
             OpKind::MetaListChildren => "meta-list-children",
             OpKind::MetaAddBlock => "meta-add-block",
+            OpKind::MetaAddBlocks => "meta-add-blocks",
             OpKind::MetaCommitBlock => "meta-commit-block",
+            OpKind::MetaCommitBlocks => "meta-commit-blocks",
             OpKind::MetaRegisterServer => "meta-register-server",
             OpKind::BlockRead => "block-read",
             OpKind::BlockWrite => "block-write",

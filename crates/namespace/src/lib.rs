@@ -21,8 +21,10 @@
 
 pub mod path;
 pub mod registry;
+pub mod shard;
 pub mod tree;
 
 pub use path::NodePath;
 pub use registry::ServerRegistry;
+pub use shard::shard_of;
 pub use tree::Namespace;

@@ -1,0 +1,99 @@
+//! Stable path → shard routing shared by clients and metadata servers.
+//!
+//! Both the client's partition choice (which metadata server owns a
+//! path) and the metadata server's internal namespace-shard choice use
+//! the *same* deterministic FNV-1a hash over the first path component,
+//! so a subtree under one top-level directory always lands on one
+//! partition and, within it, on one namespace shard. Everything below
+//! the top-level component stays together, which keeps parent/child
+//! operations on a single lock.
+
+/// Deterministic FNV-1a over the first path component.
+///
+/// Returns 0 when `shards <= 1`. The empty first component (the root
+/// path `/`) hashes like any other key, so the root's "home" shard is
+/// stable too.
+///
+/// # Examples
+///
+/// ```
+/// use glider_namespace::shard_of;
+///
+/// let s = shard_of("/job1/shuffle/part-3", 8);
+/// assert_eq!(s, shard_of("/job1/other", 8), "same subtree, same shard");
+/// assert!(s < 8);
+/// assert_eq!(shard_of("/anything", 1), 0);
+/// ```
+pub fn shard_of(path: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let first = path.trim_start_matches('/').split('/').next().unwrap_or("");
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in first.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    (hash % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_shard_is_always_zero() {
+        assert_eq!(shard_of("/a/b", 1), 0);
+        assert_eq!(shard_of("/", 0), 0);
+    }
+
+    #[test]
+    fn root_and_leading_slashes_normalize() {
+        assert_eq!(shard_of("/", 8), shard_of("", 8));
+        assert_eq!(shard_of("/a", 8), shard_of("a", 8));
+    }
+
+    proptest! {
+        /// The hash is a pure function of the first component: any suffix
+        /// under the same top-level directory routes identically.
+        #[test]
+        fn depends_only_on_first_component(
+            first in "[a-zA-Z0-9._-]{1,24}",
+            rest_a in "[a-zA-Z0-9/._-]{0,40}",
+            rest_b in "[a-zA-Z0-9/._-]{0,40}",
+            shards in 1usize..64,
+        ) {
+            let a = format!("/{first}/{rest_a}");
+            let b = format!("/{first}/{rest_b}");
+            prop_assert_eq!(shard_of(&a, shards), shard_of(&b, shards));
+            prop_assert_eq!(shard_of(&a, shards), shard_of(&format!("/{first}"), shards));
+        }
+
+        /// Stable (same input, same output) and always in range.
+        #[test]
+        fn stable_and_in_range(path in "/[a-zA-Z0-9/._-]{0,64}", shards in 1usize..64) {
+            let s = shard_of(&path, shards);
+            prop_assert_eq!(s, shard_of(&path, shards));
+            prop_assert!(s < shards.max(1));
+        }
+
+        /// Uniform-ish: with many random top-level names, no shard stays
+        /// empty and no shard hoards more than half the keys. Loose bounds
+        /// on purpose — FNV-1a is not cryptographic, but it must spread.
+        #[test]
+        fn spreads_across_shards(seed in any::<u64>()) {
+            const SHARDS: usize = 8;
+            const KEYS: usize = 2048;
+            let mut counts = [0usize; SHARDS];
+            for i in 0..KEYS {
+                let path = format!("/dir-{seed:x}-{i}/leaf");
+                counts[shard_of(&path, SHARDS)] += 1;
+            }
+            for (i, &c) in counts.iter().enumerate() {
+                prop_assert!(c > 0, "shard {i} received no keys");
+                prop_assert!(c < KEYS / 2, "shard {i} hoards {c}/{KEYS} keys");
+            }
+        }
+    }
+}

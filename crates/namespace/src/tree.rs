@@ -93,7 +93,16 @@ pub struct Namespace {
 impl Namespace {
     /// Creates a namespace containing only the root directory.
     pub fn new() -> Self {
-        let root_id = NodeId(1);
+        Namespace::with_id_base(0)
+    }
+
+    /// Creates a namespace whose node ids start at `base + 1` (the root).
+    ///
+    /// A sharded metadata server gives each shard a distinct base so node
+    /// ids are unique across shards and the owning shard can be recovered
+    /// from an id alone. `with_id_base(0)` is identical to [`Namespace::new`].
+    pub fn with_id_base(base: u64) -> Self {
+        let root_id = NodeId(base + 1);
         let root = Node {
             id: root_id,
             kind: NodeKind::Directory,
@@ -112,7 +121,7 @@ impl Namespace {
             nodes,
             by_path,
             root: root_id,
-            next_id: 2,
+            next_id: base + 2,
         }
     }
 
@@ -256,6 +265,46 @@ impl Namespace {
         let extent = BlockExtent { loc, len: 0 };
         node.blocks.push(extent.clone());
         Ok(extent)
+    }
+
+    /// Appends several allocated blocks to a node's chain, atomically:
+    /// every validation runs before the first mutation, so a failure
+    /// leaves the chain exactly as it was (the caller can then return the
+    /// allocated blocks to the registry without unwinding the tree).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Namespace::add_extent`]; a `KeyValue`/`Action`
+    /// node rejects the whole batch if it would exceed its single block.
+    pub fn add_extents(
+        &mut self,
+        node_id: NodeId,
+        locs: Vec<BlockLocation>,
+    ) -> GliderResult<Vec<BlockExtent>> {
+        let node = self
+            .nodes
+            .get_mut(&node_id)
+            .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+        if node.kind.is_container() {
+            return Err(GliderError::new(
+                ErrorCode::WrongNodeKind,
+                format!("{} nodes hold no blocks", node.kind),
+            ));
+        }
+        let single = matches!(node.kind, NodeKind::KeyValue | NodeKind::Action);
+        if single && node.blocks.len() + locs.len() > 1 {
+            return Err(GliderError::invalid(format!(
+                "{} nodes are limited to a single block",
+                node.kind
+            )));
+        }
+        let mut out = Vec::with_capacity(locs.len());
+        for loc in locs {
+            let extent = BlockExtent { loc, len: 0 };
+            node.blocks.push(extent.clone());
+            out.push(extent);
+        }
+        Ok(out)
     }
 
     /// Records the used length of one block in a node's chain.
@@ -552,6 +601,43 @@ mod tests {
         let err = ns.list_children(&p("/d/a")).unwrap_err();
         assert_eq!(err.code(), ErrorCode::WrongNodeKind);
         assert!(ns.list_children(&p("/nope")).is_err());
+    }
+
+    #[test]
+    fn id_base_offsets_every_node_id() {
+        let mut ns = Namespace::with_id_base(1 << 40);
+        assert_eq!(ns.root_id(), NodeId((1 << 40) + 1));
+        let f = ns.create(p("/f"), NodeKind::File, None, None).unwrap().id;
+        assert_eq!(f, NodeId((1 << 40) + 2));
+        // Base 0 matches the plain constructor.
+        assert_eq!(Namespace::new().root_id(), Namespace::with_id_base(0).root_id());
+    }
+
+    #[test]
+    fn add_extents_is_all_or_nothing() {
+        let mut ns = Namespace::new();
+        let f = ns.create(p("/f"), NodeKind::File, None, None).unwrap().id;
+        let got = ns.add_extents(f, vec![loc(1), loc(2), loc(3)]).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(ns.get(f).unwrap().blocks.len(), 3);
+        // A single-block node rejects an oversized batch without touching
+        // its (empty) chain.
+        let kv = ns
+            .create(p("/kv"), NodeKind::KeyValue, None, None)
+            .unwrap()
+            .id;
+        assert!(ns.add_extents(kv, vec![loc(4), loc(5)]).is_err());
+        assert!(ns.get(kv).unwrap().blocks.is_empty());
+        ns.add_extents(kv, vec![loc(4)]).unwrap();
+        // ... and once occupied, any further batch fails whole.
+        assert!(ns.add_extents(kv, vec![loc(5)]).is_err());
+        assert_eq!(ns.get(kv).unwrap().blocks.len(), 1);
+        // Containers reject batches too.
+        let d = ns
+            .create(p("/d"), NodeKind::Directory, None, None)
+            .unwrap()
+            .id;
+        assert!(ns.add_extents(d, vec![loc(6)]).is_err());
     }
 
     #[test]

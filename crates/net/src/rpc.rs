@@ -325,7 +325,9 @@ fn op_kind(body: &RequestBody) -> Option<OpKind> {
         RequestBody::DeleteNode { .. } => OpKind::MetaDeleteNode,
         RequestBody::ListChildren { .. } => OpKind::MetaListChildren,
         RequestBody::AddBlock { .. } => OpKind::MetaAddBlock,
+        RequestBody::AddBlocks { .. } => OpKind::MetaAddBlocks,
         RequestBody::CommitBlock { .. } => OpKind::MetaCommitBlock,
+        RequestBody::CommitBlocks { .. } => OpKind::MetaCommitBlocks,
         RequestBody::RegisterServer { .. } => OpKind::MetaRegisterServer,
         RequestBody::WriteBlock { .. } => OpKind::BlockWrite,
         RequestBody::ReadBlock { .. } => OpKind::BlockRead,

@@ -201,6 +201,18 @@ impl<T: Wire> Wire for Option<T> {
     }
 }
 
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        let a = A::decode(buf)?;
+        let b = B::decode(buf)?;
+        Ok((a, b))
+    }
+}
+
 /// Encodes a value into a fresh buffer (convenience for tests).
 pub fn to_bytes<T: Wire>(value: &T) -> Bytes {
     let mut buf = BytesMut::new();
@@ -262,6 +274,15 @@ mod tests {
         round_trip(Option::<u32>::None);
         round_trip(Some(77u32));
         round_trip(vec![Some(1u8), None, Some(3)]);
+    }
+
+    #[test]
+    fn pairs_round_trip() {
+        round_trip((7u64, 42u32));
+        round_trip(("key".to_string(), 9u64));
+        round_trip(Vec::<(u64, u64)>::new());
+        round_trip(vec![(1u64, 10u64), (2, 20), (3, 30)]);
+        round_trip(Some((true, Bytes::from_static(b"v"))));
     }
 
     #[test]

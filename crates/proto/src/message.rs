@@ -85,6 +85,25 @@ pub enum RequestBody {
         /// Used bytes within the block.
         len: u64,
     },
+    /// Allocates and appends up to `count` blocks to a data node's chain
+    /// in one round trip (the batched form of [`RequestBody::AddBlock`]).
+    /// The server answers with [`ResponseBody::Blocks`] carrying between
+    /// one and `count` extents; it errors only when *no* block can be
+    /// allocated, and a mid-batch failure rolls back atomically.
+    AddBlocks {
+        /// Target node.
+        node_id: NodeId,
+        /// Desired number of blocks (must be ≥ 1).
+        count: u32,
+    },
+    /// Records several committed block lengths of one node in a single
+    /// round trip (the batched form of [`RequestBody::CommitBlock`]).
+    CommitBlocks {
+        /// Target node.
+        node_id: NodeId,
+        /// `(block, used bytes)` pairs, applied in order.
+        commits: Vec<(BlockId, u64)>,
+    },
     /// Registers a storage server and its capacity with the metadata plane.
     RegisterServer {
         /// Data or active server.
@@ -183,6 +202,8 @@ impl RequestBody {
             RequestBody::CommitBlock { .. } => 6,
             RequestBody::RegisterServer { .. } => 7,
             RequestBody::Stats => 8,
+            RequestBody::AddBlocks { .. } => 9,
+            RequestBody::CommitBlocks { .. } => 10,
             RequestBody::WriteBlock { .. } => 20,
             RequestBody::ReadBlock { .. } => 21,
             RequestBody::FreeBlocks { .. } => 22,
@@ -207,6 +228,8 @@ impl RequestBody {
             RequestBody::CommitBlock { .. } => "commit-block",
             RequestBody::RegisterServer { .. } => "register-server",
             RequestBody::Stats => "stats",
+            RequestBody::AddBlocks { .. } => "add-blocks",
+            RequestBody::CommitBlocks { .. } => "commit-blocks",
             RequestBody::WriteBlock { .. } => "write-block",
             RequestBody::ReadBlock { .. } => "read-block",
             RequestBody::FreeBlocks { .. } => "free-blocks",
@@ -269,6 +292,14 @@ impl Request {
             | RequestBody::DeleteNode { path }
             | RequestBody::ListChildren { path } => path.encode(buf),
             RequestBody::AddBlock { node_id } => node_id.encode(buf),
+            RequestBody::AddBlocks { node_id, count } => {
+                node_id.encode(buf);
+                count.encode(buf);
+            }
+            RequestBody::CommitBlocks { node_id, commits } => {
+                node_id.encode(buf);
+                commits.encode(buf);
+            }
             RequestBody::CommitBlock {
                 node_id,
                 block_id,
@@ -387,6 +418,14 @@ impl Wire for Request {
                 capacity_blocks: u64::decode(buf)?,
             },
             8 => RequestBody::Stats,
+            9 => RequestBody::AddBlocks {
+                node_id: NodeId::decode(buf)?,
+                count: u32::decode(buf)?,
+            },
+            10 => RequestBody::CommitBlocks {
+                node_id: NodeId::decode(buf)?,
+                commits: Vec::decode(buf)?,
+            },
             20 => RequestBody::WriteBlock {
                 block_id: BlockId::decode(buf)?,
                 offset: u64::decode(buf)?,
@@ -501,6 +540,9 @@ pub enum ResponseBody {
     /// The server's observability snapshot (answer to
     /// [`RequestBody::Stats`]).
     Stats(StatsPayload),
+    /// Freshly allocated block extents, in chain order (answer to
+    /// [`RequestBody::AddBlocks`]).
+    Blocks(Vec<BlockExtent>),
 }
 
 impl ResponseBody {
@@ -517,6 +559,7 @@ impl ResponseBody {
             ResponseBody::Written { .. } => 8,
             ResponseBody::Error { .. } => 9,
             ResponseBody::Stats(_) => 10,
+            ResponseBody::Blocks(_) => 11,
         }
     }
 
@@ -600,6 +643,7 @@ impl Response {
                 message.encode(buf);
             }
             ResponseBody::Stats(payload) => payload.encode(buf),
+            ResponseBody::Blocks(extents) => extents.encode(buf),
         }
     }
 }
@@ -646,6 +690,7 @@ impl Wire for Response {
                 message: String::decode(buf)?,
             },
             10 => ResponseBody::Stats(StatsPayload::decode(buf)?),
+            11 => ResponseBody::Blocks(Vec::decode(buf)?),
             other => return Err(CodecError(format!("unknown response opcode {other}"))),
         };
         Ok(Response { id, body })
@@ -708,10 +753,22 @@ mod tests {
             path: "/".to_string(),
         });
         round_trip_req(RequestBody::AddBlock { node_id: NodeId(1) });
+        round_trip_req(RequestBody::AddBlocks {
+            node_id: NodeId(1),
+            count: 4,
+        });
         round_trip_req(RequestBody::CommitBlock {
             node_id: NodeId(1),
             block_id: BlockId(2),
             len: 100,
+        });
+        round_trip_req(RequestBody::CommitBlocks {
+            node_id: NodeId(1),
+            commits: vec![(BlockId(2), 100), (BlockId(3), 50)],
+        });
+        round_trip_req(RequestBody::CommitBlocks {
+            node_id: NodeId(1),
+            commits: vec![],
         });
         round_trip_req(RequestBody::RegisterServer {
             kind: ServerKind::Active,
@@ -784,6 +841,8 @@ mod tests {
         });
         round_trip_resp(ResponseBody::Children(vec!["a".into(), "b".into()]));
         round_trip_resp(ResponseBody::Block(extent()));
+        round_trip_resp(ResponseBody::Blocks(vec![extent(), extent()]));
+        round_trip_resp(ResponseBody::Blocks(vec![]));
         round_trip_resp(ResponseBody::Registered {
             server_id: ServerId(3),
             first_block_id: BlockId(1000),
@@ -918,6 +977,22 @@ mod tests {
             }
             .op_name(),
             "stream-open"
+        );
+        assert_eq!(
+            RequestBody::AddBlocks {
+                node_id: NodeId(1),
+                count: 2
+            }
+            .op_name(),
+            "add-blocks"
+        );
+        assert_eq!(
+            RequestBody::CommitBlocks {
+                node_id: NodeId(1),
+                commits: vec![]
+            }
+            .op_name(),
+            "commit-blocks"
         );
     }
 }
