@@ -28,6 +28,12 @@ use glider_proto::types::{ServerId, ServerKind, StorageClass};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
 use glider_util::ByteSize;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Default liveness heartbeat interval: a third of the metadata server's
+/// default lease (mirrors `glider_storage::DEFAULT_HEARTBEAT_INTERVAL`;
+/// the storage crate is not a dependency of this one).
+pub const DEFAULT_HEARTBEAT_INTERVAL: Duration = Duration::from_secs(1);
 
 /// Configuration for an active storage server.
 #[derive(Clone)]
@@ -43,6 +49,9 @@ pub struct ActiveServerConfig {
     pub registry: Arc<ActionRegistry>,
     /// Block size of the cluster (for the actions' internal store client).
     pub block_size: ByteSize,
+    /// Interval between liveness heartbeats to the metadata server. Must
+    /// stay below the metadata lease.
+    pub heartbeat_interval: Duration,
 }
 
 impl ActiveServerConfig {
@@ -55,7 +64,16 @@ impl ActiveServerConfig {
             slots,
             registry: Arc::new(ActionRegistry::with_builtins()),
             block_size: ByteSize::mib(1),
+            heartbeat_interval: DEFAULT_HEARTBEAT_INTERVAL,
         }
+    }
+
+    /// Sets the heartbeat interval (chaos tests shrink it along with the
+    /// metadata lease).
+    #[must_use]
+    pub fn with_heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.heartbeat_interval = interval;
+        self
     }
 
     /// Listens on the in-process RDMA-simulation fabric instead of TCP.
@@ -98,6 +116,7 @@ pub struct ActiveServer {
     handle: ServerHandle,
     server_id: ServerId,
     manager: Arc<ActionManager>,
+    heartbeat: tokio::task::JoinHandle<()>,
 }
 
 impl ActiveServer {
@@ -152,10 +171,21 @@ impl ActiveServer {
             manager: Arc::clone(&manager),
         });
         let handle = glider_net::rpc::serve(listener, handler, metrics, Tier::Storage);
+        // Same lease-refresh loop as data storage servers (DESIGN.md §10):
+        // failures are retried by the RPC layer, and an entry the registry
+        // retired can only be healed by restarting the server.
+        let interval = config.heartbeat_interval;
+        let heartbeat = tokio::spawn(async move {
+            loop {
+                tokio::time::sleep(interval).await;
+                let _ = meta.call_ok(RequestBody::Heartbeat { server_id }).await;
+            }
+        });
         Ok(ActiveServer {
             handle,
             server_id,
             manager,
+            heartbeat,
         })
     }
 
@@ -176,7 +206,14 @@ impl ActiveServer {
 
     /// Stops the server.
     pub fn shutdown(&self) {
+        self.heartbeat.abort();
         self.handle.shutdown();
+    }
+}
+
+impl Drop for ActiveServer {
+    fn drop(&mut self) {
+        self.heartbeat.abort();
     }
 }
 
@@ -205,7 +242,10 @@ impl RpcHandler for ActiveHandler {
                     Ok(ResponseBody::Ok)
                 }
                 RequestBody::StreamOpen { node_id, dir } => {
-                    let stream_id = self.manager.open_stream_traced(span_ctx, node_id, dir).await?;
+                    let stream_id = self
+                        .manager
+                        .open_stream_traced(span_ctx, node_id, dir)
+                        .await?;
                     Ok(ResponseBody::StreamOpened { stream_id })
                 }
                 RequestBody::StreamChunk {

@@ -1,0 +1,41 @@
+//! Drives the fault-injection scenarios of `glider_bench::chaos` over the
+//! `mem://` transport and prints how the RPC plane absorbed each failure
+//! mode (DESIGN.md §10).
+//!
+//! ```text
+//! cargo run -p glider-bench --release --bin chaos
+//! cargo run -p glider-bench --release --bin chaos -- --smoke
+//! ```
+//!
+//! `--smoke` runs a small pass and asserts the fault-tolerance invariants
+//! (used by CI's chaos job).
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = glider_bench::scale_from_args();
+    let calls = if smoke {
+        16
+    } else {
+        glider_bench::scaled(256, scale) as u64
+    };
+
+    let rt = glider_bench::runtime();
+    let samples = rt
+        .block_on(glider_bench::chaos::run_all(calls))
+        .expect("chaos scenarios");
+
+    println!("chaos scenarios over mem:// fault injection — {calls} calls/scenario");
+    println!(
+        "{:>20} {:>8} {:>10} {:>9} {:>11} {:>10}",
+        "scenario", "calls", "failures", "retries", "reconnects", "elapsed"
+    );
+    for s in &samples {
+        println!(
+            "{:>20} {:>8} {:>10} {:>9} {:>11} {:>10.1?}",
+            s.scenario, s.calls, s.surfaced_failures, s.retries, s.reconnects, s.elapsed
+        );
+    }
+
+    glider_bench::chaos::assert_smoke(&samples);
+    println!("chaos invariants ok");
+}

@@ -1,0 +1,295 @@
+//! Chaos harness over the `mem://` fault-injection transport.
+//!
+//! Each scenario runs a sink RPC server on its own `mem://` endpoint,
+//! attaches a [`glider_net::FaultConfig`] to it, and drives idempotent
+//! calls through the failure mode, reporting how the fault-tolerant RPC
+//! plane (DESIGN.md §10) absorbed it: surfaced failures, transparent
+//! retries, reconnections, and wall-clock cost. The `chaos` binary prints
+//! the table; `--smoke` asserts the invariants CI relies on.
+
+use bytes::Bytes;
+use futures::future::BoxFuture;
+use glider_metrics::{MetricsRegistry, Tier};
+use glider_net::rpc::{ConnCtx, RpcClient, RpcHandler};
+use glider_net::{inject_faults, RetryPolicy};
+use glider_proto::message::{RequestBody, ResponseBody};
+use glider_proto::types::{BlockId, PeerTier};
+use glider_proto::{ErrorCode, GliderError, GliderResult};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One chaos scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosSample {
+    /// Scenario name (`error-on-nth`, `sever-heal`, …).
+    pub scenario: &'static str,
+    /// Calls issued by the driver.
+    pub calls: u64,
+    /// Errors that reached the caller despite retries.
+    pub surfaced_failures: u64,
+    /// Transparent retries performed by the client.
+    pub retries: u64,
+    /// Successful redials performed by the client.
+    pub reconnects: u64,
+    /// Wall-clock time of the scenario.
+    pub elapsed: Duration,
+}
+
+/// Answers reads with a zero-copy slice so the scenarios measure fault
+/// handling, not server work.
+struct SinkHandler {
+    blob: Bytes,
+}
+
+impl RpcHandler for SinkHandler {
+    fn handle(
+        self: Arc<Self>,
+        _ctx: ConnCtx,
+        body: RequestBody,
+    ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
+        let resp = match body {
+            RequestBody::Hello { .. } => Ok(ResponseBody::Ok),
+            RequestBody::ReadBlock { len, .. } => {
+                let n = (len as usize).min(self.blob.len());
+                Ok(ResponseBody::Data {
+                    seq: 0,
+                    bytes: self.blob.slice(..n),
+                    eof: true,
+                })
+            }
+            other => Err(GliderError::new(
+                ErrorCode::Unsupported,
+                format!("chaos sink does not serve {}", other.op_name()),
+            )),
+        };
+        Box::pin(async move { resp })
+    }
+}
+
+/// A scenario fixture: sink server, faulted endpoint, instrumented client.
+struct Rig {
+    metrics: Arc<MetricsRegistry>,
+    server: glider_net::ServerHandle,
+    client: RpcClient,
+    faults: Arc<glider_net::FaultConfig>,
+}
+
+async fn rig(endpoint: &str, policy: RetryPolicy) -> GliderResult<Rig> {
+    let metrics = MetricsRegistry::new();
+    let listener = glider_net::bind(endpoint).await?;
+    let server = glider_net::serve(
+        listener,
+        Arc::new(SinkHandler {
+            blob: Bytes::from(vec![0x42u8; 4096]),
+        }),
+        Arc::clone(&metrics),
+        Tier::Storage,
+    );
+    // Register the faults before the client dials so the connection (and
+    // every redial) picks the config up.
+    let faults = inject_faults(endpoint);
+    let client = RpcClient::connect_with_options(
+        endpoint,
+        PeerTier::Storage,
+        None,
+        Some(Arc::clone(&metrics)),
+        policy,
+    )
+    .await?;
+    Ok(Rig {
+        metrics,
+        server,
+        client,
+        faults,
+    })
+}
+
+async fn read_once(client: &RpcClient) -> GliderResult<()> {
+    client
+        .call(RequestBody::ReadBlock {
+            block_id: BlockId(1),
+            offset: 0,
+            len: 4096,
+        })
+        .await
+        .map(|_| ())
+}
+
+fn sample(
+    rig: &Rig,
+    scenario: &'static str,
+    calls: u64,
+    failures: u64,
+    start: Instant,
+) -> ChaosSample {
+    let snap = rig.metrics.snapshot();
+    ChaosSample {
+        scenario,
+        calls,
+        surfaced_failures: failures,
+        retries: snap.rpc_retries,
+        reconnects: snap.rpc_reconnects,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// A dropped frame surfaces as an I/O error on the wire; idempotent calls
+/// absorb it through the retry budget without the caller noticing.
+async fn error_on_nth(calls: u64) -> GliderResult<ChaosSample> {
+    let r = rig("mem://chaos-error-nth", RetryPolicy::default()).await?;
+    // Frame 1 is the Hello handshake; fail one frame mid-run.
+    r.faults.error_on_nth_send(2 + calls / 2);
+    let start = Instant::now();
+    let mut failures = 0;
+    for _ in 0..calls {
+        if read_once(&r.client).await.is_err() {
+            failures += 1;
+        }
+    }
+    let s = sample(&r, "error-on-nth", calls, failures, start);
+    r.server.shutdown();
+    Ok(s)
+}
+
+/// A severed endpoint kills the connection; calls ride the backoff loop
+/// until a heal lands, then a redial (with a fresh handshake) restores
+/// service. Surfaced failures are re-issued by the driver, as a real
+/// caller would, so the scenario always converges.
+async fn sever_heal(calls: u64) -> GliderResult<ChaosSample> {
+    let policy = RetryPolicy {
+        max_attempts: 6,
+        base_delay: Duration::from_millis(20),
+        ..RetryPolicy::default()
+    };
+    let r = rig("mem://chaos-sever-heal", policy).await?;
+    let start = Instant::now();
+    let mut failures = 0;
+    for i in 0..calls {
+        if i == calls / 2 {
+            r.faults.sever();
+            let faults = Arc::clone(&r.faults);
+            tokio::spawn(async move {
+                tokio::time::sleep(Duration::from_millis(25)).await;
+                faults.heal();
+            });
+        }
+        // Bounded re-issue loop on top of the transparent retries: the
+        // heal is guaranteed to land, so this converges quickly. A call
+        // counts as failed only when every re-issue lost.
+        let mut ok = false;
+        for _ in 0..10 {
+            if read_once(&r.client).await.is_ok() {
+                ok = true;
+                break;
+            }
+        }
+        if !ok {
+            failures += 1;
+        }
+    }
+    let s = sample(&r, "sever-heal", calls, failures, start);
+    r.server.shutdown();
+    Ok(s)
+}
+
+/// A blackholed endpoint looks alive-but-silent; only the per-class
+/// deadline saves the caller, which must see `Timeout` (not a hang).
+async fn blackhole_deadline() -> GliderResult<ChaosSample> {
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        data_deadline: Duration::from_millis(100),
+        ..RetryPolicy::default()
+    };
+    let r = rig("mem://chaos-blackhole", policy).await?;
+    let start = Instant::now();
+    r.faults.blackhole(true);
+    let err = read_once(&r.client)
+        .await
+        .expect_err("blackholed call cannot succeed");
+    assert_eq!(
+        err.code(),
+        ErrorCode::Timeout,
+        "blackhole must surface as a deadline timeout, got {err}"
+    );
+    r.faults.heal();
+    // Service resumes on the same connection once frames flow again.
+    read_once(&r.client).await?;
+    let s = sample(&r, "blackhole-deadline", 2, 1, start);
+    r.server.shutdown();
+    Ok(s)
+}
+
+/// Per-frame send delay: every call pays at least the injected latency.
+async fn delayed_sends(calls: u64, delay: Duration) -> GliderResult<ChaosSample> {
+    let r = rig("mem://chaos-delay", RetryPolicy::default()).await?;
+    r.faults.delay_sends(delay);
+    let start = Instant::now();
+    let mut failures = 0;
+    for _ in 0..calls {
+        if read_once(&r.client).await.is_err() {
+            failures += 1;
+        }
+    }
+    let s = sample(&r, "delayed-sends", calls, failures, start);
+    assert!(
+        s.elapsed >= delay * calls as u32,
+        "injected delay must be visible in wall-clock time"
+    );
+    r.server.shutdown();
+    Ok(s)
+}
+
+/// Runs every scenario and returns the outcome table.
+///
+/// # Errors
+///
+/// Propagates bind/connect failures; fault handling itself never errors
+/// out of a scenario.
+pub async fn run_all(calls: u64) -> GliderResult<Vec<ChaosSample>> {
+    Ok(vec![
+        error_on_nth(calls).await?,
+        sever_heal(calls).await?,
+        blackhole_deadline().await?,
+        delayed_sends(calls.min(32), Duration::from_millis(2)).await?,
+    ])
+}
+
+/// Asserts the invariants the CI smoke run relies on.
+///
+/// # Panics
+///
+/// Panics when a scenario leaked a failure it should have absorbed or
+/// failed to exercise its fault path.
+pub fn assert_smoke(samples: &[ChaosSample]) {
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.scenario == name)
+            .unwrap_or_else(|| panic!("missing scenario {name}"))
+    };
+    let e = get("error-on-nth");
+    assert_eq!(
+        e.surfaced_failures, 0,
+        "retries must absorb a faulted frame"
+    );
+    assert!(e.retries >= 1, "the faulted frame must have been retried");
+    let s = get("sever-heal");
+    assert_eq!(s.surfaced_failures, 0, "driver re-issue must converge");
+    assert!(s.reconnects >= 1, "a sever must force a redial");
+    let b = get("blackhole-deadline");
+    assert_eq!(b.surfaced_failures, 1, "exactly the blackholed call fails");
+    let d = get("delayed-sends");
+    assert_eq!(d.surfaced_failures, 0, "delays alone must not fail calls");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn chaos_scenarios_hold_their_invariants() {
+        let samples = run_all(16).await.unwrap();
+        assert_eq!(samples.len(), 4);
+        assert_smoke(&samples);
+    }
+}

@@ -21,6 +21,7 @@
 //! bandwidth, the interleaving ablation, transport (TCP vs RDMA-sim),
 //! operation-window and block-size sweeps.
 
+pub mod chaos;
 pub mod meta;
 pub mod transport;
 

@@ -67,9 +67,12 @@ pub async fn sweep_concurrency(
     for &clients in levels {
         // Enough block budget for every AddBlocks call to succeed in full.
         let capacity = (clients * ops_per_client) as u64 * u64::from(SWEEP_ALLOC_BATCH) + 64;
-        let cluster =
-            Cluster::start(ClusterConfig::default().with_data(1, capacity).with_active(0, 0))
-                .await?;
+        let cluster = Cluster::start(
+            ClusterConfig::default()
+                .with_data(1, capacity)
+                .with_active(0, 0),
+        )
+        .await?;
 
         // Connect every client (and its raw metadata connection) up front
         // so dialing stays out of the measured window.
@@ -115,7 +118,10 @@ pub async fn sweep_concurrency(
         let mut conns = Vec::with_capacity(clients);
         for (j, store) in stores.iter().enumerate() {
             let node = store.lookup(&format!("/f{j}x0")).await?;
-            conns.push((RpcClient::connect_intra_storage(cluster.metadata_addr()).await?, node.id));
+            conns.push((
+                RpcClient::connect_intra_storage(cluster.metadata_addr()).await?,
+                node.id,
+            ));
         }
         let t0 = Instant::now();
         let mut tasks = Vec::with_capacity(clients);

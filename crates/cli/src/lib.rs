@@ -252,9 +252,8 @@ pub fn parse_with_opts(args: &[&str]) -> Result<(Command, ClientOpts), UsageErro
                             .map_err(|e| UsageError(format!("--block-size: {e}")))?;
                     }
                     "--meta-shards" => {
-                        meta_shards = take_value(&mut it, "--meta-shards")?
-                            .parse()
-                            .map_err(|_| {
+                        meta_shards =
+                            take_value(&mut it, "--meta-shards")?.parse().map_err(|_| {
                                 UsageError("--meta-shards expects a number".to_string())
                             })?;
                     }

@@ -153,14 +153,32 @@ fn cli_stats_reports_latency_percentiles() {
     assert!(ok, "stats --json failed");
     let json = String::from_utf8_lossy(&out);
     assert!(json.contains("\"schema_version\": 1"), "{json}");
-    for op in ["meta-create-node", "block-write", "block-read", "action-invoke"] {
+    for op in [
+        "meta-create-node",
+        "block-write",
+        "block-read",
+        "action-invoke",
+    ] {
         let line = json
             .lines()
             .find(|l| l.contains(&format!("\"{op}\"")))
             .unwrap_or_else(|| panic!("no line for {op} in {json}"));
-        assert!(!line.contains("\"count\": 0"), "{op} never recorded: {line}");
+        assert!(
+            !line.contains("\"count\": 0"),
+            "{op} never recorded: {line}"
+        );
         assert!(!line.contains("\"p50_ns\": 0"), "{op} has zero p50: {line}");
     }
+
+    // Server health and fault-plane counters ride the same payload
+    // (DESIGN.md §10): the served data and active servers are live, and
+    // a healthy run needed no retries or reconnects.
+    assert!(json.contains("\"servers-live\""), "{json}");
+    assert!(!json.contains("\"servers-live\": 0"), "{json}");
+    assert!(json.contains("\"servers-suspect\": 0"), "{json}");
+    assert!(json.contains("\"servers-dead\": 0"), "{json}");
+    assert!(json.contains("\"rpc-retries\""), "{json}");
+    assert!(json.contains("\"rpc-reconnects\""), "{json}");
 
     // The table view renders the same data for humans.
     let (ok, out) = glider(&meta, &["stats"], None);

@@ -128,6 +128,7 @@ impl StoreClient {
                 | RequestBody::AddBlocks { .. }
                 | RequestBody::CommitBlock { .. }
                 | RequestBody::CommitBlocks { .. }
+                | RequestBody::ReplaceBlock { .. }
         );
         let subtree = matches!(body, RequestBody::DeleteNode { .. });
         let idx = partition_of(path, self.inner.metas.len());
@@ -359,7 +360,19 @@ impl StoreClient {
                     path: path.to_string(),
                 },
             )
-            .await?;
+            .await;
+        let resp = match resp {
+            Ok(resp) => resp,
+            Err(e) => {
+                // The metadata server is authoritative: a NotFound must
+                // evict any cached (possibly still "fresh") entry, or a
+                // raised TTL could resurrect the ghost.
+                if e.code() == ErrorCode::NotFound {
+                    self.inner.lookup_cache.lock().remove(path);
+                }
+                return Err(e);
+            }
+        };
         let info = Self::expect_node(resp)?;
         if ttl.is_some() {
             self.inner
@@ -469,8 +482,12 @@ impl StoreClient {
     ///
     /// # Errors
     ///
-    /// Returns [`ErrorCode::NotFound`] for unknown paths; storage-side
-    /// release failures are surfaced after the namespace entry is gone.
+    /// Returns [`ErrorCode::NotFound`] for unknown paths. Block release on
+    /// unreachable storage servers is best-effort: the namespace entry and
+    /// the allocator's bookkeeping are already updated by the metadata
+    /// server, and an unreachable server's data dies with it — so a
+    /// release failure is logged, not returned. Action finalization
+    /// failures (a live server refusing `on_delete`) are still surfaced.
     pub async fn delete(&self, path: &str) -> GliderResult<()> {
         let resp = self
             .meta_call(
@@ -499,8 +516,13 @@ impl StoreClient {
                 .push(extent.loc.block_id);
         }
         for (addr, block_ids) in per_server {
-            let conn = self.data_conn(&addr).await?;
-            conn.call_ok(RequestBody::FreeBlocks { block_ids }).await?;
+            let freed = match self.data_conn(&addr).await {
+                Ok(conn) => conn.call_ok(RequestBody::FreeBlocks { block_ids }).await,
+                Err(e) => Err(e),
+            };
+            if let Err(e) = freed {
+                eprintln!("[glider client] delete {path}: could not free blocks on {addr}: {e}");
+            }
         }
         // Finalize removed action objects.
         for action in actions {

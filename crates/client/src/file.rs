@@ -8,7 +8,7 @@ use glider_metrics::AccessKind;
 use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::types::{BlockExtent, BlockId, NodeId, NodeInfo};
 use glider_proto::{GliderError, GliderResult};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use tokio::task::JoinHandle;
 
@@ -118,12 +118,36 @@ impl FileNode {
 }
 
 struct CurrentBlock {
+    block_id: BlockId,
+    written: u64,
+}
+
+/// Per-block write-side bookkeeping, kept until every write of the block
+/// has been acknowledged. The retained pieces are what makes replaying a
+/// block onto a replacement extent possible when its server dies mid-
+/// stream (DESIGN.md §10); `Bytes` pieces are refcounted slices, so
+/// retention clones handles, not payloads.
+struct BlockState {
     extent: BlockExtent,
     /// The owning server's address, shared by every chunk future of this
     /// block instead of cloning the `String` per chunk.
     addr: Arc<str>,
-    written: u64,
+    /// Every piece written to this block, as `(offset, data)`.
+    pieces: Vec<(u64, Bytes)>,
+    /// Write RPCs issued but not yet reaped.
+    outstanding: usize,
+    /// `Some(final_len)` once the writer rotated past (or closed on) this
+    /// block; its commit is queued when `outstanding` reaches zero.
+    sealed: Option<u64>,
 }
+
+/// Cap on extent replacements per stream, so a cluster with no live
+/// capacity fails the writer instead of looping.
+const MAX_RECOVERIES: u32 = 16;
+
+/// A pending-op completion: which block's write it was (`None` for
+/// metadata ops) and how it ended.
+type OpResult = (Option<BlockId>, GliderResult<()>);
 
 /// Windowed, block-aware write stream for file/bag nodes.
 ///
@@ -133,19 +157,57 @@ struct CurrentBlock {
 /// current block streams (so rotations don't stall on the metadata
 /// server), and block commits are coalesced into `CommitBlocks` batches
 /// flushed on window pressure and on [`FileWriter::close`].
+///
+/// A block's commit is only queued after every write of that block has
+/// been acknowledged. If a write fails with a transport error, the writer
+/// asks the metadata server for a replacement extent (`ReplaceBlock`) on a
+/// live server and replays the block's retained pieces there — a storage
+/// server dying mid-stream costs a recovery round trip, not the stream.
 pub struct FileWriter {
     store: StoreClient,
     path: String,
     node_id: NodeId,
     cur: Option<CurrentBlock>,
+    /// Write-side state of every block with unacknowledged writes.
+    blocks: HashMap<BlockId, BlockState>,
     /// Blocks already allocated and ready to stream into.
     ready: VecDeque<BlockExtent>,
     /// In-flight background `AddBlocks` batch, if any.
     alloc: Option<JoinHandle<GliderResult<Vec<BlockExtent>>>>,
     /// Filled-block commits not yet sent (coalesced into `CommitBlocks`).
     commits: Vec<(BlockId, u64)>,
-    pending: FuturesOrdered<BoxFuture<'static, GliderResult<()>>>,
+    pending: FuturesOrdered<BoxFuture<'static, OpResult>>,
     total: u64,
+    /// Extent replacements performed by this stream (bounded by
+    /// [`MAX_RECOVERIES`]).
+    recoveries: u32,
+    /// Servers that failed a write this stream; extents there are skipped
+    /// at rotation (an in-flight prefetch can still deliver some).
+    dead_addrs: std::collections::HashSet<String>,
+}
+
+/// One chunk write against a data server.
+async fn write_piece(
+    store: StoreClient,
+    addr: Arc<str>,
+    block_id: BlockId,
+    offset: u64,
+    data: Bytes,
+) -> GliderResult<()> {
+    let conn = store.data_conn(&addr).await?;
+    match conn
+        .call(RequestBody::WriteBlock {
+            block_id,
+            offset,
+            data,
+        })
+        .await?
+    {
+        ResponseBody::Written { .. } => Ok(()),
+        other => Err(GliderError::protocol(format!(
+            "expected written response, got {other:?}"
+        ))),
+    }
 }
 
 impl FileWriter {
@@ -155,21 +217,151 @@ impl FileWriter {
             path,
             node_id,
             cur: None,
+            blocks: HashMap::new(),
             ready: VecDeque::new(),
             alloc: None,
             commits: Vec::new(),
             pending: FuturesOrdered::new(),
             total: 0,
+            recoveries: 0,
+            dead_addrs: std::collections::HashSet::new(),
         }
     }
 
     async fn reap_to(&mut self, max_pending: usize) -> GliderResult<()> {
         while self.pending.len() > max_pending {
-            self.pending
+            let (tag, res) = self
+                .pending
                 .next()
                 .await
-                .expect("pending non-empty by loop guard")?;
+                .expect("pending non-empty by loop guard");
+            match (tag, res) {
+                (Some(block_id), Ok(())) => self.write_ok(block_id),
+                (Some(block_id), Err(e)) if e.is_retryable() => {
+                    self.recover(block_id, e).await?;
+                }
+                (_, Err(e)) => return Err(e),
+                (None, Ok(())) => {}
+            }
         }
+        Ok(())
+    }
+
+    /// Accounts an acknowledged write; queues the block's commit once it
+    /// is sealed and fully acknowledged.
+    fn write_ok(&mut self, block_id: BlockId) {
+        // A missing entry is a stale ack for an extent that was since
+        // replaced and re-keyed; the replayed writes cover it.
+        let Some(state) = self.blocks.get_mut(&block_id) else {
+            return;
+        };
+        state.outstanding -= 1;
+        if state.outstanding == 0 {
+            if let Some(len) = state.sealed {
+                let state = self.blocks.remove(&block_id).expect("present above");
+                self.queue_commit(&state.extent, len);
+            }
+        }
+    }
+
+    /// Retires the writer's current block: commit immediately if all its
+    /// writes are acknowledged, otherwise leave a sealed marker for
+    /// [`FileWriter::write_ok`].
+    fn seal(&mut self, cur: CurrentBlock) {
+        let state = self
+            .blocks
+            .get_mut(&cur.block_id)
+            .expect("current block is tracked");
+        if state.outstanding == 0 {
+            let state = self.blocks.remove(&cur.block_id).expect("checked above");
+            self.queue_commit(&state.extent, cur.written);
+        } else {
+            state.sealed = Some(cur.written);
+        }
+    }
+
+    /// Handles a transport-failed write: drains the whole window so every
+    /// casualty of this outage joins one recovery round, then replaces
+    /// each failed block's extent and replays its retained pieces.
+    async fn recover(&mut self, first_failed: BlockId, cause: GliderError) -> GliderResult<()> {
+        let span = glider_trace::Span::root("writer.recover");
+        glider_trace::event(
+            "writer.recover",
+            &format!("block {first_failed} write failed: {cause}"),
+            span.context(),
+        );
+        let mut failed = vec![first_failed];
+        while let Some((tag, res)) = self.pending.next().await {
+            match (tag, res) {
+                (Some(b), Ok(())) => self.write_ok(b),
+                (Some(b), Err(e)) if e.is_retryable() => {
+                    if !failed.contains(&b) {
+                        failed.push(b);
+                    }
+                }
+                (_, Err(e)) => return Err(e),
+                (None, Ok(())) => {}
+            }
+        }
+        for block_id in failed {
+            self.recoveries += 1;
+            if self.recoveries > MAX_RECOVERIES {
+                return Err(GliderError::unavailable(format!(
+                    "writer for node {} exceeded {MAX_RECOVERIES} extent recoveries (last: {cause})",
+                    self.node_id
+                )));
+            }
+            self.replace_and_replay(block_id).await?;
+        }
+        Ok(())
+    }
+
+    /// Swaps a failed block for a fresh extent on a live server (same
+    /// chain position, length reset) and replays the retained pieces.
+    async fn replace_and_replay(&mut self, old: BlockId) -> GliderResult<()> {
+        let resp = self
+            .store
+            .meta_call(
+                &self.path,
+                RequestBody::ReplaceBlock {
+                    node_id: self.node_id,
+                    block_id: old,
+                },
+            )
+            .await?;
+        let extent = match resp {
+            ResponseBody::Block(extent) => extent,
+            other => {
+                return Err(GliderError::protocol(format!(
+                    "expected block response, got {other:?}"
+                )))
+            }
+        };
+        let mut state = self.blocks.remove(&old).expect("failed block is tracked");
+        // Prefetched-but-unwritten extents on the dead server would fail
+        // the same way; drop them. They stay in the chain as zero-length
+        // extents, exactly like unused prefetches at close.
+        let dead_addr = Arc::clone(&state.addr);
+        self.ready.retain(|b| b.loc.addr.as_str() != &*dead_addr);
+        self.dead_addrs.insert(dead_addr.to_string());
+        let new_id = extent.loc.block_id;
+        state.addr = Arc::<str>::from(extent.loc.addr.as_str());
+        state.extent = extent;
+        state.outstanding = state.pieces.len();
+        for (offset, piece) in state.pieces.clone() {
+            let store = self.store.clone();
+            let conn_addr = Arc::clone(&state.addr);
+            self.pending.push_back(Box::pin(async move {
+                let res = write_piece(store, conn_addr, new_id, offset, piece).await;
+                (Some(new_id), res)
+            }));
+        }
+        if let Some(cur) = &mut self.cur {
+            if cur.block_id == old {
+                cur.block_id = new_id;
+            }
+        }
+        self.blocks.insert(new_id, state);
         Ok(())
     }
 
@@ -182,7 +374,7 @@ impl FileWriter {
             let path = self.path.clone();
             let node_id = self.node_id;
             self.pending.push_back(Box::pin(async move {
-                store
+                let res = store
                     .meta_call(
                         &path,
                         RequestBody::CommitBlock {
@@ -191,8 +383,9 @@ impl FileWriter {
                             len,
                         },
                     )
-                    .await?;
-                Ok(())
+                    .await
+                    .map(|_| ());
+                (None, res)
             }));
             return;
         }
@@ -212,10 +405,11 @@ impl FileWriter {
         let path = self.path.clone();
         let node_id = self.node_id;
         self.pending.push_back(Box::pin(async move {
-            store
+            let res = store
                 .meta_call(&path, RequestBody::CommitBlocks { node_id, commits })
-                .await?;
-            Ok(())
+                .await
+                .map(|_| ());
+            (None, res)
         }));
     }
 
@@ -243,7 +437,10 @@ impl FileWriter {
     }
 
     async fn await_alloc(&mut self) -> GliderResult<Vec<BlockExtent>> {
-        let handle = self.alloc.take().expect("caller checked alloc is in flight");
+        let handle = self
+            .alloc
+            .take()
+            .expect("caller checked alloc is in flight");
         handle
             .await
             .map_err(|e| GliderError::protocol(format!("allocation task failed: {e}")))?
@@ -271,33 +468,52 @@ impl FileWriter {
 
     async fn rotate(&mut self) -> GliderResult<()> {
         if let Some(cur) = self.cur.take() {
-            self.queue_commit(&cur.extent, cur.written);
+            self.seal(cur);
         }
         let extent = if self.store.config().prefetch_blocks == 0 {
             self.alloc_one().await?
         } else {
-            if self.ready.is_empty() {
-                // First rotation (or the prefetch fell behind): start a
-                // batch if none is running, then wait for it.
-                self.spawn_alloc();
-                let batch = self.await_alloc().await?;
-                self.ready.extend(batch);
+            loop {
+                if self.ready.is_empty() {
+                    // First rotation (or the prefetch fell behind): start
+                    // a batch if none is running, then wait for it.
+                    self.spawn_alloc();
+                    let batch = self.await_alloc().await?;
+                    self.ready.extend(batch);
+                }
+                let extent = self
+                    .ready
+                    .pop_front()
+                    .expect("successful AddBlocks returns at least one extent");
+                // Refill in the background while this block streams so
+                // the next rotation pops without waiting.
+                if self.ready.is_empty() {
+                    self.spawn_alloc();
+                }
+                // A batch allocated before a server died can deliver
+                // extents on it; skip those (they stay in the chain as
+                // zero-length extents). Once the metadata server knows,
+                // fresh batches come from live servers only.
+                if self.dead_addrs.contains(&extent.loc.addr) {
+                    continue;
+                }
+                break extent;
             }
-            let extent = self
-                .ready
-                .pop_front()
-                .expect("successful AddBlocks returns at least one extent");
-            // Refill in the background while this block streams so the
-            // next rotation pops without waiting.
-            if self.ready.is_empty() {
-                self.spawn_alloc();
-            }
-            extent
         };
         let addr = Arc::<str>::from(extent.loc.addr.as_str());
+        let block_id = extent.loc.block_id;
+        self.blocks.insert(
+            block_id,
+            BlockState {
+                extent,
+                addr,
+                pieces: Vec::new(),
+                outstanding: 0,
+                sealed: None,
+            },
+        );
         self.cur = Some(CurrentBlock {
-            extent,
-            addr,
+            block_id,
             written: 0,
         });
         Ok(())
@@ -308,8 +524,10 @@ impl FileWriter {
     ///
     /// # Errors
     ///
-    /// Propagates allocation and write failures (fail-fast: a failed
-    /// chunk surfaces on the next call).
+    /// Propagates allocation failures and non-transport write failures.
+    /// Transport failures (a dying storage server) are healed in place by
+    /// replacing the extent and replaying the block, up to a per-stream
+    /// recovery budget.
     pub async fn write(&mut self, mut data: Bytes) -> GliderResult<()> {
         let block_size = self.store.config().block_size.as_u64();
         let chunk_size = self.store.config().chunk_size.as_u64();
@@ -322,32 +540,27 @@ impl FileWriter {
             if need_rotate {
                 self.rotate().await?;
             }
-            let cur = self.cur.as_mut().expect("rotated above");
-            let n = (data.len() as u64)
-                .min(block_size - cur.written)
-                .min(chunk_size);
+            let (block_id, offset) = {
+                let cur = self.cur.as_ref().expect("rotated above");
+                (cur.block_id, cur.written)
+            };
+            let n = (data.len() as u64).min(block_size - offset).min(chunk_size);
             let piece = data.split_to(n as usize);
-            let conn_addr = Arc::clone(&cur.addr);
-            let block_id = cur.extent.loc.block_id;
-            let offset = cur.written;
+            let state = self
+                .blocks
+                .get_mut(&block_id)
+                .expect("current block is tracked");
+            state.pieces.push((offset, piece.clone()));
+            state.outstanding += 1;
+            let conn_addr = Arc::clone(&state.addr);
             let store = self.store.clone();
             self.pending.push_back(Box::pin(async move {
-                let conn = store.data_conn(&conn_addr).await?;
-                match conn
-                    .call(RequestBody::WriteBlock {
-                        block_id,
-                        offset,
-                        data: piece,
-                    })
-                    .await?
-                {
-                    ResponseBody::Written { .. } => Ok(()),
-                    other => Err(GliderError::protocol(format!(
-                        "expected written response, got {other:?}"
-                    ))),
-                }
+                let res = write_piece(store, conn_addr, block_id, offset, piece).await;
+                (Some(block_id), res)
             }));
-            cur.written += n;
+            if let Some(cur) = &mut self.cur {
+                cur.written += n;
+            }
             self.total += n;
             self.reap_to(window.saturating_sub(1)).await?;
         }
@@ -374,8 +587,12 @@ impl FileWriter {
     /// Surfaces any failed in-flight operation.
     pub async fn close(mut self) -> GliderResult<u64> {
         if let Some(cur) = self.cur.take() {
-            self.queue_commit(&cur.extent, cur.written);
+            self.seal(cur);
         }
+        // Writes drain first: a block's commit is only queued once every
+        // write of it has been acknowledged (or replayed elsewhere), so a
+        // server death during close still heals before commit.
+        self.reap_to(0).await?;
         self.flush_commits();
         self.reap_to(0).await?;
         // Drain a still-running prefetch so its task doesn't outlive the

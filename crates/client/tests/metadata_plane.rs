@@ -120,8 +120,7 @@ async fn batching_halves_metadata_rpcs_per_stream() {
 async fn lookup_cache_hits_and_invalidation() {
     let (meta, _data, metrics) = tiny_cluster(MetadataOptions::default(), 64).await;
     let store = StoreClient::connect(
-        client_config(meta.addr(), &metrics)
-            .with_lookup_cache_ttl(Some(Duration::from_secs(3600))),
+        client_config(meta.addr(), &metrics).with_lookup_cache_ttl(Some(Duration::from_secs(3600))),
     )
     .await
     .unwrap();
@@ -157,11 +156,10 @@ async fn lookup_cache_hits_and_invalidation() {
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn disabled_cache_always_issues_rpcs() {
     let (meta, _data, metrics) = tiny_cluster(MetadataOptions::default(), 64).await;
-    let store = StoreClient::connect(
-        client_config(meta.addr(), &metrics).with_lookup_cache_ttl(None),
-    )
-    .await
-    .unwrap();
+    let store =
+        StoreClient::connect(client_config(meta.addr(), &metrics).with_lookup_cache_ttl(None))
+            .await
+            .unwrap();
     store.create_file("/plain").await.unwrap();
     let before = metrics.snapshot().accesses(AccessKind::Metadata);
     store.lookup("/plain").await.unwrap();

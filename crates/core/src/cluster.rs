@@ -11,6 +11,7 @@ use glider_storage::{StorageServer, StorageServerConfig, TierModel};
 use glider_util::ByteSize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 static CLUSTER_IDS: AtomicU64 = AtomicU64::new(1);
 
@@ -45,6 +46,11 @@ pub struct ClusterConfig {
     /// Independently locked namespace shards inside the metadata server
     /// (`0` = the metadata crate's default).
     pub metadata_shards: usize,
+    /// Heartbeat lease (DESIGN.md §10): `None` keeps the metadata crate's
+    /// default; `Some(lease)` also sets every server's heartbeat interval
+    /// to a third of the lease, so chaos tests can fail over in
+    /// milliseconds.
+    pub lease: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -63,6 +69,7 @@ impl Default for ClusterConfig {
             extra_tiers: Vec::new(),
             class_fallbacks: Vec::new(),
             metadata_shards: 0,
+            lease: None,
         }
     }
 }
@@ -126,6 +133,13 @@ impl ClusterConfig {
         self.metadata_shards = shards;
         self
     }
+
+    /// Sets the heartbeat lease; servers then beat every third of it.
+    #[must_use]
+    pub fn with_lease(mut self, lease: Duration) -> Self {
+        self.lease = Some(lease);
+        self
+    }
 }
 
 impl std::fmt::Debug for ClusterConfig {
@@ -182,6 +196,15 @@ impl Cluster {
         if config.metadata_shards > 0 {
             meta_options = meta_options.with_namespace_shards(config.metadata_shards);
         }
+        if let Some(lease) = config.lease {
+            meta_options = meta_options.with_lease(lease);
+        }
+        // Servers beat three times per lease so one dropped heartbeat
+        // does not demote a healthy server.
+        let heartbeat = config
+            .lease
+            .map(|lease| (lease / 3).max(Duration::from_millis(5)))
+            .unwrap_or(glider_storage::DEFAULT_HEARTBEAT_INTERVAL);
         let metadata =
             MetadataServer::start_with_options("127.0.0.1:0", Arc::clone(&metrics), meta_options)
                 .await?;
@@ -194,7 +217,8 @@ impl Cluster {
                         metadata.addr(),
                         config.blocks_per_server,
                         config.block_size.as_u64(),
-                    ),
+                    )
+                    .with_heartbeat_interval(heartbeat),
                     Arc::clone(&metrics),
                 )
                 .await?,
@@ -211,6 +235,7 @@ impl Cluster {
                             capacity_blocks: *blocks_each,
                             block_size: config.block_size.as_u64(),
                             tier: Some(TierModel::for_class(class.name())),
+                            heartbeat_interval: heartbeat,
                         },
                         Arc::clone(&metrics),
                     )
@@ -224,7 +249,8 @@ impl Cluster {
             let mut server_config =
                 ActiveServerConfig::new(metadata.addr(), config.slots_per_server)
                     .with_registry(Arc::clone(&config.registry))
-                    .with_block_size(config.block_size);
+                    .with_block_size(config.block_size)
+                    .with_heartbeat_interval(heartbeat);
             if config.rdma_sim {
                 server_config =
                     server_config.on_rdma_sim(format!("glider-{cluster_id}-active-{i}"));

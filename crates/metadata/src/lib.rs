@@ -50,6 +50,11 @@ pub const DEFAULT_NAMESPACE_SHARDS: usize = 8;
 /// server with id base `b` mints node ids in `b + (s << 40) + 1 ..`.
 const SHARD_ID_SHIFT: u32 = 40;
 
+/// Default heartbeat lease. Long enough that test clusters which never
+/// send heartbeats stay `Live` for a whole test run; chaos setups shrink
+/// it via [`MetadataOptions::with_lease`].
+pub const DEFAULT_LEASE: Duration = Duration::from_secs(3);
+
 /// A running metadata server.
 ///
 /// Dropping the handle stops the server.
@@ -70,6 +75,7 @@ const SHARD_ID_SHIFT: u32 = 40;
 #[derive(Debug)]
 pub struct MetadataServer {
     handle: ServerHandle,
+    sweeper: tokio::task::JoinHandle<()>,
 }
 
 /// Tuning options for a metadata server.
@@ -95,6 +101,10 @@ pub struct MetadataOptions {
     /// (`AddBlock`/`AddBlocks`), applied outside any lock. Lets tests
     /// prove that client-side prefetching hides allocation latency.
     pub alloc_delay: Option<Duration>,
+    /// Heartbeat lease (DESIGN.md §10): a storage/active server silent for
+    /// one lease becomes `Suspect`, for two leases `Dead`. The background
+    /// sweeper runs every quarter lease.
+    pub lease: Duration,
 }
 
 impl Default for MetadataOptions {
@@ -104,6 +114,7 @@ impl Default for MetadataOptions {
             id_base: 0,
             namespace_shards: DEFAULT_NAMESPACE_SHARDS,
             alloc_delay: None,
+            lease: DEFAULT_LEASE,
         }
     }
 }
@@ -134,6 +145,14 @@ impl MetadataOptions {
     #[must_use]
     pub fn with_alloc_delay(mut self, delay: Duration) -> Self {
         self.alloc_delay = Some(delay);
+        self
+    }
+
+    /// Sets the heartbeat lease (chaos tests shrink it to fail over in
+    /// milliseconds instead of seconds).
+    #[must_use]
+    pub fn with_lease(mut self, lease: Duration) -> Self {
+        self.lease = lease;
         self
     }
 }
@@ -168,13 +187,29 @@ impl MetadataServer {
                 ))
             })
             .collect();
+        let lease = options.lease;
         let handler = Arc::new(MetadataHandler {
             shards,
             reg: Mutex::new(ServerRegistry::with_id_base(options.id_base)),
             options,
+            metrics: Arc::clone(&metrics),
+        });
+        // Lease sweeper: walks the registry every quarter lease, demoting
+        // silent servers Suspect -> Dead and publishing the census so the
+        // Stats RPC (answered from `metrics`) reports it.
+        let sweep_handler = Arc::clone(&handler);
+        let sweeper = tokio::spawn(async move {
+            let interval = (lease / 4).max(Duration::from_millis(10));
+            loop {
+                tokio::time::sleep(interval).await;
+                let (live, suspect, dead) = sweep_handler.reg.lock().sweep(lease);
+                sweep_handler
+                    .metrics
+                    .set_server_liveness(live, suspect, dead);
+            }
         });
         let handle = glider_net::rpc::serve(listener, handler, metrics, Tier::Storage);
-        Ok(MetadataServer { handle })
+        Ok(MetadataServer { handle, sweeper })
     }
 
     /// The dialable address of this server.
@@ -184,7 +219,14 @@ impl MetadataServer {
 
     /// Stops the server.
     pub fn shutdown(&self) {
+        self.sweeper.abort();
         self.handle.shutdown();
+    }
+}
+
+impl Drop for MetadataServer {
+    fn drop(&mut self) {
+        self.sweeper.abort();
     }
 }
 
@@ -222,6 +264,9 @@ struct MetadataHandler {
     /// The block allocator, shared by every shard.
     reg: Mutex<ServerRegistry>,
     options: MetadataOptions,
+    /// The server's metrics registry; liveness census is pushed here so
+    /// the uniformly-served Stats RPC reports it.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl MetadataHandler {
@@ -274,6 +319,12 @@ impl MetadataHandler {
         }
     }
 
+    /// Pushes the registry's liveness census into the metrics registry.
+    fn publish_liveness(&self, reg: &ServerRegistry) {
+        let (live, suspect, dead) = reg.liveness_counts();
+        self.metrics.set_server_liveness(live, suspect, dead);
+    }
+
     fn handle_sync(&self, body: RequestBody) -> GliderResult<ResponseBody> {
         match body {
             RequestBody::Hello { .. } => Ok(ResponseBody::Ok),
@@ -283,14 +334,54 @@ impl MetadataHandler {
                 addr,
                 capacity_blocks,
             } => {
+                let mut reg = self.reg.lock();
                 let (server_id, first_block_id) =
-                    self.reg
-                        .lock()
-                        .register(kind, storage_class, addr, capacity_blocks)?;
+                    reg.register(kind, storage_class, addr, capacity_blocks)?;
+                self.publish_liveness(&reg);
                 Ok(ResponseBody::Registered {
                     server_id,
                     first_block_id,
                 })
+            }
+            RequestBody::Heartbeat { server_id } => {
+                let mut reg = self.reg.lock();
+                reg.heartbeat(server_id)?;
+                self.publish_liveness(&reg);
+                Ok(ResponseBody::Ok)
+            }
+            RequestBody::ReplaceBlock { node_id, block_id } => {
+                let mut ns = self.shard_for_id(node_id)?.lock();
+                let node = ns
+                    .get(node_id)
+                    .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+                if !node.blocks.iter().any(|b| b.loc.block_id == block_id) {
+                    return Err(GliderError::not_found(format!(
+                        "block {block_id} in node {node_id}"
+                    )));
+                }
+                let class = node.storage_class.clone();
+                let mut reg = self.reg.lock();
+                // The writer could not reach the block's server: that is
+                // liveness evidence, so stop allocating there before the
+                // lease would notice.
+                if let Some(owner) = reg.owner_of(block_id) {
+                    reg.suspect(owner);
+                    self.publish_liveness(&reg);
+                }
+                let loc = allocate_with_fallback(&mut reg, &self.options.class_fallbacks, &class)?;
+                match ns.replace_extent(node_id, block_id, loc.clone()) {
+                    Ok(extent) => {
+                        // The dead block's capacity goes back to its owner;
+                        // suspect servers are skipped by allocation, so it
+                        // is only reused if the server heartbeats back.
+                        reg.free(block_id);
+                        Ok(ResponseBody::Block(extent))
+                    }
+                    Err(e) => {
+                        reg.free(loc.block_id);
+                        Err(e)
+                    }
+                }
             }
             RequestBody::CreateNode {
                 path,
@@ -511,6 +602,171 @@ mod tests {
             ResponseBody::Blocks(extents) => Ok(extents),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    async fn setup_with_metrics(
+        options: MetadataOptions,
+    ) -> (MetadataServer, RpcClient, Arc<MetricsRegistry>) {
+        let metrics = MetricsRegistry::new();
+        let server =
+            MetadataServer::start_with_options("127.0.0.1:0", Arc::clone(&metrics), options)
+                .await
+                .unwrap();
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        (server, client, metrics)
+    }
+
+    async fn register_at(
+        client: &RpcClient,
+        kind: ServerKind,
+        class: StorageClass,
+        addr: &str,
+        cap: u64,
+    ) -> glider_proto::types::ServerId {
+        match client
+            .call(RequestBody::RegisterServer {
+                kind,
+                storage_class: class,
+                addr: addr.to_string(),
+                capacity_blocks: cap,
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Registered { server_id, .. } => server_id,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn heartbeat_lease_walks_live_suspect_dead() {
+        let lease = Duration::from_millis(40);
+        let (_server, client, metrics) =
+            setup_with_metrics(MetadataOptions::default().with_lease(lease)).await;
+        let server_id = register_at(
+            &client,
+            ServerKind::Data,
+            StorageClass::dram(),
+            "127.0.0.1:7001",
+            4,
+        )
+        .await;
+        assert_eq!(metrics.snapshot().servers_live, 1);
+
+        // Heartbeats for servers the registry has never seen are rejected;
+        // that is the signal a bounced server uses to re-register.
+        let err = client
+            .call_ok(RequestBody::Heartbeat {
+                server_id: glider_proto::types::ServerId(9999),
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound);
+
+        // Silence: within a couple of leases the sweeper demotes the
+        // server to Dead and the allocator refuses its blocks.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while metrics.snapshot().servers_dead != 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sweeper never demoted the silent server"
+            );
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        let f = create_file(&client, "/f").await;
+        assert_eq!(
+            add_blocks(&client, f.id, 1).await.unwrap_err().code(),
+            ErrorCode::OutOfCapacity
+        );
+
+        // A heartbeat re-admits it.
+        client
+            .call_ok(RequestBody::Heartbeat { server_id })
+            .await
+            .unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!((snap.servers_live, snap.servers_dead), (1, 0));
+        assert_eq!(add_blocks(&client, f.id, 1).await.unwrap().len(), 1);
+    }
+
+    #[tokio::test]
+    async fn replace_block_moves_extent_to_live_server() {
+        let (_server, client) = setup().await;
+        // Two DRAM servers at distinct addresses (same-addr registration
+        // supersedes, so they must differ).
+        let s1 = register_at(
+            &client,
+            ServerKind::Data,
+            StorageClass::dram(),
+            "127.0.0.1:7101",
+            2,
+        )
+        .await;
+        let s2 = register_at(
+            &client,
+            ServerKind::Data,
+            StorageClass::dram(),
+            "127.0.0.1:7102",
+            2,
+        )
+        .await;
+        let f = create_file(&client, "/f").await;
+        let got = add_blocks(&client, f.id, 2).await.unwrap();
+        assert_eq!(got[0].loc.server_id, s1, "round-robin starts at s1");
+        assert_eq!(got[1].loc.server_id, s2);
+        client
+            .call_ok(RequestBody::CommitBlocks {
+                node_id: f.id,
+                commits: got.iter().map(|b| (b.loc.block_id, 64)).collect(),
+            })
+            .await
+            .unwrap();
+
+        // Replace the first block: the writer reporting s1 unreachable
+        // must get a fresh extent at the same chain position, uncommitted,
+        // on the other (live) server.
+        let old = got[0].loc.clone();
+        let replaced = match client
+            .call(RequestBody::ReplaceBlock {
+                node_id: f.id,
+                block_id: old.block_id,
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Block(b) => b,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_ne!(replaced.loc.block_id, old.block_id);
+        assert_eq!(replaced.loc.server_id, s2, "suspect owner must be skipped");
+        assert_eq!(replaced.len, 0);
+        let after = match client
+            .call(RequestBody::LookupNode {
+                path: "/f".to_string(),
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(after.blocks.len(), 2);
+        assert_eq!(after.blocks[0].loc.block_id, replaced.loc.block_id);
+        assert_eq!(after.blocks[1].loc.block_id, got[1].loc.block_id);
+        assert_eq!(after.size, 64, "only the surviving block stays committed");
+
+        // A block that is not part of the node is NotFound, even though
+        // the class is now out of live capacity.
+        let err = client
+            .call(RequestBody::ReplaceBlock {
+                node_id: f.id,
+                block_id: BlockId(u64::MAX),
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound);
     }
 
     #[tokio::test]
@@ -891,10 +1147,8 @@ mod tests {
 
     #[tokio::test]
     async fn shards_route_ids_and_merge_root_listing() {
-        let (_server, client) = setup_with_options(
-            MetadataOptions::default().with_namespace_shards(4),
-        )
-        .await;
+        let (_server, client) =
+            setup_with_options(MetadataOptions::default().with_namespace_shards(4)).await;
         register(&client, ServerKind::Data, StorageClass::dram(), 32).await;
         // Top-level dirs scatter across shards; ids must still route back
         // to the owning shard.

@@ -200,6 +200,11 @@ pub struct MetricsRegistry {
     latency: [LogHistogram; OpKind::COUNT],
     batch_occupancy: LogHistogram,
     queue: Gauge,
+    rpc_retries: AtomicU64,
+    rpc_reconnects: AtomicU64,
+    servers_live: AtomicU64,
+    servers_suspect: AtomicU64,
+    servers_dead: AtomicU64,
     notes: Mutex<Vec<String>>,
 }
 
@@ -216,6 +221,11 @@ impl MetricsRegistry {
             latency: Default::default(),
             batch_occupancy: LogHistogram::new(),
             queue: Gauge::default(),
+            rpc_retries: AtomicU64::new(0),
+            rpc_reconnects: AtomicU64::new(0),
+            servers_live: AtomicU64::new(0),
+            servers_suspect: AtomicU64::new(0),
+            servers_dead: AtomicU64::new(0),
             notes: Mutex::new(Vec::new()),
         })
     }
@@ -300,6 +310,27 @@ impl MetricsRegistry {
         self.queue.sub(1);
     }
 
+    /// Counts one RPC attempt that failed with a retryable error and was
+    /// retried after backoff.
+    pub fn rpc_retry(&self) {
+        self.rpc_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one successful transparent client reconnection (redial +
+    /// handshake after a dead channel was detected).
+    pub fn rpc_reconnect(&self) {
+        self.rpc_reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the metadata registry's current liveness census. Called
+    /// by the metadata server after every heartbeat, sweep or
+    /// (re-)registration, so the Stats RPC can report it.
+    pub fn set_server_liveness(&self, live: u64, suspect: u64, dead: u64) {
+        self.servers_live.store(live, Ordering::Relaxed);
+        self.servers_suspect.store(suspect, Ordering::Relaxed);
+        self.servers_dead.store(dead, Ordering::Relaxed);
+    }
+
     /// Attaches a free-form note to the registry (harnesses use this to
     /// remember configuration alongside results).
     pub fn note(&self, s: impl Into<String>) {
@@ -339,6 +370,11 @@ impl MetricsRegistry {
             batch_occupancy: self.batch_occupancy.snapshot(),
             queue_current: self.queue.current.load(Ordering::Relaxed),
             queue_peak: self.queue.peak.load(Ordering::Relaxed),
+            rpc_retries: self.rpc_retries.load(Ordering::Relaxed),
+            rpc_reconnects: self.rpc_reconnects.load(Ordering::Relaxed),
+            servers_live: self.servers_live.load(Ordering::Relaxed),
+            servers_suspect: self.servers_suspect.load(Ordering::Relaxed),
+            servers_dead: self.servers_dead.load(Ordering::Relaxed),
             notes: self.notes.lock().clone(),
         }
     }
@@ -369,6 +405,11 @@ impl MetricsRegistry {
         self.batch_occupancy.reset();
         self.queue.current.store(0, Ordering::Relaxed);
         self.queue.peak.store(0, Ordering::Relaxed);
+        self.rpc_retries.store(0, Ordering::Relaxed);
+        self.rpc_reconnects.store(0, Ordering::Relaxed);
+        self.servers_live.store(0, Ordering::Relaxed);
+        self.servers_suspect.store(0, Ordering::Relaxed);
+        self.servers_dead.store(0, Ordering::Relaxed);
         // Swap the notes out under the lock; the old buffer deallocates
         // after the lock is released.
         let old_notes = std::mem::take(&mut *self.notes.lock());
@@ -455,6 +496,16 @@ pub struct MetricsSnapshot {
     pub queue_current: u64,
     /// Peak mailbox occupancy across all action instances.
     pub queue_peak: u64,
+    /// RPC attempts retried after a retryable failure.
+    pub rpc_retries: u64,
+    /// Transparent client reconnections (redial + handshake).
+    pub rpc_reconnects: u64,
+    /// Registered servers currently heartbeating within their lease.
+    pub servers_live: u64,
+    /// Registered servers past one lease without a heartbeat.
+    pub servers_suspect: u64,
+    /// Registered servers past two leases without a heartbeat.
+    pub servers_dead: u64,
     /// Free-form notes recorded during the run.
     pub notes: Vec<String>,
 }
@@ -760,6 +811,30 @@ mod tests {
         m.queue_exit();
         m.queue_exit();
         assert_eq!(m.snapshot().queue_current, 0);
+    }
+
+    #[test]
+    fn rpc_health_counters_round_trip_and_reset() {
+        let m = MetricsRegistry::new();
+        m.rpc_retry();
+        m.rpc_retry();
+        m.rpc_reconnect();
+        m.set_server_liveness(3, 1, 2);
+        let s = m.snapshot();
+        assert_eq!(s.rpc_retries, 2);
+        assert_eq!(s.rpc_reconnects, 1);
+        assert_eq!(
+            (s.servers_live, s.servers_suspect, s.servers_dead),
+            (3, 1, 2)
+        );
+        m.reset();
+        let s = m.snapshot();
+        assert_eq!(s.rpc_retries, 0);
+        assert_eq!(s.rpc_reconnects, 0);
+        assert_eq!(
+            (s.servers_live, s.servers_suspect, s.servers_dead),
+            (0, 0, 0)
+        );
     }
 
     #[test]

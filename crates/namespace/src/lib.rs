@@ -25,6 +25,6 @@ pub mod shard;
 pub mod tree;
 
 pub use path::NodePath;
-pub use registry::ServerRegistry;
+pub use registry::{Liveness, ServerRegistry};
 pub use shard::shard_of;
 pub use tree::Namespace;

@@ -9,6 +9,22 @@
 use glider_proto::types::{BlockId, BlockLocation, ServerId, ServerKind, StorageClass};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
 use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Health of a registered server, driven by its heartbeat lease
+/// (DESIGN.md §10): servers are `Live` while beating, become `Suspect`
+/// after one silent lease, and `Dead` after two. Suspect and Dead servers
+/// are excluded from allocation; a Dead server that comes back re-registers
+/// and supersedes its old entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Heartbeating within its lease.
+    Live,
+    /// One lease with no heartbeat (or a client reported it unreachable).
+    Suspect,
+    /// Two leases with no heartbeat; treated as gone.
+    Dead,
+}
 
 /// One registered storage server.
 #[derive(Debug, Clone)]
@@ -24,12 +40,19 @@ pub struct ServerEntry {
     /// Total blocks contributed.
     pub capacity: u64,
     free: VecDeque<BlockId>,
+    liveness: Liveness,
+    last_beat: Instant,
 }
 
 impl ServerEntry {
     /// Number of currently unallocated blocks on this server.
     pub fn free_blocks(&self) -> usize {
         self.free.len()
+    }
+
+    /// The server's current health.
+    pub fn liveness(&self) -> Liveness {
+        self.liveness
     }
 }
 
@@ -102,6 +125,18 @@ impl ServerRegistry {
         if capacity == 0 {
             return Err(GliderError::invalid("server capacity must be non-zero"));
         }
+        // A server restarting on the same address supersedes its previous
+        // registration: the restarted process lost its blocks anyway, so
+        // the stale entry is retired rather than left to rot as Dead.
+        let stale: Vec<ServerId> = self
+            .servers
+            .values()
+            .filter(|s| s.addr == addr)
+            .map(|s| s.id)
+            .collect();
+        for sid in stale {
+            self.retire(sid);
+        }
         let id = ServerId(self.next_server);
         self.next_server += 1;
         let first_block = BlockId(self.next_block);
@@ -121,6 +156,8 @@ impl ServerRegistry {
                 addr,
                 capacity,
                 free,
+                liveness: Liveness::Live,
+                last_beat: Instant::now(),
             },
         );
         self.classes.entry(class).or_default().members.push(id);
@@ -143,6 +180,12 @@ impl ServerRegistry {
             let idx = (state.cursor + step) % n;
             let sid = state.members[idx];
             let server = self.servers.get_mut(&sid).expect("member exists");
+            // Suspect and Dead servers are excluded: handing a writer an
+            // extent on a server that stopped heartbeating just converts a
+            // liveness problem into a data-plane timeout.
+            if server.liveness != Liveness::Live {
+                continue;
+            }
             if let Some(block_id) = server.free.pop_front() {
                 state.cursor = (idx + 1) % n;
                 return Ok(BlockLocation {
@@ -171,6 +214,86 @@ impl ServerRegistry {
                 }
             }
         }
+    }
+
+    /// Records a heartbeat: the server is (back to) `Live` and its lease
+    /// restarts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] for an unregistered id — the
+    /// server's cue to re-register (e.g. after its entry was retired while
+    /// it was partitioned away).
+    pub fn heartbeat(&mut self, id: ServerId) -> GliderResult<()> {
+        let server = self
+            .servers
+            .get_mut(&id)
+            .ok_or_else(|| GliderError::not_found(format!("server {}", id.0)))?;
+        server.last_beat = Instant::now();
+        server.liveness = Liveness::Live;
+        Ok(())
+    }
+
+    /// Marks a server `Suspect` on client-reported evidence (a writer hit
+    /// an unreachable extent). No-op for unknown servers; a `Dead` verdict
+    /// is never softened.
+    pub fn suspect(&mut self, id: ServerId) {
+        if let Some(server) = self.servers.get_mut(&id) {
+            if server.liveness == Liveness::Live {
+                server.liveness = Liveness::Suspect;
+            }
+        }
+    }
+
+    /// Applies lease expiry: servers silent longer than `lease` become
+    /// `Suspect`, longer than two leases `Dead`. Returns the resulting
+    /// `(live, suspect, dead)` census. Servers inside their lease keep
+    /// their current state (a client-reported `Suspect` is only cleared by
+    /// a heartbeat, not by the sweep).
+    pub fn sweep(&mut self, lease: Duration) -> (u64, u64, u64) {
+        let now = Instant::now();
+        for server in self.servers.values_mut() {
+            let silent = now.saturating_duration_since(server.last_beat);
+            if silent > lease.saturating_mul(2) {
+                server.liveness = Liveness::Dead;
+            } else if silent > lease && server.liveness == Liveness::Live {
+                server.liveness = Liveness::Suspect;
+            }
+        }
+        self.liveness_counts()
+    }
+
+    /// The current `(live, suspect, dead)` census.
+    pub fn liveness_counts(&self) -> (u64, u64, u64) {
+        let mut counts = (0, 0, 0);
+        for server in self.servers.values() {
+            match server.liveness {
+                Liveness::Live => counts.0 += 1,
+                Liveness::Suspect => counts.1 += 1,
+                Liveness::Dead => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Removes a server (and its block ownership) from the registry.
+    fn retire(&mut self, id: ServerId) {
+        if let Some(entry) = self.servers.remove(&id) {
+            if let Some(state) = self.classes.get_mut(&entry.class) {
+                state.members.retain(|m| *m != id);
+                state.cursor = if state.members.is_empty() {
+                    0
+                } else {
+                    state.cursor % state.members.len()
+                };
+            }
+            self.block_owner.retain(|_, owner| *owner != id);
+        }
+    }
+
+    /// The server a block was carved from, if it is still registered.
+    pub fn owner_of(&self, block_id: BlockId) -> Option<ServerId> {
+        self.block_owner.get(&block_id).copied()
     }
 
     /// Looks up a registered server.
@@ -300,6 +423,72 @@ mod tests {
         let mut reg = reg_with(1, 1);
         let err = reg.allocate(&StorageClass::from("nvme")).unwrap_err();
         assert_eq!(err.code(), ErrorCode::NotFound);
+    }
+
+    #[test]
+    fn heartbeat_unknown_server_is_not_found() {
+        let mut reg = reg_with(1, 1);
+        assert!(reg.heartbeat(ServerId(1)).is_ok());
+        let err = reg.heartbeat(ServerId(99)).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound);
+    }
+
+    #[test]
+    fn sweep_walks_suspect_then_dead() {
+        let mut reg = reg_with(1, 1);
+        // Backdate the heartbeat instead of sleeping, so the one-lease
+        // (Suspect) and two-lease (Dead) verdicts are deterministic.
+        let backdate = |reg: &mut ServerRegistry, silent: Duration| {
+            reg.servers.get_mut(&ServerId(1)).unwrap().last_beat = Instant::now() - silent;
+        };
+        let lease = Duration::from_secs(10);
+        backdate(&mut reg, Duration::from_secs(11));
+        assert_eq!(reg.sweep(lease), (0, 1, 0));
+        backdate(&mut reg, Duration::from_secs(21));
+        assert_eq!(reg.sweep(lease), (0, 0, 1));
+        // A heartbeat resurrects the server.
+        reg.heartbeat(ServerId(1)).unwrap();
+        assert_eq!(reg.liveness_counts(), (1, 0, 0));
+    }
+
+    #[test]
+    fn allocation_skips_suspect_and_dead_servers() {
+        let mut reg = reg_with(2, 2);
+        reg.suspect(ServerId(1));
+        for _ in 0..2 {
+            let loc = reg.allocate(&StorageClass::dram()).unwrap();
+            assert_eq!(loc.server_id, ServerId(2), "suspect server was used");
+        }
+        // Server 2 is now full and server 1 is suspect: out of capacity
+        // even though suspect blocks are nominally free.
+        let err = reg.allocate(&StorageClass::dram()).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::OutOfCapacity);
+        // Heartbeat re-admits server 1.
+        reg.heartbeat(ServerId(1)).unwrap();
+        assert!(reg.allocate(&StorageClass::dram()).is_ok());
+    }
+
+    #[test]
+    fn reregistration_supersedes_same_address() {
+        let mut reg = ServerRegistry::new();
+        let (old_id, _) = reg
+            .register(ServerKind::Data, StorageClass::dram(), "srv".into(), 2)
+            .unwrap();
+        let old_block = reg.allocate(&StorageClass::dram()).unwrap().block_id;
+        let (new_id, _) = reg
+            .register(ServerKind::Data, StorageClass::dram(), "srv".into(), 2)
+            .unwrap();
+        assert_ne!(old_id, new_id);
+        assert!(reg.server(old_id).is_none(), "stale entry survives");
+        assert_eq!(reg.liveness_counts(), (1, 0, 0));
+        // The retired server's blocks are gone; freeing one is a no-op.
+        reg.free(old_block);
+        assert_eq!(reg.class_free(&StorageClass::dram()), 2);
+        // Round-robin still works with the replaced membership.
+        assert_eq!(
+            reg.allocate(&StorageClass::dram()).unwrap().server_id,
+            new_id
+        );
     }
 
     #[test]

@@ -336,6 +336,39 @@ impl Namespace {
         Ok(())
     }
 
+    /// Swaps one block of a node's chain for a freshly allocated one *at
+    /// the same chain position*, resetting its used length to zero.
+    ///
+    /// Chain order is read order, so when a writer abandons a block on a
+    /// dead server the replacement must take the dead block's slot —
+    /// appending would corrupt the stream. The data of the old block is
+    /// gone with its server; the writer replays the lost bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] if the node or block is unknown.
+    pub fn replace_extent(
+        &mut self,
+        node_id: NodeId,
+        old_block: BlockId,
+        new_loc: BlockLocation,
+    ) -> GliderResult<BlockExtent> {
+        let node = self
+            .nodes
+            .get_mut(&node_id)
+            .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+        let extent = node
+            .blocks
+            .iter_mut()
+            .find(|b| b.loc.block_id == old_block)
+            .ok_or_else(|| {
+                GliderError::not_found(format!("block {old_block} in node {node_id}"))
+            })?;
+        extent.loc = new_loc;
+        extent.len = 0;
+        Ok(extent.clone())
+    }
+
     /// Deletes the node at `path` and its whole subtree.
     ///
     /// # Errors
@@ -610,7 +643,10 @@ mod tests {
         let f = ns.create(p("/f"), NodeKind::File, None, None).unwrap().id;
         assert_eq!(f, NodeId((1 << 40) + 2));
         // Base 0 matches the plain constructor.
-        assert_eq!(Namespace::new().root_id(), Namespace::with_id_base(0).root_id());
+        assert_eq!(
+            Namespace::new().root_id(),
+            Namespace::with_id_base(0).root_id()
+        );
     }
 
     #[test]
@@ -638,6 +674,33 @@ mod tests {
             .unwrap()
             .id;
         assert!(ns.add_extents(d, vec![loc(6)]).is_err());
+    }
+
+    #[test]
+    fn replace_extent_keeps_chain_position() {
+        let mut ns = Namespace::new();
+        let f = ns.create(p("/f"), NodeKind::File, None, None).unwrap().id;
+        ns.add_extents(f, vec![loc(1), loc(2), loc(3)]).unwrap();
+        ns.commit_block(f, BlockId(2), 77).unwrap();
+        let swapped = ns.replace_extent(f, BlockId(2), loc(9)).unwrap();
+        assert_eq!(swapped.loc.block_id, BlockId(9));
+        assert_eq!(swapped.len, 0, "replacement starts empty");
+        let chain: Vec<BlockId> = ns
+            .get(f)
+            .unwrap()
+            .blocks
+            .iter()
+            .map(|b| b.loc.block_id)
+            .collect();
+        assert_eq!(chain, vec![BlockId(1), BlockId(9), BlockId(3)]);
+        // Unknown block or node: typed NotFound.
+        assert_eq!(
+            ns.replace_extent(f, BlockId(2), loc(10))
+                .unwrap_err()
+                .code(),
+            ErrorCode::NotFound
+        );
+        assert!(ns.replace_extent(NodeId(77), BlockId(1), loc(10)).is_err());
     }
 
     #[test]

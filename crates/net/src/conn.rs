@@ -3,6 +3,7 @@
 //! Addresses are either `host:port` (TCP) or `mem://<name>` (the in-process
 //! RDMA-simulation transport; see the [crate docs](crate)).
 
+use crate::fault::{lookup_faults, FaultConfig};
 use bytes::{Bytes, BytesMut};
 use glider_proto::frame::{decode_frame, encode_frame_header, Frame};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
@@ -39,8 +40,14 @@ pub struct FrameTx(TxInner);
 
 #[derive(Debug)]
 enum TxInner {
-    Tcp { io: OwnedWriteHalf, buf: BytesMut },
-    Mem(mpsc::Sender<Frame>),
+    Tcp {
+        io: OwnedWriteHalf,
+        buf: BytesMut,
+    },
+    Mem {
+        tx: mpsc::Sender<Frame>,
+        faults: Option<Arc<FaultConfig>>,
+    },
 }
 
 /// Receiving half of a framed connection.
@@ -49,8 +56,14 @@ pub struct FrameRx(RxInner);
 
 #[derive(Debug)]
 enum RxInner {
-    Tcp { io: OwnedReadHalf, buf: BytesMut },
-    Mem(mpsc::Receiver<Frame>),
+    Tcp {
+        io: OwnedReadHalf,
+        buf: BytesMut,
+    },
+    Mem {
+        rx: mpsc::Receiver<Frame>,
+        faults: Option<Arc<FaultConfig>>,
+    },
 }
 
 impl FrameTx {
@@ -78,10 +91,7 @@ impl FrameTx {
                 }
                 Ok(())
             }
-            TxInner::Mem(tx) => tx
-                .send(frame)
-                .await
-                .map_err(|_| GliderError::closed("connection")),
+            TxInner::Mem { tx, faults } => send_mem(tx, faults.as_deref(), frame).await,
         }
     }
 
@@ -118,16 +128,43 @@ impl FrameTx {
                 write_all_vectored(io, &slices).await?;
                 Ok(())
             }
-            TxInner::Mem(tx) => {
+            TxInner::Mem { tx, faults } => {
                 for frame in frames.drain(..) {
-                    tx.send(frame)
-                        .await
-                        .map_err(|_| GliderError::closed("connection"))?;
+                    send_mem(tx, faults.as_deref(), frame).await?;
                 }
                 Ok(())
             }
         }
     }
+}
+
+/// One `mem://` frame delivery, with fault injection applied when the
+/// endpoint has a registered [`FaultConfig`].
+async fn send_mem(
+    tx: &mpsc::Sender<Frame>,
+    faults: Option<&FaultConfig>,
+    frame: Frame,
+) -> GliderResult<()> {
+    if let Some(f) = faults {
+        if f.is_severed() {
+            return Err(GliderError::closed("connection (injected sever)"));
+        }
+        if f.count_send_and_check_error() {
+            return Err(GliderError::new(
+                ErrorCode::Io,
+                "injected fault: send error",
+            ));
+        }
+        if let Some(delay) = f.send_delay() {
+            tokio::time::sleep(delay).await;
+        }
+        if f.is_blackhole() || f.take_drop_send() {
+            return Ok(()); // the frame vanishes without trace
+        }
+    }
+    tx.send(frame)
+        .await
+        .map_err(|_| GliderError::closed("connection"))
 }
 
 /// Writes every byte of `parts` to `io`, preferring one vectored write per
@@ -200,7 +237,35 @@ impl FrameRx {
                     ));
                 }
             },
-            RxInner::Mem(rx) => Ok(rx.recv().await),
+            RxInner::Mem { rx, faults } => loop {
+                let frame = match faults {
+                    Some(f) => {
+                        if f.is_severed() {
+                            return Err(GliderError::closed("connection (injected sever)"));
+                        }
+                        tokio::select! {
+                            frame = rx.recv() => frame,
+                            _ = f.severed_wait() => {
+                                return Err(GliderError::closed(
+                                    "connection (injected sever)",
+                                ));
+                            }
+                        }
+                    }
+                    None => rx.recv().await,
+                };
+                match frame {
+                    None => return Ok(None),
+                    Some(frame) => {
+                        if let Some(f) = faults {
+                            if f.is_blackhole() || f.take_drop_recv() {
+                                continue; // swallowed in flight
+                            }
+                        }
+                        return Ok(Some(frame));
+                    }
+                }
+            },
         }
     }
 }
@@ -275,8 +340,14 @@ impl BoundListener {
                     .await
                     .ok_or_else(|| GliderError::closed(format!("mem listener {name}")))?;
                 Ok((
-                    FrameTx(TxInner::Mem(conn.to_client)),
-                    FrameRx(RxInner::Mem(conn.from_client)),
+                    FrameTx(TxInner::Mem {
+                        tx: conn.to_client,
+                        faults: None,
+                    }),
+                    FrameRx(RxInner::Mem {
+                        rx: conn.from_client,
+                        faults: None,
+                    }),
                 ))
             }
         }
@@ -346,7 +417,16 @@ pub async fn connect(addr: &str) -> GliderResult<(FrameTx, FrameRx)> {
                 from_client: c2s_rx,
             })
             .map_err(|_| GliderError::closed(format!("mem endpoint {addr}")))?;
-        Ok((FrameTx(TxInner::Mem(c2s_tx)), FrameRx(RxInner::Mem(s2c_rx))))
+        // Fault injection hooks into the client side of mem connections:
+        // outbound faults on the tx half, inbound on the rx half.
+        let faults = lookup_faults(addr);
+        Ok((
+            FrameTx(TxInner::Mem {
+                tx: c2s_tx,
+                faults: faults.clone(),
+            }),
+            FrameRx(RxInner::Mem { rx: s2c_rx, faults }),
+        ))
     } else {
         let stream = TcpStream::connect(addr).await?;
         Ok(tcp_pair(stream))
@@ -483,7 +563,7 @@ mod tests {
                     "receive buffer kept {} bytes of capacity",
                     buf.capacity()
                 ),
-                RxInner::Mem(_) => unreachable!(),
+                RxInner::Mem { .. } => unreachable!(),
             }
         });
         let (mut tx, mut rx) = connect(&addr).await.unwrap();

@@ -1,0 +1,206 @@
+//! Fault injection for the `mem://` transport (test harness).
+//!
+//! Chaos tests register a [`FaultConfig`] against a `mem://` endpoint name
+//! *before or after* connections exist; every client-side connection to
+//! that endpoint consults the shared config on each frame. Supported
+//! faults mirror the classic network failure modes:
+//!
+//! - **drop frame** — the next N outbound (or inbound) frames vanish
+//!   silently, as if lost in flight;
+//! - **delay** — every outbound frame is held for a fixed duration;
+//! - **error-on-nth-call** — the Nth outbound frame fails with an I/O
+//!   error, exercising the typed `Retryable` path;
+//! - **sever** — both directions fail with `Closed` until [`FaultConfig::heal`],
+//!   exercising reconnection;
+//! - **blackhole** — frames in both directions vanish without error, the
+//!   server looks alive-but-silent, and only deadlines can save the call.
+//!
+//! TCP connections are never faulted — this harness exists to make the
+//! in-process chaos tests deterministic.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use tokio::sync::Notify;
+
+/// Shared fault state for one `mem://` endpoint. All methods are safe to
+/// call concurrently with live traffic; changes apply to the next frame.
+#[derive(Debug, Default)]
+pub struct FaultConfig {
+    drop_sends: AtomicU64,
+    drop_recvs: AtomicU64,
+    delay_send_nanos: AtomicU64,
+    error_on_send: AtomicU64,
+    sends_seen: AtomicU64,
+    severed: AtomicBool,
+    blackhole: AtomicBool,
+    sever_notify: Notify,
+}
+
+impl FaultConfig {
+    /// Silently drops the next `n` outbound frames.
+    pub fn drop_next_sends(&self, n: u64) {
+        self.drop_sends.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Silently drops the next `n` inbound frames.
+    pub fn drop_next_recvs(&self, n: u64) {
+        self.drop_recvs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Delays every outbound frame by `d` (zero disables).
+    pub fn delay_sends(&self, d: Duration) {
+        self.delay_send_nanos.store(
+            d.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Fails the `n`th outbound frame (1-based, counted from connection
+    /// birth) with an I/O error. `0` disables.
+    pub fn error_on_nth_send(&self, n: u64) {
+        self.error_on_send.store(n, Ordering::Relaxed);
+    }
+
+    /// Severs the endpoint: every send and receive fails with `Closed`
+    /// until [`FaultConfig::heal`] is called. In-flight receivers are
+    /// woken immediately.
+    pub fn sever(&self) {
+        self.severed.store(true, Ordering::SeqCst);
+        self.sever_notify.notify_waiters();
+    }
+
+    /// Turns the endpoint into a blackhole (frames vanish silently in
+    /// both directions) or back.
+    pub fn blackhole(&self, on: bool) {
+        self.blackhole.store(on, Ordering::SeqCst);
+    }
+
+    /// Clears sever and blackhole states; counters keep running.
+    pub fn heal(&self) {
+        self.severed.store(false, Ordering::SeqCst);
+        self.blackhole.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the endpoint is currently severed.
+    pub fn is_severed(&self) -> bool {
+        self.severed.load(Ordering::SeqCst)
+    }
+
+    /// Whether the endpoint currently swallows all frames.
+    pub fn is_blackhole(&self) -> bool {
+        self.blackhole.load(Ordering::SeqCst)
+    }
+
+    /// The configured per-send delay, if any.
+    pub(crate) fn send_delay(&self) -> Option<Duration> {
+        let nanos = self.delay_send_nanos.load(Ordering::Relaxed);
+        (nanos > 0).then(|| Duration::from_nanos(nanos))
+    }
+
+    /// Counts one outbound frame; returns an error marker when this frame
+    /// was configured to fail.
+    pub(crate) fn count_send_and_check_error(&self) -> bool {
+        let seen = self.sends_seen.fetch_add(1, Ordering::Relaxed) + 1;
+        let nth = self.error_on_send.load(Ordering::Relaxed);
+        nth != 0 && seen == nth
+    }
+
+    /// Consumes one outbound drop token, if any.
+    pub(crate) fn take_drop_send(&self) -> bool {
+        take_token(&self.drop_sends)
+    }
+
+    /// Consumes one inbound drop token, if any.
+    pub(crate) fn take_drop_recv(&self) -> bool {
+        take_token(&self.drop_recvs)
+    }
+
+    /// A future resolving when the endpoint is severed.
+    pub(crate) async fn severed_wait(&self) {
+        while !self.is_severed() {
+            self.sever_notify.notified().await;
+        }
+    }
+}
+
+fn take_token(counter: &AtomicU64) -> bool {
+    counter
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+        .is_ok()
+}
+
+type FaultRegistry = Mutex<HashMap<String, Arc<FaultConfig>>>;
+
+fn fault_registry() -> &'static FaultRegistry {
+    static REGISTRY: OnceLock<FaultRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns (creating if needed) the fault config for a `mem://` address.
+/// Connections dialed before or after this call all share the config.
+pub fn inject_faults(addr: &str) -> Arc<FaultConfig> {
+    Arc::clone(fault_registry().lock().entry(addr.to_string()).or_default())
+}
+
+/// Stops faulting *new* connections to `addr`. Existing connections keep
+/// their shared config; call [`FaultConfig::heal`] first to unblock them.
+pub fn clear_faults(addr: &str) {
+    fault_registry().lock().remove(addr);
+}
+
+/// The fault config new connections to `addr` will pick up, if any.
+pub(crate) fn lookup_faults(addr: &str) -> Option<Arc<FaultConfig>> {
+    fault_registry().lock().get(addr).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_tokens_are_consumed_once() {
+        let f = FaultConfig::default();
+        f.drop_next_sends(2);
+        assert!(f.take_drop_send());
+        assert!(f.take_drop_send());
+        assert!(!f.take_drop_send());
+        assert!(!f.take_drop_recv());
+    }
+
+    #[test]
+    fn error_on_nth_counts_from_one() {
+        let f = FaultConfig::default();
+        f.error_on_nth_send(3);
+        assert!(!f.count_send_and_check_error());
+        assert!(!f.count_send_and_check_error());
+        assert!(f.count_send_and_check_error());
+        assert!(!f.count_send_and_check_error());
+    }
+
+    #[test]
+    fn sever_and_heal_toggle() {
+        let f = FaultConfig::default();
+        assert!(!f.is_severed());
+        f.sever();
+        assert!(f.is_severed());
+        f.heal();
+        assert!(!f.is_severed());
+        f.blackhole(true);
+        assert!(f.is_blackhole());
+        f.heal();
+        assert!(!f.is_blackhole());
+    }
+
+    #[test]
+    fn registry_is_shared_and_clearable() {
+        let a = inject_faults("mem://fault-reg-test");
+        let b = inject_faults("mem://fault-reg-test");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(lookup_faults("mem://fault-reg-test").is_some());
+        clear_faults("mem://fault-reg-test");
+        assert!(lookup_faults("mem://fault-reg-test").is_none());
+    }
+}

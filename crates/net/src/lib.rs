@@ -22,9 +22,13 @@
 //! declared in its `Hello` handshake.
 
 pub mod conn;
+pub mod fault;
+pub mod retry;
 pub mod rpc;
 pub mod stats;
 
 pub use conn::{bind, connect, BoundListener, FrameRx, FrameTx};
+pub use fault::{clear_faults, inject_faults, FaultConfig};
+pub use retry::{op_class, JitterRng, OpClass, RetryPolicy};
 pub use rpc::{serve, ConnCtx, RpcClient, RpcHandler, ServerHandle};
 pub use stats::{build_stats, render_stats_json, render_stats_table};

@@ -1,0 +1,244 @@
+//! Deadlines, retry budgets, and jittered backoff for the RPC plane.
+//!
+//! Every call carries a deadline chosen by its *operation class* (metadata,
+//! data, or action — action streams legitimately block far longer than a
+//! lookup). Failed calls are retried automatically only when the operation
+//! is idempotent ([`RequestBody::is_idempotent`]) *and* the error is
+//! transient ([`glider_proto::ErrorCode::is_retryable`]); everything else
+//! surfaces the typed error so the caller can decide. Retry delays use
+//! exponential backoff with *full jitter* (delay drawn uniformly from
+//! `[0, min(cap, base·2^attempt)]`), the standard recipe for avoiding
+//! synchronized retry storms from swarms of serverless workers.
+
+use glider_proto::message::RequestBody;
+use std::time::Duration;
+
+/// The deadline class of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Namespace and registry operations served by the metadata plane.
+    Metadata,
+    /// Block reads/writes/frees served by data servers.
+    Data,
+    /// Action lifecycle and stream operations served by active servers
+    /// (these block on user code and get the longest deadline).
+    Action,
+}
+
+/// Classifies a request body into its deadline class.
+pub fn op_class(body: &RequestBody) -> OpClass {
+    match body {
+        RequestBody::Hello { .. }
+        | RequestBody::CreateNode { .. }
+        | RequestBody::LookupNode { .. }
+        | RequestBody::DeleteNode { .. }
+        | RequestBody::ListChildren { .. }
+        | RequestBody::AddBlock { .. }
+        | RequestBody::AddBlocks { .. }
+        | RequestBody::CommitBlock { .. }
+        | RequestBody::CommitBlocks { .. }
+        | RequestBody::ReplaceBlock { .. }
+        | RequestBody::RegisterServer { .. }
+        | RequestBody::Stats
+        | RequestBody::Heartbeat { .. } => OpClass::Metadata,
+        RequestBody::WriteBlock { .. }
+        | RequestBody::ReadBlock { .. }
+        | RequestBody::FreeBlocks { .. } => OpClass::Data,
+        RequestBody::ActionCreate { .. }
+        | RequestBody::ActionDelete { .. }
+        | RequestBody::StreamOpen { .. }
+        | RequestBody::StreamChunk { .. }
+        | RequestBody::StreamFetch { .. }
+        | RequestBody::StreamClose { .. } => OpClass::Action,
+    }
+}
+
+/// Per-connection fault-tolerance knobs: per-class deadlines, the retry
+/// budget, and backoff shape. One policy instance is attached to each
+/// [`crate::RpcClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Hard cap on any single backoff delay.
+    pub max_delay: Duration,
+    /// Deadline for metadata-plane calls.
+    pub metadata_deadline: Duration,
+    /// Deadline for data-plane calls.
+    pub data_deadline: Duration,
+    /// Deadline for action calls (streams block on user code).
+    pub action_deadline: Duration,
+    /// Dial attempts when healing a dropped connection.
+    pub reconnect_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            metadata_deadline: Duration::from_secs(10),
+            data_deadline: Duration::from_secs(30),
+            action_deadline: Duration::from_secs(120),
+            reconnect_attempts: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never redials (deadlines still
+    /// apply). Useful for tests asserting first-failure behavior.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            reconnect_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The deadline for one attempt of an operation in `class`.
+    pub fn deadline(&self, class: OpClass) -> Duration {
+        match class {
+            OpClass::Metadata => self.metadata_deadline,
+            OpClass::Data => self.data_deadline,
+            OpClass::Action => self.action_deadline,
+        }
+    }
+
+    /// Whether the budget allows another attempt after `attempts_made`
+    /// attempts have already run. The retry loops of this crate gate every
+    /// retry on this, so the budget is a hard bound by construction.
+    pub fn allows(&self, attempts_made: u32) -> bool {
+        attempts_made < self.max_attempts
+    }
+
+    /// The full-jitter backoff delay before retry number `attempt`
+    /// (1-based): uniform in `[0, min(max_delay, base_delay · 2^attempt)]`.
+    pub fn backoff(&self, attempt: u32, rng: &mut JitterRng) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX));
+        let cap = exp.min(self.max_delay);
+        let nanos = cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(rng.next() % (nanos + 1))
+    }
+}
+
+/// A tiny xorshift64* generator for backoff jitter. Not cryptographic —
+/// it only has to decorrelate retry timings across callers, and taking a
+/// dependency on a full RNG crate for that is not worth it.
+#[derive(Debug)]
+pub struct JitterRng(u64);
+
+impl JitterRng {
+    /// Seeds the generator (zero seeds are nudged to stay productive).
+    pub fn seeded(seed: u64) -> Self {
+        JitterRng(seed | 1)
+    }
+
+    /// The next pseudo-random `u64`.
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glider_proto::types::{BlockId, NodeId, ServerId};
+    use proptest::prelude::*;
+
+    #[test]
+    fn classes_cover_both_planes() {
+        assert_eq!(
+            op_class(&RequestBody::LookupNode { path: "/a".into() }),
+            OpClass::Metadata
+        );
+        assert_eq!(
+            op_class(&RequestBody::Heartbeat {
+                server_id: ServerId(1)
+            }),
+            OpClass::Metadata
+        );
+        assert_eq!(
+            op_class(&RequestBody::ReadBlock {
+                block_id: BlockId(1),
+                offset: 0,
+                len: 1
+            }),
+            OpClass::Data
+        );
+        assert_eq!(
+            op_class(&RequestBody::ActionDelete { node_id: NodeId(1) }),
+            OpClass::Action
+        );
+        let p = RetryPolicy::default();
+        assert!(p.deadline(OpClass::Action) >= p.deadline(OpClass::Data));
+        assert!(p.deadline(OpClass::Data) >= p.deadline(OpClass::Metadata));
+    }
+
+    proptest! {
+        /// Satellite: jittered delays are always bounded by the cap AND by
+        /// the exponential envelope, and they stay sane across seeds.
+        #[test]
+        fn backoff_is_bounded_by_cap_and_envelope(
+            attempt in 1u32..64,
+            seed in any::<u64>(),
+            base_ms in 1u64..100,
+            cap_ms in 1u64..2000,
+        ) {
+            let policy = RetryPolicy {
+                base_delay: Duration::from_millis(base_ms),
+                max_delay: Duration::from_millis(cap_ms),
+                ..RetryPolicy::default()
+            };
+            let mut rng = JitterRng::seeded(seed);
+            let delay = policy.backoff(attempt, &mut rng);
+            prop_assert!(delay <= policy.max_delay);
+            let envelope = policy
+                .base_delay
+                .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX));
+            prop_assert!(delay <= envelope);
+        }
+
+        /// Satellite: the retry budget is a hard bound — a loop gated on
+        /// `allows` (exactly how the RPC client gates retries) never runs
+        /// more attempts than configured.
+        #[test]
+        fn budget_never_exceeds_configured_attempts(max_attempts in 1u32..32) {
+            let policy = RetryPolicy { max_attempts, ..RetryPolicy::default() };
+            let mut attempts = 0u32;
+            loop {
+                attempts += 1; // the attempt itself (always fails)
+                if !policy.allows(attempts) {
+                    break;
+                }
+            }
+            prop_assert_eq!(attempts, max_attempts);
+        }
+
+        /// Successive delays for one attempt number are monotonically
+        /// bounded: raising the cap never lowers the envelope guarantee.
+        #[test]
+        fn cap_is_monotone(seed in any::<u64>(), attempt in 1u32..32) {
+            let small = RetryPolicy {
+                max_delay: Duration::from_millis(50),
+                ..RetryPolicy::default()
+            };
+            let mut rng = JitterRng::seeded(seed);
+            let d = small.backoff(attempt, &mut rng);
+            prop_assert!(d <= Duration::from_millis(50));
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Multiplexing RPC client and server over framed connections.
 
 use crate::conn::{connect, BoundListener, FrameRx, FrameTx};
+use crate::retry::{op_class, JitterRng, RetryPolicy};
 use crate::stats::build_stats;
 use futures::future::BoxFuture;
 use glider_metrics::{MetricsRegistry, OpKind, Tier};
@@ -14,7 +15,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tokio::sync::{mpsc, oneshot};
 use tokio::task::JoinSet;
 
@@ -32,13 +33,23 @@ pub fn tier_of(peer: PeerTier) -> Tier {
 
 type Pending = Arc<Mutex<Option<HashMap<u64, oneshot::Sender<GliderResult<ResponseBody>>>>>>;
 
-/// A multiplexing RPC client.
+/// A multiplexing, self-healing RPC client.
 ///
-/// Cloning is cheap; all clones share one connection. Any number of
-/// [`RpcClient::call`]s may be in flight concurrently — responses are
-/// matched by request id. This is what lets the client library keep a
-/// window of data operations outstanding ("batched async operations",
-/// paper §7.2).
+/// Cloning is cheap; all clones share one *supervised* connection. Any
+/// number of [`RpcClient::call`]s may be in flight concurrently —
+/// responses are matched by request id. This is what lets the client
+/// library keep a window of data operations outstanding ("batched async
+/// operations", paper §7.2).
+///
+/// Fault tolerance (DESIGN.md §10):
+/// - every call runs under a per-class deadline from the client's
+///   [`RetryPolicy`];
+/// - idempotent calls that fail with a transient error are retried with
+///   full-jitter backoff up to the retry budget;
+/// - a dropped connection fails its in-flight calls with
+///   [`ErrorCode::Closed`], then the next call redials with backoff and
+///   re-runs the `Hello` handshake — a bounced server is a blip, not a
+///   poisoned client.
 ///
 /// An optional [`TokenBucket`] throttles bulk payload bytes in both
 /// directions, modelling the limited bandwidth of serverless workers.
@@ -47,13 +58,33 @@ pub struct RpcClient {
     inner: Arc<ClientInner>,
 }
 
+/// One live connection: the writer queue plus the in-flight table. The
+/// table is set to `None` permanently when the reader exits, which is how
+/// callers detect a dead channel.
 #[derive(Debug)]
-struct ClientInner {
+struct Channel {
     req_tx: mpsc::Sender<Request>,
     pending: Pending,
-    next_id: AtomicU64,
-    throttle: Option<Arc<TokenBucket>>,
+}
+
+impl Channel {
+    fn is_open(&self) -> bool {
+        !self.req_tx.is_closed() && self.pending.lock().is_some()
+    }
+}
+
+#[derive(Debug)]
+struct ClientInner {
     addr: String,
+    tier: PeerTier,
+    throttle: Option<Arc<TokenBucket>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    policy: RetryPolicy,
+    next_id: AtomicU64,
+    /// The current channel; swapped atomically on reconnection.
+    chan: Mutex<Arc<Channel>>,
+    /// Serializes redials so concurrent callers heal the connection once.
+    redial: tokio::sync::Mutex<()>,
 }
 
 impl RpcClient {
@@ -72,7 +103,8 @@ impl RpcClient {
     }
 
     /// Like [`RpcClient::connect`], but also records client-side transport
-    /// indicators (writer batch occupancy, flush latency) into `metrics`.
+    /// indicators (writer batch occupancy, flush latency, retry and
+    /// reconnect counts) into `metrics`.
     ///
     /// # Errors
     ///
@@ -83,28 +115,38 @@ impl RpcClient {
         throttle: Option<Arc<TokenBucket>>,
         metrics: Option<Arc<MetricsRegistry>>,
     ) -> GliderResult<Self> {
-        let (tx, rx) = connect(addr).await?;
-        let pending: Pending = Arc::new(Mutex::new(Some(HashMap::new())));
-        let (req_tx, req_rx) = mpsc::channel::<Request>(256);
+        RpcClient::connect_with_options(addr, tier, throttle, metrics, RetryPolicy::default()).await
+    }
 
-        tokio::spawn(writer_task(tx, req_rx, metrics));
-        tokio::spawn(reader_task(rx, Arc::clone(&pending)));
-
-        let client = RpcClient {
+    /// Fully parameterized connect: custom [`RetryPolicy`] for deadlines,
+    /// retry budget, and reconnection behavior.
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcClient::connect`]. The *initial* dial is not retried, so
+    /// misconfigured addresses fail fast with their real error.
+    pub async fn connect_with_options(
+        addr: &str,
+        tier: PeerTier,
+        throttle: Option<Arc<TokenBucket>>,
+        metrics: Option<Arc<MetricsRegistry>>,
+        policy: RetryPolicy,
+    ) -> GliderResult<Self> {
+        let next_id = AtomicU64::new(1);
+        let handshake_deadline = policy.metadata_deadline;
+        let chan = dial_channel(addr, tier, &metrics, &next_id, handshake_deadline).await?;
+        Ok(RpcClient {
             inner: Arc::new(ClientInner {
-                req_tx,
-                pending,
-                next_id: AtomicU64::new(1),
-                throttle,
                 addr: addr.to_string(),
+                tier,
+                throttle,
+                metrics,
+                policy,
+                next_id,
+                chan: Mutex::new(Arc::new(chan)),
+                redial: tokio::sync::Mutex::new(()),
             }),
-        };
-        match client.call(RequestBody::Hello { tier }).await? {
-            ResponseBody::Ok => Ok(client),
-            other => Err(GliderError::protocol(format!(
-                "unexpected handshake response: {other:?}"
-            ))),
-        }
+        })
     }
 
     /// Connects from inside the storage tier (actions, servers). Intra-
@@ -123,6 +165,11 @@ impl RpcClient {
         &self.inner.addr
     }
 
+    /// The client's fault-tolerance policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.inner.policy
+    }
+
     /// Issues one RPC and awaits its response. Error responses from the
     /// server are converted back into [`GliderError`]s.
     ///
@@ -132,8 +179,10 @@ impl RpcClient {
     ///
     /// # Errors
     ///
-    /// Returns the server-reported error, or [`ErrorCode::Closed`] when the
-    /// connection dropped before the response arrived.
+    /// Returns the server-reported error, [`ErrorCode::Timeout`] when the
+    /// per-class deadline elapsed, or [`ErrorCode::Closed`] when the
+    /// connection dropped and could not be healed. Idempotent operations
+    /// have transient failures retried within the policy's budget first.
     pub async fn call(&self, body: RequestBody) -> GliderResult<ResponseBody> {
         self.call_traced(SpanContext::NONE, body).await
     }
@@ -155,43 +204,66 @@ impl RpcClient {
         // this path; the span closes (and reports) when the call returns.
         let span = Span::child_of(parent, "client.call");
         let trace_id = span.trace_id();
+        // Throttle pacing is intentional latency and therefore sits
+        // outside the deadline window, once per call (retried idempotent
+        // ops never carry outbound payloads).
         if let Some(bucket) = &self.inner.throttle {
             let out = body.payload_len();
             if out > 0 {
                 bucket.acquire(out).await;
             }
         }
-        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-        let (done_tx, done_rx) = oneshot::channel();
-        {
-            let mut guard = self.inner.pending.lock();
-            match guard.as_mut() {
-                Some(map) => {
-                    map.insert(id, done_tx);
+        let policy = &self.inner.policy;
+        let deadline = policy.deadline(op_class(&body));
+        let idempotent = body.is_idempotent();
+        let mut rng = JitterRng::seeded(trace_id ^ self.inner.next_id.load(Ordering::Relaxed));
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let err = match self.ensure_channel().await {
+                Ok(chan) => {
+                    let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+                    match channel_call(
+                        &chan,
+                        id,
+                        trace_id,
+                        body.clone(),
+                        deadline,
+                        &self.inner.addr,
+                    )
+                    .await
+                    {
+                        Ok(resp) => {
+                            if let Some(bucket) = &self.inner.throttle {
+                                let inn = resp.payload_len();
+                                if inn > 0 {
+                                    bucket.acquire(inn).await;
+                                }
+                            }
+                            // Server-reported errors surface here; they
+                            // never trigger a redial (the transport is
+                            // fine) but retryable ones re-enter the loop.
+                            match resp.into_result() {
+                                Ok(body) => return Ok(body),
+                                Err(e) => e,
+                            }
+                        }
+                        Err(e) => e,
+                    }
                 }
-                None => return Err(GliderError::closed(format!("rpc to {}", self.inner.addr))),
+                Err(e) => e,
+            };
+            if !idempotent || !err.is_retryable() || !policy.allows(attempts) {
+                return Err(err);
             }
-        }
-        if self
-            .inner
-            .req_tx
-            .send(Request { id, trace_id, body })
-            .await
-            .is_err()
-        {
-            self.inner.pending.lock().as_mut().map(|m| m.remove(&id));
-            return Err(GliderError::closed(format!("rpc to {}", self.inner.addr)));
-        }
-        let resp = done_rx
-            .await
-            .map_err(|_| GliderError::closed(format!("rpc to {}", self.inner.addr)))??;
-        if let Some(bucket) = &self.inner.throttle {
-            let inn = resp.payload_len();
-            if inn > 0 {
-                bucket.acquire(inn).await;
+            if let Some(m) = &self.inner.metrics {
+                m.rpc_retry();
             }
+            // A short-lived span per retry, so the trace tree shows how
+            // often (and why) a call was re-issued.
+            drop(Span::child_of(span.context(), "client.retry"));
+            tokio::time::sleep(policy.backoff(attempts, &mut rng)).await;
         }
-        resp.into_result()
     }
 
     /// Issues an RPC that must answer [`ResponseBody::Ok`].
@@ -207,6 +279,138 @@ impl RpcClient {
                 "expected Ok response, got {other:?}"
             ))),
         }
+    }
+
+    /// Returns a healthy channel, redialing (with backoff and a fresh
+    /// handshake) if the current one died. Redials are serialized so a
+    /// burst of concurrent calls heals the connection exactly once.
+    async fn ensure_channel(&self) -> GliderResult<Arc<Channel>> {
+        {
+            let chan = Arc::clone(&self.inner.chan.lock());
+            if chan.is_open() {
+                return Ok(chan);
+            }
+        }
+        let _guard = self.inner.redial.lock().await;
+        let chan = Arc::clone(&self.inner.chan.lock());
+        if chan.is_open() {
+            return Ok(chan); // another caller already healed it
+        }
+        let policy = &self.inner.policy;
+        let mut rng =
+            JitterRng::seeded(self.inner.next_id.fetch_add(1, Ordering::Relaxed) ^ 0x9E37_79B9);
+        let mut last = GliderError::closed(format!("rpc to {}", self.inner.addr));
+        for attempt in 1..=policy.reconnect_attempts.max(1) {
+            match dial_channel(
+                &self.inner.addr,
+                self.inner.tier,
+                &self.inner.metrics,
+                &self.inner.next_id,
+                policy.metadata_deadline,
+            )
+            .await
+            {
+                Ok(chan) => {
+                    let chan = Arc::new(chan);
+                    *self.inner.chan.lock() = Arc::clone(&chan);
+                    if let Some(m) = &self.inner.metrics {
+                        m.rpc_reconnect();
+                    }
+                    return Ok(chan);
+                }
+                Err(e) => last = e,
+            }
+            if attempt < policy.reconnect_attempts {
+                tokio::time::sleep(policy.backoff(attempt, &mut rng)).await;
+            }
+        }
+        Err(GliderError::new(
+            ErrorCode::Closed,
+            format!(
+                "rpc to {} closed; reconnect failed: {last}",
+                self.inner.addr
+            ),
+        ))
+    }
+}
+
+/// Dials `addr`, spawns the connection's writer/reader tasks, and performs
+/// the `Hello` handshake. Used for the initial connect and every redial.
+async fn dial_channel(
+    addr: &str,
+    tier: PeerTier,
+    metrics: &Option<Arc<MetricsRegistry>>,
+    next_id: &AtomicU64,
+    handshake_deadline: Duration,
+) -> GliderResult<Channel> {
+    let (tx, rx) = connect(addr).await?;
+    let pending: Pending = Arc::new(Mutex::new(Some(HashMap::new())));
+    let (req_tx, req_rx) = mpsc::channel::<Request>(256);
+
+    tokio::spawn(writer_task(tx, req_rx, metrics.clone()));
+    tokio::spawn(reader_task(rx, Arc::clone(&pending)));
+
+    let chan = Channel { req_tx, pending };
+    let id = next_id.fetch_add(1, Ordering::Relaxed);
+    let resp = channel_call(
+        &chan,
+        id,
+        0,
+        RequestBody::Hello { tier },
+        handshake_deadline,
+        addr,
+    )
+    .await?;
+    match resp.into_result()? {
+        ResponseBody::Ok => Ok(chan),
+        other => Err(GliderError::protocol(format!(
+            "unexpected handshake response: {other:?}"
+        ))),
+    }
+}
+
+/// One attempt of one RPC on one channel, bounded by `deadline`. Returns
+/// the raw response body — converting server-reported errors is left to
+/// the caller so transport failures and semantic failures stay distinct.
+async fn channel_call(
+    chan: &Channel,
+    id: u64,
+    trace_id: u64,
+    body: RequestBody,
+    deadline: Duration,
+    addr: &str,
+) -> GliderResult<ResponseBody> {
+    let op = body.op_name();
+    let (done_tx, done_rx) = oneshot::channel();
+    {
+        let mut guard = chan.pending.lock();
+        match guard.as_mut() {
+            Some(map) => {
+                map.insert(id, done_tx);
+            }
+            None => return Err(GliderError::closed(format!("rpc to {addr}"))),
+        }
+    }
+    if chan
+        .req_tx
+        .send(Request { id, trace_id, body })
+        .await
+        .is_err()
+    {
+        chan.pending.lock().as_mut().map(|m| m.remove(&id));
+        return Err(GliderError::closed(format!("rpc to {addr}")));
+    }
+    match tokio::time::timeout(deadline, done_rx).await {
+        Err(_) => {
+            // Deadline elapsed: withdraw the waiter so a straggling
+            // response cannot leak a pending-table entry.
+            chan.pending.lock().as_mut().map(|m| m.remove(&id));
+            Err(GliderError::timeout(format!(
+                "{op} rpc to {addr} after {deadline:?}"
+            )))
+        }
+        Ok(Err(_)) => Err(GliderError::closed(format!("rpc to {addr}"))),
+        Ok(Ok(res)) => res,
     }
 }
 
@@ -326,6 +530,9 @@ fn op_kind(body: &RequestBody) -> Option<OpKind> {
         RequestBody::ListChildren { .. } => OpKind::MetaListChildren,
         RequestBody::AddBlock { .. } => OpKind::MetaAddBlock,
         RequestBody::AddBlocks { .. } => OpKind::MetaAddBlocks,
+        // Replacement is an allocation with a swap; it shares the
+        // add-block latency class rather than growing the OpKind set.
+        RequestBody::ReplaceBlock { .. } => OpKind::MetaAddBlock,
         RequestBody::CommitBlock { .. } => OpKind::MetaCommitBlock,
         RequestBody::CommitBlocks { .. } => OpKind::MetaCommitBlocks,
         RequestBody::RegisterServer { .. } => OpKind::MetaRegisterServer,
@@ -338,7 +545,11 @@ fn op_kind(body: &RequestBody) -> Option<OpKind> {
         | RequestBody::StreamChunk { .. }
         | RequestBody::StreamFetch { .. }
         | RequestBody::StreamClose { .. } => OpKind::ActionInvoke,
-        RequestBody::Hello { .. } | RequestBody::Stats => return None,
+        // Handshake, introspection, and liveness beacons are not measured
+        // as operations (heartbeats would drown real metadata latencies).
+        RequestBody::Hello { .. } | RequestBody::Stats | RequestBody::Heartbeat { .. } => {
+            return None
+        }
     })
 }
 
@@ -757,6 +968,178 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn bounced_server_heals_transparently() {
+        // Bounce a mem:// server: the dropped connection must fail fast,
+        // then the next calls redial, re-handshake, and succeed — without
+        // rebuilding the client.
+        let addr = "mem://rpc-test-bounce";
+        let (server, _metrics) = start(addr).await;
+        let client_metrics = MetricsRegistry::new();
+        let client = RpcClient::connect_with_metrics(
+            addr,
+            PeerTier::Compute,
+            None,
+            Some(Arc::clone(&client_metrics)),
+        )
+        .await
+        .unwrap();
+        client
+            .call(RequestBody::AddBlock { node_id: 1.into() })
+            .await
+            .unwrap();
+        server.shutdown();
+        drop(server);
+        // Wait until the old connection observably died.
+        for _ in 0..200 {
+            if client
+                .call(RequestBody::AddBlock { node_id: 1.into() })
+                .await
+                .is_err()
+            {
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+        // Server comes back on the same address.
+        let (server2, _metrics2) = start(addr).await;
+        // The poll above may leave the client mid-backoff; give the dial a
+        // few chances (each call redials internally).
+        let mut healed = false;
+        for _ in 0..50 {
+            if client
+                .call(RequestBody::AddBlock { node_id: 1.into() })
+                .await
+                .is_ok()
+            {
+                healed = true;
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        assert!(healed, "client did not heal after the server came back");
+        assert!(
+            client_metrics.snapshot().rpc_reconnects > 0,
+            "reconnect was not counted"
+        );
+        drop(server2);
+    }
+
+    #[tokio::test]
+    async fn idempotent_calls_retry_within_budget() {
+        // A handler that fails the first two lookups with a retryable
+        // error, then succeeds: the client must absorb the failures.
+        struct Flaky(AtomicU64);
+        impl RpcHandler for Flaky {
+            fn handle(
+                self: Arc<Self>,
+                _ctx: ConnCtx,
+                body: RequestBody,
+            ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
+                Box::pin(async move {
+                    match body {
+                        RequestBody::LookupNode { .. } => {
+                            if self.0.fetch_add(1, Ordering::Relaxed) < 2 {
+                                Err(GliderError::unavailable("lookup shard"))
+                            } else {
+                                Ok(ResponseBody::Ok)
+                            }
+                        }
+                        // Non-idempotent ops surface the error untouched.
+                        RequestBody::CommitBlock { .. } => {
+                            Err(GliderError::unavailable("commit path"))
+                        }
+                        _ => Ok(ResponseBody::Ok),
+                    }
+                })
+            }
+        }
+        let metrics = MetricsRegistry::new();
+        let listener = crate::conn::bind("127.0.0.1:0").await.unwrap();
+        let server = serve(
+            listener,
+            Arc::new(Flaky(AtomicU64::new(0))),
+            Arc::clone(&metrics),
+            Tier::Storage,
+        );
+        let client_metrics = MetricsRegistry::new();
+        let client = RpcClient::connect_with_metrics(
+            server.addr(),
+            PeerTier::Compute,
+            None,
+            Some(Arc::clone(&client_metrics)),
+        )
+        .await
+        .unwrap();
+        client
+            .call(RequestBody::LookupNode { path: "/x".into() })
+            .await
+            .expect("idempotent lookup should retry past transient errors");
+        assert_eq!(client_metrics.snapshot().rpc_retries, 2);
+        // Non-idempotent: the typed retryable error reaches the caller.
+        let err = client
+            .call(RequestBody::CommitBlock {
+                node_id: 1.into(),
+                block_id: BlockId(1),
+                len: 1,
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Unavailable);
+        assert!(err.is_retryable(), "caller keeps the retryable signal");
+        assert_eq!(client_metrics.snapshot().rpc_retries, 2, "no auto-retry");
+    }
+
+    #[tokio::test]
+    async fn deadline_times_out_stalled_calls() {
+        // A handler that never answers reads: the per-class deadline must
+        // convert the stall into ErrorCode::Timeout.
+        struct Stall;
+        impl RpcHandler for Stall {
+            fn handle(
+                self: Arc<Self>,
+                _ctx: ConnCtx,
+                body: RequestBody,
+            ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
+                Box::pin(async move {
+                    if matches!(body, RequestBody::ReadBlock { .. }) {
+                        futures::future::pending::<()>().await;
+                    }
+                    Ok(ResponseBody::Ok)
+                })
+            }
+        }
+        let metrics = MetricsRegistry::new();
+        let listener = crate::conn::bind("127.0.0.1:0").await.unwrap();
+        let server = serve(
+            listener,
+            Arc::new(Stall),
+            Arc::clone(&metrics),
+            Tier::Storage,
+        );
+        let policy = RetryPolicy {
+            data_deadline: Duration::from_millis(50),
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let client =
+            RpcClient::connect_with_options(server.addr(), PeerTier::Compute, None, None, policy)
+                .await
+                .unwrap();
+        let start = Instant::now();
+        let err = client
+            .call(RequestBody::ReadBlock {
+                block_id: BlockId(1),
+                offset: 0,
+                len: 1,
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Timeout);
+        // Two attempts of 50ms plus one bounded backoff.
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[tokio::test]
     async fn stats_rpc_reports_server_histograms() {
         let (server, metrics) = start("127.0.0.1:0").await;
         let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
@@ -834,14 +1217,11 @@ mod tests {
         glider_trace::set_subscriber(None);
         let spans = sub.spans();
         // Find a client.call whose trace also has an rpc.dispatch.
-        let linked = spans
-            .iter()
-            .filter(|s| s.name == "client.call")
-            .any(|c| {
-                spans
-                    .iter()
-                    .any(|d| d.name == "rpc.dispatch" && d.trace_id == c.trace_id && d.remote)
-            });
+        let linked = spans.iter().filter(|s| s.name == "client.call").any(|c| {
+            spans
+                .iter()
+                .any(|d| d.name == "rpc.dispatch" && d.trace_id == c.trace_id && d.remote)
+        });
         assert!(linked, "no linked client.call/rpc.dispatch pair: {spans:?}");
     }
 

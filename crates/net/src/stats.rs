@@ -37,12 +37,17 @@ pub fn build_stats(snap: &MetricsSnapshot) -> StatsPayload {
             named("queue-peak", snap.queue_peak),
             named("storage-current", snap.storage_current),
             named("storage-peak", snap.storage_peak),
+            named("servers-live", snap.servers_live),
+            named("servers-suspect", snap.servers_suspect),
+            named("servers-dead", snap.servers_dead),
         ],
         counters: vec![
             named("storage-accesses", snap.storage_accesses()),
             named("metadata-rpcs", snap.accesses(AccessKind::Metadata)),
             named("tier-crossing-bytes", snap.tier_crossing_bytes()),
             named("intra-storage-bytes", snap.intra_storage_bytes()),
+            named("rpc-retries", snap.rpc_retries),
+            named("rpc-reconnects", snap.rpc_reconnects),
         ],
     }
 }
@@ -95,7 +100,11 @@ pub fn render_stats_json(payload: &StatsPayload) -> String {
             h.p999(),
             h.max()
         );
-        out.push_str(if i + 1 < payload.ops.len() { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < payload.ops.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ],\n");
     for (key, values) in [("gauges", &payload.gauges), ("counters", &payload.counters)] {
@@ -171,6 +180,9 @@ mod tests {
         m.queue_enter();
         m.record_transfer(Tier::Compute, Tier::Storage, 4096);
         m.record_access(AccessKind::FileWrite);
+        m.rpc_retry();
+        m.rpc_reconnect();
+        m.set_server_liveness(2, 0, 1);
         build_stats(&m.snapshot())
     }
 
@@ -198,6 +210,10 @@ mod tests {
         let counter = |n: &str| payload.counters.iter().find(|v| v.name == n).unwrap().value;
         assert_eq!(counter("tier-crossing-bytes"), 4096);
         assert_eq!(counter("storage-accesses"), 1);
+        assert_eq!(counter("rpc-retries"), 1);
+        assert_eq!(counter("rpc-reconnects"), 1);
+        assert_eq!(gauge("servers-live"), 2);
+        assert_eq!(gauge("servers-dead"), 1);
     }
 
     #[test]
@@ -212,10 +228,7 @@ mod tests {
         assert!(line.contains("\"count\": 2"), "line: {line}");
         assert!(!line.contains("\"p50_ns\": 0"), "line: {line}");
         // Untouched ops are present with zero counts.
-        let idle = json
-            .lines()
-            .find(|l| l.contains("\"block-free\""))
-            .unwrap();
+        let idle = json.lines().find(|l| l.contains("\"block-free\"")).unwrap();
         assert!(idle.contains("\"count\": 0"), "line: {idle}");
         assert!(json.contains("\"queue-peak\": 1"));
         assert!(json.contains("\"tier-crossing-bytes\": 4096"));

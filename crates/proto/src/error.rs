@@ -31,6 +31,11 @@ pub enum ErrorCode {
     Unsupported,
     /// A FaaS function exceeded its configured limits (time or memory).
     ResourceLimit,
+    /// The server is temporarily unreachable or not accepting work
+    /// (dead lease, redial in progress); retrying elsewhere may succeed.
+    Unavailable,
+    /// The operation's deadline elapsed before a response arrived.
+    Timeout,
 }
 
 impl ErrorCode {
@@ -49,6 +54,8 @@ impl ErrorCode {
             ErrorCode::Protocol => 10,
             ErrorCode::Unsupported => 11,
             ErrorCode::ResourceLimit => 12,
+            ErrorCode::Unavailable => 13,
+            ErrorCode::Timeout => 14,
         }
     }
 
@@ -67,8 +74,23 @@ impl ErrorCode {
             10 => ErrorCode::Protocol,
             11 => ErrorCode::Unsupported,
             12 => ErrorCode::ResourceLimit,
+            13 => ErrorCode::Unavailable,
+            14 => ErrorCode::Timeout,
             _ => return None,
         })
+    }
+
+    /// Whether an error with this code is *transient*: the request may
+    /// succeed if retried (possibly against another server). This is the
+    /// `Retryable`/`Fatal` split of the failure model (DESIGN.md §10) —
+    /// transport-level failures are retryable, semantic failures are not.
+    /// Note retryable ≠ safe-to-auto-retry: only idempotent operations are
+    /// retried automatically; for the rest the caller decides.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Closed | ErrorCode::Io | ErrorCode::Unavailable | ErrorCode::Timeout
+        )
     }
 }
 
@@ -87,6 +109,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Protocol => "protocol error",
             ErrorCode::Unsupported => "unsupported",
             ErrorCode::ResourceLimit => "resource limit exceeded",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Timeout => "timed out",
         };
         f.write_str(s)
     }
@@ -146,6 +170,21 @@ impl GliderError {
         GliderError::new(ErrorCode::Closed, format!("{what} closed"))
     }
 
+    /// Convenience constructor for [`ErrorCode::Unavailable`].
+    pub fn unavailable(what: impl fmt::Display) -> Self {
+        GliderError::new(ErrorCode::Unavailable, format!("{what} unavailable"))
+    }
+
+    /// Convenience constructor for [`ErrorCode::Timeout`].
+    pub fn timeout(what: impl fmt::Display) -> Self {
+        GliderError::new(ErrorCode::Timeout, format!("{what} timed out"))
+    }
+
+    /// Whether this error is transient (see [`ErrorCode::is_retryable`]).
+    pub fn is_retryable(&self) -> bool {
+        self.code.is_retryable()
+    }
+
     /// The machine-readable classification.
     pub fn code(&self) -> ErrorCode {
         self.code
@@ -193,11 +232,38 @@ mod tests {
             ErrorCode::Protocol,
             ErrorCode::Unsupported,
             ErrorCode::ResourceLimit,
+            ErrorCode::Unavailable,
+            ErrorCode::Timeout,
         ] {
             assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
         }
         assert_eq!(ErrorCode::from_u16(0), None);
         assert_eq!(ErrorCode::from_u16(9999), None);
+    }
+
+    #[test]
+    fn retryable_split_is_transport_vs_semantic() {
+        for code in [
+            ErrorCode::Closed,
+            ErrorCode::Io,
+            ErrorCode::Unavailable,
+            ErrorCode::Timeout,
+        ] {
+            assert!(code.is_retryable(), "{code} should be retryable");
+        }
+        for code in [
+            ErrorCode::NotFound,
+            ErrorCode::AlreadyExists,
+            ErrorCode::InvalidArgument,
+            ErrorCode::OutOfCapacity,
+            ErrorCode::ActionFailed,
+            ErrorCode::Protocol,
+            ErrorCode::Unsupported,
+        ] {
+            assert!(!code.is_retryable(), "{code} should be fatal");
+        }
+        assert!(GliderError::timeout("call").is_retryable());
+        assert!(!GliderError::not_found("/a").is_retryable());
     }
 
     #[test]

@@ -104,6 +104,17 @@ pub enum RequestBody {
         /// `(block, used bytes)` pairs, applied in order.
         commits: Vec<(BlockId, u64)>,
     },
+    /// Swaps one block of a data node's chain for a freshly allocated one
+    /// *at the same chain position*, releasing the old block. Writers use
+    /// this when a write to `block_id` fails because its server died: the
+    /// replacement comes from a live server of the same class, and chain
+    /// order (and therefore read order) is preserved.
+    ReplaceBlock {
+        /// The node owning the chain.
+        node_id: NodeId,
+        /// The block to replace (must be in the node's chain).
+        block_id: BlockId,
+    },
     /// Registers a storage server and its capacity with the metadata plane.
     RegisterServer {
         /// Data or active server.
@@ -118,6 +129,14 @@ pub enum RequestBody {
     /// Requests the server's observability snapshot (latency histograms,
     /// gauges, counters). Answered uniformly by every Glider server.
     Stats,
+    /// A storage/active server's periodic liveness beacon to the metadata
+    /// plane. Refreshes the sender's TTL lease; servers that stay silent
+    /// past the lease are marked `Suspect`, then `Dead`, and excluded from
+    /// allocation until they re-register.
+    Heartbeat {
+        /// The id assigned at registration.
+        server_id: ServerId,
+    },
 
     // ---- data plane ----
     /// Writes `data` into a block at `offset`.
@@ -204,6 +223,8 @@ impl RequestBody {
             RequestBody::Stats => 8,
             RequestBody::AddBlocks { .. } => 9,
             RequestBody::CommitBlocks { .. } => 10,
+            RequestBody::Heartbeat { .. } => 11,
+            RequestBody::ReplaceBlock { .. } => 12,
             RequestBody::WriteBlock { .. } => 20,
             RequestBody::ReadBlock { .. } => 21,
             RequestBody::FreeBlocks { .. } => 22,
@@ -230,6 +251,8 @@ impl RequestBody {
             RequestBody::Stats => "stats",
             RequestBody::AddBlocks { .. } => "add-blocks",
             RequestBody::CommitBlocks { .. } => "commit-blocks",
+            RequestBody::Heartbeat { .. } => "heartbeat",
+            RequestBody::ReplaceBlock { .. } => "replace-block",
             RequestBody::WriteBlock { .. } => "write-block",
             RequestBody::ReadBlock { .. } => "read-block",
             RequestBody::FreeBlocks { .. } => "free-blocks",
@@ -262,6 +285,44 @@ impl RequestBody {
             RequestBody::WriteBlock { data, .. } => Some(data),
             RequestBody::StreamChunk { data, .. } => Some(data),
             _ => None,
+        }
+    }
+
+    /// Whether retrying this operation after an ambiguous transport
+    /// failure is always safe (the request either never executed or
+    /// executing it twice is indistinguishable from once). Idempotent
+    /// operations are retried automatically by the RPC layer;
+    /// non-idempotent ones surface their retryable error to the caller,
+    /// who knows whether a duplicate is acceptable (DESIGN.md §10).
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            // Pure reads, liveness, and re-registration (registry keyed by
+            // address) are safe to replay.
+            RequestBody::Hello { .. }
+            | RequestBody::LookupNode { .. }
+            | RequestBody::ListChildren { .. }
+            | RequestBody::Stats
+            | RequestBody::Heartbeat { .. }
+            | RequestBody::ReadBlock { .. }
+            | RequestBody::StreamFetch { .. } => true,
+            // Mutations: a lost response leaves the caller unsure whether
+            // the side effect (allocation, commit, chunk append, slot
+            // creation, ...) happened.
+            RequestBody::CreateNode { .. }
+            | RequestBody::DeleteNode { .. }
+            | RequestBody::AddBlock { .. }
+            | RequestBody::AddBlocks { .. }
+            | RequestBody::ReplaceBlock { .. }
+            | RequestBody::CommitBlock { .. }
+            | RequestBody::CommitBlocks { .. }
+            | RequestBody::RegisterServer { .. }
+            | RequestBody::WriteBlock { .. }
+            | RequestBody::FreeBlocks { .. }
+            | RequestBody::ActionCreate { .. }
+            | RequestBody::ActionDelete { .. }
+            | RequestBody::StreamOpen { .. }
+            | RequestBody::StreamChunk { .. }
+            | RequestBody::StreamClose { .. } => false,
         }
     }
 }
@@ -321,6 +382,11 @@ impl Request {
                 capacity_blocks.encode(buf);
             }
             RequestBody::Stats => {}
+            RequestBody::Heartbeat { server_id } => server_id.encode(buf),
+            RequestBody::ReplaceBlock { node_id, block_id } => {
+                node_id.encode(buf);
+                block_id.encode(buf);
+            }
             RequestBody::WriteBlock {
                 block_id,
                 offset,
@@ -425,6 +491,13 @@ impl Wire for Request {
             10 => RequestBody::CommitBlocks {
                 node_id: NodeId::decode(buf)?,
                 commits: Vec::decode(buf)?,
+            },
+            11 => RequestBody::Heartbeat {
+                server_id: ServerId::decode(buf)?,
+            },
+            12 => RequestBody::ReplaceBlock {
+                node_id: NodeId::decode(buf)?,
+                block_id: BlockId::decode(buf)?,
             },
             20 => RequestBody::WriteBlock {
                 block_id: BlockId::decode(buf)?,
@@ -816,6 +889,42 @@ mod tests {
             stream_id: StreamId(8),
         });
         round_trip_req(RequestBody::Stats);
+        round_trip_req(RequestBody::Heartbeat {
+            server_id: ServerId(5),
+        });
+        round_trip_req(RequestBody::ReplaceBlock {
+            node_id: NodeId(1),
+            block_id: BlockId(2),
+        });
+    }
+
+    #[test]
+    fn idempotency_split_matches_retry_matrix() {
+        assert!(RequestBody::LookupNode { path: "/a".into() }.is_idempotent());
+        assert!(RequestBody::Stats.is_idempotent());
+        assert!(RequestBody::Heartbeat {
+            server_id: ServerId(1)
+        }
+        .is_idempotent());
+        assert!(RequestBody::ReadBlock {
+            block_id: BlockId(1),
+            offset: 0,
+            len: 8
+        }
+        .is_idempotent());
+        assert!(!RequestBody::WriteBlock {
+            block_id: BlockId(1),
+            offset: 0,
+            data: Bytes::from_static(b"x"),
+        }
+        .is_idempotent());
+        assert!(!RequestBody::CommitBlock {
+            node_id: NodeId(1),
+            block_id: BlockId(1),
+            len: 1
+        }
+        .is_idempotent());
+        assert!(!RequestBody::DeleteNode { path: "/a".into() }.is_idempotent());
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod server;
 pub mod tier;
 
 pub use block::BlockStore;
-pub use server::{StorageServer, StorageServerConfig};
+pub use server::{StorageServer, StorageServerConfig, DEFAULT_HEARTBEAT_INTERVAL};
 pub use tier::TierModel;

@@ -9,6 +9,12 @@ use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::types::{ServerId, ServerKind, StorageClass};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Default interval between liveness heartbeats to the metadata server:
+/// a third of the metadata server's default lease, so a healthy server
+/// gets three chances per lease.
+pub const DEFAULT_HEARTBEAT_INTERVAL: Duration = Duration::from_secs(1);
 
 /// Configuration for a data storage server.
 #[derive(Debug, Clone)]
@@ -25,6 +31,9 @@ pub struct StorageServerConfig {
     pub block_size: u64,
     /// Device cost model; `None` derives it from the class name.
     pub tier: Option<TierModel>,
+    /// Interval between liveness heartbeats. Must stay below the metadata
+    /// server's lease or the sweeper will demote a healthy server.
+    pub heartbeat_interval: Duration,
 }
 
 impl StorageServerConfig {
@@ -37,7 +46,16 @@ impl StorageServerConfig {
             capacity_blocks,
             block_size,
             tier: None,
+            heartbeat_interval: DEFAULT_HEARTBEAT_INTERVAL,
         }
+    }
+
+    /// Sets the heartbeat interval (chaos tests shrink it along with the
+    /// metadata lease).
+    #[must_use]
+    pub fn with_heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.heartbeat_interval = interval;
+        self
     }
 }
 
@@ -50,6 +68,7 @@ pub struct StorageServer {
     handle: ServerHandle,
     server_id: ServerId,
     store: Arc<BlockStore>,
+    heartbeat: tokio::task::JoinHandle<()>,
 }
 
 impl StorageServer {
@@ -101,10 +120,12 @@ impl StorageServer {
             metrics: Arc::clone(&metrics),
         });
         let handle = glider_net::rpc::serve(listener, handler, metrics, Tier::Storage);
+        let heartbeat = tokio::spawn(heartbeat_loop(meta, server_id, config.heartbeat_interval));
         Ok(StorageServer {
             handle,
             server_id,
             store,
+            heartbeat,
         })
     }
 
@@ -125,7 +146,27 @@ impl StorageServer {
 
     /// Stops the server.
     pub fn shutdown(&self) {
+        self.heartbeat.abort();
         self.handle.shutdown();
+    }
+}
+
+impl Drop for StorageServer {
+    fn drop(&mut self) {
+        self.heartbeat.abort();
+    }
+}
+
+/// Periodically refreshes this server's liveness lease at the metadata
+/// server (DESIGN.md §10). Transient failures are absorbed by the RPC
+/// layer's retry/reconnect path; a `NotFound` (the registry retired this
+/// entry) cannot be healed from here — re-registering would mint block
+/// ids the local store does not own — so the loop keeps beating in case
+/// the metadata server returns with restored state.
+async fn heartbeat_loop(meta: RpcClient, server_id: ServerId, interval: Duration) {
+    loop {
+        tokio::time::sleep(interval).await;
+        let _ = meta.call_ok(RequestBody::Heartbeat { server_id }).await;
     }
 }
 

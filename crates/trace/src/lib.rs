@@ -339,10 +339,11 @@ impl Subscriber for CapturingSubscriber {
     }
 
     fn on_event(&self, name: &str, message: &str, ctx: SpanContext) {
-        self.events
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push((name.to_string(), message.to_string(), ctx));
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push((
+            name.to_string(),
+            message.to_string(),
+            ctx,
+        ));
     }
 }
 

@@ -77,7 +77,10 @@ async fn one_client_op_produces_a_connected_span_tree() {
     assert!(!root.remote);
 
     let dispatch = by_name("rpc.dispatch");
-    assert!(dispatch.remote, "dispatch continues the trace over the wire");
+    assert!(
+        dispatch.remote,
+        "dispatch continues the trace over the wire"
+    );
     assert_eq!(dispatch.parent_span, 0, "its parent lives in the client");
 
     assert_eq!(by_name("active.handle").parent_span, dispatch.span_id);
