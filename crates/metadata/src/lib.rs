@@ -39,7 +39,7 @@ use glider_net::rpc::{ConnCtx, RpcHandler, ServerHandle};
 use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::types::{BlockLocation, NodeId, NodeKind, StorageClass};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
-use parking_lot::Mutex;
+use glider_util::lockorder::{LockRank, OrderedMutex};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -182,15 +182,19 @@ impl MetadataServer {
         let shard_count = options.namespace_shards.clamp(1, 64);
         let shards = (0..shard_count)
             .map(|s| {
-                Mutex::new(Namespace::with_id_base(
-                    options.id_base + ((s as u64) << SHARD_ID_SHIFT),
-                ))
+                OrderedMutex::new(
+                    LockRank::NamespaceShard,
+                    Namespace::with_id_base(options.id_base + ((s as u64) << SHARD_ID_SHIFT)),
+                )
             })
             .collect();
         let lease = options.lease;
         let handler = Arc::new(MetadataHandler {
             shards,
-            reg: Mutex::new(ServerRegistry::with_id_base(options.id_base)),
+            reg: OrderedMutex::new(
+                LockRank::Registry,
+                ServerRegistry::with_id_base(options.id_base),
+            ),
             options,
             metrics: Arc::clone(&metrics),
         });
@@ -259,10 +263,12 @@ fn allocate_with_fallback(
 
 struct MetadataHandler {
     /// Namespace shards, routed by top-level path component. Lock order:
-    /// one shard, then (optionally) `reg` — never two shards at once.
-    shards: Vec<Mutex<Namespace>>,
+    /// one shard, then (optionally) `reg` — never two shards at once. The
+    /// ordering is declared via [`LockRank`] and enforced at runtime in
+    /// debug builds (and statically by `cargo xtask lint`).
+    shards: Vec<OrderedMutex<Namespace>>,
     /// The block allocator, shared by every shard.
-    reg: Mutex<ServerRegistry>,
+    reg: OrderedMutex<ServerRegistry>,
     options: MetadataOptions,
     /// The server's metrics registry; liveness census is pushed here so
     /// the uniformly-served Stats RPC reports it.
@@ -271,12 +277,17 @@ struct MetadataHandler {
 
 impl MetadataHandler {
     /// The shard owning `path` (same hash as client partition routing).
-    fn shard_for_path(&self, path: &NodePath) -> &Mutex<Namespace> {
-        &self.shards[shard_of(path.as_str(), self.shards.len())]
+    /// `shard_of` reduces modulo the shard count, so the lookup cannot
+    /// miss; the error arm keeps the dispatch path free of indexing.
+    fn shard_for_path(&self, path: &NodePath) -> GliderResult<&OrderedMutex<Namespace>> {
+        let idx = shard_of(path.as_str(), self.shards.len());
+        self.shards
+            .get(idx)
+            .ok_or_else(|| GliderError::invalid(format!("no shard for path {}", path.as_str())))
     }
 
     /// The shard that minted `id`, recovered from the id's shard bits.
-    fn shard_for_id(&self, id: NodeId) -> GliderResult<&Mutex<Namespace>> {
+    fn shard_for_id(&self, id: NodeId) -> GliderResult<&OrderedMutex<Namespace>> {
         let rel = id.0.wrapping_sub(self.options.id_base);
         let idx = (rel >> SHARD_ID_SHIFT) as usize;
         self.shards
@@ -390,12 +401,16 @@ impl MetadataHandler {
                 action,
             } => {
                 let path = NodePath::parse(&path)?;
-                let mut ns = self.shard_for_path(&path).lock();
+                let mut ns = self.shard_for_path(&path)?.lock();
                 let node_id = ns.create(path.clone(), kind, storage_class, action)?.id;
                 // KeyValue and Action nodes get their single block up
                 // front so clients reach storage with one metadata trip.
                 if matches!(kind, NodeKind::KeyValue | NodeKind::Action) {
-                    let class = ns.get(node_id).expect("just created").storage_class.clone();
+                    let class = ns
+                        .get(node_id)
+                        .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?
+                        .storage_class
+                        .clone();
                     if let Err(e) = self.add_blocks_locked(&mut ns, node_id, &class, 1) {
                         // Roll back the node so the failure is atomic.
                         let _ = ns.delete(&path);
@@ -403,18 +418,20 @@ impl MetadataHandler {
                     }
                 }
                 Ok(ResponseBody::Node(
-                    ns.get(node_id).expect("just created").info(),
+                    ns.get(node_id)
+                        .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?
+                        .info(),
                 ))
             }
             RequestBody::LookupNode { path } => {
                 let path = NodePath::parse(&path)?;
                 Ok(ResponseBody::Node(
-                    self.shard_for_path(&path).lock().lookup(&path)?.info(),
+                    self.shard_for_path(&path)?.lock().lookup(&path)?.info(),
                 ))
             }
             RequestBody::DeleteNode { path } => {
                 let path = NodePath::parse(&path)?;
-                let mut ns = self.shard_for_path(&path).lock();
+                let mut ns = self.shard_for_path(&path)?.lock();
                 let out = ns.delete(&path)?;
                 // Return freed capacity to the allocator. The client is
                 // responsible for releasing the actual bytes/objects on the
@@ -448,7 +465,7 @@ impl MetadataHandler {
                     return Ok(ResponseBody::Children(names));
                 }
                 Ok(ResponseBody::Children(
-                    self.shard_for_path(&path).lock().list_children(&path)?,
+                    self.shard_for_path(&path)?.lock().list_children(&path)?,
                 ))
             }
             RequestBody::AddBlock { node_id } => {
@@ -459,9 +476,9 @@ impl MetadataHandler {
                     .storage_class
                     .clone();
                 let extents = self.add_blocks_locked(&mut ns, node_id, &class, 1)?;
-                Ok(ResponseBody::Block(
-                    extents.into_iter().next().expect("one block requested"),
-                ))
+                Ok(ResponseBody::Block(extents.into_iter().next().ok_or_else(
+                    || GliderError::new(ErrorCode::OutOfCapacity, "no block allocated"),
+                )?))
             }
             RequestBody::AddBlocks { node_id, count } => {
                 if count == 0 {
@@ -503,8 +520,9 @@ impl MetadataHandler {
                     }
                 }
                 for (block_id, len) in commits {
-                    ns.commit_block(node_id, block_id, len)
-                        .expect("validated above");
+                    // Pre-validated above; an error here still propagates
+                    // cleanly rather than killing the server.
+                    ns.commit_block(node_id, block_id, len)?;
                 }
                 Ok(ResponseBody::Ok)
             }

@@ -1,0 +1,123 @@
+//! Loom model of the `LogHistogram` concurrency contract.
+//!
+//! The histogram's entire synchronization story is "one relaxed
+//! `fetch_add` per record, relaxed loads per snapshot" (see
+//! `src/hist.rs`). These models let loom enumerate every interleaving of
+//! that story and check the documented guarantees:
+//!
+//! - **losslessness**: after all recorders finish, a snapshot holds
+//!   exactly one count per recorded value — relaxed ordering may delay
+//!   visibility, but `fetch_add` can never drop or split an increment;
+//! - **monotonic snapshots**: a snapshot taken *during* recording never
+//!   over-counts (it sees a subset of the increments, never an invention).
+//!
+//! This file only compiles under `RUSTFLAGS="--cfg loom"`; the `loom`
+//! crate is provisioned by the CI `loom` job (`cargo add loom --dev`)
+//! rather than carried as a permanent dependency of the workspace.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+/// Loom mirror of `LogHistogram`: same bucket math, same orderings,
+/// loom's atomics. Kept deliberately byte-for-byte parallel to
+/// `glider_metrics::hist` so a change to the real orderings must be
+/// mirrored (and re-model-checked) here.
+const BUCKETS: usize = 8; // 64 in production; smaller keeps loom tractable
+
+fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+struct ModelHist {
+    buckets: Vec<AtomicU64>,
+}
+
+impl ModelHist {
+    fn new() -> Self {
+        ModelHist {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[test]
+fn concurrent_records_are_lossless() {
+    loom::model(|| {
+        let hist = Arc::new(ModelHist::new());
+        let a = {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                hist.record(0); // bucket 0
+                hist.record(3); // bucket 2
+            })
+        };
+        let b = {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                hist.record(3); // bucket 2 — contends with thread a
+                hist.record(100); // bucket 7 (clamped)
+            })
+        };
+        a.join().unwrap();
+        b.join().unwrap();
+        let snap = hist.snapshot();
+        assert_eq!(snap[0], 1, "value 0 recorded once");
+        assert_eq!(snap[2], 2, "both contended records of 3 survive");
+        assert_eq!(snap[BUCKETS - 1], 1, "clamped value recorded once");
+        assert_eq!(snap.iter().sum::<u64>(), 4, "no count lost or split");
+    });
+}
+
+#[test]
+fn mid_flight_snapshot_never_overcounts() {
+    loom::model(|| {
+        let hist = Arc::new(ModelHist::new());
+        let recorder = {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                hist.record(1);
+                hist.record(1);
+            })
+        };
+        // Snapshot races the recorder: any prefix of the increments is
+        // legal, inventing counts is not.
+        let seen: u64 = hist.snapshot().iter().sum();
+        assert!(seen <= 2, "snapshot saw {seen} increments out of 2");
+        recorder.join().unwrap();
+        let settled: u64 = hist.snapshot().iter().sum();
+        assert_eq!(settled, 2, "all increments visible after join");
+    });
+}
+
+#[test]
+fn merge_of_disjoint_snapshots_is_additive() {
+    loom::model(|| {
+        let hist = Arc::new(ModelHist::new());
+        let t = {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || hist.record(5))
+        };
+        hist.record(9);
+        t.join().unwrap();
+        // Snapshot-merge invariant (HistogramSnapshot::merge is plain
+        // per-bucket addition): merging two post-join snapshots doubles
+        // every bucket, and a single snapshot holds both threads' counts.
+        let snap = hist.snapshot();
+        let merged: Vec<u64> = snap.iter().zip(&snap).map(|(a, b)| a + b).collect();
+        assert_eq!(snap.iter().sum::<u64>(), 2);
+        assert_eq!(merged.iter().sum::<u64>(), 4);
+    });
+}

@@ -1,0 +1,168 @@
+//! Loom model of the RPC pending-reply map.
+//!
+//! The client channel keeps `Arc<Mutex<Option<HashMap<id, waiter>>>>`
+//! (see `src/rpc.rs`): callers insert a waiter before sending, the
+//! reader task removes-and-completes it on response, the caller
+//! withdraws it on timeout, and connection close `take()`s the whole map
+//! and fails every leftover. The safety properties loom checks across
+//! all interleavings:
+//!
+//! - **exactly-once completion**: a response racing a timeout never
+//!   completes the same waiter twice, and never resurrects a withdrawn
+//!   one;
+//! - **no lost waiter**: once `take()` runs, every in-flight waiter is
+//!   failed and every later insert is refused (`None` map ⇒ Closed) —
+//!   a caller can never block forever on a waiter nobody owns.
+//!
+//! This file only compiles under `RUSTFLAGS="--cfg loom"`; the `loom`
+//! crate is provisioned by the CI `loom` job (`cargo add loom --dev`)
+//! rather than carried as a permanent dependency of the workspace.
+#![cfg(loom)]
+
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+use std::collections::HashMap;
+
+/// Outcome delivered to a waiter; stands in for the tokio oneshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Response,
+    ClosedInFlight,
+}
+
+/// One waiter cell: completed at most once, observed by the caller.
+type Waiter = Arc<Mutex<Option<Outcome>>>;
+
+/// The modeled pending table, shaped exactly like `rpc.rs`'s `Pending`.
+type Pending = Arc<Mutex<Option<HashMap<u64, Waiter>>>>;
+
+fn complete(w: &Waiter, outcome: Outcome) {
+    let mut slot = w.lock().unwrap();
+    assert!(slot.is_none(), "waiter completed twice: {:?} then {outcome:?}", *slot);
+    *slot = Some(outcome);
+}
+
+/// `channel_call`'s insert step: `Some(map)` accepts, `None` refuses.
+fn try_insert(pending: &Pending, id: u64, w: Waiter) -> bool {
+    match pending.lock().unwrap().as_mut() {
+        Some(map) => {
+            map.insert(id, w);
+            true
+        }
+        None => false,
+    }
+}
+
+/// `reader_task`'s response step: remove-then-complete outside the lock.
+fn deliver_response(pending: &Pending, id: u64) {
+    let waiter = pending.lock().unwrap().as_mut().and_then(|m| m.remove(&id));
+    if let Some(w) = waiter {
+        complete(&w, Outcome::Response);
+    }
+}
+
+/// `channel_call`'s timeout step: withdraw without completing.
+fn withdraw(pending: &Pending, id: u64) {
+    pending.lock().unwrap().as_mut().map(|m| m.remove(&id));
+}
+
+/// `reader_task`'s shutdown step: take the map, fail the leftovers.
+fn close(pending: &Pending) {
+    let map = pending.lock().unwrap().take();
+    if let Some(map) = map {
+        for (_, w) in map {
+            complete(&w, Outcome::ClosedInFlight);
+        }
+    }
+}
+
+fn new_pending() -> Pending {
+    Arc::new(Mutex::new(Some(HashMap::new())))
+}
+
+#[test]
+fn response_and_timeout_race_completes_at_most_once() {
+    loom::model(|| {
+        let pending = new_pending();
+        let waiter: Waiter = Arc::new(Mutex::new(None));
+        assert!(try_insert(&pending, 1, Arc::clone(&waiter)));
+
+        let reader = {
+            let pending = Arc::clone(&pending);
+            thread::spawn(move || deliver_response(&pending, 1))
+        };
+        // The caller times out concurrently with the response arriving.
+        withdraw(&pending, 1);
+        reader.join().unwrap();
+
+        // Either the response won (waiter completed once) or the
+        // withdrawal won (waiter never completed) — `complete` itself
+        // asserts the never-twice half.
+        let outcome = *waiter.lock().unwrap();
+        assert!(
+            outcome.is_none() || outcome == Some(Outcome::Response),
+            "timed-out waiter must not observe {outcome:?}"
+        );
+        // Whoever lost finds nothing: the entry is gone.
+        assert!(pending.lock().unwrap().as_mut().unwrap().remove(&1).is_none());
+    });
+}
+
+#[test]
+fn close_fails_every_in_flight_waiter_and_refuses_new_ones() {
+    loom::model(|| {
+        let pending = new_pending();
+        let in_flight: Waiter = Arc::new(Mutex::new(None));
+        assert!(try_insert(&pending, 1, Arc::clone(&in_flight)));
+
+        let late: Waiter = Arc::new(Mutex::new(None));
+        let inserter = {
+            let pending = Arc::clone(&pending);
+            let late = Arc::clone(&late);
+            thread::spawn(move || try_insert(&pending, 2, late))
+        };
+        let closer = {
+            let pending = Arc::clone(&pending);
+            thread::spawn(move || close(&pending))
+        };
+        let inserted = inserter.join().unwrap();
+        closer.join().unwrap();
+
+        // The pre-close waiter is always failed exactly once...
+        assert_eq!(*in_flight.lock().unwrap(), Some(Outcome::ClosedInFlight));
+        // ...and the racing insert either lost (refused: caller sees
+        // Closed immediately) or won and was then failed by close —
+        // never inserted-and-forgotten.
+        let late_outcome = *late.lock().unwrap();
+        if inserted {
+            assert_eq!(late_outcome, Some(Outcome::ClosedInFlight));
+        } else {
+            assert_eq!(late_outcome, None);
+        }
+        // After close the map stays None: all future calls fail fast.
+        assert!(pending.lock().unwrap().is_none());
+        assert!(!try_insert(&pending, 3, Arc::new(Mutex::new(None))));
+    });
+}
+
+#[test]
+fn two_callers_two_responses_all_complete() {
+    loom::model(|| {
+        let pending = new_pending();
+        let w1: Waiter = Arc::new(Mutex::new(None));
+        let w2: Waiter = Arc::new(Mutex::new(None));
+        assert!(try_insert(&pending, 1, Arc::clone(&w1)));
+        assert!(try_insert(&pending, 2, Arc::clone(&w2)));
+
+        let r1 = {
+            let pending = Arc::clone(&pending);
+            thread::spawn(move || deliver_response(&pending, 1))
+        };
+        deliver_response(&pending, 2);
+        r1.join().unwrap();
+
+        assert_eq!(*w1.lock().unwrap(), Some(Outcome::Response));
+        assert_eq!(*w2.lock().unwrap(), Some(Outcome::Response));
+        assert!(pending.lock().unwrap().as_ref().unwrap().is_empty());
+    });
+}

@@ -86,11 +86,31 @@ impl ErrorCode {
     /// transport-level failures are retryable, semantic failures are not.
     /// Note retryable ≠ safe-to-auto-retry: only idempotent operations are
     /// retried automatically; for the rest the caller decides.
+    ///
+    /// The match is deliberately exhaustive (no `_` arm): adding an
+    /// `ErrorCode` variant without deciding its retry class is a compile
+    /// error here and a `cargo xtask lint` failure.
     pub fn is_retryable(self) -> bool {
-        matches!(
-            self,
-            ErrorCode::Closed | ErrorCode::Io | ErrorCode::Unavailable | ErrorCode::Timeout
-        )
+        match self {
+            // Transport-level: the operation may never have reached (or
+            // never answered from) the server — another attempt can win.
+            ErrorCode::Closed => true,
+            ErrorCode::Io => true,
+            ErrorCode::Unavailable => true,
+            ErrorCode::Timeout => true,
+            // Semantic: the server understood the request and said no;
+            // retrying the same request yields the same answer.
+            ErrorCode::NotFound => false,
+            ErrorCode::AlreadyExists => false,
+            ErrorCode::InvalidArgument => false,
+            ErrorCode::WrongNodeKind => false,
+            ErrorCode::OutOfCapacity => false,
+            ErrorCode::UnknownActionType => false,
+            ErrorCode::ActionFailed => false,
+            ErrorCode::Protocol => false,
+            ErrorCode::Unsupported => false,
+            ErrorCode::ResourceLimit => false,
+        }
     }
 }
 

@@ -1,0 +1,318 @@
+//! Golden wire-format snapshot tests.
+//!
+//! One committed byte-level fixture (`tests/golden/*.hex`) per
+//! `Request`/`Response` variant, covering the full frame: length prefix,
+//! kind byte, header, and out-of-band payload where the variant carries
+//! one. Each test checks both directions — today's encoder must produce
+//! exactly the committed bytes, and the committed bytes must decode back
+//! to the same value — so any codec change that breaks compatibility
+//! with already-deployed peers fails loudly here.
+//!
+//! If a change is *intentionally* incompatible, regenerate the fixture
+//! and say so in the commit; never edit a fixture to paper over an
+//! accidental drift.
+
+use bytes::{Bytes, BytesMut};
+use glider_proto::frame::{decode_frame, encode_frame, Frame};
+use glider_proto::message::{Request, RequestBody, Response, ResponseBody};
+use glider_proto::stats::{NamedValue, OpLatency, StatsPayload};
+use glider_proto::types::{
+    ActionSpec, BlockExtent, BlockId, BlockLocation, NodeId, NodeInfo, NodeKind, PeerTier,
+    ServerId, ServerKind, StorageClass, StreamDir, StreamId,
+};
+
+fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn from_hex(hex: &str) -> Vec<u8> {
+    assert!(hex.len() % 2 == 0, "odd-length fixture hex");
+    (0..hex.len() / 2)
+        .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).expect("invalid fixture hex"))
+        .collect()
+}
+
+/// Asserts the frame encodes to exactly the committed fixture bytes and
+/// that the fixture bytes decode back to the same frame.
+fn check(fixture: &str, frame: Frame) {
+    let expected = fixture.trim();
+    let mut buf = BytesMut::new();
+    encode_frame(&frame, &mut buf);
+    assert_eq!(
+        to_hex(&buf),
+        expected,
+        "encoding no longer matches the committed fixture (wire-format break)"
+    );
+    let mut wire = BytesMut::from(&from_hex(expected)[..]);
+    let decoded = decode_frame(&mut wire)
+        .expect("committed fixture must decode")
+        .expect("committed fixture must hold a complete frame");
+    assert_eq!(decoded, frame, "fixture decodes to a different value");
+    assert!(wire.is_empty(), "fixture holds trailing bytes");
+}
+
+fn req(body: RequestBody) -> Frame {
+    Frame::Request(Request {
+        id: 1,
+        trace_id: 2,
+        body,
+    })
+}
+
+fn resp(body: ResponseBody) -> Frame {
+    Frame::Response(Response { id: 1, body })
+}
+
+fn extent() -> BlockExtent {
+    BlockExtent {
+        loc: BlockLocation {
+            block_id: BlockId(4),
+            server_id: ServerId(2),
+            addr: "a".to_string(),
+        },
+        len: 5,
+    }
+}
+
+macro_rules! golden {
+    ($name:ident, $frame:expr) => {
+        #[test]
+        fn $name() {
+            check(
+                include_str!(concat!("golden/", stringify!($name), ".hex")),
+                $frame,
+            );
+        }
+    };
+}
+
+// ---- requests ----
+
+golden!(
+    req_hello,
+    req(RequestBody::Hello {
+        tier: PeerTier::Compute,
+    })
+);
+golden!(
+    req_create_node,
+    req(RequestBody::CreateNode {
+        path: "/a".to_string(),
+        kind: NodeKind::File,
+        storage_class: Some(StorageClass::dram()),
+        action: None,
+    })
+);
+golden!(
+    req_lookup_node,
+    req(RequestBody::LookupNode {
+        path: "/a".to_string(),
+    })
+);
+golden!(
+    req_delete_node,
+    req(RequestBody::DeleteNode {
+        path: "/a".to_string(),
+    })
+);
+golden!(
+    req_list_children,
+    req(RequestBody::ListChildren {
+        path: "/".to_string(),
+    })
+);
+golden!(req_add_block, req(RequestBody::AddBlock { node_id: NodeId(3) }));
+golden!(
+    req_commit_block,
+    req(RequestBody::CommitBlock {
+        node_id: NodeId(3),
+        block_id: BlockId(4),
+        len: 5,
+    })
+);
+golden!(
+    req_register_server,
+    req(RequestBody::RegisterServer {
+        kind: ServerKind::Data,
+        storage_class: StorageClass::dram(),
+        addr: "a".to_string(),
+        capacity_blocks: 7,
+    })
+);
+golden!(req_stats, req(RequestBody::Stats));
+golden!(
+    req_add_blocks,
+    req(RequestBody::AddBlocks {
+        node_id: NodeId(3),
+        count: 2,
+    })
+);
+golden!(
+    req_commit_blocks,
+    req(RequestBody::CommitBlocks {
+        node_id: NodeId(3),
+        commits: vec![(BlockId(4), 5), (BlockId(6), 7)],
+    })
+);
+golden!(
+    req_heartbeat,
+    req(RequestBody::Heartbeat {
+        server_id: ServerId(9),
+    })
+);
+golden!(
+    req_replace_block,
+    req(RequestBody::ReplaceBlock {
+        node_id: NodeId(3),
+        block_id: BlockId(4),
+    })
+);
+golden!(
+    req_write_block,
+    req(RequestBody::WriteBlock {
+        block_id: BlockId(4),
+        offset: 1,
+        data: Bytes::from_static(b"hi"),
+    })
+);
+golden!(
+    req_read_block,
+    req(RequestBody::ReadBlock {
+        block_id: BlockId(4),
+        offset: 1,
+        len: 2,
+    })
+);
+golden!(
+    req_free_blocks,
+    req(RequestBody::FreeBlocks {
+        block_ids: vec![BlockId(4), BlockId(6)],
+    })
+);
+golden!(
+    req_action_create,
+    req(RequestBody::ActionCreate {
+        node_id: NodeId(3),
+        block_id: BlockId(4),
+        spec: ActionSpec {
+            type_name: "merge".to_string(),
+            interleaved: true,
+            params: "k=v".to_string(),
+        },
+    })
+);
+golden!(
+    req_action_delete,
+    req(RequestBody::ActionDelete { node_id: NodeId(3) })
+);
+golden!(
+    req_stream_open,
+    req(RequestBody::StreamOpen {
+        node_id: NodeId(3),
+        dir: StreamDir::Write,
+    })
+);
+golden!(
+    req_stream_chunk,
+    req(RequestBody::StreamChunk {
+        stream_id: StreamId(8),
+        seq: 1,
+        data: Bytes::from_static(b"hi"),
+    })
+);
+golden!(
+    req_stream_fetch,
+    req(RequestBody::StreamFetch {
+        stream_id: StreamId(8),
+        max_len: 16,
+    })
+);
+golden!(
+    req_stream_close,
+    req(RequestBody::StreamClose {
+        stream_id: StreamId(8),
+    })
+);
+
+// ---- responses ----
+
+golden!(resp_ok, resp(ResponseBody::Ok));
+golden!(
+    resp_node,
+    resp(ResponseBody::Node(NodeInfo {
+        id: NodeId(3),
+        kind: NodeKind::File,
+        size: 5,
+        blocks: vec![extent()],
+        action: None,
+    }))
+);
+golden!(
+    resp_deleted,
+    resp(ResponseBody::Deleted {
+        info: NodeInfo {
+            id: NodeId(3),
+            kind: NodeKind::Directory,
+            size: 0,
+            blocks: vec![],
+            action: None,
+        },
+        extents: vec![extent()],
+        actions: vec![],
+    })
+);
+golden!(
+    resp_children,
+    resp(ResponseBody::Children(vec![
+        "a".to_string(),
+        "b".to_string(),
+    ]))
+);
+golden!(resp_block, resp(ResponseBody::Block(extent())));
+golden!(
+    resp_registered,
+    resp(ResponseBody::Registered {
+        server_id: ServerId(2),
+        first_block_id: BlockId(4),
+    })
+);
+golden!(
+    resp_stream_opened,
+    resp(ResponseBody::StreamOpened {
+        stream_id: StreamId(8),
+    })
+);
+golden!(
+    resp_data,
+    resp(ResponseBody::Data {
+        seq: 1,
+        bytes: Bytes::from_static(b"hi"),
+        eof: true,
+    })
+);
+golden!(resp_written, resp(ResponseBody::Written { n: 2 }));
+golden!(
+    resp_error,
+    resp(ResponseBody::Error {
+        code: 1,
+        message: "x".to_string(),
+    })
+);
+golden!(
+    resp_stats,
+    resp(ResponseBody::Stats(StatsPayload {
+        ops: vec![OpLatency {
+            name: "op".to_string(),
+            buckets: vec![1, 2],
+        }],
+        gauges: vec![NamedValue {
+            name: "g".to_string(),
+            value: 3,
+        }],
+        counters: vec![],
+    }))
+);
+golden!(
+    resp_blocks,
+    resp(ResponseBody::Blocks(vec![extent(), extent()]))
+);

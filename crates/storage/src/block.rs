@@ -3,7 +3,7 @@
 use bytes::Bytes;
 use glider_proto::types::BlockId;
 use glider_proto::{ErrorCode, GliderError, GliderResult};
-use parking_lot::Mutex;
+use glider_util::lockorder::{LockRank, OrderedMutex};
 use std::collections::HashMap;
 
 /// A fixed-block-size in-memory store.
@@ -31,7 +31,7 @@ pub struct BlockStore {
     block_size: u64,
     first: BlockId,
     capacity: u64,
-    blocks: Mutex<HashMap<BlockId, Block>>,
+    blocks: OrderedMutex<HashMap<BlockId, Block>>,
 }
 
 #[derive(Debug)]
@@ -60,7 +60,7 @@ impl BlockStore {
             block_size,
             first,
             capacity,
-            blocks: Mutex::new(HashMap::new()),
+            blocks: OrderedMutex::new(LockRank::BlockMap, HashMap::new()),
         }
     }
 
@@ -114,7 +114,11 @@ impl BlockStore {
         if block.data.len() < end {
             block.data.resize(end, 0);
         }
-        block.data[offset as usize..end].copy_from_slice(&data);
+        block
+            .data
+            .get_mut(offset as usize..end)
+            .ok_or_else(|| GliderError::invalid("write range out of bounds"))?
+            .copy_from_slice(&data);
         block.snapshot = None;
         let grew = end.saturating_sub(block.high_water) as u64;
         block.high_water = block.high_water.max(end);
@@ -162,7 +166,11 @@ impl BlockStore {
                 let mut out = vec![0u8; len as usize];
                 let copy_end = block.data.len();
                 let n = copy_end - offset as usize;
-                out[..n].copy_from_slice(&block.data[offset as usize..copy_end]);
+                if let (Some(dst), Some(src)) =
+                    (out.get_mut(..n), block.data.get(offset as usize..copy_end))
+                {
+                    dst.copy_from_slice(src);
+                }
                 return Ok(Bytes::from(out));
             }
         }

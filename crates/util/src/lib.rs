@@ -18,12 +18,14 @@
 
 pub mod hist;
 pub mod ids;
+pub mod lockorder;
 pub mod rate;
 pub mod size;
 pub mod stopwatch;
 pub mod textgen;
 
 pub use ids::IdGen;
+pub use lockorder::{LockRank, OrderedMutex};
 pub use rate::TokenBucket;
 pub use size::ByteSize;
 pub use stopwatch::Stopwatch;

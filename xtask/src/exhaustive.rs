@@ -1,0 +1,234 @@
+//! Exhaustiveness lint: wire-facing enums must be fully classified in
+//! the functions that gate behavior on them. A new `RequestBody` variant
+//! that never shows up in `is_idempotent` (retry safety) or `op_kind`
+//! (latency accounting) — or an `ErrorCode` missing from `is_retryable`
+//! (failure model) — is exactly the kind of drift `match` wildcards
+//! hide, so this pass checks variant-by-variant presence in the source.
+
+use crate::lexer::{fn_body_range, is_ident_char};
+use crate::Finding;
+
+/// Extracts the variant names of `enum <name>` from stripped source.
+pub fn enum_variants(stripped: &str, name: &str) -> Option<Vec<String>> {
+    let pat = format!("enum {name}");
+    let mut from = 0;
+    let at = loop {
+        let rel = stripped[from..].find(&pat)?;
+        let at = from + rel;
+        let bytes = stripped.as_bytes();
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1] as char);
+        let after = at + pat.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after] as char);
+        if before_ok && after_ok {
+            break at;
+        }
+        from = at + 1;
+    };
+    let chars: Vec<char> = stripped.chars().collect();
+    let mut i = stripped[..at].chars().count();
+    while i < chars.len() && chars[i] != '{' {
+        i += 1;
+    }
+    i += 1; // past the opening brace
+
+    let mut variants = Vec::new();
+    let mut depth = 1usize;
+    // A variant name is the first identifier of each depth-1 "item",
+    // skipping `#[...]` attributes and everything nested in the variant's
+    // own payload (`{...}`, `(...)`) or discriminant (`= ...`).
+    let mut expect_name = true;
+    while i < chars.len() && depth > 0 {
+        let c = chars[i];
+        match c {
+            '{' | '(' | '[' | '<' => {
+                if c == '{' {
+                    depth += 1;
+                } else if depth == 1 {
+                    // A payload/attr opener at variant level: consume the
+                    // balanced group without tracking `{` depth.
+                    let close = match c {
+                        '(' => ')',
+                        '[' => ']',
+                        _ => '>',
+                    };
+                    let mut d = 1;
+                    i += 1;
+                    while i < chars.len() && d > 0 {
+                        if chars[i] == c {
+                            d += 1;
+                        } else if chars[i] == close {
+                            d -= 1;
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            '}' => depth -= 1,
+            ',' if depth == 1 => expect_name = true,
+            '#' if depth == 1 => {} // attribute; its [..] consumed above
+            _ if depth == 1 && expect_name && is_ident_char(c) && !c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                variants.push(chars[start..i].iter().collect());
+                expect_name = false;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some(variants)
+}
+
+/// One exhaustiveness rule: every variant of `enum_name` (declared in
+/// `enum_file`) must be mentioned as `Enum::Variant` inside
+/// `fn fn_name` (found in `fn_file`).
+pub struct Rule<'a> {
+    pub enum_name: &'a str,
+    pub enum_file: &'a str,
+    pub fn_name: &'a str,
+    pub fn_file: &'a str,
+}
+
+/// Checks one rule given the stripped contents of both files.
+pub fn check_rule(rule: &Rule<'_>, enum_src: &str, fn_src: &str) -> Vec<Finding> {
+    let variants = match enum_variants(enum_src, rule.enum_name) {
+        Some(v) if !v.is_empty() => v,
+        _ => {
+            return vec![Finding {
+                file: rule.enum_file.to_string(),
+                line: 0,
+                message: format!(
+                    "exhaustiveness lint could not find `enum {}` — update xtask \
+                     if the enum moved",
+                    rule.enum_name
+                ),
+            }]
+        }
+    };
+    let Some((start, end)) = fn_body_range(fn_src, rule.fn_name) else {
+        return vec![Finding {
+            file: rule.fn_file.to_string(),
+            line: 0,
+            message: format!(
+                "exhaustiveness lint could not find `fn {}` — update xtask if it \
+                 moved",
+                rule.fn_name
+            ),
+        }];
+    };
+    let body = &fn_src[start..end];
+    let mut out = Vec::new();
+    for v in &variants {
+        let qualified = format!("{}::{v}", rule.enum_name);
+        // Presence check with a word boundary after the variant so
+        // `Enum::Foo` does not satisfy a rule for `Enum::Fo`.
+        let mut found = false;
+        let mut from = 0;
+        while let Some(rel) = body[from..].find(&qualified) {
+            let at = from + rel;
+            let after = at + qualified.len();
+            if after >= body.len() || !is_ident_char(body.as_bytes()[after] as char) {
+                found = true;
+                break;
+            }
+            from = at + 1;
+        }
+        if !found {
+            out.push(Finding {
+                file: rule.fn_file.to_string(),
+                line: crate::lexer::line_of(fn_src, start),
+                message: format!(
+                    "`fn {}` does not mention `{qualified}` — classify the new \
+                     variant explicitly (wildcard arms hide protocol drift)",
+                    rule.fn_name
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENUM: &str = "
+        #[non_exhaustive]
+        pub enum Code {
+            #[doc(hidden)]
+            Alpha,
+            Beta { x: u8, nested: Inner },
+            Gamma(Vec<u8>),
+            Delta = 4,
+        }
+    ";
+
+    #[test]
+    fn extracts_variants_with_payloads_attrs_discriminants() {
+        assert_eq!(
+            enum_variants(ENUM, "Code").unwrap(),
+            vec!["Alpha", "Beta", "Gamma", "Delta"]
+        );
+    }
+
+    #[test]
+    fn does_not_match_suffix_named_enums() {
+        let src = "enum NotCode { X } enum Code { Y }";
+        assert_eq!(enum_variants(src, "Code").unwrap(), vec!["Y"]);
+        assert!(enum_variants(src, "Missing").is_none());
+    }
+
+    #[test]
+    fn nested_braces_in_payloads_do_not_leak_variants() {
+        let src = "enum E { A { inner: Foo }, B }";
+        assert_eq!(enum_variants(src, "E").unwrap(), vec!["A", "B"]);
+    }
+
+    fn rule() -> Rule<'static> {
+        Rule {
+            enum_name: "Code",
+            enum_file: "e.rs",
+            fn_name: "classify",
+            fn_file: "f.rs",
+        }
+    }
+
+    #[test]
+    fn complete_function_passes() {
+        let f = "fn classify(c: Code) -> bool { matches!(c, Code::Alpha | Code::Beta { .. } | Code::Gamma(_) | Code::Delta) }";
+        assert!(check_rule(&rule(), ENUM, f).is_empty());
+    }
+
+    #[test]
+    fn missing_variant_is_a_finding() {
+        let f = "fn classify(c: Code) -> bool { matches!(c, Code::Alpha | Code::Beta { .. } | Code::Delta) }";
+        let out = check_rule(&rule(), ENUM, f);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("Code::Gamma"));
+    }
+
+    #[test]
+    fn prefix_match_does_not_satisfy() {
+        let e = "enum E { Foo, Fo }";
+        let r = Rule {
+            enum_name: "E",
+            enum_file: "e.rs",
+            fn_name: "f",
+            fn_file: "f.rs",
+        };
+        let f = "fn f() { E::Foo; }";
+        let out = check_rule(&r, e, f);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("E::Fo`"));
+    }
+
+    #[test]
+    fn missing_enum_or_fn_reports_not_panics() {
+        assert_eq!(check_rule(&rule(), "nothing here", "fn classify() {}").len(), 1);
+        assert_eq!(check_rule(&rule(), ENUM, "no function").len(), 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Static lock-order lint over the metadata/storage planes.
+//!
+//! The declared hierarchy (outermost first) mirrors
+//! `glider_util::lockorder::LockRank`:
+//!
+//! | rank | lock                | deciding identifiers                       |
+//! |------|---------------------|--------------------------------------------|
+//! | 0    | `NamespaceShard`    | `shard`, `shards`, `shard_for_path`, `shard_for_id` |
+//! | 1    | `Registry`          | `reg`                                      |
+//! | 2    | `BlockMap`          | `blocks`                                   |
+//!
+//! The pass scans every `.lock()` call, resolves the receiver to a rank
+//! by its deciding identifier, and tracks which guards are live: a
+//! `let`-bound guard lives to the end of its enclosing block, a
+//! temporary to the end of its statement. Acquiring a rank while an
+//! equal-or-higher rank is held is a finding. Unknown receivers are
+//! ignored (the runtime tracker in `glider-util` is the backstop).
+
+use crate::lexer::{blank_cfg_test, is_ident_char, line_of, strip};
+use crate::Finding;
+
+const RANK_NAMES: [&str; 3] = ["NamespaceShard", "Registry", "BlockMap"];
+
+/// Maps a deciding identifier to its declared rank.
+fn rank_of(ident: &str) -> Option<u8> {
+    match ident {
+        "shard" | "shards" | "shard_for_path" | "shard_for_id" => Some(0),
+        "reg" => Some(1),
+        "blocks" => Some(2),
+        _ => None,
+    }
+}
+
+#[derive(Debug)]
+struct Held {
+    rank: u8,
+    /// Brace depth of the block the guard lives in (`let`-bound), or of
+    /// the statement for a temporary.
+    depth: usize,
+    /// Temporaries die at the next `;`/`}` closing their statement;
+    /// `let`-bound guards die when their block closes.
+    temporary: bool,
+}
+
+/// Scans one file for lock-order violations.
+pub fn scan(rel_path: &str, source: &str) -> Vec<Finding> {
+    let text = blank_cfg_test(&strip(source));
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let pat: Vec<char> = ".lock()".chars().collect();
+
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => depth += 1,
+            '}' => {
+                depth = depth.saturating_sub(1);
+                held.retain(|h| h.depth <= depth);
+            }
+            ';' => held.retain(|h| !(h.temporary && h.depth >= depth)),
+            _ => {}
+        }
+        if chars[i] == '.' && chars.get(i..i + pat.len()) == Some(&pat[..]) {
+            if let Some(ident) = receiver_ident(&chars, i) {
+                if let Some(rank) = rank_of(&ident) {
+                    let byte_pos: usize = chars[..i].iter().map(|c| c.len_utf8()).sum();
+                    for h in &held {
+                        if h.rank >= rank {
+                            out.push(Finding {
+                                file: rel_path.to_string(),
+                                line: line_of(&text, byte_pos),
+                                message: format!(
+                                    "lock-order violation: acquiring {} (rank {rank}) while \
+                                     holding {} (rank {}) — the declared hierarchy is \
+                                     NamespaceShard < Registry < BlockMap, one shard at a time",
+                                    RANK_NAMES[rank as usize],
+                                    RANK_NAMES[h.rank as usize],
+                                    h.rank
+                                ),
+                            });
+                        }
+                    }
+                    // The guard itself is only bound (block lifetime) when
+                    // the statement is `let g = ....lock();` — anything
+                    // chained after `.lock()` consumes the guard within
+                    // the statement, making it a temporary.
+                    let mut after = i + pat.len();
+                    while chars.get(after).is_some_and(|c| c.is_whitespace()) {
+                        after += 1;
+                    }
+                    let bound = chars.get(after) == Some(&';') && statement_is_let(&chars, i);
+                    held.push(Held {
+                        rank,
+                        depth,
+                        temporary: !bound,
+                    });
+                }
+            }
+            i += pat.len();
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Resolves the receiver of `.lock()` at `dot` to its deciding
+/// identifier, walking back over `?` and one balanced `(...)`/`[...]`
+/// group (so `self.shard_for_path(&p)?.lock()` resolves to
+/// `shard_for_path` and `self.reg.lock()` to `reg`).
+fn receiver_ident(chars: &[char], dot: usize) -> Option<String> {
+    let mut i = dot.checked_sub(1)?;
+    loop {
+        match chars[i] {
+            c if c.is_whitespace() || c == '?' => i = i.checked_sub(1)?,
+            ')' | ']' => {
+                let open = if chars[i] == ')' { '(' } else { '[' };
+                let close = chars[i];
+                let mut d = 1;
+                i = i.checked_sub(1)?;
+                while d > 0 {
+                    if chars[i] == close {
+                        d += 1;
+                    } else if chars[i] == open {
+                        d -= 1;
+                    }
+                    if d == 0 {
+                        break;
+                    }
+                    i = i.checked_sub(1)?;
+                }
+                i = i.checked_sub(1)?;
+            }
+            c if is_ident_char(c) => {
+                let end = i + 1;
+                while is_ident_char(chars[i]) {
+                    match i.checked_sub(1) {
+                        Some(p) => i = p,
+                        None => return Some(chars[0..end].iter().collect()),
+                    }
+                }
+                return Some(chars[i + 1..end].iter().collect());
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Whether the statement containing position `at` starts with `let`
+/// (the guard is bound and outlives the statement).
+fn statement_is_let(chars: &[char], at: usize) -> bool {
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        match chars[i] {
+            ';' | '{' | '}' => break,
+            _ => {}
+        }
+    }
+    let mut j = i + 1;
+    while j < chars.len() && chars[j].is_whitespace() {
+        j += 1;
+    }
+    chars.get(j..j + 3) == Some(&['l', 'e', 't'])
+        && chars.get(j + 3).is_none_or(|c| c.is_whitespace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_acquisition_is_clean() {
+        let src = "
+            fn f(&self) {
+                let ns = self.shard_for_path(&path)?.lock();
+                let mut reg = self.reg.lock();
+                let blocks = self.blocks.lock();
+            }
+        ";
+        assert!(scan("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reversed_order_is_flagged() {
+        let src = "
+            fn f(&self) {
+                let mut reg = self.reg.lock();
+                let ns = self.shard_for_path(&path)?.lock();
+            }
+        ";
+        let out = scan("x.rs", src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("NamespaceShard"));
+        assert!(out[0].message.contains("Registry"));
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn nested_same_rank_is_flagged() {
+        let src = "fn f(&self) { let a = self.reg.lock(); let b = self.reg.lock(); }";
+        assert_eq!(scan("x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn guards_die_at_end_of_block() {
+        let src = "
+            fn f(&self) {
+                { let mut reg = self.reg.lock(); }
+                let ns = self.shard_for_id(id)?.lock();
+            }
+        ";
+        assert!(scan("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn temporaries_die_at_end_of_statement() {
+        let src = "
+            fn f(&self) {
+                let n = self.reg.lock().count();
+                let ns = self.shard_for_id(id)?.lock();
+            }
+        ";
+        assert!(scan("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sequential_shard_locks_are_clean_but_nested_are_not() {
+        let clean = "
+            fn f(&self) {
+                for shard in &self.shards {
+                    let ns = shard.lock();
+                }
+            }
+        ";
+        assert!(scan("x.rs", clean).is_empty());
+        let nested = "
+            fn f(&self) {
+                let a = self.shard_for_id(x)?.lock();
+                let b = self.shard_for_id(y)?.lock();
+            }
+        ";
+        assert_eq!(scan("x.rs", nested).len(), 1);
+    }
+
+    #[test]
+    fn unknown_receivers_are_ignored() {
+        let src = "fn f() { let g = some_other_mutex.lock(); let r = self.reg.lock(); }";
+        assert!(scan("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                fn t(&self) {
+                    let b = self.blocks.lock();
+                    let r = self.reg.lock();
+                }
+            }
+        ";
+        assert!(scan("x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! The panic-lint waiver list: committed, counted, shrink-only.
+//!
+//! Format (one waiver per line, `#` starts a comment):
+//!
+//! ```text
+//! <workspace-relative-path> <kind> <count>
+//! crates/storage/src/tier.rs indexing 2
+//! ```
+//!
+//! `kind` is one of `unwrap`, `expect`, `panic`, `indexing`. The count is
+//! an exact ceiling *and floor*: more sites than waived is a lint error
+//! (new debt), and fewer sites than waived is also a lint error (stale
+//! waiver — shrink the list so the ratchet can never silently loosen).
+
+use crate::panics::PanicKind;
+use crate::Finding;
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+pub struct Waivers {
+    entries: HashMap<(String, PanicKind), usize>,
+}
+
+impl Waivers {
+    /// Parses the waiver file. Malformed lines are hard errors: a typo'd
+    /// waiver that silently waived nothing would surface as a confusing
+    /// lint failure elsewhere.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = HashMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (path, kind, count) = match (parts.next(), parts.next(), parts.next(), parts.next())
+            {
+                (Some(p), Some(k), Some(c), None) => (p, k, c),
+                _ => {
+                    return Err(format!(
+                        "lint-waivers.txt:{}: expected `<path> <kind> <count>`, got {raw:?}",
+                        idx + 1
+                    ))
+                }
+            };
+            let kind = PanicKind::from_str(kind).ok_or_else(|| {
+                format!(
+                    "lint-waivers.txt:{}: unknown kind {kind:?} (expected \
+                     unwrap|expect|panic|indexing)",
+                    idx + 1
+                )
+            })?;
+            let count: usize = count.parse().map_err(|_| {
+                format!("lint-waivers.txt:{}: bad count {count:?}", idx + 1)
+            })?;
+            if count == 0 {
+                return Err(format!(
+                    "lint-waivers.txt:{}: zero-count waiver is dead weight; delete the line",
+                    idx + 1
+                ));
+            }
+            if entries.insert((path.to_string(), kind), count).is_some() {
+                return Err(format!(
+                    "lint-waivers.txt:{}: duplicate waiver for {path} {}",
+                    idx + 1,
+                    kind.as_str()
+                ));
+            }
+        }
+        Ok(Waivers { entries })
+    }
+
+    /// The waived count for one file/kind pair.
+    pub fn allowance(&self, path: &str, kind: PanicKind) -> usize {
+        self.entries
+            .get(&(path.to_string(), kind))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Checks the shrink-only ratchet: every waiver must be fully used.
+    /// `actual(path, kind)` returns the number of sites the scan found.
+    /// Returns one finding per stale (under-used) waiver.
+    pub fn stale_findings(&self, mut actual: impl FnMut(&str, PanicKind) -> usize) -> Vec<Finding> {
+        let mut out: Vec<Finding> = self
+            .entries
+            .iter()
+            .filter_map(|((path, kind), &count)| {
+                let found = actual(path, *kind);
+                (found < count).then(|| Finding {
+                    file: "xtask/lint-waivers.txt".to_string(),
+                    line: 0,
+                    message: format!(
+                        "stale waiver: {path} waives {count} `{}` site(s) but only \
+                         {found} exist — shrink the waiver (the list may never grow \
+                         and may never overshoot)",
+                        kind.as_str()
+                    ),
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| a.message.cmp(&b.message));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let w = Waivers::parse(
+            "# header\n\ncrates/a/src/lib.rs unwrap 2  # legacy\ncrates/b/src/lib.rs indexing 1\n",
+        )
+        .unwrap();
+        assert_eq!(w.allowance("crates/a/src/lib.rs", PanicKind::Unwrap), 2);
+        assert_eq!(w.allowance("crates/b/src/lib.rs", PanicKind::Indexing), 1);
+        assert_eq!(w.allowance("crates/a/src/lib.rs", PanicKind::Panic), 0);
+        assert_eq!(w.allowance("other.rs", PanicKind::Unwrap), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Waivers::parse("just-a-path\n").is_err());
+        assert!(Waivers::parse("a.rs unwrap notanumber\n").is_err());
+        assert!(Waivers::parse("a.rs frobnicate 1\n").is_err());
+        assert!(Waivers::parse("a.rs unwrap 1 extra\n").is_err());
+        assert!(Waivers::parse("a.rs unwrap 0\n").is_err());
+        assert!(Waivers::parse("a.rs unwrap 1\na.rs unwrap 2\n").is_err());
+    }
+
+    #[test]
+    fn stale_waivers_are_findings() {
+        let w = Waivers::parse("a.rs unwrap 2\nb.rs panic 1\n").unwrap();
+        // a.rs really has 2 unwraps (fully used), b.rs has no panic left.
+        let stale = w.stale_findings(|path, _| if path == "a.rs" { 2 } else { 0 });
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("b.rs"));
+        // Fully-used waivers are clean.
+        let stale = w.stale_findings(|path, _| if path == "a.rs" { 2 } else { 1 });
+        assert!(stale.is_empty());
+    }
+}
