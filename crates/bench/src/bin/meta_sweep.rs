@@ -8,8 +8,12 @@
 //! cargo run -p glider-bench --release --bin meta_sweep -- --smoke
 //! ```
 //!
-//! `--smoke` runs a seconds-long sanity pass (used by CI) and does not
-//! rewrite `BENCH_metadata.json`.
+//! `--smoke` is CI's bench-gate mode: a seconds-long pass that asserts
+//! the batched protocol still at least halves metadata RPCs and compares
+//! the measured RPC-reduction ratio against the committed
+//! `BENCH_metadata.json` (tolerance `GLIDER_BENCH_TOLERANCE`, default
+//! 15%; an empty/null baseline passes with a bootstrap warning). Smoke
+//! runs never rewrite the JSON.
 
 use glider_bench::meta::{
     measure_rpc_efficiency, render_metadata_json, sweep_concurrency, SWEEP_ALLOC_BATCH,
@@ -54,6 +58,20 @@ fn main() {
             efficiency.improvement() >= 2.0,
             "batched protocol must at least halve metadata RPCs"
         );
+        let baseline = glider_bench::gate::committed_baseline(
+            env!("CARGO_MANIFEST_DIR"),
+            "BENCH_metadata.json",
+            "rpc_reduction",
+        );
+        let ok = glider_bench::gate::report(
+            "rpc_reduction",
+            baseline,
+            efficiency.improvement(),
+            glider_bench::gate::tolerance_from_env(),
+        );
+        if !ok {
+            std::process::exit(1);
+        }
         println!("smoke pass ok");
         return;
     }

@@ -10,21 +10,42 @@
 //! cargo run -p glider-bench --release --bin transport_sweep
 //! GLIDER_TRANSPORT_BASELINE_GBPS=9.4 \
 //!     cargo run -p glider-bench --release --bin transport_sweep
+//! cargo run -p glider-bench --release --bin transport_sweep -- --smoke
 //! ```
+//!
+//! `--smoke` is CI's bench-gate mode: a short two-size sweep whose 1 MiB
+//! TCP write number is compared against the committed
+//! `BENCH_transport.json` (tolerance `GLIDER_BENCH_TOLERANCE`, default
+//! 15%; an empty/null baseline passes with a bootstrap warning). Smoke
+//! runs never rewrite the JSON. Both modes assert the ≥95% steady-state
+//! buffer-pool hit rate inside the sweep itself.
 
 use glider_bench::transport::{
-    baseline_from_env, render_transport_json, sweep_transport, SWEEP_SIZES, SWEEP_WINDOW,
+    baseline_from_env, render_transport_json, sweep_transport, TransportSample, SWEEP_SIZES,
+    SWEEP_WINDOW,
 };
 use glider_util::ByteSize;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = glider_bench::scale_from_args();
-    let total = ((256.0 * scale) as u64).max(16) * 1024 * 1024;
+    // Smoke keeps 1 MiB in the mix (the gated size) and runs ≥ 20×window
+    // iterations per size so the pool hit-rate assertion is armed.
+    let (sizes, total, window): (&[u64], u64, usize) = if smoke {
+        (&[64 * 1024, 1024 * 1024], 160 * 1024 * 1024, 8)
+    } else {
+        (
+            SWEEP_SIZES,
+            ((256.0 * scale) as u64).max(16) * 1024 * 1024,
+            SWEEP_WINDOW,
+        )
+    };
+
     let rt = glider_bench::runtime();
     let mut samples = Vec::new();
     rt.block_on(async {
         for addr in ["127.0.0.1:0", "mem://transport-sweep"] {
-            let batch = sweep_transport(addr, SWEEP_SIZES, total, SWEEP_WINDOW)
+            let batch = sweep_transport(addr, sizes, total, window)
                 .await
                 .expect("transport sweep");
             samples.extend(batch);
@@ -32,23 +53,44 @@ fn main() {
     });
 
     println!(
-        "transport sweep — {} per size per direction, window {SWEEP_WINDOW}",
+        "transport sweep — {} per size per direction, window {window}",
         ByteSize::bytes(total)
     );
     println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>13} {:>13}",
-        "xport", "payload", "write Gbps", "read Gbps", "write p50 us", "read p50 us"
+        "{:>6} {:>12} {:>12} {:>12} {:>13} {:>13} {:>9}",
+        "xport", "payload", "write Gbps", "read Gbps", "write p50 us", "read p50 us", "pool hit"
     );
     for s in &samples {
         println!(
-            "{:>6} {:>12} {:>12.2} {:>12.2} {:>13.1} {:>13.1}",
+            "{:>6} {:>12} {:>12.2} {:>12.2} {:>13.1} {:>13.1} {:>8.1}%",
             s.transport,
             ByteSize::bytes(s.payload_bytes).to_string(),
             s.write_gbps,
             s.read_gbps,
             s.write_latency.p50() as f64 / 1e3,
             s.read_latency.p50() as f64 / 1e3,
+            s.write_pool_hit_rate * 100.0,
         );
+    }
+
+    if smoke {
+        let current = gated_sample(&samples).expect("smoke sweep includes 1 MiB tcp");
+        let baseline = glider_bench::gate::committed_baseline(
+            env!("CARGO_MANIFEST_DIR"),
+            "BENCH_transport.json",
+            "current_1mib_tcp_write_gbps",
+        );
+        let ok = glider_bench::gate::report(
+            "1mib_tcp_write_gbps",
+            baseline,
+            current,
+            glider_bench::gate::tolerance_from_env(),
+        );
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("smoke pass ok");
+        return;
     }
 
     let doc = render_transport_json(&samples, baseline_from_env());
@@ -57,4 +99,12 @@ fn main() {
         .join("BENCH_transport.json");
     std::fs::write(&path, doc).expect("write BENCH_transport.json");
     println!("wrote {}", path.display());
+}
+
+/// The gated headline number: 1 MiB TCP write throughput.
+fn gated_sample(samples: &[TransportSample]) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| s.transport == "tcp" && s.payload_bytes == 1024 * 1024)
+        .map(|s| s.write_gbps)
 }

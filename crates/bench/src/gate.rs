@@ -1,0 +1,139 @@
+//! Perf-regression gate shared by the sweep binaries' `--smoke` modes.
+//!
+//! A sweep's `--smoke` pass re-measures its headline metric and compares
+//! it against the number committed in the repository's `BENCH_*.json`.
+//! Both headline metrics (1 MiB TCP write throughput, metadata RPC
+//! reduction) are higher-is-better, so the gate only fails on a *drop*
+//! of more than the tolerance — improvements always pass, and CI updates
+//! the baseline by committing a fresh full-sweep JSON.
+//!
+//! The committed documents are parsed with the same hand-rolled approach
+//! the renderers use ([`extract_number`]): the bench crate deliberately
+//! carries no JSON dependency.
+
+/// Reads the relative tolerance from `GLIDER_BENCH_TOLERANCE` (a
+/// fraction, e.g. `0.15`), defaulting to 15%.
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("GLIDER_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .unwrap_or(0.15)
+}
+
+/// What the gate decided for one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// No committed baseline yet (empty samples / `null` acceptance
+    /// field): pass with a warning so the first real full-sweep run can
+    /// bootstrap the JSON.
+    Bootstrap,
+    /// Current is within tolerance of the baseline (or better).
+    Pass,
+    /// Current dropped more than `tolerance` below the baseline.
+    Regression,
+}
+
+/// Gates a higher-is-better metric against its committed baseline.
+pub fn verdict(baseline: Option<f64>, current: f64, tolerance: f64) -> Verdict {
+    match baseline {
+        None => Verdict::Bootstrap,
+        Some(b) if !(b.is_finite() && b > 0.0) => Verdict::Bootstrap,
+        Some(b) if current >= b * (1.0 - tolerance) => Verdict::Pass,
+        Some(_) => Verdict::Regression,
+    }
+}
+
+/// Prints the gate outcome for `metric` and returns `false` on a
+/// regression (the caller exits non-zero).
+pub fn report(metric: &str, baseline: Option<f64>, current: f64, tolerance: f64) -> bool {
+    match verdict(baseline, current, tolerance) {
+        Verdict::Bootstrap => {
+            println!(
+                "bench-gate: {metric} = {current:.3} — no committed baseline yet, \
+                 passing (bootstrap); commit a full-sweep JSON to arm the gate"
+            );
+            true
+        }
+        Verdict::Pass => {
+            let b = baseline.unwrap_or(current);
+            println!(
+                "bench-gate: {metric} = {current:.3} vs baseline {b:.3} \
+                 (tolerance {:.0}%) — ok",
+                tolerance * 100.0
+            );
+            true
+        }
+        Verdict::Regression => {
+            let b = baseline.unwrap_or(current);
+            eprintln!(
+                "bench-gate: {metric} regressed: {current:.3} vs baseline {b:.3} \
+                 is below the {:.0}% tolerance",
+                tolerance * 100.0
+            );
+            false
+        }
+    }
+}
+
+/// Extracts the first `"key": <number>` value from a `BENCH_*.json`
+/// document. Returns `None` for a missing key, `null`, or an unparsable
+/// value — all of which the gate treats as "no baseline".
+pub fn extract_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Loads a committed `BENCH_*.json` from the repository root (one level
+/// above the bench crate) and extracts `key`, treating a missing or
+/// unreadable file as "no baseline".
+pub fn committed_baseline(manifest_dir: &str, file: &str, key: &str) -> Option<f64> {
+    let path = std::path::Path::new(manifest_dir).join("../..").join(file);
+    let doc = std::fs::read_to_string(path).ok()?;
+    extract_number(&doc, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_covers_bootstrap_pass_and_regression() {
+        assert_eq!(verdict(None, 5.0, 0.15), Verdict::Bootstrap);
+        assert_eq!(verdict(Some(0.0), 5.0, 0.15), Verdict::Bootstrap);
+        assert_eq!(verdict(Some(f64::NAN), 5.0, 0.15), Verdict::Bootstrap);
+        assert_eq!(verdict(Some(10.0), 8.5, 0.15), Verdict::Pass);
+        assert_eq!(
+            verdict(Some(10.0), 12.0, 0.15),
+            Verdict::Pass,
+            "improvements pass"
+        );
+        assert_eq!(verdict(Some(10.0), 8.49, 0.15), Verdict::Regression);
+        assert_eq!(verdict(Some(10.0), 9.99, 0.0), Verdict::Regression);
+    }
+
+    #[test]
+    fn extract_number_reads_rendered_documents() {
+        let doc = "{\n  \"acceptance\": {\n    \"current_1mib_tcp_write_gbps\": 9.412,\n    \
+                   \"speedup\": null\n  }\n}\n";
+        assert_eq!(
+            extract_number(doc, "current_1mib_tcp_write_gbps"),
+            Some(9.412)
+        );
+        assert_eq!(extract_number(doc, "speedup"), None, "null is no baseline");
+        assert_eq!(extract_number(doc, "missing_key"), None);
+        assert_eq!(extract_number("{\"x\": -1.5e3}", "x"), Some(-1500.0));
+    }
+
+    #[test]
+    fn report_only_fails_on_regression() {
+        assert!(report("m", None, 1.0, 0.15));
+        assert!(report("m", Some(1.0), 0.9, 0.15));
+        assert!(!report("m", Some(1.0), 0.5, 0.15));
+    }
+}

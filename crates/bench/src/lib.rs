@@ -22,6 +22,7 @@
 //! operation-window and block-size sweeps.
 
 pub mod chaos;
+pub mod gate;
 pub mod meta;
 pub mod transport;
 

@@ -12,6 +12,7 @@ use bytes::Bytes;
 use futures::future::BoxFuture;
 use glider_metrics::{HistogramSnapshot, MetricsRegistry, OpKind, Tier};
 use glider_net::rpc::{ConnCtx, RpcClient, RpcHandler};
+use glider_net::BytesPool;
 use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::types::BlockId;
 use glider_proto::{ErrorCode, GliderError, GliderResult};
@@ -48,6 +49,9 @@ pub struct TransportSample {
     pub write_latency: HistogramSnapshot,
     /// Server-side per-op dispatch latency of the read phase.
     pub read_latency: HistogramSnapshot,
+    /// Fraction of write payload buffers served from the registered
+    /// buffer pool (steady state should only miss during warmup).
+    pub write_pool_hit_rate: f64,
 }
 
 /// Server side of the sweep: acknowledges writes and answers reads with
@@ -88,7 +92,11 @@ impl RpcHandler for SinkHandler {
 /// Sweeps windowed write and read throughput for every payload size in
 /// `sizes`, moving roughly `total_per_size` bytes per direction per size.
 ///
-/// `addr` selects the transport (`127.0.0.1:0` or `mem://…`).
+/// `addr` selects the transport (`127.0.0.1:0` or `mem://…`). Calls are
+/// issued on one flow-controlled logical stream and write payloads come
+/// from a [`BytesPool`]; when a size runs at least `20 × window` writes
+/// the sweep asserts a ≥95% steady-state pool hit rate (only the warmup
+/// window may allocate).
 ///
 /// # Errors
 ///
@@ -116,38 +124,67 @@ pub async fn sweep_transport(
         Tier::Storage,
     );
     let client = RpcClient::connect_intra_storage(server.addr()).await?;
+    // All calls ride one flow-controlled logical stream whose window
+    // matches the sweep window, so the measurement also covers the
+    // stream-multiplexing and credit path.
+    let stream = Arc::new(client.open_stream(u32::try_from(window).unwrap_or(u32::MAX)));
 
     let mut out = Vec::with_capacity(sizes.len());
     for &size in sizes {
         let iters = (total_per_size / size).max(window as u64) as usize;
-        let payload = Bytes::from(vec![0x42u8; size as usize]);
+        // Write payloads come from the registered buffer pool: each op
+        // takes a buffer, fills it from the template, sends the frozen
+        // handle, and recycles it once the response proves the frame
+        // layer released its clone. After the first `window` misses
+        // every get must be a hit — that is the "zero per-frame heap
+        // allocations on steady-state WriteBlock" claim, asserted below.
+        let pool = BytesPool::new(size as usize, window * 2);
+        let template = Bytes::from(vec![0x42u8; size as usize]);
 
         // Per-size dispatch latency: clear the server's histograms so the
         // percentiles below describe exactly this payload size.
         metrics.reset();
         let start = Instant::now();
         run_window(window, iters, |_| {
-            let c = client.clone();
-            let p = payload.clone();
+            let s = Arc::clone(&stream);
+            let pool = Arc::clone(&pool);
+            let template = template.clone();
             async move {
-                c.call(RequestBody::WriteBlock {
+                let mut buf = pool.get();
+                buf.extend_from_slice(&template);
+                let payload = buf.freeze();
+                s.call(RequestBody::WriteBlock {
                     block_id: BlockId(1),
                     offset: 0,
-                    data: p,
+                    data: payload.clone(),
                 })
-                .await
-                .map(|_| ())
+                .await?;
+                pool.recycle(payload);
+                Ok(())
             }
         })
         .await?;
         let write_gbps = gbps(size * iters as u64, start.elapsed());
         let write_latency = metrics.snapshot().op_latency(OpKind::BlockWrite).clone();
+        let write_pool_hit_rate = pool.hit_rate();
+        if iters >= 20 * window {
+            assert!(
+                write_pool_hit_rate >= 0.95,
+                "{transport}/{size}B: steady-state buffer-pool hit rate \
+                 {write_pool_hit_rate:.3} < 0.95 ({} hits, {} misses over {iters} writes)",
+                pool.hits(),
+                pool.misses(),
+            );
+        }
 
+        // Reads return zero-copy slices of the server's blob; the client
+        // cannot reclaim those (the server keeps its handle), so the pool
+        // only serves the write direction.
         let start = Instant::now();
         run_window(window, iters, |_| {
-            let c = client.clone();
+            let s = Arc::clone(&stream);
             async move {
-                c.call(RequestBody::ReadBlock {
+                s.call(RequestBody::ReadBlock {
                     block_id: BlockId(1),
                     offset: 0,
                     len: size,
@@ -167,6 +204,7 @@ pub async fn sweep_transport(
             read_gbps,
             write_latency,
             read_latency,
+            write_pool_hit_rate,
         });
     }
     server.shutdown();
@@ -221,7 +259,8 @@ pub fn render_transport_json(samples: &[TransportSample], baseline: Option<f64>)
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"transport\": \"{}\", \"payload_bytes\": {}, \"write_gbps\": {:.3}, \"read_gbps\": {:.3}, \
-             \"write_p50_ns\": {}, \"write_p99_ns\": {}, \"read_p50_ns\": {}, \"read_p99_ns\": {}}}{}\n",
+             \"write_p50_ns\": {}, \"write_p99_ns\": {}, \"read_p50_ns\": {}, \"read_p99_ns\": {}, \
+             \"write_pool_hit_rate\": {:.4}}}{}\n",
             s.transport,
             s.payload_bytes,
             s.write_gbps,
@@ -230,11 +269,23 @@ pub fn render_transport_json(samples: &[TransportSample], baseline: Option<f64>)
             s.write_latency.p99(),
             s.read_latency.p50(),
             s.read_latency.p99(),
+            s.write_pool_hit_rate,
             if i + 1 == samples.len() { "" } else { "," },
         ));
     }
     out.push_str("  ],\n  \"acceptance\": {\n");
     let fmt = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.3}"));
+    let min_tcp_pool = samples
+        .iter()
+        .filter(|s| s.transport == "tcp")
+        .map(|s| s.write_pool_hit_rate)
+        .fold(None, |min: Option<f64>, r| {
+            Some(min.map_or(r, |m| m.min(r)))
+        });
+    out.push_str(&format!(
+        "    \"min_tcp_write_pool_hit_rate\": {},\n",
+        fmt(min_tcp_pool)
+    ));
     out.push_str(&format!(
         "    \"baseline_1mib_tcp_write_gbps\": {},\n",
         fmt(baseline.or(current))
@@ -279,7 +330,23 @@ mod tests {
                 assert!(s.write_latency.p50() > 0);
                 assert!(s.read_latency.p50() > 0);
             }
+            // 64 writes of 4 KiB over a window of 4: after the warmup
+            // misses the pool serves every payload buffer.
+            assert!(
+                samples[0].write_pool_hit_rate > 0.9,
+                "pool hit rate {}",
+                samples[0].write_pool_hit_rate
+            );
         }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn steady_state_writes_hit_the_pool() {
+        // 128 iterations ≥ 20 × window arms the in-sweep ≥95% assertion.
+        let samples = sweep_transport("mem://transport-pool-test", &[4096], 4096 * 128, 4)
+            .await
+            .unwrap();
+        assert!(samples[0].write_pool_hit_rate >= 0.95);
     }
 
     #[test]
@@ -298,6 +365,7 @@ mod tests {
                 read_gbps: 12.0,
                 write_latency: hist.clone(),
                 read_latency: hist.clone(),
+                write_pool_hit_rate: 0.9876,
             },
             TransportSample {
                 transport: "mem",
@@ -306,11 +374,15 @@ mod tests {
                 read_gbps: 6.0,
                 write_latency: hist.clone(),
                 read_latency: hist,
+                write_pool_hit_rate: 0.5,
             },
         ];
         let doc = render_transport_json(&samples, Some(4.0));
         assert!(doc.contains("\"write_p50_ns\""));
         assert!(!doc.contains("\"write_p50_ns\": 0"), "{doc}");
+        assert!(doc.contains("\"write_pool_hit_rate\": 0.9876"));
+        // Only TCP samples feed the acceptance minimum (0.5 is the mem one).
+        assert!(doc.contains("\"min_tcp_write_pool_hit_rate\": 0.988"));
         assert!(doc.contains("\"baseline_1mib_tcp_write_gbps\": 4.000"));
         assert!(doc.contains("\"current_1mib_tcp_write_gbps\": 10.000"));
         assert!(doc.contains("\"speedup\": 2.500"));

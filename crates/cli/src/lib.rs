@@ -17,7 +17,9 @@
 //!                             create an action node
 //!     write-action PATH       stream stdin into an action
 //!     read-action PATH        stream an action's output to stdout
-//!     stats [--json]          print server latency histograms
+//!     stats [--json]          print latency histograms and transport
+//!                             counters (per-transport requests, RPC
+//!                             inflight, buffer-pool hit rate, streams)
 //! ```
 //!
 //! The parser is dependency-free and unit-tested; `main.rs` is a thin

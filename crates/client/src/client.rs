@@ -5,7 +5,7 @@ use crate::config::ClientConfig;
 use crate::file::FileNode;
 use crate::kv::KeyValueNode;
 use glider_metrics::AccessKind;
-use glider_net::rpc::RpcClient;
+use glider_net::rpc::{RpcClient, RpcStream};
 use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::stats::StatsPayload;
 use glider_proto::types::{ActionSpec, NodeInfo, NodeKind, PeerTier, StorageClass};
@@ -47,6 +47,10 @@ struct Inner {
     metas: Vec<RpcClient>,
     config: ClientConfig,
     pool: Mutex<HashMap<String, RpcClient>>,
+    /// One flow-controlled logical stream per data server, multiplexed
+    /// over the pooled connection; the block streams (file/bag readers
+    /// and writers) issue their data-plane RPCs on it.
+    stream_pool: Mutex<HashMap<String, Arc<RpcStream>>>,
     /// Recent `LookupNode` answers, keyed by path. Bounded staleness: a
     /// mutation through this client evicts eagerly; the configured TTL
     /// covers mutations from other clients.
@@ -84,6 +88,7 @@ impl StoreClient {
                 metas,
                 config,
                 pool: Mutex::new(HashMap::new()),
+                stream_pool: Mutex::new(HashMap::new()),
                 lookup_cache: Mutex::new(HashMap::new()),
             }),
         })
@@ -166,6 +171,29 @@ impl StoreClient {
             .lock()
             .insert(addr.to_string(), conn.clone());
         Ok(conn)
+    }
+
+    /// Returns (or opens) the cached logical stream to `addr`, with the
+    /// configured window as its credit allowance. The stream rides the
+    /// pooled connection and survives its reconnects.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if dialing fails.
+    pub(crate) async fn data_stream(&self, addr: &str) -> GliderResult<Arc<RpcStream>> {
+        if let Some(stream) = self.inner.stream_pool.lock().get(addr) {
+            return Ok(Arc::clone(stream));
+        }
+        let conn = self.data_conn(addr).await?;
+        let window = u32::try_from(self.inner.config.window).unwrap_or(u32::MAX);
+        let stream = Arc::new(conn.open_stream(window));
+        // Racing openers may both open; last insert wins, both work (a
+        // superseded stream stays valid for the calls already on it).
+        self.inner
+            .stream_pool
+            .lock()
+            .insert(addr.to_string(), Arc::clone(&stream));
+        Ok(stream)
     }
 
     fn expect_node(resp: ResponseBody) -> GliderResult<NodeInfo> {

@@ -186,7 +186,8 @@ pub struct FileWriter {
     dead_addrs: std::collections::HashSet<String>,
 }
 
-/// One chunk write against a data server.
+/// One chunk write against a data server, issued on the per-server
+/// logical stream (credit-gated, multiplexed over the pooled connection).
 async fn write_piece(
     store: StoreClient,
     addr: Arc<str>,
@@ -194,8 +195,8 @@ async fn write_piece(
     offset: u64,
     data: Bytes,
 ) -> GliderResult<()> {
-    let conn = store.data_conn(&addr).await?;
-    match conn
+    let stream = store.data_stream(&addr).await?;
+    match stream
         .call(RequestBody::WriteBlock {
             block_id,
             offset,
@@ -685,8 +686,8 @@ impl FileReader {
             let Some(op) = self.ops.next() else { break };
             let store = self.store.clone();
             self.pending.push_back(Box::pin(async move {
-                let conn = store.data_conn(&op.addr).await?;
-                match conn
+                let stream = store.data_stream(&op.addr).await?;
+                match stream
                     .call(RequestBody::ReadBlock {
                         block_id: op.block_id,
                         offset: op.offset,

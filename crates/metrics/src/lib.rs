@@ -202,6 +202,14 @@ pub struct MetricsRegistry {
     queue: Gauge,
     rpc_retries: AtomicU64,
     rpc_reconnects: AtomicU64,
+    rpc_inflight: Gauge,
+    transport_tcp_requests: AtomicU64,
+    transport_mem_requests: AtomicU64,
+    transport_other_requests: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    streams_opened: AtomicU64,
+    streams_open: Gauge,
     servers_live: AtomicU64,
     servers_suspect: AtomicU64,
     servers_dead: AtomicU64,
@@ -223,6 +231,14 @@ impl MetricsRegistry {
             queue: Gauge::default(),
             rpc_retries: AtomicU64::new(0),
             rpc_reconnects: AtomicU64::new(0),
+            rpc_inflight: Gauge::default(),
+            transport_tcp_requests: AtomicU64::new(0),
+            transport_mem_requests: AtomicU64::new(0),
+            transport_other_requests: AtomicU64::new(0),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
+            streams_opened: AtomicU64::new(0),
+            streams_open: Gauge::default(),
             servers_live: AtomicU64::new(0),
             servers_suspect: AtomicU64::new(0),
             servers_dead: AtomicU64::new(0),
@@ -322,6 +338,49 @@ impl MetricsRegistry {
         self.rpc_reconnects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Marks one RPC entering server-side dispatch (inflight gauge up).
+    pub fn rpc_start(&self) {
+        self.rpc_inflight.add(1);
+    }
+
+    /// Marks one RPC leaving server-side dispatch (inflight gauge down).
+    pub fn rpc_end(&self) {
+        self.rpc_inflight.sub(1);
+    }
+
+    /// Counts one request carried by the transport with the given scheme
+    /// label (`"tcp"`, `"mem"`, anything else lands in an `other` bucket).
+    pub fn transport_request(&self, scheme: &str) {
+        let counter = match scheme {
+            "tcp" => &self.transport_tcp_requests,
+            "mem" => &self.transport_mem_requests,
+            _ => &self.transport_other_requests,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one buffer-pool get satisfied from the freelist.
+    pub fn pool_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one buffer-pool get that had to allocate.
+    pub fn pool_miss(&self) {
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one logical stream opened over a multiplexed connection
+    /// (and raises the open-streams gauge).
+    pub fn stream_opened(&self) {
+        self.streams_opened.fetch_add(1, Ordering::Relaxed);
+        self.streams_open.add(1);
+    }
+
+    /// Lowers the open-streams gauge when a logical stream closes.
+    pub fn stream_closed(&self) {
+        self.streams_open.sub(1);
+    }
+
     /// Publishes the metadata registry's current liveness census. Called
     /// by the metadata server after every heartbeat, sweep or
     /// (re-)registration, so the Stats RPC can report it.
@@ -372,6 +431,16 @@ impl MetricsRegistry {
             queue_peak: self.queue.peak.load(Ordering::Relaxed),
             rpc_retries: self.rpc_retries.load(Ordering::Relaxed),
             rpc_reconnects: self.rpc_reconnects.load(Ordering::Relaxed),
+            rpc_inflight_current: self.rpc_inflight.current.load(Ordering::Relaxed),
+            rpc_inflight_peak: self.rpc_inflight.peak.load(Ordering::Relaxed),
+            transport_tcp_requests: self.transport_tcp_requests.load(Ordering::Relaxed),
+            transport_mem_requests: self.transport_mem_requests.load(Ordering::Relaxed),
+            transport_other_requests: self.transport_other_requests.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            streams_opened: self.streams_opened.load(Ordering::Relaxed),
+            streams_open_current: self.streams_open.current.load(Ordering::Relaxed),
+            streams_open_peak: self.streams_open.peak.load(Ordering::Relaxed),
             servers_live: self.servers_live.load(Ordering::Relaxed),
             servers_suspect: self.servers_suspect.load(Ordering::Relaxed),
             servers_dead: self.servers_dead.load(Ordering::Relaxed),
@@ -407,6 +476,16 @@ impl MetricsRegistry {
         self.queue.peak.store(0, Ordering::Relaxed);
         self.rpc_retries.store(0, Ordering::Relaxed);
         self.rpc_reconnects.store(0, Ordering::Relaxed);
+        self.rpc_inflight.current.store(0, Ordering::Relaxed);
+        self.rpc_inflight.peak.store(0, Ordering::Relaxed);
+        self.transport_tcp_requests.store(0, Ordering::Relaxed);
+        self.transport_mem_requests.store(0, Ordering::Relaxed);
+        self.transport_other_requests.store(0, Ordering::Relaxed);
+        self.pool_hits.store(0, Ordering::Relaxed);
+        self.pool_misses.store(0, Ordering::Relaxed);
+        self.streams_opened.store(0, Ordering::Relaxed);
+        self.streams_open.current.store(0, Ordering::Relaxed);
+        self.streams_open.peak.store(0, Ordering::Relaxed);
         self.servers_live.store(0, Ordering::Relaxed);
         self.servers_suspect.store(0, Ordering::Relaxed);
         self.servers_dead.store(0, Ordering::Relaxed);
@@ -500,6 +579,26 @@ pub struct MetricsSnapshot {
     pub rpc_retries: u64,
     /// Transparent client reconnections (redial + handshake).
     pub rpc_reconnects: u64,
+    /// RPCs currently in server-side dispatch.
+    pub rpc_inflight_current: u64,
+    /// Peak concurrently-dispatched RPCs.
+    pub rpc_inflight_peak: u64,
+    /// Requests carried over TCP connections.
+    pub transport_tcp_requests: u64,
+    /// Requests carried over `mem://` connections.
+    pub transport_mem_requests: u64,
+    /// Requests carried over any other registered transport.
+    pub transport_other_requests: u64,
+    /// Buffer-pool gets satisfied from the freelist.
+    pub pool_hits: u64,
+    /// Buffer-pool gets that had to allocate.
+    pub pool_misses: u64,
+    /// Logical streams opened over multiplexed connections.
+    pub streams_opened: u64,
+    /// Logical streams currently open.
+    pub streams_open_current: u64,
+    /// Peak concurrently-open logical streams.
+    pub streams_open_peak: u64,
     /// Registered servers currently heartbeating within their lease.
     pub servers_live: u64,
     /// Registered servers past one lease without a heartbeat.
@@ -574,6 +673,23 @@ impl MetricsSnapshot {
     /// Peak temporary storage utilization across both storage services.
     pub fn peak_utilization(&self) -> u64 {
         self.storage_peak + self.object_peak
+    }
+
+    /// Fraction of buffer-pool gets served from the freelist, in
+    /// `[0.0, 1.0]`. Returns 0.0 before any get, so hit-rate assertions
+    /// cannot pass vacuously.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Requests carried across all registered transports.
+    pub fn transport_requests_total(&self) -> u64 {
+        self.transport_tcp_requests + self.transport_mem_requests + self.transport_other_requests
     }
 
     /// Computes the relative reduction of `ours` vs `baseline` as a
@@ -835,6 +951,42 @@ mod tests {
             (s.servers_live, s.servers_suspect, s.servers_dead),
             (0, 0, 0)
         );
+    }
+
+    #[test]
+    fn transport_plane_counters_round_trip_and_reset() {
+        let m = MetricsRegistry::new();
+        m.transport_request("tcp");
+        m.transport_request("tcp");
+        m.transport_request("mem");
+        m.transport_request("rdma"); // unknown schemes land in `other`
+        m.pool_hit();
+        m.pool_hit();
+        m.pool_hit();
+        m.pool_miss();
+        m.rpc_start();
+        m.rpc_start();
+        m.rpc_end();
+        m.stream_opened();
+        m.stream_opened();
+        m.stream_closed();
+        let s = m.snapshot();
+        assert_eq!(s.transport_tcp_requests, 2);
+        assert_eq!(s.transport_mem_requests, 1);
+        assert_eq!(s.transport_other_requests, 1);
+        assert_eq!(s.transport_requests_total(), 4);
+        assert_eq!((s.pool_hits, s.pool_misses), (3, 1));
+        assert!((s.pool_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!((s.rpc_inflight_current, s.rpc_inflight_peak), (1, 2));
+        assert_eq!(s.streams_opened, 2);
+        assert_eq!((s.streams_open_current, s.streams_open_peak), (1, 2));
+        m.reset();
+        let s = m.snapshot();
+        assert_eq!(s.transport_requests_total(), 0);
+        assert_eq!(s.pool_hit_rate(), 0.0, "empty pool stats read as 0, not 1");
+        assert_eq!((s.rpc_inflight_current, s.rpc_inflight_peak), (0, 0));
+        assert_eq!(s.streams_opened, 0);
+        assert_eq!((s.streams_open_current, s.streams_open_peak), (0, 0));
     }
 
     #[test]

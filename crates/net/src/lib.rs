@@ -23,12 +23,16 @@
 
 pub mod conn;
 pub mod fault;
+pub mod pool;
 pub mod retry;
 pub mod rpc;
 pub mod stats;
+pub mod transport;
 
-pub use conn::{bind, connect, BoundListener, FrameRx, FrameTx};
+pub use conn::{bind, connect, BoundListener, FrameRx, FrameTx, TaggedFrame};
 pub use fault::{clear_faults, inject_faults, FaultConfig};
+pub use pool::BytesPool;
 pub use retry::{op_class, JitterRng, OpClass, RetryPolicy};
-pub use rpc::{serve, ConnCtx, RpcClient, RpcHandler, ServerHandle};
+pub use rpc::{serve, ConnCtx, RpcClient, RpcHandler, RpcStream, ServerHandle};
 pub use stats::{build_stats, render_stats_json, render_stats_table};
+pub use transport::{transport_for, MemTransport, TcpTransport, Transport, TRANSPORTS};

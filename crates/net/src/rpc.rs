@@ -1,11 +1,23 @@
 //! Multiplexing RPC client and server over framed connections.
+//!
+//! Two multiplexing mechanisms stack here:
+//!
+//! - **Request ids** let any number of calls share one connection;
+//!   responses are matched by id regardless of arrival order.
+//! - **Logical streams** ([`RpcClient::open_stream`]) add per-stream
+//!   flow control on top: every call on a stream consumes one *credit*
+//!   from the stream's window, and the server grants a credit back when
+//!   it admits the request ([`Frame::Credit`]). A slow consumer
+//!   backpressures only its own stream — bulk block writes cannot starve
+//!   a neighbouring metadata stream of the shared connection. Stream 0
+//!   is the un-flow-controlled legacy stream every plain call uses.
 
-use crate::conn::{connect, BoundListener, FrameRx, FrameTx};
+use crate::conn::{connect, BoundListener, FrameRx, FrameTx, TaggedFrame};
 use crate::retry::{op_class, JitterRng, RetryPolicy};
 use crate::stats::build_stats;
 use futures::future::BoxFuture;
 use glider_metrics::{MetricsRegistry, OpKind, Tier};
-use glider_proto::frame::Frame;
+use glider_proto::frame::{Frame, LEGACY_STREAM};
 use glider_proto::message::{Request, RequestBody, Response, ResponseBody};
 use glider_proto::types::PeerTier;
 use glider_proto::{ErrorCode, GliderError, GliderResult};
@@ -13,10 +25,10 @@ use glider_trace::{Span, SpanContext};
 use glider_util::TokenBucket;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tokio::sync::{mpsc, oneshot};
+use tokio::sync::{mpsc, oneshot, Semaphore};
 use tokio::task::JoinSet;
 
 /// Maps the wire-level peer tier to the metrics tier.
@@ -63,7 +75,7 @@ pub struct RpcClient {
 /// callers detect a dead channel.
 #[derive(Debug)]
 struct Channel {
-    req_tx: mpsc::Sender<Request>,
+    req_tx: mpsc::Sender<(u32, Request)>,
     pending: Pending,
 }
 
@@ -72,6 +84,75 @@ impl Channel {
         !self.req_tx.is_closed() && self.pending.lock().is_some()
     }
 }
+
+/// Client-side flow-control state of one logical stream. Lives in the
+/// client's stream table (not the channel), so a reconnect keeps the
+/// stream and its window.
+#[derive(Debug)]
+struct StreamState {
+    /// Available credits. Calls `forget` acquired permits; permits come
+    /// back via server [`Frame::Credit`] grants (or refunds below).
+    sem: Semaphore,
+    /// Credits consumed but not yet granted back. The refund paths
+    /// (reader death, send-on-dead-channel) drain this instead of
+    /// guessing, so a permit is never restored twice.
+    outstanding: AtomicU32,
+}
+
+impl StreamState {
+    /// Waits up to `deadline` for one credit and consumes it.
+    async fn acquire_credit(&self, deadline: Duration, addr: &str) -> GliderResult<()> {
+        match tokio::time::timeout(deadline, self.sem.acquire()).await {
+            Ok(Ok(permit)) => {
+                permit.forget();
+                self.outstanding.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Ok(Err(_)) => Err(GliderError::closed(format!("stream to {addr}"))),
+            Err(_) => Err(GliderError::timeout(format!(
+                "stream credit to {addr} after {deadline:?}"
+            ))),
+        }
+    }
+
+    /// Applies a server grant: the server admitted `credits` requests.
+    fn grant(&self, credits: u32) {
+        let _ = self
+            .outstanding
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(credits))
+            });
+        self.sem.add_permits(credits as usize);
+    }
+
+    /// Refunds one credit whose request provably never reached the
+    /// server (send on a dead channel). A no-op when the credit was
+    /// already restored by [`StreamState::refund_all`].
+    fn refund_one(&self) {
+        let taken = self
+            .outstanding
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok();
+        if taken {
+            self.sem.add_permits(1);
+        }
+    }
+
+    /// Refunds every outstanding credit. Called when a connection's
+    /// reader dies: no more grants can arrive on that channel, and
+    /// without the refund a failed-over stream would start with a
+    /// permanently shrunken window (or deadlock at zero).
+    fn refund_all(&self) {
+        let n = self.outstanding.swap(0, Ordering::Relaxed);
+        if n > 0 {
+            self.sem.add_permits(n as usize);
+        }
+    }
+}
+
+/// The client's logical streams, shared with each generation's reader
+/// task (which applies credit grants and refunds on death).
+type StreamMap = Arc<Mutex<HashMap<u32, Arc<StreamState>>>>;
 
 #[derive(Debug)]
 struct ClientInner {
@@ -85,6 +166,10 @@ struct ClientInner {
     chan: Mutex<Arc<Channel>>,
     /// Serializes redials so concurrent callers heal the connection once.
     redial: tokio::sync::Mutex<()>,
+    /// Open logical streams (flow-control state outlives reconnects).
+    streams: StreamMap,
+    /// Stream ids are client-unique; 0 is the legacy stream.
+    next_stream_id: AtomicU32,
 }
 
 impl RpcClient {
@@ -133,8 +218,10 @@ impl RpcClient {
         policy: RetryPolicy,
     ) -> GliderResult<Self> {
         let next_id = AtomicU64::new(1);
+        let streams: StreamMap = Arc::new(Mutex::new(HashMap::new()));
         let handshake_deadline = policy.metadata_deadline;
-        let chan = dial_channel(addr, tier, &metrics, &next_id, handshake_deadline).await?;
+        let chan =
+            dial_channel(addr, tier, &metrics, &next_id, &streams, handshake_deadline).await?;
         Ok(RpcClient {
             inner: Arc::new(ClientInner {
                 addr: addr.to_string(),
@@ -145,6 +232,8 @@ impl RpcClient {
                 next_id,
                 chan: Mutex::new(Arc::new(chan)),
                 redial: tokio::sync::Mutex::new(()),
+                streams,
+                next_stream_id: AtomicU32::new(1),
             }),
         })
     }
@@ -200,6 +289,40 @@ impl RpcClient {
         parent: SpanContext,
         body: RequestBody,
     ) -> GliderResult<ResponseBody> {
+        self.call_inner(parent, LEGACY_STREAM, None, body).await
+    }
+
+    /// Opens a new logical stream with `window` credits (clamped to at
+    /// least 1) over this client's connection. Calls on the stream are
+    /// flow-controlled: at most `window` of them can be awaiting server
+    /// admission at once, independently of other streams. The stream
+    /// survives reconnects — its window travels with the client, not the
+    /// connection.
+    pub fn open_stream(&self, window: u32) -> RpcStream {
+        let window = window.max(1);
+        let id = self.inner.next_stream_id.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(StreamState {
+            sem: Semaphore::new(window as usize),
+            outstanding: AtomicU32::new(0),
+        });
+        self.inner.streams.lock().insert(id, Arc::clone(&state));
+        if let Some(m) = &self.inner.metrics {
+            m.stream_opened();
+        }
+        RpcStream {
+            client: self.clone(),
+            id,
+            state,
+        }
+    }
+
+    async fn call_inner(
+        &self,
+        parent: SpanContext,
+        stream: u32,
+        flow: Option<&StreamState>,
+        body: RequestBody,
+    ) -> GliderResult<ResponseBody> {
         // child_of(NONE) degenerates to a root, so both entry points share
         // this path; the span closes (and reports) when the call returns.
         let span = Span::child_of(parent, "client.call");
@@ -222,17 +345,30 @@ impl RpcClient {
             attempts += 1;
             let err = match self.ensure_channel().await {
                 Ok(chan) => {
+                    // One credit per attempt on flow-controlled streams;
+                    // the server grants it back at admission. Credits
+                    // whose request never left (dead channel) are
+                    // refunded below, the rest on reader death.
+                    if let Some(state) = flow {
+                        state.acquire_credit(deadline, &self.inner.addr).await?;
+                    }
                     let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-                    match channel_call(
+                    let attempt_res = channel_call(
                         &chan,
                         id,
                         trace_id,
+                        stream,
                         body.clone(),
                         deadline,
                         &self.inner.addr,
                     )
-                    .await
-                    {
+                    .await;
+                    if let (Some(state), Err(e)) = (flow, &attempt_res) {
+                        if e.code() == ErrorCode::Closed {
+                            state.refund_one();
+                        }
+                    }
+                    match attempt_res {
                         Ok(resp) => {
                             if let Some(bucket) = &self.inner.throttle {
                                 let inn = resp.payload_len();
@@ -306,6 +442,7 @@ impl RpcClient {
                 self.inner.tier,
                 &self.inner.metrics,
                 &self.inner.next_id,
+                &self.inner.streams,
                 policy.metadata_deadline,
             )
             .await
@@ -334,6 +471,62 @@ impl RpcClient {
     }
 }
 
+/// A flow-controlled logical stream over an [`RpcClient`]'s connection.
+/// Created by [`RpcClient::open_stream`]; dropping it closes the stream.
+///
+/// Calls behave exactly like [`RpcClient::call`] (same deadlines,
+/// retries, transparent reconnection) plus the credit window: a call
+/// first waits — within the op deadline — for one of the stream's
+/// credits, and the server returns the credit when it admits the
+/// request. The stream id rides the frame header (wire format v2).
+#[derive(Debug)]
+pub struct RpcStream {
+    client: RpcClient,
+    id: u32,
+    state: Arc<StreamState>,
+}
+
+impl RpcStream {
+    /// This stream's wire id (never 0 — that is the legacy stream).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Issues one RPC on this stream. See [`RpcClient::call`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RpcClient::call`], plus [`ErrorCode::Timeout`] when no
+    /// stream credit became available within the op deadline.
+    pub async fn call(&self, body: RequestBody) -> GliderResult<ResponseBody> {
+        self.call_traced(SpanContext::NONE, body).await
+    }
+
+    /// Issues one traced RPC on this stream. See [`RpcClient::call_traced`].
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcStream::call`].
+    pub async fn call_traced(
+        &self,
+        parent: SpanContext,
+        body: RequestBody,
+    ) -> GliderResult<ResponseBody> {
+        self.client
+            .call_inner(parent, self.id, Some(&self.state), body)
+            .await
+    }
+}
+
+impl Drop for RpcStream {
+    fn drop(&mut self) {
+        self.client.inner.streams.lock().remove(&self.id);
+        if let Some(m) = &self.client.inner.metrics {
+            m.stream_closed();
+        }
+    }
+}
+
 /// Dials `addr`, spawns the connection's writer/reader tasks, and performs
 /// the `Hello` handshake. Used for the initial connect and every redial.
 async fn dial_channel(
@@ -341,14 +534,15 @@ async fn dial_channel(
     tier: PeerTier,
     metrics: &Option<Arc<MetricsRegistry>>,
     next_id: &AtomicU64,
+    streams: &StreamMap,
     handshake_deadline: Duration,
 ) -> GliderResult<Channel> {
     let (tx, rx) = connect(addr).await?;
     let pending: Pending = Arc::new(Mutex::new(Some(HashMap::new())));
-    let (req_tx, req_rx) = mpsc::channel::<Request>(256);
+    let (req_tx, req_rx) = mpsc::channel::<(u32, Request)>(256);
 
     tokio::spawn(writer_task(tx, req_rx, metrics.clone()));
-    tokio::spawn(reader_task(rx, Arc::clone(&pending)));
+    tokio::spawn(reader_task(rx, Arc::clone(&pending), Arc::clone(streams)));
 
     let chan = Channel { req_tx, pending };
     let id = next_id.fetch_add(1, Ordering::Relaxed);
@@ -356,6 +550,7 @@ async fn dial_channel(
         &chan,
         id,
         0,
+        LEGACY_STREAM,
         RequestBody::Hello { tier },
         handshake_deadline,
         addr,
@@ -376,6 +571,7 @@ async fn channel_call(
     chan: &Channel,
     id: u64,
     trace_id: u64,
+    stream: u32,
     body: RequestBody,
     deadline: Duration,
     addr: &str,
@@ -393,7 +589,7 @@ async fn channel_call(
     }
     if chan
         .req_tx
-        .send(Request { id, trace_id, body })
+        .send((stream, Request { id, trace_id, body }))
         .await
         .is_err()
     {
@@ -429,16 +625,21 @@ const WRITE_BATCH_BYTES: u64 = 1024 * 1024;
 /// drains already-queued items into `batch` with `try_recv`, stopping at
 /// the frame-count and payload-byte bounds so one vectored write stays a
 /// bounded unit of work.
-fn collect_batch<T: Into<Frame>>(first: T, rx: &mut mpsc::Receiver<T>, batch: &mut Vec<Frame>) {
+fn collect_batch<T: Into<Frame>>(
+    first: (u32, T),
+    rx: &mut mpsc::Receiver<(u32, T)>,
+    batch: &mut Vec<TaggedFrame>,
+) {
+    let (stream, first) = first;
     let first = first.into();
     let mut bytes = first.payload_len();
-    batch.push(first);
+    batch.push((stream, first));
     while batch.len() < WRITE_BATCH_FRAMES && bytes < WRITE_BATCH_BYTES {
         match rx.try_recv() {
-            Ok(item) => {
+            Ok((stream, item)) => {
                 let frame = item.into();
                 bytes += frame.payload_len();
-                batch.push(frame);
+                batch.push((stream, frame));
             }
             Err(_) => break,
         }
@@ -447,10 +648,10 @@ fn collect_batch<T: Into<Frame>>(first: T, rx: &mut mpsc::Receiver<T>, batch: &m
 
 async fn writer_task(
     mut tx: FrameTx,
-    mut req_rx: mpsc::Receiver<Request>,
+    mut req_rx: mpsc::Receiver<(u32, Request)>,
     metrics: Option<Arc<MetricsRegistry>>,
 ) {
-    let mut batch: Vec<Frame> = Vec::with_capacity(WRITE_BATCH_FRAMES);
+    let mut batch: Vec<TaggedFrame> = Vec::with_capacity(WRITE_BATCH_FRAMES);
     while let Some(req) = req_rx.recv().await {
         collect_batch(req, &mut req_rx, &mut batch);
         let frames = batch.len() as u64;
@@ -465,16 +666,23 @@ async fn writer_task(
     }
 }
 
-async fn reader_task(mut rx: FrameRx, pending: Pending) {
+async fn reader_task(mut rx: FrameRx, pending: Pending, streams: StreamMap) {
     loop {
-        match rx.recv().await {
-            Ok(Some(Frame::Response(resp))) => {
+        match rx.recv_tagged().await {
+            Ok(Some((_stream, Frame::Response(resp)))) => {
                 let waiter = pending.lock().as_mut().and_then(|m| m.remove(&resp.id));
                 if let Some(w) = waiter {
                     let _ = w.send(Ok(resp.body));
                 }
             }
-            Ok(Some(Frame::Request(_))) => {
+            Ok(Some((_stream, Frame::Credit { stream_id, credits }))) => {
+                let state = streams.lock().get(&stream_id).cloned();
+                if let Some(state) = state {
+                    state.grant(credits);
+                }
+                // Grants for already-closed streams just vanish.
+            }
+            Ok(Some((_stream, Frame::Request(_)))) => {
                 // Servers never send requests; drop and keep reading.
             }
             Ok(None) | Err(_) => break,
@@ -489,6 +697,12 @@ async fn reader_task(mut rx: FrameRx, pending: Pending) {
                 "connection closed with request in flight",
             )));
         }
+    }
+    // No further grants can arrive on this connection: refund every
+    // outstanding credit so streams fail over with their full window
+    // instead of deadlocking at zero.
+    for state in streams.lock().values() {
+        state.refund_all();
     }
 }
 
@@ -565,6 +779,23 @@ pub trait RpcHandler: Send + Sync + 'static {
         ctx: ConnCtx,
         body: RequestBody,
     ) -> BoxFuture<'static, GliderResult<ResponseBody>>;
+
+    /// Shared-nothing fast path: handle `body` synchronously on the
+    /// connection task, skipping the per-request spawn. Return
+    /// `Ok(result)` to answer immediately, or give `body` back with
+    /// `Err(body)` to fall through to [`RpcHandler::handle`].
+    ///
+    /// Implementations must not block or await: this runs on the
+    /// connection's read loop, so only lock-free or short-critical-
+    /// section work belongs here (DRAM-tier block reads/writes against a
+    /// sharded map, say). The default declines everything.
+    fn try_handle_sync(
+        self: Arc<Self>,
+        _ctx: ConnCtx,
+        body: RequestBody,
+    ) -> Result<GliderResult<ResponseBody>, RequestBody> {
+        Err(body)
+    }
 }
 
 /// Handle to a running RPC server. Aborts the accept loop (and through it
@@ -649,17 +880,23 @@ async fn connection_task(
     server_tier: Tier,
     conn_id: u64,
 ) {
+    // Every request on this connection arrived over the same transport.
+    let transport = rx.scheme();
+
     // Handshake: the first request must be Hello.
-    let (hello_id, peer) = match rx.recv().await {
-        Ok(Some(Frame::Request(Request {
-            id,
-            body: RequestBody::Hello { tier },
-            ..
-        }))) => (id, tier),
+    let (hello_id, peer) = match rx.recv_tagged().await {
+        Ok(Some((
+            _,
+            Frame::Request(Request {
+                id,
+                body: RequestBody::Hello { tier },
+                ..
+            }),
+        ))) => (id, tier),
         _ => return,
     };
 
-    let (resp_tx, resp_rx) = mpsc::channel::<Response>(256);
+    let (resp_tx, resp_rx) = mpsc::channel::<(u32, Frame)>(256);
     let writer = tokio::spawn(response_writer(
         tx,
         resp_rx,
@@ -669,22 +906,34 @@ async fn connection_task(
     ));
 
     let _ = resp_tx
-        .send(Response {
-            id: hello_id,
-            body: ResponseBody::Ok,
-        })
+        .send((
+            LEGACY_STREAM,
+            Frame::Response(Response {
+                id: hello_id,
+                body: ResponseBody::Ok,
+            }),
+        ))
         .await;
 
     let peer_tier = tier_of(peer);
     let mut requests = JoinSet::new();
     loop {
         tokio::select! {
-            frame = rx.recv() => {
+            frame = rx.recv_tagged() => {
                 match frame {
-                    Ok(Some(Frame::Request(req))) => {
+                    Ok(Some((stream, Frame::Request(req)))) => {
+                        metrics.transport_request(transport);
                         let inbound = req.body.payload_len();
                         if inbound > 0 {
                             metrics.record_transfer(peer_tier, server_tier, inbound);
+                        }
+                        // Flow control: replenish the stream's window as
+                        // soon as the request is admitted — the credit
+                        // bounds queued requests, not their execution.
+                        if stream != LEGACY_STREAM {
+                            let _ = resp_tx
+                                .send((stream, Frame::Credit { stream_id: stream, credits: 1 }))
+                                .await;
                         }
                         // Stats is answered here, uniformly for every
                         // server, from the connection's own registry;
@@ -695,41 +944,63 @@ async fn connection_task(
                             requests.spawn(async move {
                                 let body =
                                     ResponseBody::Stats(build_stats(&metrics.snapshot()));
-                                let _ = resp_tx.send(Response { id: req.id, body }).await;
+                                let frame = Frame::Response(Response { id: req.id, body });
+                                let _ = resp_tx.send((stream, frame)).await;
                             });
                             continue;
                         }
-                        let handler = Arc::clone(&handler);
-                        let resp_tx = resp_tx.clone();
-                        let metrics = Arc::clone(&metrics);
                         let kind = op_kind(&req.body);
-                        requests.spawn(async move {
-                            // The server half of the trace: continues the
-                            // trace id carried in the request header.
-                            let span = Span::remote("rpc.dispatch", req.trace_id);
+                        metrics.rpc_start();
+                        // Shared-nothing fast path: let the handler answer
+                        // on the connection task when it can do so without
+                        // blocking. Skipped while tracing is on — the slow
+                        // path owns the rpc.dispatch span, and the fast
+                        // path must not emit a duplicate.
+                        let req = if glider_trace::tracing_enabled() {
+                            req
+                        } else {
+                            let Request { id, trace_id, body } = req;
                             let ctx = ConnCtx {
                                 peer,
                                 conn_id,
-                                trace_id: span.trace_id(),
-                                parent_span: span.context().span_id,
+                                trace_id,
+                                parent_span: 0,
                             };
                             let start = Instant::now();
-                            let body = match handler.handle(ctx, req.body).await {
-                                Ok(body) => body,
-                                Err(err) => ResponseBody::from_error(&err),
-                            };
-                            // Latency is recorded server-side only, so
-                            // in-process setups sharing one registry do
-                            // not double-count an op per hop.
-                            if let Some(kind) = kind {
-                                metrics.record_latency(kind, start.elapsed());
+                            match Arc::clone(&handler).try_handle_sync(ctx, body) {
+                                Ok(result) => {
+                                    let body = match result {
+                                        Ok(body) => body,
+                                        Err(err) => ResponseBody::from_error(&err),
+                                    };
+                                    if let Some(kind) = kind {
+                                        metrics.record_latency(kind, start.elapsed());
+                                    }
+                                    metrics.rpc_end();
+                                    let frame = Frame::Response(Response { id, body });
+                                    let _ = resp_tx.send((stream, frame)).await;
+                                    continue;
+                                }
+                                // Declined: dispatch below with the body
+                                // handed back.
+                                Err(body) => Request { id, trace_id, body },
                             }
-                            drop(span);
-                            let _ = resp_tx.send(Response { id: req.id, body }).await;
-                        });
+                        };
+                        spawn_dispatch(
+                            &mut requests,
+                            Arc::clone(&handler),
+                            resp_tx.clone(),
+                            Arc::clone(&metrics),
+                            stream,
+                            req,
+                            kind,
+                            peer,
+                            conn_id,
+                        );
                     }
-                    Ok(Some(Frame::Response(_))) => {
-                        // Clients never send responses; ignore.
+                    Ok(Some((_, Frame::Response(_)))) | Ok(Some((_, Frame::Credit { .. }))) => {
+                        // Clients never send responses, and servers do not
+                        // consume credit; ignore.
                     }
                     Ok(None) | Err(_) => break,
                 }
@@ -743,17 +1014,59 @@ async fn connection_task(
     let _ = writer.await;
 }
 
+/// Slow-path dispatch: one spawned task per request, with the server half
+/// of the trace span created inside the task (so span lifetime matches
+/// handler execution exactly).
+#[allow(clippy::too_many_arguments)]
+fn spawn_dispatch(
+    requests: &mut JoinSet<()>,
+    handler: Arc<dyn RpcHandler>,
+    resp_tx: mpsc::Sender<(u32, Frame)>,
+    metrics: Arc<MetricsRegistry>,
+    stream: u32,
+    req: Request,
+    kind: Option<OpKind>,
+    peer: PeerTier,
+    conn_id: u64,
+) {
+    requests.spawn(async move {
+        // The server half of the trace: continues the trace id carried
+        // in the request header.
+        let span = Span::remote("rpc.dispatch", req.trace_id);
+        let ctx = ConnCtx {
+            peer,
+            conn_id,
+            trace_id: span.trace_id(),
+            parent_span: span.context().span_id,
+        };
+        let start = Instant::now();
+        let body = match handler.handle(ctx, req.body).await {
+            Ok(body) => body,
+            Err(err) => ResponseBody::from_error(&err),
+        };
+        // Latency is recorded server-side only, so in-process setups
+        // sharing one registry do not double-count an op per hop.
+        if let Some(kind) = kind {
+            metrics.record_latency(kind, start.elapsed());
+        }
+        metrics.rpc_end();
+        drop(span);
+        let frame = Frame::Response(Response { id: req.id, body });
+        let _ = resp_tx.send((stream, frame)).await;
+    });
+}
+
 async fn response_writer(
     mut tx: FrameTx,
-    mut resp_rx: mpsc::Receiver<Response>,
+    mut resp_rx: mpsc::Receiver<(u32, Frame)>,
     metrics: Arc<MetricsRegistry>,
     server_tier: Tier,
     peer_tier: Tier,
 ) {
-    let mut batch: Vec<Frame> = Vec::with_capacity(WRITE_BATCH_FRAMES);
+    let mut batch: Vec<TaggedFrame> = Vec::with_capacity(WRITE_BATCH_FRAMES);
     while let Some(resp) = resp_rx.recv().await {
         collect_batch(resp, &mut resp_rx, &mut batch);
-        for frame in &batch {
+        for (_, frame) in &batch {
             let outbound = frame.payload_len();
             if outbound > 0 {
                 metrics.record_transfer(server_tier, peer_tier, outbound);
@@ -1253,5 +1566,221 @@ mod tests {
             .await
             .unwrap();
         assert!(start.elapsed() >= std::time::Duration::from_millis(150));
+    }
+
+    #[tokio::test]
+    async fn stream_calls_round_trip_on_both_transports() {
+        for addr in ["127.0.0.1:0", "mem://rpc-test-stream"] {
+            let (server, _metrics) = start(addr).await;
+            let client_metrics = MetricsRegistry::new();
+            let client = RpcClient::connect_with_metrics(
+                server.addr(),
+                PeerTier::Compute,
+                None,
+                Some(Arc::clone(&client_metrics)),
+            )
+            .await
+            .unwrap();
+            let stream = client.open_stream(4);
+            assert_ne!(stream.id(), 0, "stream ids never collide with legacy");
+            for i in 0..16u64 {
+                let resp = stream
+                    .call(RequestBody::WriteBlock {
+                        block_id: BlockId(i),
+                        offset: 0,
+                        data: Bytes::from(vec![i as u8; 64]),
+                    })
+                    .await
+                    .unwrap();
+                assert_eq!(resp, ResponseBody::Written { n: 64 });
+            }
+            let snap = client_metrics.snapshot();
+            assert_eq!(snap.streams_opened, 1);
+            assert_eq!(snap.streams_open_current, 1);
+            drop(stream);
+            assert_eq!(client_metrics.snapshot().streams_open_current, 0);
+        }
+    }
+
+    #[tokio::test]
+    async fn stream_window_replenishes_past_its_size() {
+        // Window of 1: every call needs the credit from the previous one
+        // back before it may send. 32 sequential calls prove the server
+        // grants credit per admission (a lost grant would deadlock here,
+        // caught by the data deadline).
+        let (server, _metrics) = start("mem://rpc-test-window").await;
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        let stream = client.open_stream(1);
+        for i in 0..32u64 {
+            stream
+                .call(RequestBody::ReadBlock {
+                    block_id: BlockId(i),
+                    offset: 0,
+                    len: 8,
+                })
+                .await
+                .unwrap();
+        }
+    }
+
+    #[tokio::test]
+    async fn streams_and_legacy_calls_interleave() {
+        let (server, _metrics) = start("127.0.0.1:0").await;
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        let mut joins = Vec::new();
+        for s in 0..4u64 {
+            let stream = Arc::new(client.open_stream(2));
+            for i in 0..16u64 {
+                let stream = Arc::clone(&stream);
+                joins.push(tokio::spawn(async move {
+                    let resp = stream
+                        .call(RequestBody::WriteBlock {
+                            block_id: BlockId(s * 100 + i),
+                            offset: 0,
+                            data: Bytes::from(vec![s as u8; 32]),
+                        })
+                        .await
+                        .unwrap();
+                    assert_eq!(resp, ResponseBody::Written { n: 32 });
+                }));
+            }
+        }
+        // Legacy (stream 0) traffic rides the same connection unthrottled.
+        for i in 0..16u64 {
+            let c = client.clone();
+            joins.push(tokio::spawn(async move {
+                c.call(RequestBody::AddBlock {
+                    node_id: (i + 1).into(),
+                })
+                .await
+                .unwrap();
+            }));
+        }
+        for j in joins {
+            j.await.unwrap();
+        }
+    }
+
+    #[tokio::test]
+    async fn sync_fast_path_answers_without_spawning() {
+        // A handler that answers writes synchronously and declines the
+        // rest: both paths must produce correct responses, and the
+        // inflight gauge must return to zero either way.
+        struct SyncWrites;
+        impl RpcHandler for SyncWrites {
+            fn handle(
+                self: Arc<Self>,
+                _ctx: ConnCtx,
+                body: RequestBody,
+            ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
+                Box::pin(async move {
+                    match body {
+                        RequestBody::WriteBlock { .. } => {
+                            panic!("writes must take the sync path")
+                        }
+                        _ => Ok(ResponseBody::Ok),
+                    }
+                })
+            }
+            fn try_handle_sync(
+                self: Arc<Self>,
+                _ctx: ConnCtx,
+                body: RequestBody,
+            ) -> Result<GliderResult<ResponseBody>, RequestBody> {
+                match body {
+                    RequestBody::WriteBlock { data, .. } => Ok(Ok(ResponseBody::Written {
+                        n: data.len() as u64,
+                    })),
+                    other => Err(other),
+                }
+            }
+        }
+        let metrics = MetricsRegistry::new();
+        let listener = crate::conn::bind("mem://rpc-test-sync").await.unwrap();
+        let server = serve(
+            listener,
+            Arc::new(SyncWrites),
+            Arc::clone(&metrics),
+            Tier::Storage,
+        );
+        let client = RpcClient::connect(server.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        let resp = client
+            .call(RequestBody::WriteBlock {
+                block_id: BlockId(1),
+                offset: 0,
+                data: Bytes::from_static(b"sync"),
+            })
+            .await
+            .unwrap();
+        assert_eq!(resp, ResponseBody::Written { n: 4 });
+        // Declined bodies fall through to the async handler.
+        let resp = client
+            .call(RequestBody::AddBlock { node_id: 1.into() })
+            .await
+            .unwrap();
+        assert_eq!(resp, ResponseBody::Ok);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.rpc_inflight_current, 0);
+        assert!(snap.rpc_inflight_peak >= 1);
+        assert_eq!(snap.transport_mem_requests, 2, "hello is not counted");
+        assert_eq!(snap.op_latency(OpKind::BlockWrite).count(), 1);
+    }
+
+    #[tokio::test]
+    async fn stream_window_survives_reconnect() {
+        // Kill the server mid-stream: outstanding credit must be refunded
+        // when the connection dies, so the stream still has its full
+        // window against the replacement server.
+        let addr = "mem://rpc-test-stream-bounce";
+        let (server, _metrics) = start(addr).await;
+        let client = RpcClient::connect(addr, PeerTier::Compute, None)
+            .await
+            .unwrap();
+        let stream = client.open_stream(1);
+        stream
+            .call(RequestBody::AddBlock { node_id: 1.into() })
+            .await
+            .unwrap();
+        server.shutdown();
+        drop(server);
+        // Drain the dying connection (legacy traffic, no credit at risk).
+        for _ in 0..200 {
+            if client
+                .call(RequestBody::AddBlock { node_id: 1.into() })
+                .await
+                .is_err()
+            {
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+        let (server2, _metrics2) = start(addr).await;
+        // With a window of 1, a leaked credit would make every call here
+        // time out. Several calls must succeed back-to-back.
+        let mut healed = 0;
+        for i in 0..50u64 {
+            if stream
+                .call(RequestBody::AddBlock {
+                    node_id: (i + 1).into(),
+                })
+                .await
+                .is_ok()
+            {
+                healed += 1;
+                if healed >= 3 {
+                    break;
+                }
+            } else {
+                tokio::time::sleep(Duration::from_millis(10)).await;
+            }
+        }
+        assert!(healed >= 3, "stream did not heal with its window intact");
+        drop(server2);
     }
 }

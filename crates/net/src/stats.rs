@@ -40,6 +40,10 @@ pub fn build_stats(snap: &MetricsSnapshot) -> StatsPayload {
             named("servers-live", snap.servers_live),
             named("servers-suspect", snap.servers_suspect),
             named("servers-dead", snap.servers_dead),
+            named("rpc-inflight-current", snap.rpc_inflight_current),
+            named("rpc-inflight-peak", snap.rpc_inflight_peak),
+            named("streams-open-current", snap.streams_open_current),
+            named("streams-open-peak", snap.streams_open_peak),
         ],
         counters: vec![
             named("storage-accesses", snap.storage_accesses()),
@@ -48,6 +52,12 @@ pub fn build_stats(snap: &MetricsSnapshot) -> StatsPayload {
             named("intra-storage-bytes", snap.intra_storage_bytes()),
             named("rpc-retries", snap.rpc_retries),
             named("rpc-reconnects", snap.rpc_reconnects),
+            named("transport-tcp-requests", snap.transport_tcp_requests),
+            named("transport-mem-requests", snap.transport_mem_requests),
+            named("transport-other-requests", snap.transport_other_requests),
+            named("pool-hits", snap.pool_hits),
+            named("pool-misses", snap.pool_misses),
+            named("streams-opened", snap.streams_opened),
         ],
     }
 }
@@ -162,6 +172,21 @@ pub fn render_stats_table(payload: &StatsPayload) -> String {
             let _ = writeln!(out, "  {:<22} {}", v.name, v.value);
         }
     }
+    // Derived: buffer-pool hit rate, when the pool saw any traffic. JSON
+    // output keeps the raw hit/miss counters instead (the ratio is
+    // derivable and lossless there).
+    let counter = |name: &str| {
+        payload
+            .counters
+            .iter()
+            .find(|v| v.name == name)
+            .map_or(0, |v| v.value)
+    };
+    let (hits, misses) = (counter("pool-hits"), counter("pool-misses"));
+    if hits + misses > 0 {
+        let rate = 100.0 * hits as f64 / (hits + misses) as f64;
+        let _ = writeln!(out, "  {:<22} {rate:.1}%", "pool-hit-rate");
+    }
     out
 }
 
@@ -183,6 +208,13 @@ mod tests {
         m.rpc_retry();
         m.rpc_reconnect();
         m.set_server_liveness(2, 0, 1);
+        m.transport_request("tcp");
+        m.transport_request("tcp");
+        m.transport_request("mem");
+        m.pool_hit();
+        m.pool_miss();
+        m.stream_opened();
+        m.rpc_start();
         build_stats(&m.snapshot())
     }
 
@@ -214,6 +246,16 @@ mod tests {
         assert_eq!(counter("rpc-reconnects"), 1);
         assert_eq!(gauge("servers-live"), 2);
         assert_eq!(gauge("servers-dead"), 1);
+        assert_eq!(counter("transport-tcp-requests"), 2);
+        assert_eq!(counter("transport-mem-requests"), 1);
+        assert_eq!(counter("transport-other-requests"), 0);
+        assert_eq!(counter("pool-hits"), 1);
+        assert_eq!(counter("pool-misses"), 1);
+        assert_eq!(counter("streams-opened"), 1);
+        assert_eq!(gauge("rpc-inflight-current"), 1);
+        assert_eq!(gauge("rpc-inflight-peak"), 1);
+        assert_eq!(gauge("streams-open-current"), 1);
+        assert_eq!(gauge("streams-open-peak"), 1);
     }
 
     #[test]
@@ -243,6 +285,9 @@ mod tests {
         assert!(table.contains("us"), "microsecond ops print as us");
         assert!(table.contains(BATCH_OCCUPANCY_OP));
         assert!(table.contains("queue-peak"));
+        assert!(table.contains("transport-tcp-requests"));
+        assert!(table.contains("pool-hit-rate"));
+        assert!(table.contains("50.0%"), "1 hit / 1 miss renders as 50%");
     }
 
     #[test]

@@ -1,16 +1,34 @@
 //! Length-prefixed framing of requests and responses.
 //!
 //! A frame on the wire is `[u32 total_len][u8 kind][header][payload]`
-//! where `kind` is 0 for requests and 1 for responses, and `total_len`
-//! counts the bytes after the length prefix. The header encodes every
-//! message field except bulk payload bytes; for payload-carrying messages
-//! (`WriteBlock`, `StreamChunk`, `Data`) the header holds only the
-//! payload's `u32` length and the payload itself rides *out-of-band* as
-//! the final `payload` bytes of the frame. [`encode_frame_parts`] exposes
-//! that split so transports can transmit header and payload as separate
-//! I/O slices (vectored writes) without copying the payload into a
-//! staging buffer, and [`decode_frame`] hands the payload back as a
-//! zero-copy slice of the receive buffer.
+//! where `total_len` counts the bytes after the length prefix. The
+//! header encodes every message field except bulk payload bytes; for
+//! payload-carrying messages (`WriteBlock`, `StreamChunk`, `Data`) the
+//! header holds only the payload's `u32` length and the payload itself
+//! rides *out-of-band* as the final `payload` bytes of the frame.
+//! [`encode_frame_parts`] exposes that split so transports can transmit
+//! header and payload as separate I/O slices (vectored writes) without
+//! copying the payload into a staging buffer, and [`decode_frame`] hands
+//! the payload back as a zero-copy slice of the receive buffer.
+//!
+//! # Frame kinds (wire format v2)
+//!
+//! | kind | meaning                | layout after the kind byte          |
+//! |------|------------------------|-------------------------------------|
+//! | 0    | request, stream 0      | `[header][payload]`                 |
+//! | 1    | response, stream 0     | `[header][payload]`                 |
+//! | 2    | request on a stream    | `[u32 stream_id][header][payload]`  |
+//! | 3    | response on a stream   | `[u32 stream_id][header][payload]`  |
+//! | 4    | flow-control credit    | `[u32 stream_id][u32 credits]`      |
+//!
+//! Kinds 2–4 were added for connection multiplexing: one connection
+//! carries many logical streams, each identified by a `u32` tag and
+//! flow-controlled by [`Frame::Credit`] grants. Frames on the legacy
+//! stream 0 keep the original kind-0/1 encoding byte-for-byte, so a v1
+//! peer's frames remain decodable and the golden fixtures from the v1
+//! format still pin the encoder. Tag-aware transports use
+//! [`encode_frame_header_tagged`] / [`decode_frame_tagged`]; the
+//! untagged entry points below are stream-0 shorthands.
 
 use crate::codec::{CodecError, CodecResult, Wire};
 use crate::message::{Request, Response};
@@ -26,14 +44,30 @@ pub const FRAME_HEADER_CAPACITY: usize = 256;
 
 const KIND_REQUEST: u8 = 0;
 const KIND_RESPONSE: u8 = 1;
+const KIND_REQUEST_TAGGED: u8 = 2;
+const KIND_RESPONSE_TAGGED: u8 = 3;
+const KIND_CREDIT: u8 = 4;
 
-/// A request or response, as it travels on a connection.
+/// The stream id of un-multiplexed traffic. Frames on this stream encode
+/// with the legacy kind-0/1 wire format and are never flow-controlled.
+pub const LEGACY_STREAM: u32 = 0;
+
+/// A request, response or flow-control grant, as it travels on a
+/// connection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// A client-to-server operation.
     Request(Request),
     /// A server-to-client result.
     Response(Response),
+    /// A server-to-client flow-control grant: the named stream may issue
+    /// `credits` more requests. Never carried on stream 0.
+    Credit {
+        /// The stream being granted capacity.
+        stream_id: u32,
+        /// Number of additional requests the stream may issue.
+        credits: u32,
+    },
 }
 
 impl Frame {
@@ -42,6 +76,7 @@ impl Frame {
         match self {
             Frame::Request(r) => r.body.payload_len(),
             Frame::Response(r) => r.body.payload_len(),
+            Frame::Credit { .. } => 0,
         }
     }
 }
@@ -66,18 +101,45 @@ impl From<Response> for Frame {
 /// bytes (the length prefix already accounts for it). This is the
 /// zero-copy encode path: bulk bytes are never written into `buf`.
 pub fn encode_frame_header(frame: &Frame, buf: &mut BytesMut) -> Option<Bytes> {
+    encode_frame_header_tagged(frame, LEGACY_STREAM, buf)
+}
+
+/// Tag-aware variant of [`encode_frame_header`]: encodes `frame` as
+/// belonging to logical stream `stream`.
+///
+/// Stream [`LEGACY_STREAM`] (0) produces the legacy kind-0/1 encoding;
+/// any other stream produces the kind-2/3 encoding with the stream id
+/// after the kind byte. [`Frame::Credit`] carries its own stream id and
+/// ignores `stream`.
+pub fn encode_frame_header_tagged(frame: &Frame, stream: u32, buf: &mut BytesMut) -> Option<Bytes> {
     let start = buf.len();
     buf.put_u32_le(0); // patched below once the header length is known
     let payload = match frame {
         Frame::Request(r) => {
-            buf.put_u8(KIND_REQUEST);
+            if stream == LEGACY_STREAM {
+                buf.put_u8(KIND_REQUEST);
+            } else {
+                buf.put_u8(KIND_REQUEST_TAGGED);
+                buf.put_u32_le(stream);
+            }
             r.encode_header(buf);
             r.body.payload().cloned()
         }
         Frame::Response(r) => {
-            buf.put_u8(KIND_RESPONSE);
+            if stream == LEGACY_STREAM {
+                buf.put_u8(KIND_RESPONSE);
+            } else {
+                buf.put_u8(KIND_RESPONSE_TAGGED);
+                buf.put_u32_le(stream);
+            }
             r.encode_header(buf);
             r.body.payload().cloned()
+        }
+        Frame::Credit { stream_id, credits } => {
+            buf.put_u8(KIND_CREDIT);
+            buf.put_u32_le(*stream_id);
+            buf.put_u32_le(*credits);
+            None
         }
     };
     let payload_len = payload.as_ref().map_or(0, Bytes::len);
@@ -94,12 +156,28 @@ pub fn encode_frame_parts(frame: &Frame) -> (BytesMut, Option<Bytes>) {
     (header, payload)
 }
 
+/// Tag-aware variant of [`encode_frame_parts`] (see
+/// [`encode_frame_header_tagged`]).
+pub fn encode_frame_parts_tagged(frame: &Frame, stream: u32) -> (BytesMut, Option<Bytes>) {
+    let mut header = BytesMut::with_capacity(FRAME_HEADER_CAPACITY);
+    let payload = encode_frame_header_tagged(frame, stream, &mut header);
+    (header, payload)
+}
+
 /// Appends the fully assembled frame (header *and* payload) to `buf`.
 ///
 /// Transports should prefer [`encode_frame_parts`] to avoid copying the
 /// payload; this helper exists for tests and single-buffer consumers.
 pub fn encode_frame(frame: &Frame, buf: &mut BytesMut) {
     if let Some(payload) = encode_frame_header(frame, buf) {
+        buf.put_slice(&payload);
+    }
+}
+
+/// Tag-aware variant of [`encode_frame`] (tests and single-buffer
+/// consumers only; transports should use [`encode_frame_parts_tagged`]).
+pub fn encode_frame_tagged(frame: &Frame, stream: u32, buf: &mut BytesMut) {
+    if let Some(payload) = encode_frame_header_tagged(frame, stream, buf) {
         buf.put_slice(&payload);
     }
 }
@@ -118,6 +196,20 @@ pub fn encode_frame(frame: &Frame, buf: &mut BytesMut) {
 /// Returns [`CodecError`] on malformed frames (bad kind byte, oversized
 /// length, undecodable payload).
 pub fn decode_frame(buf: &mut BytesMut) -> CodecResult<Option<Frame>> {
+    Ok(decode_frame_tagged(buf)?.map(|(_, frame)| frame))
+}
+
+/// Tag-aware variant of [`decode_frame`]: returns the logical stream the
+/// frame belongs to alongside the frame itself.
+///
+/// Legacy kind-0/1 frames decode as stream [`LEGACY_STREAM`];
+/// [`Frame::Credit`] frames report the granted stream's id as the tag.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed frames (bad kind byte, oversized
+/// length, truncated stream tag, undecodable payload).
+pub fn decode_frame_tagged(buf: &mut BytesMut) -> CodecResult<Option<(u32, Frame)>> {
     if buf.len() < 4 {
         return Ok(None);
     }
@@ -136,9 +228,28 @@ pub fn decode_frame(buf: &mut BytesMut) -> CodecResult<Option<Frame>> {
     buf.advance(4);
     let kind = buf.get_u8();
     let mut body: Bytes = buf.split_to(total - 1).freeze();
-    let frame = match kind {
-        KIND_REQUEST => Frame::Request(Request::decode(&mut body)?),
-        KIND_RESPONSE => Frame::Response(Response::decode(&mut body)?),
+    fn read_u32(body: &mut Bytes, what: &str) -> CodecResult<u32> {
+        if body.remaining() < 4 {
+            return Err(CodecError(format!("frame truncated before {what}")));
+        }
+        Ok(body.get_u32_le())
+    }
+    let (stream, frame) = match kind {
+        KIND_REQUEST => (LEGACY_STREAM, Frame::Request(Request::decode(&mut body)?)),
+        KIND_RESPONSE => (LEGACY_STREAM, Frame::Response(Response::decode(&mut body)?)),
+        KIND_REQUEST_TAGGED => {
+            let stream = read_u32(&mut body, "stream id")?;
+            (stream, Frame::Request(Request::decode(&mut body)?))
+        }
+        KIND_RESPONSE_TAGGED => {
+            let stream = read_u32(&mut body, "stream id")?;
+            (stream, Frame::Response(Response::decode(&mut body)?))
+        }
+        KIND_CREDIT => {
+            let stream_id = read_u32(&mut body, "credit stream id")?;
+            let credits = read_u32(&mut body, "credit count")?;
+            (stream_id, Frame::Credit { stream_id, credits })
+        }
         other => return Err(CodecError(format!("invalid frame kind {other}"))),
     };
     if body.has_remaining() {
@@ -147,7 +258,7 @@ pub fn decode_frame(buf: &mut BytesMut) -> CodecResult<Option<Frame>> {
             body.remaining()
         )));
     }
-    Ok(Some(frame))
+    Ok(Some((stream, frame)))
 }
 
 #[cfg(test)]
@@ -290,6 +401,73 @@ mod tests {
             range.contains(&ptr) && range.contains(&(ptr + bytes.len() - 1)),
             "payload [{ptr:#x}..) escaped receive buffer {range:#x?}"
         );
+    }
+
+    #[test]
+    fn tagged_frames_round_trip_with_their_stream() {
+        let mut buf = BytesMut::new();
+        encode_frame_tagged(&sample_request(), 7, &mut buf);
+        encode_frame_tagged(&sample_response(), 9, &mut buf);
+        let (s1, f1) = decode_frame_tagged(&mut buf).unwrap().unwrap();
+        let (s2, f2) = decode_frame_tagged(&mut buf).unwrap().unwrap();
+        assert_eq!((s1, f1), (7, sample_request()));
+        assert_eq!((s2, f2), (9, sample_response()));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn stream_zero_tagged_encoding_matches_legacy_bytes() {
+        // The v1 golden fixtures pin kind-0/1 encodings; stream 0 must
+        // keep producing them byte-for-byte.
+        let mut legacy = BytesMut::new();
+        encode_frame(&sample_request(), &mut legacy);
+        let mut tagged = BytesMut::new();
+        encode_frame_tagged(&sample_request(), LEGACY_STREAM, &mut tagged);
+        assert_eq!(legacy, tagged);
+        // And a legacy frame decodes as stream 0 under the tagged decoder.
+        let (stream, frame) = decode_frame_tagged(&mut legacy).unwrap().unwrap();
+        assert_eq!(stream, LEGACY_STREAM);
+        assert_eq!(frame, sample_request());
+    }
+
+    #[test]
+    fn credit_frames_round_trip() {
+        let credit = Frame::Credit {
+            stream_id: 3,
+            credits: 16,
+        };
+        let mut buf = BytesMut::new();
+        encode_frame(&credit, &mut buf);
+        // Fixed layout: len=9, kind=4, stream, credits (all u32 LE).
+        assert_eq!(&buf[..], &[9, 0, 0, 0, 4, 3, 0, 0, 0, 16, 0, 0, 0][..]);
+        let (stream, frame) = decode_frame_tagged(&mut buf).unwrap().unwrap();
+        assert_eq!(stream, 3);
+        assert_eq!(frame, credit);
+        assert_eq!(credit.payload_len(), 0);
+    }
+
+    #[test]
+    fn untagged_decode_drops_the_stream_tag() {
+        let mut buf = BytesMut::new();
+        encode_frame_tagged(&sample_request(), 42, &mut buf);
+        assert_eq!(decode_frame(&mut buf).unwrap().unwrap(), sample_request());
+    }
+
+    #[test]
+    fn truncated_tagged_frames_are_rejected() {
+        // kind 2 with only 2 bytes of stream id.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(3);
+        buf.put_u8(2);
+        buf.put_u8(0);
+        buf.put_u8(0);
+        assert!(decode_frame(&mut buf).is_err());
+        // kind 4 with a stream id but no credit count.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(5);
+        buf.put_u8(4);
+        buf.put_u32_le(1);
+        assert!(decode_frame(&mut buf).is_err());
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! accidental drift.
 
 use bytes::{Bytes, BytesMut};
-use glider_proto::frame::{decode_frame, encode_frame, Frame};
+use glider_proto::frame::{
+    decode_frame, decode_frame_tagged, encode_frame, encode_frame_tagged, Frame,
+};
 use glider_proto::message::{Request, RequestBody, Response, ResponseBody};
 use glider_proto::stats::{NamedValue, OpLatency, StatsPayload};
 use glider_proto::types::{
@@ -47,6 +49,29 @@ fn check(fixture: &str, frame: Frame) {
     let decoded = decode_frame(&mut wire)
         .expect("committed fixture must decode")
         .expect("committed fixture must hold a complete frame");
+    assert_eq!(decoded, frame, "fixture decodes to a different value");
+    assert!(wire.is_empty(), "fixture holds trailing bytes");
+}
+
+/// Asserts the frame, tagged with `stream`, encodes to exactly the
+/// committed fixture bytes and that the fixture decodes back to the same
+/// `(stream, frame)` pair. Covers the v2 kind-2/3/4 encodings; the
+/// untagged fixtures above stay byte-identical (stream 0 keeps the v1
+/// kinds) and double as back-compat decode tests for v1 peers.
+fn check_tagged(fixture: &str, stream: u32, frame: Frame) {
+    let expected = fixture.trim();
+    let mut buf = BytesMut::new();
+    encode_frame_tagged(&frame, stream, &mut buf);
+    assert_eq!(
+        to_hex(&buf),
+        expected,
+        "tagged encoding no longer matches the committed fixture (wire-format break)"
+    );
+    let mut wire = BytesMut::from(&from_hex(expected)[..]);
+    let (got_stream, decoded) = decode_frame_tagged(&mut wire)
+        .expect("committed fixture must decode")
+        .expect("committed fixture must hold a complete frame");
+    assert_eq!(got_stream, stream, "fixture decodes to a different stream");
     assert_eq!(decoded, frame, "fixture decodes to a different value");
     assert!(wire.is_empty(), "fixture holds trailing bytes");
 }
@@ -315,4 +340,46 @@ golden!(
 golden!(
     resp_blocks,
     resp(ResponseBody::Blocks(vec![extent(), extent()]))
+);
+
+// ---- v2 stream-tagged frames ----
+
+macro_rules! golden_tagged {
+    ($name:ident, $stream:expr, $frame:expr) => {
+        #[test]
+        fn $name() {
+            check_tagged(
+                include_str!(concat!("golden/", stringify!($name), ".hex")),
+                $stream,
+                $frame,
+            );
+        }
+    };
+}
+
+golden_tagged!(
+    v2_req_write_block_stream7,
+    7,
+    req(RequestBody::WriteBlock {
+        block_id: BlockId(4),
+        offset: 1,
+        data: Bytes::from_static(b"hi"),
+    })
+);
+golden_tagged!(
+    v2_resp_data_stream9,
+    9,
+    resp(ResponseBody::Data {
+        seq: 1,
+        bytes: Bytes::from_static(b"hi"),
+        eof: true,
+    })
+);
+golden_tagged!(
+    v2_credit_stream3,
+    3,
+    Frame::Credit {
+        stream_id: 3,
+        credits: 16,
+    }
 );

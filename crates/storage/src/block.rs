@@ -6,6 +6,13 @@ use glider_proto::{ErrorCode, GliderError, GliderResult};
 use glider_util::lockorder::{LockRank, OrderedMutex};
 use std::collections::HashMap;
 
+/// Number of block-map shards a store uses by default. Requests are
+/// routed by `block_id % shards`, so concurrent operations on different
+/// blocks contend only when they hash to the same shard — the
+/// shared-nothing discipline of the data hot path. Sixteen shards keep
+/// the map small while exceeding the worker counts the sweeps drive.
+pub const DEFAULT_BLOCK_SHARDS: usize = 16;
+
 /// A fixed-block-size in-memory store.
 ///
 /// Blocks materialize lazily on first write and are zero-filled up to the
@@ -13,6 +20,12 @@ use std::collections::HashMap;
 /// storage server" model of NodeKernel. Reads beyond the written high-water
 /// mark return zeros up to the block size (the metadata plane's extent
 /// lengths decide what is meaningful).
+///
+/// The block map is sharded by block id ([`DEFAULT_BLOCK_SHARDS`]): each
+/// shard has its own [`LockRank::BlockMap`] mutex, operations touch
+/// exactly one shard, and no lock is ever held across shards — writes to
+/// distinct blocks proceed in parallel without a global point of
+/// serialization.
 ///
 /// # Examples
 ///
@@ -31,7 +44,7 @@ pub struct BlockStore {
     block_size: u64,
     first: BlockId,
     capacity: u64,
-    blocks: OrderedMutex<HashMap<BlockId, Block>>,
+    block_shards: Vec<OrderedMutex<HashMap<BlockId, Block>>>,
 }
 
 #[derive(Debug)]
@@ -54,19 +67,51 @@ impl BlockStore {
     ///
     /// Panics if `block_size` or `capacity` is zero.
     pub fn new(block_size: u64, first: BlockId, capacity: u64) -> Self {
+        Self::with_shards(block_size, first, capacity, DEFAULT_BLOCK_SHARDS)
+    }
+
+    /// Like [`BlockStore::new`] with an explicit shard count (tests use
+    /// one shard to exercise full contention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size`, `capacity`, or `shards` is zero.
+    pub fn with_shards(block_size: u64, first: BlockId, capacity: u64, shards: usize) -> Self {
         assert!(block_size > 0, "block size must be non-zero");
         assert!(capacity > 0, "capacity must be non-zero");
+        assert!(shards > 0, "shard count must be non-zero");
         BlockStore {
             block_size,
             first,
             capacity,
-            blocks: OrderedMutex::new(LockRank::BlockMap, HashMap::new()),
+            block_shards: (0..shards)
+                .map(|_| OrderedMutex::new(LockRank::BlockMap, HashMap::new()))
+                .collect(),
         }
     }
 
     /// The configured block size.
     pub fn block_size(&self) -> u64 {
         self.block_size
+    }
+
+    /// Number of block-map shards.
+    pub fn shard_count(&self) -> usize {
+        self.block_shards.len()
+    }
+
+    /// The shard owning `block_id`. Every data-path operation locks
+    /// exactly one shard, and never two at once. The modulo keeps the
+    /// index in range; the `Err` arm is unreachable but keeps the data
+    /// path panic-free by construction.
+    fn block_shard_for(
+        &self,
+        block_id: BlockId,
+    ) -> GliderResult<&OrderedMutex<HashMap<BlockId, Block>>> {
+        let idx = (block_id.as_u64() % self.block_shards.len() as u64) as usize;
+        self.block_shards
+            .get(idx)
+            .ok_or_else(|| GliderError::invalid(format!("no shard for block {block_id}")))
     }
 
     fn check_owned(&self, block_id: BlockId) -> GliderResult<()> {
@@ -104,7 +149,7 @@ impl BlockStore {
                 ),
             ));
         }
-        let mut blocks = self.blocks.lock();
+        let mut blocks = self.block_shard_for(block_id)?.lock();
         let block = blocks.entry(block_id).or_insert_with(|| Block {
             data: Vec::new(),
             high_water: 0,
@@ -152,7 +197,7 @@ impl BlockStore {
                 ),
             ));
         }
-        let mut blocks = self.blocks.lock();
+        let mut blocks = self.block_shard_for(block_id)?.lock();
         if let Some(block) = blocks.get_mut(&block_id) {
             if end as usize <= block.data.len() {
                 let snapshot = block
@@ -181,10 +226,14 @@ impl BlockStore {
     /// (high-water marks, for utilization metering). Unknown or foreign
     /// blocks are ignored.
     pub fn free(&self, block_ids: &[BlockId]) -> u64 {
-        let mut blocks = self.blocks.lock();
         let mut released = 0u64;
+        // One shard lock at a time, released before the next (the
+        // hierarchy forbids holding two block-map shards at once).
         for id in block_ids {
-            if let Some(block) = blocks.remove(id) {
+            let Ok(block_shard) = self.block_shard_for(*id) else {
+                continue;
+            };
+            if let Some(block) = block_shard.lock().remove(id) {
                 released += block.high_water as u64;
             }
         }
@@ -192,12 +241,18 @@ impl BlockStore {
     }
 
     /// Bytes currently allocated across all blocks (sum of high-water
-    /// marks).
+    /// marks). Shards are visited sequentially, so concurrent writers may
+    /// move the total while it is being summed — fine for metering.
     pub fn used_bytes(&self) -> u64 {
-        self.blocks
-            .lock()
-            .values()
-            .map(|b| b.high_water as u64)
+        self.block_shards
+            .iter()
+            .map(|block_shard| {
+                block_shard
+                    .lock()
+                    .values()
+                    .map(|b| b.high_water as u64)
+                    .sum::<u64>()
+            })
             .sum()
     }
 }
@@ -305,6 +360,53 @@ mod tests {
             3
         );
         assert_eq!(s.used_bytes(), 8);
+    }
+
+    #[test]
+    fn sharding_routes_by_block_id_and_totals_hold() {
+        // A store with more blocks than shards: ids spread over every
+        // shard, yet reads, writes, frees, and totals behave exactly as
+        // with one map.
+        let s = BlockStore::with_shards(64, BlockId(0), 100, 4);
+        assert_eq!(s.shard_count(), 4);
+        for i in 0..100u64 {
+            s.write(BlockId(i), 0, Bytes::from(vec![i as u8; 8]))
+                .unwrap();
+        }
+        assert_eq!(s.used_bytes(), 800);
+        for i in 0..100u64 {
+            assert_eq!(&s.read(BlockId(i), 0, 8).unwrap()[..], &[i as u8; 8]);
+        }
+        // Free a stripe that hits every shard.
+        let ids: Vec<BlockId> = (0..100).step_by(3).map(BlockId).collect();
+        let released = s.free(&ids);
+        assert_eq!(released, ids.len() as u64 * 8);
+        assert_eq!(s.used_bytes(), 800 - released);
+        // A single-shard store is degenerate but legal.
+        let one = BlockStore::with_shards(64, BlockId(0), 10, 1);
+        one.write(BlockId(3), 0, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(one.used_bytes(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_on_distinct_blocks_do_not_interfere() {
+        let s = std::sync::Arc::new(BlockStore::new(256, BlockId(0), 64));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..8u64 {
+                        let id = BlockId(t * 8 + i);
+                        s.write(id, 0, Bytes::from(vec![t as u8; 16])).unwrap();
+                        assert_eq!(&s.read(id, 0, 16).unwrap()[..], &[t as u8; 16]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.used_bytes(), 64 * 16);
     }
 
     #[test]

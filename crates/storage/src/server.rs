@@ -226,6 +226,56 @@ impl RpcHandler for DataHandler {
             }
         })
     }
+
+    /// Shared-nothing fast path: when the tier model charges nothing
+    /// (DRAM), block reads/writes/frees complete synchronously on the
+    /// connection task — one sharded-map critical section, no spawn, no
+    /// await. Modeled tiers (NVMe/HDD) decline so their latency/bandwidth
+    /// charges can sleep on a dispatched task.
+    fn try_handle_sync(
+        self: Arc<Self>,
+        _ctx: ConnCtx,
+        body: RequestBody,
+    ) -> Result<GliderResult<ResponseBody>, RequestBody> {
+        if !self.tier.is_free() {
+            return Err(body);
+        }
+        match body {
+            RequestBody::WriteBlock {
+                block_id,
+                offset,
+                data,
+            } => {
+                let n = data.len() as u64;
+                Ok(self.store.write(block_id, offset, data).map(|grew| {
+                    if grew > 0 {
+                        self.metrics.storage_alloc(grew);
+                    }
+                    ResponseBody::Written { n }
+                }))
+            }
+            RequestBody::ReadBlock {
+                block_id,
+                offset,
+                len,
+            } => Ok(self
+                .store
+                .read(block_id, offset, len)
+                .map(|bytes| ResponseBody::Data {
+                    seq: 0,
+                    bytes,
+                    eof: true,
+                })),
+            RequestBody::FreeBlocks { block_ids } => {
+                let released = self.store.free(&block_ids);
+                if released > 0 {
+                    self.metrics.storage_free(released);
+                }
+                Ok(Ok(ResponseBody::Ok))
+            }
+            other => Err(other),
+        }
+    }
 }
 
 #[cfg(test)]

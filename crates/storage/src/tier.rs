@@ -78,6 +78,13 @@ impl TierModel {
         self.write_latency
     }
 
+    /// Whether this model charges nothing at all (the DRAM tier): both
+    /// latencies zero and no bandwidth cap. Free tiers can serve the
+    /// synchronous dispatch fast path, which must never await.
+    pub fn is_free(&self) -> bool {
+        self.read_latency.is_zero() && self.write_latency.is_zero() && self.bandwidth.is_none()
+    }
+
     /// Waits out the cost of reading `bytes`.
     pub async fn charge_read(&self, bytes: u64) {
         if !self.read_latency.is_zero() {
@@ -128,6 +135,14 @@ mod tests {
             TierModel::for_class("anything").read_latency(),
             Duration::ZERO
         );
+    }
+
+    #[test]
+    fn only_uncapped_zero_latency_tiers_are_free() {
+        assert!(TierModel::dram().is_free());
+        assert!(!TierModel::nvme().is_free());
+        assert!(!TierModel::hdd().is_free());
+        assert!(!TierModel::custom(Duration::ZERO, Duration::ZERO, Some(1)).is_free());
     }
 
     #[tokio::test]

@@ -10,7 +10,7 @@
 //! - every tracked mutex declares a [`LockRank`];
 //! - ranks must be acquired in strictly increasing order
 //!   ([`LockRank::NamespaceShard`] < [`LockRank::Registry`] <
-//!   [`LockRank::BlockMap`]);
+//!   [`LockRank::BlockMap`] < [`LockRank::BufferPool`]);
 //! - under `debug_assertions` a thread-local stack of held ranks is
 //!   checked on every acquisition, and a violation panics with both
 //!   ranks named. Release builds compile the tracking away entirely —
@@ -49,11 +49,17 @@ pub enum LockRank {
     NamespaceShard = 0,
     /// The storage-server registry / block allocator (`glider-metadata`).
     Registry = 1,
-    /// A storage server's block map (`glider-storage`). Innermost; in
+    /// A storage server's block map shard (`glider-storage`). In
     /// practice never held together with metadata locks (different
     /// process in a real deployment), ranked defensively for the
-    /// in-process test clusters.
+    /// in-process test clusters. Like namespace shards, at most one
+    /// block-map shard may be held at a time.
     BlockMap = 2,
+    /// A registered buffer pool's freelist (`glider-net`). Innermost:
+    /// buffers are recycled from inside data-path critical sections, so
+    /// the pool lock may be taken while any other lock is held, and
+    /// nothing may be acquired under it.
+    BufferPool = 3,
 }
 
 impl LockRank {
@@ -63,6 +69,7 @@ impl LockRank {
             LockRank::NamespaceShard => "namespace-shard",
             LockRank::Registry => "registry",
             LockRank::BlockMap => "block-map",
+            LockRank::BufferPool => "buffer-pool",
         }
     }
 }
@@ -94,8 +101,8 @@ mod tracker {
                 assert!(
                     top < rank,
                     "lock-order violation: acquiring {} while holding {} \
-                     (declared order: namespace-shard < registry < block-map, \
-                     strictly increasing)",
+                     (declared order: namespace-shard < registry < block-map \
+                     < buffer-pool, strictly increasing)",
                     rank.name(),
                     top.name(),
                 );
@@ -294,13 +301,35 @@ mod tests {
         let _r = reg.lock();
     }
 
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn acquiring_under_the_buffer_pool_panics() {
+        let pool = OrderedMutex::new(LockRank::BufferPool, ());
+        let blocks = OrderedMutex::new(LockRank::BlockMap, ());
+        let _p = pool.lock();
+        let _b = blocks.lock(); // the pool is innermost: nothing nests under it
+    }
+
+    #[test]
+    fn buffer_pool_nests_under_everything() {
+        let blocks = OrderedMutex::new(LockRank::BlockMap, ());
+        let pool = OrderedMutex::new(LockRank::BufferPool, ());
+        let b = blocks.lock();
+        let p = pool.lock();
+        drop(p);
+        drop(b);
+    }
+
     #[test]
     fn ranks_are_ordered_and_named() {
         assert!(LockRank::NamespaceShard < LockRank::Registry);
         assert!(LockRank::Registry < LockRank::BlockMap);
+        assert!(LockRank::BlockMap < LockRank::BufferPool);
         assert_eq!(LockRank::NamespaceShard.to_string(), "namespace-shard");
         assert_eq!(LockRank::Registry.name(), "registry");
         assert_eq!(LockRank::BlockMap.name(), "block-map");
+        assert_eq!(LockRank::BufferPool.name(), "buffer-pool");
         let m = OrderedMutex::new(LockRank::Registry, ());
         assert_eq!(m.rank(), LockRank::Registry);
     }

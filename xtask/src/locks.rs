@@ -7,7 +7,8 @@
 //! |------|---------------------|--------------------------------------------|
 //! | 0    | `NamespaceShard`    | `shard`, `shards`, `shard_for_path`, `shard_for_id` |
 //! | 1    | `Registry`          | `reg`                                      |
-//! | 2    | `BlockMap`          | `blocks`                                   |
+//! | 2    | `BlockMap`          | `blocks`, `block_shard`, `block_shards`, `block_shard_for` |
+//! | 3    | `BufferPool`        | `free` (the pool freelist)                 |
 //!
 //! The pass scans every `.lock()` call, resolves the receiver to a rank
 //! by its deciding identifier, and tracks which guards are live: a
@@ -19,14 +20,15 @@
 use crate::lexer::{blank_cfg_test, is_ident_char, line_of, strip};
 use crate::Finding;
 
-const RANK_NAMES: [&str; 3] = ["NamespaceShard", "Registry", "BlockMap"];
+const RANK_NAMES: [&str; 4] = ["NamespaceShard", "Registry", "BlockMap", "BufferPool"];
 
 /// Maps a deciding identifier to its declared rank.
 fn rank_of(ident: &str) -> Option<u8> {
     match ident {
         "shard" | "shards" | "shard_for_path" | "shard_for_id" => Some(0),
         "reg" => Some(1),
-        "blocks" => Some(2),
+        "blocks" | "block_shard" | "block_shards" | "block_shard_for" => Some(2),
+        "free" => Some(3),
         _ => None,
     }
 }
@@ -74,10 +76,9 @@ pub fn scan(rel_path: &str, source: &str) -> Vec<Finding> {
                                 message: format!(
                                     "lock-order violation: acquiring {} (rank {rank}) while \
                                      holding {} (rank {}) — the declared hierarchy is \
-                                     NamespaceShard < Registry < BlockMap, one shard at a time",
-                                    RANK_NAMES[rank as usize],
-                                    RANK_NAMES[h.rank as usize],
-                                    h.rank
+                                     NamespaceShard < Registry < BlockMap < BufferPool, \
+                                     one shard at a time",
+                                    RANK_NAMES[rank as usize], RANK_NAMES[h.rank as usize], h.rank
                                 ),
                             });
                         }
@@ -243,6 +244,46 @@ mod tests {
             }
         ";
         assert_eq!(scan("x.rs", nested).len(), 1);
+    }
+
+    #[test]
+    fn block_shards_rank_with_the_block_map() {
+        let clean = "
+            fn f(&self) {
+                let mut reg = self.reg.lock();
+                let blocks = self.block_shard_for(id).lock();
+            }
+        ";
+        assert!(scan("x.rs", clean).is_empty());
+        let nested = "
+            fn f(&self) {
+                let a = self.block_shard_for(x).lock();
+                let b = self.block_shard_for(y).lock();
+            }
+        ";
+        let out = scan("x.rs", nested);
+        assert_eq!(out.len(), 1, "two block-map shards at once is forbidden");
+        assert!(out[0].message.contains("BlockMap"));
+    }
+
+    #[test]
+    fn the_pool_freelist_is_innermost() {
+        let clean = "
+            fn f(&self) {
+                let blocks = self.block_shard_for(id).lock();
+                let mut free = self.free.lock();
+            }
+        ";
+        assert!(scan("x.rs", clean).is_empty());
+        let inverted = "
+            fn f(&self) {
+                let mut free = self.free.lock();
+                let blocks = self.blocks.lock();
+            }
+        ";
+        let out = scan("x.rs", inverted);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("BufferPool"));
     }
 
     #[test]

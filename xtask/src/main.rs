@@ -12,6 +12,7 @@ mod exhaustive;
 mod lexer;
 mod locks;
 mod panics;
+mod transports;
 mod waivers;
 
 use std::fs;
@@ -47,7 +48,8 @@ fn main() -> ExitCode {
             eprintln!("          exhaustiveness (protocol classification fns),");
             eprintln!("          panic-path (server request handling),");
             eprintln!("          lock-order (declared hierarchy),");
-            eprintln!("          async-hygiene (blocking calls / sync locks in async)");
+            eprintln!("          async-hygiene (blocking calls / sync locks in async),");
+            eprintln!("          transport-registry (every Transport impl dispatchable)");
             ExitCode::from(2)
         }
     }
@@ -67,9 +69,13 @@ fn lint() -> ExitCode {
     findings.extend(panic_pass(&root));
     findings.extend(lock_pass(&root));
     findings.extend(async_pass(&root));
+    findings.extend(transports_pass(&root));
 
     if findings.is_empty() {
-        println!("xtask lint: clean (exhaustiveness, panic-path, lock-order, async-hygiene)");
+        println!(
+            "xtask lint: clean (exhaustiveness, panic-path, lock-order, async-hygiene, \
+             transport-registry)"
+        );
         ExitCode::SUCCESS
     } else {
         for f in &findings {
@@ -239,7 +245,11 @@ fn panic_pass(root: &Path) -> Vec<Finding> {
 
 fn lock_pass(root: &Path) -> Vec<Finding> {
     let mut out = Vec::new();
-    for dir in ["crates/metadata/src", "crates/storage/src"] {
+    for dir in [
+        "crates/metadata/src",
+        "crates/storage/src",
+        "crates/net/src",
+    ] {
         for rel in rs_files(root, dir) {
             match read_rel(root, &rel) {
                 Ok(src) => out.extend(locks::scan(&rel, &src)),
@@ -247,6 +257,28 @@ fn lock_pass(root: &Path) -> Vec<Finding> {
             }
         }
     }
+    out
+}
+
+/// Cross-checks `impl Transport for …` against the `TRANSPORTS` registry
+/// in `glider-net` (an unregistered transport is unreachable dead code).
+fn transports_pass(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    let mut out = Vec::new();
+    for rel in rs_files(root, "crates/net/src") {
+        match read_rel(root, &rel) {
+            Ok(src) => files.push((rel, src)),
+            Err(f) => out.push(f),
+        }
+    }
+    if files.is_empty() {
+        out.push(Finding {
+            file: "crates/net/src".to_string(),
+            line: 0,
+            message: "transport-registry pass found no sources to scan".to_string(),
+        });
+    }
+    out.extend(transports::check(&files));
     out
 }
 
