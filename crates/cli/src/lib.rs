@@ -17,9 +17,17 @@
 //!                             create an action node
 //!     write-action PATH       stream stdin into an action
 //!     read-action PATH        stream an action's output to stdout
-//!     stats [--json]          print latency histograms and transport
+//!     stats [--json|--prom|--watch]
+//!                             print latency histograms and transport
 //!                             counters (per-transport requests, RPC
-//!                             inflight, buffer-pool hit rate, streams)
+//!                             inflight, buffer-pool hit rate, streams);
+//!                             --prom emits Prometheus text exposition
+//!                             with trace exemplars, --watch polls the
+//!                             per-op time series live
+//!     trace ID                reassemble a distributed trace from every
+//!                             server's flight recorder and render it as
+//!                             one tree (ID decimal or 0x-hex, e.g. from
+//!                             a stats exemplar)
 //! ```
 //!
 //! The parser is dependency-free and unit-tested; `main.rs` is a thin
@@ -119,6 +127,17 @@ pub enum Command {
         meta: String,
         /// Emit machine-readable JSON instead of a table.
         json: bool,
+        /// Poll the per-op time series and re-render until interrupted.
+        watch: bool,
+        /// Emit Prometheus-style text exposition with trace exemplars.
+        prom: bool,
+    },
+    /// Reassemble a distributed trace into one cross-process tree.
+    Trace {
+        /// Metadata address.
+        meta: String,
+        /// The trace id to reassemble.
+        trace_id: u64,
     },
     /// Print usage.
     Help,
@@ -148,6 +167,16 @@ impl fmt::Display for UsageError {
 }
 
 impl std::error::Error for UsageError {}
+
+/// Parses a trace id as printed by `stats --prom` exemplars (`0x`-hex)
+/// or plain decimal.
+fn parse_trace_id(s: &str) -> Result<u64, UsageError> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| UsageError(format!("invalid trace id {s:?} (decimal or 0x-hex)")))
+}
 
 fn take_value<'a>(
     args: &mut impl Iterator<Item = &'a str>,
@@ -332,15 +361,36 @@ pub fn parse_with_opts(args: &[&str]) -> Result<(Command, ClientOpts), UsageErro
         }),
         "stats" => {
             let mut json = false;
+            let mut watch = false;
+            let mut prom = false;
             for arg in tail {
                 match *arg {
                     "--json" => json = true,
+                    "--watch" => watch = true,
+                    "--prom" => prom = true,
                     other => return Err(UsageError(format!("unknown stats flag {other:?}"))),
                 }
+            }
+            if u8::from(json) + u8::from(watch) + u8::from(prom) > 1 {
+                return Err(UsageError(
+                    "--json, --watch, and --prom are mutually exclusive".to_string(),
+                ));
             }
             Ok(Command::Stats {
                 meta: need_meta(&meta)?,
                 json,
+                watch,
+                prom,
+            })
+        }
+        "trace" => {
+            let id = match tail {
+                [id] => *id,
+                _ => return Err(UsageError("usage: glider trace TRACE_ID".to_string())),
+            };
+            Ok(Command::Trace {
+                meta: need_meta(&meta)?,
+                trace_id: parse_trace_id(id)?,
             })
         }
         other => Err(UsageError(format!(
@@ -365,7 +415,8 @@ glider — ephemeral storage with near-data actions
   glider --meta ADDR mkaction PATH TYPE [--params K=V;..] [--interleaved]
   glider --meta ADDR write-action PATH   (reads stdin)
   glider --meta ADDR read-action PATH    (writes stdout)
-  glider --meta ADDR stats [--json]
+  glider --meta ADDR stats [--json|--prom|--watch]
+  glider --meta ADDR trace TRACE_ID      (decimal or 0x-hex)
 
 client tuning (any data command):
   --prefetch-blocks N   blocks prefetched per AddBlocks batch (0 = off)
@@ -506,18 +557,68 @@ mod tests {
             parse(&["--meta", "m:1", "stats"]).unwrap(),
             Command::Stats {
                 meta: "m:1".into(),
-                json: false
+                json: false,
+                watch: false,
+                prom: false,
             }
         );
         assert_eq!(
             parse(&["--meta", "m:1", "stats", "--json"]).unwrap(),
             Command::Stats {
                 meta: "m:1".into(),
-                json: true
+                json: true,
+                watch: false,
+                prom: false,
             }
         );
         assert!(parse(&["stats"]).is_err());
         assert!(parse(&["--meta", "m:1", "stats", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn stats_output_modes_are_exclusive() {
+        assert_eq!(
+            parse(&["--meta", "m:1", "stats", "--prom"]).unwrap(),
+            Command::Stats {
+                meta: "m:1".into(),
+                json: false,
+                watch: false,
+                prom: true,
+            }
+        );
+        assert_eq!(
+            parse(&["--meta", "m:1", "stats", "--watch"]).unwrap(),
+            Command::Stats {
+                meta: "m:1".into(),
+                json: false,
+                watch: true,
+                prom: false,
+            }
+        );
+        assert!(parse(&["--meta", "m:1", "stats", "--json", "--prom"]).is_err());
+        assert!(parse(&["--meta", "m:1", "stats", "--watch", "--json"]).is_err());
+    }
+
+    #[test]
+    fn trace_parses_decimal_and_hex_ids() {
+        assert_eq!(
+            parse(&["--meta", "m:1", "trace", "42"]).unwrap(),
+            Command::Trace {
+                meta: "m:1".into(),
+                trace_id: 42
+            }
+        );
+        assert_eq!(
+            parse(&["--meta", "m:1", "trace", "0x00000000000000ff"]).unwrap(),
+            Command::Trace {
+                meta: "m:1".into(),
+                trace_id: 255
+            }
+        );
+        assert!(parse(&["trace", "42"]).is_err(), "trace requires --meta");
+        assert!(parse(&["--meta", "m:1", "trace"]).is_err());
+        assert!(parse(&["--meta", "m:1", "trace", "1", "2"]).is_err());
+        assert!(parse(&["--meta", "m:1", "trace", "zebra"]).is_err());
     }
 
     #[test]

@@ -179,14 +179,43 @@ async fn run(command: Command, opts: ClientOpts) -> GliderResult<()> {
             stdout.flush()?;
             reader.close().await
         }
-        Command::Stats { meta, json } => {
+        Command::Stats {
+            meta,
+            json,
+            watch,
+            prom,
+        } => {
             let store = client(&meta, &opts).await?;
+            if watch {
+                // Poll the per-op time series until interrupted. The
+                // servers sample on their own ticker; polling every
+                // second keeps at most one new point per refresh.
+                loop {
+                    let payloads = store.series().await?;
+                    print!("{}", glider_core::net::render_series(&payloads));
+                    println!("---");
+                    tokio::select! {
+                        _ = tokio::signal::ctrl_c() => return Ok(()),
+                        _ = tokio::time::sleep(Duration::from_secs(1)) => {}
+                    }
+                }
+            }
             let payload = store.stats().await?;
-            if json {
+            if prom {
+                let series = store.series().await?;
+                print!("{}", glider_core::net::render_stats_prom(&payload, &series));
+            } else if json {
                 println!("{}", glider_core::net::render_stats_json(&payload));
             } else {
                 print!("{}", glider_core::net::render_stats_table(&payload));
             }
+            Ok(())
+        }
+        Command::Trace { meta, trace_id } => {
+            let store = client(&meta, &opts).await?;
+            let dump = store.trace(trace_id).await?;
+            println!("trace 0x{trace_id:016x}");
+            print!("{}", glider_core::net::render_trace_tree(&dump));
             Ok(())
         }
     }

@@ -6,6 +6,7 @@ use crate::file::FileNode;
 use crate::kv::KeyValueNode;
 use glider_metrics::AccessKind;
 use glider_net::rpc::{RpcClient, RpcStream};
+use glider_proto::dump::{SeriesPayload, SpanDump, WireEvent};
 use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::stats::StatsPayload;
 use glider_proto::types::{ActionSpec, NodeInfo, NodeKind, PeerTier, StorageClass};
@@ -592,6 +593,85 @@ impl StoreClient {
             }
         }
         Ok(merged)
+    }
+
+    /// Reassembles a distributed trace (DESIGN.md §13).
+    ///
+    /// Fans `DumpSpans { trace_id }` out to every metadata partition and
+    /// every pooled data/active connection, merges the answers (spans
+    /// dedup by `(trace_id, span_id)`), and folds in this process's own
+    /// flight recorder — the `client.call` roots live client-side.
+    /// Unreachable servers degrade the dump instead of failing it: each
+    /// one contributes a synthetic `dump.unreachable` event naming its
+    /// address, and every probe is bounded by the metadata op-class
+    /// deadline, so a severed `mem://` endpoint can delay the answer but
+    /// never hang it.
+    pub async fn trace(&self, trace_id: u64) -> GliderResult<SpanDump> {
+        let mut merged = glider_net::build_span_dump("client", trace_id, 0);
+        let mut targets: Vec<(String, RpcClient)> = self
+            .inner
+            .metas
+            .iter()
+            .map(|m| (m.addr().to_string(), m.clone()))
+            .collect();
+        {
+            let pool = self.inner.pool.lock();
+            for (addr, conn) in pool.iter() {
+                if targets.iter().all(|(a, _)| a != addr) {
+                    targets.push((addr.clone(), conn.clone()));
+                }
+            }
+        }
+        for (addr, conn) in targets {
+            match conn
+                .call(RequestBody::DumpSpans {
+                    trace_id,
+                    since_seq: 0,
+                })
+                .await
+            {
+                Ok(ResponseBody::Spans(dump)) => merged.merge(&dump),
+                Ok(other) => {
+                    return Err(GliderError::protocol(format!(
+                        "expected span dump, got {other:?}"
+                    )))
+                }
+                Err(_) => merged.events.push(WireEvent {
+                    seq: 0,
+                    kind: "dump.unreachable".to_string(),
+                    op: "dump-spans".to_string(),
+                    addr,
+                    attempt: 0,
+                    trace_id,
+                }),
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Fetches the per-op time-series rings and exemplar grid
+    /// (`MetricsSeries`) from every metadata partition, one payload per
+    /// answering server. Data/active servers are not queried separately:
+    /// in the shared-registry deployments (`Cluster`, `glider-cli serve`)
+    /// the metadata answer already covers them, and asking twice would
+    /// double-count every tick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RPC failures from any partition.
+    pub async fn series(&self) -> GliderResult<Vec<SeriesPayload>> {
+        let mut out = Vec::new();
+        for meta in &self.inner.metas {
+            match meta.call(RequestBody::MetricsSeries).await? {
+                ResponseBody::Series(payload) => out.push(payload),
+                other => {
+                    return Err(GliderError::protocol(format!(
+                        "expected series response, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
     }
 }
 

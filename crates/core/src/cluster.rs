@@ -167,6 +167,10 @@ pub struct Cluster {
     active: Vec<ActiveServer>,
     metrics: Arc<MetricsRegistry>,
     block_size: ByteSize,
+    /// Time-series sampler ticking `sample_series_tick` on the shared
+    /// registry; `None` when another cluster in this process already
+    /// samples the same registry.
+    sampler: Option<tokio::task::JoinHandle<()>>,
 }
 
 impl Cluster {
@@ -189,6 +193,11 @@ impl Cluster {
         metrics: Arc<MetricsRegistry>,
     ) -> GliderResult<Self> {
         let cluster_id = CLUSTER_IDS.fetch_add(1, Ordering::Relaxed);
+        // Always-on flight recorder (DESIGN.md §13): every server task in
+        // this process records completed spans and fault events, so
+        // `DumpSpans` has history to serve even for requests that ran
+        // before anyone thought to look.
+        glider_trace::install_recorder();
         let mut meta_options = glider_metadata::MetadataOptions::default();
         for (from, to) in &config.class_fallbacks {
             meta_options = meta_options.with_fallback(from.clone(), to.clone());
@@ -258,12 +267,29 @@ impl Cluster {
             active.push(ActiveServer::start(server_config, Arc::clone(&metrics)).await?);
         }
 
+        // One sampler per registry: the first cluster sharing a registry
+        // claims the ticker and feeds the `MetricsSeries` rings; later
+        // clusters (PartitionedCluster partitions share one registry)
+        // skip it so ticks are not double-counted.
+        let sampler = metrics.try_claim_sampler().then(|| {
+            let registry = Arc::clone(&metrics);
+            tokio::spawn(async move {
+                let mut tick = tokio::time::interval(Duration::from_millis(500));
+                tick.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+                loop {
+                    tick.tick().await;
+                    registry.sample_series_tick();
+                }
+            })
+        });
+
         Ok(Cluster {
             metadata,
             data,
             active,
             metrics,
             block_size: config.block_size,
+            sampler,
         })
     }
 
@@ -307,6 +333,9 @@ impl Cluster {
 
     /// Stops every server.
     pub fn shutdown(&self) {
+        if let Some(sampler) = &self.sampler {
+            sampler.abort();
+        }
         for server in &self.active {
             server.shutdown();
         }
@@ -314,6 +343,14 @@ impl Cluster {
             server.shutdown();
         }
         self.metadata.shutdown();
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some(sampler) = &self.sampler {
+            sampler.abort();
+        }
     }
 }
 

@@ -34,7 +34,7 @@
 
 use futures::future::BoxFuture;
 use glider_metrics::{MetricsRegistry, Tier};
-use glider_namespace::{shard_of, Namespace, NodePath, ServerRegistry};
+use glider_namespace::{shard_of, Liveness, Namespace, NodePath, ServerRegistry};
 use glider_net::rpc::{ConnCtx, RpcHandler, ServerHandle};
 use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::types::{BlockLocation, NodeId, NodeKind, StorageClass};
@@ -199,17 +199,33 @@ impl MetadataServer {
             metrics: Arc::clone(&metrics),
         });
         // Lease sweeper: walks the registry every quarter lease, demoting
-        // silent servers Suspect -> Dead and publishing the census so the
-        // Stats RPC (answered from `metrics`) reports it.
+        // silent servers Suspect -> Dead, publishing the census so the
+        // Stats RPC (answered from `metrics`) reports it, and logging each
+        // transition into the flight recorder's structured event log so a
+        // `DumpSpans` query can pin down *when* a server was demoted.
         let sweep_handler = Arc::clone(&handler);
         let sweeper = tokio::spawn(async move {
             let interval = (lease / 4).max(Duration::from_millis(10));
             loop {
                 tokio::time::sleep(interval).await;
-                let (live, suspect, dead) = sweep_handler.reg.lock().sweep(lease);
+                let ((live, suspect, dead), transitions) =
+                    sweep_handler.reg.lock().sweep_with_transitions(lease);
                 sweep_handler
                     .metrics
                     .set_server_liveness(live, suspect, dead);
+                for (addr, from, to) in transitions {
+                    let kind = match to {
+                        Liveness::Suspect => "server.suspect",
+                        Liveness::Dead => "server.dead",
+                        Liveness::Live => "server.live",
+                    };
+                    let op = match from {
+                        Liveness::Live => "from-live",
+                        Liveness::Suspect => "from-suspect",
+                        Liveness::Dead => "from-dead",
+                    };
+                    glider_trace::structured_event(kind, op, &addr, 0, 0);
+                }
             }
         });
         let handle = glider_net::rpc::serve(listener, handler, metrics, Tier::Storage);

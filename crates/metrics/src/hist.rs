@@ -18,13 +18,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const HIST_BUCKETS: usize = 64;
 
 /// The bucket a value lands in: 0 for 0, else `floor(log2(v)) + 1`,
-/// clamped so the last bucket absorbs everything ≥ 2^62.
-fn bucket_index(value: u64) -> usize {
+/// clamped so the last bucket absorbs everything ≥ 2^62. Public so the
+/// exemplar plane can attribute a trace id to the bucket its latency
+/// landed in, and renderers can label buckets.
+pub fn bucket_index(value: u64) -> usize {
     ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
 }
 
 /// Inclusive bounds `(lower, upper)` of a bucket.
-fn bucket_bounds(index: usize) -> (u64, u64) {
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
     match index {
         0 => (0, 0),
         i if i >= HIST_BUCKETS - 1 => (1 << (HIST_BUCKETS - 2), u64::MAX),

@@ -32,13 +32,64 @@
 //! ```
 
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 mod hist;
-pub use hist::{HistogramSnapshot, LogHistogram, OpKind, HIST_BUCKETS};
+pub use hist::{
+    bucket_bounds, bucket_index, HistogramSnapshot, LogHistogram, OpKind, HIST_BUCKETS,
+};
+
+/// Maximum retained free-form notes; older notes age out (counted).
+pub const NOTES_CAPACITY: usize = 256;
+
+/// Points retained per [`OpKind`] time-series ring (see
+/// [`MetricsRegistry::sample_series_tick`]).
+pub const SERIES_CAPACITY: usize = 128;
+
+/// One sampled point of an operation kind's time series: the delta of
+/// completed operations since the previous tick plus the cumulative
+/// latency quantiles at sampling time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Monotonic tick number (shared across kinds within a registry).
+    pub seq: u64,
+    /// Operations completed since the previous tick.
+    pub count: u64,
+    /// Cumulative p50 latency at sampling time, in ns.
+    pub p50_ns: u64,
+    /// Cumulative p99 latency at sampling time, in ns.
+    pub p99_ns: u64,
+}
+
+/// The retained time series of one operation kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSeries {
+    /// Which operation the points describe.
+    pub kind: OpKind,
+    /// Points in ascending `seq` order, oldest first.
+    pub points: Vec<SeriesPoint>,
+}
+
+#[derive(Debug)]
+struct SeriesState {
+    next_seq: u64,
+    last_count: [u64; OpKind::COUNT],
+    rings: [VecDeque<SeriesPoint>; OpKind::COUNT],
+}
+
+impl SeriesState {
+    fn new() -> SeriesState {
+        SeriesState {
+            next_seq: 1,
+            last_count: [0; OpKind::COUNT],
+            rings: std::array::from_fn(|_| VecDeque::new()),
+        }
+    }
+}
 
 /// The architectural tier an endpoint belongs to.
 ///
@@ -213,7 +264,14 @@ pub struct MetricsRegistry {
     servers_live: AtomicU64,
     servers_suspect: AtomicU64,
     servers_dead: AtomicU64,
-    notes: Mutex<Vec<String>>,
+    notes: Mutex<VecDeque<String>>,
+    notes_dropped: AtomicU64,
+    // Last trace id whose latency landed in [kind][bucket]; 0 = none.
+    // Last-write-wins: an exemplar points at *a* recent trace for the
+    // bucket, not the slowest ever.
+    exemplars: [[AtomicU64; HIST_BUCKETS]; OpKind::COUNT],
+    series: Mutex<SeriesState>,
+    sampler_claimed: AtomicBool,
 }
 
 impl MetricsRegistry {
@@ -242,7 +300,11 @@ impl MetricsRegistry {
             servers_live: AtomicU64::new(0),
             servers_suspect: AtomicU64::new(0),
             servers_dead: AtomicU64::new(0),
-            notes: Mutex::new(Vec::new()),
+            notes: Mutex::new(VecDeque::new()),
+            notes_dropped: AtomicU64::new(0),
+            exemplars: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            series: Mutex::new(SeriesState::new()),
+            sampler_claimed: AtomicBool::new(false),
         })
     }
 
@@ -288,8 +350,21 @@ impl MetricsRegistry {
     /// threshold (see [`set_slow_op_threshold`]) are additionally
     /// reported, off the fast path.
     pub fn record_latency(&self, kind: OpKind, elapsed: Duration) {
+        self.record_latency_traced(kind, elapsed, 0);
+    }
+
+    /// [`record_latency`](Self::record_latency), plus an **exemplar**:
+    /// when `trace_id` is nonzero it is stored (last-write-wins, one
+    /// relaxed store) against the histogram bucket the latency landed
+    /// in, so a hot p99 bucket in `stats` points at a concrete trace
+    /// that `glider-cli trace <id>` can reassemble.
+    pub fn record_latency_traced(&self, kind: OpKind, elapsed: Duration, trace_id: u64) {
         let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = bucket_index(ns);
         self.latency[kind.index()].record(ns);
+        if trace_id != 0 {
+            self.exemplars[kind.index()][bucket].store(trace_id, Ordering::Relaxed);
+        }
         let threshold = slow_op_threshold_ns();
         if threshold != 0 && ns >= threshold {
             report_slow_op(kind, ns);
@@ -391,9 +466,77 @@ impl MetricsRegistry {
     }
 
     /// Attaches a free-form note to the registry (harnesses use this to
-    /// remember configuration alongside results).
+    /// remember configuration alongside results). Retention is a ring:
+    /// the newest [`NOTES_CAPACITY`] notes are kept, older ones age out
+    /// and are counted in `notes_dropped`, so a long-running server
+    /// cannot grow the buffer without bound.
     pub fn note(&self, s: impl Into<String>) {
-        self.notes.lock().push(s.into());
+        let mut notes = self.notes.lock();
+        notes.push_back(s.into());
+        if notes.len() > NOTES_CAPACITY {
+            notes.pop_front();
+            self.notes_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Samples one point of every operation kind's time series: the
+    /// count delta since the previous tick plus cumulative p50/p99.
+    /// Rings are bounded at [`SERIES_CAPACITY`] points (oldest age
+    /// out). Called by a background ticker — see
+    /// [`try_claim_sampler`](Self::try_claim_sampler).
+    pub fn sample_series_tick(&self) {
+        let mut series = self.series.lock();
+        let seq = series.next_seq;
+        series.next_seq += 1;
+        for kind in OpKind::ALL {
+            let i = kind.index();
+            let snap = self.latency[i].snapshot();
+            let total = snap.count();
+            let count = total.saturating_sub(series.last_count[i]);
+            series.last_count[i] = total;
+            if total == 0 {
+                // Never-used kinds get no points; the wire payload and
+                // `stats --watch` stay proportional to actual traffic.
+                continue;
+            }
+            let point = SeriesPoint {
+                seq,
+                count,
+                p50_ns: snap.p50(),
+                p99_ns: snap.p99(),
+            };
+            let ring = &mut series.rings[i];
+            ring.push_back(point);
+            if ring.len() > SERIES_CAPACITY {
+                ring.pop_front();
+            }
+        }
+    }
+
+    /// Claims the background-sampler role for this registry; only the
+    /// first caller gets `true`, so embedding a registry in several
+    /// servers of one process spawns exactly one ticker.
+    pub fn try_claim_sampler(&self) -> bool {
+        !self.sampler_claimed.swap(true, Ordering::AcqRel)
+    }
+
+    /// The retained time series of every operation kind that has seen
+    /// traffic, oldest point first.
+    pub fn series(&self) -> Vec<OpSeries> {
+        let series = self.series.lock();
+        OpKind::ALL
+            .iter()
+            .filter_map(|&kind| {
+                let ring = &series.rings[kind.index()];
+                if ring.is_empty() {
+                    return None;
+                }
+                Some(OpSeries {
+                    kind,
+                    points: ring.iter().copied().collect(),
+                })
+            })
+            .collect()
     }
 
     /// Takes a consistent-enough snapshot of all counters.
@@ -444,7 +587,11 @@ impl MetricsRegistry {
             servers_live: self.servers_live.load(Ordering::Relaxed),
             servers_suspect: self.servers_suspect.load(Ordering::Relaxed),
             servers_dead: self.servers_dead.load(Ordering::Relaxed),
-            notes: self.notes.lock().clone(),
+            notes: self.notes.lock().iter().cloned().collect(),
+            notes_dropped: self.notes_dropped.load(Ordering::Relaxed),
+            exemplars: std::array::from_fn(|k| {
+                std::array::from_fn(|b| self.exemplars[k][b].load(Ordering::Relaxed))
+            }),
         }
     }
 
@@ -489,6 +636,13 @@ impl MetricsRegistry {
         self.servers_live.store(0, Ordering::Relaxed);
         self.servers_suspect.store(0, Ordering::Relaxed);
         self.servers_dead.store(0, Ordering::Relaxed);
+        self.notes_dropped.store(0, Ordering::Relaxed);
+        for row in &self.exemplars {
+            for e in row {
+                e.store(0, Ordering::Relaxed);
+            }
+        }
+        *self.series.lock() = SeriesState::new();
         // Swap the notes out under the lock; the old buffer deallocates
         // after the lock is released.
         let old_notes = std::mem::take(&mut *self.notes.lock());
@@ -605,8 +759,13 @@ pub struct MetricsSnapshot {
     pub servers_suspect: u64,
     /// Registered servers past two leases without a heartbeat.
     pub servers_dead: u64,
-    /// Free-form notes recorded during the run.
+    /// Free-form notes recorded during the run (newest
+    /// [`NOTES_CAPACITY`] retained).
     pub notes: Vec<String>,
+    /// Notes that aged out of the bounded ring.
+    pub notes_dropped: u64,
+    /// Last trace id seen per `[kind][bucket]` latency cell; 0 = none.
+    pub exemplars: [[u64; HIST_BUCKETS]; OpKind::COUNT],
 }
 
 impl MetricsSnapshot {
@@ -658,6 +817,15 @@ impl MetricsSnapshot {
     /// The latency histogram of one operation kind.
     pub fn op_latency(&self, kind: OpKind) -> &HistogramSnapshot {
         &self.latency[kind.index()]
+    }
+
+    /// The exemplar trace id for one `[kind][bucket]` latency cell, if a
+    /// traced operation has landed there.
+    pub fn exemplar(&self, kind: OpKind, bucket: usize) -> Option<u64> {
+        match self.exemplars[kind.index()].get(bucket) {
+            Some(&id) if id != 0 => Some(id),
+            _ => None,
+        }
     }
 
     /// Total data-plane storage accesses (the paper's "number of
@@ -835,6 +1003,95 @@ mod tests {
         assert_eq!(s.object_peak, 0);
         assert_eq!(s.object_scanned, 0);
         assert!(s.notes.is_empty());
+    }
+
+    #[test]
+    fn notes_ring_is_bounded_and_counts_drops() {
+        let m = MetricsRegistry::new();
+        for i in 0..NOTES_CAPACITY + 10 {
+            m.note(format!("note-{i}"));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.notes.len(), NOTES_CAPACITY);
+        assert_eq!(s.notes_dropped, 10);
+        // Oldest aged out, newest retained, order preserved.
+        assert_eq!(s.notes.first().unwrap(), "note-10");
+        assert_eq!(
+            s.notes.last().unwrap(),
+            &format!("note-{}", NOTES_CAPACITY + 9)
+        );
+        m.reset();
+        assert_eq!(m.snapshot().notes_dropped, 0);
+    }
+
+    #[test]
+    fn exemplars_attach_trace_to_latency_bucket() {
+        let m = MetricsRegistry::new();
+        // Untraced recordings leave no exemplar.
+        m.record_latency(OpKind::BlockRead, Duration::from_micros(10));
+        let s = m.snapshot();
+        assert!(OpKind::ALL
+            .iter()
+            .all(|&k| (0..HIST_BUCKETS).all(|b| s.exemplar(k, b).is_none())));
+
+        let elapsed = Duration::from_micros(10);
+        let bucket = bucket_index(elapsed.as_nanos() as u64);
+        m.record_latency_traced(OpKind::BlockRead, elapsed, 0xABCD);
+        let s = m.snapshot();
+        assert_eq!(s.exemplar(OpKind::BlockRead, bucket), Some(0xABCD));
+        // Last write wins within a bucket.
+        m.record_latency_traced(OpKind::BlockRead, elapsed, 0xEF01);
+        assert_eq!(
+            m.snapshot().exemplar(OpKind::BlockRead, bucket),
+            Some(0xEF01)
+        );
+        // Other kinds and buckets stay clean.
+        assert_eq!(m.snapshot().exemplar(OpKind::BlockWrite, bucket), None);
+        m.reset();
+        assert_eq!(m.snapshot().exemplar(OpKind::BlockRead, bucket), None);
+    }
+
+    #[test]
+    fn series_ticks_record_deltas_and_stay_bounded() {
+        let m = MetricsRegistry::new();
+        assert!(m.series().is_empty(), "no traffic, no series");
+        m.sample_series_tick();
+        assert!(m.series().is_empty(), "idle ticks add no points");
+
+        m.record_latency(OpKind::BlockWrite, Duration::from_micros(5));
+        m.record_latency(OpKind::BlockWrite, Duration::from_micros(7));
+        m.sample_series_tick();
+        m.record_latency(OpKind::BlockWrite, Duration::from_micros(9));
+        m.sample_series_tick();
+        let series = m.series();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].kind, OpKind::BlockWrite);
+        let points = &series[0].points;
+        assert_eq!(points.len(), 2);
+        assert!(points[0].seq < points[1].seq);
+        assert_eq!(points[0].count, 2, "first tick sees both recordings");
+        assert_eq!(points[1].count, 1, "second tick sees only the delta");
+        assert!(points[1].p99_ns >= points[1].p50_ns);
+
+        // A kind with prior traffic keeps emitting points on idle ticks
+        // (count 0), and the ring stays bounded.
+        for _ in 0..SERIES_CAPACITY + 20 {
+            m.sample_series_tick();
+        }
+        let series = m.series();
+        assert_eq!(series[0].points.len(), SERIES_CAPACITY);
+        assert_eq!(series[0].points.last().unwrap().count, 0);
+        let seqs: Vec<u64> = series[0].points.iter().map(|p| p.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sampler_claim_is_once_per_registry() {
+        let m = MetricsRegistry::new();
+        assert!(m.try_claim_sampler());
+        assert!(!m.try_claim_sampler());
+        let other = MetricsRegistry::new();
+        assert!(other.try_claim_sampler());
     }
 
     #[test]

@@ -251,16 +251,32 @@ impl ServerRegistry {
     /// their current state (a client-reported `Suspect` is only cleared by
     /// a heartbeat, not by the sweep).
     pub fn sweep(&mut self, lease: Duration) -> (u64, u64, u64) {
+        self.sweep_with_transitions(lease).0
+    }
+
+    /// [`Registry::sweep`], additionally reporting every liveness
+    /// transition it caused as `(addr, from, to)` — the metadata server
+    /// turns these into structured flight-recorder events, so a later
+    /// trace dump can say exactly when a server went `Suspect`/`Dead`.
+    pub fn sweep_with_transitions(
+        &mut self,
+        lease: Duration,
+    ) -> ((u64, u64, u64), Vec<(String, Liveness, Liveness)>) {
         let now = Instant::now();
+        let mut transitions = Vec::new();
         for server in self.servers.values_mut() {
             let silent = now.saturating_duration_since(server.last_beat);
+            let from = server.liveness;
             if silent > lease.saturating_mul(2) {
                 server.liveness = Liveness::Dead;
             } else if silent > lease && server.liveness == Liveness::Live {
                 server.liveness = Liveness::Suspect;
             }
+            if server.liveness != from {
+                transitions.push((server.addr.clone(), from, server.liveness));
+            }
         }
-        self.liveness_counts()
+        (self.liveness_counts(), transitions)
     }
 
     /// The current `(live, suspect, dead)` census.
@@ -449,6 +465,35 @@ mod tests {
         // A heartbeat resurrects the server.
         reg.heartbeat(ServerId(1)).unwrap();
         assert_eq!(reg.liveness_counts(), (1, 0, 0));
+    }
+
+    #[test]
+    fn sweep_reports_each_transition_once() {
+        let mut reg = reg_with(2, 1);
+        let backdate = |reg: &mut ServerRegistry, id: u64, silent: Duration| {
+            reg.servers.get_mut(&ServerId(id)).unwrap().last_beat = Instant::now() - silent;
+        };
+        let lease = Duration::from_secs(10);
+        backdate(&mut reg, 1, Duration::from_secs(11));
+        let (census, transitions) = reg.sweep_with_transitions(lease);
+        assert_eq!(census, (1, 1, 0));
+        assert_eq!(transitions.len(), 1);
+        let (ref addr, from, to) = transitions[0];
+        assert_eq!(addr.as_str(), reg.addr_of(ServerId(1)).unwrap());
+        assert_eq!((from, to), (Liveness::Live, Liveness::Suspect));
+        // Re-sweeping with no further silence reports nothing new: the
+        // server is already Suspect and server 2 is inside its lease.
+        let (_, again) = reg.sweep_with_transitions(lease);
+        assert!(again.is_empty(), "steady state reports no transitions");
+        // Crossing two leases reports the Suspect -> Dead edge.
+        backdate(&mut reg, 1, Duration::from_secs(21));
+        let (census, transitions) = reg.sweep_with_transitions(lease);
+        assert_eq!(census, (1, 0, 1));
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(
+            (transitions[0].1, transitions[0].2),
+            (Liveness::Suspect, Liveness::Dead)
+        );
     }
 
     #[test]

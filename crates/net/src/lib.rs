@@ -34,5 +34,8 @@ pub use fault::{clear_faults, inject_faults, FaultConfig};
 pub use pool::BytesPool;
 pub use retry::{op_class, JitterRng, OpClass, RetryPolicy};
 pub use rpc::{serve, ConnCtx, RpcClient, RpcHandler, RpcStream, ServerHandle};
-pub use stats::{build_stats, render_stats_json, render_stats_table};
+pub use stats::{
+    build_series, build_span_dump, build_stats, render_series, render_stats_json,
+    render_stats_prom, render_stats_table, render_trace_tree,
+};
 pub use transport::{transport_for, MemTransport, TcpTransport, Transport, TRANSPORTS};

@@ -40,6 +40,8 @@ pub fn op_class(body: &RequestBody) -> OpClass {
         | RequestBody::ReplaceBlock { .. }
         | RequestBody::RegisterServer { .. }
         | RequestBody::Stats
+        | RequestBody::DumpSpans { .. }
+        | RequestBody::MetricsSeries
         | RequestBody::Heartbeat { .. } => OpClass::Metadata,
         RequestBody::WriteBlock { .. }
         | RequestBody::ReadBlock { .. }

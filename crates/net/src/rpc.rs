@@ -14,7 +14,7 @@
 
 use crate::conn::{connect, BoundListener, FrameRx, FrameTx, TaggedFrame};
 use crate::retry::{op_class, JitterRng, RetryPolicy};
-use crate::stats::build_stats;
+use crate::stats::{build_series, build_span_dump, build_stats};
 use futures::future::BoxFuture;
 use glider_metrics::{MetricsRegistry, OpKind, Tier};
 use glider_proto::frame::{Frame, LEGACY_STREAM};
@@ -109,9 +109,16 @@ impl StreamState {
                 Ok(())
             }
             Ok(Err(_)) => Err(GliderError::closed(format!("stream to {addr}"))),
-            Err(_) => Err(GliderError::timeout(format!(
-                "stream credit to {addr} after {deadline:?}"
-            ))),
+            Err(_) => {
+                // The stream's whole credit window sat exhausted for a
+                // full op deadline: the flight-recorder event is how a
+                // post-hoc dump distinguishes a slow server from a
+                // starved window.
+                glider_trace::structured_event("credit.exhausted", "stream", addr, 0, 0);
+                Err(GliderError::timeout(format!(
+                    "stream credit to {addr} after {deadline:?}"
+                )))
+            }
         }
     }
 
@@ -327,6 +334,7 @@ impl RpcClient {
         // this path; the span closes (and reports) when the call returns.
         let span = Span::child_of(parent, "client.call");
         let trace_id = span.trace_id();
+        let op = body.op_name();
         // Throttle pacing is intentional latency and therefore sits
         // outside the deadline window, once per call (retried idempotent
         // ops never carry outbound payloads).
@@ -395,6 +403,15 @@ impl RpcClient {
             if let Some(m) = &self.inner.metrics {
                 m.rpc_retry();
             }
+            // Feed the flight recorder's event log so a post-hoc dump
+            // shows which op was re-issued, against whom, how many times.
+            glider_trace::structured_event(
+                "rpc.retry",
+                op,
+                &self.inner.addr,
+                u64::from(attempts),
+                trace_id,
+            );
             // A short-lived span per retry, so the trace tree shows how
             // often (and why) a call was re-issued.
             drop(Span::child_of(span.context(), "client.retry"));
@@ -453,6 +470,13 @@ impl RpcClient {
                     if let Some(m) = &self.inner.metrics {
                         m.rpc_reconnect();
                     }
+                    glider_trace::structured_event(
+                        "rpc.reconnect",
+                        "dial",
+                        &self.inner.addr,
+                        u64::from(attempt),
+                        0,
+                    );
                     return Ok(chan);
                 }
                 Err(e) => last = e,
@@ -759,11 +783,15 @@ fn op_kind(body: &RequestBody) -> Option<OpKind> {
         | RequestBody::StreamChunk { .. }
         | RequestBody::StreamFetch { .. }
         | RequestBody::StreamClose { .. } => OpKind::ActionInvoke,
-        // Handshake, introspection, and liveness beacons are not measured
-        // as operations (heartbeats would drown real metadata latencies).
-        RequestBody::Hello { .. } | RequestBody::Stats | RequestBody::Heartbeat { .. } => {
-            return None
-        }
+        // Handshake, introspection (Stats, DumpSpans, MetricsSeries), and
+        // liveness beacons are not measured as operations (heartbeats
+        // would drown real metadata latencies, and the observability
+        // plane must not perturb the histograms it reports).
+        RequestBody::Hello { .. }
+        | RequestBody::Stats
+        | RequestBody::DumpSpans { .. }
+        | RequestBody::MetricsSeries
+        | RequestBody::Heartbeat { .. } => return None,
     })
 }
 
@@ -836,7 +864,8 @@ pub fn serve(
     server_tier: Tier,
 ) -> ServerHandle {
     let addr = listener.local_addr().to_string();
-    let accept_task = tokio::spawn(accept_loop(listener, handler, metrics, server_tier));
+    let source: Arc<str> = Arc::from(addr.as_str());
+    let accept_task = tokio::spawn(accept_loop(listener, handler, metrics, server_tier, source));
     ServerHandle { addr, accept_task }
 }
 
@@ -845,6 +874,7 @@ async fn accept_loop(
     handler: Arc<dyn RpcHandler>,
     metrics: Arc<MetricsRegistry>,
     server_tier: Tier,
+    source: Arc<str>,
 ) {
     let mut conns = JoinSet::new();
     let conn_ids = AtomicU64::new(1);
@@ -861,6 +891,7 @@ async fn accept_loop(
                             Arc::clone(&metrics),
                             server_tier,
                             conn_id,
+                            Arc::clone(&source),
                         ));
                     }
                     Err(_) => break,
@@ -872,6 +903,37 @@ async fn accept_loop(
     }
 }
 
+/// Whether `body` is an introspection request every server answers
+/// uniformly from its own registry and flight recorder (handlers never
+/// see these).
+fn is_introspection(body: &RequestBody) -> bool {
+    matches!(
+        body,
+        RequestBody::Stats | RequestBody::DumpSpans { .. } | RequestBody::MetricsSeries
+    )
+}
+
+/// Answers one introspection request. `DumpSpans` is idempotent by
+/// construction: it reads a snapshot keyed by `(trace_id, since_seq)`
+/// and mutates nothing, so a retried dump returns the same (or a
+/// strictly newer) view.
+fn introspect(body: &RequestBody, metrics: &MetricsRegistry, source: &str) -> ResponseBody {
+    match body {
+        RequestBody::Stats => ResponseBody::Stats(build_stats(&metrics.snapshot())),
+        RequestBody::DumpSpans {
+            trace_id,
+            since_seq,
+        } => ResponseBody::Spans(build_span_dump(source, *trace_id, *since_seq)),
+        RequestBody::MetricsSeries => ResponseBody::Series(build_series(source, metrics)),
+        // Guarded by is_introspection; answering with a protocol error
+        // (not a panic) keeps the connection task total.
+        other => ResponseBody::from_error(&GliderError::protocol(format!(
+            "{} is not an introspection request",
+            other.op_name()
+        ))),
+    }
+}
+
 async fn connection_task(
     tx: FrameTx,
     mut rx: FrameRx,
@@ -879,6 +941,7 @@ async fn connection_task(
     metrics: Arc<MetricsRegistry>,
     server_tier: Tier,
     conn_id: u64,
+    source: Arc<str>,
 ) {
     // Every request on this connection arrived over the same transport.
     let transport = rx.scheme();
@@ -935,15 +998,16 @@ async fn connection_task(
                                 .send((stream, Frame::Credit { stream_id: stream, credits: 1 }))
                                 .await;
                         }
-                        // Stats is answered here, uniformly for every
-                        // server, from the connection's own registry;
-                        // handlers never see it.
-                        if matches!(req.body, RequestBody::Stats) {
+                        // Introspection (Stats, DumpSpans, MetricsSeries)
+                        // is answered here, uniformly for every server,
+                        // from the connection's own registry and the
+                        // process flight recorder; handlers never see it.
+                        if is_introspection(&req.body) {
                             let resp_tx = resp_tx.clone();
                             let metrics = Arc::clone(&metrics);
+                            let source = Arc::clone(&source);
                             requests.spawn(async move {
-                                let body =
-                                    ResponseBody::Stats(build_stats(&metrics.snapshot()));
+                                let body = introspect(&req.body, &metrics, &source);
                                 let frame = Frame::Response(Response { id: req.id, body });
                                 let _ = resp_tx.send((stream, frame)).await;
                             });
@@ -974,7 +1038,11 @@ async fn connection_task(
                                         Err(err) => ResponseBody::from_error(&err),
                                     };
                                     if let Some(kind) = kind {
-                                        metrics.record_latency(kind, start.elapsed());
+                                        metrics.record_latency_traced(
+                                            kind,
+                                            start.elapsed(),
+                                            trace_id,
+                                        );
                                     }
                                     metrics.rpc_end();
                                     let frame = Frame::Response(Response { id, body });
@@ -1045,9 +1113,10 @@ fn spawn_dispatch(
             Err(err) => ResponseBody::from_error(&err),
         };
         // Latency is recorded server-side only, so in-process setups
-        // sharing one registry do not double-count an op per hop.
+        // sharing one registry do not double-count an op per hop. The
+        // trace id rides along as the histogram bucket's exemplar.
         if let Some(kind) = kind {
-            metrics.record_latency(kind, start.elapsed());
+            metrics.record_latency_traced(kind, start.elapsed(), ctx.trace_id);
         }
         metrics.rpc_end();
         drop(span);

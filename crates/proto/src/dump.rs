@@ -1,0 +1,383 @@
+//! Wire representation of the trace query plane (DESIGN.md §13): the
+//! `DumpSpans` and `MetricsSeries` RPCs.
+//!
+//! Every Glider server keeps a flight recorder of completed spans and
+//! structured fault events (`glider-trace`). [`SpanDump`] is one
+//! process's retained slice of a trace; the client fans `DumpSpans` out
+//! to every known server and merges the dumps by `(trace_id, span_id)`
+//! to reassemble the cross-process tree. [`SeriesPayload`] carries a
+//! server's per-operation time series plus the exemplar trace ids that
+//! link latency buckets back to dumpable traces.
+
+use crate::codec::{CodecResult, Wire};
+use bytes::{Bytes, BytesMut};
+
+/// One completed span as retained by a server's flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireSpan {
+    /// The recorder's monotonic sequence number (per source process).
+    pub seq: u64,
+    /// Span name (e.g. `rpc.dispatch`).
+    pub name: String,
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (unique within the trace).
+    pub span_id: u64,
+    /// Parent span id; 0 for roots and remote continuations.
+    pub parent_span: u64,
+    /// True when the parent lives in another process (wire hop).
+    pub remote: bool,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+    /// True when the span closed with its error flag set.
+    pub err: bool,
+    /// True when tail-based retention pinned this span (slow or error).
+    pub pinned: bool,
+}
+
+impl Wire for WireSpan {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.seq.encode(buf);
+        self.name.encode(buf);
+        self.trace_id.encode(buf);
+        self.span_id.encode(buf);
+        self.parent_span.encode(buf);
+        self.remote.encode(buf);
+        self.duration_ns.encode(buf);
+        self.err.encode(buf);
+        self.pinned.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(WireSpan {
+            seq: u64::decode(buf)?,
+            name: String::decode(buf)?,
+            trace_id: u64::decode(buf)?,
+            span_id: u64::decode(buf)?,
+            parent_span: u64::decode(buf)?,
+            remote: bool::decode(buf)?,
+            duration_ns: u64::decode(buf)?,
+            err: bool::decode(buf)?,
+            pinned: bool::decode(buf)?,
+        })
+    }
+}
+
+/// One structured fault event (retry, reconnect, liveness transition,
+/// pool exhaustion) from a server's event log.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireEvent {
+    /// The recorder's monotonic sequence number (shared with spans).
+    pub seq: u64,
+    /// Event kind (e.g. `rpc.retry`, `server.liveness`).
+    pub kind: String,
+    /// The operation or transition described.
+    pub op: String,
+    /// The server address involved, when known.
+    pub addr: String,
+    /// Attempt number for retry/reconnect kinds.
+    pub attempt: u64,
+    /// The trace the event belongs to (0 when untraced).
+    pub trace_id: u64,
+}
+
+impl Wire for WireEvent {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.seq.encode(buf);
+        self.kind.encode(buf);
+        self.op.encode(buf);
+        self.addr.encode(buf);
+        self.attempt.encode(buf);
+        self.trace_id.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(WireEvent {
+            seq: u64::decode(buf)?,
+            kind: String::decode(buf)?,
+            op: String::decode(buf)?,
+            addr: String::decode(buf)?,
+            attempt: u64::decode(buf)?,
+            trace_id: u64::decode(buf)?,
+        })
+    }
+}
+
+/// One process's answer to `DumpSpans`: its retained spans and events
+/// (filtered by the request), plus how much history its rings have shed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanDump {
+    /// Where the dump came from (the server's data-plane address;
+    /// `client` for the local process).
+    pub source: String,
+    /// Retained spans, ascending `seq`.
+    pub spans: Vec<WireSpan>,
+    /// Retained structured events, ascending `seq`.
+    pub events: Vec<WireEvent>,
+    /// Spans evicted from the source's rings since process start.
+    pub dropped_spans: u64,
+    /// Events evicted from the source's event log since process start.
+    pub dropped_events: u64,
+}
+
+impl SpanDump {
+    /// Merges `other` into `self` for cross-process trace assembly:
+    /// spans dedup by `(trace_id, span_id)` (first occurrence wins —
+    /// span ids are minted once, so duplicates only arise from asking
+    /// the same server twice), events append, drop counts add, sources
+    /// join with `,`.
+    pub fn merge(&mut self, other: &SpanDump) {
+        if self.source.is_empty() {
+            self.source = other.source.clone();
+        } else if !other.source.is_empty() {
+            self.source.push(',');
+            self.source.push_str(&other.source);
+        }
+        for span in &other.spans {
+            if !self
+                .spans
+                .iter()
+                .any(|s| s.trace_id == span.trace_id && s.span_id == span.span_id)
+            {
+                self.spans.push(span.clone());
+            }
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.dropped_spans += other.dropped_spans;
+        self.dropped_events += other.dropped_events;
+    }
+}
+
+impl Wire for SpanDump {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.source.encode(buf);
+        self.spans.encode(buf);
+        self.events.encode(buf);
+        self.dropped_spans.encode(buf);
+        self.dropped_events.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(SpanDump {
+            source: String::decode(buf)?,
+            spans: Vec::decode(buf)?,
+            events: Vec::decode(buf)?,
+            dropped_spans: u64::decode(buf)?,
+            dropped_events: u64::decode(buf)?,
+        })
+    }
+}
+
+/// One sampled point of an operation's time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireSeriesPoint {
+    /// Sampler tick number (per source process).
+    pub seq: u64,
+    /// Operations completed since the previous tick.
+    pub count: u64,
+    /// Cumulative p50 latency at sampling time, ns.
+    pub p50_ns: u64,
+    /// Cumulative p99 latency at sampling time, ns.
+    pub p99_ns: u64,
+}
+
+impl Wire for WireSeriesPoint {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.seq.encode(buf);
+        self.count.encode(buf);
+        self.p50_ns.encode(buf);
+        self.p99_ns.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(WireSeriesPoint {
+            seq: u64::decode(buf)?,
+            count: u64::decode(buf)?,
+            p50_ns: u64::decode(buf)?,
+            p99_ns: u64::decode(buf)?,
+        })
+    }
+}
+
+/// The retained time series of one operation kind.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpSeriesPayload {
+    /// The operation name (a `glider_metrics::OpKind` name).
+    pub name: String,
+    /// Points ascending by `seq`, oldest first.
+    pub points: Vec<WireSeriesPoint>,
+}
+
+impl Wire for OpSeriesPayload {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.name.encode(buf);
+        self.points.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(OpSeriesPayload {
+            name: String::decode(buf)?,
+            points: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// An exemplar: the last trace id whose latency landed in one histogram
+/// bucket of one operation, linking the metrics plane to the trace
+/// plane (`stats` shows the id, `trace <id>` dumps it).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExemplarEntry {
+    /// The operation name.
+    pub op: String,
+    /// The log-histogram bucket index the latency landed in.
+    pub bucket: u32,
+    /// The trace id (nonzero by construction).
+    pub trace_id: u64,
+}
+
+impl Wire for ExemplarEntry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.op.encode(buf);
+        self.bucket.encode(buf);
+        self.trace_id.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(ExemplarEntry {
+            op: String::decode(buf)?,
+            bucket: u32::decode(buf)?,
+            trace_id: u64::decode(buf)?,
+        })
+    }
+}
+
+/// A server's answer to `MetricsSeries`: its sampled per-operation time
+/// series plus current exemplars. Kept per-source (not merged like
+/// stats) because tick sequences are process-local; renderers aggregate
+/// the latest points across sources instead.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeriesPayload {
+    /// The answering server's address (`client` for the local process).
+    pub source: String,
+    /// Series of every operation kind that has seen traffic.
+    pub series: Vec<OpSeriesPayload>,
+    /// Current exemplars (one per occupied `[op][bucket]` cell).
+    pub exemplars: Vec<ExemplarEntry>,
+}
+
+impl Wire for SeriesPayload {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.source.encode(buf);
+        self.series.encode(buf);
+        self.exemplars.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(SeriesPayload {
+            source: String::decode(buf)?,
+            series: Vec::decode(buf)?,
+            exemplars: Vec::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+
+    fn span(trace_id: u64, span_id: u64) -> WireSpan {
+        WireSpan {
+            seq: span_id,
+            name: "rpc.dispatch".to_string(),
+            trace_id,
+            span_id,
+            parent_span: 0,
+            remote: true,
+            duration_ns: 1500,
+            err: false,
+            pinned: false,
+        }
+    }
+
+    #[test]
+    fn dump_payloads_round_trip() {
+        let dump = SpanDump {
+            source: "mem://meta".to_string(),
+            spans: vec![span(1, 2), span(1, 3)],
+            events: vec![WireEvent {
+                seq: 4,
+                kind: "rpc.retry".to_string(),
+                op: "lookup-node".to_string(),
+                addr: "mem://meta".to_string(),
+                attempt: 2,
+                trace_id: 1,
+            }],
+            dropped_spans: 10,
+            dropped_events: 1,
+        };
+        assert_eq!(from_bytes::<SpanDump>(to_bytes(&dump)).unwrap(), dump);
+        assert_eq!(
+            from_bytes::<SpanDump>(to_bytes(&SpanDump::default())).unwrap(),
+            SpanDump::default()
+        );
+    }
+
+    #[test]
+    fn series_payloads_round_trip() {
+        let payload = SeriesPayload {
+            source: "mem://data0".to_string(),
+            series: vec![OpSeriesPayload {
+                name: "block-write".to_string(),
+                points: vec![
+                    WireSeriesPoint {
+                        seq: 1,
+                        count: 10,
+                        p50_ns: 1000,
+                        p99_ns: 9000,
+                    },
+                    WireSeriesPoint {
+                        seq: 2,
+                        count: 0,
+                        p50_ns: 1000,
+                        p99_ns: 9000,
+                    },
+                ],
+            }],
+            exemplars: vec![ExemplarEntry {
+                op: "block-write".to_string(),
+                bucket: 11,
+                trace_id: 0xDEAD,
+            }],
+        };
+        assert_eq!(
+            from_bytes::<SeriesPayload>(to_bytes(&payload)).unwrap(),
+            payload
+        );
+    }
+
+    #[test]
+    fn merge_dedups_spans_by_trace_and_span_id() {
+        let mut a = SpanDump {
+            source: "mem://meta".to_string(),
+            spans: vec![span(1, 2)],
+            events: vec![],
+            dropped_spans: 1,
+            dropped_events: 0,
+        };
+        let b = SpanDump {
+            source: "mem://data0".to_string(),
+            spans: vec![span(1, 2), span(1, 5), span(9, 2)],
+            events: vec![WireEvent::default()],
+            dropped_spans: 2,
+            dropped_events: 3,
+        };
+        a.merge(&b);
+        assert_eq!(a.source, "mem://meta,mem://data0");
+        // (1,2) deduped; (1,5) and (9,2) are distinct spans.
+        assert_eq!(a.spans.len(), 3);
+        assert_eq!(a.events.len(), 1);
+        assert_eq!(a.dropped_spans, 3);
+        assert_eq!(a.dropped_events, 3);
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod codec;
+pub mod dump;
 pub mod error;
 pub mod frame;
 pub mod message;

@@ -5,6 +5,7 @@
 //! opcode followed by their fields.
 
 use crate::codec::{CodecError, CodecResult, Wire};
+use crate::dump::{SeriesPayload, SpanDump};
 use crate::error::{ErrorCode, GliderError};
 use crate::stats::StatsPayload;
 use crate::types::{
@@ -137,6 +138,21 @@ pub enum RequestBody {
         /// The id assigned at registration.
         server_id: ServerId,
     },
+    /// Dumps the server's flight recorder (completed spans + structured
+    /// fault events), filtered. Answered uniformly by every Glider
+    /// server with [`ResponseBody::Spans`]; clients fan this out to
+    /// reassemble a cross-process trace (DESIGN.md §13).
+    DumpSpans {
+        /// Return only this trace's records; 0 returns every trace.
+        trace_id: u64,
+        /// Return only records with recorder seq greater than this; 0
+        /// returns everything retained. Feed the previous dump's highest
+        /// seq back in for incremental tailing.
+        since_seq: u64,
+    },
+    /// Requests the server's sampled per-operation time series and
+    /// current latency exemplars (answer: [`ResponseBody::Series`]).
+    MetricsSeries,
 
     // ---- data plane ----
     /// Writes `data` into a block at `offset`.
@@ -225,6 +241,8 @@ impl RequestBody {
             RequestBody::CommitBlocks { .. } => 10,
             RequestBody::Heartbeat { .. } => 11,
             RequestBody::ReplaceBlock { .. } => 12,
+            RequestBody::DumpSpans { .. } => 13,
+            RequestBody::MetricsSeries => 14,
             RequestBody::WriteBlock { .. } => 20,
             RequestBody::ReadBlock { .. } => 21,
             RequestBody::FreeBlocks { .. } => 22,
@@ -253,6 +271,8 @@ impl RequestBody {
             RequestBody::CommitBlocks { .. } => "commit-blocks",
             RequestBody::Heartbeat { .. } => "heartbeat",
             RequestBody::ReplaceBlock { .. } => "replace-block",
+            RequestBody::DumpSpans { .. } => "dump-spans",
+            RequestBody::MetricsSeries => "metrics-series",
             RequestBody::WriteBlock { .. } => "write-block",
             RequestBody::ReadBlock { .. } => "read-block",
             RequestBody::FreeBlocks { .. } => "free-blocks",
@@ -302,6 +322,8 @@ impl RequestBody {
             | RequestBody::LookupNode { .. }
             | RequestBody::ListChildren { .. }
             | RequestBody::Stats
+            | RequestBody::DumpSpans { .. }
+            | RequestBody::MetricsSeries
             | RequestBody::Heartbeat { .. }
             | RequestBody::ReadBlock { .. }
             | RequestBody::StreamFetch { .. } => true,
@@ -387,6 +409,14 @@ impl Request {
                 node_id.encode(buf);
                 block_id.encode(buf);
             }
+            RequestBody::DumpSpans {
+                trace_id,
+                since_seq,
+            } => {
+                trace_id.encode(buf);
+                since_seq.encode(buf);
+            }
+            RequestBody::MetricsSeries => {}
             RequestBody::WriteBlock {
                 block_id,
                 offset,
@@ -499,6 +529,11 @@ impl Wire for Request {
                 node_id: NodeId::decode(buf)?,
                 block_id: BlockId::decode(buf)?,
             },
+            13 => RequestBody::DumpSpans {
+                trace_id: u64::decode(buf)?,
+                since_seq: u64::decode(buf)?,
+            },
+            14 => RequestBody::MetricsSeries,
             20 => RequestBody::WriteBlock {
                 block_id: BlockId::decode(buf)?,
                 offset: u64::decode(buf)?,
@@ -616,6 +651,12 @@ pub enum ResponseBody {
     /// Freshly allocated block extents, in chain order (answer to
     /// [`RequestBody::AddBlocks`]).
     Blocks(Vec<BlockExtent>),
+    /// The server's flight-recorder dump (answer to
+    /// [`RequestBody::DumpSpans`]).
+    Spans(SpanDump),
+    /// The server's sampled time series and exemplars (answer to
+    /// [`RequestBody::MetricsSeries`]).
+    Series(SeriesPayload),
 }
 
 impl ResponseBody {
@@ -633,6 +674,8 @@ impl ResponseBody {
             ResponseBody::Error { .. } => 9,
             ResponseBody::Stats(_) => 10,
             ResponseBody::Blocks(_) => 11,
+            ResponseBody::Spans(_) => 12,
+            ResponseBody::Series(_) => 13,
         }
     }
 
@@ -717,6 +760,8 @@ impl Response {
             }
             ResponseBody::Stats(payload) => payload.encode(buf),
             ResponseBody::Blocks(extents) => extents.encode(buf),
+            ResponseBody::Spans(dump) => dump.encode(buf),
+            ResponseBody::Series(payload) => payload.encode(buf),
         }
     }
 }
@@ -764,6 +809,8 @@ impl Wire for Response {
             },
             10 => ResponseBody::Stats(StatsPayload::decode(buf)?),
             11 => ResponseBody::Blocks(Vec::decode(buf)?),
+            12 => ResponseBody::Spans(SpanDump::decode(buf)?),
+            13 => ResponseBody::Series(SeriesPayload::decode(buf)?),
             other => return Err(CodecError(format!("unknown response opcode {other}"))),
         };
         Ok(Response { id, body })
@@ -896,6 +943,15 @@ mod tests {
             node_id: NodeId(1),
             block_id: BlockId(2),
         });
+        round_trip_req(RequestBody::DumpSpans {
+            trace_id: 0xFEED,
+            since_seq: 42,
+        });
+        round_trip_req(RequestBody::DumpSpans {
+            trace_id: 0,
+            since_seq: 0,
+        });
+        round_trip_req(RequestBody::MetricsSeries);
     }
 
     #[test]
@@ -980,6 +1036,45 @@ mod tests {
                 value: 9,
             }],
         }));
+    }
+
+    #[test]
+    fn introspection_bodies_round_trip() {
+        use crate::dump::{ExemplarEntry, SpanDump, WireSpan};
+        round_trip_resp(ResponseBody::Spans(SpanDump {
+            source: "mem://meta".to_string(),
+            spans: vec![WireSpan {
+                seq: 1,
+                name: "client.call".to_string(),
+                trace_id: 0xFEED,
+                span_id: 2,
+                parent_span: 0,
+                remote: false,
+                duration_ns: 123_456,
+                err: true,
+                pinned: true,
+            }],
+            events: vec![],
+            dropped_spans: 0,
+            dropped_events: 0,
+        }));
+        round_trip_resp(ResponseBody::Spans(SpanDump::default()));
+        round_trip_resp(ResponseBody::Series(crate::dump::SeriesPayload {
+            source: "mem://data0".to_string(),
+            series: vec![],
+            exemplars: vec![ExemplarEntry {
+                op: "block-read".to_string(),
+                bucket: 14,
+                trace_id: 0xFEED,
+            }],
+        }));
+        // Both introspection requests are safe to replay.
+        assert!(RequestBody::DumpSpans {
+            trace_id: 0,
+            since_seq: 0
+        }
+        .is_idempotent());
+        assert!(RequestBody::MetricsSeries.is_idempotent());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! accidental drift.
 
 use bytes::{Bytes, BytesMut};
+use glider_proto::dump::{
+    ExemplarEntry, OpSeriesPayload, SeriesPayload, SpanDump, WireEvent, WireSeriesPoint, WireSpan,
+};
 use glider_proto::frame::{
     decode_frame, decode_frame_tagged, encode_frame, encode_frame_tagged, Frame,
 };
@@ -146,7 +149,10 @@ golden!(
         path: "/".to_string(),
     })
 );
-golden!(req_add_block, req(RequestBody::AddBlock { node_id: NodeId(3) }));
+golden!(
+    req_add_block,
+    req(RequestBody::AddBlock { node_id: NodeId(3) })
+);
 golden!(
     req_commit_block,
     req(RequestBody::CommitBlock {
@@ -258,6 +264,14 @@ golden!(
         stream_id: StreamId(8),
     })
 );
+golden!(
+    req_dump_spans,
+    req(RequestBody::DumpSpans {
+        trace_id: 7,
+        since_seq: 9,
+    })
+);
+golden!(req_metrics_series, req(RequestBody::MetricsSeries));
 
 // ---- responses ----
 
@@ -340,6 +354,53 @@ golden!(
 golden!(
     resp_blocks,
     resp(ResponseBody::Blocks(vec![extent(), extent()]))
+);
+golden!(
+    resp_spans,
+    resp(ResponseBody::Spans(SpanDump {
+        source: "mem://m".to_string(),
+        spans: vec![WireSpan {
+            seq: 1,
+            name: "rpc.dispatch".to_string(),
+            trace_id: 7,
+            span_id: 8,
+            parent_span: 0,
+            remote: true,
+            duration_ns: 1500,
+            err: false,
+            pinned: true,
+        }],
+        events: vec![WireEvent {
+            seq: 2,
+            kind: "rpc.retry".to_string(),
+            op: "lookup-node".to_string(),
+            addr: "mem://m".to_string(),
+            attempt: 1,
+            trace_id: 7,
+        }],
+        dropped_spans: 3,
+        dropped_events: 4,
+    }))
+);
+golden!(
+    resp_series,
+    resp(ResponseBody::Series(SeriesPayload {
+        source: "mem://m".to_string(),
+        series: vec![OpSeriesPayload {
+            name: "op".to_string(),
+            points: vec![WireSeriesPoint {
+                seq: 1,
+                count: 2,
+                p50_ns: 3,
+                p99_ns: 4,
+            }],
+        }],
+        exemplars: vec![ExemplarEntry {
+            op: "op".to_string(),
+            bucket: 5,
+            trace_id: 7,
+        }],
+    }))
 );
 
 // ---- v2 stream-tagged frames ----

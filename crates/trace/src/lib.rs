@@ -30,9 +30,14 @@
 //!             └── action.run  (the handler method itself)
 //! ```
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+mod recorder;
+
+pub use recorder::{CompletedSpan, FlightRecorder, StructuredEvent};
 
 // ---------------------------------------------------------------------------
 // Ids and context
@@ -74,8 +79,8 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A fresh non-zero id.
-fn next_id() -> u64 {
+/// A fresh non-zero trace/span id.
+pub fn next_id() -> u64 {
     loop {
         let id = mix(NEXT_ID.fetch_add(1, Ordering::Relaxed));
         if id != 0 {
@@ -104,6 +109,9 @@ pub struct SpanRecord {
     pub remote: bool,
     /// Wall-clock time between span creation and drop.
     pub duration: Duration,
+    /// True when the unit of work failed ([`Span::set_error`]); the
+    /// flight recorder pins error spans so they survive ring churn.
+    pub err: bool,
 }
 
 /// Observer of span closures and events.
@@ -117,21 +125,85 @@ pub trait Subscriber: Send + Sync {
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static SUB_PRESENT: AtomicBool = AtomicBool::new(false);
+static REC_PRESENT: AtomicBool = AtomicBool::new(false);
 static SUBSCRIBER: Mutex<Option<Arc<dyn Subscriber>>> = Mutex::new(None);
+static RECORDER: Mutex<Option<Arc<FlightRecorder>>> = Mutex::new(None);
 
 fn subscriber_slot() -> std::sync::MutexGuard<'static, Option<Arc<dyn Subscriber>>> {
     // A panicking subscriber must not poison tracing for everyone else.
     SUBSCRIBER.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+fn recorder_slot() -> std::sync::MutexGuard<'static, Option<Arc<FlightRecorder>>> {
+    RECORDER.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// ENABLED stays the single hot-path gate: true while *either* a
+/// subscriber or a flight recorder is installed. The per-slot flags are
+/// maintained by the setters; a race between two setters can only make
+/// ENABLED momentarily conservative (true with nothing installed), never
+/// drop records while something is listening.
+fn recompute_enabled() {
+    ENABLED.store(
+        SUB_PRESENT.load(Ordering::Acquire) || REC_PRESENT.load(Ordering::Acquire),
+        Ordering::Release,
+    );
+}
+
 /// Installs (or, with `None`, removes) the global subscriber.
 ///
 /// Later installations replace earlier ones; spans created before the
-/// switch report to whatever is installed when they *close*.
+/// switch report to whatever is installed when they *close*. An
+/// installed [`FlightRecorder`] is independent of the subscriber and
+/// keeps recording across subscriber swaps.
 pub fn set_subscriber(subscriber: Option<Arc<dyn Subscriber>>) {
     let mut slot = subscriber_slot();
-    ENABLED.store(subscriber.is_some(), Ordering::Release);
+    SUB_PRESENT.store(subscriber.is_some(), Ordering::Release);
     *slot = subscriber;
+    drop(slot);
+    recompute_enabled();
+}
+
+/// Installs (or, with `None`, removes) the process-global flight
+/// recorder. The recorder is a retention buffer, not a filter: while one
+/// is installed every span is timed and recorded regardless of the
+/// subscriber's name filter.
+pub fn set_recorder(rec: Option<Arc<FlightRecorder>>) {
+    let mut slot = recorder_slot();
+    REC_PRESENT.store(rec.is_some(), Ordering::Release);
+    *slot = rec;
+    drop(slot);
+    recompute_enabled();
+}
+
+/// The installed flight recorder, if any. Checks a flag before touching
+/// the registry lock so the recorder-less path stays lock-free.
+pub fn recorder() -> Option<Arc<FlightRecorder>> {
+    if !REC_PRESENT.load(Ordering::Acquire) {
+        return None;
+    }
+    recorder_slot().clone()
+}
+
+/// Returns the installed flight recorder, installing a fresh
+/// default-capacity one when none is present. Server processes call this
+/// at startup so the recorder is always-on; a second server starting in
+/// the same process (the in-process cluster) shares the first one.
+pub fn install_recorder() -> Arc<FlightRecorder> {
+    let mut slot = recorder_slot();
+    let rec = match &*slot {
+        Some(rec) => Arc::clone(rec),
+        None => {
+            let rec = Arc::new(FlightRecorder::new());
+            *slot = Some(Arc::clone(&rec));
+            REC_PRESENT.store(true, Ordering::Release);
+            rec
+        }
+    };
+    drop(slot);
+    recompute_enabled();
+    rec
 }
 
 /// Runs `f` with the current subscriber, if any. The registry lock is
@@ -146,10 +218,15 @@ fn with_subscriber(f: impl FnOnce(&dyn Subscriber)) {
     }
 }
 
-/// Whether a span/event with `name` would currently be recorded.
+/// Whether a span/event with `name` would currently be recorded. The
+/// flight recorder records unconditionally, so its presence enables
+/// every name; otherwise the subscriber's filter decides.
 pub fn enabled_for(name: &str) -> bool {
     if !ENABLED.load(Ordering::Acquire) {
         return false;
+    }
+    if REC_PRESENT.load(Ordering::Acquire) {
+        return true;
     }
     let mut yes = false;
     with_subscriber(|s| yes = s.enabled(name));
@@ -163,11 +240,37 @@ pub fn tracing_enabled() -> bool {
 }
 
 /// Emits a point-in-time event to the subscriber, if one is installed
-/// and enables `name`.
+/// and enables `name`, and into the flight recorder's event log.
 pub fn event(name: &'static str, message: &str, ctx: SpanContext) {
     with_subscriber(|s| {
         if s.enabled(name) {
             s.on_event(name, message, ctx);
+        }
+    });
+    if let Some(rec) = recorder() {
+        rec.record_event(name, message, "", 0, ctx.trace_id);
+    }
+}
+
+/// Emits a structured fault event — retries, reconnects, liveness
+/// transitions, pool/credit exhaustion — into the flight recorder's
+/// bounded event log (and, human-formatted, to the subscriber). Fields
+/// that do not apply may be empty / zero. Costs one relaxed atomic load
+/// when neither a recorder nor a subscriber is installed.
+pub fn structured_event(kind: &'static str, op: &str, addr: &str, attempt: u64, trace_id: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Some(rec) = recorder() {
+        rec.record_event(kind, op, addr, attempt, trace_id);
+    }
+    with_subscriber(|s| {
+        if s.enabled(kind) {
+            let ctx = SpanContext {
+                trace_id,
+                span_id: 0,
+            };
+            s.on_event(kind, &format!("op={op} addr={addr} attempt={attempt}"), ctx);
         }
     });
 }
@@ -189,6 +292,7 @@ pub struct Span {
     parent_span: u64,
     remote: bool,
     start: Option<Instant>,
+    err: Cell<bool>,
 }
 
 impl Span {
@@ -204,6 +308,7 @@ impl Span {
             parent_span,
             remote,
             start,
+            err: Cell::new(false),
         }
     }
 
@@ -253,7 +358,15 @@ impl Span {
             parent_span: 0,
             remote: false,
             start: None,
+            err: Cell::new(false),
         }
+    }
+
+    /// Marks this span as failed. The record carries the flag to
+    /// subscribers, and the flight recorder's tail-based retention pins
+    /// error spans so they survive ring churn.
+    pub fn set_error(&self) {
+        self.err.set(true);
     }
 
     /// This span's context, for building children or wire propagation.
@@ -279,12 +392,16 @@ impl Drop for Span {
             parent_span: self.parent_span,
             remote: self.remote,
             duration: start.elapsed(),
+            err: self.err.get(),
         };
         with_subscriber(|s| {
             if s.enabled(record.name) {
                 s.on_span_close(&record);
             }
         });
+        if let Some(rec) = recorder() {
+            rec.push_span(&record);
+        }
     }
 }
 
@@ -457,6 +574,33 @@ mod tests {
     }
 
     #[test]
+    fn disabled_capture_is_one_flag_load() {
+        let _guard = serial();
+        set_subscriber(None);
+        set_recorder(None);
+        // The acceptance bar for always-on tracing: with neither a
+        // subscriber nor a recorder installed, span capture costs one
+        // atomic flag load. Everything downstream of that load must be
+        // skipped — observable as: no timer is ever started (so drop
+        // returns before touching the registry), and structured events
+        // return at the same flag.
+        assert!(!tracing_enabled());
+        let span = Span::root("t.cold");
+        assert!(
+            span.start.is_none(),
+            "disabled spans must not even read the clock"
+        );
+        drop(span);
+        structured_event("t.cold.event", "op", "addr", 1, 7);
+        // Nothing was buffered anywhere: a recorder installed afterwards
+        // starts empty.
+        let rec = install_recorder();
+        let snap = rec.snapshot(0, 0);
+        assert!(snap.spans.is_empty() && snap.events.is_empty());
+        set_recorder(None);
+    }
+
+    #[test]
     fn span_tree_links_parents_and_trace() {
         let _guard = serial();
         let sub = CapturingSubscriber::install();
@@ -522,6 +666,53 @@ mod tests {
         let events = sub.events();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].0, "t.slow-op");
+    }
+
+    #[test]
+    fn recorder_and_subscriber_coexist() {
+        let _guard = serial();
+        let sub = CapturingSubscriber::install();
+        let rec = Arc::new(FlightRecorder::with_capacity(16, 16, 16));
+        set_recorder(Some(Arc::clone(&rec)));
+        let root = Span::root("t.both");
+        let trace = root.trace_id();
+        drop(root);
+        set_recorder(None);
+        set_subscriber(None);
+
+        assert_eq!(sub.spans().len(), 1, "subscriber still sees spans");
+        let snap = rec.snapshot(trace, 0);
+        assert_eq!(snap.spans.len(), 1, "recorder sees the same span");
+        assert_eq!(snap.spans[0].name, "t.both");
+        assert_eq!(snap.spans[0].trace_id, trace);
+    }
+
+    #[test]
+    fn recorder_alone_enables_capture_and_error_pinning() {
+        let _guard = serial();
+        set_subscriber(None);
+        assert!(!tracing_enabled());
+        let rec = install_recorder();
+        assert!(tracing_enabled(), "recorder alone turns capture on");
+        // install_recorder is get-or-create: same instance back.
+        assert!(Arc::ptr_eq(&rec, &install_recorder()));
+        rec.clear();
+
+        let span = Span::root("t.fail");
+        span.set_error();
+        let trace = span.trace_id();
+        drop(span);
+        structured_event("t.retry", "write-block", "mem://9", 2, trace);
+        set_recorder(None);
+        assert!(!tracing_enabled(), "uninstall turns capture back off");
+
+        let snap = rec.snapshot(trace, 0);
+        assert_eq!(snap.spans.len(), 1);
+        assert!(snap.spans[0].err && snap.spans[0].pinned);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, "t.retry");
+        assert_eq!(snap.events[0].addr, "mem://9");
+        assert_eq!(snap.events[0].attempt, 2);
     }
 
     #[test]

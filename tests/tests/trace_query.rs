@@ -1,0 +1,188 @@
+//! The trace query plane end to end (DESIGN.md §13): `StoreClient::trace`
+//! must reassemble one request's spans from every server's flight
+//! recorder into a single connected tree, exemplar trace ids surfaced by
+//! `MetricsSeries` must resolve back through that same path, and a
+//! severed server must degrade the dump — partial trace plus an event
+//! naming the unreachable address — rather than hang or fail it.
+//!
+//! The flight recorder is process-global (installed by `Cluster::start`),
+//! so both tests filter strictly by their own trace ids.
+
+use glider_core::proto::dump::SpanDump;
+use glider_core::proto::types::ActionSpec;
+use glider_core::{Cluster, ClusterConfig};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+const TREE: [&str; 5] = [
+    "client.call",
+    "rpc.dispatch",
+    "active.handle",
+    "action.queue",
+    "action.run",
+];
+
+/// Finds, in the process recorder, the id of a trace holding the whole
+/// expected span tree. Server-side spans close asynchronously after the
+/// client call returns, so this polls.
+async fn await_full_trace() -> u64 {
+    let rec = glider_trace::recorder().expect("Cluster::start installs the recorder");
+    for _ in 0..150 {
+        let snap = rec.snapshot(0, 0);
+        let mut by_trace: HashMap<u64, Vec<&str>> = HashMap::new();
+        for s in &snap.spans {
+            by_trace.entry(s.trace_id).or_default().push(s.name);
+        }
+        if let Some((id, _)) = by_trace
+            .iter()
+            .find(|(_, names)| TREE.iter().all(|n| names.contains(n)))
+        {
+            return *id;
+        }
+        tokio::time::sleep(Duration::from_millis(20)).await;
+    }
+    panic!("no trace accumulated the full span tree in the flight recorder");
+}
+
+fn span<'a>(dump: &'a SpanDump, name: &str) -> &'a glider_core::proto::dump::WireSpan {
+    dump.spans
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| {
+            panic!(
+                "span {name:?} missing from dump; got {:?}",
+                dump.spans
+                    .iter()
+                    .map(|s| s.name.as_str())
+                    .collect::<Vec<_>>()
+            )
+        })
+}
+
+/// One action write over the `mem://` fast path, then `trace(id)`: the
+/// merged dump reconnects client.call → rpc.dispatch → active.handle →
+/// action.queue → action.run, and the renderer shows them as one tree
+/// with the critical path marked.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn trace_query_reassembles_cross_server_tree() {
+    let cluster = Cluster::start(ClusterConfig::default().with_rdma_sim(true))
+        .await
+        .unwrap();
+    let store = cluster.client().await.unwrap();
+    let merge = store
+        .create_action("/trace-query", ActionSpec::new("merge", false))
+        .await
+        .unwrap();
+    merge
+        .write_all(bytes::Bytes::from_static(b"5,1\n5,2\n"))
+        .await
+        .unwrap();
+
+    let trace_id = await_full_trace().await;
+    let dump = store.trace(trace_id).await.unwrap();
+
+    // Strictly this trace, fully connected.
+    assert!(dump.spans.iter().all(|s| s.trace_id == trace_id));
+    let dispatch = span(&dump, "rpc.dispatch");
+    assert!(
+        dispatch.remote,
+        "dispatch continued the trace over the wire"
+    );
+    assert_eq!(span(&dump, "client.call").parent_span, 0);
+    assert_eq!(span(&dump, "active.handle").parent_span, dispatch.span_id);
+    assert_eq!(
+        span(&dump, "action.queue").parent_span,
+        span(&dump, "active.handle").span_id
+    );
+    assert_eq!(
+        span(&dump, "action.run").parent_span,
+        span(&dump, "action.queue").span_id
+    );
+
+    // The renderer shows one tree: every expected hop present, in
+    // parent-before-child order, with a critical path marked and the
+    // client's own recorder contributing as a source.
+    let tree = glider_core::net::render_trace_tree(&dump);
+    let pos = |name: &str| {
+        tree.lines()
+            .position(|l| l.contains(name))
+            .unwrap_or_else(|| panic!("{name} missing from rendered tree:\n{tree}"))
+    };
+    assert!(pos("client.call") < pos("rpc.dispatch"));
+    assert!(pos("rpc.dispatch") < pos("active.handle"));
+    assert!(pos("active.handle") < pos("action.queue"));
+    assert!(pos("action.queue") < pos("action.run"));
+    assert!(
+        tree.lines().any(|l| l.starts_with('*')),
+        "a critical path is marked:\n{tree}"
+    );
+    assert!(tree.contains("self"), "per-hop self time is rendered");
+    assert!(dump.source.contains("client"), "source: {}", dump.source);
+
+    // Exemplars close the loop: the time-series payload names a trace id
+    // that `trace` can resolve to at least one retained span.
+    cluster.metrics().sample_series_tick();
+    let payloads = store.series().await.unwrap();
+    let exemplar = payloads
+        .iter()
+        .flat_map(|p| p.exemplars.iter())
+        .find(|e| e.trace_id != 0)
+        .expect("traced ops recorded at least one exemplar");
+    let resolved = store.trace(exemplar.trace_id).await.unwrap();
+    assert!(
+        !resolved.spans.is_empty(),
+        "exemplar trace 0x{:x} resolves to retained spans",
+        exemplar.trace_id
+    );
+
+    cluster.shutdown();
+}
+
+/// Severing the `mem://` active server after its connection is pooled:
+/// `trace` still answers inside the metadata op-class deadline, keeps the
+/// client-side part of the trace, and names the unreachable server in a
+/// `dump.unreachable` event instead of failing or hanging.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn severed_server_degrades_dump_to_partial_trace() {
+    let cluster = Cluster::start(ClusterConfig::default().with_rdma_sim(true))
+        .await
+        .unwrap();
+    let store = cluster.client().await.unwrap();
+    let merge = store
+        .create_action("/trace-sever", ActionSpec::new("merge", false))
+        .await
+        .unwrap();
+    merge
+        .write_all(bytes::Bytes::from_static(b"9,1\n"))
+        .await
+        .unwrap();
+    let trace_id = await_full_trace().await;
+
+    // Sever the active server; its mem:// endpoint disappears but the
+    // client still holds a pooled connection to it.
+    cluster.active_servers()[0].shutdown();
+
+    let start = Instant::now();
+    let dump = store.trace(trace_id).await.unwrap();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "degraded dump stayed inside the metadata op-class deadline, took {elapsed:?}"
+    );
+    assert!(
+        dump.spans.iter().any(|s| s.name == "client.call"),
+        "the reachable recorders still contribute a partial trace"
+    );
+    let unreachable = dump
+        .events
+        .iter()
+        .find(|e| e.kind == "dump.unreachable")
+        .expect("the severed server is named instead of silently skipped");
+    assert!(
+        unreachable.addr.starts_with("mem://"),
+        "unreachable addr: {}",
+        unreachable.addr
+    );
+
+    cluster.shutdown();
+}
