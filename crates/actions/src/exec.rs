@@ -1,0 +1,132 @@
+//! The action worker pool: a dedicated multi-threaded runtime for action
+//! instance tasks.
+//!
+//! The paper splits an active server's threads into a *network* pool and
+//! an *action* pool (§4 "Implementation"): connection read loops and RPC
+//! dispatch stay on the server's own runtime, while instance executor
+//! tasks run here, scheduled by tokio's work-stealing scheduler across
+//! one worker per core. Each instance is still a single task — methods of
+//! one instance never run in parallel — but many instances make progress
+//! concurrently, and a compute-heavy action method cannot stall the
+//! network threads that feed every other instance.
+
+use std::future::Future;
+use std::sync::Arc;
+use tokio::task::JoinHandle;
+
+/// Owns the pool's runtime and shuts it down without blocking.
+///
+/// The last executor handle may drop inside an async context (a server
+/// shutting down on its own runtime), where tokio panics on a blocking
+/// runtime drop; `shutdown_background` never blocks.
+struct PoolRuntime(Option<tokio::runtime::Runtime>);
+
+impl Drop for PoolRuntime {
+    fn drop(&mut self) {
+        if let Some(runtime) = self.0.take() {
+            runtime.shutdown_background();
+        }
+    }
+}
+
+/// A shared handle to the action worker pool.
+///
+/// Cheap to clone (the runtime is reference-counted); the pool shuts down
+/// in the background when the last handle drops.
+#[derive(Clone)]
+pub struct ActionExecutor {
+    handle: tokio::runtime::Handle,
+    _pool: Arc<PoolRuntime>,
+}
+
+impl ActionExecutor {
+    /// Builds a pool with one worker thread per available core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime cannot spawn its worker threads (startup-time
+    /// resource exhaustion).
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map_or(2, usize::from);
+        Self::with_workers(workers)
+    }
+
+    /// Builds a pool with exactly `workers` threads (tests and benches
+    /// pin this for reproducibility).
+    ///
+    /// # Panics
+    ///
+    /// See [`ActionExecutor::new`].
+    pub fn with_workers(workers: usize) -> Self {
+        let runtime = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(workers.max(1))
+            .thread_name("glider-action-worker")
+            .enable_all()
+            .build()
+            .expect("action worker pool failed to start");
+        ActionExecutor {
+            handle: runtime.handle().clone(),
+            _pool: Arc::new(PoolRuntime(Some(runtime))),
+        }
+    }
+
+    /// Spawns an instance task onto the pool. The returned handle can be
+    /// awaited from any runtime.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        self.handle.spawn(future)
+    }
+
+    /// Number of worker threads serving the pool.
+    pub fn workers(&self) -> usize {
+        self.handle.metrics().num_workers()
+    }
+}
+
+impl Default for ActionExecutor {
+    fn default() -> Self {
+        ActionExecutor::new()
+    }
+}
+
+impl std::fmt::Debug for ActionExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActionExecutor")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_tasks_on_named_workers() {
+        let pool = ActionExecutor::with_workers(2);
+        assert_eq!(pool.workers(), 2);
+        let rt = tokio::runtime::Builder::new_current_thread()
+            .build()
+            .unwrap();
+        let name = rt
+            .block_on(pool.spawn(async { std::thread::current().name().map(ToOwned::to_owned) }))
+            .unwrap();
+        assert_eq!(name.as_deref(), Some("glider-action-worker"));
+    }
+
+    #[tokio::test]
+    async fn pool_drops_cleanly_inside_an_async_context() {
+        let pool = ActionExecutor::with_workers(1);
+        pool.spawn(async {}).await.unwrap();
+        drop(pool); // must not panic ("Cannot drop a runtime ...")
+    }
+
+    #[test]
+    fn default_pool_sizes_to_the_machine() {
+        let pool = ActionExecutor::new();
+        assert!(pool.workers() >= 1);
+    }
+}

@@ -20,6 +20,10 @@
 //! queues; here the queues are the bounded channels inside
 //! [`stream::ActionInputStream`]/[`stream::ActionOutputStream`], and the
 //! "network worker" is the RPC layer of the active server feeding them.
+//! The [`exec::ActionExecutor`] completes the split: instance tasks run on
+//! a dedicated work-stealing pool sized to the machine's cores, so many
+//! instances execute in parallel (each still single-threaded) while the
+//! network threads stay responsive.
 //!
 //! Actions also receive a store client to reach other storage nodes from
 //! inside the cluster (§6.2) — abstracted as [`StoreAccess`] so this crate
@@ -27,12 +31,14 @@
 
 pub mod action;
 pub mod builtin;
+pub mod exec;
 pub mod manager;
 pub mod registry;
 pub mod runtime;
 pub mod stream;
 
 pub use action::{Action, ActionCell, ActionContext, ByteSink, ByteStream, StoreAccess};
+pub use exec::ActionExecutor;
 pub use manager::ActionManager;
 pub use registry::ActionRegistry;
 pub use stream::{ActionInputStream, ActionOutputStream, LineReader};

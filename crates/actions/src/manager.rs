@@ -3,9 +3,10 @@
 //! execution, and deletion of action objects").
 
 use crate::action::StoreAccess;
+use crate::exec::ActionExecutor;
 use crate::registry::ActionRegistry;
-use crate::runtime::{spawn_instance, Enqueued, InstanceHandle, Invocation};
-use crate::stream::{ActionInputStream, ActionOutputStream, InputPusher};
+use crate::runtime::{spawn_instance_on, Enqueued, InstanceHandle, Invocation};
+use crate::stream::{ActionInputStream, ActionOutputStream, InputPusher, TryPush};
 use crate::ActionContext;
 use bytes::Bytes;
 use glider_metrics::MetricsRegistry;
@@ -95,6 +96,7 @@ pub struct ActionManager {
     slots: usize,
     store: Option<Arc<dyn StoreAccess>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    executor: Option<ActionExecutor>,
     instances: Mutex<HashMap<NodeId, InstanceHandle>>,
     streams: Mutex<HashMap<StreamId, StreamEntry>>,
     stream_ids: IdGen,
@@ -102,6 +104,8 @@ pub struct ActionManager {
 
 impl ActionManager {
     /// Creates a manager hosting at most `slots` concurrent actions.
+    /// Instance tasks share the caller's runtime; see
+    /// [`ActionManager::with_executor`] for the dedicated pool.
     pub fn new(
         registry: Arc<ActionRegistry>,
         slots: usize,
@@ -113,10 +117,20 @@ impl ActionManager {
             slots,
             store,
             metrics,
+            executor: None,
             instances: Mutex::new(HashMap::new()),
             streams: Mutex::new(HashMap::new()),
             stream_ids: IdGen::new(),
         }
+    }
+
+    /// Routes instance tasks onto a dedicated action worker pool, keeping
+    /// compute-heavy methods off the network threads (paper §4's thread
+    /// split).
+    #[must_use]
+    pub fn with_executor(mut self, executor: ActionExecutor) -> Self {
+        self.executor = Some(executor);
+        self
     }
 
     /// The registry of deployed action definitions.
@@ -153,7 +167,8 @@ impl ActionManager {
                     format!("all {} action slots are in use", self.slots),
                 ));
             }
-            let (handle, created_rx) = spawn_instance(action, ctx, self.metrics.clone());
+            let (handle, created_rx) =
+                spawn_instance_on(self.executor.as_ref(), action, ctx, self.metrics.clone());
             instances.insert(node_id, handle);
             created_rx
         };
@@ -180,6 +195,7 @@ impl ActionManager {
     ) -> GliderResult<()> {
         if let Some(m) = &self.metrics {
             m.queue_enter();
+            m.record_mailbox_depth(handle.mailbox_depth() as u64);
         }
         let result = handle.enqueue_traced(Enqueued::new(parent), inv).await;
         if result.is_err() {
@@ -313,20 +329,82 @@ impl ActionManager {
     /// - [`ErrorCode::WrongNodeKind`] for read streams,
     /// - [`ErrorCode::Closed`] when the consuming method already finished.
     pub async fn push_chunk(&self, stream_id: StreamId, seq: u64, data: Bytes) -> GliderResult<()> {
-        let pusher = {
-            let streams = self.streams.lock();
-            match streams.get(&stream_id) {
-                Some(StreamEntry::Write { pusher, .. }) => pusher.clone(),
-                Some(StreamEntry::Read { .. }) => {
-                    return Err(GliderError::new(
-                        ErrorCode::WrongNodeKind,
-                        "cannot push chunks on a read stream",
-                    ))
-                }
-                None => return Err(GliderError::not_found(format!("stream {stream_id}"))),
-            }
-        };
+        let pusher = self.write_pusher(stream_id)?;
         pusher.push(seq, data).await
+    }
+
+    /// Pushes a record batch on a write stream: `count` length-prefixed
+    /// records packed in `data` (see [`glider_proto::batch`]), occupying
+    /// sequence numbers `seq .. seq + count`. Waits for queue capacity
+    /// like [`ActionManager::push_chunk`].
+    ///
+    /// # Errors
+    ///
+    /// - [`ErrorCode::NotFound`] for unknown streams,
+    /// - [`ErrorCode::WrongNodeKind`] for read streams,
+    /// - [`ErrorCode::Protocol`] for a malformed batch,
+    /// - [`ErrorCode::Closed`] when the consuming method already finished.
+    pub async fn push_chunk_batch(
+        &self,
+        stream_id: StreamId,
+        seq: u64,
+        count: u32,
+        data: Bytes,
+    ) -> GliderResult<()> {
+        let pusher = self.write_pusher(stream_id)?;
+        pusher.push_batch(seq, count, data).await
+    }
+
+    /// Non-blocking [`ActionManager::push_chunk`] for the connection
+    /// loop's sync fast path. `None` means the stream's queue is full and
+    /// the caller must retry on the async path; `Some` is a final result.
+    pub fn try_push_chunk(
+        &self,
+        stream_id: StreamId,
+        seq: u64,
+        data: Bytes,
+    ) -> Option<GliderResult<()>> {
+        let pusher = match self.write_pusher(stream_id) {
+            Ok(p) => p,
+            Err(e) => return Some(Err(e)),
+        };
+        match pusher.try_push(seq, data) {
+            Ok(TryPush::Pushed) => Some(Ok(())),
+            Ok(TryPush::Full) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    /// Non-blocking [`ActionManager::push_chunk_batch`]: all-or-nothing,
+    /// `None` means retry on the async path.
+    pub fn try_push_chunk_batch(
+        &self,
+        stream_id: StreamId,
+        seq: u64,
+        count: u32,
+        data: Bytes,
+    ) -> Option<GliderResult<()>> {
+        let pusher = match self.write_pusher(stream_id) {
+            Ok(p) => p,
+            Err(e) => return Some(Err(e)),
+        };
+        match pusher.try_push_batch(seq, count, data) {
+            Ok(TryPush::Pushed) => Some(Ok(())),
+            Ok(TryPush::Full) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    fn write_pusher(&self, stream_id: StreamId) -> GliderResult<InputPusher> {
+        let streams = self.streams.lock();
+        match streams.get(&stream_id) {
+            Some(StreamEntry::Write { pusher, .. }) => Ok(pusher.clone()),
+            Some(StreamEntry::Read { .. }) => Err(GliderError::new(
+                ErrorCode::WrongNodeKind,
+                "cannot push chunks on a read stream",
+            )),
+            None => Err(GliderError::not_found(format!("stream {stream_id}"))),
+        }
     }
 
     /// Fetches the next chunk from a read stream, waiting until the action
@@ -372,6 +450,51 @@ impl ActionManager {
                 side.result().await?;
                 Ok((side.next_seq, Bytes::new(), true))
             }
+        }
+    }
+
+    /// Non-blocking [`ActionManager::fetch`] for the connection loop's
+    /// sync fast path: serves a chunk (or a settled EOF) only when it is
+    /// already available. `None` means the caller must go through the
+    /// async path — data not ready, stream unknown or contended, or an
+    /// EOF whose method result has not settled yet.
+    pub fn try_fetch(&self, stream_id: StreamId) -> Option<GliderResult<(u64, Bytes, bool)>> {
+        let side = {
+            let streams = self.streams.lock();
+            match streams.get(&stream_id) {
+                Some(StreamEntry::Read { data, .. }) => Arc::clone(data),
+                // Wrong-direction and not-found errors are produced on
+                // the async path.
+                _ => return None,
+            }
+        };
+        let mut side = side.try_lock().ok()?;
+        match side.rx.try_recv() {
+            Ok(bytes) => {
+                let seq = side.next_seq;
+                side.next_seq += 1;
+                Some(Ok((seq, bytes, false)))
+            }
+            Err(mpsc::error::TryRecvError::Disconnected) => {
+                if let DoneState::Pending(rx) = &mut side.done {
+                    match rx.try_recv() {
+                        Ok(result) => side.done = DoneState::Finished(result),
+                        Err(oneshot::error::TryRecvError::Closed) => {
+                            side.done =
+                                DoneState::Finished(Err(GliderError::closed("action instance")));
+                        }
+                        // The method finished producing but its result is
+                        // still in flight; settle it on the async path.
+                        Err(oneshot::error::TryRecvError::Empty) => return None,
+                    }
+                }
+                match &side.done {
+                    DoneState::Finished(Ok(())) => Some(Ok((side.next_seq, Bytes::new(), true))),
+                    DoneState::Finished(Err(e)) => Some(Err(e.clone())),
+                    DoneState::Pending(_) => unreachable!("settled above"),
+                }
+            }
+            Err(mpsc::error::TryRecvError::Empty) => None,
         }
     }
 
@@ -627,6 +750,83 @@ mod tests {
         // ...and is exactly the input multiset (no torn records).
         got.sort();
         assert_eq!(got, sorted_expected);
+    }
+
+    #[tokio::test]
+    async fn batch_push_round_trips() {
+        let m = manager(2);
+        m.create_action(NodeId(1), ActionSpec::new("counter", false))
+            .await
+            .unwrap();
+        let sid = m.open_stream(NodeId(1), StreamDir::Write).await.unwrap();
+        let mut b = glider_proto::batch::RecordBatchBuilder::new();
+        b.push(b"hello ");
+        b.push(b"world");
+        let (count, data) = b.finish();
+        m.push_chunk_batch(sid, 0, count, data).await.unwrap();
+        m.close_stream(sid).await.unwrap();
+        assert_eq!(read_all(&m, NodeId(1)).await, b"11");
+    }
+
+    #[tokio::test]
+    async fn try_paths_serve_ready_work_and_fall_back() {
+        let m = manager(2);
+        m.create_action(NodeId(1), ActionSpec::new("counter", false))
+            .await
+            .unwrap();
+        let sid = m.open_stream(NodeId(1), StreamDir::Write).await.unwrap();
+        assert!(matches!(
+            m.try_push_chunk(sid, 0, Bytes::from_static(b"abc")),
+            Some(Ok(()))
+        ));
+        let mut b = glider_proto::batch::RecordBatchBuilder::new();
+        b.push(b"de");
+        let (count, data) = b.finish();
+        assert!(matches!(
+            m.try_push_chunk_batch(sid, 1, count, data),
+            Some(Ok(()))
+        ));
+        m.close_stream(sid).await.unwrap();
+        // Unknown streams are settled synchronously.
+        let err = m
+            .try_push_chunk(StreamId(99), 0, Bytes::new())
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound);
+        assert!(m.try_fetch(StreamId(99)).is_none(), "async path reports it");
+        // The read side serves synchronously once the action has produced.
+        let rid = m.open_stream(NodeId(1), StreamDir::Read).await.unwrap();
+        let mut out = Vec::new();
+        loop {
+            match m.try_fetch(rid) {
+                Some(Ok((_, bytes, eof))) => {
+                    out.extend_from_slice(&bytes);
+                    if eof {
+                        break;
+                    }
+                }
+                Some(Err(e)) => panic!("unexpected error: {e}"),
+                None => tokio::time::sleep(std::time::Duration::from_millis(1)).await,
+            }
+        }
+        assert_eq!(out, b"5");
+        m.close_stream(rid).await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn pool_backed_manager_round_trips() {
+        let m = manager(2).with_executor(ActionExecutor::with_workers(2));
+        m.create_action(NodeId(1), ActionSpec::new("counter", false))
+            .await
+            .unwrap();
+        let sid = m.open_stream(NodeId(1), StreamDir::Write).await.unwrap();
+        m.push_chunk(sid, 0, Bytes::from_static(b"near-data"))
+            .await
+            .unwrap();
+        m.close_stream(sid).await.unwrap();
+        assert_eq!(read_all(&m, NodeId(1)).await, b"9");
+        m.delete_action(NodeId(1)).await.unwrap();
+        assert_eq!(m.instance_count(), 0);
     }
 
     #[tokio::test]

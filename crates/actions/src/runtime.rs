@@ -8,6 +8,7 @@
 //! execution (§4.2 "Actions and concurrency").
 
 use crate::action::{Action, ActionContext};
+use crate::exec::ActionExecutor;
 use crate::stream::{ActionInputStream, ActionOutputStream};
 use futures::future::BoxFuture;
 use futures::stream::{FuturesUnordered, StreamExt};
@@ -122,6 +123,12 @@ impl InstanceHandle {
             .await
             .map_err(|_| GliderError::new(ErrorCode::Closed, "action instance stopped"))
     }
+
+    /// Number of invocations currently queued in the instance's mailbox
+    /// (feeds the mailbox-depth histogram).
+    pub fn mailbox_depth(&self) -> usize {
+        self.inv_tx.max_capacity() - self.inv_tx.capacity()
+    }
 }
 
 /// Spawns the executor task for one action instance.
@@ -135,9 +142,31 @@ pub fn spawn_instance(
     ctx: ActionContext,
     metrics: Option<Arc<MetricsRegistry>>,
 ) -> (InstanceHandle, oneshot::Receiver<GliderResult<()>>) {
+    spawn_instance_on(None, action, ctx, metrics)
+}
+
+/// [`spawn_instance`] routed onto a worker pool.
+///
+/// With an [`ActionExecutor`] the instance task runs on the dedicated
+/// action pool (the paper's network/action thread split); without one it
+/// shares the caller's runtime.
+pub fn spawn_instance_on(
+    executor: Option<&ActionExecutor>,
+    action: Arc<dyn Action>,
+    ctx: ActionContext,
+    metrics: Option<Arc<MetricsRegistry>>,
+) -> (InstanceHandle, oneshot::Receiver<GliderResult<()>>) {
     let (inv_tx, inv_rx) = mpsc::channel(MAILBOX_DEPTH);
     let (created_tx, created_rx) = oneshot::channel();
-    tokio::spawn(run_instance(action, ctx, metrics, inv_rx, created_tx));
+    let task = run_instance(action, ctx, metrics, inv_rx, created_tx);
+    match executor {
+        Some(pool) => {
+            pool.spawn(task);
+        }
+        None => {
+            tokio::spawn(task);
+        }
+    }
     (InstanceHandle { inv_tx }, created_rx)
 }
 
@@ -178,6 +207,13 @@ async fn run_instance(
 ) {
     let created = action.on_create(&ctx).await;
     let create_failed = created.is_err();
+    if !create_failed {
+        // Before the create ack, so callers observe the gauge raised as
+        // soon as create_action returns.
+        if let Some(m) = &metrics {
+            m.instance_started();
+        }
+    }
     let _ = created_tx.send(created);
     if create_failed {
         return;
@@ -191,6 +227,9 @@ async fn run_instance(
         run_serial(&action, &ctx, &mut gauge, &mut inv_rx).await;
     }
     gauge.release();
+    if let Some(m) = &gauge.metrics {
+        m.instance_stopped();
+    }
 }
 
 /// Executes one data invocation to completion.
@@ -534,6 +573,67 @@ mod tests {
         assert_eq!(s.op_latency(OpKind::QueueWait).count(), 1);
         assert_eq!(s.op_latency(OpKind::ActionHandlerRun).count(), 1);
         assert!(s.op_latency(OpKind::ActionHandlerRun).p50() > 0);
+    }
+
+    #[tokio::test]
+    async fn instances_run_on_the_action_pool() {
+        struct ThreadProbe;
+        impl Action for ThreadProbe {
+            fn on_read<'a>(
+                &'a self,
+                output: &'a mut ActionOutputStream,
+                _ctx: &'a ActionContext,
+            ) -> BoxFuture<'a, GliderResult<()>> {
+                Box::pin(async move {
+                    let name = std::thread::current().name().unwrap_or("?").to_string();
+                    output.write_all(name.as_bytes()).await
+                })
+            }
+        }
+        let pool = ActionExecutor::with_workers(2);
+        let (handle, created) =
+            spawn_instance_on(Some(&pool), Arc::new(ThreadProbe), ctx(false), None);
+        created.await.unwrap().unwrap();
+        assert_eq!(read_result(&handle).await, b"glider-action-worker");
+    }
+
+    #[tokio::test]
+    async fn instance_gauge_follows_create_and_delete() {
+        let metrics = MetricsRegistry::new();
+        let (handle, created) = spawn_instance(
+            Arc::new(Counter::default()),
+            ctx(false),
+            Some(Arc::clone(&metrics)),
+        );
+        created.await.unwrap().unwrap();
+        assert_eq!(metrics.snapshot().action_instances_current, 1);
+        let (done_tx, done_rx) = oneshot::channel();
+        handle
+            .enqueue(Invocation::Delete { done: done_tx })
+            .await
+            .unwrap();
+        done_rx.await.unwrap().unwrap();
+        // The gauge drops after on_delete; give the task a beat.
+        tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        assert_eq!(metrics.snapshot().action_instances_current, 0);
+        assert_eq!(metrics.snapshot().action_instances_peak, 1);
+    }
+
+    #[tokio::test]
+    async fn mailbox_depth_reflects_queued_invocations() {
+        // A serial instance blocked in a write keeps later invocations
+        // queued; the handle exposes that occupancy.
+        let (handle, created) = spawn_instance(Arc::new(Counter::default()), ctx(false), None);
+        created.await.unwrap().unwrap();
+        let (p1, d1) = write_stream(&handle, vec![b"a"]).await;
+        let (p2, d2) = write_stream(&handle, vec![b"b"]).await;
+        tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        assert_eq!(handle.mailbox_depth(), 1, "second write should be queued");
+        p1.finish();
+        p2.finish();
+        d1.await.unwrap().unwrap();
+        d2.await.unwrap().unwrap();
+        assert_eq!(handle.mailbox_depth(), 0);
     }
 
     #[tokio::test]

@@ -6,9 +6,11 @@
 //! backpressure that keeps large transfers memory-bounded.
 
 use bytes::{Bytes, BytesMut};
+use glider_proto::batch::unpack_records;
 use glider_proto::{GliderError, GliderResult};
 use std::collections::BTreeMap;
 use tokio::sync::mpsc;
+use tokio::sync::mpsc::error::TrySendError;
 
 /// Default size at which [`ActionOutputStream::write_all`] flushes its
 /// internal buffer.
@@ -33,6 +35,15 @@ pub struct ActionInputStream {
 #[derive(Debug, Clone)]
 pub struct InputPusher {
     tx: mpsc::Sender<(u64, Bytes)>,
+}
+
+/// Outcome of a non-blocking push attempt on an [`InputPusher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryPush {
+    /// The data was enqueued without waiting.
+    Pushed,
+    /// The stream's queue is full; retry on the (waiting) async path.
+    Full,
 }
 
 impl ActionInputStream {
@@ -116,6 +127,65 @@ impl InputPusher {
             .send((seq, data))
             .await
             .map_err(|_| GliderError::closed("action input stream"))
+    }
+
+    /// Enqueues one chunk without waiting, for the connection loop's sync
+    /// fast path (which must never block the read loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`glider_proto::ErrorCode::Closed`] when the consuming
+    /// method has finished (its stream was dropped).
+    pub fn try_push(&self, seq: u64, data: Bytes) -> GliderResult<TryPush> {
+        match self.tx.try_send((seq, data)) {
+            Ok(()) => Ok(TryPush::Pushed),
+            Err(TrySendError::Full(_)) => Ok(TryPush::Full),
+            Err(TrySendError::Closed(_)) => Err(GliderError::closed("action input stream")),
+        }
+    }
+
+    /// Enqueues a record batch: `count` length-prefixed records packed in
+    /// `data` (see [`glider_proto::batch`]), occupying sequence numbers
+    /// `seq .. seq + count`. Each record is a zero-copy slice of `data`.
+    ///
+    /// # Errors
+    ///
+    /// - [`glider_proto::ErrorCode::Protocol`] for a malformed batch,
+    /// - [`glider_proto::ErrorCode::Closed`] when the consuming method has
+    ///   finished.
+    pub async fn push_batch(&self, seq: u64, count: u32, data: Bytes) -> GliderResult<()> {
+        let records = unpack_records(count, data)?;
+        for (i, record) in records.into_iter().enumerate() {
+            self.push(seq + i as u64, record).await?;
+        }
+        Ok(())
+    }
+
+    /// Non-blocking [`InputPusher::push_batch`]: all-or-nothing, so a
+    /// partially full queue falls back to the async path rather than
+    /// splitting the batch across fast and slow paths (which would let a
+    /// later batch overtake this one's tail).
+    ///
+    /// # Errors
+    ///
+    /// See [`InputPusher::push_batch`].
+    pub fn try_push_batch(&self, seq: u64, count: u32, data: Bytes) -> GliderResult<TryPush> {
+        // Reserve every slot before sending anything.
+        let mut permits = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            match self.tx.try_reserve() {
+                Ok(permit) => permits.push(permit),
+                Err(TrySendError::Full(())) => return Ok(TryPush::Full),
+                Err(TrySendError::Closed(())) => {
+                    return Err(GliderError::closed("action input stream"))
+                }
+            }
+        }
+        let records = unpack_records(count, data)?;
+        for (i, (permit, record)) in permits.into_iter().zip(records).enumerate() {
+            permit.send((seq + i as u64, record));
+        }
+        Ok(TryPush::Pushed)
     }
 
     /// Signals end-of-stream by consuming this pusher.
@@ -339,6 +409,83 @@ mod tests {
         drop(input);
         let err = pusher.push(0, Bytes::from_static(b"x")).await.unwrap_err();
         assert_eq!(err.code(), glider_proto::ErrorCode::Closed);
+    }
+
+    #[tokio::test]
+    async fn try_push_reports_full_and_closed() {
+        let (input, pusher) = ActionInputStream::new(1);
+        assert_eq!(
+            pusher.try_push(0, Bytes::from_static(b"a")).unwrap(),
+            TryPush::Pushed
+        );
+        assert_eq!(
+            pusher.try_push(1, Bytes::from_static(b"b")).unwrap(),
+            TryPush::Full
+        );
+        drop(input);
+        let err = pusher.try_push(1, Bytes::from_static(b"b")).unwrap_err();
+        assert_eq!(err.code(), glider_proto::ErrorCode::Closed);
+    }
+
+    fn batch(records: &[&[u8]]) -> (u32, Bytes) {
+        let mut b = glider_proto::batch::RecordBatchBuilder::new();
+        for r in records {
+            b.push(r);
+        }
+        b.finish()
+    }
+
+    #[tokio::test]
+    async fn push_batch_delivers_records_in_order() {
+        let (mut input, pusher) = ActionInputStream::new(8);
+        let (count, data) = batch(&[b"one", b"two", b"three"]);
+        pusher.push_batch(0, count, data).await.unwrap();
+        pusher.finish();
+        assert_eq!(input.read_all().await.unwrap(), b"onetwothree");
+        assert_eq!(input.bytes_received(), 11);
+    }
+
+    #[tokio::test]
+    async fn push_batch_interleaves_with_singular_chunks() {
+        // A batch occupies seq .. seq + count, so singular pushes slot in
+        // around it.
+        let (mut input, pusher) = ActionInputStream::new(8);
+        let (count, data) = batch(&[b"b", b"c"]);
+        pusher.push_batch(1, count, data).await.unwrap();
+        pusher.push(0, Bytes::from_static(b"a")).await.unwrap();
+        pusher.push(3, Bytes::from_static(b"d")).await.unwrap();
+        pusher.finish();
+        assert_eq!(input.read_all().await.unwrap(), b"abcd");
+    }
+
+    #[tokio::test]
+    async fn try_push_batch_is_all_or_nothing() {
+        let (mut input, pusher) = ActionInputStream::new(2);
+        pusher.push(0, Bytes::from_static(b"x")).await.unwrap();
+        // Two records, one free slot: nothing may be enqueued.
+        let (count, data) = batch(&[b"y", b"z"]);
+        assert_eq!(
+            pusher.try_push_batch(1, count, data.clone()).unwrap(),
+            TryPush::Full
+        );
+        assert_eq!(&input.next_chunk().await.unwrap().unwrap()[..], b"x");
+        // The failed attempt must not have leaked reserved slots.
+        assert_eq!(
+            pusher.try_push_batch(1, count, data).unwrap(),
+            TryPush::Pushed
+        );
+        pusher.finish();
+        assert_eq!(input.read_all().await.unwrap(), b"yz");
+    }
+
+    #[tokio::test]
+    async fn push_batch_rejects_malformed_data() {
+        let (_input, pusher) = ActionInputStream::new(4);
+        let err = pusher
+            .push_batch(0, 2, Bytes::from_static(b"\x05\x00\x00\x00ab"))
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), glider_proto::ErrorCode::Protocol);
     }
 
     #[tokio::test]

@@ -19,7 +19,7 @@
 //! "Glider (RDMA)" configuration for intra-storage links.
 
 use futures::future::BoxFuture;
-use glider_actions::{ActionManager, ActionRegistry};
+use glider_actions::{ActionExecutor, ActionManager, ActionRegistry};
 use glider_client::{ClientConfig, StoreClient};
 use glider_metrics::{MetricsRegistry, Tier};
 use glider_net::rpc::{ConnCtx, RpcClient, RpcHandler, ServerHandle};
@@ -161,12 +161,18 @@ impl ActiveServer {
         )
         .await?;
 
-        let manager = Arc::new(ActionManager::new(
-            Arc::clone(&config.registry),
-            config.slots as usize,
-            Some(Arc::new(store)),
-            Some(Arc::clone(&metrics)),
-        ));
+        // Instance tasks run on a dedicated core-sized worker pool (the
+        // paper's network/action thread split); the serving runtime keeps
+        // only connection loops and RPC dispatch.
+        let manager = Arc::new(
+            ActionManager::new(
+                Arc::clone(&config.registry),
+                config.slots as usize,
+                Some(Arc::new(store)),
+                Some(Arc::clone(&metrics)),
+            )
+            .with_executor(ActionExecutor::new()),
+        );
         let handler = Arc::new(ActiveHandler {
             manager: Arc::clone(&manager),
         });
@@ -256,6 +262,17 @@ impl RpcHandler for ActiveHandler {
                     self.manager.push_chunk(stream_id, seq, data).await?;
                     Ok(ResponseBody::Ok)
                 }
+                RequestBody::StreamChunkBatch {
+                    stream_id,
+                    seq,
+                    count,
+                    data,
+                } => {
+                    self.manager
+                        .push_chunk_batch(stream_id, seq, count, data)
+                        .await?;
+                    Ok(ResponseBody::Ok)
+                }
                 RequestBody::StreamFetch { stream_id, max_len } => {
                     let (seq, bytes, eof) = self.manager.fetch(stream_id, max_len).await?;
                     Ok(ResponseBody::Data { seq, bytes, eof })
@@ -270,6 +287,59 @@ impl RpcHandler for ActiveHandler {
                 )),
             }
         })
+    }
+
+    /// Streaming fast path: chunk pushes land in the instance's queue and
+    /// fetches serve already-produced chunks synchronously on the
+    /// connection task — no spawn, no await, and the payload `Bytes` is
+    /// the receive buffer's slice end to end (zero copies server-side).
+    /// A full queue or an empty read stream declines, so backpressure and
+    /// waiting stay on the dispatched async path.
+    fn try_handle_sync(
+        self: Arc<Self>,
+        _ctx: ConnCtx,
+        body: RequestBody,
+    ) -> Result<GliderResult<ResponseBody>, RequestBody> {
+        match body {
+            RequestBody::StreamChunk {
+                stream_id,
+                seq,
+                data,
+            } => match self.manager.try_push_chunk(stream_id, seq, data.clone()) {
+                Some(result) => Ok(result.map(|()| ResponseBody::Ok)),
+                None => Err(RequestBody::StreamChunk {
+                    stream_id,
+                    seq,
+                    data,
+                }),
+            },
+            RequestBody::StreamChunkBatch {
+                stream_id,
+                seq,
+                count,
+                data,
+            } => match self
+                .manager
+                .try_push_chunk_batch(stream_id, seq, count, data.clone())
+            {
+                Some(result) => Ok(result.map(|()| ResponseBody::Ok)),
+                None => Err(RequestBody::StreamChunkBatch {
+                    stream_id,
+                    seq,
+                    count,
+                    data,
+                }),
+            },
+            RequestBody::StreamFetch { stream_id, max_len } => {
+                match self.manager.try_fetch(stream_id) {
+                    Some(result) => {
+                        Ok(result.map(|(seq, bytes, eof)| ResponseBody::Data { seq, bytes, eof }))
+                    }
+                    None => Err(RequestBody::StreamFetch { stream_id, max_len }),
+                }
+            }
+            other => Err(other),
+        }
     }
 }
 

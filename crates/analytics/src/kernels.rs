@@ -1,0 +1,490 @@
+//! Vectorized byte-scanning and aggregation kernels for the hot paths.
+//!
+//! The workloads spend most of their CPU time in three inner loops: byte
+//! classification (word counting, line splitting for CSV filtering),
+//! hashing `(key, value)` pairs for streaming aggregation, and moving
+//! 100-byte sort records between partitions. These kernels speed up all
+//! three with plain safe Rust:
+//!
+//! - **SWAR scanning** — [`count_words`] and [`find_byte`] process input
+//!   eight bytes at a time inside a `u64` (SIMD within a register). The
+//!   workspace forbids `unsafe`, so instead of explicit SIMD intrinsics
+//!   the kernels use the classic zero-byte trick
+//!   `(t - 0x01…01) & !t & 0x80…80`, which the compiler autovectorizes
+//!   well on the `chunks_exact(8)` loop shape.
+//! - **Pre-hashed aggregation** — [`StreamingAggregator`] parses `k,v`
+//!   lines without allocating a `String` per record and aggregates into a
+//!   hash map keyed by FNV-1a (the same cheap hash the multiset checksum
+//!   uses) instead of the default DoS-resistant SipHash.
+//! - **Radix partitioning** — [`radix_partition_into`] and
+//!   [`sort_records_by_key`] bucket fixed-size records by the first key
+//!   byte (the partition function is monotone in that byte) with a
+//!   count-then-scatter pass, so each output buffer is allocated exactly
+//!   once and records are copied exactly once.
+//!
+//! Every kernel is checked against the scalar reference implementation by
+//! property tests; the scalar definitions stay the source of truth.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Low bits of every byte lane.
+const LANES_LO: u64 = 0x0101_0101_0101_0101;
+/// High bit of every byte lane.
+const LANES_HI: u64 = 0x8080_8080_8080_8080;
+
+/// Returns a mask with `0x80` in every byte lane of `x` equal to `c`.
+#[inline]
+fn eq_mask(x: u64, c: u8) -> u64 {
+    // Zero-byte detection (Hacker's Delight §6-1): exact, no false
+    // positives thanks to the `& !t` term.
+    let t = x ^ (LANES_LO * u64::from(c));
+    t.wrapping_sub(LANES_LO) & !t & LANES_HI
+}
+
+/// Returns a mask with `0x80` in every byte lane holding ASCII whitespace.
+///
+/// The set matches `u8::is_ascii_whitespace` exactly: space, tab, line
+/// feed, form feed, carriage return.
+#[inline]
+fn whitespace_mask(x: u64) -> u64 {
+    eq_mask(x, b' ') | eq_mask(x, b'\t') | eq_mask(x, b'\n') | eq_mask(x, 0x0c) | eq_mask(x, b'\r')
+}
+
+/// Counts word starts in `chunk`, eight bytes at a time.
+///
+/// `in_word` carries the classification of the byte immediately before
+/// the chunk (for words split across chunk boundaries). Returns the
+/// number of words started inside the chunk and the carry for the next
+/// one. Exactly equivalent to the scalar loop over
+/// `u8::is_ascii_whitespace`.
+pub fn count_words(chunk: &[u8], mut in_word: bool) -> (u64, bool) {
+    let mut count = 0u64;
+    let mut windows = chunk.chunks_exact(8);
+    for win in windows.by_ref() {
+        let x = u64::from_le_bytes(win.try_into().expect("8-byte window"));
+        let nonspace = !whitespace_mask(x) & LANES_HI;
+        // A word starts where a byte is non-space and its predecessor
+        // (previous lane, or the carry for lane 0) was space.
+        let prev = (nonspace << 8) | (u64::from(in_word) * 0x80);
+        count += u64::from((nonspace & !prev).count_ones());
+        in_word = nonspace >> 56 != 0;
+    }
+    for &b in windows.remainder() {
+        let is_space = b.is_ascii_whitespace();
+        if !is_space && !in_word {
+            count += 1;
+        }
+        in_word = !is_space;
+    }
+    (count, in_word)
+}
+
+/// Finds the first occurrence of `needle`, eight bytes at a time.
+///
+/// Drop-in replacement for `haystack.iter().position(|&b| b == needle)`
+/// on the line-splitting hot paths.
+pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+    let mut offset = 0usize;
+    let mut windows = haystack.chunks_exact(8);
+    for win in windows.by_ref() {
+        let x = u64::from_le_bytes(win.try_into().expect("8-byte window"));
+        let hits = eq_mask(x, needle);
+        if hits != 0 {
+            return Some(offset + hits.trailing_zeros() as usize / 8);
+        }
+        offset += 8;
+    }
+    windows
+        .remainder()
+        .iter()
+        .position(|&b| b == needle)
+        .map(|i| offset + i)
+}
+
+/// FNV-1a streaming hasher (same constants as the multiset checksum).
+///
+/// Not DoS-resistant — fine for the analytics aggregations, whose keys
+/// come from trusted generators, and much cheaper than SipHash on small
+/// integer keys.
+#[derive(Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+}
+
+/// `BuildHasher` for FNV-keyed hash maps.
+pub type FnvBuildHasher = BuildHasherDefault<Fnv64>;
+
+/// A `HashMap` using FNV-1a instead of SipHash.
+pub type FnvHashMap<K, V> = HashMap<K, V, FnvBuildHasher>;
+
+/// Parses a full decimal `i64` (optional sign), rejecting anything
+/// `str::parse::<i64>` would reject: empty input, stray bytes, overflow.
+fn parse_i64(bytes: &[u8]) -> Option<i64> {
+    let (negative, digits) = match bytes.split_first()? {
+        (b'-', rest) => (true, rest),
+        (b'+', rest) => (false, rest),
+        _ => (false, bytes),
+    };
+    if digits.is_empty() {
+        return None;
+    }
+    let mut value: i64 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        value = value.checked_mul(10)?;
+        value = if negative {
+            value.checked_sub(i64::from(b - b'0'))?
+        } else {
+            value.checked_add(i64::from(b - b'0'))?
+        };
+    }
+    Some(value)
+}
+
+/// Merges one `k,v` line into the dictionary; malformed lines are
+/// skipped, matching the scalar reference.
+fn merge_line(map: &mut FnvHashMap<i64, i64>, line: &[u8]) {
+    let comma = match find_byte(line, b',') {
+        Some(c) => c,
+        None => return,
+    };
+    if let (Some(k), Some(v)) = (parse_i64(&line[..comma]), parse_i64(&line[comma + 1..])) {
+        let slot = map.entry(k).or_insert(0);
+        *slot = slot.wrapping_add(v);
+    }
+}
+
+/// Streaming `k,v` aggregation without per-line allocation.
+///
+/// Feeds arbitrary byte chunks, splits them into lines, parses each line
+/// as a decimal `key,value` pair and accumulates `value` per `key` with
+/// wrapping addition — the same dictionary the scalar
+/// `LineSplitter`-plus-`parse::<i64>` path produces, minus a `String`
+/// allocation and a SipHash per record. Malformed lines are skipped,
+/// matching the reference.
+#[derive(Debug, Default)]
+pub struct StreamingAggregator {
+    carry: Vec<u8>,
+    map: FnvHashMap<i64, i64>,
+}
+
+impl StreamingAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        StreamingAggregator::default()
+    }
+
+    /// Feeds one chunk, merging every completed line.
+    pub fn push_chunk(&mut self, chunk: &[u8]) {
+        let mut rest = chunk;
+        if !self.carry.is_empty() {
+            match find_byte(rest, b'\n') {
+                Some(nl) => {
+                    self.carry.extend_from_slice(&rest[..nl]);
+                    merge_line(&mut self.map, &self.carry);
+                    self.carry.clear();
+                    rest = &rest[nl + 1..];
+                }
+                None => {
+                    self.carry.extend_from_slice(rest);
+                    return;
+                }
+            }
+        }
+        while let Some(nl) = find_byte(rest, b'\n') {
+            merge_line(&mut self.map, &rest[..nl]);
+            rest = &rest[nl + 1..];
+        }
+        self.carry.extend_from_slice(rest);
+    }
+
+    /// Merges a single line (no trailing `\n`); malformed lines are
+    /// skipped.
+    pub fn push_line(&mut self, line: &[u8]) {
+        merge_line(&mut self.map, line);
+    }
+
+    /// Merges a final unterminated line, if buffered.
+    pub fn finish(&mut self) {
+        if !self.carry.is_empty() {
+            merge_line(&mut self.map, &self.carry);
+            self.carry.clear();
+        }
+    }
+
+    /// Consumes the aggregator, returning the dictionary with the
+    /// default hasher (for drop-in use where `HashMap<i64, i64>` is
+    /// expected).
+    pub fn into_map(self) -> HashMap<i64, i64> {
+        self.map.into_iter().collect()
+    }
+}
+
+/// The partition a record's first key byte belongs to: fixed first-byte
+/// ranges, monotone in the byte value.
+#[inline]
+fn partition_of_byte(b: u8, partitions: usize) -> usize {
+    (b as usize * partitions) / 256
+}
+
+/// Radix-partitions fixed-size records into `out` by first key byte.
+///
+/// Two passes: count records per partition (so each buffer grows by one
+/// exact `reserve`), then scatter. Records keep their input order within
+/// each partition, so downstream stable sorts see the same sequence the
+/// scalar append loop would produce. `data` must be record-aligned.
+///
+/// # Panics
+///
+/// Panics if `record_len` is zero, `data` is not a multiple of
+/// `record_len`, or `out` is empty.
+pub fn radix_partition_into(data: &[u8], record_len: usize, out: &mut [Vec<u8>]) {
+    assert!(record_len > 0, "record_len must be positive");
+    assert_eq!(data.len() % record_len, 0, "data must be record-aligned");
+    let partitions = out.len();
+    assert!(partitions > 0, "need at least one partition");
+    let mut lut = [0usize; 256];
+    for (b, slot) in lut.iter_mut().enumerate() {
+        *slot = partition_of_byte(b as u8, partitions);
+    }
+    let mut counts = vec![0usize; partitions];
+    for rec in data.chunks_exact(record_len) {
+        counts[lut[rec[0] as usize]] += 1;
+    }
+    for (buf, count) in out.iter_mut().zip(&counts) {
+        buf.reserve(count * record_len);
+    }
+    for rec in data.chunks_exact(record_len) {
+        out[lut[rec[0] as usize]].extend_from_slice(rec);
+    }
+}
+
+/// Sorts fixed-size records by their `key_len`-byte prefix, returning the
+/// concatenated sorted records.
+///
+/// Radix-buckets by the first key byte (256 ways), then stable-sorts each
+/// bucket — equal keys keep their input order, so the output is byte-for-
+/// byte identical to a stable comparison sort over the whole input, while
+/// the comparison sort only ever sees 1/256th of the records.
+///
+/// # Panics
+///
+/// Panics if `key_len` is zero or exceeds `record_len`, or `data` is not
+/// record-aligned.
+pub fn sort_records_by_key(data: &[u8], record_len: usize, key_len: usize) -> Vec<u8> {
+    assert!(key_len > 0 && key_len <= record_len, "key within record");
+    assert_eq!(data.len() % record_len, 0, "data must be record-aligned");
+    // Bucket offsets by first key byte: count, prefix-sum, gather.
+    let mut counts = [0usize; 256];
+    for rec in data.chunks_exact(record_len) {
+        counts[rec[0] as usize] += 1;
+    }
+    let mut buckets: Vec<Vec<&[u8]>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for rec in data.chunks_exact(record_len) {
+        buckets[rec[0] as usize].push(rec);
+    }
+    let mut sorted = Vec::with_capacity(data.len());
+    for bucket in &mut buckets {
+        bucket.sort_by_key(|rec| &rec[..key_len]);
+        for rec in bucket.iter() {
+            sorted.extend_from_slice(rec);
+        }
+    }
+    sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The scalar reference the SWAR kernel must match bit-for-bit.
+    fn scalar_count_words(chunk: &[u8], mut in_word: bool) -> (u64, bool) {
+        let mut count = 0;
+        for &b in chunk {
+            let is_space = b.is_ascii_whitespace();
+            if !is_space && !in_word {
+                count += 1;
+            }
+            in_word = !is_space;
+        }
+        (count, in_word)
+    }
+
+    #[test]
+    fn count_words_handles_basics() {
+        assert_eq!(count_words(b"hello world", false), (2, true));
+        assert_eq!(count_words(b"  leading and trailing  ", false), (3, false));
+        assert_eq!(count_words(b"", true), (0, true));
+        assert_eq!(count_words(b"carry", true), (0, true));
+        // All five ASCII whitespace characters separate words.
+        assert_eq!(count_words(b"a b\tc\nd\x0ce\rf", false), (6, true));
+    }
+
+    #[test]
+    fn find_byte_matches_position() {
+        let hay = b"abcdefghijklmnop,qrs";
+        assert_eq!(find_byte(hay, b','), Some(16));
+        assert_eq!(find_byte(hay, b'a'), Some(0));
+        assert_eq!(find_byte(hay, b's'), Some(19));
+        assert_eq!(find_byte(hay, b'z'), None);
+        assert_eq!(find_byte(b"", b'x'), None);
+    }
+
+    #[test]
+    fn parse_i64_matches_str_parse() {
+        let cases = [
+            "0",
+            "42",
+            "-7",
+            "+9",
+            "",
+            "-",
+            "1a",
+            "9223372036854775807",
+            "9223372036854775808",
+        ];
+        for case in cases {
+            assert_eq!(
+                parse_i64(case.as_bytes()),
+                case.parse::<i64>().ok(),
+                "case {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregator_matches_scalar_dictionary() {
+        let text = b"1,10\n2,20\n1,5\nbad line\n3,-3\n2,1";
+        for chunk_size in [1usize, 3, 8, 64] {
+            let mut agg = StreamingAggregator::new();
+            for chunk in text.chunks(chunk_size) {
+                agg.push_chunk(chunk);
+            }
+            agg.finish();
+            let dict = agg.into_map();
+            assert_eq!(dict.len(), 3);
+            assert_eq!(dict[&1], 15);
+            assert_eq!(dict[&2], 21);
+            assert_eq!(dict[&3], -3);
+        }
+    }
+
+    #[test]
+    fn radix_partition_preserves_order_within_partitions() {
+        // Three 4-byte records per partition range, interleaved.
+        let data: Vec<u8> = [
+            [0x00, 1, 1, 1],
+            [0xff, 2, 2, 2],
+            [0x01, 3, 3, 3],
+            [0x80, 4, 4, 4],
+            [0xfe, 5, 5, 5],
+        ]
+        .concat();
+        let mut out = vec![Vec::new(), Vec::new()];
+        radix_partition_into(&data, 4, &mut out);
+        assert_eq!(out[0], [[0x00, 1, 1, 1], [0x01, 3, 3, 3]].concat());
+        assert_eq!(
+            out[1],
+            [[0xff, 2, 2, 2], [0x80, 4, 4, 4], [0xfe, 5, 5, 5]].concat()
+        );
+    }
+
+    #[test]
+    fn sort_records_matches_stable_sort() {
+        let records: Vec<[u8; 6]> = vec![
+            [9, 1, b'a', 0, 0, 1],
+            [3, 2, b'b', 0, 0, 2],
+            [9, 1, b'c', 0, 0, 3], // same key as the first: must stay after it
+            [0, 0, b'd', 0, 0, 4],
+        ];
+        let data: Vec<u8> = records.concat();
+        let sorted = sort_records_by_key(&data, 6, 2);
+        let expected: Vec<u8> = [
+            [0, 0, b'd', 0, 0, 4],
+            [3, 2, b'b', 0, 0, 2],
+            [9, 1, b'a', 0, 0, 1],
+            [9, 1, b'c', 0, 0, 3],
+        ]
+        .concat();
+        assert_eq!(sorted, expected);
+    }
+
+    proptest! {
+        #[test]
+        fn swar_word_count_matches_scalar(
+            chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..8),
+            start in any::<bool>(),
+        ) {
+            let mut swar = (0u64, start);
+            let mut scalar = (0u64, start);
+            for chunk in &chunks {
+                let (c, w) = count_words(chunk, swar.1);
+                swar = (swar.0 + c, w);
+                let (c, w) = scalar_count_words(chunk, scalar.1);
+                scalar = (scalar.0 + c, w);
+            }
+            prop_assert_eq!(swar, scalar);
+        }
+
+        #[test]
+        fn swar_find_byte_matches_position(
+            hay in prop::collection::vec(any::<u8>(), 0..80),
+            needle in any::<u8>(),
+        ) {
+            prop_assert_eq!(
+                find_byte(&hay, needle),
+                hay.iter().position(|&b| b == needle)
+            );
+        }
+
+        #[test]
+        fn radix_sort_matches_stable_comparison_sort(
+            mut data in prop::collection::vec(any::<u8>(), 0..400),
+        ) {
+            let record_len = 5;
+            let key_len = 2;
+            data.truncate(data.len() / record_len * record_len);
+            let mut reference: Vec<&[u8]> = data.chunks_exact(record_len).collect();
+            reference.sort_by_key(|rec| &rec[..key_len]);
+            let expected: Vec<u8> = reference.concat();
+            prop_assert_eq!(sort_records_by_key(&data, record_len, key_len), expected);
+        }
+
+        #[test]
+        fn radix_partition_matches_scalar_append(
+            data in prop::collection::vec(any::<u8>(), 0..300),
+            partitions in 1usize..9,
+        ) {
+            let record_len = 3;
+            let data = &data[..data.len() / record_len * record_len];
+            let mut expected = vec![Vec::new(); partitions];
+            for rec in data.chunks_exact(record_len) {
+                expected[(rec[0] as usize * partitions) / 256].extend_from_slice(rec);
+            }
+            let mut out = vec![Vec::new(); partitions];
+            radix_partition_into(data, record_len, &mut out);
+            prop_assert_eq!(out, expected);
+        }
+    }
+}

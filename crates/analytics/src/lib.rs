@@ -17,8 +17,13 @@
 //!
 //! Correctness of each pair is asserted by tests: both sides must produce
 //! the *same* answer, not just similar timings.
+//!
+//! The inner loops shared by the workloads (byte scanning, `k,v`
+//! aggregation, record partitioning) live in [`kernels`] as vectorized
+//! SWAR implementations, property-tested against their scalar references.
 
 pub mod genomics;
+pub mod kernels;
 pub mod pipeline;
 pub mod reduce;
 pub mod report;

@@ -8,8 +8,8 @@
 //! crosses once and storage holds only the aggregated dictionary — the
 //! paper's 50% access cut and ~99.8% utilization cut.
 
+use crate::kernels::StreamingAggregator;
 use crate::report::WorkloadReport;
-use crate::text::LineSplitter;
 use bytes::Bytes;
 use glider_core::{ActionSpec, Cluster, ClusterConfig, GliderError, GliderResult};
 use glider_util::textgen::PairGen;
@@ -104,19 +104,19 @@ pub async fn run_baseline(cfg: &ReduceConfig) -> GliderResult<ReduceOutcome> {
     }
 
     // Stage 2: a reducer worker reads everything back and aggregates.
+    // The aggregation kernel parses `k,v` lines straight from the chunk
+    // bytes (no String per record) into an FNV-keyed map.
     let reducer = cluster.client().await?;
-    let mut dict: HashMap<i64, i64> = HashMap::new();
+    let mut agg = StreamingAggregator::new();
     for w in 0..cfg.workers {
         let file = reducer.lookup_file(&format!("/reduce/in-{w}")).await?;
         let mut reader = file.input_stream().await?;
-        let mut lines = LineSplitter::new();
         while let Some(chunk) = reader.next_chunk().await? {
-            merge_lines(&mut dict, &lines.push(&chunk));
+            agg.push_chunk(&chunk);
         }
-        if let Some(tail) = lines.finish() {
-            merge_lines(&mut dict, &[tail]);
-        }
+        agg.finish();
     }
+    let dict = agg.into_map();
     // Write the aggregated result so the next stage can consume it.
     let mut entries: Vec<(i64, i64)> = dict.iter().map(|(k, v)| (*k, *v)).collect();
     entries.sort_unstable();

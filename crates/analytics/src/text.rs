@@ -1,4 +1,10 @@
 //! Incremental text utilities shared by the workloads.
+//!
+//! The scanning loops delegate to the SWAR kernels in [`crate::kernels`],
+//! which process eight bytes per step and are property-tested against the
+//! scalar loops these utilities originally used.
+
+use crate::kernels;
 
 /// Incremental line splitter over arbitrary chunk boundaries.
 ///
@@ -28,7 +34,7 @@ impl LineSplitter {
         self.pending.extend_from_slice(chunk);
         let mut out = Vec::new();
         let mut start = 0;
-        while let Some(nl) = self.pending[start..].iter().position(|&b| b == b'\n') {
+        while let Some(nl) = kernels::find_byte(&self.pending[start..], b'\n') {
             let line = &self.pending[start..start + nl];
             out.push(String::from_utf8_lossy(line).into_owned());
             start += nl + 1;
@@ -63,15 +69,11 @@ impl WordCounter {
         WordCounter::default()
     }
 
-    /// Feeds a chunk.
+    /// Feeds a chunk (vectorized: eight bytes per step).
     pub fn push(&mut self, chunk: &[u8]) {
-        for &b in chunk {
-            let is_space = b.is_ascii_whitespace();
-            if !is_space && !self.in_word {
-                self.count += 1;
-            }
-            self.in_word = !is_space;
-        }
+        let (added, in_word) = kernels::count_words(chunk, self.in_word);
+        self.count += added;
+        self.in_word = in_word;
     }
 
     /// Total words seen.
@@ -113,7 +115,7 @@ impl ByteLineScanner {
     pub fn push(&mut self, chunk: &[u8], mut f: impl FnMut(&[u8])) {
         let mut rest = chunk;
         if !self.carry.is_empty() {
-            match rest.iter().position(|&b| b == b'\n') {
+            match kernels::find_byte(rest, b'\n') {
                 Some(nl) => {
                     self.carry.extend_from_slice(&rest[..nl]);
                     f(&self.carry);
@@ -126,7 +128,7 @@ impl ByteLineScanner {
                 }
             }
         }
-        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+        while let Some(nl) = kernels::find_byte(rest, b'\n') {
             f(&rest[..nl]);
             rest = &rest[nl + 1..];
         }

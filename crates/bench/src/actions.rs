@@ -1,0 +1,436 @@
+//! Action execution hot-path sweep: records/s and MiB/s through near-data
+//! action pipelines versus the data-shipping pattern.
+//!
+//! The sweep measures record delivery end to end over the reworked action
+//! data path — batched record framing (`StreamChunkBatch`) over the
+//! multiplexed per-server stream, pooled batch buffers on the client, and
+//! instance-parallel execution on the active server's action pool:
+//!
+//! - **Glider**: `n` writers each stream records into their own `counter`
+//!   action via [`write_record`]; the bytes cross the compute/storage
+//!   boundary once and the counting runs near data, on `n` concurrent
+//!   action instances.
+//! - **Baseline** (data shipping): `n` writers ship the same records to
+//!   files, then read every byte back and count client-side — the bytes
+//!   cross twice.
+//!
+//! Both sides validate their answer (bytes counted must equal bytes
+//! sent), so the sweep cannot quietly measure a broken pipeline. It backs
+//! the `actions_sweep` binary, which emits `BENCH_actions.json` for the
+//! CI bench gate.
+//!
+//! [`write_record`]: glider_core::client::ActionWriter::write_record
+
+use bytes::Bytes;
+use glider_core::{ActionSpec, Cluster, ClusterConfig, GliderError, GliderResult};
+use glider_metrics::MetricsRegistry;
+use glider_util::ByteSize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Instance counts of the standard sweep (paper-style scaling axis).
+pub const SWEEP_INSTANCES: &[usize] = &[1, 2, 4, 8];
+
+/// Record sizes of the standard sweep: small records stress the framing,
+/// large ones the raw byte path.
+pub const SWEEP_RECORD_SIZES: &[usize] = &[64, 1024];
+
+/// Stream chunk size used by the sweep clients. Small enough that every
+/// point ships many batches, so the steady-state pool hit rate is
+/// meaningful (and asserted).
+pub const SWEEP_CHUNK: ByteSize = ByteSize::kib(16);
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ActionsSample {
+    /// `"glider"` or `"baseline"`.
+    pub mode: &'static str,
+    /// Concurrent pipelines / action instances.
+    pub instances: usize,
+    /// Bytes per record.
+    pub record_bytes: usize,
+    /// Records delivered to their consumer per second.
+    pub records_per_s: f64,
+    /// Payload megabytes delivered per second.
+    pub mib_per_s: f64,
+    /// Client-side batch-buffer pool hit rate (glider mode; the baseline
+    /// does not use the record path and reports 0).
+    pub pool_hit_rate: f64,
+}
+
+fn cluster_config(instances: usize, bytes_per_instance: u64, rdma_sim: bool) -> ClusterConfig {
+    // The baseline stores every instance's records as a file; budget the
+    // blocks for that plus headroom.
+    let blocks = (bytes_per_instance * instances as u64 * 2)
+        .div_ceil(ByteSize::mib(1).as_u64())
+        .max(16)
+        + 8 * instances as u64;
+    ClusterConfig::default()
+        .with_data(1, blocks)
+        .with_active(1, (instances as u64).max(8))
+        .with_rdma_sim(rdma_sim)
+}
+
+/// Runs one Glider point: `instances` writers stream records into as many
+/// `counter` actions; returns the sample and asserts the batch-buffer
+/// pool served ≥90% of gets once past warmup.
+///
+/// # Errors
+///
+/// Propagates cluster and stream failures.
+///
+/// # Panics
+///
+/// Panics if an action counted different bytes than were sent, or the
+/// steady-state pool hit rate falls below 0.90.
+pub async fn glider_point(
+    instances: usize,
+    record_bytes: usize,
+    bytes_per_instance: u64,
+    rdma_sim: bool,
+) -> GliderResult<ActionsSample> {
+    let cluster = Cluster::start(cluster_config(instances, bytes_per_instance, rdma_sim)).await?;
+    let setup = cluster.client().await?;
+    setup.create_dir("/sweep").await?;
+    for i in 0..instances {
+        setup
+            .create_action(
+                &format!("/sweep/count-{i}"),
+                ActionSpec::new("counter", false),
+            )
+            .await?;
+    }
+    // The point's registry sees only these clients' buffer pools, so the
+    // hit rate below is exactly the record-batch pool's.
+    let metrics = MetricsRegistry::new();
+    let records_per_instance = (bytes_per_instance / record_bytes as u64).max(1);
+
+    let start = Instant::now();
+    let mut tasks = Vec::new();
+    for i in 0..instances {
+        let config = cluster
+            .client_config()
+            .with_chunk_size(SWEEP_CHUNK)
+            .with_metrics(Arc::clone(&metrics));
+        let store = glider_core::StoreClient::connect(config).await?;
+        tasks.push(tokio::spawn(async move {
+            let action = store.lookup_action(&format!("/sweep/count-{i}")).await?;
+            let record = vec![0x47u8; record_bytes];
+            let mut out = action.output_stream().await?;
+            for _ in 0..records_per_instance {
+                out.write_record(&record).await?;
+            }
+            out.close().await
+        }));
+    }
+    let mut sent = 0u64;
+    for t in tasks {
+        sent += t.await.expect("glider writer panicked")?;
+    }
+    let elapsed = start.elapsed();
+
+    // Validate: every action counted exactly the bytes its writer sent.
+    let mut counted = 0u64;
+    for i in 0..instances {
+        let action = setup.lookup_action(&format!("/sweep/count-{i}")).await?;
+        let summary = action.read_all().await?;
+        counted += String::from_utf8_lossy(&summary)
+            .trim()
+            .parse::<u64>()
+            .map_err(|e| GliderError::protocol(format!("bad counter summary: {e}")))?;
+    }
+    assert_eq!(counted, sent, "actions must count every byte sent");
+
+    let pool_hit_rate = metrics.snapshot().pool_hit_rate();
+    let window = cluster.client_config().window;
+    let batches_per_instance = bytes_per_instance / SWEEP_CHUNK.as_u64();
+    if batches_per_instance >= 20 * window as u64 {
+        assert!(
+            pool_hit_rate >= 0.90,
+            "steady-state batch-buffer pool hit rate {pool_hit_rate:.3} < 0.90 \
+             ({batches_per_instance} batches/instance, window {window})"
+        );
+    }
+
+    let total_records = records_per_instance * instances as u64;
+    Ok(ActionsSample {
+        mode: "glider",
+        instances,
+        record_bytes,
+        records_per_s: total_records as f64 / elapsed.as_secs_f64(),
+        mib_per_s: sent as f64 / elapsed.as_secs_f64() / (1024.0 * 1024.0),
+        pool_hit_rate,
+    })
+}
+
+/// Runs one data-shipping point: `instances` writers store their records
+/// as files, read every byte back and count client-side.
+///
+/// # Errors
+///
+/// Propagates cluster and storage failures.
+///
+/// # Panics
+///
+/// Panics if a reader counted different bytes than its writer shipped.
+pub async fn baseline_point(
+    instances: usize,
+    record_bytes: usize,
+    bytes_per_instance: u64,
+    rdma_sim: bool,
+) -> GliderResult<ActionsSample> {
+    let cluster = Cluster::start(cluster_config(instances, bytes_per_instance, rdma_sim)).await?;
+    let setup = cluster.client().await?;
+    setup.create_dir("/sweep").await?;
+    let records_per_instance = (bytes_per_instance / record_bytes as u64).max(1);
+
+    let start = Instant::now();
+    let mut tasks = Vec::new();
+    for i in 0..instances {
+        let config = cluster.client_config().with_chunk_size(SWEEP_CHUNK);
+        let store = glider_core::StoreClient::connect(config).await?;
+        tasks.push(tokio::spawn(async move {
+            // Ship the records to storage…
+            let per_chunk = (SWEEP_CHUNK.as_usize() / record_bytes).max(1);
+            let template = Bytes::from(vec![0x47u8; per_chunk * record_bytes]);
+            let file = store.create_file(&format!("/sweep/in-{i}")).await?;
+            let mut out = file.output_stream().await?;
+            let total = records_per_instance * record_bytes as u64;
+            let mut remaining = total;
+            while remaining > 0 {
+                let n = remaining.min(template.len() as u64) as usize;
+                out.write(template.slice(..n)).await?;
+                remaining -= n as u64;
+            }
+            out.close().await?;
+            // …then read every byte back and count client-side.
+            let file = store.lookup_file(&format!("/sweep/in-{i}")).await?;
+            let mut reader = file.input_stream().await?;
+            let mut counted = 0u64;
+            while let Some(chunk) = reader.next_chunk().await? {
+                counted += chunk.len() as u64;
+            }
+            assert_eq!(counted, total, "reader must see every byte shipped");
+            Ok::<u64, GliderError>(counted)
+        }));
+    }
+    let mut delivered = 0u64;
+    for t in tasks {
+        delivered += t.await.expect("baseline worker panicked")?;
+    }
+    let elapsed = start.elapsed();
+
+    let total_records = records_per_instance * instances as u64;
+    Ok(ActionsSample {
+        mode: "baseline",
+        instances,
+        record_bytes,
+        records_per_s: total_records as f64 / elapsed.as_secs_f64(),
+        mib_per_s: delivered as f64 / elapsed.as_secs_f64() / (1024.0 * 1024.0),
+        pool_hit_rate: 0.0,
+    })
+}
+
+/// Sweeps both modes over every `(record size, instance count)` point.
+///
+/// # Errors
+///
+/// Propagates the first point failure.
+pub async fn sweep_actions(
+    instances: &[usize],
+    record_sizes: &[usize],
+    bytes_per_instance: u64,
+    rdma_sim: bool,
+) -> GliderResult<Vec<ActionsSample>> {
+    let mut out = Vec::new();
+    for &record_bytes in record_sizes {
+        for &n in instances {
+            out.push(glider_point(n, record_bytes, bytes_per_instance, rdma_sim).await?);
+            out.push(baseline_point(n, record_bytes, bytes_per_instance, rdma_sim).await?);
+        }
+    }
+    Ok(out)
+}
+
+fn find(samples: &[ActionsSample], mode: &str, instances: usize, record: usize) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| s.mode == mode && s.instances == instances && s.record_bytes == record)
+        .map(|s| s.mib_per_s)
+}
+
+/// Renders the sweep as the `BENCH_actions.json` document.
+///
+/// `baseline` is the committed pre-change headline (pass it via
+/// `GLIDER_ACTIONS_BASELINE_MIBPS` when regenerating after a data-path
+/// change); without it the current number doubles as the baseline.
+/// `note` records measurement caveats (e.g. why samples are empty).
+pub fn render_actions_json(
+    samples: &[ActionsSample],
+    baseline: Option<f64>,
+    note: Option<&str>,
+) -> String {
+    let max_record = samples.iter().map(|s| s.record_bytes).max().unwrap_or(0);
+    let max_instances = samples.iter().map(|s| s.instances).max().unwrap_or(0);
+    let current = find(samples, "glider", max_instances, max_record);
+
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"actions\",\n  \"schema_version\": 1,\n");
+    out.push_str(
+        "  \"description\": \"record streaming through counter actions (glider) vs \
+         file round-trip (baseline); MiB/s of payload delivered\",\n",
+    );
+    match note {
+        Some(n) => out.push_str(&format!("  \"note\": \"{}\",\n", n.replace('"', "'"))),
+        None => out.push_str("  \"note\": null,\n"),
+    }
+    out.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"instances\": {}, \"record_bytes\": {}, \
+             \"records_per_s\": {:.0}, \"mib_per_s\": {:.3}, \"pool_hit_rate\": {:.4}}}{}\n",
+            s.mode,
+            s.instances,
+            s.record_bytes,
+            s.records_per_s,
+            s.mib_per_s,
+            s.pool_hit_rate,
+            if i + 1 == samples.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"acceptance\": {\n");
+    let fmt = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.3}"));
+
+    // At how many instance counts does the glider pipeline beat data
+    // shipping (largest record size)?
+    let counts: Vec<usize> = {
+        let mut c: Vec<usize> = samples.iter().map(|s| s.instances).collect();
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
+    let wins = counts
+        .iter()
+        .filter(|&&n| {
+            matches!(
+                (
+                    find(samples, "glider", n, max_record),
+                    find(samples, "baseline", n, max_record),
+                ),
+                (Some(g), Some(b)) if g > b
+            )
+        })
+        .count();
+    out.push_str(&format!(
+        "    \"glider_wins_instance_counts\": {},\n",
+        if samples.is_empty() {
+            "null".to_string()
+        } else {
+            wins.to_string()
+        }
+    ));
+    let records_at = |n: usize| {
+        samples
+            .iter()
+            .find(|s| s.mode == "glider" && s.instances == n && s.record_bytes == max_record)
+            .map(|s| s.records_per_s)
+    };
+    let scaling = match (records_at(1), records_at(max_instances)) {
+        (Some(one), Some(many)) if max_instances > 1 && one > 0.0 => Some(many / one),
+        _ => None,
+    };
+    out.push_str(&format!(
+        "    \"glider_scaling_1_to_{max_instances}\": {},\n",
+        fmt(scaling)
+    ));
+    let min_pool = samples
+        .iter()
+        .filter(|s| s.mode == "glider")
+        .map(|s| s.pool_hit_rate)
+        .fold(None, |min: Option<f64>, r| {
+            Some(min.map_or(r, |m| m.min(r)))
+        });
+    out.push_str(&format!(
+        "    \"min_glider_pool_hit_rate\": {},\n",
+        fmt(min_pool)
+    ));
+    out.push_str(&format!(
+        "    \"baseline_glider_mibps\": {},\n",
+        fmt(baseline.or(current))
+    ));
+    out.push_str(&format!(
+        "    \"current_glider_mibps\": {},\n",
+        fmt(current)
+    ));
+    let speedup = match (baseline.or(current), current) {
+        (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+        _ => None,
+    };
+    out.push_str(&format!("    \"speedup\": {}\n  }}\n}}\n", fmt(speedup)));
+    out
+}
+
+/// Reads the committed headline from `GLIDER_ACTIONS_BASELINE_MIBPS`.
+pub fn baseline_from_env() -> Option<f64> {
+    std::env::var("GLIDER_ACTIONS_BASELINE_MIBPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn both_modes_deliver_and_validate() {
+        let samples = sweep_actions(&[1, 2], &[64], 128 * 1024, false)
+            .await
+            .unwrap();
+        assert_eq!(samples.len(), 4);
+        for s in &samples {
+            assert!(s.records_per_s.is_finite() && s.records_per_s > 0.0);
+            assert!(s.mib_per_s.is_finite() && s.mib_per_s > 0.0);
+        }
+        // The record path went through the pooled batch buffers.
+        assert!(samples
+            .iter()
+            .any(|s| s.mode == "glider" && s.pool_hit_rate > 0.0));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let sample = |mode, instances, mib: f64| ActionsSample {
+            mode,
+            instances,
+            record_bytes: 64,
+            records_per_s: mib * 16384.0,
+            mib_per_s: mib,
+            pool_hit_rate: if mode == "glider" { 0.97 } else { 0.0 },
+        };
+        let samples = vec![
+            sample("glider", 1, 10.0),
+            sample("baseline", 1, 8.0),
+            sample("glider", 8, 25.0),
+            sample("baseline", 8, 12.0),
+        ];
+        let doc = render_actions_json(&samples, None, None);
+        assert!(doc.contains("\"glider_wins_instance_counts\": 2"));
+        assert!(doc.contains("\"glider_scaling_1_to_8\": 2.500"));
+        assert!(doc.contains("\"min_glider_pool_hit_rate\": 0.970"));
+        assert!(doc.contains("\"current_glider_mibps\": 25.000"));
+        assert!(doc.contains("\"speedup\": 1.000"));
+        assert!(doc.contains("\"note\": null"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+
+        let doc = render_actions_json(&samples, Some(20.0), Some("caveat"));
+        assert!(doc.contains("\"baseline_glider_mibps\": 20.000"));
+        assert!(doc.contains("\"speedup\": 1.250"));
+        assert!(doc.contains("\"note\": \"caveat\""));
+
+        // An empty document (no measurements yet) renders null acceptance
+        // fields, which the gate treats as bootstrap.
+        let doc = render_actions_json(&[], None, Some("no numbers"));
+        assert!(doc.contains("\"glider_wins_instance_counts\": null"));
+        assert!(doc.contains("\"current_glider_mibps\": null"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Sweeps record throughput through near-data action pipelines (batched
+//! record framing into `counter` actions) against the data-shipping
+//! baseline (file round-trip), over instance counts and record sizes on
+//! the `mem://` intra-storage fabric, and writes `BENCH_actions.json` at
+//! the repository root.
+//!
+//! To record a before/after comparison, run the pre-change build first,
+//! note its headline MiB/s, then re-run the post-change build with
+//! `GLIDER_ACTIONS_BASELINE_MIBPS=<that number>`:
+//!
+//! ```text
+//! cargo run -p glider-bench --release --bin actions_sweep
+//! GLIDER_ACTIONS_BASELINE_MIBPS=25.0 \
+//!     cargo run -p glider-bench --release --bin actions_sweep
+//! cargo run -p glider-bench --release --bin actions_sweep -- --smoke
+//! ```
+//!
+//! `--smoke` is CI's bench-gate mode: a short 1-and-8-instance sweep
+//! whose glider headline (MiB/s at the largest point) is compared against
+//! the committed `BENCH_actions.json` (tolerance `GLIDER_BENCH_TOLERANCE`,
+//! default 15%; an empty/null baseline passes with a bootstrap warning).
+//! Smoke runs never rewrite the JSON. Both modes validate byte counts and
+//! assert the ≥90% steady-state batch-buffer pool hit rate inside the
+//! sweep itself.
+
+use glider_bench::actions::{
+    baseline_from_env, render_actions_json, sweep_actions, ActionsSample, SWEEP_INSTANCES,
+    SWEEP_RECORD_SIZES,
+};
+use glider_util::ByteSize;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = glider_bench::scale_from_args();
+    // Smoke keeps the 1→8 scaling endpoints and enough batches per
+    // instance to arm the pool hit-rate assertion.
+    let (instances, record_sizes, per_instance): (&[usize], &[usize], u64) = if smoke {
+        (&[1, 8], &[1024], 4 * 1024 * 1024)
+    } else {
+        (
+            SWEEP_INSTANCES,
+            SWEEP_RECORD_SIZES,
+            ((8.0 * scale) as u64).max(4) * 1024 * 1024,
+        )
+    };
+
+    let rt = glider_bench::runtime();
+    let samples = rt
+        .block_on(sweep_actions(instances, record_sizes, per_instance, true))
+        .expect("actions sweep");
+
+    println!(
+        "actions sweep — {} per instance, mem:// fabric",
+        ByteSize::bytes(per_instance)
+    );
+    println!(
+        "{:>9} {:>10} {:>8} {:>14} {:>10} {:>9}",
+        "mode", "instances", "record", "records/s", "MiB/s", "pool hit"
+    );
+    for s in &samples {
+        println!(
+            "{:>9} {:>10} {:>8} {:>14.0} {:>10.2} {:>8.1}%",
+            s.mode,
+            s.instances,
+            s.record_bytes,
+            s.records_per_s,
+            s.mib_per_s,
+            s.pool_hit_rate * 100.0,
+        );
+    }
+
+    if smoke {
+        let current = gated_sample(&samples).expect("smoke sweep includes the headline point");
+        let baseline = glider_bench::gate::committed_baseline(
+            env!("CARGO_MANIFEST_DIR"),
+            "BENCH_actions.json",
+            "current_glider_mibps",
+        );
+        let ok = glider_bench::gate::report(
+            "glider_mibps",
+            baseline,
+            current,
+            glider_bench::gate::tolerance_from_env(),
+        );
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("smoke pass ok");
+        return;
+    }
+
+    let doc = render_actions_json(&samples, baseline_from_env(), None);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_actions.json");
+    std::fs::write(&path, doc).expect("write BENCH_actions.json");
+    println!("wrote {}", path.display());
+}
+
+/// The gated headline number: glider MiB/s at the largest measured point.
+fn gated_sample(samples: &[ActionsSample]) -> Option<f64> {
+    let max_record = samples.iter().map(|s| s.record_bytes).max()?;
+    let max_instances = samples.iter().map(|s| s.instances).max()?;
+    samples
+        .iter()
+        .find(|s| {
+            s.mode == "glider" && s.instances == max_instances && s.record_bytes == max_record
+        })
+        .map(|s| s.mib_per_s)
+}

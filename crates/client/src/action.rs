@@ -5,10 +5,14 @@ use bytes::Bytes;
 use futures::future::BoxFuture;
 use futures::stream::{FuturesOrdered, StreamExt};
 use glider_metrics::AccessKind;
+use glider_net::rpc::RpcStream;
+use glider_net::BytesPool;
+use glider_proto::batch::{RecordBatchBuilder, RECORD_HEADER_LEN};
 use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::types::{NodeId, NodeInfo, StreamDir, StreamId};
 use glider_proto::{GliderError, GliderResult};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Proxy to an `Action` node.
 ///
@@ -56,17 +60,20 @@ impl ActionNode {
         self.info.id
     }
 
-    async fn open(&self, dir: StreamDir) -> GliderResult<(glider_net::rpc::RpcClient, StreamId)> {
+    async fn open(&self, dir: StreamDir) -> GliderResult<(Arc<RpcStream>, StreamId)> {
         let slot = self.info.single_block()?;
-        let conn = self.store.data_conn(&slot.loc.addr).await?;
-        match conn
+        // All stream traffic rides the per-server multiplexed stream, so
+        // the server grants admission credits per request and slow
+        // actions throttle this writer instead of ballooning its queue.
+        let stream = self.store.data_stream(&slot.loc.addr).await?;
+        match stream
             .call(RequestBody::StreamOpen {
                 node_id: self.info.id,
                 dir,
             })
             .await?
         {
-            ResponseBody::StreamOpened { stream_id } => Ok((conn, stream_id)),
+            ResponseBody::StreamOpened { stream_id } => Ok((stream, stream_id)),
             other => Err(GliderError::protocol(format!(
                 "expected stream-opened response, got {other:?}"
             ))),
@@ -82,13 +89,15 @@ impl ActionNode {
     /// Fails when the action object does not exist on the active server.
     pub async fn output_stream(&self) -> GliderResult<ActionWriter> {
         self.store.count_access(AccessKind::ActionWrite);
-        let (conn, stream_id) = self.open(StreamDir::Write).await?;
+        let (stream, stream_id) = self.open(StreamDir::Write).await?;
         Ok(ActionWriter {
             store: self.store.clone(),
-            conn,
+            stream,
             stream_id,
             next_seq: 0,
             pending: FuturesOrdered::new(),
+            pool: Arc::clone(self.store.record_pool()),
+            batch: RecordBatchBuilder::new(),
             total: 0,
         })
     }
@@ -102,10 +111,10 @@ impl ActionNode {
     /// Fails when the action object does not exist on the active server.
     pub async fn input_stream(&self) -> GliderResult<ActionReader> {
         self.store.count_access(AccessKind::ActionRead);
-        let (conn, stream_id) = self.open(StreamDir::Read).await?;
+        let (stream, stream_id) = self.open(StreamDir::Read).await?;
         Ok(ActionReader {
             store: self.store.clone(),
-            conn,
+            stream,
             stream_id,
             pending: FuturesOrdered::new(),
             reorder: BTreeMap::new(),
@@ -174,13 +183,33 @@ impl ActionNode {
 }
 
 /// Windowed write stream to an action.
+///
+/// Two send paths share one sequence space:
+///
+/// - [`ActionWriter::write`] ships opaque byte chunks, one `StreamChunk`
+///   per chunk-size piece (one sequence number each);
+/// - [`ActionWriter::write_record`] packs small records into pooled
+///   chunk-size batch buffers and ships each as one `StreamChunkBatch`
+///   occupying a sequence number per record — the server unpacks records
+///   as zero-copy slices, so neither side allocates or copies per record.
 pub struct ActionWriter {
     store: StoreClient,
-    conn: glider_net::rpc::RpcClient,
+    stream: Arc<RpcStream>,
     stream_id: StreamId,
     next_seq: u64,
     pending: FuturesOrdered<BoxFuture<'static, GliderResult<()>>>,
+    pool: Arc<BytesPool>,
+    batch: RecordBatchBuilder,
     total: u64,
+}
+
+fn expect_ok(response: ResponseBody) -> GliderResult<()> {
+    match response {
+        ResponseBody::Ok => Ok(()),
+        other => Err(GliderError::protocol(format!(
+            "expected Ok response, got {other:?}"
+        ))),
+    }
 }
 
 impl ActionWriter {
@@ -191,30 +220,29 @@ impl ActionWriter {
     ///
     /// Propagates transport errors and action-side stream closure.
     pub async fn write(&mut self, mut data: Bytes) -> GliderResult<()> {
+        // Flush buffered records first so the two paths stay in order.
+        self.flush_records().await?;
         let chunk_size = self.store.config().chunk_size.as_usize();
-        let window = self.store.config().window;
         while !data.is_empty() {
             let n = data.len().min(chunk_size);
             let piece = data.split_to(n);
             let seq = self.next_seq;
             self.next_seq += 1;
             self.total += n as u64;
-            let conn = self.conn.clone();
+            let stream = Arc::clone(&self.stream);
             let stream_id = self.stream_id;
             self.pending.push_back(Box::pin(async move {
-                conn.call_ok(RequestBody::StreamChunk {
-                    stream_id,
-                    seq,
-                    data: piece,
-                })
-                .await
+                expect_ok(
+                    stream
+                        .call(RequestBody::StreamChunk {
+                            stream_id,
+                            seq,
+                            data: piece,
+                        })
+                        .await?,
+                )
             }));
-            while self.pending.len() >= window {
-                self.pending
-                    .next()
-                    .await
-                    .expect("pending non-empty by loop guard")?;
-            }
+            self.reap_window().await?;
         }
         Ok(())
     }
@@ -228,27 +256,106 @@ impl ActionWriter {
         self.write(Bytes::copy_from_slice(data)).await
     }
 
-    /// Closes the stream: waits for every chunk to be accepted, then
-    /// signals end-of-input and waits for the action's `on_write` to
-    /// finish (the paper's close-ends-the-method semantics — a successful
-    /// close is a write barrier). Returns the bytes written.
+    /// Appends one record to the current batch, shipping the batch when it
+    /// reaches the configured chunk size. The record is copied once into a
+    /// pooled batch buffer; there is no per-record allocation or RPC.
+    ///
+    /// The action observes each record as its own chunk (its own sequence
+    /// number), so record boundaries survive the trip — what
+    /// [`ActionWriter::write`] cannot promise.
+    ///
+    /// # Errors
+    ///
+    /// See [`ActionWriter::write`].
+    pub async fn write_record(&mut self, record: &[u8]) -> GliderResult<()> {
+        let chunk_size = self.store.config().chunk_size.as_usize();
+        if !self.batch.is_empty()
+            && self.batch.payload_len() + RECORD_HEADER_LEN + record.len() > chunk_size
+        {
+            self.flush_records().await?;
+        }
+        if self.batch.is_empty() {
+            self.batch = RecordBatchBuilder::with_buffer(self.pool.get());
+        }
+        self.batch.push(record);
+        self.total += record.len() as u64;
+        if self.batch.payload_len() >= chunk_size {
+            self.flush_records().await?;
+        }
+        Ok(())
+    }
+
+    /// Ships the buffered record batch, if any. [`ActionWriter::close`]
+    /// calls this implicitly.
+    ///
+    /// # Errors
+    ///
+    /// See [`ActionWriter::write`].
+    pub async fn flush_records(&mut self) -> GliderResult<()> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let builder = std::mem::replace(&mut self.batch, RecordBatchBuilder::new());
+        let (count, data) = builder.finish();
+        let seq = self.next_seq;
+        self.next_seq += u64::from(count);
+        let stream = Arc::clone(&self.stream);
+        let pool = Arc::clone(&self.pool);
+        let stream_id = self.stream_id;
+        self.pending.push_back(Box::pin(async move {
+            expect_ok(
+                stream
+                    .call(RequestBody::StreamChunkBatch {
+                        stream_id,
+                        seq,
+                        count,
+                        data: data.clone(),
+                    })
+                    .await?,
+            )?;
+            // The server has consumed the batch; reclaim its buffer for
+            // the next one.
+            pool.recycle(data);
+            Ok(())
+        }));
+        self.reap_window().await
+    }
+
+    async fn reap_window(&mut self) -> GliderResult<()> {
+        let window = self.store.config().window;
+        while self.pending.len() >= window {
+            self.pending
+                .next()
+                .await
+                .expect("pending non-empty by loop guard")?;
+        }
+        Ok(())
+    }
+
+    /// Closes the stream: ships buffered records, waits for every chunk to
+    /// be accepted, then signals end-of-input and waits for the action's
+    /// `on_write` to finish (the paper's close-ends-the-method semantics —
+    /// a successful close is a write barrier). Returns the bytes written.
     ///
     /// # Errors
     ///
     /// Surfaces the action's `on_write` error, if any.
     pub async fn close(mut self) -> GliderResult<u64> {
+        self.flush_records().await?;
         while let Some(ack) = self.pending.next().await {
             ack?;
         }
-        self.conn
-            .call_ok(RequestBody::StreamClose {
-                stream_id: self.stream_id,
-            })
-            .await?;
+        expect_ok(
+            self.stream
+                .call(RequestBody::StreamClose {
+                    stream_id: self.stream_id,
+                })
+                .await?,
+        )?;
         Ok(self.total)
     }
 
-    /// Bytes accepted so far.
+    /// Bytes accepted so far (including still-buffered records).
     pub fn bytes_written(&self) -> u64 {
         self.total
     }
@@ -271,7 +378,7 @@ impl std::fmt::Debug for ActionWriter {
 /// collapse to one round trip per chunk.
 pub struct ActionReader {
     store: StoreClient,
-    conn: glider_net::rpc::RpcClient,
+    stream: Arc<RpcStream>,
     stream_id: StreamId,
     pending: FuturesOrdered<BoxFuture<'static, GliderResult<(u64, Bytes, bool)>>>,
     reorder: BTreeMap<u64, Bytes>,
@@ -288,10 +395,10 @@ impl ActionReader {
         let window = self.store.config().window;
         let max_len = self.store.config().chunk_size.as_u64();
         while self.pending.len() < window {
-            let conn = self.conn.clone();
+            let stream = Arc::clone(&self.stream);
             let stream_id = self.stream_id;
             self.pending.push_back(Box::pin(async move {
-                match conn
+                match stream
                     .call(RequestBody::StreamFetch { stream_id, max_len })
                     .await?
                 {
@@ -361,11 +468,13 @@ impl ActionReader {
     ///
     /// Propagates transport failures.
     pub async fn close(self) -> GliderResult<()> {
-        self.conn
-            .call_ok(RequestBody::StreamClose {
-                stream_id: self.stream_id,
-            })
-            .await
+        expect_ok(
+            self.stream
+                .call(RequestBody::StreamClose {
+                    stream_id: self.stream_id,
+                })
+                .await?,
+        )
     }
 
     /// Bytes delivered so far.

@@ -6,6 +6,7 @@ use crate::file::FileNode;
 use crate::kv::KeyValueNode;
 use glider_metrics::AccessKind;
 use glider_net::rpc::{RpcClient, RpcStream};
+use glider_net::BytesPool;
 use glider_proto::dump::{SeriesPayload, SpanDump, WireEvent};
 use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::stats::StatsPayload;
@@ -52,6 +53,10 @@ struct Inner {
     /// over the pooled connection; the block streams (file/bag readers
     /// and writers) issue their data-plane RPCs on it.
     stream_pool: Mutex<HashMap<String, Arc<RpcStream>>>,
+    /// Chunk-sized buffers for action record batches: each acked batch
+    /// returns its buffer here, so a steady-state writer packs records
+    /// into recycled memory instead of allocating per batch.
+    record_pool: Arc<BytesPool>,
     /// Recent `LookupNode` answers, keyed by path. Bounded staleness: a
     /// mutation through this client evicts eagerly; the configured TTL
     /// covers mutations from other clients.
@@ -84,15 +89,31 @@ impl StoreClient {
                     .await?,
             );
         }
+        // Enough free buffers for a full send window of batches plus the
+        // ones being packed while acks are in flight.
+        let record_pool = match &config.metrics {
+            Some(metrics) => BytesPool::with_metrics(
+                config.chunk_size.as_usize(),
+                config.window * 2,
+                Arc::clone(metrics),
+            ),
+            None => BytesPool::new(config.chunk_size.as_usize(), config.window * 2),
+        };
         Ok(StoreClient {
             inner: Arc::new(Inner {
                 metas,
                 config,
                 pool: Mutex::new(HashMap::new()),
                 stream_pool: Mutex::new(HashMap::new()),
+                record_pool,
                 lookup_cache: Mutex::new(HashMap::new()),
             }),
         })
+    }
+
+    /// The shared buffer pool for action record batches.
+    pub(crate) fn record_pool(&self) -> &Arc<BytesPool> {
+        &self.inner.record_pool
     }
 
     /// Number of metadata partitions this client routes across.

@@ -207,8 +207,8 @@ pub enum OpKind {
     BlockWrite,
     /// `FreeBlocks` on a data server.
     BlockFree,
-    /// Any action-plane RPC served by an active server (create, delete,
-    /// stream open/chunk/fetch/close), measured at the dispatcher.
+    /// Action-plane control RPCs served by an active server (create,
+    /// delete, stream open/close), measured at the dispatcher.
     ActionInvoke,
     /// One action handler method run inside an instance task.
     ActionHandlerRun,
@@ -216,11 +216,16 @@ pub enum OpKind {
     QueueWait,
     /// One coalesced writer-batch flush (client or server writer task).
     WriterFlush,
+    /// `StreamFetch` on an active server (pulling action output).
+    ActionStreamRead,
+    /// `StreamChunk`/`StreamChunkBatch` on an active server (pushing
+    /// action input).
+    ActionStreamWrite,
 }
 
 impl OpKind {
     /// Number of operation kinds.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
 
     /// All kinds, in index order.
     pub const ALL: [OpKind; OpKind::COUNT] = [
@@ -240,6 +245,8 @@ impl OpKind {
         OpKind::ActionHandlerRun,
         OpKind::QueueWait,
         OpKind::WriterFlush,
+        OpKind::ActionStreamRead,
+        OpKind::ActionStreamWrite,
     ];
 
     /// The dense index of this kind.
@@ -261,6 +268,8 @@ impl OpKind {
             OpKind::ActionHandlerRun => 13,
             OpKind::QueueWait => 14,
             OpKind::WriterFlush => 15,
+            OpKind::ActionStreamRead => 16,
+            OpKind::ActionStreamWrite => 17,
         }
     }
 
@@ -283,6 +292,8 @@ impl OpKind {
             OpKind::ActionHandlerRun => "action-run",
             OpKind::QueueWait => "queue-wait",
             OpKind::WriterFlush => "writer-flush",
+            OpKind::ActionStreamRead => "action-stream-read",
+            OpKind::ActionStreamWrite => "action-stream-write",
         }
     }
 

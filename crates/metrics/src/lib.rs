@@ -251,6 +251,8 @@ pub struct MetricsRegistry {
     latency: [LogHistogram; OpKind::COUNT],
     batch_occupancy: LogHistogram,
     queue: Gauge,
+    mailbox_depth: LogHistogram,
+    action_instances: Gauge,
     rpc_retries: AtomicU64,
     rpc_reconnects: AtomicU64,
     rpc_inflight: Gauge,
@@ -287,6 +289,8 @@ impl MetricsRegistry {
             latency: Default::default(),
             batch_occupancy: LogHistogram::new(),
             queue: Gauge::default(),
+            mailbox_depth: LogHistogram::new(),
+            action_instances: Gauge::default(),
             rpc_retries: AtomicU64::new(0),
             rpc_reconnects: AtomicU64::new(0),
             rpc_inflight: Gauge::default(),
@@ -399,6 +403,24 @@ impl MetricsRegistry {
     /// Marks one invocation leaving an action mailbox.
     pub fn queue_exit(&self) {
         self.queue.sub(1);
+    }
+
+    /// Records the observed depth of one instance mailbox at enqueue time
+    /// (how many invocations were already waiting). The distribution
+    /// shows whether backpressure engages: a healthy pipeline hugs the
+    /// low buckets, a saturated instance pushes toward the mailbox bound.
+    pub fn record_mailbox_depth(&self, depth: u64) {
+        self.mailbox_depth.record(depth);
+    }
+
+    /// Marks one action instance task starting on the executor.
+    pub fn instance_started(&self) {
+        self.action_instances.add(1);
+    }
+
+    /// Marks one action instance task finishing.
+    pub fn instance_stopped(&self) {
+        self.action_instances.sub(1);
     }
 
     /// Counts one RPC attempt that failed with a retryable error and was
@@ -572,6 +594,9 @@ impl MetricsRegistry {
             batch_occupancy: self.batch_occupancy.snapshot(),
             queue_current: self.queue.current.load(Ordering::Relaxed),
             queue_peak: self.queue.peak.load(Ordering::Relaxed),
+            mailbox_depth: self.mailbox_depth.snapshot(),
+            action_instances_current: self.action_instances.current.load(Ordering::Relaxed),
+            action_instances_peak: self.action_instances.peak.load(Ordering::Relaxed),
             rpc_retries: self.rpc_retries.load(Ordering::Relaxed),
             rpc_reconnects: self.rpc_reconnects.load(Ordering::Relaxed),
             rpc_inflight_current: self.rpc_inflight.current.load(Ordering::Relaxed),
@@ -621,6 +646,9 @@ impl MetricsRegistry {
         self.batch_occupancy.reset();
         self.queue.current.store(0, Ordering::Relaxed);
         self.queue.peak.store(0, Ordering::Relaxed);
+        self.mailbox_depth.reset();
+        self.action_instances.current.store(0, Ordering::Relaxed);
+        self.action_instances.peak.store(0, Ordering::Relaxed);
         self.rpc_retries.store(0, Ordering::Relaxed);
         self.rpc_reconnects.store(0, Ordering::Relaxed);
         self.rpc_inflight.current.store(0, Ordering::Relaxed);
@@ -729,6 +757,12 @@ pub struct MetricsSnapshot {
     pub queue_current: u64,
     /// Peak mailbox occupancy across all action instances.
     pub queue_peak: u64,
+    /// Distribution of per-instance mailbox depths observed at enqueue.
+    pub mailbox_depth: HistogramSnapshot,
+    /// Action instance tasks currently running on the executor.
+    pub action_instances_current: u64,
+    /// Peak concurrently-running action instance tasks.
+    pub action_instances_peak: u64,
     /// RPC attempts retried after a retryable failure.
     pub rpc_retries: u64,
     /// Transparent client reconnections (redial + handshake).
@@ -1184,6 +1218,33 @@ mod tests {
         m.queue_exit();
         m.queue_exit();
         assert_eq!(m.snapshot().queue_current, 0);
+    }
+
+    #[test]
+    fn instance_gauge_and_mailbox_depth_round_trip_and_reset() {
+        let m = MetricsRegistry::new();
+        m.instance_started();
+        m.instance_started();
+        m.instance_stopped();
+        m.record_mailbox_depth(0);
+        m.record_mailbox_depth(7);
+        let s = m.snapshot();
+        assert_eq!(
+            (s.action_instances_current, s.action_instances_peak),
+            (1, 2)
+        );
+        assert_eq!(s.mailbox_depth.count(), 2);
+        // Stops beyond zero saturate like the other gauges.
+        m.instance_stopped();
+        m.instance_stopped();
+        assert_eq!(m.snapshot().action_instances_current, 0);
+        m.reset();
+        let s = m.snapshot();
+        assert_eq!(
+            (s.action_instances_current, s.action_instances_peak),
+            (0, 0)
+        );
+        assert!(s.mailbox_depth.is_empty());
     }
 
     #[test]

@@ -780,9 +780,13 @@ fn op_kind(body: &RequestBody) -> Option<OpKind> {
         RequestBody::ActionCreate { .. }
         | RequestBody::ActionDelete { .. }
         | RequestBody::StreamOpen { .. }
-        | RequestBody::StreamChunk { .. }
-        | RequestBody::StreamFetch { .. }
         | RequestBody::StreamClose { .. } => OpKind::ActionInvoke,
+        // The streaming hot path is split out from action control so the
+        // sweep can see record-push and fetch latencies on their own.
+        RequestBody::StreamChunk { .. } | RequestBody::StreamChunkBatch { .. } => {
+            OpKind::ActionStreamWrite
+        }
+        RequestBody::StreamFetch { .. } => OpKind::ActionStreamRead,
         // Handshake, introspection (Stats, DumpSpans, MetricsSeries), and
         // liveness beacons are not measured as operations (heartbeats
         // would drown real metadata latencies, and the observability

@@ -34,6 +34,11 @@ use std::fmt::Write as _;
 /// counts *frames per flush*, not nanoseconds.
 pub const BATCH_OCCUPANCY_OP: &str = "writer-batch-frames";
 
+/// Name of the pseudo-op carrying per-instance mailbox depths observed at
+/// enqueue time. Its histogram counts *queued invocations*, not
+/// nanoseconds.
+pub const MAILBOX_DEPTH_OP: &str = "mailbox-depth";
+
 /// Builds the wire stats payload from a metrics snapshot.
 pub fn build_stats(snap: &MetricsSnapshot) -> StatsPayload {
     let mut ops: Vec<OpLatency> = OpKind::ALL
@@ -47,11 +52,17 @@ pub fn build_stats(snap: &MetricsSnapshot) -> StatsPayload {
         name: BATCH_OCCUPANCY_OP.to_string(),
         buckets: snap.batch_occupancy.bucket_counts().to_vec(),
     });
+    ops.push(OpLatency {
+        name: MAILBOX_DEPTH_OP.to_string(),
+        buckets: snap.mailbox_depth.bucket_counts().to_vec(),
+    });
     StatsPayload {
         ops,
         gauges: vec![
             named("queue-current", snap.queue_current),
             named("queue-peak", snap.queue_peak),
+            named("actions-instances-current", snap.action_instances_current),
+            named("actions-instances-peak", snap.action_instances_peak),
             named("storage-current", snap.storage_current),
             named("storage-peak", snap.storage_peak),
             named("servers-live", snap.servers_live),
@@ -86,9 +97,10 @@ fn named(name: &str, value: u64) -> NamedValue {
     }
 }
 
-/// Whether an op's histogram holds frame counts rather than nanoseconds.
+/// Whether an op's histogram holds plain counts (frames per flush,
+/// queued invocations) rather than nanoseconds.
 fn is_frame_op(name: &str) -> bool {
-    name == BATCH_OCCUPANCY_OP
+    name == BATCH_OCCUPANCY_OP || name == MAILBOX_DEPTH_OP
 }
 
 /// Formats a nanosecond value with a readable unit.
@@ -561,13 +573,15 @@ mod tests {
         m.pool_miss();
         m.stream_opened();
         m.rpc_start();
+        m.instance_started();
+        m.record_mailbox_depth(3);
         build_stats(&m.snapshot())
     }
 
     #[test]
     fn build_covers_every_op_kind_plus_batch() {
         let payload = sample_payload();
-        assert_eq!(payload.ops.len(), OpKind::COUNT + 1);
+        assert_eq!(payload.ops.len(), OpKind::COUNT + 2);
         for kind in OpKind::ALL {
             assert!(
                 payload.ops.iter().any(|o| o.name == kind.name()),
@@ -576,6 +590,7 @@ mod tests {
             );
         }
         assert!(payload.ops.iter().any(|o| o.name == BATCH_OCCUPANCY_OP));
+        assert!(payload.ops.iter().any(|o| o.name == MAILBOX_DEPTH_OP));
         let write = payload
             .ops
             .iter()
@@ -602,6 +617,14 @@ mod tests {
         assert_eq!(gauge("rpc-inflight-peak"), 1);
         assert_eq!(gauge("streams-open-current"), 1);
         assert_eq!(gauge("streams-open-peak"), 1);
+        assert_eq!(gauge("actions-instances-current"), 1);
+        assert_eq!(gauge("actions-instances-peak"), 1);
+        let depth = payload
+            .ops
+            .iter()
+            .find(|o| o.name == MAILBOX_DEPTH_OP)
+            .unwrap();
+        assert_eq!(depth.buckets.iter().sum::<u64>(), 1);
     }
 
     #[test]

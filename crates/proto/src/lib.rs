@@ -39,6 +39,7 @@
 //! assert_eq!(decoded, Frame::Request(req));
 //! ```
 
+pub mod batch;
 pub mod codec;
 pub mod dump;
 pub mod error;

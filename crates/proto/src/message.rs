@@ -209,6 +209,22 @@ pub enum RequestBody {
         /// Payload.
         data: Bytes,
     },
+    /// Pushes a batch of length-prefixed records on a write stream in one
+    /// frame. `data` holds `count` records packed back to back, each as a
+    /// `u32` little-endian length followed by that many bytes (see
+    /// `glider_proto::batch`). The batch occupies sequence numbers
+    /// `seq .. seq + count` so it interleaves correctly with singular
+    /// [`RequestBody::StreamChunk`] pushes on the same stream.
+    StreamChunkBatch {
+        /// Stream handle from `StreamOpen`.
+        stream_id: StreamId,
+        /// Sequence number of the first record in the batch.
+        seq: u64,
+        /// Number of records packed in `data`.
+        count: u32,
+        /// The packed records (bulk payload, travels out-of-band).
+        data: Bytes,
+    },
     /// Pulls up to `max_len` bytes from a read stream. Blocks server-side
     /// until data is available or the producing method finishes.
     StreamFetch {
@@ -252,6 +268,7 @@ impl RequestBody {
             RequestBody::StreamChunk { .. } => 26,
             RequestBody::StreamFetch { .. } => 27,
             RequestBody::StreamClose { .. } => 28,
+            RequestBody::StreamChunkBatch { .. } => 29,
         }
     }
 
@@ -282,6 +299,7 @@ impl RequestBody {
             RequestBody::StreamChunk { .. } => "stream-chunk",
             RequestBody::StreamFetch { .. } => "stream-fetch",
             RequestBody::StreamClose { .. } => "stream-close",
+            RequestBody::StreamChunkBatch { .. } => "stream-chunk-batch",
         }
     }
 
@@ -291,6 +309,7 @@ impl RequestBody {
         match self {
             RequestBody::WriteBlock { data, .. } => data.len() as u64,
             RequestBody::StreamChunk { data, .. } => data.len() as u64,
+            RequestBody::StreamChunkBatch { data, .. } => data.len() as u64,
             _ => 0,
         }
     }
@@ -304,6 +323,7 @@ impl RequestBody {
         match self {
             RequestBody::WriteBlock { data, .. } => Some(data),
             RequestBody::StreamChunk { data, .. } => Some(data),
+            RequestBody::StreamChunkBatch { data, .. } => Some(data),
             _ => None,
         }
     }
@@ -344,6 +364,7 @@ impl RequestBody {
             | RequestBody::ActionDelete { .. }
             | RequestBody::StreamOpen { .. }
             | RequestBody::StreamChunk { .. }
+            | RequestBody::StreamChunkBatch { .. }
             | RequestBody::StreamClose { .. } => false,
         }
     }
@@ -459,6 +480,17 @@ impl Request {
                 seq.encode(buf);
                 (data.len() as u32).encode(buf);
             }
+            RequestBody::StreamChunkBatch {
+                stream_id,
+                seq,
+                count,
+                data,
+            } => {
+                stream_id.encode(buf);
+                seq.encode(buf);
+                count.encode(buf);
+                (data.len() as u32).encode(buf);
+            }
             RequestBody::StreamFetch { stream_id, max_len } => {
                 stream_id.encode(buf);
                 max_len.encode(buf);
@@ -570,6 +602,12 @@ impl Wire for Request {
             },
             28 => RequestBody::StreamClose {
                 stream_id: StreamId::decode(buf)?,
+            },
+            29 => RequestBody::StreamChunkBatch {
+                stream_id: StreamId::decode(buf)?,
+                seq: u64::decode(buf)?,
+                count: u32::decode(buf)?,
+                data: Bytes::decode(buf)?,
             },
             other => return Err(CodecError(format!("unknown request opcode {other}"))),
         };
@@ -927,6 +965,12 @@ mod tests {
             stream_id: StreamId(8),
             seq: 3,
             data: Bytes::from_static(b"chunk"),
+        });
+        round_trip_req(RequestBody::StreamChunkBatch {
+            stream_id: StreamId(8),
+            seq: 4,
+            count: 2,
+            data: Bytes::from_static(b"\x02\x00\x00\x00hi\x01\x00\x00\x00!"),
         });
         round_trip_req(RequestBody::StreamFetch {
             stream_id: StreamId(8),

@@ -252,6 +252,15 @@ golden!(
     })
 );
 golden!(
+    req_stream_chunk_batch,
+    req(RequestBody::StreamChunkBatch {
+        stream_id: StreamId(8),
+        seq: 1,
+        count: 2,
+        data: Bytes::from_static(b"\x02\x00\x00\x00hi\x01\x00\x00\x00!"),
+    })
+);
+golden!(
     req_stream_fetch,
     req(RequestBody::StreamFetch {
         stream_id: StreamId(8),

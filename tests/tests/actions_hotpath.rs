@@ -1,0 +1,220 @@
+//! The reworked action execution hot path under stress (DESIGN.md §14):
+//! a slow consumer throttles its producer through the bounded per-stream
+//! queue and batch credits instead of buffering without bound, and an
+//! action pipeline whose near-data output write loses a storage server
+//! mid-stream heals through the writer's extent-replacement machinery.
+
+use futures::future::BoxFuture;
+use glider_actions::stream::{ActionInputStream, ActionOutputStream};
+use glider_actions::{Action, ActionCell, ActionContext, ActionRegistry};
+use glider_core::{ActionSpec, ByteSize, Cluster, ClusterConfig, GliderResult, StoreClient};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Counts bytes like the builtin `counter`, but takes a millisecond per
+/// delivered record — a deliberately slow consumer.
+#[derive(Default)]
+struct SlowDrainAction {
+    total: ActionCell<u64>,
+}
+
+impl Action for SlowDrainAction {
+    fn on_write<'a>(
+        &'a self,
+        input: &'a mut ActionInputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            while let Some(chunk) = input.next_chunk().await? {
+                tokio::time::sleep(Duration::from_millis(1)).await;
+                self.total.with(|t| *t += chunk.len() as u64);
+            }
+            Ok(())
+        })
+    }
+
+    fn on_read<'a>(
+        &'a self,
+        output: &'a mut ActionOutputStream,
+        _ctx: &'a ActionContext,
+    ) -> BoxFuture<'a, GliderResult<()>> {
+        Box::pin(async move {
+            output
+                .write_all(self.total.get().to_string().as_bytes())
+                .await
+        })
+    }
+}
+
+/// A fast producer against a slow action must be paced by stream credits:
+/// the bounded input queue (64 records) plus the one batch in flight cap
+/// how far the writer can run ahead, so the write loop takes roughly as
+/// long as the consumer instead of completing instantly and parking the
+/// whole payload in server memory.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn slow_action_throttles_producer_via_stream_credits() {
+    const RECORDS: u64 = 600;
+    const RECORD_BYTES: usize = 1024;
+
+    let registry = ActionRegistry::with_builtins();
+    registry.register(
+        "slow-drain",
+        Arc::new(|_spec| Ok(Arc::new(SlowDrainAction::default()) as Arc<dyn Action>)),
+    );
+    let cluster = Cluster::start(
+        ClusterConfig::default()
+            .with_data(1, 64)
+            .with_active(1, 8)
+            .with_registry(Arc::new(registry)),
+    )
+    .await
+    .unwrap();
+
+    let store = StoreClient::connect(cluster.client_config().with_chunk_size(ByteSize::kib(8)))
+        .await
+        .unwrap();
+    store
+        .create_action("/slow", ActionSpec::new("slow-drain", false))
+        .await
+        .unwrap();
+    let action = store.lookup_action("/slow").await.unwrap();
+
+    let record = vec![0x5au8; RECORD_BYTES];
+    let mut out = action.output_stream().await.unwrap();
+    let start = Instant::now();
+    for _ in 0..RECORDS {
+        out.write_record(&record).await.unwrap();
+    }
+    let write_loop = start.elapsed();
+    let written = out.close().await.unwrap();
+    assert_eq!(written, RECORDS * RECORD_BYTES as u64);
+
+    // Each record costs the consumer ≥1ms, serially. The producer can be
+    // ahead by at most the input queue (64 records), the batch being
+    // pushed and the batch being built (8 records each at 8 KiB chunks),
+    // so finishing the loop requires ≥ ~520 consumed records. Anything
+    // near-instant here would mean the backpressure is gone. (Sleeps
+    // never undershoot, so this lower bound is not timing-flaky.)
+    assert!(
+        write_loop >= Duration::from_millis(400),
+        "write loop finished in {write_loop:?}; producer was not throttled"
+    );
+
+    // Every byte was delivered and counted despite the throttling.
+    let summary = action.read_all().await.unwrap();
+    let counted: u64 = String::from_utf8_lossy(&summary).trim().parse().unwrap();
+    assert_eq!(counted, RECORDS * RECORD_BYTES as u64);
+
+    // The instrumentation saw the instance and its mailbox stayed shallow:
+    // chunks ride the credit-bounded stream queue, not the invocation
+    // mailbox, so enqueue-time depth hugs the lowest buckets.
+    let s = cluster.metrics().snapshot();
+    assert!(s.action_instances_peak >= 1);
+    assert!(s.mailbox_depth.count() >= 1, "no mailbox depth recorded");
+    assert!(
+        s.mailbox_depth.max() <= 8,
+        "mailbox depth {} suggests invocations piled up",
+        s.mailbox_depth.max()
+    );
+}
+
+fn record_at(i: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|j| (i.wrapping_mul(31) + j.wrapping_mul(7)) as u8 % 251)
+        .collect()
+}
+
+/// Poll the cluster metrics until at least one server is reported dead.
+async fn await_dead(cluster: &Cluster, deadline: Duration) {
+    let start = Instant::now();
+    loop {
+        if cluster.metrics().snapshot().servers_dead >= 1 {
+            return;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "no server reported dead within {deadline:?}"
+        );
+        tokio::time::sleep(Duration::from_millis(20)).await;
+    }
+}
+
+/// Chaos: a sorter pipeline whose `out=` file write runs near-data loses
+/// one of two storage servers after ingest but before the sort is
+/// triggered, so the intra-cluster writer keeps hitting the dead server's
+/// allocations mid-stream and must heal every extent onto the survivor.
+/// Gated behind GLIDER_CHAOS=1 with the rest of the kill tests.
+#[tokio::test(flavor = "multi_thread", worker_threads = 8)]
+async fn chaos_sorter_pipeline_survives_storage_server_death() {
+    if std::env::var("GLIDER_CHAOS").as_deref() != Ok("1") {
+        eprintln!("skipping chaos test; set GLIDER_CHAOS=1 to run");
+        return;
+    }
+    const RECORD_LEN: usize = 100;
+    const KEY_LEN: usize = 10;
+    const RECORDS: usize = 3000;
+
+    let lease = Duration::from_millis(400);
+    let cluster = Cluster::start(
+        ClusterConfig::default()
+            .with_block_size(ByteSize::kib(32))
+            .with_data(2, 64)
+            .with_lease(lease),
+    )
+    .await
+    .unwrap();
+    let store = cluster.client().await.unwrap();
+    store
+        .create_action(
+            "/sort",
+            ActionSpec::new("sorter", false)
+                .with_params(format!("out=/sorted;record={RECORD_LEN};key={KEY_LEN}")),
+        )
+        .await
+        .unwrap();
+    let action = store.lookup_action("/sort").await.unwrap();
+
+    // Ingest: the records buffer inside the action, off the data servers.
+    let mut data = Vec::with_capacity(RECORDS * RECORD_LEN);
+    let mut out = action.output_stream().await.unwrap();
+    for i in 0..RECORDS {
+        let rec = record_at(i, RECORD_LEN);
+        out.write_record(&rec).await.unwrap();
+        data.extend_from_slice(&rec);
+    }
+    assert_eq!(out.close().await.unwrap(), (RECORDS * RECORD_LEN) as u64);
+
+    // Kill one server before triggering the sort: the lease has not
+    // expired, so the near-data output writer is still handed allocations
+    // on the corpse and must replace them on the survivor, mid-stream.
+    cluster.data_servers()[0].shutdown();
+    tokio::time::sleep(Duration::from_millis(50)).await;
+
+    let summary = action.read_all().await.unwrap();
+    let summary = String::from_utf8_lossy(&summary);
+    assert!(
+        summary.starts_with(&format!("records={RECORDS} ")),
+        "unexpected sorter summary: {summary}"
+    );
+
+    // The sorted file is complete and correctly ordered despite the death:
+    // the sorter's stable sort by key must match one computed client-side.
+    let back = store
+        .lookup_file("/sorted")
+        .await
+        .unwrap()
+        .read_all()
+        .await
+        .unwrap();
+    assert_eq!(back.len(), RECORDS * RECORD_LEN);
+    let mut expected: Vec<&[u8]> = data.chunks(RECORD_LEN).collect();
+    expected.sort_by_key(|r| &r[..KEY_LEN]);
+    assert_eq!(
+        back,
+        expected.concat(),
+        "sorted output differs after failover"
+    );
+
+    // The lease sweeper eventually notices the silent server.
+    await_dead(&cluster, Duration::from_secs(10)).await;
+}
