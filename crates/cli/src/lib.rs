@@ -51,6 +51,10 @@ pub enum Command {
         block_size: ByteSize,
         /// Namespace shards inside the metadata server (0 = default).
         meta_shards: usize,
+        /// WAL directory for metadata durability (`None` = volatile).
+        wal: Option<String>,
+        /// Block replication factor, primary included (1 = off).
+        replication: u32,
     },
     /// List a container's children.
     Ls {
@@ -138,6 +142,22 @@ pub enum Command {
         meta: String,
         /// The trace id to reassemble.
         trace_id: u64,
+    },
+    /// Walk the namespace and verify every extent's replicas: read each
+    /// copy from its live server and compare checksums, optionally
+    /// checking replica counts against an expected factor and repairing
+    /// damaged nodes.
+    Fsck {
+        /// Metadata address.
+        meta: String,
+        /// Subtree to check (`/` = the whole namespace).
+        path: String,
+        /// Expected replication factor (primary included); `None` skips
+        /// the count check and only verifies checksums.
+        factor: Option<u32>,
+        /// Ask the metadata server to repair damaged nodes (promote
+        /// backups, prune dead replicas, re-replicate).
+        repair: bool,
     },
     /// Print usage.
     Help,
@@ -259,6 +279,8 @@ pub fn parse_with_opts(args: &[&str]) -> Result<(Command, ClientOpts), UsageErro
             let mut slots = 64u64;
             let mut block_size = ByteSize::mib(1);
             let mut meta_shards = 0usize;
+            let mut wal: Option<String> = None;
+            let mut replication = 1u32;
             let mut it = tail.iter().copied();
             while let Some(arg) = it.next() {
                 match arg {
@@ -288,6 +310,18 @@ pub fn parse_with_opts(args: &[&str]) -> Result<(Command, ClientOpts), UsageErro
                                 UsageError("--meta-shards expects a number".to_string())
                             })?;
                     }
+                    "--wal" => {
+                        wal = Some(take_value(&mut it, "--wal")?.to_string());
+                    }
+                    "--replication" => {
+                        replication =
+                            take_value(&mut it, "--replication")?.parse().map_err(|_| {
+                                UsageError("--replication expects a number".to_string())
+                            })?;
+                        if replication == 0 {
+                            return Err(UsageError("--replication must be at least 1".to_string()));
+                        }
+                    }
                     other => return Err(UsageError(format!("unknown serve flag {other:?}"))),
                 }
             }
@@ -297,6 +331,8 @@ pub fn parse_with_opts(args: &[&str]) -> Result<(Command, ClientOpts), UsageErro
                 slots,
                 block_size,
                 meta_shards,
+                wal,
+                replication,
             })
         }
         "ls" => Ok(Command::Ls {
@@ -393,6 +429,36 @@ pub fn parse_with_opts(args: &[&str]) -> Result<(Command, ClientOpts), UsageErro
                 trace_id: parse_trace_id(id)?,
             })
         }
+        "fsck" => {
+            let mut path: Option<String> = None;
+            let mut factor = None;
+            let mut repair = false;
+            let mut it = tail.iter().copied();
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--repair" => repair = true,
+                    "--factor" => {
+                        factor =
+                            Some(take_value(&mut it, "--factor")?.parse().map_err(|_| {
+                                UsageError("--factor expects a number".to_string())
+                            })?);
+                    }
+                    other if !other.starts_with('-') && path.is_none() => {
+                        path = Some(other.to_string());
+                    }
+                    other => return Err(UsageError(format!("unknown fsck flag {other:?}"))),
+                }
+            }
+            if factor == Some(0) {
+                return Err(UsageError("--factor must be at least 1".to_string()));
+            }
+            Ok(Command::Fsck {
+                meta: need_meta(&meta)?,
+                path: path.unwrap_or_else(|| "/".to_string()),
+                factor,
+                repair,
+            })
+        }
         other => Err(UsageError(format!(
             "unknown command {other:?}; run `glider help`"
         ))),
@@ -405,7 +471,7 @@ pub const USAGE: &str = "\
 glider — ephemeral storage with near-data actions
 
   glider serve [--data N] [--active N] [--slots N] [--block-size SZ]
-         [--meta-shards N]
+         [--meta-shards N] [--wal DIR] [--replication N]
   glider --meta ADDR ls PATH
   glider --meta ADDR stat PATH
   glider --meta ADDR mkdir PATH
@@ -417,6 +483,9 @@ glider — ephemeral storage with near-data actions
   glider --meta ADDR read-action PATH    (writes stdout)
   glider --meta ADDR stats [--json|--prom|--watch]
   glider --meta ADDR trace TRACE_ID      (decimal or 0x-hex)
+  glider --meta ADDR fsck [PATH] [--factor N] [--repair]
+                                         verify replica counts and
+                                         checksums for every extent
 
 client tuning (any data command):
   --prefetch-blocks N   blocks prefetched per AddBlocks batch (0 = off)
@@ -437,7 +506,9 @@ mod tests {
                 active: 1,
                 slots: 64,
                 block_size: ByteSize::mib(1),
-                meta_shards: 0
+                meta_shards: 0,
+                wal: None,
+                replication: 1
             }
         );
         assert_eq!(
@@ -452,7 +523,11 @@ mod tests {
                 "--block-size",
                 "64KiB",
                 "--meta-shards",
-                "4"
+                "4",
+                "--wal",
+                "/tmp/glider-wal",
+                "--replication",
+                "2"
             ])
             .unwrap(),
             Command::Serve {
@@ -460,13 +535,18 @@ mod tests {
                 active: 2,
                 slots: 8,
                 block_size: ByteSize::kib(64),
-                meta_shards: 4
+                meta_shards: 4,
+                wal: Some("/tmp/glider-wal".into()),
+                replication: 2
             }
         );
         assert!(parse(&["serve", "--data"]).is_err());
         assert!(parse(&["serve", "--bogus"]).is_err());
         assert!(parse(&["serve", "--block-size", "a lot"]).is_err());
         assert!(parse(&["serve", "--meta-shards", "many"]).is_err());
+        assert!(parse(&["serve", "--wal"]).is_err());
+        assert!(parse(&["serve", "--replication", "0"]).is_err());
+        assert!(parse(&["serve", "--replication", "lots"]).is_err());
     }
 
     #[test]
@@ -619,6 +699,44 @@ mod tests {
         assert!(parse(&["--meta", "m:1", "trace"]).is_err());
         assert!(parse(&["--meta", "m:1", "trace", "1", "2"]).is_err());
         assert!(parse(&["--meta", "m:1", "trace", "zebra"]).is_err());
+    }
+
+    #[test]
+    fn fsck_parses_path_factor_and_repair() {
+        assert_eq!(
+            parse(&["--meta", "m:1", "fsck"]).unwrap(),
+            Command::Fsck {
+                meta: "m:1".into(),
+                path: "/".into(),
+                factor: None,
+                repair: false,
+            }
+        );
+        assert_eq!(
+            parse(&["--meta", "m:1", "fsck", "/job", "--factor", "2", "--repair"]).unwrap(),
+            Command::Fsck {
+                meta: "m:1".into(),
+                path: "/job".into(),
+                factor: Some(2),
+                repair: true,
+            }
+        );
+        // Flag order does not matter; path may come after flags.
+        assert_eq!(
+            parse(&["--meta", "m:1", "fsck", "--repair", "/job"]).unwrap(),
+            Command::Fsck {
+                meta: "m:1".into(),
+                path: "/job".into(),
+                factor: None,
+                repair: true,
+            }
+        );
+        assert!(parse(&["fsck"]).is_err(), "fsck requires --meta");
+        assert!(parse(&["--meta", "m:1", "fsck", "/a", "/b"]).is_err());
+        assert!(parse(&["--meta", "m:1", "fsck", "--factor", "zero"]).is_err());
+        assert!(parse(&["--meta", "m:1", "fsck", "--factor", "0"]).is_err());
+        assert!(parse(&["--meta", "m:1", "fsck", "--bogus"]).is_err());
+        assert!(USAGE.contains("fsck"));
     }
 
     #[test]

@@ -60,6 +60,8 @@ async fn run(command: Command, opts: ClientOpts) -> GliderResult<()> {
             slots,
             block_size,
             meta_shards,
+            wal,
+            replication,
         } => {
             let mut config = ClusterConfig::default()
                 .with_data(data, 1024)
@@ -68,6 +70,12 @@ async fn run(command: Command, opts: ClientOpts) -> GliderResult<()> {
             if meta_shards > 0 {
                 config = config.with_metadata_shards(meta_shards);
             }
+            if let Some(dir) = &wal {
+                config = config.with_wal(dir);
+            }
+            if replication > 1 {
+                config = config.with_replication(replication);
+            }
             let cluster = Cluster::start(config).await?;
             println!("glider cluster up");
             println!("  metadata: {}", cluster.metadata_addr());
@@ -75,6 +83,12 @@ async fn run(command: Command, opts: ClientOpts) -> GliderResult<()> {
                 "  data servers: {}, active servers: {}, block size: {block_size}",
                 data, active
             );
+            if let Some(dir) = &wal {
+                println!("  wal: {dir} (namespace survives restarts)");
+            }
+            if replication > 1 {
+                println!("  replication factor: {replication}");
+            }
             println!("press Ctrl-C to stop");
             tokio::signal::ctrl_c().await.ok();
             cluster.shutdown();
@@ -218,5 +232,193 @@ async fn run(command: Command, opts: ClientOpts) -> GliderResult<()> {
             print!("{}", glider_core::net::render_trace_tree(&dump));
             Ok(())
         }
+        Command::Fsck {
+            meta,
+            path,
+            factor,
+            repair,
+        } => fsck(&client(&meta, &opts).await?, &path, factor, repair).await,
     }
+}
+
+/// Read chunks per checksum pass: bounds each `ReadBlock` so fsck over
+/// MiB-sized extents never asks a server for one giant response.
+const FSCK_CHUNK: u64 = 256 * 1024;
+
+#[derive(Default)]
+struct FsckReport {
+    nodes: u64,
+    extents: u64,
+    replicas: u64,
+    problems: u64,
+    repaired: u64,
+}
+
+/// Streams `[0, len)` of one block replica through the WAL's CRC32.
+async fn checksum_block(
+    store: &StoreClient,
+    addr: &str,
+    block_id: glider_core::proto::types::BlockId,
+    len: u64,
+) -> GliderResult<u32> {
+    let mut crc = glider_wal::Crc32::new();
+    let mut off = 0u64;
+    while off < len {
+        let n = (len - off).min(FSCK_CHUNK);
+        let bytes = store.read_block(addr, block_id, off, n).await?;
+        if bytes.is_empty() {
+            // Shorter than the committed length — caught by the caller's
+            // byte accounting below.
+            break;
+        }
+        crc.update(&bytes);
+        off += bytes.len() as u64;
+    }
+    if off < len {
+        return Err(glider_core::GliderError::new(
+            glider_core::ErrorCode::Io,
+            format!("replica on {addr} holds {off} of {len} committed bytes"),
+        ));
+    }
+    Ok(crc.finish())
+}
+
+/// Verifies one node: every committed extent's replica count (when
+/// `--factor` is given) and every replica's checksum against the
+/// primary's. Returns whether the node is damaged.
+async fn fsck_node(
+    store: &StoreClient,
+    path: &str,
+    factor: Option<u32>,
+    report: &mut FsckReport,
+) -> GliderResult<bool> {
+    let layout = store.node_replicas(path).await?;
+    let mut damaged = false;
+    for re in &layout {
+        if re.extent.len == 0 {
+            continue; // unused prefetched extent, nothing to verify
+        }
+        report.extents += 1;
+        let copies = 1 + re.backups.len() as u32;
+        if let Some(want) = factor {
+            if copies < want {
+                println!(
+                    "{path}: block {} has {copies} of {want} copies",
+                    re.extent.loc.block_id
+                );
+                report.problems += 1;
+                damaged = true;
+            }
+        }
+        let primary = match checksum_block(
+            store,
+            &re.extent.loc.addr,
+            re.extent.loc.block_id,
+            re.extent.len,
+        )
+        .await
+        {
+            Ok(crc) => {
+                report.replicas += 1;
+                crc
+            }
+            Err(e) => {
+                println!(
+                    "{path}: primary block {} on {} unreadable: {e}",
+                    re.extent.loc.block_id, re.extent.loc.addr
+                );
+                report.problems += 1;
+                damaged = true;
+                continue; // no reference checksum to compare backups against
+            }
+        };
+        for backup in &re.backups {
+            match checksum_block(store, &backup.addr, backup.block_id, re.extent.len).await {
+                Ok(crc) if crc == primary => report.replicas += 1,
+                Ok(crc) => {
+                    println!(
+                        "{path}: replica block {} on {} checksum {crc:#010x} != primary {primary:#010x}",
+                        backup.block_id, backup.addr
+                    );
+                    report.problems += 1;
+                    damaged = true;
+                }
+                Err(e) => {
+                    println!(
+                        "{path}: replica block {} on {} unreadable: {e}",
+                        backup.block_id, backup.addr
+                    );
+                    report.problems += 1;
+                    damaged = true;
+                }
+            }
+        }
+    }
+    Ok(damaged)
+}
+
+/// Walks the namespace under `root` and verifies every data node's
+/// replicas; `--repair` asks the metadata server to heal damaged nodes.
+async fn fsck(
+    store: &StoreClient,
+    root: &str,
+    factor: Option<u32>,
+    repair: bool,
+) -> GliderResult<()> {
+    use glider_core::proto::types::NodeKind;
+    let mut report = FsckReport::default();
+    // Iterative walk (no async recursion): containers push children.
+    let mut stack = vec![root.trim_end_matches('/').to_string()];
+    while let Some(path) = stack.pop() {
+        // The namespace root is a container but not a node; only
+        // non-root paths have metadata to look up.
+        let kind = if path.is_empty() {
+            NodeKind::Directory
+        } else {
+            store.lookup(&path).await?.kind
+        };
+        match kind {
+            NodeKind::Directory | NodeKind::Table => {
+                for child in store
+                    .list(if path.is_empty() { "/" } else { &path })
+                    .await?
+                {
+                    stack.push(format!("{path}/{child}"));
+                }
+            }
+            NodeKind::File | NodeKind::Bag | NodeKind::KeyValue => {
+                report.nodes += 1;
+                let shown = if path.is_empty() { "/" } else { path.as_str() };
+                if fsck_node(store, shown, factor, &mut report).await? && repair {
+                    store.repair_node(shown).await?;
+                    report.repaired += 1;
+                    println!("{shown}: repaired");
+                }
+            }
+            // Action slots hold live objects, not replicated extents.
+            NodeKind::Action => {}
+        }
+    }
+    println!(
+        "fsck: {} nodes, {} extents, {} replicas verified, {} problems{}",
+        report.nodes,
+        report.extents,
+        report.replicas,
+        report.problems,
+        if repair {
+            format!(", {} nodes repaired", report.repaired)
+        } else {
+            String::new()
+        }
+    );
+    if report.problems > 0 && report.repaired == 0 {
+        return Err(glider_core::GliderError::new(
+            glider_core::ErrorCode::Io,
+            format!(
+                "fsck found {} problems (rerun with --repair)",
+                report.problems
+            ),
+        ));
+    }
+    Ok(())
 }

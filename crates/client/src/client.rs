@@ -10,7 +10,9 @@ use glider_net::BytesPool;
 use glider_proto::dump::{SeriesPayload, SpanDump, WireEvent};
 use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::stats::StatsPayload;
-use glider_proto::types::{ActionSpec, NodeInfo, NodeKind, PeerTier, StorageClass};
+use glider_proto::types::{
+    ActionSpec, BlockId, NodeInfo, NodeKind, PeerTier, ReplicaExtent, StorageClass,
+};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -68,6 +70,19 @@ struct Inner {
 /// they all agree on placement ([`glider_namespace::shard_of`]).
 fn partition_of(path: &str, partitions: usize) -> usize {
     glider_namespace::shard_of(path, partitions)
+}
+
+/// Canonical lookup-cache key for `path`: trailing slashes are stripped
+/// so `/job/` and `/job` share one entry. Without this, a delete issued
+/// with a trailing slash missed the cache entry written by a slash-less
+/// lookup, and the ghost answered lookups until the TTL expired.
+fn cache_key(path: &str) -> String {
+    let trimmed = path.trim_end_matches('/');
+    if trimmed.is_empty() {
+        "/".to_string()
+    } else {
+        trimmed.to_string()
+    }
 }
 
 impl StoreClient {
@@ -161,10 +176,20 @@ impl StoreClient {
         let idx = partition_of(path, self.inner.metas.len());
         let resp = self.inner.metas[idx].call(body).await;
         if invalidates {
+            // Invalidate on *every* outcome, success or error: a failed
+            // RPC may still have mutated server state (e.g. an ack lost
+            // to a crash), so a stale positive entry is never safe to
+            // keep. Keys are normalized so `delete("/f/")` evicts the
+            // entry cached by `lookup("/f")`.
+            let key = cache_key(path);
             let mut cache = self.inner.lookup_cache.lock();
-            cache.remove(path);
+            cache.remove(&key);
             if subtree {
-                let prefix = format!("{}/", path.trim_end_matches('/'));
+                let prefix = if key == "/" {
+                    "/".to_string()
+                } else {
+                    format!("{key}/")
+                };
                 cache.retain(|p, _| !p.starts_with(&prefix));
             }
         }
@@ -396,8 +421,9 @@ impl StoreClient {
     /// Returns [`ErrorCode::NotFound`] for unknown paths.
     pub async fn lookup(&self, path: &str) -> GliderResult<NodeInfo> {
         let ttl = self.inner.config.lookup_cache_ttl;
+        let key = cache_key(path);
         if let Some(ttl) = ttl {
-            if let Some((info, at)) = self.inner.lookup_cache.lock().get(path) {
+            if let Some((info, at)) = self.inner.lookup_cache.lock().get(&key) {
                 if at.elapsed() < ttl {
                     return Ok(info.clone());
                 }
@@ -418,7 +444,7 @@ impl StoreClient {
                 // evict any cached (possibly still "fresh") entry, or a
                 // raised TTL could resurrect the ghost.
                 if e.code() == ErrorCode::NotFound {
-                    self.inner.lookup_cache.lock().remove(path);
+                    self.inner.lookup_cache.lock().remove(&key);
                 }
                 return Err(e);
             }
@@ -428,7 +454,7 @@ impl StoreClient {
             self.inner
                 .lookup_cache
                 .lock()
-                .insert(path.to_string(), (info.clone(), Instant::now()));
+                .insert(key, (info.clone(), Instant::now()));
         }
         Ok(info)
     }
@@ -670,6 +696,81 @@ impl StoreClient {
         Ok(merged)
     }
 
+    /// Fetches the replica layout of the node at `path`: each committed
+    /// extent's primary location plus its backup replicas. Backup lists
+    /// are empty when the cluster runs unreplicated. Used by
+    /// `glider-cli fsck` to verify replica counts and checksums.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] for unknown paths.
+    pub async fn node_replicas(&self, path: &str) -> GliderResult<Vec<ReplicaExtent>> {
+        let info = self.lookup(path).await?;
+        match self
+            .meta_call(path, RequestBody::NodeReplicas { node_id: info.id })
+            .await?
+        {
+            ResponseBody::ReplicatedBlocks(layout) => Ok(layout),
+            other => Err(GliderError::protocol(format!(
+                "expected replicated-blocks response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the metadata server to repair the node at `path`: promote
+    /// backups over dead primaries, prune dead backups, and re-replicate
+    /// up to the configured factor. Returns the repaired layout. This is
+    /// the RPC behind `glider-cli fsck --repair`; the background sweeper
+    /// runs the same repair on its own schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] for unknown paths.
+    pub async fn repair_node(&self, path: &str) -> GliderResult<Vec<ReplicaExtent>> {
+        let info = self.lookup(path).await?;
+        match self
+            .meta_call(path, RequestBody::RepairNode { node_id: info.id })
+            .await?
+        {
+            ResponseBody::ReplicatedBlocks(layout) => Ok(layout),
+            other => Err(GliderError::protocol(format!(
+                "expected replicated-blocks response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Reads `[offset, offset+len)` of one block directly from the data
+    /// server at `addr`. Verification-plane helper for `glider-cli fsck`,
+    /// which checks each replica's bytes independently — regular reads go
+    /// through [`FileNode::input_stream`](crate::FileNode::input_stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and read failures.
+    pub async fn read_block(
+        &self,
+        addr: &str,
+        block_id: BlockId,
+        offset: u64,
+        len: u64,
+    ) -> GliderResult<bytes::Bytes> {
+        self.count_access(AccessKind::FileRead);
+        let conn = self.data_conn(addr).await?;
+        match conn
+            .call(RequestBody::ReadBlock {
+                block_id,
+                offset,
+                len,
+            })
+            .await?
+        {
+            ResponseBody::Data { bytes, .. } => Ok(bytes),
+            other => Err(GliderError::protocol(format!(
+                "expected data response, got {other:?}"
+            ))),
+        }
+    }
+
     /// Fetches the per-op time-series rings and exemplar grid
     /// (`MetricsSeries`) from every metadata partition, one payload per
     /// answering server. Data/active servers are not queried separately:
@@ -708,8 +809,37 @@ impl std::fmt::Debug for StoreClient {
 
 #[cfg(test)]
 mod tests {
-    use super::partition_of;
+    use super::{cache_key, partition_of};
     use proptest::prelude::*;
+
+    /// The residual bug behind ISSUE 9 satellite (a): the lookup cache
+    /// was keyed by the raw path string, so `delete("/job/")` failed to
+    /// evict the entry written by `lookup("/job")` and the ghost lived
+    /// until the TTL expired. Every cache touchpoint now goes through
+    /// one canonical key.
+    #[test]
+    fn cache_keys_normalize_trailing_slashes() {
+        assert_eq!(cache_key("/job"), "/job");
+        assert_eq!(cache_key("/job/"), "/job");
+        assert_eq!(cache_key("/job//"), "/job");
+        assert_eq!(cache_key("/a/b/c/"), "/a/b/c");
+        assert_eq!(cache_key("/"), "/");
+        assert_eq!(cache_key("//"), "/");
+        assert_eq!(cache_key(""), "/");
+    }
+
+    proptest! {
+        /// Any number of trailing slashes collapses to the same key, so
+        /// a mutation through one spelling always evicts the others.
+        #[test]
+        fn cache_key_is_slash_insensitive(
+            path in "/[a-zA-Z0-9._-]{1,12}(/[a-zA-Z0-9._-]{1,12}){0,3}",
+            slashes in 0usize..4,
+        ) {
+            let spelled = format!("{path}{}", "/".repeat(slashes));
+            prop_assert_eq!(cache_key(&spelled), cache_key(&path));
+        }
+    }
 
     proptest! {
         /// Client partition routing and the metadata server's internal

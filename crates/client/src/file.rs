@@ -6,7 +6,7 @@ use futures::future::BoxFuture;
 use futures::stream::{FuturesOrdered, StreamExt};
 use glider_metrics::AccessKind;
 use glider_proto::message::{RequestBody, ResponseBody};
-use glider_proto::types::{BlockExtent, BlockId, NodeId, NodeInfo};
+use glider_proto::types::{BlockExtent, BlockId, BlockLocation, NodeId, NodeInfo, ReplicaExtent};
 use glider_proto::{GliderError, GliderResult};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -132,6 +132,10 @@ struct BlockState {
     /// The owning server's address, shared by every chunk future of this
     /// block instead of cloning the `String` per chunk.
     addr: Arc<str>,
+    /// Full forwarding chain — primary first, then backups — when the
+    /// extent is replicated. `None` at replication factor 1, which keeps
+    /// the unreplicated write path on plain `WriteBlock`.
+    chain: Option<Arc<Vec<BlockLocation>>>,
     /// Every piece written to this block, as `(offset, data)`.
     pieces: Vec<(u64, Bytes)>,
     /// Write RPCs issued but not yet reaped.
@@ -141,8 +145,10 @@ struct BlockState {
     sealed: Option<u64>,
 }
 
-/// Cap on extent replacements per stream, so a cluster with no live
-/// capacity fails the writer instead of looping.
+/// Cap on recovery rounds per stream, so a cluster with no live capacity
+/// fails the writer instead of looping. One round heals every casualty of
+/// one outage (all blocks that failed inside the drained window), so the
+/// cap counts distinct outages, not blocks.
 const MAX_RECOVERIES: u32 = 16;
 
 /// A pending-op completion: which block's write it was (`None` for
@@ -170,10 +176,11 @@ pub struct FileWriter {
     cur: Option<CurrentBlock>,
     /// Write-side state of every block with unacknowledged writes.
     blocks: HashMap<BlockId, BlockState>,
-    /// Blocks already allocated and ready to stream into.
-    ready: VecDeque<BlockExtent>,
+    /// Blocks already allocated and ready to stream into (with their
+    /// backup replicas when the cluster replicates).
+    ready: VecDeque<ReplicaExtent>,
     /// In-flight background `AddBlocks` batch, if any.
-    alloc: Option<JoinHandle<GliderResult<Vec<BlockExtent>>>>,
+    alloc: Option<JoinHandle<GliderResult<Vec<ReplicaExtent>>>>,
     /// Filled-block commits not yet sent (coalesced into `CommitBlocks`).
     commits: Vec<(BlockId, u64)>,
     pending: FuturesOrdered<BoxFuture<'static, OpResult>>,
@@ -188,27 +195,61 @@ pub struct FileWriter {
 
 /// One chunk write against a data server, issued on the per-server
 /// logical stream (credit-gated, multiplexed over the pooled connection).
+///
+/// With a replication chain the chunk goes to the primary as a
+/// `ForwardChunk`, which the primary persists and relays down the chain;
+/// its ack means every replica holds the bytes (DESIGN.md §15). Without
+/// one it is a plain `WriteBlock`.
 async fn write_piece(
     store: StoreClient,
     addr: Arc<str>,
     block_id: BlockId,
     offset: u64,
     data: Bytes,
+    chain: Option<Arc<Vec<BlockLocation>>>,
 ) -> GliderResult<()> {
     let stream = store.data_stream(&addr).await?;
-    match stream
-        .call(RequestBody::WriteBlock {
+    let body = match &chain {
+        Some(chain) => RequestBody::ForwardChunk {
+            offset,
+            chain: chain.as_ref().clone(),
+            data,
+        },
+        None => RequestBody::WriteBlock {
             block_id,
             offset,
             data,
-        })
-        .await?
-    {
+        },
+    };
+    match stream.call(body).await? {
         ResponseBody::Written { .. } => Ok(()),
         other => Err(GliderError::protocol(format!(
             "expected written response, got {other:?}"
         ))),
     }
+}
+
+/// Builds the forwarding chain for a freshly allocated extent, dropping
+/// backups on servers this stream already saw die (forwarding to them
+/// would fail the whole chunk; the metadata sweeper re-replicates).
+/// `None` when no live backups remain — the write degrades to plain
+/// `WriteBlock` instead of failing.
+fn chain_of(
+    re: &ReplicaExtent,
+    dead_addrs: &std::collections::HashSet<String>,
+) -> Option<Arc<Vec<BlockLocation>>> {
+    let live: Vec<&BlockLocation> = re
+        .backups
+        .iter()
+        .filter(|b| !dead_addrs.contains(&b.addr))
+        .collect();
+    if live.is_empty() {
+        return None;
+    }
+    let mut chain = Vec::with_capacity(1 + live.len());
+    chain.push(re.extent.loc.clone());
+    chain.extend(live.into_iter().cloned());
+    Some(Arc::new(chain))
 }
 
 impl FileWriter {
@@ -304,14 +345,14 @@ impl FileWriter {
                 (None, Ok(())) => {}
             }
         }
+        self.recoveries += 1;
+        if self.recoveries > MAX_RECOVERIES {
+            return Err(GliderError::unavailable(format!(
+                "writer for node {} exceeded {MAX_RECOVERIES} recovery rounds (last: {cause})",
+                self.node_id
+            )));
+        }
         for block_id in failed {
-            self.recoveries += 1;
-            if self.recoveries > MAX_RECOVERIES {
-                return Err(GliderError::unavailable(format!(
-                    "writer for node {} exceeded {MAX_RECOVERIES} extent recoveries (last: {cause})",
-                    self.node_id
-                )));
-            }
             self.replace_and_replay(block_id).await?;
         }
         Ok(())
@@ -330,8 +371,12 @@ impl FileWriter {
                 },
             )
             .await?;
-        let extent = match resp {
-            ResponseBody::Block(extent) => extent,
+        let replica = match resp {
+            ResponseBody::Block(extent) => ReplicaExtent {
+                extent,
+                backups: Vec::new(),
+            },
+            ResponseBody::ReplicatedBlocks(mut layout) if !layout.is_empty() => layout.remove(0),
             other => {
                 return Err(GliderError::protocol(format!(
                     "expected block response, got {other:?}"
@@ -343,8 +388,11 @@ impl FileWriter {
         // the same way; drop them. They stay in the chain as zero-length
         // extents, exactly like unused prefetches at close.
         let dead_addr = Arc::clone(&state.addr);
-        self.ready.retain(|b| b.loc.addr.as_str() != &*dead_addr);
+        self.ready
+            .retain(|b| b.extent.loc.addr.as_str() != &*dead_addr);
         self.dead_addrs.insert(dead_addr.to_string());
+        state.chain = chain_of(&replica, &self.dead_addrs);
+        let extent = replica.extent;
         let new_id = extent.loc.block_id;
         state.addr = Arc::<str>::from(extent.loc.addr.as_str());
         state.extent = extent;
@@ -352,8 +400,9 @@ impl FileWriter {
         for (offset, piece) in state.pieces.clone() {
             let store = self.store.clone();
             let conn_addr = Arc::clone(&state.addr);
+            let chain = state.chain.clone();
             self.pending.push_back(Box::pin(async move {
-                let res = write_piece(store, conn_addr, new_id, offset, piece).await;
+                let res = write_piece(store, conn_addr, new_id, offset, piece, chain).await;
                 (Some(new_id), res)
             }));
         }
@@ -429,7 +478,16 @@ impl FileWriter {
                 .meta_call(&path, RequestBody::AddBlocks { node_id, count })
                 .await?
             {
-                ResponseBody::Blocks(extents) => Ok(extents),
+                // Unreplicated clusters answer plain extents; replicated
+                // ones answer each extent with its backup locations.
+                ResponseBody::Blocks(extents) => Ok(extents
+                    .into_iter()
+                    .map(|extent| ReplicaExtent {
+                        extent,
+                        backups: Vec::new(),
+                    })
+                    .collect()),
+                ResponseBody::ReplicatedBlocks(layout) => Ok(layout),
                 other => Err(GliderError::protocol(format!(
                     "expected blocks response, got {other:?}"
                 ))),
@@ -437,7 +495,7 @@ impl FileWriter {
         }));
     }
 
-    async fn await_alloc(&mut self) -> GliderResult<Vec<BlockExtent>> {
+    async fn await_alloc(&mut self) -> GliderResult<Vec<ReplicaExtent>> {
         let handle = self
             .alloc
             .take()
@@ -449,7 +507,7 @@ impl FileWriter {
 
     /// Allocates synchronously — the legacy one-`AddBlock`-per-rotation
     /// path used when prefetching is disabled.
-    async fn alloc_one(&mut self) -> GliderResult<BlockExtent> {
+    async fn alloc_one(&mut self) -> GliderResult<ReplicaExtent> {
         let resp = self
             .store
             .meta_call(
@@ -460,7 +518,13 @@ impl FileWriter {
             )
             .await?;
         match resp {
-            ResponseBody::Block(extent) => Ok(extent),
+            ResponseBody::Block(extent) => Ok(ReplicaExtent {
+                extent,
+                backups: Vec::new(),
+            }),
+            ResponseBody::ReplicatedBlocks(mut layout) if !layout.is_empty() => {
+                Ok(layout.remove(0))
+            }
             other => Err(GliderError::protocol(format!(
                 "expected block response, got {other:?}"
             ))),
@@ -471,10 +535,20 @@ impl FileWriter {
         if let Some(cur) = self.cur.take() {
             self.seal(cur);
         }
-        let extent = if self.store.config().prefetch_blocks == 0 {
+        let replica = if self.store.config().prefetch_blocks == 0 {
             self.alloc_one().await?
         } else {
+            // Bound the skip loop: if every server this stream knows about
+            // has failed, allocation keeps delivering unusable extents and
+            // the stream must fail instead of draining the cluster.
+            let mut skipped = 0u32;
             loop {
+                if skipped > 256 {
+                    return Err(GliderError::unavailable(format!(
+                        "writer for node {} found no extent on a live server",
+                        self.node_id
+                    )));
+                }
                 if self.ready.is_empty() {
                     // First rotation (or the prefetch fell behind): start
                     // a batch if none is running, then wait for it.
@@ -482,7 +556,7 @@ impl FileWriter {
                     let batch = self.await_alloc().await?;
                     self.ready.extend(batch);
                 }
-                let extent = self
+                let replica = self
                     .ready
                     .pop_front()
                     .expect("successful AddBlocks returns at least one extent");
@@ -495,12 +569,15 @@ impl FileWriter {
                 // extents on it; skip those (they stay in the chain as
                 // zero-length extents). Once the metadata server knows,
                 // fresh batches come from live servers only.
-                if self.dead_addrs.contains(&extent.loc.addr) {
+                if self.dead_addrs.contains(&replica.extent.loc.addr) {
+                    skipped += 1;
                     continue;
                 }
-                break extent;
+                break replica;
             }
         };
+        let chain = chain_of(&replica, &self.dead_addrs);
+        let extent = replica.extent;
         let addr = Arc::<str>::from(extent.loc.addr.as_str());
         let block_id = extent.loc.block_id;
         self.blocks.insert(
@@ -508,6 +585,7 @@ impl FileWriter {
             BlockState {
                 extent,
                 addr,
+                chain,
                 pieces: Vec::new(),
                 outstanding: 0,
                 sealed: None,
@@ -554,9 +632,10 @@ impl FileWriter {
             state.pieces.push((offset, piece.clone()));
             state.outstanding += 1;
             let conn_addr = Arc::clone(&state.addr);
+            let chain = state.chain.clone();
             let store = self.store.clone();
             self.pending.push_back(Box::pin(async move {
-                let res = write_piece(store, conn_addr, block_id, offset, piece).await;
+                let res = write_piece(store, conn_addr, block_id, offset, piece, chain).await;
                 (Some(block_id), res)
             }));
             if let Some(cur) = &mut self.cur {

@@ -51,6 +51,18 @@ pub struct ClusterConfig {
     /// to a third of the lease, so chaos tests can fail over in
     /// milliseconds.
     pub lease: Option<Duration>,
+    /// WAL-backed metadata durability (DESIGN.md §15): `Some` makes the
+    /// metadata server log every namespace mutation and recover from the
+    /// log on restart.
+    pub wal: Option<glider_metadata::WalConfig>,
+    /// Block replication factor, primary included. `1` (the default) is
+    /// the unreplicated fast path; higher factors allocate backups on
+    /// distinct servers and chain-forward every chunk.
+    pub replication_factor: u32,
+    /// Put the metadata and data servers on the in-process `mem://`
+    /// fabric instead of TCP, so chaos tests can [`Cluster::crash_meta`]
+    /// and [`Cluster::crash_data`] them like processes.
+    pub mem_fabric: bool,
 }
 
 impl Default for ClusterConfig {
@@ -70,6 +82,9 @@ impl Default for ClusterConfig {
             class_fallbacks: Vec::new(),
             metadata_shards: 0,
             lease: None,
+            wal: None,
+            replication_factor: 1,
+            mem_fabric: false,
         }
     }
 }
@@ -140,6 +155,36 @@ impl ClusterConfig {
         self.lease = Some(lease);
         self
     }
+
+    /// Enables WAL-backed metadata durability, logging into `dir` with
+    /// the default (`Always`) fsync policy.
+    #[must_use]
+    pub fn with_wal(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.wal = Some(glider_metadata::WalConfig::new(dir));
+        self
+    }
+
+    /// Enables WAL-backed metadata durability with an explicit config.
+    #[must_use]
+    pub fn with_wal_config(mut self, config: glider_metadata::WalConfig) -> Self {
+        self.wal = Some(config);
+        self
+    }
+
+    /// Sets the block replication factor (primary included, `>= 1`).
+    #[must_use]
+    pub fn with_replication(mut self, factor: u32) -> Self {
+        self.replication_factor = factor.max(1);
+        self
+    }
+
+    /// Puts the metadata and data servers on the `mem://` fabric so
+    /// chaos tests can crash and restart them like processes.
+    #[must_use]
+    pub fn with_mem_fabric(mut self, enabled: bool) -> Self {
+        self.mem_fabric = enabled;
+        self
+    }
 }
 
 impl std::fmt::Debug for ClusterConfig {
@@ -167,6 +212,10 @@ pub struct Cluster {
     active: Vec<ActiveServer>,
     metrics: Arc<MetricsRegistry>,
     block_size: ByteSize,
+    /// The metadata options this cluster started with, kept so
+    /// [`Cluster::restart_meta`] can bring the server back with the same
+    /// WAL directory, shard count, and replication factor.
+    meta_options: glider_metadata::MetadataOptions,
     /// Time-series sampler ticking `sample_series_tick` on the shared
     /// registry; `None` when another cluster in this process already
     /// samples the same registry.
@@ -208,30 +257,42 @@ impl Cluster {
         if let Some(lease) = config.lease {
             meta_options = meta_options.with_lease(lease);
         }
+        if let Some(wal) = &config.wal {
+            meta_options = meta_options.with_wal_config(wal.clone());
+        }
+        if config.replication_factor > 1 {
+            meta_options = meta_options.with_replication(config.replication_factor);
+        }
         // Servers beat three times per lease so one dropped heartbeat
         // does not demote a healthy server.
         let heartbeat = config
             .lease
             .map(|lease| (lease / 3).max(Duration::from_millis(5)))
             .unwrap_or(glider_storage::DEFAULT_HEARTBEAT_INTERVAL);
-        let metadata =
-            MetadataServer::start_with_options("127.0.0.1:0", Arc::clone(&metrics), meta_options)
-                .await?;
+        let meta_listen = if config.mem_fabric {
+            format!("mem://glider-{cluster_id}-meta")
+        } else {
+            "127.0.0.1:0".to_string()
+        };
+        let metadata = MetadataServer::start_with_options(
+            &meta_listen,
+            Arc::clone(&metrics),
+            meta_options.clone(),
+        )
+        .await?;
 
         let mut data = Vec::with_capacity(config.data_servers);
-        for _ in 0..config.data_servers {
-            data.push(
-                StorageServer::start(
-                    StorageServerConfig::dram(
-                        metadata.addr(),
-                        config.blocks_per_server,
-                        config.block_size.as_u64(),
-                    )
-                    .with_heartbeat_interval(heartbeat),
-                    Arc::clone(&metrics),
-                )
-                .await?,
-            );
+        for i in 0..config.data_servers {
+            let mut server_config = StorageServerConfig::dram(
+                metadata.addr(),
+                config.blocks_per_server,
+                config.block_size.as_u64(),
+            )
+            .with_heartbeat_interval(heartbeat);
+            if config.mem_fabric {
+                server_config.listen_addr = format!("mem://glider-{cluster_id}-data-{i}");
+            }
+            data.push(StorageServer::start(server_config, Arc::clone(&metrics)).await?);
         }
         for (class, servers, blocks_each) in &config.extra_tiers {
             for _ in 0..*servers {
@@ -289,6 +350,7 @@ impl Cluster {
             active,
             metrics,
             block_size: config.block_size,
+            meta_options,
             sampler,
         })
     }
@@ -329,6 +391,72 @@ impl Cluster {
         ClientConfig::new(self.metadata_addr())
             .with_block_size(self.block_size)
             .with_metrics(Arc::clone(&self.metrics))
+    }
+
+    /// Simulates `kill -9` of data server `i`: its tasks stop without any
+    /// graceful teardown, every live connection to it fails, and new
+    /// dials are refused until a restart. Whatever the server held only
+    /// in memory is gone — exactly what a process crash loses.
+    ///
+    /// Requires [`ClusterConfig::mem_fabric`]; on TCP this only stops the
+    /// tasks (connection resets still happen, but dial refusal depends on
+    /// the OS reclaiming the port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn crash_data(&self, i: usize) -> String {
+        let addr = self.data[i].addr().to_string();
+        glider_net::fault::inject_faults(&addr).crash();
+        self.data[i].shutdown();
+        addr
+    }
+
+    /// Simulates `kill -9` of the metadata server: tasks abort, live
+    /// connections fail, new dials are refused. Only what the WAL
+    /// persisted survives into [`Cluster::restart_meta`].
+    pub fn crash_meta(&self) -> String {
+        let addr = self.metadata.addr().to_string();
+        glider_net::fault::inject_faults(&addr).crash();
+        self.metadata.shutdown();
+        addr
+    }
+
+    /// Restarts the metadata server after [`Cluster::crash_meta`], on the
+    /// same address with the same options — so a WAL-configured server
+    /// replays its log and comes back with the pre-crash namespace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the server fails to start (e.g. a corrupt
+    /// snapshot, or the old listener still holds the address).
+    pub async fn restart_meta(&mut self) -> GliderResult<()> {
+        let addr = self.metadata.addr().to_string();
+        glider_net::fault::inject_faults(&addr).restart();
+        // The crashed accept task unregisters the mem listener when its
+        // abort lands, which is asynchronous; retry the bind briefly.
+        let mut last_err = None;
+        for _ in 0..100 {
+            match MetadataServer::start_with_options(
+                &addr,
+                Arc::clone(&self.metrics),
+                self.meta_options.clone(),
+            )
+            .await
+            {
+                Ok(server) => {
+                    self.metadata = server;
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    tokio::time::sleep(Duration::from_millis(10)).await;
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            glider_proto::GliderError::unavailable("metadata restart never bound")
+        }))
     }
 
     /// Stops every server.
@@ -681,6 +809,83 @@ mod tests {
         assert_eq!(roots, (0..6).map(|i| format!("d{i}")).collect::<Vec<_>>());
         store.delete("/d0").await.unwrap();
         assert!(store.lookup("/d0/f").await.is_err());
+    }
+
+    /// A unique scratch dir for WAL tests (std-only; no tempfile dep).
+    fn temp_wal_dir(tag: &str) -> std::path::PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        std::env::temp_dir().join(format!(
+            "glider-cluster-{tag}-{}-{nanos}",
+            std::process::id()
+        ))
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn metadata_crash_restart_recovers_namespace() {
+        let dir = temp_wal_dir("crash");
+        let mut cluster = Cluster::start(
+            ClusterConfig::default()
+                .with_block_size(ByteSize::kib(16))
+                .with_mem_fabric(true)
+                .with_wal(&dir),
+        )
+        .await
+        .unwrap();
+        let store = cluster.client().await.unwrap();
+        let file = store.create_file("/durable").await.unwrap();
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 241) as u8).collect();
+        file.write_all(Bytes::from(data.clone())).await.unwrap();
+
+        // kill -9: everything the metadata server held in memory is gone.
+        cluster.crash_meta();
+        let dead = cluster.client().await;
+        assert!(dead.is_err(), "crashed endpoint must refuse dials");
+
+        // Restart on the same address: the WAL replays the namespace.
+        cluster.restart_meta().await.unwrap();
+        let store = cluster.client().await.unwrap();
+        let info = store.lookup("/durable").await.unwrap();
+        assert_eq!(info.size, 40_000);
+        let file = store.lookup_file("/durable").await.unwrap();
+        assert_eq!(file.read_all().await.unwrap(), data);
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[tokio::test]
+    async fn replicated_writes_land_on_both_servers() {
+        let cluster = Cluster::start(
+            ClusterConfig::default()
+                .with_block_size(ByteSize::kib(16))
+                .with_data(2, 64)
+                .with_replication(2),
+        )
+        .await
+        .unwrap();
+        let store = cluster.client().await.unwrap();
+        let file = store.create_file("/replicated").await.unwrap();
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 199) as u8).collect();
+        file.write_all(Bytes::from(data.clone())).await.unwrap();
+        assert_eq!(file.read_all().await.unwrap(), data);
+        // Every chunk was chain-forwarded, so each byte lives on both
+        // servers: the cluster-wide footprint is twice the file size.
+        let total: u64 = cluster
+            .data_servers()
+            .iter()
+            .map(glider_storage::StorageServer::used_bytes)
+            .sum();
+        assert_eq!(total, 80_000, "every byte on primary and backup");
+        // The layout reports one backup per committed extent.
+        for re in store.node_replicas("/replicated").await.unwrap() {
+            if re.extent.len > 0 {
+                assert_eq!(re.backups.len(), 1, "extent {:?}", re.extent.loc);
+                assert_ne!(re.backups[0].server_id, re.extent.loc.server_id);
+            }
+        }
+        cluster.shutdown();
     }
 
     #[tokio::test]

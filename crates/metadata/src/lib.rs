@@ -32,14 +32,21 @@
 //! be applied rolls back atomically (allocated blocks return to the
 //! registry, the chain is untouched).
 
+pub mod wal;
+
+use crate::wal::{NodeRecord, ServerRecord, Snapshot, WalEntry};
 use futures::future::BoxFuture;
 use glider_metrics::{MetricsRegistry, Tier};
 use glider_namespace::{shard_of, Liveness, Namespace, NodePath, ServerRegistry};
-use glider_net::rpc::{ConnCtx, RpcHandler, ServerHandle};
+use glider_net::rpc::{ConnCtx, RpcClient, RpcHandler, ServerHandle};
 use glider_proto::message::{RequestBody, ResponseBody};
-use glider_proto::types::{BlockLocation, NodeId, NodeKind, StorageClass};
+use glider_proto::types::{
+    BlockExtent, BlockId, BlockLocation, NodeId, NodeKind, ReplicaExtent, ServerId, StorageClass,
+};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
 use glider_util::lockorder::{LockRank, OrderedMutex};
+use glider_wal::{FsyncPolicy, Wal, WalOptions};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -105,6 +112,41 @@ pub struct MetadataOptions {
     /// one lease becomes `Suspect`, for two leases `Dead`. The background
     /// sweeper runs every quarter lease.
     pub lease: Duration,
+    /// Durability: when set, every metadata mutation is written to a WAL
+    /// in this directory before it is acknowledged, and the server
+    /// recovers its namespace from snapshot + log on start (DESIGN.md
+    /// §15). `None` (the default) keeps the pre-WAL purely-in-memory
+    /// behavior.
+    pub wal: Option<WalConfig>,
+    /// Replicas per block (primary included). The default `1` means
+    /// unreplicated — identical to the pre-replication behavior. With a
+    /// factor of `f > 1`, every allocation returns a primary plus `f-1`
+    /// backups on distinct servers, and block RPC answers switch to
+    /// `ReplicatedBlocks`.
+    pub replication_factor: u32,
+}
+
+/// WAL tuning for a metadata server (see [`MetadataOptions::wal`]).
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding segments and snapshots. Created if absent.
+    pub dir: PathBuf,
+    /// Flush policy; `Always` is the default (lose nothing).
+    pub fsync: FsyncPolicy,
+    /// Install a snapshot and compact the log once this many records
+    /// accumulate past the previous snapshot.
+    pub snapshot_every: u64,
+}
+
+impl WalConfig {
+    /// A config with `Always` fsync and a 512-record snapshot cadence.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 512,
+        }
+    }
 }
 
 impl Default for MetadataOptions {
@@ -115,6 +157,8 @@ impl Default for MetadataOptions {
             namespace_shards: DEFAULT_NAMESPACE_SHARDS,
             alloc_delay: None,
             lease: DEFAULT_LEASE,
+            wal: None,
+            replication_factor: 1,
         }
     }
 }
@@ -155,6 +199,28 @@ impl MetadataOptions {
         self.lease = lease;
         self
     }
+
+    /// Enables WAL-backed durability with `Always` fsync (see
+    /// [`WalConfig::new`]).
+    #[must_use]
+    pub fn with_wal(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal = Some(WalConfig::new(dir));
+        self
+    }
+
+    /// Enables WAL-backed durability with an explicit config.
+    #[must_use]
+    pub fn with_wal_config(mut self, config: WalConfig) -> Self {
+        self.wal = Some(config);
+        self
+    }
+
+    /// Sets the replication factor (primary included), clamped to `>= 1`.
+    #[must_use]
+    pub fn with_replication(mut self, factor: u32) -> Self {
+        self.replication_factor = factor.max(1);
+        self
+    }
 }
 
 impl MetadataServer {
@@ -180,21 +246,61 @@ impl MetadataServer {
     ) -> GliderResult<Self> {
         let listener = glider_net::conn::bind(addr).await?;
         let shard_count = options.namespace_shards.clamp(1, 64);
-        let shards = (0..shard_count)
-            .map(|s| {
-                OrderedMutex::new(
-                    LockRank::NamespaceShard,
-                    Namespace::with_id_base(options.id_base + ((s as u64) << SHARD_ID_SHIFT)),
-                )
-            })
+        let mut plain_shards: Vec<Namespace> = (0..shard_count)
+            .map(|s| Namespace::with_id_base(options.id_base + ((s as u64) << SHARD_ID_SHIFT)))
+            .collect();
+        let mut plain_reg = ServerRegistry::with_id_base(options.id_base);
+        // Crash recovery: restore the newest snapshot, replay the log past
+        // it, then reconcile the allocator's free lists against what the
+        // recovered namespace actually holds.
+        let wal = match &options.wal {
+            None => None,
+            Some(cfg) => {
+                let (wal, replay) = Wal::open(WalOptions::new(&cfg.dir).with_fsync(cfg.fsync))
+                    .map_err(|e| GliderError::unavailable(format!("wal open failed: {e}")))?;
+                if let Some(snapshot) = &replay.snapshot {
+                    restore_snapshot(
+                        &mut plain_shards,
+                        &mut plain_reg,
+                        &Snapshot::decode(snapshot)?,
+                    )?;
+                }
+                for record in &replay.records {
+                    let entry = WalEntry::decode(record)?;
+                    if let Err(e) =
+                        apply_wal_entry(&mut plain_shards, &mut plain_reg, options.id_base, entry)
+                    {
+                        // NotFound means a later record (a delete, a
+                        // replace) superseded this one, or the snapshot
+                        // already covers it — exactly as it played out
+                        // live. Anything else is real corruption.
+                        if e.code() != ErrorCode::NotFound {
+                            return Err(e);
+                        }
+                    }
+                }
+                for ns in &plain_shards {
+                    for node in ns.nodes() {
+                        for extent in &node.blocks {
+                            plain_reg.mark_allocated(extent.loc.block_id);
+                        }
+                        for loc in node.backups.values().flatten() {
+                            plain_reg.mark_allocated(loc.block_id);
+                        }
+                    }
+                }
+                Some(wal)
+            }
+        };
+        let shards = plain_shards
+            .into_iter()
+            .map(|ns| OrderedMutex::new(LockRank::NamespaceShard, ns))
             .collect();
         let lease = options.lease;
         let handler = Arc::new(MetadataHandler {
             shards,
-            reg: OrderedMutex::new(
-                LockRank::Registry,
-                ServerRegistry::with_id_base(options.id_base),
-            ),
+            reg: OrderedMutex::new(LockRank::Registry, plain_reg),
+            wal,
             options,
             metrics: Arc::clone(&metrics),
         });
@@ -226,6 +332,10 @@ impl MetadataServer {
                     };
                     glider_trace::structured_event(kind, op, &addr, 0, 0);
                 }
+                // Durability plane upkeep: re-replicate extents that lost
+                // copies to dead servers, publish WAL/replication gauges,
+                // and snapshot + compact the log when it grows.
+                sweep_handler.maintenance().await;
             }
         });
         let handle = glider_net::rpc::serve(listener, handler, metrics, Tier::Storage);
@@ -277,6 +387,180 @@ fn allocate_with_fallback(
     }
 }
 
+/// Routes a WAL entry's node id back to the owning shard during replay
+/// (same shard-bit arithmetic as the live handler).
+fn replay_shard_mut(
+    shards: &mut [Namespace],
+    id_base: u64,
+    id: NodeId,
+) -> GliderResult<&mut Namespace> {
+    let idx = (id.0.wrapping_sub(id_base) >> SHARD_ID_SHIFT) as usize;
+    shards
+        .get_mut(idx)
+        .ok_or_else(|| GliderError::not_found(format!("node {id}")))
+}
+
+/// Applies one recovered WAL entry to the in-memory state. All the
+/// namespace primitives used here are idempotent, so overlap between the
+/// snapshot and the log is harmless; `NotFound` is the caller's signal
+/// that a later entry superseded this one.
+fn apply_wal_entry(
+    shards: &mut [Namespace],
+    reg: &mut ServerRegistry,
+    id_base: u64,
+    entry: WalEntry,
+) -> GliderResult<()> {
+    match entry {
+        WalEntry::ServerRegistered {
+            server_id,
+            kind,
+            class,
+            addr,
+            capacity,
+            first_block,
+        } => {
+            reg.restore_register(server_id, kind, class, addr, capacity, first_block);
+        }
+        WalEntry::NodeCreated {
+            path,
+            id,
+            kind,
+            class,
+            action,
+            extents,
+            backups,
+        } => {
+            let path = NodePath::parse(&path)?;
+            let idx = shard_of(path.as_str(), shards.len());
+            let ns = shards
+                .get_mut(idx)
+                .ok_or_else(|| GliderError::not_found(format!("shard for {path}")))?;
+            ns.restore_node(path, id, kind, class, action)?;
+            ns.restore_extents(id, extents)?;
+            for (block, locs) in backups {
+                ns.set_backups(id, block, locs)?;
+            }
+        }
+        WalEntry::ExtentsAdded {
+            node_id,
+            extents,
+            backups,
+        } => {
+            let ns = replay_shard_mut(shards, id_base, node_id)?;
+            ns.restore_extents(node_id, extents)?;
+            for (block, locs) in backups {
+                ns.set_backups(node_id, block, locs)?;
+            }
+        }
+        WalEntry::Committed { node_id, commits } => {
+            let ns = replay_shard_mut(shards, id_base, node_id)?;
+            for (block, len) in commits {
+                ns.commit_block(node_id, block, len)?;
+            }
+        }
+        WalEntry::Replaced {
+            node_id,
+            old_block,
+            extent,
+            backups,
+        } => {
+            let ns = replay_shard_mut(shards, id_base, node_id)?;
+            let already = ns.get(node_id).is_some_and(|n| {
+                n.blocks
+                    .iter()
+                    .any(|b| b.loc.block_id == extent.loc.block_id)
+            });
+            if !already {
+                ns.replace_extent(node_id, old_block, extent.loc.clone())?;
+                if let Some(node) = ns.get_mut(node_id) {
+                    node.backups.remove(&old_block);
+                }
+            }
+            ns.set_backups(node_id, extent.loc.block_id, backups)?;
+        }
+        WalEntry::Deleted { path } => {
+            let path = NodePath::parse(&path)?;
+            let idx = shard_of(path.as_str(), shards.len());
+            let ns = shards
+                .get_mut(idx)
+                .ok_or_else(|| GliderError::not_found(format!("shard for {path}")))?;
+            ns.delete(&path)?;
+        }
+        WalEntry::BackupsSet {
+            node_id,
+            block,
+            backups,
+        } => {
+            let ns = replay_shard_mut(shards, id_base, node_id)?;
+            ns.set_backups(node_id, block, backups)?;
+        }
+        WalEntry::Promoted {
+            node_id,
+            old_block,
+            new_loc,
+        } => {
+            let ns = replay_shard_mut(shards, id_base, node_id)?;
+            ns.promote_extent(node_id, old_block, new_loc)?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores a decoded snapshot into freshly-constructed shards/registry.
+fn restore_snapshot(
+    shards: &mut [Namespace],
+    reg: &mut ServerRegistry,
+    snap: &Snapshot,
+) -> GliderResult<()> {
+    if snap.shards.len() != shards.len() {
+        return Err(GliderError::invalid(format!(
+            "snapshot holds {} shards but the server is configured with {}",
+            snap.shards.len(),
+            shards.len()
+        )));
+    }
+    for s in &snap.servers {
+        reg.restore_register(
+            s.id,
+            s.kind,
+            s.class.clone(),
+            s.addr.clone(),
+            s.capacity,
+            s.first_block,
+        );
+    }
+    for (ns, (next_id, nodes)) in shards.iter_mut().zip(&snap.shards) {
+        // Nodes are stored parents-before-children, so plain iteration
+        // re-links the tree.
+        for rec in nodes {
+            let path = NodePath::parse(&rec.path)?;
+            ns.restore_node(
+                path,
+                rec.id,
+                rec.kind,
+                rec.class.clone(),
+                rec.action.clone(),
+            )?;
+            ns.restore_extents(rec.id, rec.blocks.clone())?;
+            for (block, locs) in &rec.backups {
+                ns.set_backups(rec.id, *block, locs.clone())?;
+            }
+        }
+        ns.observe_next_id(*next_id);
+    }
+    Ok(())
+}
+
+/// A pending replica copy: tell the server at `src_addr` to push the
+/// first `len` bytes of `src_block` into `dst` (a freshly allocated
+/// backup block on another server).
+struct CopyPlan {
+    src_addr: String,
+    src_block: BlockId,
+    dst: BlockLocation,
+    len: u64,
+}
+
 struct MetadataHandler {
     /// Namespace shards, routed by top-level path component. Lock order:
     /// one shard, then (optionally) `reg` — never two shards at once. The
@@ -285,6 +569,10 @@ struct MetadataHandler {
     shards: Vec<OrderedMutex<Namespace>>,
     /// The block allocator, shared by every shard.
     reg: OrderedMutex<ServerRegistry>,
+    /// The write-ahead log, when durability is enabled. Appends happen
+    /// under the shard/registry lock that applied the mutation, before
+    /// the ack; the WAL serializes internally.
+    wal: Option<Wal>,
     options: MetadataOptions,
     /// The server's metrics registry; liveness census is pushed here so
     /// the uniformly-served Stats RPC reports it.
@@ -311,18 +599,41 @@ impl MetadataHandler {
             .ok_or_else(|| GliderError::not_found(format!("node {id}")))
     }
 
+    /// Appends the entry to the WAL (when durability is enabled) and
+    /// refreshes the WAL gauges. Called while still holding the lock
+    /// that applied the mutation, *before* the response is sent: an
+    /// append/fsync failure turns into an error ack, so the client never
+    /// sees a success the log does not hold.
+    fn log(&self, entry: &WalEntry) -> GliderResult<()> {
+        if let Some(wal) = &self.wal {
+            wal.append(&entry.encode())
+                .map_err(|e| GliderError::unavailable(format!("wal append failed: {e}")))?;
+            let stats = wal.stats();
+            self.metrics
+                .set_wal_stats(stats.fsyncs, stats.appended_bytes);
+        }
+        Ok(())
+    }
+
     /// Allocates up to `count` blocks of `class` and appends them to
     /// `node_id`'s chain, all under the already-held shard lock plus a
-    /// single registry-lock acquisition. Errors only if *no* block can be
-    /// allocated or the chain rejects the batch; either way the registry
-    /// is restored exactly (all-or-nothing).
+    /// single registry-lock acquisition. With a replication factor above
+    /// one, each appended block also gets `factor - 1` backup replicas on
+    /// distinct servers (fewer when capacity does not allow it — the
+    /// under-replication gauge and the sweeper pick up the slack).
+    /// Returns the extents plus the backup sets keyed by primary block.
+    /// Errors only if *no* block can be allocated or the chain rejects
+    /// the batch; either way the registry is restored exactly
+    /// (all-or-nothing).
+    #[allow(clippy::type_complexity)]
     fn add_blocks_locked(
         &self,
         ns: &mut Namespace,
         node_id: NodeId,
         class: &StorageClass,
         count: u32,
-    ) -> GliderResult<Vec<glider_proto::types::BlockExtent>> {
+    ) -> GliderResult<(Vec<BlockExtent>, Vec<(BlockId, Vec<BlockLocation>)>)> {
+        let factor = self.options.replication_factor.max(1);
         let mut reg = self.reg.lock();
         let mut locs: Vec<BlockLocation> = Vec::with_capacity(count as usize);
         for _ in 0..count {
@@ -336,7 +647,31 @@ impl MetadataHandler {
             }
         }
         match ns.add_extents(node_id, locs.clone()) {
-            Ok(extents) => Ok(extents),
+            Ok(extents) => {
+                let mut backups = Vec::new();
+                for extent in &extents {
+                    let mut set: Vec<BlockLocation> = Vec::new();
+                    let mut exclude = vec![extent.loc.server_id];
+                    for _ in 1..factor {
+                        match reg.allocate_excluding(class, &exclude) {
+                            Ok(loc) => {
+                                exclude.push(loc.server_id);
+                                set.push(loc);
+                            }
+                            // Degraded: not enough distinct live servers.
+                            // The write proceeds under-replicated rather
+                            // than failing; the sweeper tops it up when
+                            // capacity returns.
+                            Err(_) => break,
+                        }
+                    }
+                    if !set.is_empty() {
+                        ns.set_backups(node_id, extent.loc.block_id, set.clone())?;
+                        backups.push((extent.loc.block_id, set));
+                    }
+                }
+                Ok((extents, backups))
+            }
             Err(e) => {
                 for loc in &locs {
                     reg.free(loc.block_id);
@@ -346,10 +681,288 @@ impl MetadataHandler {
         }
     }
 
+    /// Pairs primaries with their backup sets for a `ReplicatedBlocks`
+    /// answer.
+    fn replica_view(
+        extents: &[BlockExtent],
+        backups: &[(BlockId, Vec<BlockLocation>)],
+    ) -> Vec<ReplicaExtent> {
+        extents
+            .iter()
+            .map(|extent| ReplicaExtent {
+                extent: extent.clone(),
+                backups: backups
+                    .iter()
+                    .find(|(block, _)| *block == extent.loc.block_id)
+                    .map(|(_, locs)| locs.clone())
+                    .unwrap_or_default(),
+            })
+            .collect()
+    }
+
     /// Pushes the registry's liveness census into the metrics registry.
     fn publish_liveness(&self, reg: &ServerRegistry) {
         let (live, suspect, dead) = reg.liveness_counts();
         self.metrics.set_server_liveness(live, suspect, dead);
+    }
+
+    /// Restores `node_id`'s replica layout under the shard + registry
+    /// locks: promotes a surviving backup for every primary whose server
+    /// is gone (unregistered or `Dead` — `Suspect` servers may still come
+    /// back, so their data is not given up), prunes dead backups, and
+    /// allocates replacements up to the configured factor. Data movement
+    /// happens *outside* the locks: the returned [`CopyPlan`]s tell
+    /// [`MetadataHandler::run_copies`] which bytes to push where.
+    fn repair_node_locked(
+        &self,
+        node_id: NodeId,
+    ) -> GliderResult<(Vec<CopyPlan>, Vec<ReplicaExtent>)> {
+        let factor = self.options.replication_factor.max(1);
+        let mut ns = self.shard_for_id(node_id)?.lock();
+        let (class, chain) = {
+            let node = ns
+                .get(node_id)
+                .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+            (node.storage_class.clone(), node.blocks.clone())
+        };
+        let mut reg = self.reg.lock();
+        let gone = |reg: &ServerRegistry, id: ServerId| {
+            !reg.servers()
+                .any(|s| s.id == id && s.liveness() != Liveness::Dead)
+        };
+        let mut plans = Vec::new();
+        for extent in chain {
+            let mut cur = extent;
+            if gone(&reg, cur.loc.server_id) {
+                let promoted = ns
+                    .get(node_id)
+                    .and_then(|n| n.backups.get(&cur.loc.block_id))
+                    .and_then(|set| set.iter().find(|l| !gone(&reg, l.server_id)).cloned());
+                if let Some(new_loc) = promoted {
+                    let old_block = cur.loc.block_id;
+                    cur = ns.promote_extent(node_id, old_block, new_loc.clone())?;
+                    reg.free(old_block);
+                    self.log(&WalEntry::Promoted {
+                        node_id,
+                        old_block,
+                        new_loc,
+                    })?;
+                }
+                // No live backup: the extent is stuck until its server
+                // heartbeats back — the under-replication gauge keeps it
+                // visible.
+            }
+            let before = ns
+                .get(node_id)
+                .and_then(|n| n.backups.get(&cur.loc.block_id).cloned())
+                .unwrap_or_default();
+            let (mut set, pruned): (Vec<BlockLocation>, Vec<BlockLocation>) = before
+                .iter()
+                .cloned()
+                .partition(|l| !gone(&reg, l.server_id));
+            for l in &pruned {
+                reg.free(l.block_id);
+            }
+            let mut exclude: Vec<ServerId> = vec![cur.loc.server_id];
+            exclude.extend(set.iter().map(|l| l.server_id));
+            while (set.len() as u32) < factor.saturating_sub(1) {
+                match reg.allocate_excluding(&class, &exclude) {
+                    Ok(dst) => {
+                        exclude.push(dst.server_id);
+                        plans.push(CopyPlan {
+                            src_addr: cur.loc.addr.clone(),
+                            src_block: cur.loc.block_id,
+                            dst: dst.clone(),
+                            len: cur.len,
+                        });
+                        set.push(dst);
+                    }
+                    Err(_) => break,
+                }
+            }
+            if set != before {
+                ns.set_backups(node_id, cur.loc.block_id, set.clone())?;
+                self.log(&WalEntry::BackupsSet {
+                    node_id,
+                    block: cur.loc.block_id,
+                    backups: set,
+                })?;
+            }
+        }
+        let layout = ns.get(node_id).map(|n| n.replicas()).unwrap_or_default();
+        Ok((plans, layout))
+    }
+
+    /// Executes replica copies planned by a repair: asks the server that
+    /// holds each source block to push the committed bytes into the new
+    /// backup. Failures are logged and left for the next sweep — the
+    /// layout already points at the new backups, so a retry copies again.
+    async fn run_copies(&self, plans: Vec<CopyPlan>) {
+        for plan in plans {
+            let outcome = async {
+                let client = RpcClient::connect_intra_storage(&plan.src_addr).await?;
+                client
+                    .call_ok(RequestBody::ReplicateBlock {
+                        src_block: plan.src_block,
+                        dst: plan.dst.clone(),
+                        len: plan.len,
+                    })
+                    .await
+            }
+            .await;
+            match outcome {
+                Ok(()) => {
+                    glider_trace::structured_event(
+                        "replica.copied",
+                        "replicate-block",
+                        &plan.src_addr,
+                        0,
+                        0,
+                    );
+                }
+                Err(_) => {
+                    glider_trace::structured_event(
+                        "replica.copy_failed",
+                        "replicate-block",
+                        &plan.src_addr,
+                        0,
+                        0,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Serves a `RepairNode` RPC: restore the factor, run the copies,
+    /// answer with the post-repair layout.
+    async fn repair_node(&self, node_id: NodeId) -> GliderResult<ResponseBody> {
+        let (plans, layout) = self.repair_node_locked(node_id)?;
+        self.run_copies(plans).await;
+        Ok(ResponseBody::ReplicatedBlocks(layout))
+    }
+
+    /// Background durability upkeep, run by the lease sweeper every
+    /// quarter lease: re-replicates extents that lost copies to dead
+    /// servers, publishes the under-replication gauge, and snapshots +
+    /// compacts the WAL once enough records accumulate.
+    async fn maintenance(&self) {
+        let factor = self.options.replication_factor.max(1);
+        if factor > 1 {
+            // Census + repair. Shard locks are taken one at a time, and
+            // repair_node_locked re-takes them per node, so no ordering
+            // hazard with the registry lock.
+            let mut candidates: Vec<NodeId> = Vec::new();
+            let dead: std::collections::HashSet<ServerId> = {
+                let reg = self.reg.lock();
+                reg.dead_servers().into_iter().collect()
+            };
+            for shard in &self.shards {
+                let ns = shard.lock();
+                for node in ns.nodes() {
+                    if node.blocks.is_empty() {
+                        continue;
+                    }
+                    let needs = node.blocks.iter().any(|b| {
+                        let backups = node
+                            .backups
+                            .get(&b.loc.block_id)
+                            .map(Vec::as_slice)
+                            .unwrap_or_default();
+                        dead.contains(&b.loc.server_id)
+                            || (backups.len() as u32) < factor - 1
+                            || backups.iter().any(|l| dead.contains(&l.server_id))
+                    });
+                    if needs {
+                        candidates.push(node.id);
+                    }
+                }
+            }
+            let mut plans = Vec::new();
+            let mut under = 0u64;
+            for node_id in candidates {
+                match self.repair_node_locked(node_id) {
+                    Ok((p, layout)) => {
+                        plans.extend(p);
+                        under += layout
+                            .iter()
+                            .filter(|r| (r.backups.len() as u32) < factor - 1)
+                            .count() as u64;
+                    }
+                    // The node may have been deleted since the census.
+                    Err(_) => {}
+                }
+            }
+            self.metrics.set_under_replicated(under);
+            self.run_copies(plans).await;
+        }
+        if let Some(wal) = &self.wal {
+            let stats = wal.stats();
+            self.metrics
+                .set_wal_stats(stats.fsyncs, stats.appended_bytes);
+            let snapshot_every = self
+                .options
+                .wal
+                .as_ref()
+                .map(|c| c.snapshot_every)
+                .unwrap_or(512);
+            if stats.since_snapshot >= snapshot_every.max(1) {
+                if let Err(e) = self.snapshot_now() {
+                    glider_trace::structured_event("wal.snapshot_failed", &e.to_string(), "", 0, 0);
+                }
+            }
+        }
+    }
+
+    /// Serializes the full metadata state and installs it as the WAL's
+    /// snapshot, letting the log compact everything up to the cut. The
+    /// cut LSN is captured *before* any state is read, so records that
+    /// land mid-serialization stay in the log and replay idempotently
+    /// over the snapshot.
+    fn snapshot_now(&self) -> GliderResult<()> {
+        let wal = match &self.wal {
+            Some(wal) => wal,
+            None => return Ok(()),
+        };
+        let cut_lsn = wal.last_lsn();
+        let servers: Vec<ServerRecord> = {
+            let reg = self.reg.lock();
+            reg.servers()
+                .map(|s| ServerRecord {
+                    id: s.id,
+                    kind: s.kind,
+                    class: s.class.clone(),
+                    addr: s.addr.clone(),
+                    capacity: s.capacity,
+                    first_block: s.first_block,
+                })
+                .collect()
+        };
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let ns = shard.lock();
+            let mut nodes: Vec<NodeRecord> = ns
+                .nodes()
+                .filter(|n| !n.path.is_root())
+                .map(|n| NodeRecord {
+                    path: n.path.as_str().to_string(),
+                    id: n.id,
+                    kind: n.kind,
+                    class: n.storage_class.clone(),
+                    action: n.action.clone(),
+                    blocks: n.blocks.clone(),
+                    backups: n.backups.iter().map(|(k, v)| (*k, v.clone())).collect(),
+                })
+                .collect();
+            // Parents must precede children so restore can re-link the
+            // tree by plain iteration: sort by depth, then path.
+            nodes.sort_by(|a, b| {
+                (a.path.matches('/').count(), &a.path).cmp(&(b.path.matches('/').count(), &b.path))
+            });
+            shards.push((ns.next_id(), nodes));
+        }
+        let snap = Snapshot { servers, shards };
+        wal.install_snapshot(cut_lsn, &snap.encode())
+            .map_err(|e| GliderError::unavailable(format!("wal snapshot failed: {e}")))
     }
 
     fn handle_sync(&self, body: RequestBody) -> GliderResult<ResponseBody> {
@@ -363,8 +976,16 @@ impl MetadataHandler {
             } => {
                 let mut reg = self.reg.lock();
                 let (server_id, first_block_id) =
-                    reg.register(kind, storage_class, addr, capacity_blocks)?;
+                    reg.register(kind, storage_class.clone(), addr.clone(), capacity_blocks)?;
                 self.publish_liveness(&reg);
+                self.log(&WalEntry::ServerRegistered {
+                    server_id,
+                    kind,
+                    class: storage_class,
+                    addr,
+                    capacity: capacity_blocks,
+                    first_block: first_block_id,
+                })?;
                 Ok(ResponseBody::Registered {
                     server_id,
                     first_block_id,
@@ -402,7 +1023,45 @@ impl MetadataHandler {
                         // suspect servers are skipped by allocation, so it
                         // is only reused if the server heartbeats back.
                         reg.free(block_id);
-                        Ok(ResponseBody::Block(extent))
+                        // The old primary's backups covered data the writer
+                        // is about to replay from scratch — drop them and
+                        // give the replacement its own fresh set.
+                        let old_backups = ns
+                            .get_mut(node_id)
+                            .and_then(|n| n.backups.remove(&block_id))
+                            .unwrap_or_default();
+                        for b in &old_backups {
+                            reg.free(b.block_id);
+                        }
+                        let factor = self.options.replication_factor.max(1);
+                        let mut set: Vec<BlockLocation> = Vec::new();
+                        let mut exclude = vec![extent.loc.server_id];
+                        for _ in 1..factor {
+                            match reg.allocate_excluding(&class, &exclude) {
+                                Ok(b) => {
+                                    exclude.push(b.server_id);
+                                    set.push(b);
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        if !set.is_empty() {
+                            ns.set_backups(node_id, extent.loc.block_id, set.clone())?;
+                        }
+                        self.log(&WalEntry::Replaced {
+                            node_id,
+                            old_block: block_id,
+                            extent: extent.clone(),
+                            backups: set.clone(),
+                        })?;
+                        if factor > 1 {
+                            Ok(ResponseBody::ReplicatedBlocks(vec![ReplicaExtent {
+                                extent,
+                                backups: set,
+                            }]))
+                        } else {
+                            Ok(ResponseBody::Block(extent))
+                        }
                     }
                     Err(e) => {
                         reg.free(loc.block_id);
@@ -421,23 +1080,40 @@ impl MetadataHandler {
                 let node_id = ns.create(path.clone(), kind, storage_class, action)?.id;
                 // KeyValue and Action nodes get their single block up
                 // front so clients reach storage with one metadata trip.
+                let mut extents = Vec::new();
+                let mut backups = Vec::new();
                 if matches!(kind, NodeKind::KeyValue | NodeKind::Action) {
                     let class = ns
                         .get(node_id)
                         .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?
                         .storage_class
                         .clone();
-                    if let Err(e) = self.add_blocks_locked(&mut ns, node_id, &class, 1) {
-                        // Roll back the node so the failure is atomic.
-                        let _ = ns.delete(&path);
-                        return Err(e);
+                    match self.add_blocks_locked(&mut ns, node_id, &class, 1) {
+                        Ok((e, b)) => {
+                            extents = e;
+                            backups = b;
+                        }
+                        Err(e) => {
+                            // Roll back the node so the failure is atomic.
+                            let _ = ns.delete(&path);
+                            return Err(e);
+                        }
                     }
                 }
-                Ok(ResponseBody::Node(
-                    ns.get(node_id)
-                        .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?
-                        .info(),
-                ))
+                let node = ns
+                    .get(node_id)
+                    .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+                let info = node.info();
+                self.log(&WalEntry::NodeCreated {
+                    path: path.as_str().to_string(),
+                    id: node_id,
+                    kind,
+                    class: node.storage_class.clone(),
+                    action: node.action.clone(),
+                    extents,
+                    backups,
+                })?;
+                Ok(ResponseBody::Node(info))
             }
             RequestBody::LookupNode { path } => {
                 let path = NodePath::parse(&path)?;
@@ -449,18 +1125,25 @@ impl MetadataHandler {
                 let path = NodePath::parse(&path)?;
                 let mut ns = self.shard_for_path(&path)?.lock();
                 let out = ns.delete(&path)?;
-                // Return freed capacity to the allocator. The client is
-                // responsible for releasing the actual bytes/objects on the
-                // storage servers (FreeBlocks / ActionDelete).
-                let mut reg = self.reg.lock();
-                for extent in &out.extents {
-                    reg.free(extent.loc.block_id);
-                }
-                for action in &out.actions {
-                    for extent in &action.blocks {
+                // Return freed capacity to the allocator (backup replicas
+                // ride along in `out.extents` as zero-length extents). The
+                // client is responsible for releasing the actual
+                // bytes/objects on the storage servers (FreeBlocks /
+                // ActionDelete).
+                {
+                    let mut reg = self.reg.lock();
+                    for extent in &out.extents {
                         reg.free(extent.loc.block_id);
                     }
+                    for action in &out.actions {
+                        for extent in &action.blocks {
+                            reg.free(extent.loc.block_id);
+                        }
+                    }
                 }
+                self.log(&WalEntry::Deleted {
+                    path: path.as_str().to_string(),
+                })?;
                 Ok(ResponseBody::Deleted {
                     info: out.info,
                     extents: out.extents,
@@ -491,7 +1174,17 @@ impl MetadataHandler {
                     .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?
                     .storage_class
                     .clone();
-                let extents = self.add_blocks_locked(&mut ns, node_id, &class, 1)?;
+                let (extents, backups) = self.add_blocks_locked(&mut ns, node_id, &class, 1)?;
+                self.log(&WalEntry::ExtentsAdded {
+                    node_id,
+                    extents: extents.clone(),
+                    backups: backups.clone(),
+                })?;
+                if self.options.replication_factor.max(1) > 1 {
+                    return Ok(ResponseBody::ReplicatedBlocks(Self::replica_view(
+                        &extents, &backups,
+                    )));
+                }
                 Ok(ResponseBody::Block(extents.into_iter().next().ok_or_else(
                     || GliderError::new(ErrorCode::OutOfCapacity, "no block allocated"),
                 )?))
@@ -508,7 +1201,17 @@ impl MetadataHandler {
                     .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?
                     .storage_class
                     .clone();
-                let extents = self.add_blocks_locked(&mut ns, node_id, &class, count)?;
+                let (extents, backups) = self.add_blocks_locked(&mut ns, node_id, &class, count)?;
+                self.log(&WalEntry::ExtentsAdded {
+                    node_id,
+                    extents: extents.clone(),
+                    backups: backups.clone(),
+                })?;
+                if self.options.replication_factor.max(1) > 1 {
+                    return Ok(ResponseBody::ReplicatedBlocks(Self::replica_view(
+                        &extents, &backups,
+                    )));
+                }
                 Ok(ResponseBody::Blocks(extents))
             }
             RequestBody::CommitBlock {
@@ -516,9 +1219,12 @@ impl MetadataHandler {
                 block_id,
                 len,
             } => {
-                self.shard_for_id(node_id)?
-                    .lock()
-                    .commit_block(node_id, block_id, len)?;
+                let mut ns = self.shard_for_id(node_id)?.lock();
+                ns.commit_block(node_id, block_id, len)?;
+                self.log(&WalEntry::Committed {
+                    node_id,
+                    commits: vec![(block_id, len)],
+                })?;
                 Ok(ResponseBody::Ok)
             }
             RequestBody::CommitBlocks { node_id, commits } => {
@@ -535,12 +1241,20 @@ impl MetadataHandler {
                         )));
                     }
                 }
-                for (block_id, len) in commits {
+                for (block_id, len) in &commits {
                     // Pre-validated above; an error here still propagates
                     // cleanly rather than killing the server.
-                    ns.commit_block(node_id, block_id, len)?;
+                    ns.commit_block(node_id, *block_id, *len)?;
                 }
+                self.log(&WalEntry::Committed { node_id, commits })?;
                 Ok(ResponseBody::Ok)
+            }
+            RequestBody::NodeReplicas { node_id } => {
+                let ns = self.shard_for_id(node_id)?.lock();
+                let node = ns
+                    .get(node_id)
+                    .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+                Ok(ResponseBody::ReplicatedBlocks(node.replicas()))
             }
             other => Err(GliderError::new(
                 ErrorCode::Unsupported,
@@ -561,6 +1275,11 @@ impl RpcHandler for MetadataHandler {
     ) -> BoxFuture<'static, GliderResult<ResponseBody>> {
         Box::pin(async move {
             let _span = glider_trace::Span::child_of(ctx.span_context(), "meta.handle");
+            // Repair moves data between storage servers, so it is served
+            // async (locks are only held while planning).
+            if let RequestBody::RepairNode { node_id } = body {
+                return self.repair_node(node_id).await;
+            }
             if let Some(delay) = self.options.alloc_delay {
                 if matches!(
                     body,
@@ -672,6 +1391,157 @@ mod tests {
             ResponseBody::Registered { server_id, .. } => server_id,
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    fn temp_wal_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "glider-meta-wal-{}-{}-{}",
+            tag,
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[tokio::test]
+    async fn wal_recovery_survives_restart() {
+        let dir = temp_wal_dir("recover");
+        {
+            let (server, client) =
+                setup_with_options(MetadataOptions::default().with_wal(&dir)).await;
+            register(&client, ServerKind::Data, StorageClass::dram(), 8).await;
+            let f = create_file(&client, "/f").await;
+            let got = add_blocks(&client, f.id, 2).await.unwrap();
+            client
+                .call_ok(RequestBody::CommitBlocks {
+                    node_id: f.id,
+                    commits: vec![(got[0].loc.block_id, 100), (got[1].loc.block_id, 50)],
+                })
+                .await
+                .unwrap();
+            create_file(&client, "/gone").await;
+            client
+                .call(RequestBody::DeleteNode {
+                    path: "/gone".to_string(),
+                })
+                .await
+                .unwrap();
+            // Simulated kill -9: no clean shutdown protocol, the server is
+            // simply dropped. Every acked mutation is already fsynced.
+            server.shutdown();
+        }
+        let (_server, client) = setup_with_options(MetadataOptions::default().with_wal(&dir)).await;
+        // The namespace replayed: /f is back with its chain and sizes.
+        let after = match client
+            .call(RequestBody::LookupNode {
+                path: "/f".to_string(),
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::Node(i) => i,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(after.size, 150);
+        assert_eq!(after.blocks.len(), 2);
+        // The deleted node stayed deleted.
+        let err = client
+            .call(RequestBody::LookupNode {
+                path: "/gone".to_string(),
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NotFound);
+        // The allocator reconciled: exactly the 6 unallocated blocks
+        // remain — no re-registration needed, no double allocation.
+        let g = create_file(&client, "/g").await;
+        let got = add_blocks(&client, g.id, 8).await.unwrap();
+        assert_eq!(got.len(), 6, "allocator must skip recovered blocks");
+        assert_eq!(
+            add_blocks(&client, g.id, 1).await.unwrap_err().code(),
+            ErrorCode::OutOfCapacity
+        );
+        // Recovered ids are never reissued.
+        let f_id = after.id;
+        assert_ne!(g.id, f_id);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[tokio::test]
+    async fn replication_allocates_backups_on_distinct_servers() {
+        let (_server, client) =
+            setup_with_options(MetadataOptions::default().with_replication(2)).await;
+        register_at(
+            &client,
+            ServerKind::Data,
+            StorageClass::dram(),
+            "127.0.0.1:7201",
+            4,
+        )
+        .await;
+        register_at(
+            &client,
+            ServerKind::Data,
+            StorageClass::dram(),
+            "127.0.0.1:7202",
+            4,
+        )
+        .await;
+        let f = create_file(&client, "/f").await;
+        let got = match client
+            .call(RequestBody::AddBlocks {
+                node_id: f.id,
+                count: 2,
+            })
+            .await
+            .unwrap()
+        {
+            ResponseBody::ReplicatedBlocks(r) => r,
+            other => panic!("factor > 1 must answer ReplicatedBlocks, got {other:?}"),
+        };
+        assert_eq!(got.len(), 2);
+        for r in &got {
+            assert_eq!(r.backups.len(), 1, "factor 2 = one backup");
+            assert_ne!(
+                r.backups[0].server_id, r.extent.loc.server_id,
+                "backup must land on a distinct server"
+            );
+        }
+        // NodeReplicas reports the same layout.
+        let layout = match client
+            .call(RequestBody::NodeReplicas { node_id: f.id })
+            .await
+            .unwrap()
+        {
+            ResponseBody::ReplicatedBlocks(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(layout.len(), 2);
+        assert!(layout.iter().all(|r| r.backups.len() == 1));
+    }
+
+    #[tokio::test]
+    async fn replication_degrades_gracefully_on_one_server() {
+        // Factor 2 with a single server: writes proceed unreplicated
+        // rather than failing.
+        let (_server, client) =
+            setup_with_options(MetadataOptions::default().with_replication(2)).await;
+        register(&client, ServerKind::Data, StorageClass::dram(), 4).await;
+        let f = create_file(&client, "/f").await;
+        let got = match client
+            .call(RequestBody::AddBlock { node_id: f.id })
+            .await
+            .unwrap()
+        {
+            ResponseBody::ReplicatedBlocks(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(got.len(), 1);
+        assert!(got[0].backups.is_empty(), "no second server to back up on");
     }
 
     #[tokio::test]

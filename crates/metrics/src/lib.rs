@@ -266,6 +266,10 @@ pub struct MetricsRegistry {
     servers_live: AtomicU64,
     servers_suspect: AtomicU64,
     servers_dead: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_bytes: AtomicU64,
+    replication_lag: Gauge,
+    under_replicated: AtomicU64,
     notes: Mutex<VecDeque<String>>,
     notes_dropped: AtomicU64,
     // Last trace id whose latency landed in [kind][bucket]; 0 = none.
@@ -304,6 +308,10 @@ impl MetricsRegistry {
             servers_live: AtomicU64::new(0),
             servers_suspect: AtomicU64::new(0),
             servers_dead: AtomicU64::new(0),
+            wal_fsyncs: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            replication_lag: Gauge::default(),
+            under_replicated: AtomicU64::new(0),
             notes: Mutex::new(VecDeque::new()),
             notes_dropped: AtomicU64::new(0),
             exemplars: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
@@ -487,6 +495,33 @@ impl MetricsRegistry {
         self.servers_dead.store(dead, Ordering::Relaxed);
     }
 
+    /// Publishes the metadata WAL's cumulative fsync count and appended
+    /// bytes (durability plane, DESIGN.md §15). Values come straight from
+    /// the WAL's own counters, so this is a store, not an add.
+    pub fn set_wal_stats(&self, fsyncs: u64, bytes: u64) {
+        self.wal_fsyncs.store(fsyncs, Ordering::Relaxed);
+        self.wal_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Marks one replicated chunk entering chain-forwarding on a storage
+    /// server (replication-lag gauge up: bytes acked locally but not yet
+    /// by every downstream replica).
+    pub fn replication_lag_enter(&self, bytes: u64) {
+        self.replication_lag.add(bytes);
+    }
+
+    /// Marks one replicated chunk fully acknowledged by the downstream
+    /// chain (replication-lag gauge down).
+    pub fn replication_lag_exit(&self, bytes: u64) {
+        self.replication_lag.sub(bytes);
+    }
+
+    /// Publishes the metadata sweeper's census of extents holding fewer
+    /// backups than the configured replication factor.
+    pub fn set_under_replicated(&self, extents: u64) {
+        self.under_replicated.store(extents, Ordering::Relaxed);
+    }
+
     /// Attaches a free-form note to the registry (harnesses use this to
     /// remember configuration alongside results). Retention is a ring:
     /// the newest [`NOTES_CAPACITY`] notes are kept, older ones age out
@@ -612,6 +647,11 @@ impl MetricsRegistry {
             servers_live: self.servers_live.load(Ordering::Relaxed),
             servers_suspect: self.servers_suspect.load(Ordering::Relaxed),
             servers_dead: self.servers_dead.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            replication_lag_current: self.replication_lag.current.load(Ordering::Relaxed),
+            replication_lag_peak: self.replication_lag.peak.load(Ordering::Relaxed),
+            under_replicated: self.under_replicated.load(Ordering::Relaxed),
             notes: self.notes.lock().iter().cloned().collect(),
             notes_dropped: self.notes_dropped.load(Ordering::Relaxed),
             exemplars: std::array::from_fn(|k| {
@@ -664,6 +704,11 @@ impl MetricsRegistry {
         self.servers_live.store(0, Ordering::Relaxed);
         self.servers_suspect.store(0, Ordering::Relaxed);
         self.servers_dead.store(0, Ordering::Relaxed);
+        self.wal_fsyncs.store(0, Ordering::Relaxed);
+        self.wal_bytes.store(0, Ordering::Relaxed);
+        self.replication_lag.current.store(0, Ordering::Relaxed);
+        self.replication_lag.peak.store(0, Ordering::Relaxed);
+        self.under_replicated.store(0, Ordering::Relaxed);
         self.notes_dropped.store(0, Ordering::Relaxed);
         for row in &self.exemplars {
             for e in row {
@@ -793,6 +838,18 @@ pub struct MetricsSnapshot {
     pub servers_suspect: u64,
     /// Registered servers past two leases without a heartbeat.
     pub servers_dead: u64,
+    /// Cumulative fsyncs issued by the metadata WAL.
+    pub wal_fsyncs: u64,
+    /// Cumulative bytes appended to the metadata WAL.
+    pub wal_bytes: u64,
+    /// Bytes acked locally by a replica-chain head but not yet by every
+    /// downstream replica (in-flight replication).
+    pub replication_lag_current: u64,
+    /// Peak in-flight replication bytes.
+    pub replication_lag_peak: u64,
+    /// Extents currently holding fewer backups than the configured
+    /// replication factor (metadata sweeper census).
+    pub under_replicated: u64,
     /// Free-form notes recorded during the run (newest
     /// [`NOTES_CAPACITY`] retained).
     pub notes: Vec<String>,
@@ -1305,6 +1362,29 @@ mod tests {
         assert_eq!((s.rpc_inflight_current, s.rpc_inflight_peak), (0, 0));
         assert_eq!(s.streams_opened, 0);
         assert_eq!((s.streams_open_current, s.streams_open_peak), (0, 0));
+    }
+
+    #[test]
+    fn durability_gauges_round_trip_and_reset() {
+        let m = MetricsRegistry::new();
+        m.set_wal_stats(7, 4096);
+        m.replication_lag_enter(1000);
+        m.replication_lag_enter(500);
+        m.replication_lag_exit(1000);
+        m.set_under_replicated(3);
+        let s = m.snapshot();
+        assert_eq!((s.wal_fsyncs, s.wal_bytes), (7, 4096));
+        assert_eq!(s.replication_lag_current, 500);
+        assert_eq!(s.replication_lag_peak, 1500);
+        assert_eq!(s.under_replicated, 3);
+        // Setters overwrite (WAL counters are cumulative at the source).
+        m.set_wal_stats(9, 8192);
+        assert_eq!(m.snapshot().wal_fsyncs, 9);
+        m.reset();
+        let s = m.snapshot();
+        assert_eq!((s.wal_fsyncs, s.wal_bytes), (0, 0));
+        assert_eq!((s.replication_lag_current, s.replication_lag_peak), (0, 0));
+        assert_eq!(s.under_replicated, 0);
     }
 
     #[test]

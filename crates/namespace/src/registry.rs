@@ -39,6 +39,10 @@ pub struct ServerEntry {
     pub addr: String,
     /// Total blocks contributed.
     pub capacity: u64,
+    /// First id of the contiguous block range carved for this server
+    /// (the range is `first_block .. first_block + capacity`). Persisted
+    /// in the WAL so recovery can rebuild the free list exactly.
+    pub first_block: BlockId,
     free: VecDeque<BlockId>,
     liveness: Liveness,
     last_beat: Instant,
@@ -155,6 +159,7 @@ impl ServerRegistry {
                 class: class.clone(),
                 addr,
                 capacity,
+                first_block,
                 free,
                 liveness: Liveness::Live,
                 last_beat: Instant::now(),
@@ -162,6 +167,71 @@ impl ServerRegistry {
         );
         self.classes.entry(class).or_default().members.push(id);
         Ok((id, first_block))
+    }
+
+    /// Re-creates a registration with its **original ids** during WAL
+    /// replay or snapshot restore: the server keeps `id` and the block
+    /// range `first_block .. first_block + capacity`, every block starts
+    /// free (recovery re-marks allocated blocks from the namespace via
+    /// [`ServerRegistry::mark_allocated`]), and the id allocators are
+    /// bumped past the recovered range. Replaying the same record twice
+    /// is a no-op; like [`ServerRegistry::register`], a newer
+    /// registration on the same address supersedes older entries.
+    pub fn restore_register(
+        &mut self,
+        id: ServerId,
+        kind: ServerKind,
+        class: StorageClass,
+        addr: String,
+        capacity: u64,
+        first_block: BlockId,
+    ) {
+        self.next_server = self.next_server.max(id.0 + 1);
+        self.next_block = self.next_block.max(first_block.0 + capacity);
+        if self.servers.contains_key(&id) {
+            return;
+        }
+        let stale: Vec<ServerId> = self
+            .servers
+            .values()
+            .filter(|s| s.addr == addr)
+            .map(|s| s.id)
+            .collect();
+        for sid in stale {
+            self.retire(sid);
+        }
+        let mut free = VecDeque::with_capacity(capacity as usize);
+        for i in 0..capacity {
+            let b = BlockId(first_block.0 + i);
+            free.push_back(b);
+            self.block_owner.insert(b, id);
+        }
+        self.servers.insert(
+            id,
+            ServerEntry {
+                id,
+                kind,
+                class: class.clone(),
+                addr,
+                capacity,
+                first_block,
+                free,
+                liveness: Liveness::Live,
+                last_beat: Instant::now(),
+            },
+        );
+        self.classes.entry(class).or_default().members.push(id);
+    }
+
+    /// Removes a block from its owner's free list (recovery: the
+    /// namespace says this block is held by a node). Idempotent; unknown
+    /// blocks are ignored.
+    pub fn mark_allocated(&mut self, block_id: BlockId) {
+        if let Some(sid) = self.block_owner.get(&block_id) {
+            if let Some(server) = self.servers.get_mut(sid) {
+                server.free.retain(|b| *b != block_id);
+            }
+        }
     }
 
     /// Allocates one block from `class`, round-robin across its servers.
@@ -198,6 +268,51 @@ impl ServerRegistry {
         Err(GliderError::new(
             ErrorCode::OutOfCapacity,
             format!("no free blocks in storage class {class}"),
+        ))
+    }
+
+    /// Allocates one block from `class` on a server **not** in `exclude`.
+    /// Replica sets are built with this so every copy of a block lands on
+    /// a distinct server — replicas on the primary's server would die with
+    /// it, defeating the point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] for an unknown class and
+    /// [`ErrorCode::OutOfCapacity`] when every non-excluded live server
+    /// is full (or excluded).
+    pub fn allocate_excluding(
+        &mut self,
+        class: &StorageClass,
+        exclude: &[ServerId],
+    ) -> GliderResult<BlockLocation> {
+        let state = self
+            .classes
+            .get_mut(class)
+            .ok_or_else(|| GliderError::not_found(format!("storage class {class}")))?;
+        let n = state.members.len();
+        for step in 0..n {
+            let idx = (state.cursor + step) % n;
+            let sid = state.members[idx];
+            if exclude.contains(&sid) {
+                continue;
+            }
+            let server = self.servers.get_mut(&sid).expect("member exists");
+            if server.liveness != Liveness::Live {
+                continue;
+            }
+            if let Some(block_id) = server.free.pop_front() {
+                state.cursor = (idx + 1) % n;
+                return Ok(BlockLocation {
+                    block_id,
+                    server_id: sid,
+                    addr: server.addr.clone(),
+                });
+            }
+        }
+        Err(GliderError::new(
+            ErrorCode::OutOfCapacity,
+            format!("no free blocks in storage class {class} outside the excluded servers"),
         ))
     }
 
@@ -336,6 +451,21 @@ impl ServerRegistry {
         self.class_members(class)
             .map(|s| s.free_blocks() as u64)
             .sum()
+    }
+
+    /// Iterates over every registered server (snapshot capture, `fsck`).
+    pub fn servers(&self) -> impl Iterator<Item = &ServerEntry> {
+        self.servers.values()
+    }
+
+    /// Ids of servers currently judged `Dead` — the re-replication
+    /// sweep's work list.
+    pub fn dead_servers(&self) -> Vec<ServerId> {
+        self.servers
+            .values()
+            .filter(|s| s.liveness == Liveness::Dead)
+            .map(|s| s.id)
+            .collect()
     }
 }
 
@@ -534,6 +664,80 @@ mod tests {
             reg.allocate(&StorageClass::dram()).unwrap().server_id,
             new_id
         );
+    }
+
+    #[test]
+    fn allocate_excluding_picks_distinct_servers() {
+        let mut reg = reg_with(3, 4);
+        let primary = reg.allocate(&StorageClass::dram()).unwrap();
+        let backup = reg
+            .allocate_excluding(&StorageClass::dram(), &[primary.server_id])
+            .unwrap();
+        assert_ne!(primary.server_id, backup.server_id);
+        // Excluding every server is out of capacity, not a panic.
+        let all: Vec<ServerId> = reg.servers().map(|s| s.id).collect();
+        let err = reg
+            .allocate_excluding(&StorageClass::dram(), &all)
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::OutOfCapacity);
+        // Unknown class stays typed.
+        assert_eq!(
+            reg.allocate_excluding(&StorageClass::from("nvme"), &[])
+                .unwrap_err()
+                .code(),
+            ErrorCode::NotFound
+        );
+    }
+
+    #[test]
+    fn restore_register_rebuilds_and_is_idempotent() {
+        let mut reg = ServerRegistry::new();
+        reg.restore_register(
+            ServerId(7),
+            ServerKind::Data,
+            StorageClass::dram(),
+            "srv".into(),
+            3,
+            BlockId(10),
+        );
+        // Replay of the same record changes nothing.
+        reg.restore_register(
+            ServerId(7),
+            ServerKind::Data,
+            StorageClass::dram(),
+            "srv".into(),
+            3,
+            BlockId(10),
+        );
+        let entry = reg.server(ServerId(7)).unwrap();
+        assert_eq!(entry.capacity, 3);
+        assert_eq!(entry.first_block, BlockId(10));
+        assert_eq!(entry.free_blocks(), 3);
+        assert_eq!(reg.owner_of(BlockId(11)), Some(ServerId(7)));
+        // Recovery re-marks namespace-held blocks as allocated.
+        reg.mark_allocated(BlockId(10));
+        reg.mark_allocated(BlockId(10));
+        assert_eq!(reg.server(ServerId(7)).unwrap().free_blocks(), 2);
+        assert_eq!(
+            reg.allocate(&StorageClass::dram()).unwrap().block_id,
+            BlockId(11)
+        );
+        // Fresh ids continue past the recovered range.
+        let (new_id, new_block) = reg
+            .register(ServerKind::Data, StorageClass::dram(), "srv2".into(), 1)
+            .unwrap();
+        assert!(new_id.0 > 7);
+        assert!(new_block.0 >= 13);
+    }
+
+    #[test]
+    fn dead_servers_lists_only_dead() {
+        let mut reg = reg_with(2, 1);
+        assert!(reg.dead_servers().is_empty());
+        reg.servers.get_mut(&ServerId(1)).unwrap().last_beat =
+            Instant::now() - Duration::from_secs(21);
+        reg.sweep(Duration::from_secs(10));
+        assert_eq!(reg.dead_servers(), vec![ServerId(1)]);
     }
 
     #[test]

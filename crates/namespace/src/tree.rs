@@ -2,7 +2,8 @@
 
 use crate::path::NodePath;
 use glider_proto::types::{
-    ActionSpec, BlockExtent, BlockId, BlockLocation, NodeId, NodeInfo, NodeKind, StorageClass,
+    ActionSpec, BlockExtent, BlockId, BlockLocation, NodeId, NodeInfo, NodeKind, ReplicaExtent,
+    StorageClass,
 };
 use glider_proto::{ErrorCode, GliderError, GliderResult};
 use std::collections::{BTreeMap, HashMap};
@@ -20,6 +21,10 @@ pub struct Node {
     pub storage_class: StorageClass,
     /// Block chain with per-block used lengths.
     pub blocks: Vec<BlockExtent>,
+    /// Backup replica locations per primary block, for nodes written
+    /// under a replication factor above one (DESIGN.md §15). Keyed by
+    /// the primary's block id; absent keys mean "unreplicated".
+    pub backups: BTreeMap<BlockId, Vec<BlockLocation>>,
     /// Action parameters for `Action` nodes.
     pub action: Option<ActionSpec>,
     parent: Option<NodeId>,
@@ -46,6 +51,23 @@ impl Node {
     /// Child names in lexicographic order.
     pub fn child_names(&self) -> Vec<String> {
         self.children.keys().cloned().collect()
+    }
+
+    /// The replica layout of this node's chain: every primary extent
+    /// paired with its backup locations (empty for unreplicated blocks).
+    /// This is what `NodeReplicas` returns and what `fsck` verifies.
+    pub fn replicas(&self) -> Vec<ReplicaExtent> {
+        self.blocks
+            .iter()
+            .map(|b| ReplicaExtent {
+                extent: b.clone(),
+                backups: self
+                    .backups
+                    .get(&b.loc.block_id)
+                    .cloned()
+                    .unwrap_or_default(),
+            })
+            .collect()
     }
 }
 
@@ -109,6 +131,7 @@ impl Namespace {
             path: NodePath::root(),
             storage_class: StorageClass::dram(),
             blocks: Vec::new(),
+            backups: BTreeMap::new(),
             action: None,
             parent: None,
             children: BTreeMap::new(),
@@ -204,6 +227,7 @@ impl Namespace {
             path: path.clone(),
             storage_class: class,
             blocks: Vec::new(),
+            backups: BTreeMap::new(),
             action,
             parent: Some(parent_id),
             children: BTreeMap::new(),
@@ -369,6 +393,178 @@ impl Namespace {
         Ok(extent.clone())
     }
 
+    /// Records the backup replica set of one primary block. An empty set
+    /// clears the entry (the block is then unreplicated). Overwriting an
+    /// existing set with the same value is a no-op, so WAL replay can
+    /// apply this repeatedly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] if the node or block is unknown.
+    pub fn set_backups(
+        &mut self,
+        node_id: NodeId,
+        block_id: BlockId,
+        backups: Vec<BlockLocation>,
+    ) -> GliderResult<()> {
+        let node = self
+            .nodes
+            .get_mut(&node_id)
+            .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+        if !node.blocks.iter().any(|b| b.loc.block_id == block_id) {
+            return Err(GliderError::not_found(format!(
+                "block {block_id} in node {node_id}"
+            )));
+        }
+        if backups.is_empty() {
+            node.backups.remove(&block_id);
+        } else {
+            node.backups.insert(block_id, backups);
+        }
+        Ok(())
+    }
+
+    /// Promotes a backup replica to primary after the primary's server
+    /// died: the extent at `old_block`'s chain position takes `new_loc`
+    /// while **keeping its committed length** — the backup holds every
+    /// acked byte, so unlike [`Namespace::replace_extent`] no data is
+    /// lost and nothing needs replaying. The promoted location is removed
+    /// from the backup set, which is re-keyed under the new primary id.
+    ///
+    /// Idempotent for WAL replay: if `old_block` is gone but `new_loc` is
+    /// already the primary at some position, the promotion has been
+    /// applied and the current extent is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] if the node is unknown or neither
+    /// the old nor the new block is in the chain.
+    pub fn promote_extent(
+        &mut self,
+        node_id: NodeId,
+        old_block: BlockId,
+        new_loc: BlockLocation,
+    ) -> GliderResult<BlockExtent> {
+        let node = self
+            .nodes
+            .get_mut(&node_id)
+            .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+        if let Some(extent) = node.blocks.iter_mut().find(|b| b.loc.block_id == old_block) {
+            extent.loc = new_loc.clone();
+            let mut remaining = node.backups.remove(&old_block).unwrap_or_default();
+            remaining.retain(|l| l.block_id != new_loc.block_id);
+            if !remaining.is_empty() {
+                node.backups.insert(new_loc.block_id, remaining);
+            }
+            return Ok(extent.clone());
+        }
+        // Replay path: the promotion may already be in effect.
+        if let Some(extent) = node
+            .blocks
+            .iter()
+            .find(|b| b.loc.block_id == new_loc.block_id)
+        {
+            return Ok(extent.clone());
+        }
+        Err(GliderError::not_found(format!(
+            "block {old_block} in node {node_id}"
+        )))
+    }
+
+    /// Recreates a node with an **explicit id** during WAL replay or
+    /// snapshot restore. Skips silently when the path already exists
+    /// (snapshot and log may overlap), and bumps the id allocator past
+    /// `id` so recovered ids are never reissued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] if the parent is missing — replay
+    /// applies records in log order, so parents always precede children.
+    pub fn restore_node(
+        &mut self,
+        path: NodePath,
+        id: NodeId,
+        kind: NodeKind,
+        storage_class: StorageClass,
+        action: Option<ActionSpec>,
+    ) -> GliderResult<()> {
+        self.next_id = self.next_id.max(id.0 + 1);
+        if path.is_root() || self.by_path.contains_key(&path) {
+            return Ok(());
+        }
+        let parent_path = path.parent().expect("non-root has a parent");
+        let parent_id = *self
+            .by_path
+            .get(&parent_path)
+            .ok_or_else(|| GliderError::not_found(format!("parent {parent_path}")))?;
+        let name = path.name().expect("non-root has a name").to_string();
+        self.nodes
+            .get_mut(&parent_id)
+            .expect("indexed node")
+            .children
+            .insert(name, id);
+        let node = Node {
+            id,
+            kind,
+            path: path.clone(),
+            storage_class,
+            blocks: Vec::new(),
+            backups: BTreeMap::new(),
+            action,
+            parent: Some(parent_id),
+            children: BTreeMap::new(),
+        };
+        self.nodes.insert(id, node);
+        self.by_path.insert(path, id);
+        Ok(())
+    }
+
+    /// Re-appends extents to a node's chain during recovery, preserving
+    /// their recorded lengths and skipping blocks already present (the
+    /// snapshot may already contain a prefix of the log).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::NotFound`] for unknown nodes.
+    pub fn restore_extents(
+        &mut self,
+        node_id: NodeId,
+        extents: Vec<BlockExtent>,
+    ) -> GliderResult<()> {
+        let node = self
+            .nodes
+            .get_mut(&node_id)
+            .ok_or_else(|| GliderError::not_found(format!("node {node_id}")))?;
+        for extent in extents {
+            if !node
+                .blocks
+                .iter()
+                .any(|b| b.loc.block_id == extent.loc.block_id)
+            {
+                node.blocks.push(extent);
+            }
+        }
+        Ok(())
+    }
+
+    /// Makes the id allocator skip past `next_id` (snapshot restore). The
+    /// allocator only ever moves forward, so this is safe to call with a
+    /// stale value.
+    pub fn observe_next_id(&mut self, next_id: u64) {
+        self.next_id = self.next_id.max(next_id);
+    }
+
+    /// The value the id allocator would hand out next (snapshot capture).
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Iterates over every node including the root, in no particular
+    /// order. Snapshots, `fsck`, and the dead-server sweep scan with this.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
     /// Deletes the node at `path` and its whole subtree.
     ///
     /// # Errors
@@ -404,6 +600,12 @@ impl Namespace {
                 actions.push(node.info());
             } else {
                 extents.extend(node.blocks.iter().cloned());
+                // Backup replicas are freed exactly like primaries; their
+                // used length is irrelevant to freeing, so report zero.
+                extents.extend(node.backups.values().flatten().map(|loc| BlockExtent {
+                    loc: loc.clone(),
+                    len: 0,
+                }));
             }
             if cur == id {
                 removed_root_info = Some(node.info());
@@ -701,6 +903,144 @@ mod tests {
             ErrorCode::NotFound
         );
         assert!(ns.replace_extent(NodeId(77), BlockId(1), loc(10)).is_err());
+    }
+
+    fn loc_on(b: u64, server: u64) -> BlockLocation {
+        BlockLocation {
+            block_id: BlockId(b),
+            server_id: glider_proto::types::ServerId(server),
+            addr: format!("srv-{server}"),
+        }
+    }
+
+    #[test]
+    fn backups_tracked_and_freed_on_delete() {
+        let mut ns = Namespace::new();
+        let f = ns.create(p("/f"), NodeKind::File, None, None).unwrap().id;
+        ns.add_extent(f, loc_on(1, 1)).unwrap();
+        ns.set_backups(f, BlockId(1), vec![loc_on(2, 2)]).unwrap();
+        let reps = ns.get(f).unwrap().replicas();
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].backups.len(), 1);
+        assert_eq!(reps[0].backups[0].block_id, BlockId(2));
+        // Unknown block / node: typed NotFound.
+        assert_eq!(
+            ns.set_backups(f, BlockId(9), vec![]).unwrap_err().code(),
+            ErrorCode::NotFound
+        );
+        assert!(ns.set_backups(NodeId(77), BlockId(1), vec![]).is_err());
+        // Deleting the node surfaces the backup for freeing too.
+        let out = ns.delete(&p("/f")).unwrap();
+        let freed: Vec<BlockId> = out.extents.iter().map(|e| e.loc.block_id).collect();
+        assert!(freed.contains(&BlockId(1)));
+        assert!(freed.contains(&BlockId(2)));
+    }
+
+    #[test]
+    fn set_backups_empty_clears_entry() {
+        let mut ns = Namespace::new();
+        let f = ns.create(p("/f"), NodeKind::File, None, None).unwrap().id;
+        ns.add_extent(f, loc_on(1, 1)).unwrap();
+        ns.set_backups(f, BlockId(1), vec![loc_on(2, 2)]).unwrap();
+        ns.set_backups(f, BlockId(1), vec![]).unwrap();
+        assert!(ns.get(f).unwrap().replicas()[0].backups.is_empty());
+    }
+
+    #[test]
+    fn promote_extent_keeps_committed_len() {
+        let mut ns = Namespace::new();
+        let f = ns.create(p("/f"), NodeKind::File, None, None).unwrap().id;
+        ns.add_extents(f, vec![loc_on(1, 1), loc_on(2, 1)]).unwrap();
+        ns.set_backups(f, BlockId(1), vec![loc_on(8, 2), loc_on(9, 3)])
+            .unwrap();
+        ns.commit_block(f, BlockId(1), 4096).unwrap();
+        // Server 1 dies; the backup on server 2 becomes primary.
+        let promoted = ns.promote_extent(f, BlockId(1), loc_on(8, 2)).unwrap();
+        assert_eq!(promoted.loc.block_id, BlockId(8));
+        assert_eq!(promoted.len, 4096, "promotion preserves acked bytes");
+        // The surviving backup is re-keyed under the new primary.
+        let reps = ns.get(f).unwrap().replicas();
+        assert_eq!(reps[0].extent.loc.block_id, BlockId(8));
+        assert_eq!(reps[0].backups, vec![loc_on(9, 3)]);
+        // Replaying the same promotion is a no-op returning the extent.
+        let again = ns.promote_extent(f, BlockId(1), loc_on(8, 2)).unwrap();
+        assert_eq!(again.len, 4096);
+        // A promotion naming blocks the chain never held is NotFound.
+        assert_eq!(
+            ns.promote_extent(f, BlockId(50), loc_on(51, 2))
+                .unwrap_err()
+                .code(),
+            ErrorCode::NotFound
+        );
+    }
+
+    #[test]
+    fn restore_primitives_are_idempotent() {
+        let mut ns = Namespace::new();
+        ns.restore_node(
+            p("/d"),
+            NodeId(7),
+            NodeKind::Directory,
+            StorageClass::dram(),
+            None,
+        )
+        .unwrap();
+        ns.restore_node(
+            p("/d/f"),
+            NodeId(9),
+            NodeKind::File,
+            StorageClass::dram(),
+            None,
+        )
+        .unwrap();
+        // Replaying the same record changes nothing.
+        ns.restore_node(
+            p("/d/f"),
+            NodeId(9),
+            NodeKind::File,
+            StorageClass::dram(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(ns.len(), 3);
+        assert_eq!(ns.lookup(&p("/d/f")).unwrap().id, NodeId(9));
+        // The allocator never reissues a recovered id.
+        let g = ns.create(p("/g"), NodeKind::File, None, None).unwrap().id;
+        assert!(g.0 > 9);
+        // Extent restore preserves lengths and skips duplicates.
+        let ext = BlockExtent {
+            loc: loc_on(1, 1),
+            len: 123,
+        };
+        ns.restore_extents(NodeId(9), vec![ext.clone()]).unwrap();
+        ns.restore_extents(NodeId(9), vec![ext]).unwrap();
+        let node = ns.get(NodeId(9)).unwrap();
+        assert_eq!(node.blocks.len(), 1);
+        assert_eq!(node.size(), 123);
+        // Missing parent is a typed error (cannot happen in log order).
+        assert!(ns
+            .restore_node(
+                p("/x/y"),
+                NodeId(20),
+                NodeKind::File,
+                StorageClass::dram(),
+                None
+            )
+            .is_err());
+        // observe_next_id only moves forward.
+        let before = ns.next_id();
+        ns.observe_next_id(before - 1);
+        assert_eq!(ns.next_id(), before);
+        ns.observe_next_id(1000);
+        assert_eq!(ns.next_id(), 1000);
+    }
+
+    #[test]
+    fn nodes_iterator_covers_tree() {
+        let mut ns = Namespace::new();
+        ns.create(p("/a"), NodeKind::File, None, None).unwrap();
+        ns.create(p("/b"), NodeKind::File, None, None).unwrap();
+        assert_eq!(ns.nodes().count(), 3);
     }
 
     #[test]

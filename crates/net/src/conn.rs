@@ -523,6 +523,17 @@ pub(crate) async fn dial_tcp(addr: &str) -> GliderResult<(FrameTx, FrameRx)> {
 /// attaching any registered fault configuration to the client-side
 /// halves: outbound faults on the tx half, inbound on the rx half.
 pub(crate) async fn dial_mem(addr: &str) -> GliderResult<(FrameTx, FrameRx)> {
+    let faults = crate::fault::lookup_faults(addr);
+    if faults
+        .as_deref()
+        .is_some_and(crate::fault::FaultConfig::is_crashed)
+    {
+        // The simulated process is dead (kill -9): refuse the dial like
+        // a connection-refused socket would, until a restart.
+        return Err(GliderError::unavailable(format!(
+            "mem endpoint {addr} crashed"
+        )));
+    }
     let accept_tx = {
         let reg = mem_registry().lock();
         reg.get(addr)
@@ -537,7 +548,6 @@ pub(crate) async fn dial_mem(addr: &str) -> GliderResult<(FrameTx, FrameRx)> {
             from_client: c2s_rx,
         })
         .map_err(|_| GliderError::closed(format!("mem endpoint {addr}")))?;
-    let faults = crate::fault::lookup_faults(addr);
     Ok((
         FrameTx {
             inner: TxInner::Mem { tx: c2s_tx },

@@ -36,6 +36,7 @@ pub struct FaultConfig {
     sends_seen: AtomicU64,
     severed: AtomicBool,
     blackhole: AtomicBool,
+    crashed: AtomicBool,
     sever_notify: Notify,
 }
 
@@ -78,15 +79,42 @@ impl FaultConfig {
         self.blackhole.store(on, Ordering::SeqCst);
     }
 
-    /// Clears sever and blackhole states; counters keep running.
+    /// Simulates `kill -9` of the process behind the endpoint: every
+    /// live connection fails with `Closed` immediately (like
+    /// [`FaultConfig::sever`]) *and* new dials are refused until
+    /// [`FaultConfig::restart`]. Unlike a sever, [`FaultConfig::heal`]
+    /// does not undo a crash — a dead process stays dead until it is
+    /// explicitly brought back.
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
+        self.sever();
+    }
+
+    /// Brings a crashed endpoint back: new dials succeed again. The
+    /// state the process lost stays lost — only what it persisted (WAL
+    /// segments, snapshot) and re-registers survives, which is exactly
+    /// what the durability tests assert.
+    pub fn restart(&self) {
+        self.crashed.store(false, Ordering::SeqCst);
+        self.heal();
+    }
+
+    /// Whether the endpoint is currently crashed (refusing dials).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Clears sever and blackhole states; counters keep running. Does
+    /// not clear a crash (see [`FaultConfig::restart`]).
     pub fn heal(&self) {
         self.severed.store(false, Ordering::SeqCst);
         self.blackhole.store(false, Ordering::SeqCst);
     }
 
-    /// Whether the endpoint is currently severed.
+    /// Whether the endpoint is currently severed. A crashed endpoint is
+    /// always severed: its connections cannot come back via `heal`.
     pub fn is_severed(&self) -> bool {
-        self.severed.load(Ordering::SeqCst)
+        self.severed.load(Ordering::SeqCst) || self.is_crashed()
     }
 
     /// Whether the endpoint currently swallows all frames.
@@ -192,6 +220,21 @@ mod tests {
         assert!(f.is_blackhole());
         f.heal();
         assert!(!f.is_blackhole());
+    }
+
+    #[test]
+    fn crash_survives_heal_until_restart() {
+        let f = FaultConfig::default();
+        f.crash();
+        assert!(f.is_crashed());
+        assert!(f.is_severed());
+        // heal() is not enough to bring a killed process back.
+        f.heal();
+        assert!(f.is_crashed());
+        assert!(f.is_severed());
+        f.restart();
+        assert!(!f.is_crashed());
+        assert!(!f.is_severed());
     }
 
     #[test]

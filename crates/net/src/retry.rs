@@ -42,14 +42,19 @@ pub fn op_class(body: &RequestBody) -> OpClass {
         | RequestBody::Stats
         | RequestBody::DumpSpans { .. }
         | RequestBody::MetricsSeries
+        | RequestBody::NodeReplicas { .. }
+        | RequestBody::RepairNode { .. }
         | RequestBody::Heartbeat { .. } => OpClass::Metadata,
         RequestBody::WriteBlock { .. }
         | RequestBody::ReadBlock { .. }
+        | RequestBody::ForwardChunk { .. }
+        | RequestBody::ReplicateBlock { .. }
         | RequestBody::FreeBlocks { .. } => OpClass::Data,
         RequestBody::ActionCreate { .. }
         | RequestBody::ActionDelete { .. }
         | RequestBody::StreamOpen { .. }
         | RequestBody::StreamChunk { .. }
+        | RequestBody::StreamChunkBatch { .. }
         | RequestBody::StreamFetch { .. }
         | RequestBody::StreamClose { .. } => OpClass::Action,
     }

@@ -777,6 +777,11 @@ fn op_kind(body: &RequestBody) -> Option<OpKind> {
         RequestBody::WriteBlock { .. } => OpKind::BlockWrite,
         RequestBody::ReadBlock { .. } => OpKind::BlockRead,
         RequestBody::FreeBlocks { .. } => OpKind::BlockFree,
+        // Replication writes are block writes with a forwarding hop; the
+        // repair/introspection pair ride the metadata classes they extend.
+        RequestBody::ForwardChunk { .. } | RequestBody::ReplicateBlock { .. } => OpKind::BlockWrite,
+        RequestBody::NodeReplicas { .. } => OpKind::MetaLookupNode,
+        RequestBody::RepairNode { .. } => OpKind::MetaAddBlock,
         RequestBody::ActionCreate { .. }
         | RequestBody::ActionDelete { .. }
         | RequestBody::StreamOpen { .. }

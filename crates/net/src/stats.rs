@@ -72,6 +72,9 @@ pub fn build_stats(snap: &MetricsSnapshot) -> StatsPayload {
             named("rpc-inflight-peak", snap.rpc_inflight_peak),
             named("streams-open-current", snap.streams_open_current),
             named("streams-open-peak", snap.streams_open_peak),
+            named("replication-lag", snap.replication_lag_current),
+            named("replication-lag-peak", snap.replication_lag_peak),
+            named("under-replicated-extents", snap.under_replicated),
         ],
         counters: vec![
             named("storage-accesses", snap.storage_accesses()),
@@ -86,6 +89,8 @@ pub fn build_stats(snap: &MetricsSnapshot) -> StatsPayload {
             named("pool-hits", snap.pool_hits),
             named("pool-misses", snap.pool_misses),
             named("streams-opened", snap.streams_opened),
+            named("wal-fsyncs", snap.wal_fsyncs),
+            named("wal-bytes", snap.wal_bytes),
         ],
     }
 }
@@ -575,6 +580,9 @@ mod tests {
         m.rpc_start();
         m.instance_started();
         m.record_mailbox_depth(3);
+        m.set_wal_stats(5, 2048);
+        m.replication_lag_enter(777);
+        m.set_under_replicated(2);
         build_stats(&m.snapshot())
     }
 
@@ -619,6 +627,11 @@ mod tests {
         assert_eq!(gauge("streams-open-peak"), 1);
         assert_eq!(gauge("actions-instances-current"), 1);
         assert_eq!(gauge("actions-instances-peak"), 1);
+        assert_eq!(counter("wal-fsyncs"), 5);
+        assert_eq!(counter("wal-bytes"), 2048);
+        assert_eq!(gauge("replication-lag"), 777);
+        assert_eq!(gauge("replication-lag-peak"), 777);
+        assert_eq!(gauge("under-replicated-extents"), 2);
         let depth = payload
             .ops
             .iter()

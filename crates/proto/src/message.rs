@@ -9,8 +9,8 @@ use crate::dump::{SeriesPayload, SpanDump};
 use crate::error::{ErrorCode, GliderError};
 use crate::stats::StatsPayload;
 use crate::types::{
-    ActionSpec, BlockExtent, BlockId, NodeId, NodeInfo, NodeKind, PeerTier, ServerId, ServerKind,
-    StorageClass, StreamDir, StreamId,
+    ActionSpec, BlockExtent, BlockId, BlockLocation, NodeId, NodeInfo, NodeKind, PeerTier,
+    ReplicaExtent, ServerId, ServerKind, StorageClass, StreamDir, StreamId,
 };
 use bytes::{Bytes, BytesMut};
 
@@ -239,6 +239,46 @@ pub enum RequestBody {
         /// Stream handle from `StreamOpen`.
         stream_id: StreamId,
     },
+    /// Writes `data` into the first block of `chain` at `offset`, then
+    /// chain-forwards the same payload to the rest of the chain before
+    /// acking (primary/backup replication, DESIGN.md §15). The client
+    /// sends this instead of [`RequestBody::WriteBlock`] when the extent
+    /// has backups; the ack therefore means *every* replica holds the
+    /// bytes.
+    ForwardChunk {
+        /// Byte offset within each replica block.
+        offset: u64,
+        /// Replica chain: `chain[0]` is this server's block, the rest
+        /// are downstream replicas in forwarding order.
+        chain: Vec<BlockLocation>,
+        /// Payload (bulk, travels out-of-band).
+        data: Bytes,
+    },
+    /// Copies the current contents of a locally-held block to a replica
+    /// on another server (re-replication after a server death; issued by
+    /// the metadata sweeper or `fsck --repair` to the surviving primary).
+    ReplicateBlock {
+        /// The source block on the receiving server.
+        src_block: BlockId,
+        /// Destination replica to create.
+        dst: BlockLocation,
+        /// Bytes to copy (the committed length of the extent).
+        len: u64,
+    },
+    /// Reports a node's replica layout: every extent of the node's chain
+    /// with its backup locations (answer: [`ResponseBody::ReplicatedBlocks`]).
+    /// Read-only; used by `glider-cli fsck`.
+    NodeReplicas {
+        /// The node to inspect.
+        node_id: NodeId,
+    },
+    /// Restores the configured replication factor for a node: allocates
+    /// replacement backups for under-replicated extents and schedules the
+    /// copies. Answers with the post-repair layout.
+    RepairNode {
+        /// The node to repair.
+        node_id: NodeId,
+    },
 }
 
 impl RequestBody {
@@ -269,6 +309,10 @@ impl RequestBody {
             RequestBody::StreamFetch { .. } => 27,
             RequestBody::StreamClose { .. } => 28,
             RequestBody::StreamChunkBatch { .. } => 29,
+            RequestBody::ForwardChunk { .. } => 30,
+            RequestBody::ReplicateBlock { .. } => 31,
+            RequestBody::NodeReplicas { .. } => 32,
+            RequestBody::RepairNode { .. } => 33,
         }
     }
 
@@ -300,6 +344,10 @@ impl RequestBody {
             RequestBody::StreamFetch { .. } => "stream-fetch",
             RequestBody::StreamClose { .. } => "stream-close",
             RequestBody::StreamChunkBatch { .. } => "stream-chunk-batch",
+            RequestBody::ForwardChunk { .. } => "forward-chunk",
+            RequestBody::ReplicateBlock { .. } => "replicate-block",
+            RequestBody::NodeReplicas { .. } => "node-replicas",
+            RequestBody::RepairNode { .. } => "repair-node",
         }
     }
 
@@ -310,6 +358,7 @@ impl RequestBody {
             RequestBody::WriteBlock { data, .. } => data.len() as u64,
             RequestBody::StreamChunk { data, .. } => data.len() as u64,
             RequestBody::StreamChunkBatch { data, .. } => data.len() as u64,
+            RequestBody::ForwardChunk { data, .. } => data.len() as u64,
             _ => 0,
         }
     }
@@ -324,6 +373,7 @@ impl RequestBody {
             RequestBody::WriteBlock { data, .. } => Some(data),
             RequestBody::StreamChunk { data, .. } => Some(data),
             RequestBody::StreamChunkBatch { data, .. } => Some(data),
+            RequestBody::ForwardChunk { data, .. } => Some(data),
             _ => None,
         }
     }
@@ -346,6 +396,7 @@ impl RequestBody {
             | RequestBody::MetricsSeries
             | RequestBody::Heartbeat { .. }
             | RequestBody::ReadBlock { .. }
+            | RequestBody::NodeReplicas { .. }
             | RequestBody::StreamFetch { .. } => true,
             // Mutations: a lost response leaves the caller unsure whether
             // the side effect (allocation, commit, chunk append, slot
@@ -365,6 +416,9 @@ impl RequestBody {
             | RequestBody::StreamOpen { .. }
             | RequestBody::StreamChunk { .. }
             | RequestBody::StreamChunkBatch { .. }
+            | RequestBody::ForwardChunk { .. }
+            | RequestBody::ReplicateBlock { .. }
+            | RequestBody::RepairNode { .. }
             | RequestBody::StreamClose { .. } => false,
         }
     }
@@ -496,6 +550,26 @@ impl Request {
                 max_len.encode(buf);
             }
             RequestBody::StreamClose { stream_id } => stream_id.encode(buf),
+            RequestBody::ForwardChunk {
+                offset,
+                chain,
+                data,
+            } => {
+                offset.encode(buf);
+                chain.encode(buf);
+                (data.len() as u32).encode(buf);
+            }
+            RequestBody::ReplicateBlock {
+                src_block,
+                dst,
+                len,
+            } => {
+                src_block.encode(buf);
+                dst.encode(buf);
+                len.encode(buf);
+            }
+            RequestBody::NodeReplicas { node_id } => node_id.encode(buf),
+            RequestBody::RepairNode { node_id } => node_id.encode(buf),
         }
     }
 }
@@ -609,6 +683,22 @@ impl Wire for Request {
                 count: u32::decode(buf)?,
                 data: Bytes::decode(buf)?,
             },
+            30 => RequestBody::ForwardChunk {
+                offset: u64::decode(buf)?,
+                chain: Vec::decode(buf)?,
+                data: Bytes::decode(buf)?,
+            },
+            31 => RequestBody::ReplicateBlock {
+                src_block: BlockId::decode(buf)?,
+                dst: BlockLocation::decode(buf)?,
+                len: u64::decode(buf)?,
+            },
+            32 => RequestBody::NodeReplicas {
+                node_id: NodeId::decode(buf)?,
+            },
+            33 => RequestBody::RepairNode {
+                node_id: NodeId::decode(buf)?,
+            },
             other => return Err(CodecError(format!("unknown request opcode {other}"))),
         };
         Ok(Request { id, trace_id, body })
@@ -695,6 +785,12 @@ pub enum ResponseBody {
     /// The server's sampled time series and exemplars (answer to
     /// [`RequestBody::MetricsSeries`]).
     Series(SeriesPayload),
+    /// Freshly allocated extents with their backup replicas, in chain
+    /// order. Answers `AddBlock`/`AddBlocks`/`ReplaceBlock` when the
+    /// cluster runs with replication factor > 1, and the replica
+    /// introspection/repair requests ([`RequestBody::NodeReplicas`],
+    /// [`RequestBody::RepairNode`]).
+    ReplicatedBlocks(Vec<ReplicaExtent>),
 }
 
 impl ResponseBody {
@@ -714,6 +810,7 @@ impl ResponseBody {
             ResponseBody::Blocks(_) => 11,
             ResponseBody::Spans(_) => 12,
             ResponseBody::Series(_) => 13,
+            ResponseBody::ReplicatedBlocks(_) => 14,
         }
     }
 
@@ -800,6 +897,7 @@ impl Response {
             ResponseBody::Blocks(extents) => extents.encode(buf),
             ResponseBody::Spans(dump) => dump.encode(buf),
             ResponseBody::Series(payload) => payload.encode(buf),
+            ResponseBody::ReplicatedBlocks(extents) => extents.encode(buf),
         }
     }
 }
@@ -849,6 +947,7 @@ impl Wire for Response {
             11 => ResponseBody::Blocks(Vec::decode(buf)?),
             12 => ResponseBody::Spans(SpanDump::decode(buf)?),
             13 => ResponseBody::Series(SeriesPayload::decode(buf)?),
+            14 => ResponseBody::ReplicatedBlocks(Vec::decode(buf)?),
             other => return Err(CodecError(format!("unknown response opcode {other}"))),
         };
         Ok(Response { id, body })
@@ -996,6 +1095,33 @@ mod tests {
             since_seq: 0,
         });
         round_trip_req(RequestBody::MetricsSeries);
+        round_trip_req(RequestBody::ForwardChunk {
+            offset: 4096,
+            chain: vec![
+                BlockLocation {
+                    block_id: BlockId(7),
+                    server_id: ServerId(1),
+                    addr: "mem://data-0".to_string(),
+                },
+                BlockLocation {
+                    block_id: BlockId(8),
+                    server_id: ServerId(2),
+                    addr: "mem://data-1".to_string(),
+                },
+            ],
+            data: Bytes::from_static(b"replicated"),
+        });
+        round_trip_req(RequestBody::ReplicateBlock {
+            src_block: BlockId(7),
+            dst: BlockLocation {
+                block_id: BlockId(9),
+                server_id: ServerId(3),
+                addr: "mem://data-2".to_string(),
+            },
+            len: 1024,
+        });
+        round_trip_req(RequestBody::NodeReplicas { node_id: NodeId(5) });
+        round_trip_req(RequestBody::RepairNode { node_id: NodeId(5) });
     }
 
     #[test]
@@ -1025,6 +1151,16 @@ mod tests {
         }
         .is_idempotent());
         assert!(!RequestBody::DeleteNode { path: "/a".into() }.is_idempotent());
+        // Replica introspection is a pure read; forwarding, copying, and
+        // repairing all mutate replica state.
+        assert!(RequestBody::NodeReplicas { node_id: NodeId(1) }.is_idempotent());
+        assert!(!RequestBody::ForwardChunk {
+            offset: 0,
+            chain: vec![],
+            data: Bytes::from_static(b"x"),
+        }
+        .is_idempotent());
+        assert!(!RequestBody::RepairNode { node_id: NodeId(1) }.is_idempotent());
     }
 
     #[test]
@@ -1052,6 +1188,15 @@ mod tests {
         round_trip_resp(ResponseBody::Block(extent()));
         round_trip_resp(ResponseBody::Blocks(vec![extent(), extent()]));
         round_trip_resp(ResponseBody::Blocks(vec![]));
+        round_trip_resp(ResponseBody::ReplicatedBlocks(vec![ReplicaExtent {
+            extent: extent(),
+            backups: vec![BlockLocation {
+                block_id: BlockId(11),
+                server_id: ServerId(4),
+                addr: "mem://data-3".to_string(),
+            }],
+        }]));
+        round_trip_resp(ResponseBody::ReplicatedBlocks(vec![]));
         round_trip_resp(ResponseBody::Registered {
             server_id: ServerId(3),
             first_block_id: BlockId(1000),
@@ -1242,5 +1387,43 @@ mod tests {
             .op_name(),
             "commit-blocks"
         );
+        assert_eq!(
+            RequestBody::ForwardChunk {
+                offset: 0,
+                chain: vec![],
+                data: Bytes::new()
+            }
+            .op_name(),
+            "forward-chunk"
+        );
+        assert_eq!(
+            RequestBody::RepairNode { node_id: NodeId(1) }.op_name(),
+            "repair-node"
+        );
+    }
+
+    #[test]
+    fn forward_chunk_payload_is_out_of_band() {
+        use bytes::BufMut;
+        let req = Request {
+            id: 3,
+            trace_id: 77,
+            body: RequestBody::ForwardChunk {
+                offset: 8,
+                chain: vec![BlockLocation {
+                    block_id: BlockId(1),
+                    server_id: ServerId(2),
+                    addr: "a".to_string(),
+                }],
+                data: Bytes::from_static(b"chained"),
+            },
+        };
+        assert_eq!(req.body.payload_len(), 7);
+        let mut header = BytesMut::new();
+        req.encode_header(&mut header);
+        header.put_slice(req.body.payload().unwrap());
+        let mut full = BytesMut::new();
+        req.encode(&mut full);
+        assert_eq!(header, full);
     }
 }

@@ -325,6 +325,35 @@ impl Wire for BlockExtent {
     }
 }
 
+/// A primary extent together with its backup replica locations.
+///
+/// Returned by block allocation when the cluster runs with a
+/// replication factor above one: `extent` is the primary the client
+/// streams to, `backups` are the replicas the primary chain-forwards
+/// each chunk to (DESIGN.md §15). `backups` is empty at factor 1,
+/// keeping the unreplicated path byte-compatible in spirit (it uses
+/// the plain `Blocks` response).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReplicaExtent {
+    /// The primary extent (what goes into the node's block chain).
+    pub extent: BlockExtent,
+    /// Backup replicas, in forwarding order.
+    pub backups: Vec<BlockLocation>,
+}
+
+impl Wire for ReplicaExtent {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.extent.encode(buf);
+        self.backups.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        Ok(ReplicaExtent {
+            extent: BlockExtent::decode(buf)?,
+            backups: Vec::decode(buf)?,
+        })
+    }
+}
+
 /// Parameters for instantiating an action object into an action node
 /// (paper §6.1: `create<T extends Action>(il)`).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -503,6 +532,21 @@ mod tests {
             type_name: "merge".to_string(),
             interleaved: true,
             params: String::new(),
+        });
+        round_trip(ReplicaExtent {
+            extent: BlockExtent {
+                loc: BlockLocation {
+                    block_id: BlockId(4),
+                    server_id: ServerId(2),
+                    addr: "mem://data-0".to_string(),
+                },
+                len: 64,
+            },
+            backups: vec![BlockLocation {
+                block_id: BlockId(5),
+                server_id: ServerId(3),
+                addr: "mem://data-1".to_string(),
+            }],
         });
         round_trip(NodeInfo {
             id: NodeId(9),

@@ -23,7 +23,7 @@ use glider_proto::message::{Request, RequestBody, Response, ResponseBody};
 use glider_proto::stats::{NamedValue, OpLatency, StatsPayload};
 use glider_proto::types::{
     ActionSpec, BlockExtent, BlockId, BlockLocation, NodeId, NodeInfo, NodeKind, PeerTier,
-    ServerId, ServerKind, StorageClass, StreamDir, StreamId,
+    ReplicaExtent, ServerId, ServerKind, StorageClass, StreamDir, StreamId,
 };
 
 fn to_hex(bytes: &[u8]) -> String {
@@ -281,6 +281,45 @@ golden!(
     })
 );
 golden!(req_metrics_series, req(RequestBody::MetricsSeries));
+golden!(
+    req_forward_chunk,
+    req(RequestBody::ForwardChunk {
+        offset: 1,
+        chain: vec![
+            BlockLocation {
+                block_id: BlockId(4),
+                server_id: ServerId(2),
+                addr: "a".to_string(),
+            },
+            BlockLocation {
+                block_id: BlockId(6),
+                server_id: ServerId(3),
+                addr: "b".to_string(),
+            },
+        ],
+        data: Bytes::from_static(b"hi"),
+    })
+);
+golden!(
+    req_replicate_block,
+    req(RequestBody::ReplicateBlock {
+        src_block: BlockId(4),
+        dst: BlockLocation {
+            block_id: BlockId(6),
+            server_id: ServerId(3),
+            addr: "b".to_string(),
+        },
+        len: 5,
+    })
+);
+golden!(
+    req_node_replicas,
+    req(RequestBody::NodeReplicas { node_id: NodeId(3) })
+);
+golden!(
+    req_repair_node,
+    req(RequestBody::RepairNode { node_id: NodeId(3) })
+);
 
 // ---- responses ----
 
@@ -363,6 +402,17 @@ golden!(
 golden!(
     resp_blocks,
     resp(ResponseBody::Blocks(vec![extent(), extent()]))
+);
+golden!(
+    resp_replicated_blocks,
+    resp(ResponseBody::ReplicatedBlocks(vec![ReplicaExtent {
+        extent: extent(),
+        backups: vec![BlockLocation {
+            block_id: BlockId(6),
+            server_id: ServerId(3),
+            addr: "b".to_string(),
+        }],
+    }]))
 );
 golden!(
     resp_spans,

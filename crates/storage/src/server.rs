@@ -8,6 +8,7 @@ use glider_net::rpc::{ConnCtx, RpcClient, RpcHandler, ServerHandle};
 use glider_proto::message::{RequestBody, ResponseBody};
 use glider_proto::types::{ServerId, ServerKind, StorageClass};
 use glider_proto::{ErrorCode, GliderError, GliderResult};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -118,6 +119,7 @@ impl StorageServer {
             store: Arc::clone(&store),
             tier,
             metrics: Arc::clone(&metrics),
+            peers: parking_lot::Mutex::new(HashMap::new()),
         });
         let handle = glider_net::rpc::serve(listener, handler, metrics, Tier::Storage);
         let heartbeat = tokio::spawn(heartbeat_loop(meta, server_id, config.heartbeat_interval));
@@ -174,6 +176,25 @@ struct DataHandler {
     store: Arc<BlockStore>,
     tier: TierModel,
     metrics: Arc<MetricsRegistry>,
+    /// Cached intra-storage connections to replica peers, keyed by
+    /// address. Chain-forwarding and re-replication reuse these instead
+    /// of dialing per chunk.
+    peers: parking_lot::Mutex<HashMap<String, RpcClient>>,
+}
+
+impl DataHandler {
+    /// A pooled intra-storage client to `addr`, dialing on first use.
+    /// The dial happens outside the cache lock; a concurrent first use
+    /// may dial twice and the loser's connection wins the cache slot,
+    /// which is harmless.
+    async fn peer(&self, addr: &str) -> GliderResult<RpcClient> {
+        if let Some(client) = self.peers.lock().get(addr).cloned() {
+            return Ok(client);
+        }
+        let client = RpcClient::connect_intra_storage(addr).await?;
+        self.peers.lock().insert(addr.to_string(), client.clone());
+        Ok(client)
+    }
 }
 
 impl RpcHandler for DataHandler {
@@ -217,6 +238,65 @@ impl RpcHandler for DataHandler {
                     if released > 0 {
                         self.metrics.storage_free(released);
                     }
+                    Ok(ResponseBody::Ok)
+                }
+                RequestBody::ForwardChunk {
+                    offset,
+                    chain,
+                    data,
+                } => {
+                    // Primary/backup chain write: persist locally, then
+                    // forward the remaining chain to the next replica and
+                    // ack only after it acks — so the client's ack means
+                    // every replica holds the bytes.
+                    let (head, rest) = match chain.split_first() {
+                        Some((h, r)) => (h.clone(), r.to_vec()),
+                        None => {
+                            return Err(GliderError::invalid("ForwardChunk with an empty chain"))
+                        }
+                    };
+                    let n = data.len() as u64;
+                    self.tier.charge_write(n).await;
+                    let grew = self.store.write(head.block_id, offset, data.clone())?;
+                    if grew > 0 {
+                        self.metrics.storage_alloc(grew);
+                    }
+                    if let Some(next) = rest.first().cloned() {
+                        self.metrics.replication_lag_enter(n);
+                        let downstream = async {
+                            let peer = self.peer(&next.addr).await?;
+                            peer.call(RequestBody::ForwardChunk {
+                                offset,
+                                chain: rest,
+                                data,
+                            })
+                            .await
+                        }
+                        .await;
+                        self.metrics.replication_lag_exit(n);
+                        downstream?;
+                    }
+                    Ok(ResponseBody::Written { n })
+                }
+                RequestBody::ReplicateBlock {
+                    src_block,
+                    dst,
+                    len,
+                } => {
+                    // Re-replication: push the committed bytes of a local
+                    // block into a freshly allocated backup elsewhere.
+                    if len == 0 {
+                        return Ok(ResponseBody::Ok);
+                    }
+                    self.tier.charge_read(len).await;
+                    let bytes = self.store.read(src_block, 0, len)?;
+                    let peer = self.peer(&dst.addr).await?;
+                    peer.call(RequestBody::WriteBlock {
+                        block_id: dst.block_id,
+                        offset: 0,
+                        data: bytes,
+                    })
+                    .await?;
                     Ok(ResponseBody::Ok)
                 }
                 other => Err(GliderError::new(
@@ -383,6 +463,124 @@ mod tests {
             .await
             .unwrap_err();
         assert_eq!(err.code(), ErrorCode::Unsupported);
+    }
+
+    async fn setup_pair() -> (MetadataServer, StorageServer, StorageServer, RpcClient) {
+        let metrics = MetricsRegistry::new();
+        let meta = MetadataServer::start("127.0.0.1:0", Arc::clone(&metrics))
+            .await
+            .unwrap();
+        let s1 = StorageServer::start(
+            StorageServerConfig::dram(meta.addr(), 8, 1024),
+            Arc::clone(&metrics),
+        )
+        .await
+        .unwrap();
+        let s2 = StorageServer::start(
+            StorageServerConfig::dram(meta.addr(), 8, 1024),
+            Arc::clone(&metrics),
+        )
+        .await
+        .unwrap();
+        let client = RpcClient::connect(s1.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        (meta, s1, s2, client)
+    }
+
+    fn loc_of(server: &StorageServer, block: u64) -> glider_proto::types::BlockLocation {
+        glider_proto::types::BlockLocation {
+            block_id: BlockId(block),
+            server_id: server.server_id(),
+            addr: server.addr().to_string(),
+        }
+    }
+
+    #[tokio::test]
+    async fn forward_chunk_replicates_across_chain() {
+        let (_meta, s1, s2, client) = setup_pair().await;
+        // First server owns blocks 1..=8, second 9..=16.
+        let chain = vec![loc_of(&s1, 1), loc_of(&s2, 9)];
+        let resp = client
+            .call(RequestBody::ForwardChunk {
+                offset: 0,
+                chain,
+                data: Bytes::from_static(b"replica"),
+            })
+            .await
+            .unwrap();
+        assert_eq!(resp, ResponseBody::Written { n: 7 });
+        // The ack means BOTH replicas hold the bytes.
+        assert_eq!(s1.used_bytes(), 7);
+        assert_eq!(s2.used_bytes(), 7);
+        let c2 = RpcClient::connect(s2.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        for (c, block) in [(&client, 1u64), (&c2, 9u64)] {
+            let resp = c
+                .call(RequestBody::ReadBlock {
+                    block_id: BlockId(block),
+                    offset: 0,
+                    len: 7,
+                })
+                .await
+                .unwrap();
+            assert!(matches!(resp, ResponseBody::Data { bytes, .. } if &bytes[..] == b"replica"));
+        }
+        // An empty chain is rejected.
+        let err = client
+            .call(RequestBody::ForwardChunk {
+                offset: 0,
+                chain: Vec::new(),
+                data: Bytes::new(),
+            })
+            .await
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidArgument);
+    }
+
+    #[tokio::test]
+    async fn replicate_block_copies_committed_bytes() {
+        let (_meta, _s1, s2, client) = setup_pair().await;
+        client
+            .call(RequestBody::WriteBlock {
+                block_id: BlockId(2),
+                offset: 0,
+                data: Bytes::from_static(b"payload"),
+            })
+            .await
+            .unwrap();
+        // Ask the holder to push its committed bytes into a backup block
+        // on the other server.
+        client
+            .call_ok(RequestBody::ReplicateBlock {
+                src_block: BlockId(2),
+                dst: loc_of(&s2, 10),
+                len: 7,
+            })
+            .await
+            .unwrap();
+        let c2 = RpcClient::connect(s2.addr(), PeerTier::Compute, None)
+            .await
+            .unwrap();
+        let resp = c2
+            .call(RequestBody::ReadBlock {
+                block_id: BlockId(10),
+                offset: 0,
+                len: 7,
+            })
+            .await
+            .unwrap();
+        assert!(matches!(resp, ResponseBody::Data { bytes, .. } if &bytes[..] == b"payload"));
+        // Zero-length replication is a no-op, not an error.
+        client
+            .call_ok(RequestBody::ReplicateBlock {
+                src_block: BlockId(2),
+                dst: loc_of(&s2, 11),
+                len: 0,
+            })
+            .await
+            .unwrap();
     }
 
     #[tokio::test]

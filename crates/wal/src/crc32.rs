@@ -1,0 +1,102 @@
+//! CRC32 (IEEE 802.3 polynomial, reflected) implemented in safe Rust.
+//!
+//! The workspace forbids `unsafe_code` and the WAL crate is deliberately
+//! dependency-free, so the checksum is a classic table-driven
+//! implementation with the table built in a `const fn`. The polynomial
+//! and bit order match zlib's `crc32()`, which pins the on-disk format
+//! to a well-known reference (check value: `crc32(b"123456789") ==
+//! 0xCBF4_3926`).
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0usize;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `data` in one shot.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finish()
+}
+
+/// Incremental CRC32, for callers that stream data in pieces
+/// (e.g. `fsck` checksumming a block extent chunk by chunk).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.state;
+        for &byte in data {
+            c = TABLE[((c ^ u32::from(byte)) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value_matches_zlib() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut crc = Crc32::new();
+            crc.update(&data[..split]);
+            crc.update(&data[split..]);
+            assert_eq!(crc.finish(), crc32(data));
+        }
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"glider");
+        let mut data = *b"glider";
+        data[2] ^= 0x01;
+        assert_ne!(crc32(&data), base);
+    }
+}

@@ -1,0 +1,980 @@
+//! `glider-wal`: a segmented, checksummed, group-committed write-ahead
+//! log with snapshot + compaction support.
+//!
+//! This crate is the bottom of Glider's durability plane (DESIGN.md
+//! §15). The metadata server appends one record per applied namespace /
+//! registry mutation and replays the log on restart; a periodic
+//! snapshot bounds replay time and lets fully-covered segments be
+//! deleted.
+//!
+//! # On-disk format
+//!
+//! A log directory contains numbered segment files plus at most one
+//! snapshot:
+//!
+//! ```text
+//! wal-000001.log
+//! wal-000002.log
+//! snapshot.bin
+//! ```
+//!
+//! Every segment starts with a 16-byte header:
+//!
+//! ```text
+//! magic "GWAL" (4) | version u16 LE | reserved u16 | first_lsn u64 LE
+//! ```
+//!
+//! followed by back-to-back records:
+//!
+//! ```text
+//! len u32 LE | crc32 u32 LE (over payload) | payload bytes
+//! ```
+//!
+//! Records are assigned monotonically increasing LSNs starting at 1;
+//! a segment's header pins the LSN of its first record, so replay can
+//! count forward without storing LSNs per record. The snapshot file is
+//! written via `snapshot.tmp` + rename (atomic on POSIX) and carries:
+//!
+//! ```text
+//! magic "GSNP" (4) | version u16 | reserved u16 | covered_lsn u64 |
+//! payload_len u32 | crc32 u32 | payload
+//! ```
+//!
+//! # Crash semantics
+//!
+//! Appends go to the tail of the newest segment only, so a crash can
+//! tear at most the final record(s) of the final segment. On open, the
+//! last segment is scanned and truncated at the first short or
+//! checksum-failing record (torn-tail truncation); the same anomaly in
+//! any *earlier* segment is real corruption and fails the open. A
+//! record is only reported durable once [`Wal::sync_to`] has returned
+//! for its LSN (under `FsyncPolicy::Always` every append syncs before
+//! returning).
+//!
+//! # Group commit
+//!
+//! Concurrent appenders write records under a short mutex and then
+//! race to `sync_to(lsn)`. The first caller through the sync mutex
+//! fsyncs the segment once and publishes the highest written LSN;
+//! everyone who queued behind it observes `synced_lsn >= lsn` and
+//! returns without issuing another fsync. Rotation fsyncs the outgoing
+//! segment (unless the policy is `Never`), preserving the invariant
+//! that only the current segment can hold unsynced bytes.
+
+mod crc32;
+
+pub use crc32::{crc32, Crc32};
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"GWAL";
+/// Magic bytes opening the snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"GSNP";
+/// On-disk format version stamped into segment and snapshot headers.
+pub const FORMAT_VERSION: u16 = 1;
+/// Size of the fixed segment header.
+pub const SEGMENT_HEADER_LEN: u64 = 16;
+/// Size of the per-record header (`len` + `crc`).
+pub const RECORD_HEADER_LEN: u64 = 8;
+/// Hard cap on a single record payload; a length field above this is
+/// treated as tail corruption rather than an allocation request.
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// When appended records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync before every append returns. Slowest, loses nothing.
+    Always,
+    /// fsync at most once per interval; a crash may lose the tail of
+    /// records appended since the last sync.
+    Interval(Duration),
+    /// Never fsync (tests / throwaway state only).
+    Never,
+}
+
+/// Configuration for [`Wal::open`].
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// Directory holding segments and the snapshot. Created if absent.
+    pub dir: PathBuf,
+    /// Flush policy; see [`FsyncPolicy`].
+    pub fsync: FsyncPolicy,
+    /// Rotate to a new segment once the current one exceeds this size.
+    pub segment_bytes: u64,
+}
+
+impl WalOptions {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 8 * 1024 * 1024,
+        }
+    }
+
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    pub fn with_segment_bytes(mut self, segment_bytes: u64) -> Self {
+        self.segment_bytes = segment_bytes.max(SEGMENT_HEADER_LEN + RECORD_HEADER_LEN);
+        self
+    }
+}
+
+/// Everything recovered by [`Wal::open`].
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Payload of the newest snapshot, if one exists.
+    pub snapshot: Option<Vec<u8>>,
+    /// LSN covered by the snapshot (0 when there is none).
+    pub snapshot_lsn: u64,
+    /// Record payloads with LSN `snapshot_lsn + 1 ..`, in order.
+    pub records: Vec<Vec<u8>>,
+    /// True when a torn tail was found and truncated away.
+    pub truncated: bool,
+}
+
+/// Counters exported into the metrics plane (`wal-fsyncs`,
+/// `wal-bytes` in Stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// fsync calls issued since open.
+    pub fsyncs: u64,
+    /// Bytes appended (record headers included) since open.
+    pub appended_bytes: u64,
+    /// Records appended since open.
+    pub records: u64,
+    /// Records past the newest snapshot (replay backlog).
+    pub since_snapshot: u64,
+}
+
+struct Inner {
+    file: File,
+    seg_index: u64,
+    seg_len: u64,
+    next_lsn: u64,
+}
+
+/// A segmented write-ahead log. Cheap to share behind an `Arc`; all
+/// methods take `&self`.
+pub struct Wal {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    segment_bytes: u64,
+    inner: Mutex<Inner>,
+    /// Serializes fsyncs (group commit) and snapshot installation.
+    sync: Mutex<()>,
+    synced_lsn: AtomicU64,
+    last_lsn: AtomicU64,
+    snapshot_lsn: AtomicU64,
+    fsyncs: AtomicU64,
+    appended_bytes: AtomicU64,
+    records: AtomicU64,
+    epoch: Instant,
+    last_sync_nanos: AtomicU64,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("fsync", &self.fsync)
+            .field("last_lsn", &self.last_lsn.load(Ordering::Relaxed))
+            .field("synced_lsn", &self.synced_lsn.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // The WAL holds no invariant that a panicking appender could have
+    // broken mid-update (records are staged in a local buffer and
+    // written with one write_all), so poisoning is recoverable.
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:06}.log"))
+}
+
+/// fsync the directory itself so created/renamed/deleted entries are
+/// durable (POSIX requires this separately from file data syncs).
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+        else {
+            continue;
+        };
+        let Ok(index) = stem.parse::<u64>() else {
+            continue;
+        };
+        segments.push((index, entry.path()));
+    }
+    segments.sort_unstable_by_key(|(index, _)| *index);
+    Ok(segments)
+}
+
+fn create_segment(dir: &Path, index: u64, first_lsn: u64) -> io::Result<File> {
+    let path = segment_path(dir, index);
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(&path)?;
+    let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+    header[0..4].copy_from_slice(&SEGMENT_MAGIC);
+    header[4..6].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header[8..16].copy_from_slice(&first_lsn.to_le_bytes());
+    file.write_all(&header)?;
+    sync_dir(dir)?;
+    Ok(file)
+}
+
+fn read_segment_first_lsn(path: &Path) -> io::Result<u64> {
+    let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+    File::open(path)?.read_exact(&mut header)?;
+    check_segment_header(&header, path)?;
+    Ok(u64::from_le_bytes([
+        header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+        header[15],
+    ]))
+}
+
+fn check_segment_header(header: &[u8], path: &Path) -> io::Result<()> {
+    if header[0..4] != SEGMENT_MAGIC {
+        return Err(invalid(format!("{}: bad segment magic", path.display())));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != FORMAT_VERSION {
+        return Err(invalid(format!(
+            "{}: unsupported segment version {version}",
+            path.display()
+        )));
+    }
+    Ok(())
+}
+
+struct SegScan {
+    first_lsn: u64,
+    records: Vec<Vec<u8>>,
+    /// Byte offset of the end of the last intact record.
+    good_len: u64,
+    torn: bool,
+}
+
+fn scan_segment(path: &Path, allow_torn: bool) -> io::Result<SegScan> {
+    let data = fs::read(path)?;
+    if data.len() < SEGMENT_HEADER_LEN as usize {
+        return Err(invalid(format!("{}: short segment header", path.display())));
+    }
+    check_segment_header(&data, path)?;
+    let first_lsn = u64::from_le_bytes([
+        data[8], data[9], data[10], data[11], data[12], data[13], data[14], data[15],
+    ]);
+    let mut records = Vec::new();
+    let mut off = SEGMENT_HEADER_LEN as usize;
+    let mut torn = false;
+    while off < data.len() {
+        if off + RECORD_HEADER_LEN as usize > data.len() {
+            torn = true;
+            break;
+        }
+        let len = u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]);
+        let crc = u32::from_le_bytes([data[off + 4], data[off + 5], data[off + 6], data[off + 7]]);
+        if len > MAX_RECORD_LEN {
+            torn = true;
+            break;
+        }
+        let start = off + RECORD_HEADER_LEN as usize;
+        let Some(end) = start.checked_add(len as usize) else {
+            torn = true;
+            break;
+        };
+        if end > data.len() {
+            torn = true;
+            break;
+        }
+        let payload = &data[start..end];
+        if crc32(payload) != crc {
+            torn = true;
+            break;
+        }
+        records.push(payload.to_vec());
+        off = end;
+    }
+    if torn && !allow_torn {
+        return Err(invalid(format!(
+            "{}: corrupt record at offset {off} in non-final segment",
+            path.display()
+        )));
+    }
+    Ok(SegScan {
+        first_lsn,
+        records,
+        good_len: off as u64,
+        torn,
+    })
+}
+
+fn read_snapshot(dir: &Path) -> io::Result<Option<(u64, Vec<u8>)>> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let data = match fs::read(&path) {
+        Ok(data) => data,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(err) => return Err(err),
+    };
+    if data.len() < 24 {
+        return Err(invalid(format!(
+            "{}: short snapshot header",
+            path.display()
+        )));
+    }
+    if data[0..4] != SNAPSHOT_MAGIC {
+        return Err(invalid(format!("{}: bad snapshot magic", path.display())));
+    }
+    let version = u16::from_le_bytes([data[4], data[5]]);
+    if version != FORMAT_VERSION {
+        return Err(invalid(format!(
+            "{}: unsupported snapshot version {version}",
+            path.display()
+        )));
+    }
+    let covered_lsn = u64::from_le_bytes([
+        data[8], data[9], data[10], data[11], data[12], data[13], data[14], data[15],
+    ]);
+    let payload_len = u32::from_le_bytes([data[16], data[17], data[18], data[19]]) as usize;
+    let crc = u32::from_le_bytes([data[20], data[21], data[22], data[23]]);
+    if data.len() != 24 + payload_len {
+        return Err(invalid(format!(
+            "{}: snapshot length mismatch",
+            path.display()
+        )));
+    }
+    let payload = &data[24..];
+    if crc32(payload) != crc {
+        return Err(invalid(format!(
+            "{}: snapshot checksum mismatch",
+            path.display()
+        )));
+    }
+    Ok(Some((covered_lsn, payload.to_vec())))
+}
+
+impl Wal {
+    /// Open (or create) the log at `options.dir`, replaying whatever
+    /// survived the last process. Returns the live handle plus the
+    /// recovered state.
+    pub fn open(options: WalOptions) -> io::Result<(Self, Replay)> {
+        fs::create_dir_all(&options.dir)?;
+        // A stale snapshot.tmp is a snapshot that never committed.
+        let _ = fs::remove_file(options.dir.join(SNAPSHOT_TMP));
+
+        let (snapshot_lsn, snapshot) = match read_snapshot(&options.dir)? {
+            Some((lsn, payload)) => (lsn, Some(payload)),
+            None => (0, None),
+        };
+
+        let mut segments = list_segments(&options.dir)?;
+        let mut truncated = false;
+        // A crash during segment creation can leave a trailing file
+        // shorter than its own header; it holds no records, drop it.
+        while let Some((_, path)) = segments.last() {
+            if fs::metadata(path)?.len() >= SEGMENT_HEADER_LEN {
+                break;
+            }
+            fs::remove_file(path)?;
+            truncated = true;
+            segments.pop();
+        }
+
+        let mut records = Vec::new();
+        let mut next_lsn = snapshot_lsn + 1;
+        let mut current: Option<(File, u64, u64)> = None;
+
+        let last_pos = segments.len().wrapping_sub(1);
+        for (pos, (index, path)) in segments.iter().enumerate() {
+            let is_last = pos == last_pos;
+            let scan = scan_segment(path, is_last)?;
+            if pos == 0 {
+                if scan.first_lsn > next_lsn {
+                    return Err(invalid(format!(
+                        "{}: log gap: first segment starts at lsn {} but snapshot covers {}",
+                        path.display(),
+                        scan.first_lsn,
+                        snapshot_lsn
+                    )));
+                }
+            } else if scan.first_lsn != next_lsn {
+                return Err(invalid(format!(
+                    "{}: log gap: segment starts at lsn {} but expected {}",
+                    path.display(),
+                    scan.first_lsn,
+                    next_lsn
+                )));
+            }
+            let mut lsn = scan.first_lsn;
+            for record in scan.records {
+                if lsn > snapshot_lsn {
+                    records.push(record);
+                }
+                lsn += 1;
+            }
+            if pos > 0 || lsn > next_lsn {
+                next_lsn = lsn;
+            }
+            if is_last {
+                if scan.torn {
+                    let file = OpenOptions::new().append(true).open(path)?;
+                    file.set_len(scan.good_len)?;
+                    file.sync_data()?;
+                    truncated = true;
+                }
+                let file = OpenOptions::new().append(true).open(path)?;
+                current = Some((file, *index, scan.good_len));
+            }
+        }
+
+        let (file, seg_index, seg_len) = match current {
+            Some(state) => state,
+            None => (
+                create_segment(&options.dir, 1, next_lsn)?,
+                1,
+                SEGMENT_HEADER_LEN,
+            ),
+        };
+
+        let wal = Self {
+            dir: options.dir,
+            fsync: options.fsync,
+            segment_bytes: options.segment_bytes,
+            inner: Mutex::new(Inner {
+                file,
+                seg_index,
+                seg_len,
+                next_lsn,
+            }),
+            sync: Mutex::new(()),
+            synced_lsn: AtomicU64::new(next_lsn - 1),
+            last_lsn: AtomicU64::new(next_lsn - 1),
+            snapshot_lsn: AtomicU64::new(snapshot_lsn),
+            fsyncs: AtomicU64::new(0),
+            appended_bytes: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+            epoch: Instant::now(),
+            last_sync_nanos: AtomicU64::new(0),
+        };
+        let replay = Replay {
+            snapshot,
+            snapshot_lsn,
+            records,
+            truncated,
+        };
+        Ok((wal, replay))
+    }
+
+    /// Append one record and flush it according to the fsync policy.
+    /// Returns the record's LSN; under `FsyncPolicy::Always` the
+    /// record is durable when this returns.
+    pub fn append(&self, payload: &[u8]) -> io::Result<u64> {
+        if payload.len() > MAX_RECORD_LEN as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("wal record of {} bytes exceeds cap", payload.len()),
+            ));
+        }
+        let record_len = RECORD_HEADER_LEN + payload.len() as u64;
+        let lsn = {
+            let mut inner = lock(&self.inner);
+            if inner.seg_len + record_len > self.segment_bytes && inner.seg_len > SEGMENT_HEADER_LEN
+            {
+                self.rotate(&mut inner)?;
+            }
+            let mut buf = Vec::with_capacity(record_len as usize);
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(payload).to_le_bytes());
+            buf.extend_from_slice(payload);
+            inner.file.write_all(&buf)?;
+            inner.seg_len += record_len;
+            let lsn = inner.next_lsn;
+            inner.next_lsn += 1;
+            self.last_lsn.store(lsn, Ordering::Release);
+            self.appended_bytes.fetch_add(record_len, Ordering::Relaxed);
+            self.records.fetch_add(1, Ordering::Relaxed);
+            lsn
+        };
+        match self.fsync {
+            FsyncPolicy::Always => self.sync_to(lsn)?,
+            FsyncPolicy::Interval(interval) => {
+                let now = self.elapsed_nanos();
+                let last = self.last_sync_nanos.load(Ordering::Relaxed);
+                if now.saturating_sub(last) >= interval.as_nanos() as u64 {
+                    self.sync_to(lsn)?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(lsn)
+    }
+
+    /// Block until the record at `lsn` (and everything before it) is
+    /// durable. Concurrent callers coalesce onto one fsync.
+    pub fn sync_to(&self, lsn: u64) -> io::Result<()> {
+        if self.synced_lsn.load(Ordering::Acquire) >= lsn {
+            return Ok(());
+        }
+        let _guard = lock(&self.sync);
+        if self.synced_lsn.load(Ordering::Acquire) >= lsn {
+            // Another appender synced past us while we queued.
+            return Ok(());
+        }
+        let (file, high) = {
+            let inner = lock(&self.inner);
+            (inner.file.try_clone()?, inner.next_lsn - 1)
+        };
+        file.sync_data()?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.last_sync_nanos
+            .store(self.elapsed_nanos(), Ordering::Relaxed);
+        self.synced_lsn.store(high, Ordering::Release);
+        Ok(())
+    }
+
+    /// Flush everything appended so far.
+    pub fn sync(&self) -> io::Result<()> {
+        let high = self.last_lsn.load(Ordering::Acquire);
+        if high == 0 {
+            return Ok(());
+        }
+        self.sync_to(high)
+    }
+
+    /// Must be called with `inner` held. Syncs the outgoing segment
+    /// (unless policy is `Never`) and starts the next one, keeping the
+    /// invariant that only the current segment can be unsynced.
+    fn rotate(&self, inner: &mut Inner) -> io::Result<()> {
+        if self.fsync != FsyncPolicy::Never {
+            inner.file.sync_data()?;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        let index = inner.seg_index + 1;
+        inner.file = create_segment(&self.dir, index, inner.next_lsn)?;
+        inner.seg_index = index;
+        inner.seg_len = SEGMENT_HEADER_LEN;
+        Ok(())
+    }
+
+    /// Atomically install a snapshot covering every record up to and
+    /// including `covered_lsn`, then delete segments whose records are
+    /// all covered. The caller serializes the *content* of the
+    /// snapshot against its own state; overlap between the snapshot
+    /// and records replayed after it is allowed, so restore paths must
+    /// be idempotent.
+    pub fn install_snapshot(&self, covered_lsn: u64, payload: &[u8]) -> io::Result<()> {
+        let _guard = lock(&self.sync);
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        let path = self.dir.join(SNAPSHOT_FILE);
+        let mut buf = Vec::with_capacity(24 + payload.len());
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&covered_lsn.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&buf)?;
+            file.sync_data()?;
+        }
+        fs::rename(&tmp, &path)?;
+        sync_dir(&self.dir)?;
+        self.snapshot_lsn.store(covered_lsn, Ordering::Release);
+        self.compact(covered_lsn)?;
+        Ok(())
+    }
+
+    /// Delete segments entirely covered by `covered_lsn`. The current
+    /// segment is always kept.
+    fn compact(&self, covered_lsn: u64) -> io::Result<()> {
+        let current_index = lock(&self.inner).seg_index;
+        let segments = list_segments(&self.dir)?;
+        let mut removed = false;
+        for (pos, (index, path)) in segments.iter().enumerate() {
+            if *index == current_index {
+                break;
+            }
+            // A segment is fully covered iff its successor starts at
+            // or below covered_lsn + 1 (successor first_lsn is this
+            // segment's last lsn + 1).
+            let covered = match segments.get(pos + 1) {
+                Some((_, next_path)) => read_segment_first_lsn(next_path)? <= covered_lsn + 1,
+                None => false,
+            };
+            if covered {
+                fs::remove_file(path)?;
+                removed = true;
+            } else {
+                break;
+            }
+        }
+        if removed {
+            sync_dir(&self.dir)?;
+        }
+        Ok(())
+    }
+
+    /// LSN of the most recently appended record (0 before any append).
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn.load(Ordering::Acquire)
+    }
+
+    /// Highest LSN known durable.
+    pub fn synced_lsn(&self) -> u64 {
+        self.synced_lsn.load(Ordering::Acquire)
+    }
+
+    /// LSN covered by the newest installed snapshot.
+    pub fn snapshot_lsn(&self) -> u64 {
+        self.snapshot_lsn.load(Ordering::Acquire)
+    }
+
+    pub fn stats(&self) -> WalStats {
+        let last = self.last_lsn.load(Ordering::Relaxed);
+        let snap = self.snapshot_lsn.load(Ordering::Relaxed);
+        WalStats {
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            appended_bytes: self.appended_bytes.load(Ordering::Relaxed),
+            records: self.records.load(Ordering::Relaxed),
+            since_snapshot: last.saturating_sub(snap),
+        }
+    }
+
+    fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("glider-wal-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn opts(dir: &Path) -> WalOptions {
+        WalOptions::new(dir).with_fsync(FsyncPolicy::Never)
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = test_dir("round-trip");
+        let payloads: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; usize::from(i) * 7 + 1]).collect();
+        {
+            let (wal, replay) = Wal::open(opts(&dir)).unwrap();
+            assert!(replay.records.is_empty());
+            assert!(replay.snapshot.is_none());
+            for (i, payload) in payloads.iter().enumerate() {
+                let lsn = wal.append(payload).unwrap();
+                assert_eq!(lsn, i as u64 + 1);
+            }
+            wal.sync().unwrap();
+        }
+        let (wal, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(replay.records, payloads);
+        assert!(!replay.truncated);
+        assert_eq!(wal.last_lsn(), payloads.len() as u64);
+    }
+
+    #[test]
+    fn empty_payload_records_are_valid() {
+        let dir = test_dir("empty-payload");
+        {
+            let (wal, _) = Wal::open(opts(&dir)).unwrap();
+            wal.append(b"").unwrap();
+            wal.append(b"x").unwrap();
+        }
+        let (_, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(replay.records, vec![Vec::new(), b"x".to_vec()]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_usable() {
+        let dir = test_dir("torn-tail");
+        {
+            let (wal, _) = Wal::open(opts(&dir)).unwrap();
+            for i in 0..5u8 {
+                wal.append(&[i; 32]).unwrap();
+            }
+        }
+        // Chop mid-way through the last record.
+        let path = segment_path(&dir, 1);
+        let len = fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 10).unwrap();
+        drop(file);
+
+        let (wal, replay) = Wal::open(opts(&dir)).unwrap();
+        assert!(replay.truncated);
+        assert_eq!(replay.records.len(), 4);
+        assert_eq!(replay.records[3], vec![3u8; 32]);
+        // The tail is writable again and replays cleanly.
+        let lsn = wal.append(&[9u8; 8]).unwrap();
+        assert_eq!(lsn, 5);
+        drop(wal);
+        let (_, replay) = Wal::open(opts(&dir)).unwrap();
+        assert!(!replay.truncated);
+        assert_eq!(replay.records.len(), 5);
+        assert_eq!(replay.records[4], vec![9u8; 8]);
+    }
+
+    #[test]
+    fn corrupt_crc_in_tail_drops_the_record() {
+        let dir = test_dir("bad-crc");
+        {
+            let (wal, _) = Wal::open(opts(&dir)).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+        }
+        let path = segment_path(&dir, 1);
+        let mut data = fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+
+        let (_, replay) = Wal::open(opts(&dir)).unwrap();
+        assert!(replay.truncated);
+        assert_eq!(replay.records, vec![b"first".to_vec()]);
+    }
+
+    #[test]
+    fn corruption_in_non_final_segment_is_fatal() {
+        let dir = test_dir("mid-corrupt");
+        {
+            let (wal, _) = Wal::open(opts(&dir).with_segment_bytes(64)).unwrap();
+            for i in 0..8u8 {
+                wal.append(&[i; 24]).unwrap();
+            }
+        }
+        assert!(list_segments(&dir).unwrap().len() >= 2);
+        let path = segment_path(&dir, 1);
+        let mut data = fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+        let err = Wal::open(opts(&dir)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rotation_spreads_records_across_segments() {
+        let dir = test_dir("rotate");
+        let payloads: Vec<Vec<u8>> = (0..30u8).map(|i| vec![i; 40]).collect();
+        {
+            let (wal, _) = Wal::open(opts(&dir).with_segment_bytes(128)).unwrap();
+            for payload in &payloads {
+                wal.append(payload).unwrap();
+            }
+        }
+        assert!(list_segments(&dir).unwrap().len() > 3);
+        let (_, replay) = Wal::open(opts(&dir).with_segment_bytes(128)).unwrap();
+        assert_eq!(replay.records, payloads);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_replay_resumes_past_it() {
+        let dir = test_dir("snapshot");
+        {
+            let (wal, _) = Wal::open(opts(&dir).with_segment_bytes(128)).unwrap();
+            for i in 0..20u8 {
+                wal.append(&[i; 40]).unwrap();
+            }
+            let cut = wal.last_lsn();
+            wal.install_snapshot(cut, b"state-at-20").unwrap();
+            for i in 20..25u8 {
+                wal.append(&[i; 4]).unwrap();
+            }
+            assert!(list_segments(&dir).unwrap().len() < 20);
+        }
+        let (wal, replay) = Wal::open(opts(&dir).with_segment_bytes(128)).unwrap();
+        assert_eq!(replay.snapshot.as_deref(), Some(&b"state-at-20"[..]));
+        assert_eq!(replay.snapshot_lsn, 20);
+        assert_eq!(
+            replay.records,
+            (20..25u8).map(|i| vec![i; 4]).collect::<Vec<_>>()
+        );
+        assert_eq!(wal.last_lsn(), 25);
+        assert_eq!(wal.snapshot_lsn(), 20);
+    }
+
+    #[test]
+    fn snapshot_mid_segment_skips_covered_prefix_on_replay() {
+        let dir = test_dir("snapshot-mid");
+        {
+            let (wal, _) = Wal::open(opts(&dir)).unwrap();
+            for i in 0..10u8 {
+                wal.append(&[i]).unwrap();
+            }
+            wal.install_snapshot(6, b"six").unwrap();
+        }
+        let (_, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(replay.snapshot_lsn, 6);
+        assert_eq!(
+            replay.records,
+            (6..10u8).map(|i| vec![i]).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn missing_middle_segment_is_a_gap_error() {
+        let dir = test_dir("gap");
+        {
+            let (wal, _) = Wal::open(opts(&dir).with_segment_bytes(64)).unwrap();
+            for i in 0..9u8 {
+                wal.append(&[i; 24]).unwrap();
+            }
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        fs::remove_file(&segments[1].1).unwrap();
+        let err = Wal::open(opts(&dir).with_segment_bytes(64)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn fsync_policy_always_syncs_every_append() {
+        let dir = test_dir("fsync-always");
+        let (wal, _) = Wal::open(WalOptions::new(&dir).with_fsync(FsyncPolicy::Always)).unwrap();
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        assert_eq!(wal.synced_lsn(), 2);
+        assert!(wal.stats().fsyncs >= 2);
+    }
+
+    #[test]
+    fn fsync_policy_never_never_syncs() {
+        let dir = test_dir("fsync-never");
+        let (wal, _) = Wal::open(opts(&dir)).unwrap();
+        wal.append(b"a").unwrap();
+        assert_eq!(wal.stats().fsyncs, 0);
+        assert_eq!(wal.synced_lsn(), 0);
+        // An explicit sync still works.
+        wal.sync().unwrap();
+        assert_eq!(wal.synced_lsn(), 1);
+    }
+
+    #[test]
+    fn sync_to_coalesces_once_synced() {
+        let dir = test_dir("coalesce");
+        let (wal, _) = Wal::open(opts(&dir)).unwrap();
+        let lsn1 = wal.append(b"a").unwrap();
+        let lsn2 = wal.append(b"b").unwrap();
+        wal.sync_to(lsn2).unwrap();
+        let before = wal.stats().fsyncs;
+        // Already covered by the earlier sync: no new fsync.
+        wal.sync_to(lsn1).unwrap();
+        wal.sync_to(lsn2).unwrap();
+        assert_eq!(wal.stats().fsyncs, before);
+    }
+
+    #[test]
+    fn oversized_records_are_rejected() {
+        let dir = test_dir("oversize");
+        let (wal, _) = Wal::open(opts(&dir)).unwrap();
+        let big = vec![0u8; MAX_RECORD_LEN as usize + 1];
+        let err = wal.append(&big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn stale_snapshot_tmp_is_cleaned_up() {
+        let dir = test_dir("stale-tmp");
+        fs::write(dir.join(SNAPSHOT_TMP), b"half-written").unwrap();
+        let (_, replay) = Wal::open(opts(&dir)).unwrap();
+        assert!(replay.snapshot.is_none());
+        assert!(!dir.join(SNAPSHOT_TMP).exists());
+    }
+
+    #[test]
+    fn short_trailing_segment_is_discarded() {
+        let dir = test_dir("short-trailing");
+        {
+            let (wal, _) = Wal::open(opts(&dir)).unwrap();
+            wal.append(b"alive").unwrap();
+        }
+        // Simulate a crash during segment creation: header half-written.
+        fs::write(segment_path(&dir, 2), b"GWAL").unwrap();
+        let (wal, replay) = Wal::open(opts(&dir)).unwrap();
+        assert!(replay.truncated);
+        assert_eq!(replay.records, vec![b"alive".to_vec()]);
+        assert_eq!(wal.append(b"next").unwrap(), 2);
+    }
+
+    #[test]
+    fn concurrent_appends_keep_all_records() {
+        let dir = test_dir("concurrent");
+        let (wal, _) = Wal::open(opts(&dir)).unwrap();
+        let wal = std::sync::Arc::new(wal);
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let wal = wal.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u8 {
+                    wal.append(&[t, i]).unwrap();
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        wal.sync().unwrap();
+        assert_eq!(wal.last_lsn(), 200);
+        drop(wal);
+        let (_, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(replay.records.len(), 200);
+        let mut counts = [0u32; 4];
+        for record in &replay.records {
+            counts[usize::from(record[0])] += 1;
+        }
+        assert_eq!(counts, [50; 4]);
+    }
+}

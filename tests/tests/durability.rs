@@ -1,0 +1,291 @@
+//! Durability acceptance (DESIGN.md §15): the namespace survives a
+//! metadata kill -9 by replaying the write-ahead log, and replicated
+//! blocks survive a storage kill -9 with zero acked-byte loss — the
+//! reader fails over to the surviving replica and the lease sweeper
+//! restores the replication factor.
+//!
+//! The kill is simulated at the transport layer: `Cluster::crash_*`
+//! severs every live mem-fabric connection, refuses new dials until
+//! restart, and aborts the server tasks, so no in-memory state survives
+//! — exactly what a process kill leaves behind. The big-cluster variants
+//! are gated behind GLIDER_CHAOS=1; the small ungated test keeps the
+//! recovery path exercised in every tier-1 run.
+
+use bytes::Bytes;
+use glider_core::{ByteSize, Cluster, ClusterConfig, StoreClient};
+use std::time::{Duration, Instant};
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i.wrapping_mul(31) % 251) as u8).collect()
+}
+
+/// A unique scratch directory for this test's WAL segments.
+fn temp_wal_dir(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    std::env::temp_dir().join(format!(
+        "glider-durability-{tag}-{}-{nanos}",
+        std::process::id()
+    ))
+}
+
+/// Poll the cluster metrics until at least one server is reported dead.
+async fn await_dead(cluster: &Cluster, deadline: Duration) {
+    let start = Instant::now();
+    loop {
+        if cluster.metrics().snapshot().servers_dead >= 1 {
+            return;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "no server reported dead within {deadline:?}"
+        );
+        tokio::time::sleep(Duration::from_millis(20)).await;
+    }
+}
+
+/// Background writer: creates and fully commits small files until the
+/// metadata server dies under it, returning the paths whose commit was
+/// acked. Every returned path MUST survive recovery.
+async fn write_until_error(store: StoreClient, prefix: &str, file_len: usize) -> Vec<String> {
+    let mut acked = Vec::new();
+    for j in 0..10_000 {
+        let path = format!("{prefix}-{j}");
+        let file = match store.create_file(&path).await {
+            Ok(f) => f,
+            Err(_) => break,
+        };
+        match file.write_all(Bytes::from(pattern(file_len))).await {
+            Ok(_) => acked.push(path),
+            Err(_) => break,
+        }
+    }
+    acked
+}
+
+/// After recovery, every pre-crash file and every acked mid-crash file
+/// must be present with its exact committed bytes.
+async fn assert_files_intact(store: &StoreClient, paths: &[String], file_len: usize) {
+    let want = pattern(file_len);
+    for path in paths {
+        let info = store
+            .lookup(path)
+            .await
+            .unwrap_or_else(|e| panic!("acked file {path} lost after recovery: {e}"));
+        assert_eq!(info.size, file_len as u64, "size of {path} after recovery");
+        let back = read_all_file(store, path).await;
+        assert_eq!(back, want, "content of {path} after recovery");
+    }
+}
+
+/// Re-resolves `path` and reads the whole file back.
+async fn read_all_file(store: &StoreClient, path: &str) -> Vec<u8> {
+    let file = store
+        .lookup_file(path)
+        .await
+        .unwrap_or_else(|e| panic!("lookup_file {path}: {e}"));
+    file.read_all()
+        .await
+        .unwrap_or_else(|e| panic!("read_all {path}: {e}"))
+}
+
+/// Kill -9 the metadata server while a writer is mid-commit: every file
+/// whose commit was acked before the kill replays from the WAL, nothing
+/// acked is lost, and storage-resident bytes read back intact.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn metadata_kill_mid_commit_loses_no_acked_files() {
+    let dir = temp_wal_dir("meta-small");
+    let mut cluster = Cluster::start(
+        ClusterConfig::default()
+            .with_block_size(ByteSize::kib(64))
+            .with_data(2, 128)
+            .with_mem_fabric(true)
+            .with_wal(&dir),
+    )
+    .await
+    .unwrap();
+    let store = cluster.client().await.unwrap();
+
+    // Phase 1: fully acked before the kill — these MUST survive.
+    let file_len = 20_000;
+    let pre: Vec<String> = (0..4).map(|i| format!("/pre-{i}")).collect();
+    for path in &pre {
+        let file = store.create_file(path).await.unwrap();
+        file.write_all(Bytes::from(pattern(file_len)))
+            .await
+            .unwrap();
+    }
+    assert!(
+        cluster.metrics().snapshot().wal_bytes > 0,
+        "mutations were not logged to the WAL"
+    );
+
+    // Phase 2: kill the metadata server while commits are in flight.
+    let writer = tokio::spawn(write_until_error(store.clone(), "/live", 10_000));
+    tokio::time::sleep(Duration::from_millis(25)).await;
+    cluster.crash_meta();
+    let acked = tokio::time::timeout(Duration::from_secs(60), writer)
+        .await
+        .expect("background writer did not observe the crash within 60s")
+        .unwrap();
+
+    // A dead metadata server is dead: new clients cannot connect.
+    assert!(
+        cluster.client().await.is_err(),
+        "connected to a crashed metadata server"
+    );
+
+    // Phase 3: restart on the same WAL directory and verify.
+    cluster.restart_meta().await.unwrap();
+    let store = cluster.client().await.unwrap();
+    assert_files_intact(&store, &pre, file_len).await;
+    assert_files_intact(&store, &acked, 10_000).await;
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The issue's first acceptance scenario at scale, gated behind
+/// GLIDER_CHAOS=1: kill -9 the metadata server under sustained commit
+/// traffic with megabyte files already durable; the namespace replays
+/// from the WAL with zero acked loss.
+#[tokio::test(flavor = "multi_thread", worker_threads = 8)]
+async fn chaos_kill_meta_mid_commit_namespace_replays_from_wal() {
+    if std::env::var("GLIDER_CHAOS").as_deref() != Ok("1") {
+        eprintln!("skipping chaos test; set GLIDER_CHAOS=1 to run");
+        return;
+    }
+    let dir = temp_wal_dir("meta-chaos");
+    let mut cluster = Cluster::start(
+        ClusterConfig::default()
+            .with_block_size(ByteSize::kib(256))
+            .with_data(3, 256)
+            .with_mem_fabric(true)
+            .with_wal(&dir),
+    )
+    .await
+    .unwrap();
+    let store = cluster.client().await.unwrap();
+
+    let file_len = 1024 * 1024;
+    let pre: Vec<String> = (0..8).map(|i| format!("/bulk-{i}")).collect();
+    for path in &pre {
+        let file = store.create_file(path).await.unwrap();
+        file.write_all(Bytes::from(pattern(file_len)))
+            .await
+            .unwrap();
+    }
+
+    // Two concurrent writers raise the odds the kill lands mid-commit.
+    let w1 = tokio::spawn(write_until_error(store.clone(), "/live-a", 64 * 1024));
+    let w2 = tokio::spawn(write_until_error(store.clone(), "/live-b", 64 * 1024));
+    tokio::time::sleep(Duration::from_millis(100)).await;
+    cluster.crash_meta();
+    let mut acked = tokio::time::timeout(Duration::from_secs(60), w1)
+        .await
+        .expect("writer a stuck after crash")
+        .unwrap();
+    acked.extend(
+        tokio::time::timeout(Duration::from_secs(60), w2)
+            .await
+            .expect("writer b stuck after crash")
+            .unwrap(),
+    );
+
+    cluster.restart_meta().await.unwrap();
+    let store = cluster.client().await.unwrap();
+    assert_files_intact(&store, &pre, file_len).await;
+    assert_files_intact(&store, &acked, 64 * 1024).await;
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The issue's second acceptance scenario, gated behind GLIDER_CHAOS=1:
+/// one of three storage servers is killed midway through a 64 MiB
+/// replicated stream (factor 2). The stream still acks every byte, the
+/// sweeper promotes surviving replicas and restores the factor, and the
+/// full 64 MiB reads back intact from the survivors.
+#[tokio::test(flavor = "multi_thread", worker_threads = 8)]
+async fn chaos_kill_storage_mid_64mib_replicated_write() {
+    if std::env::var("GLIDER_CHAOS").as_deref() != Ok("1") {
+        eprintln!("skipping chaos test; set GLIDER_CHAOS=1 to run");
+        return;
+    }
+    let lease = Duration::from_millis(500);
+    let cluster = Cluster::start(
+        ClusterConfig::default()
+            .with_block_size(ByteSize::mib(1))
+            .with_data(3, 96)
+            .with_replication(2)
+            .with_mem_fabric(true)
+            .with_lease(lease),
+    )
+    .await
+    .unwrap();
+    let store = cluster.client().await.unwrap();
+
+    let total = 64 * 1024 * 1024;
+    let data = Bytes::from(pattern(total));
+    let file = store.create_file("/r64").await.unwrap();
+    let mut out = file.output_stream().await.unwrap();
+
+    out.write(data.slice(0..256 * 1024)).await.unwrap();
+    let dead_addr = cluster.crash_data(0);
+
+    let mut off = 256 * 1024;
+    while off < total {
+        let end = (off + 1024 * 1024).min(total);
+        out.write(data.slice(off..end)).await.unwrap();
+        off = end;
+    }
+    // Zero acked-byte loss: the close acks the full 64 MiB even though a
+    // replica holder died mid-stream.
+    assert_eq!(out.close().await.unwrap(), total as u64);
+
+    await_dead(&cluster, Duration::from_secs(30)).await;
+
+    // The sweeper must migrate every replica off the dead server and
+    // restore the factor: each committed extent keeps a live primary and
+    // regains at least one live backup.
+    let repair_deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let layout = store.node_replicas("/r64").await.unwrap();
+        let healed = layout.iter().filter(|re| re.extent.len > 0).all(|re| {
+            re.extent.loc.addr != dead_addr
+                && !re.backups.is_empty()
+                && re.backups.iter().all(|b| b.addr != dead_addr)
+        });
+        if healed {
+            break;
+        }
+        assert!(
+            Instant::now() < repair_deadline,
+            "sweeper did not restore the replication factor within 60s"
+        );
+        tokio::time::sleep(Duration::from_millis(100)).await;
+    }
+
+    // The repair drains the under-replication gauge back to zero.
+    let gauge_deadline = Instant::now() + Duration::from_secs(30);
+    while cluster.metrics().snapshot().under_replicated > 0 {
+        assert!(
+            Instant::now() < gauge_deadline,
+            "under-replicated gauge never drained after repair"
+        );
+        tokio::time::sleep(Duration::from_millis(100)).await;
+    }
+
+    // Reads come from the surviving replicas, bit-exact. A fresh client
+    // with the lookup cache disabled cannot be rescued by stale state.
+    let reader = StoreClient::connect(cluster.client_config().with_lookup_cache_ttl(None))
+        .await
+        .unwrap();
+    let back = reader.read_all_file("/r64").await;
+    assert_eq!(back.len(), total);
+    assert_eq!(back, data, "read-back differs after replicated failover");
+
+    cluster.shutdown();
+}

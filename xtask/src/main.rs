@@ -147,7 +147,7 @@ fn rs_files(root: &Path, rel_dir: &str) -> Vec<String> {
 // ---- pass wiring ----
 
 /// Enum-classification functions that must stay variant-exhaustive.
-const EXHAUSTIVE_RULES: [exhaustive::Rule<'static>; 3] = [
+const EXHAUSTIVE_RULES: [exhaustive::Rule<'static>; 4] = [
     exhaustive::Rule {
         enum_name: "RequestBody",
         enum_file: "crates/proto/src/message.rs",
@@ -165,6 +165,14 @@ const EXHAUSTIVE_RULES: [exhaustive::Rule<'static>; 3] = [
         enum_file: "crates/proto/src/error.rs",
         fn_name: "is_retryable",
         fn_file: "crates/proto/src/error.rs",
+    },
+    // Durability: every mutation opcode must be WAL-logged or explicitly
+    // waived, so a new opcode cannot silently skip the log.
+    exhaustive::Rule {
+        enum_name: "RequestBody",
+        enum_file: "crates/proto/src/message.rs",
+        fn_name: "wal_class",
+        fn_file: "crates/metadata/src/wal.rs",
     },
 ];
 
