@@ -50,8 +50,10 @@ pub fn report(metric: &str, baseline: Option<f64>, current: f64, tolerance: f64)
     match verdict(baseline, current, tolerance) {
         Verdict::Bootstrap => {
             println!(
-                "bench-gate: {metric} = {current:.3} — no committed baseline yet, \
-                 passing (bootstrap); commit a full-sweep JSON to arm the gate"
+                "bench-gate: {metric} = {current:.3} — gate disarmed: the committed \
+                 BENCH_*.json has no finite, positive `{metric}` value. The gate arms \
+                 as soon as a full (non-smoke) sweep run commits one; from then on a \
+                 drop of more than GLIDER_BENCH_TOLERANCE (default 0.15) fails CI"
             );
             true
         }

@@ -219,6 +219,7 @@ impl ActionWriter {
     /// # Errors
     ///
     /// Propagates transport errors and action-side stream closure.
+    // glider: hot-path (per-record action stream: chunking + batched records)
     pub async fn write(&mut self, mut data: Bytes) -> GliderResult<()> {
         // Flush buffered records first so the two paths stay in order.
         self.flush_records().await?;
@@ -231,7 +232,7 @@ impl ActionWriter {
             self.total += n as u64;
             let stream = Arc::clone(&self.stream);
             let stream_id = self.stream_id;
-            self.pending.push_back(Box::pin(async move {
+            self.pending.push_back(Box::pin(async move { // glider: alloc-ok (one pinned future per windowed in-flight chunk)
                 expect_ok(
                     stream
                         .call(RequestBody::StreamChunk {
@@ -302,14 +303,14 @@ impl ActionWriter {
         let stream = Arc::clone(&self.stream);
         let pool = Arc::clone(&self.pool);
         let stream_id = self.stream_id;
-        self.pending.push_back(Box::pin(async move {
+        self.pending.push_back(Box::pin(async move { // glider: alloc-ok (one pinned future per windowed in-flight batch)
             expect_ok(
                 stream
                     .call(RequestBody::StreamChunkBatch {
                         stream_id,
                         seq,
                         count,
-                        data: data.clone(),
+                        data: data.clone(), // glider: alloc-ok (Bytes refcount bump; sole handle recycled after the ack)
                     })
                     .await?,
             )?;
@@ -320,14 +321,15 @@ impl ActionWriter {
         }));
         self.reap_window().await
     }
+    // glider: end-hot-path
 
     async fn reap_window(&mut self) -> GliderResult<()> {
         let window = self.store.config().window;
         while self.pending.len() >= window {
-            self.pending
-                .next()
-                .await
-                .expect("pending non-empty by loop guard")?;
+            match self.pending.next().await {
+                Some(ack) => ack?,
+                None => break,
+            }
         }
         Ok(())
     }

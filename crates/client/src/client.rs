@@ -174,7 +174,12 @@ impl StoreClient {
         );
         let subtree = matches!(body, RequestBody::DeleteNode { .. });
         let idx = partition_of(path, self.inner.metas.len());
-        let resp = self.inner.metas[idx].call(body).await;
+        let Some(meta) = self.inner.metas.get(idx) else {
+            return Err(GliderError::protocol(format!(
+                "metadata partition {idx} out of range"
+            )));
+        };
+        let resp = meta.call(body).await;
         if invalidates {
             // Invalidate on *every* outcome, success or error: a failed
             // RPC may still have mutated server state (e.g. an ack lost

@@ -272,11 +272,9 @@ impl FileWriter {
 
     async fn reap_to(&mut self, max_pending: usize) -> GliderResult<()> {
         while self.pending.len() > max_pending {
-            let (tag, res) = self
-                .pending
-                .next()
-                .await
-                .expect("pending non-empty by loop guard");
+            let Some((tag, res)) = self.pending.next().await else {
+                break;
+            };
             match (tag, res) {
                 (Some(block_id), Ok(())) => self.write_ok(block_id),
                 (Some(block_id), Err(e)) if e.is_retryable() => {
@@ -300,8 +298,9 @@ impl FileWriter {
         state.outstanding -= 1;
         if state.outstanding == 0 {
             if let Some(len) = state.sealed {
-                let state = self.blocks.remove(&block_id).expect("present above");
-                self.queue_commit(&state.extent, len);
+                if let Some(state) = self.blocks.remove(&block_id) {
+                    self.queue_commit(&state.extent, len);
+                }
             }
         }
     }
@@ -309,17 +308,25 @@ impl FileWriter {
     /// Retires the writer's current block: commit immediately if all its
     /// writes are acknowledged, otherwise leave a sealed marker for
     /// [`FileWriter::write_ok`].
-    fn seal(&mut self, cur: CurrentBlock) {
-        let state = self
+    fn seal(&mut self, cur: CurrentBlock) -> GliderResult<()> {
+        let outstanding = self
             .blocks
-            .get_mut(&cur.block_id)
-            .expect("current block is tracked");
-        if state.outstanding == 0 {
-            let state = self.blocks.remove(&cur.block_id).expect("checked above");
-            self.queue_commit(&state.extent, cur.written);
-        } else {
+            .get(&cur.block_id)
+            .map(|s| s.outstanding)
+            .ok_or_else(|| {
+                GliderError::protocol(format!(
+                    "sealed block {} is not tracked by this writer",
+                    cur.block_id
+                ))
+            })?;
+        if outstanding == 0 {
+            if let Some(state) = self.blocks.remove(&cur.block_id) {
+                self.queue_commit(&state.extent, cur.written);
+            }
+        } else if let Some(state) = self.blocks.get_mut(&cur.block_id) {
             state.sealed = Some(cur.written);
         }
+        Ok(())
     }
 
     /// Handles a transport-failed write: drains the whole window so every
@@ -383,7 +390,9 @@ impl FileWriter {
                 )))
             }
         };
-        let mut state = self.blocks.remove(&old).expect("failed block is tracked");
+        let mut state = self.blocks.remove(&old).ok_or_else(|| {
+            GliderError::protocol(format!("recovering block {old} is not tracked"))
+        })?;
         // Prefetched-but-unwritten extents on the dead server would fail
         // the same way; drop them. They stay in the chain as zero-length
         // extents, exactly like unused prefetches at close.
@@ -496,10 +505,9 @@ impl FileWriter {
     }
 
     async fn await_alloc(&mut self) -> GliderResult<Vec<ReplicaExtent>> {
-        let handle = self
-            .alloc
-            .take()
-            .expect("caller checked alloc is in flight");
+        let Some(handle) = self.alloc.take() else {
+            return Err(GliderError::protocol("no allocation batch in flight"));
+        };
         handle
             .await
             .map_err(|e| GliderError::protocol(format!("allocation task failed: {e}")))?
@@ -533,7 +541,7 @@ impl FileWriter {
 
     async fn rotate(&mut self) -> GliderResult<()> {
         if let Some(cur) = self.cur.take() {
-            self.seal(cur);
+            self.seal(cur)?;
         }
         let replica = if self.store.config().prefetch_blocks == 0 {
             self.alloc_one().await?
@@ -556,10 +564,12 @@ impl FileWriter {
                     let batch = self.await_alloc().await?;
                     self.ready.extend(batch);
                 }
-                let replica = self
-                    .ready
-                    .pop_front()
-                    .expect("successful AddBlocks returns at least one extent");
+                let Some(replica) = self.ready.pop_front() else {
+                    return Err(GliderError::unavailable(format!(
+                        "AddBlocks for node {} returned no extents; allocation",
+                        self.node_id
+                    )));
+                };
                 // Refill in the background while this block streams so
                 // the next rotation pops without waiting.
                 if self.ready.is_empty() {
@@ -607,6 +617,7 @@ impl FileWriter {
     /// Transport failures (a dying storage server) are healed in place by
     /// replacing the extent and replaying the block, up to a per-stream
     /// recovery budget.
+    // glider: hot-path (per-chunk file write: split, pipeline, reap)
     pub async fn write(&mut self, mut data: Bytes) -> GliderResult<()> {
         let block_size = self.store.config().block_size.as_u64();
         let chunk_size = self.store.config().chunk_size.as_u64();
@@ -619,22 +630,27 @@ impl FileWriter {
             if need_rotate {
                 self.rotate().await?;
             }
-            let (block_id, offset) = {
-                let cur = self.cur.as_ref().expect("rotated above");
-                (cur.block_id, cur.written)
+            let (block_id, offset) = match &self.cur {
+                Some(cur) => (cur.block_id, cur.written),
+                None => {
+                    return Err(GliderError::protocol(
+                        "writer lost its current block after rotation",
+                    ))
+                }
             };
             let n = (data.len() as u64).min(block_size - offset).min(chunk_size);
             let piece = data.split_to(n as usize);
-            let state = self
-                .blocks
-                .get_mut(&block_id)
-                .expect("current block is tracked");
-            state.pieces.push((offset, piece.clone()));
+            let Some(state) = self.blocks.get_mut(&block_id) else {
+                return Err(GliderError::protocol(format!( // glider: alloc-ok (invariant-violation error path, never reached per op)
+                    "current block {block_id} is not tracked"
+                )));
+            };
+            state.pieces.push((offset, piece.clone())); // glider: alloc-ok (Bytes refcount bump; piece retained for replay)
             state.outstanding += 1;
             let conn_addr = Arc::clone(&state.addr);
-            let chain = state.chain.clone();
-            let store = self.store.clone();
-            self.pending.push_back(Box::pin(async move {
+            let chain = state.chain.clone(); // glider: alloc-ok (short replica chain copied per chunk, bounded by replication factor)
+            let store = self.store.clone(); // glider: alloc-ok (Arc refcount bump on the store handle)
+            self.pending.push_back(Box::pin(async move { // glider: alloc-ok (one pinned future per windowed in-flight chunk)
                 let res = write_piece(store, conn_addr, block_id, offset, piece, chain).await;
                 (Some(block_id), res)
             }));
@@ -646,6 +662,7 @@ impl FileWriter {
         }
         Ok(())
     }
+    // glider: end-hot-path
 
     /// Appends a byte slice (copied).
     ///
@@ -667,7 +684,7 @@ impl FileWriter {
     /// Surfaces any failed in-flight operation.
     pub async fn close(mut self) -> GliderResult<u64> {
         if let Some(cur) = self.cur.take() {
-            self.seal(cur);
+            self.seal(cur)?;
         }
         // Writes drain first: a block's commit is only queued once every
         // write of it has been acknowledged (or replayed elsewhere), so a

@@ -184,6 +184,7 @@ impl FrameTx {
     }
 }
 
+// glider: hot-path (frame send: header staging + vectored write)
 impl TxInner {
     async fn send_raw(&mut self, stream: u32, frame: Frame) -> GliderResult<()> {
         match self {
@@ -220,7 +221,11 @@ impl TxInner {
                 }
                 let mut slices: Vec<&[u8]> = Vec::with_capacity(parts.len() * 2);
                 for (header, payload) in parts.iter() {
-                    slices.push(&buf[header.clone()]);
+                    // A Range<usize> clone, not a buffer copy:
+                    let Some(header) = buf.get(header.clone()) else { // glider: alloc-ok (Range clone for slicing, no allocation)
+                        return Err(GliderError::protocol("frame header range out of bounds"));
+                    };
+                    slices.push(header);
                     if let Some(p) = payload {
                         if !p.is_empty() {
                             slices.push(p);
@@ -262,21 +267,27 @@ async fn write_all_vectored(io: &mut OwnedWriteHalf, parts: &[&[u8]]) -> std::io
     let mut idx = 0;
     let mut offset = 0;
     let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(parts.len());
-    while idx < parts.len() {
-        if parts[idx].len() == offset {
+    while let Some(part) = parts.get(idx) {
+        if part.len() == offset {
             idx += 1;
             offset = 0;
             continue;
         }
+        let Some(unsent) = part.get(offset..) else {
+            return Err(std::io::ErrorKind::InvalidInput.into());
+        };
         slices.clear();
-        slices.push(IoSlice::new(&parts[idx][offset..]));
-        slices.extend(parts[idx + 1..].iter().map(|p| IoSlice::new(p)));
+        slices.push(IoSlice::new(unsent));
+        slices.extend(parts.iter().skip(idx + 1).map(|p| IoSlice::new(p)));
         let mut written = io.write_vectored(&slices).await?;
         if written == 0 {
             return Err(std::io::ErrorKind::WriteZero.into());
         }
-        while idx < parts.len() && written > 0 {
-            let remaining = parts[idx].len() - offset;
+        while written > 0 {
+            let Some(part) = parts.get(idx) else {
+                break;
+            };
+            let remaining = part.len() - offset;
             if written >= remaining {
                 written -= remaining;
                 idx += 1;
@@ -289,6 +300,7 @@ async fn write_all_vectored(io: &mut OwnedWriteHalf, parts: &[&[u8]]) -> std::io
     }
     Ok(())
 }
+// glider: end-hot-path
 
 impl FrameRx {
     /// The scheme label of the transport carrying this connection.

@@ -86,6 +86,7 @@ impl BytesPool {
     /// Takes an empty buffer with at least [`BytesPool::buf_size`] bytes
     /// of capacity — recycled when the freelist has one, freshly
     /// allocated otherwise.
+    // glider: hot-path (buffer pool get/put/recycle)
     pub fn get(&self) -> BytesMut {
         let reused = self.free.lock().pop();
         match reused {
@@ -133,6 +134,7 @@ impl BytesPool {
             Err(_still_shared) => false,
         }
     }
+    // glider: end-hot-path
 
     /// Buffers currently parked on the freelist.
     pub fn free_len(&self) -> usize {

@@ -135,6 +135,7 @@ impl BlockStore {
     ///
     /// - [`ErrorCode::NotFound`] if this server does not own the block,
     /// - [`ErrorCode::InvalidArgument`] if the write exceeds the block.
+    // glider: hot-path (block store write/read service)
     pub fn write(&self, block_id: BlockId, offset: u64, data: Bytes) -> GliderResult<u64> {
         self.check_owned(block_id)?;
         let end = offset
@@ -143,7 +144,7 @@ impl BlockStore {
         if end > self.block_size {
             return Err(GliderError::new(
                 ErrorCode::InvalidArgument,
-                format!(
+                format!( // glider: alloc-ok (rejected-request error path, not reached per op)
                     "write [{offset}, {end}) exceeds block size {}",
                     self.block_size
                 ),
@@ -151,7 +152,7 @@ impl BlockStore {
         }
         let mut blocks = self.block_shard_for(block_id)?.lock();
         let block = blocks.entry(block_id).or_insert_with(|| Block {
-            data: Vec::new(),
+            data: Vec::new(), // glider: alloc-ok (first touch of a block; resize below grows it)
             high_water: 0,
             snapshot: None,
         });
@@ -191,7 +192,7 @@ impl BlockStore {
         if end > self.block_size {
             return Err(GliderError::new(
                 ErrorCode::InvalidArgument,
-                format!(
+                format!( // glider: alloc-ok (rejected-request error path, not reached per op)
                     "read [{offset}, {end}) exceeds block size {}",
                     self.block_size
                 ),
@@ -221,6 +222,7 @@ impl BlockStore {
         }
         Ok(Bytes::from(vec![0u8; len as usize]))
     }
+    // glider: end-hot-path
 
     /// Drops the given blocks, returning the total bytes released
     /// (high-water marks, for utilization metering). Unknown or foreign

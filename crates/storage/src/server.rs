@@ -207,6 +207,7 @@ impl RpcHandler for DataHandler {
             let _span = glider_trace::Span::child_of(ctx.span_context(), "data.handle");
             match body {
                 RequestBody::Hello { .. } => Ok(ResponseBody::Ok),
+                // glider: hot-path (WriteBlock/ReadBlock dispatched service)
                 RequestBody::WriteBlock {
                     block_id,
                     offset,
@@ -233,6 +234,7 @@ impl RpcHandler for DataHandler {
                         eof: true,
                     })
                 }
+                // glider: end-hot-path
                 RequestBody::FreeBlocks { block_ids } => {
                     let released = self.store.free(&block_ids);
                     if released > 0 {
@@ -320,6 +322,7 @@ impl RpcHandler for DataHandler {
         if !self.tier.is_free() {
             return Err(body);
         }
+        // glider: hot-path (DRAM-tier synchronous WriteBlock/ReadBlock/FreeBlocks)
         match body {
             RequestBody::WriteBlock {
                 block_id,
@@ -355,6 +358,7 @@ impl RpcHandler for DataHandler {
             }
             other => Err(other),
         }
+        // glider: end-hot-path
     }
 }
 

@@ -1,0 +1,232 @@
+//! Hot-path allocation lint.
+//!
+//! The paper's near-data throughput numbers assume the per-record data
+//! path — WriteBlock/ReadBlock service, StreamChunk batching, buffer
+//! pool recycling — does not allocate per operation. That property is
+//! invisible to the compiler and quietly regresses (`.clone()` on a
+//! header here, a `format!` in a hot error path there), so the paths
+//! are bracketed with region markers and this pass flags allocation
+//! tokens inside them:
+//!
+//! ```text
+//! // glider: hot-path (WriteBlock/ReadBlock sync fast path)
+//! …
+//! // glider: end-hot-path
+//! ```
+//!
+//! Deliberate allocations — pool-mediated, Arc/Bytes refcount bumps,
+//! one-time first-touch growth — are waived on the offending line with
+//! `// glider: alloc-ok (justification)`; the justification is
+//! mandatory, an empty one is itself a finding. Markers live in
+//! comments so the lexer's `strip` pass never sees them; the forbidden
+//! tokens are matched on the stripped line so strings and comments
+//! cannot false-positive.
+
+use crate::lexer::strip;
+use crate::Finding;
+
+/// Substrings (stripped source) that mean a per-op allocation.
+const FORBIDDEN: [&str; 7] = [
+    "Vec::new",
+    ".to_vec(",
+    ".clone()",
+    "format!",
+    "Box::new",
+    "Box::pin",
+    ".collect()",
+];
+
+const BEGIN: &str = "// glider: hot-path";
+const END: &str = "// glider: end-hot-path";
+const ALLOC_OK: &str = "// glider: alloc-ok";
+
+/// Summary counters for `--report`.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Marked regions seen across the scanned files.
+    pub regions: usize,
+    /// Allocation tokens waived with a justified `alloc-ok`.
+    pub waived: usize,
+}
+
+/// Scans one file. `rel` is the workspace-relative path for findings.
+pub fn check_file(rel: &str, source: &str, stats: &mut Stats) -> Vec<Finding> {
+    let stripped = strip(source);
+    let mut out = Vec::new();
+    let mut in_region = false;
+    let mut region_open_line = 0usize;
+
+    for (idx, (raw, blank)) in source.lines().zip(stripped.lines()).enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim_start();
+        if let Some(rest) = trimmed.strip_prefix(BEGIN) {
+            // Guard against `end-hot-path` matching the BEGIN prefix scan:
+            // BEGIN is a prefix of nothing else we emit, but a stray
+            // `// glider: hot-path-ish` should not open a region.
+            if rest.is_empty() || rest.starts_with(' ') || rest.starts_with('(') {
+                if in_region {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: line_no,
+                        message: format!(
+                            "nested `{BEGIN}` marker — close the region opened on line \
+                             {region_open_line} first"
+                        ),
+                    });
+                }
+                in_region = true;
+                region_open_line = line_no;
+                stats.regions += 1;
+                continue;
+            }
+        }
+        if trimmed.starts_with(END) {
+            if !in_region {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: line_no,
+                    message: format!("stray `{END}` marker with no open hot-path region"),
+                });
+            }
+            in_region = false;
+            continue;
+        }
+        if !in_region {
+            continue;
+        }
+        let hits: Vec<&str> = FORBIDDEN
+            .iter()
+            .copied()
+            .filter(|tok| blank.contains(tok))
+            .collect();
+        if hits.is_empty() {
+            continue;
+        }
+        if let Some(at) = raw.find(ALLOC_OK) {
+            let just = raw[at + ALLOC_OK.len()..].trim();
+            let just = just
+                .strip_prefix('(')
+                .and_then(|j| j.strip_suffix(')'))
+                .map(str::trim)
+                .unwrap_or("");
+            if just.is_empty() {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: line_no,
+                    message: format!(
+                        "`{ALLOC_OK}` needs a justification: \
+                         `{ALLOC_OK} (why this allocation is fine per-op)`"
+                    ),
+                });
+            } else {
+                stats.waived += hits.len();
+            }
+            continue;
+        }
+        for tok in hits {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: line_no,
+                message: format!(
+                    "`{tok}` inside a `{BEGIN}` region — the data path must not allocate \
+                     per op; use the buffer pool, or waive the line with \
+                     `{ALLOC_OK} (justification)`"
+                ),
+            });
+        }
+    }
+    if in_region {
+        out.push(Finding {
+            file: rel.to_string(),
+            line: region_open_line,
+            message: format!("hot-path region opened here is never closed with `{END}`"),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_region_passes_and_counts() {
+        let src = "
+// glider: hot-path (write fast path)
+fn write(buf: &mut BytesMut) {
+    buf.extend_from_slice(b\"x\");
+}
+// glider: end-hot-path
+";
+        let mut stats = Stats::default();
+        let out = check_file("a.rs", src, &mut stats);
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(stats.regions, 1);
+    }
+
+    #[test]
+    fn forbidden_tokens_inside_region_are_flagged() {
+        let src = "
+// glider: hot-path
+fn write(data: &[u8]) {
+    let copy = data.to_vec();
+    let msg = format!(\"{}\", copy.len());
+}
+// glider: end-hot-path
+fn cold() {
+    let fine = data.to_vec();
+}
+";
+        let out = check_file("a.rs", src, &mut Stats::default());
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains(".to_vec("));
+        assert_eq!(out[0].line, 4);
+        assert!(out[1].message.contains("format!"));
+    }
+
+    #[test]
+    fn tokens_in_strings_and_comments_do_not_count() {
+        let src = "
+// glider: hot-path
+fn write() {
+    // a comment mentioning Vec::new and .clone()
+    let s = \"format! inside a string\";
+}
+// glider: end-hot-path
+";
+        let out = check_file("a.rs", src, &mut Stats::default());
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn alloc_ok_waives_with_justification_only() {
+        let src = "
+// glider: hot-path
+fn write(piece: Bytes) {
+    let kept = piece.clone(); // glider: alloc-ok (Bytes refcount bump, not a copy)
+    let bad = piece.clone(); // glider: alloc-ok ()
+}
+// glider: end-hot-path
+";
+        let mut stats = Stats::default();
+        let out = check_file("a.rs", src, &mut stats);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("justification"));
+        assert_eq!(out[0].line, 5);
+        assert_eq!(stats.waived, 1);
+    }
+
+    #[test]
+    fn unclosed_region_and_stray_end_are_findings() {
+        let src = "
+// glider: end-hot-path
+// glider: hot-path
+fn write() {}
+";
+        let out = check_file("a.rs", src, &mut Stats::default());
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("stray"));
+        assert!(out[1].message.contains("never closed"));
+        assert_eq!(out[1].line, 3);
+    }
+}

@@ -1,0 +1,415 @@
+//! Lock-order graph extraction and rank-table cross-check.
+//!
+//! `locks.rs` flags out-of-order acquisitions site by site; this pass
+//! closes the remaining gaps that let a new lock ship unranked:
+//!
+//! 1. **Rank table sync** — the `LockRank` enum in
+//!    `glider-util/src/lockorder.rs` is the source of truth; the manual
+//!    `RANK_NAMES` table in `xtask/src/locks.rs` must list exactly the
+//!    same variants in declaration order, so adding a rank without
+//!    teaching the lint is a build failure, not a silent blind spot.
+//! 2. **Declaration audit** — every `OrderedMutex::new(LockRank::…, …)`
+//!    use site must name a known rank, and when the mutex is bound to a
+//!    named field/binding that name must be one of the deciding
+//!    identifiers `rank_of` resolves — otherwise `.lock()` receivers on
+//!    it would never be tracked.
+//! 3. **Cycle detection** — nested-acquisition edges collected from all
+//!    use sites (`locks::scan_with_edges`) are assembled into a graph
+//!    over ranks; any cycle means two code paths disagree about the
+//!    hierarchy even if each file looks locally consistent.
+
+use crate::exhaustive::enum_variants;
+use crate::lexer::{blank_cfg_test, line_of, strip};
+use crate::locks::{rank_of, Edge, RANK_NAMES};
+use crate::tokens::{self, Tok};
+use crate::waivers::AnalyzeWaivers;
+use crate::Finding;
+
+/// Summary counters for `--report`.
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub ranks: usize,
+    pub declarations: usize,
+    pub edges: usize,
+    pub cycles: usize,
+}
+
+/// Cross-checks the `LockRank` enum against the lint's manual table.
+pub fn check_ranks(rel: &str, lockorder_src: &str, stats: &mut Stats) -> Vec<Finding> {
+    let text = blank_cfg_test(&strip(lockorder_src));
+    let Some(variants) = enum_variants(&text, "LockRank") else {
+        return vec![Finding {
+            file: rel.to_string(),
+            line: 0,
+            message: "lock-graph pass cannot find `enum LockRank` — update xtask if the \
+                      rank enum moved"
+                .to_string(),
+        }];
+    };
+    stats.ranks = variants.len();
+    let mut out = Vec::new();
+    for (i, v) in variants.iter().enumerate() {
+        match RANK_NAMES.get(i) {
+            Some(n) if *n == v => {}
+            _ => out.push(Finding {
+                file: rel.to_string(),
+                line: 0,
+                message: format!(
+                    "`LockRank::{v}` (declaration order {i}) has no matching entry in \
+                     xtask/src/locks.rs RANK_NAMES — a new lock cannot ship without a \
+                     rank and deciding identifiers for the lint"
+                ),
+            }),
+        }
+    }
+    for (i, n) in RANK_NAMES.iter().enumerate() {
+        if variants.get(i).map(String::as_str) != Some(*n) && !variants.iter().any(|v| v == n) {
+            out.push(Finding {
+                file: "xtask/src/locks.rs".to_string(),
+                line: 0,
+                message: format!(
+                    "RANK_NAMES lists `{n}` (rank {i}) but `LockRank` has no such variant \
+                     — remove the stale row"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Audits every `OrderedMutex::new(LockRank::…, …)` site in one file.
+pub fn check_declarations(
+    rel: &str,
+    source: &str,
+    waivers: &AnalyzeWaivers,
+    used: &mut Vec<(String, String)>,
+    stats: &mut Stats,
+) -> Vec<Finding> {
+    let text = blank_cfg_test(&strip(source));
+    let toks = tokens::parse(&text);
+    let mut out = Vec::new();
+    walk_declarations(rel, &text, &toks, waivers, used, stats, &mut out);
+    out
+}
+
+fn walk_declarations(
+    rel: &str,
+    text: &str,
+    toks: &[Tok],
+    waivers: &AnalyzeWaivers,
+    used: &mut Vec<(String, String)>,
+    stats: &mut Stats,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if let Tok::Group { toks: inner, .. } = t {
+            walk_declarations(rel, text, inner, waivers, used, stats, out);
+        }
+        if !t.is_ident("OrderedMutex") {
+            continue;
+        }
+        let args = match (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3), toks.get(i + 4)) {
+            (Some(a), Some(b), Some(c), Some(d))
+                if a.is_punct(':') && b.is_punct(':') && c.is_ident("new") =>
+            {
+                match d.group('(') {
+                    Some(g) => g,
+                    None => continue,
+                }
+            }
+            _ => continue,
+        };
+        stats.declarations += 1;
+        let line = line_of(text, t.pos());
+
+        // The first argument must be a known `LockRank::<variant>`.
+        let arg_refs: Vec<&Tok> = args.iter().collect();
+        let variant = tokens::qualified_variants(&arg_refs, "LockRank")
+            .into_iter()
+            .next();
+        let expected = match variant.as_deref() {
+            Some(v) => match RANK_NAMES.iter().position(|n| *n == v) {
+                Some(rank) => rank as u8,
+                None => {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line,
+                        message: format!(
+                            "`OrderedMutex::new(LockRank::{v}, …)` uses a rank the lint's \
+                             RANK_NAMES table does not know — rank-table sync should have \
+                             caught this; fix xtask/src/locks.rs"
+                        ),
+                    });
+                    continue;
+                }
+            },
+            None => {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    message: "`OrderedMutex::new(…)` without a literal `LockRank::…` first \
+                              argument — the lint cannot rank this lock statically"
+                        .to_string(),
+                });
+                continue;
+            }
+        };
+
+        // Resolve the binding name, if the site has one.
+        match binding_name(toks, i) {
+            Binding::Named(name) => {
+                if rank_of(name) != Some(expected) {
+                    if waivers.is_waived("lockgraph", name) {
+                        used.push(("lockgraph".to_string(), name.to_string()));
+                    } else {
+                        out.push(Finding {
+                            file: rel.to_string(),
+                            line,
+                            message: format!(
+                                "lock `{name}` is declared at LockRank::{} but `rank_of` \
+                                 in xtask/src/locks.rs does not map `{name}` to rank \
+                                 {expected} — add it as a deciding identifier so \
+                                 `.lock()` calls on it are tracked",
+                                RANK_NAMES[expected as usize]
+                            ),
+                        });
+                    }
+                }
+            }
+            Binding::Anonymous => {}
+        }
+    }
+}
+
+enum Binding<'a> {
+    Named(&'a str),
+    Anonymous,
+}
+
+/// Walks backwards from `toks[at]` (the `OrderedMutex` ident) to find
+/// what the mutex is bound to: `name: OrderedMutex::new(…)` (field
+/// init) or `let [mut] name = OrderedMutex::new(…)`. Closure bodies and
+/// other expression positions are anonymous.
+fn binding_name(toks: &[Tok], at: usize) -> Binding<'_> {
+    // Field init: Ident ':' OrderedMutex — but not a `::` path prefix.
+    if at >= 2 {
+        if let (Some(name), true) = (toks[at - 2].ident(), toks[at - 1].is_punct(':')) {
+            let path_qualified = at >= 3 && toks[at - 3].is_punct(':');
+            if !path_qualified {
+                return Binding::Named(name);
+            }
+        }
+    }
+    // Let binding: '=' preceded by Ident.
+    if at >= 2 && toks[at - 1].is_punct('=') {
+        if let Some(name) = toks[at - 2].ident() {
+            if name != "mut" && name != "let" {
+                return Binding::Named(name);
+            }
+        }
+    }
+    Binding::Anonymous
+}
+
+/// Detects cycles in the nested-acquisition graph. `edges` pairs each
+/// observed edge with the file it came from.
+pub fn check_cycles(edges: &[(String, Edge)], stats: &mut Stats) -> Vec<Finding> {
+    stats.edges = edges.len();
+    let n = RANK_NAMES.len();
+    let mut adj = vec![Vec::new(); n];
+    for (file, e) in edges {
+        let (h, a) = (e.held as usize, e.acquired as usize);
+        if h < n && a < n && !adj[h].iter().any(|(to, _, _)| *to == a) {
+            adj[h].push((a, file.clone(), e.line));
+        }
+    }
+
+    let mut out = Vec::new();
+    // Colors: 0 unvisited, 1 on stack, 2 done.
+    let mut color = vec![0u8; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if color[start] == 0 {
+            dfs(start, &adj, &mut color, &mut stack, &mut out);
+        }
+    }
+    stats.cycles = out.len();
+    out
+}
+
+fn dfs(
+    node: usize,
+    adj: &[Vec<(usize, String, usize)>],
+    color: &mut [u8],
+    stack: &mut Vec<usize>,
+    out: &mut Vec<Finding>,
+) {
+    color[node] = 1;
+    stack.push(node);
+    for (next, file, line) in &adj[node] {
+        if color[*next] == 1 {
+            let from = stack.iter().position(|&s| s == *next).unwrap_or(0);
+            let mut path: Vec<&str> = stack[from..].iter().map(|&s| RANK_NAMES[s]).collect();
+            path.push(RANK_NAMES[*next]);
+            out.push(Finding {
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "lock-order cycle: {} — two code paths disagree about the hierarchy; \
+                     the acquisition closing the cycle is here",
+                    path.join(" -> ")
+                ),
+            });
+        } else if color[*next] == 0 {
+            dfs(*next, adj, color, stack, out);
+        }
+    }
+    stack.pop();
+    color[node] = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOCKORDER_OK: &str = "
+        pub enum LockRank {
+            NamespaceShard,
+            Registry,
+            BlockMap,
+            BufferPool,
+        }
+    ";
+
+    fn no_waivers() -> AnalyzeWaivers {
+        AnalyzeWaivers::parse("").unwrap()
+    }
+
+    #[test]
+    fn matching_rank_tables_are_clean() {
+        let mut stats = Stats::default();
+        let out = check_ranks("lockorder.rs", LOCKORDER_OK, &mut stats);
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(stats.ranks, 4);
+    }
+
+    #[test]
+    fn new_unranked_variant_is_flagged() {
+        let src = "
+            pub enum LockRank {
+                NamespaceShard,
+                Registry,
+                BlockMap,
+                BufferPool,
+                JournalIndex,
+            }
+        ";
+        let out = check_ranks("lockorder.rs", src, &mut Stats::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("JournalIndex"));
+    }
+
+    #[test]
+    fn reordered_variants_are_flagged() {
+        let src = "
+            pub enum LockRank {
+                Registry,
+                NamespaceShard,
+                BlockMap,
+                BufferPool,
+            }
+        ";
+        let out = check_ranks("lockorder.rs", src, &mut Stats::default());
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn named_declarations_must_match_rank_of() {
+        let good = "
+            fn build() -> Pool {
+                Pool { free: OrderedMutex::new(LockRank::BufferPool, Vec::new()) }
+            }
+        ";
+        let mut stats = Stats::default();
+        let out = check_declarations("p.rs", good, &no_waivers(), &mut Vec::new(), &mut stats);
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(stats.declarations, 1);
+
+        let bad = "
+            fn build() -> Pool {
+                Pool { freelist: OrderedMutex::new(LockRank::BufferPool, Vec::new()) }
+            }
+        ";
+        let out = check_declarations("p.rs", bad, &no_waivers(), &mut Vec::new(), &mut Stats::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("freelist"));
+        assert!(out[0].message.contains("deciding identifier"));
+    }
+
+    #[test]
+    fn let_bindings_and_closures_resolve() {
+        let src = "
+            fn build() {
+                let mut reg = OrderedMutex::new(LockRank::Registry, Registry::default());
+                let shards: Vec<_> = names.map(|ns| OrderedMutex::new(LockRank::NamespaceShard, ns)).collect();
+            }
+        ";
+        let mut stats = Stats::default();
+        let out = check_declarations("m.rs", src, &no_waivers(), &mut Vec::new(), &mut stats);
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(stats.declarations, 2);
+    }
+
+    #[test]
+    fn unknown_rank_argument_is_flagged() {
+        let src = "fn f() { let reg = OrderedMutex::new(LockRank::Mystery, x); }";
+        let out = check_declarations("m.rs", src, &no_waivers(), &mut Vec::new(), &mut Stats::default());
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("Mystery"));
+    }
+
+    #[test]
+    fn missing_rank_argument_is_flagged() {
+        let src = "fn f() { let reg = OrderedMutex::new(rank, x); }";
+        let out = check_declarations("m.rs", src, &no_waivers(), &mut Vec::new(), &mut Stats::default());
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("cannot rank"));
+    }
+
+    #[test]
+    fn waiver_suppresses_binding_mismatch() {
+        let bad = "
+            fn build() -> Pool {
+                Pool { freelist: OrderedMutex::new(LockRank::BufferPool, Vec::new()) }
+            }
+        ";
+        let w = AnalyzeWaivers::parse("lockgraph freelist -- legacy name, renamed next PR\n")
+            .unwrap();
+        let mut used = Vec::new();
+        let out = check_declarations("p.rs", bad, &w, &mut used, &mut Stats::default());
+        assert!(out.is_empty());
+        assert_eq!(used.len(), 1);
+    }
+
+    #[test]
+    fn acyclic_edges_are_clean_and_cycles_are_found() {
+        let acyclic = vec![
+            ("a.rs".to_string(), Edge { held: 0, acquired: 1, line: 3 }),
+            ("a.rs".to_string(), Edge { held: 1, acquired: 2, line: 4 }),
+            ("b.rs".to_string(), Edge { held: 2, acquired: 3, line: 9 }),
+        ];
+        let mut stats = Stats::default();
+        assert!(check_cycles(&acyclic, &mut stats).is_empty());
+        assert_eq!(stats.edges, 3);
+
+        let cyclic = vec![
+            ("a.rs".to_string(), Edge { held: 1, acquired: 2, line: 3 }),
+            ("b.rs".to_string(), Edge { held: 2, acquired: 1, line: 9 }),
+        ];
+        let mut stats = Stats::default();
+        let out = check_cycles(&cyclic, &mut stats);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("Registry -> BlockMap -> Registry"));
+        assert_eq!(stats.cycles, 1);
+    }
+}

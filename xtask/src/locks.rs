@@ -20,10 +20,10 @@
 use crate::lexer::{blank_cfg_test, is_ident_char, line_of, strip};
 use crate::Finding;
 
-const RANK_NAMES: [&str; 4] = ["NamespaceShard", "Registry", "BlockMap", "BufferPool"];
+pub const RANK_NAMES: [&str; 4] = ["NamespaceShard", "Registry", "BlockMap", "BufferPool"];
 
 /// Maps a deciding identifier to its declared rank.
-fn rank_of(ident: &str) -> Option<u8> {
+pub fn rank_of(ident: &str) -> Option<u8> {
     match ident {
         "shard" | "shards" | "shard_for_path" | "shard_for_id" => Some(0),
         "reg" => Some(1),
@@ -31,6 +31,16 @@ fn rank_of(ident: &str) -> Option<u8> {
         "free" => Some(3),
         _ => None,
     }
+}
+
+/// One observed nested acquisition: a lock of rank `acquired` taken
+/// while a lock of rank `held` is live. The lock-graph pass collects
+/// these across the workspace to rebuild the hierarchy from use sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    pub held: u8,
+    pub acquired: u8,
+    pub line: usize,
 }
 
 #[derive(Debug)]
@@ -46,9 +56,16 @@ struct Held {
 
 /// Scans one file for lock-order violations.
 pub fn scan(rel_path: &str, source: &str) -> Vec<Finding> {
+    scan_with_edges(rel_path, source).0
+}
+
+/// Scans one file, returning both the in-order violations and every
+/// nested acquisition edge observed (legal or not) for graph analysis.
+pub fn scan_with_edges(rel_path: &str, source: &str) -> (Vec<Finding>, Vec<Edge>) {
     let text = blank_cfg_test(&strip(source));
     let chars: Vec<char> = text.chars().collect();
     let mut out = Vec::new();
+    let mut edges = Vec::new();
     let mut held: Vec<Held> = Vec::new();
     let mut depth = 0usize;
     let pat: Vec<char> = ".lock()".chars().collect();
@@ -69,6 +86,11 @@ pub fn scan(rel_path: &str, source: &str) -> Vec<Finding> {
                 if let Some(rank) = rank_of(&ident) {
                     let byte_pos: usize = chars[..i].iter().map(|c| c.len_utf8()).sum();
                     for h in &held {
+                        edges.push(Edge {
+                            held: h.rank,
+                            acquired: rank,
+                            line: line_of(&text, byte_pos),
+                        });
                         if h.rank >= rank {
                             out.push(Finding {
                                 file: rel_path.to_string(),
@@ -104,7 +126,7 @@ pub fn scan(rel_path: &str, source: &str) -> Vec<Finding> {
         }
         i += 1;
     }
-    out
+    (out, edges)
 }
 
 /// Resolves the receiver of `.lock()` at `dot` to its deciding
@@ -182,6 +204,21 @@ mod tests {
             }
         ";
         assert!(scan("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn legal_nesting_still_produces_edges() {
+        let src = "
+            fn f(&self) {
+                let ns = self.shard_for_path(&path)?.lock();
+                let mut reg = self.reg.lock();
+                let blocks = self.blocks.lock();
+            }
+        ";
+        let (findings, edges) = scan_with_edges("x.rs", src);
+        assert!(findings.is_empty());
+        let pairs: Vec<(u8, u8)> = edges.iter().map(|e| (e.held, e.acquired)).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
     }
 
     #[test]

@@ -1,76 +1,48 @@
 //! `cargo xtask` — workspace automation.
 //!
-//! `cargo xtask lint` runs Glider's source-analysis passes (exhaustive
-//! protocol classification, panic-path, lock-order, async-hygiene) over
-//! the workspace and exits non-zero on any finding. The passes are
-//! deliberately dependency-free (plain text scanning over a blanked
-//! token stream, see `lexer`): they run anywhere `rustc` does, including
-//! offline, and stay fast enough for a pre-commit hook.
+//! `cargo xtask lint` runs the fast line-oriented passes (panic-path,
+//! lock-order, async-hygiene, transport-registry, enum exhaustiveness);
+//! `cargo xtask analyze` runs the semantic passes (protocol
+//! conformance, durability order, hot-path allocation, lock-order
+//! graph) built on the token-tree model. Both are dependency-free and
+//! exit non-zero on any finding; see the `xtask` library crate for the
+//! passes themselves.
 
-mod asynclint;
-mod exhaustive;
-mod lexer;
-mod locks;
-mod panics;
-mod transports;
-mod waivers;
-
-use std::fs;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// One lint finding. `line` 0 means "whole file".
-#[derive(Debug)]
-pub struct Finding {
-    pub file: String,
-    pub line: usize,
-    pub message: String,
-}
-
-impl std::fmt::Display for Finding {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.line == 0 {
-            write!(f, "{}: {}", self.file, self.message)
-        } else {
-            write!(f, "{}:{}: {}", self.file, self.line, self.message)
-        }
-    }
-}
+use xtask::{analyze, lint, workspace_root, Finding};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => run_lint(),
+        Some("analyze") => run_analyze(args.iter().any(|a| a == "--report")),
         _ => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint|analyze> [--report]");
             eprintln!();
-            eprintln!("  lint    run the workspace source-analysis passes:");
-            eprintln!("          exhaustiveness (protocol classification fns),");
-            eprintln!("          panic-path (server request handling),");
-            eprintln!("          lock-order (declared hierarchy),");
-            eprintln!("          async-hygiene (blocking calls / sync locks in async),");
-            eprintln!("          transport-registry (every Transport impl dispatchable)");
+            eprintln!("  lint     run the line-oriented source passes:");
+            eprintln!("           exhaustiveness (ErrorCode classification),");
+            eprintln!("           panic-path (server + client request handling),");
+            eprintln!("           lock-order (declared hierarchy, per use site),");
+            eprintln!("           async-hygiene (blocking calls / sync locks in async),");
+            eprintln!("           transport-registry (every Transport impl dispatchable)");
+            eprintln!("  analyze  run the semantic conformance passes:");
+            eprintln!("           protocol (opcodes, decode round-trip, behavior tables,");
+            eprintln!("           golden fixtures), durability (persist-before-ack),");
+            eprintln!("           hotpath (allocation-free marked regions),");
+            eprintln!("           lockgraph (rank table sync, declarations, cycles)");
+            eprintln!("           --report also prints pass counters and the");
+            eprintln!("           waiver burndown");
             ExitCode::from(2)
         }
     }
 }
 
-fn lint() -> ExitCode {
-    let root = match workspace_root() {
-        Some(r) => r,
-        None => {
-            eprintln!("error: could not find the workspace root (Cargo.toml with [workspace])");
-            return ExitCode::from(2);
-        }
+fn run_lint() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("error: could not find the workspace root (Cargo.toml with [workspace])");
+        return ExitCode::from(2);
     };
-
-    let mut findings: Vec<Finding> = Vec::new();
-    findings.extend(exhaustiveness_pass(&root));
-    findings.extend(panic_pass(&root));
-    findings.extend(lock_pass(&root));
-    findings.extend(async_pass(&root));
-    findings.extend(transports_pass(&root));
-
+    let findings = lint(&root);
     if findings.is_empty() {
         println!(
             "xtask lint: clean (exhaustiveness, panic-path, lock-order, async-hygiene, \
@@ -78,248 +50,58 @@ fn lint() -> ExitCode {
         );
         ExitCode::SUCCESS
     } else {
-        for f in &findings {
-            eprintln!("{f}");
-        }
-        eprintln!();
-        eprintln!("xtask lint: {} finding(s)", findings.len());
-        ExitCode::FAILURE
+        fail("lint", &findings)
     }
 }
 
-/// Walks up from the current directory to the `Cargo.toml` that declares
-/// `[workspace]`.
-fn workspace_root() -> Option<PathBuf> {
-    let mut dir = std::env::current_dir().ok()?;
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if let Ok(text) = fs::read_to_string(&manifest) {
-            if text.contains("[workspace]") {
-                return Some(dir);
-            }
-        }
-        if !dir.pop() {
-            return None;
-        }
-    }
-}
-
-/// Reads a workspace-relative file, turning I/O failure into a finding
-/// (a lint that silently skips a missing scope file enforces nothing).
-fn read_rel(root: &Path, rel: &str) -> Result<String, Finding> {
-    fs::read_to_string(root.join(rel)).map_err(|e| Finding {
-        file: rel.to_string(),
-        line: 0,
-        message: format!("cannot read lint scope file: {e}"),
-    })
-}
-
-/// Recursively collects `.rs` files under `dir`, as workspace-relative
-/// path strings (sorted for deterministic output).
-fn rs_files(root: &Path, rel_dir: &str) -> Vec<String> {
-    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
-        let Ok(entries) = fs::read_dir(dir) else {
-            return;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                walk(&path, out);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                out.push(path);
-            }
-        }
-    }
-    let mut paths = Vec::new();
-    walk(&root.join(rel_dir), &mut paths);
-    let mut rels: Vec<String> = paths
-        .into_iter()
-        .filter_map(|p| {
-            p.strip_prefix(root)
-                .ok()
-                .map(|r| r.to_string_lossy().replace('\\', "/"))
-        })
-        .collect();
-    rels.sort();
-    rels
-}
-
-// ---- pass wiring ----
-
-/// Enum-classification functions that must stay variant-exhaustive.
-const EXHAUSTIVE_RULES: [exhaustive::Rule<'static>; 4] = [
-    exhaustive::Rule {
-        enum_name: "RequestBody",
-        enum_file: "crates/proto/src/message.rs",
-        fn_name: "is_idempotent",
-        fn_file: "crates/proto/src/message.rs",
-    },
-    exhaustive::Rule {
-        enum_name: "RequestBody",
-        enum_file: "crates/proto/src/message.rs",
-        fn_name: "op_kind",
-        fn_file: "crates/net/src/rpc.rs",
-    },
-    exhaustive::Rule {
-        enum_name: "ErrorCode",
-        enum_file: "crates/proto/src/error.rs",
-        fn_name: "is_retryable",
-        fn_file: "crates/proto/src/error.rs",
-    },
-    // Durability: every mutation opcode must be WAL-logged or explicitly
-    // waived, so a new opcode cannot silently skip the log.
-    exhaustive::Rule {
-        enum_name: "RequestBody",
-        enum_file: "crates/proto/src/message.rs",
-        fn_name: "wal_class",
-        fn_file: "crates/metadata/src/wal.rs",
-    },
-];
-
-fn exhaustiveness_pass(root: &Path) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for rule in &EXHAUSTIVE_RULES {
-        let enum_src = match read_rel(root, rule.enum_file) {
-            Ok(s) => lexer::strip(&s),
-            Err(f) => {
-                out.push(f);
-                continue;
-            }
-        };
-        let fn_src = match read_rel(root, rule.fn_file) {
-            Ok(s) => lexer::strip(&s),
-            Err(f) => {
-                out.push(f);
-                continue;
-            }
-        };
-        out.extend(exhaustive::check_rule(rule, &enum_src, &fn_src));
-    }
-    out
-}
-
-/// Server request-handling code covered by the panic-path lint.
-fn panic_scope(root: &Path) -> Vec<String> {
-    let mut scope = Vec::new();
-    scope.extend(rs_files(root, "crates/metadata/src"));
-    scope.extend(rs_files(root, "crates/storage/src"));
-    scope.extend(rs_files(root, "crates/active/src"));
-    scope.push("crates/net/src/rpc.rs".to_string());
-    scope
-}
-
-fn panic_pass(root: &Path) -> Vec<Finding> {
-    let waiver_text = match read_rel(root, "xtask/lint-waivers.txt") {
-        Ok(t) => t,
-        Err(f) => return vec![f],
+fn run_analyze(report: bool) -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("error: could not find the workspace root (Cargo.toml with [workspace])");
+        return ExitCode::from(2);
     };
-    let waivers = match waivers::Waivers::parse(&waiver_text) {
-        Ok(w) => w,
-        Err(msg) => {
-            return vec![Finding {
-                file: "xtask/lint-waivers.txt".to_string(),
-                line: 0,
-                message: msg,
-            }]
-        }
-    };
-
-    let mut out = Vec::new();
-    let mut counts: Vec<(String, Vec<panics::PanicSite>)> = Vec::new();
-    for rel in panic_scope(root) {
-        let src = match read_rel(root, &rel) {
-            Ok(s) => s,
-            Err(f) => {
-                out.push(f);
-                continue;
-            }
-        };
-        out.extend(panics::findings_for_file(&rel, &src, |kind| {
-            waivers.allowance(&rel, kind)
-        }));
-        counts.push((rel.clone(), panics::scan(&src)));
-    }
-    // Shrink-only ratchet: a waiver larger than reality is itself an error.
-    out.extend(waivers.stale_findings(|path, kind| {
-        counts
-            .iter()
-            .find(|(p, _)| p == path)
-            .map_or(0, |(_, sites)| {
-                sites.iter().filter(|s| s.kind == kind).count()
-            })
-    }));
-    out
-}
-
-fn lock_pass(root: &Path) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for dir in [
-        "crates/metadata/src",
-        "crates/storage/src",
-        "crates/net/src",
-    ] {
-        for rel in rs_files(root, dir) {
-            match read_rel(root, &rel) {
-                Ok(src) => out.extend(locks::scan(&rel, &src)),
-                Err(f) => out.push(f),
-            }
-        }
-    }
-    out
-}
-
-/// Cross-checks `impl Transport for …` against the `TRANSPORTS` registry
-/// in `glider-net` (an unregistered transport is unreachable dead code).
-fn transports_pass(root: &Path) -> Vec<Finding> {
-    let mut files = Vec::new();
-    let mut out = Vec::new();
-    for rel in rs_files(root, "crates/net/src") {
-        match read_rel(root, &rel) {
-            Ok(src) => files.push((rel, src)),
-            Err(f) => out.push(f),
-        }
-    }
-    if files.is_empty() {
-        out.push(Finding {
-            file: "crates/net/src".to_string(),
-            line: 0,
-            message: "transport-registry pass found no sources to scan".to_string(),
-        });
-    }
-    out.extend(transports::check(&files));
-    out
-}
-
-fn async_pass(root: &Path) -> Vec<Finding> {
-    let mut out = Vec::new();
-    let crates_dir = root.join("crates");
-    let Ok(entries) = fs::read_dir(&crates_dir) else {
-        return vec![Finding {
-            file: "crates".to_string(),
-            line: 0,
-            message: "cannot enumerate crates/ for the async-hygiene pass".to_string(),
-        }];
-    };
-    let mut crate_dirs: Vec<PathBuf> = entries
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.is_dir())
-        .collect();
-    crate_dirs.sort();
-    for dir in crate_dirs {
-        let rel_src = format!(
-            "{}/src",
-            dir.strip_prefix(root)
-                .unwrap_or(&dir)
-                .to_string_lossy()
-                .replace('\\', "/")
+    let (findings, stats) = analyze(&root);
+    if report {
+        println!("protocol:   {} request / {} response variants, {} / {} opcodes, {} logged ops",
+            stats.model.req_variants.len(),
+            stats.model.resp_variants.len(),
+            stats.model.req_opcodes.len(),
+            stats.model.resp_opcodes.len(),
+            stats.model.logged_variants().len(),
         );
-        for rel in rs_files(root, &rel_src) {
-            match read_rel(root, &rel) {
-                Ok(src) => out.extend(asynclint::scan(&rel, &src)),
-                Err(f) => out.push(f),
-            }
-        }
+        println!(
+            "durability: {} handler arms audited, {} finding(s) waived",
+            stats.durability.audited, stats.durability.waived
+        );
+        println!(
+            "hotpath:    {} marked region(s), {} allocation(s) waived inline",
+            stats.hotpath.regions, stats.hotpath.waived
+        );
+        println!(
+            "lockgraph:  {} ranks, {} OrderedMutex declaration(s), {} nesting edge(s), \
+             {} cycle(s)",
+            stats.lockgraph.ranks,
+            stats.lockgraph.declarations,
+            stats.lockgraph.edges,
+            stats.lockgraph.cycles
+        );
+        println!(
+            "waivers:    {} analyze, {} panic-path (both lists are shrink-only)",
+            stats.analyze_waivers, stats.panic_waivers
+        );
     }
-    out
+    if findings.is_empty() {
+        println!("xtask analyze: clean (protocol, durability, hotpath, lockgraph)");
+        ExitCode::SUCCESS
+    } else {
+        fail("analyze", &findings)
+    }
+}
+
+fn fail(what: &str, findings: &[Finding]) -> ExitCode {
+    for f in findings {
+        eprintln!("{f}");
+    }
+    eprintln!();
+    eprintln!("xtask {what}: {} finding(s)", findings.len());
+    ExitCode::FAILURE
 }

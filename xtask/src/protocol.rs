@@ -1,0 +1,605 @@
+//! Protocol conformance pass: one model derived from `glider-proto`,
+//! cross-checked everywhere the protocol is re-stated.
+//!
+//! The model is the `RequestBody`/`ResponseBody` enums plus their
+//! `opcode()` tables. Against it the pass checks, in one sweep:
+//!
+//! - every variant has an opcode arm, and opcodes are unique per
+//!   direction;
+//! - `Wire::decode` round-trips every opcode back to the same variant;
+//! - every request variant is classified by all four behavior tables —
+//!   `is_idempotent` (retry safety), `op_kind` (latency accounting),
+//!   `op_class` (deadline class), `wal_class` (durability);
+//! - the tables are mutually consistent: a `Logged` op must not be
+//!   idempotent (it would be retried and double-applied), and only
+//!   metadata-class ops may be `Logged` (the WAL lives on the metadata
+//!   server);
+//! - every wire variant has a golden `.hex` fixture on disk *and*
+//!   registered in `golden_wire.rs`.
+//!
+//! Each finding names the exact variant/opcode/fixture, so the pass
+//! bootstraps a new opcode by printing the complete to-do list.
+
+use crate::lexer::{is_ident_char, line_of, strip};
+use crate::tokens::{
+    self, all_match_arms, flat_path_value, flatten, fn_body, impl_body, qualified_variants,
+    trait_impl_body, Tok,
+};
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The sources and fixture listing the pass runs over. Tests drive this
+/// with seeded-violation corpora; `analyze` loads the real workspace.
+pub struct Inputs<'a> {
+    /// Raw `crates/proto/src/message.rs`.
+    pub message_src: &'a str,
+    pub message_file: &'a str,
+    /// Raw source containing `fn op_kind` (`crates/net/src/rpc.rs`).
+    pub op_kind_src: &'a str,
+    pub op_kind_file: &'a str,
+    /// Raw source containing `fn op_class` (`crates/net/src/retry.rs`).
+    pub op_class_src: &'a str,
+    pub op_class_file: &'a str,
+    /// Raw source containing `fn wal_class` (`crates/metadata/src/wal.rs`).
+    pub wal_class_src: &'a str,
+    pub wal_class_file: &'a str,
+    /// File names present in `crates/proto/tests/golden/`.
+    pub golden_files: &'a [String],
+    /// Raw `crates/proto/tests/golden_wire.rs` (fixture registrations).
+    pub golden_tests_src: &'a str,
+    pub golden_tests_file: &'a str,
+}
+
+/// The derived protocol model, also consumed by the durability pass and
+/// `--report`.
+#[derive(Debug, Default)]
+pub struct Model {
+    pub req_variants: Vec<String>,
+    pub resp_variants: Vec<String>,
+    /// Request variant → wire opcode (from `RequestBody::opcode`).
+    pub req_opcodes: BTreeMap<String, u16>,
+    /// Response variant → wire opcode.
+    pub resp_opcodes: BTreeMap<String, u16>,
+    /// Request variant → retry safety (from `is_idempotent`).
+    pub idempotent: BTreeMap<String, bool>,
+    /// Request variants mentioned by `op_kind`.
+    pub op_kind: BTreeSet<String>,
+    /// Request variant → `OpClass` variant name.
+    pub op_class: BTreeMap<String, String>,
+    /// Request variant → `WalClass` variant name.
+    pub wal_class: BTreeMap<String, String>,
+}
+
+impl Model {
+    /// Request variants classified `Logged` by `wal_class`.
+    pub fn logged_variants(&self) -> Vec<String> {
+        self.wal_class
+            .iter()
+            .filter(|(_, c)| c.as_str() == "Logged")
+            .map(|(v, _)| v.clone())
+            .collect()
+    }
+}
+
+/// Runs the pass, returning findings plus the derived model.
+pub fn check(inputs: &Inputs<'_>) -> (Vec<Finding>, Model) {
+    let mut out = Vec::new();
+    let msg_stripped = strip(inputs.message_src);
+    let msg_toks = tokens::parse(&msg_stripped);
+    let mut model = Model::default();
+
+    for (enum_name, dest) in [
+        ("RequestBody", &mut model.req_variants),
+        ("ResponseBody", &mut model.resp_variants),
+    ] {
+        match crate::exhaustive::enum_variants(&msg_stripped, enum_name) {
+            Some(v) if !v.is_empty() => *dest = v,
+            _ => out.push(Finding {
+                file: inputs.message_file.to_string(),
+                line: 0,
+                message: format!(
+                    "protocol pass could not find `enum {enum_name}` — update xtask if it moved"
+                ),
+            }),
+        }
+    }
+
+    // Opcode tables from the inherent impls.
+    model.req_opcodes = opcode_table(
+        &msg_toks,
+        "RequestBody",
+        inputs.message_file,
+        &msg_stripped,
+        &mut out,
+    );
+    model.resp_opcodes = opcode_table(
+        &msg_toks,
+        "ResponseBody",
+        inputs.message_file,
+        &msg_stripped,
+        &mut out,
+    );
+    check_opcode_coverage(
+        "RequestBody",
+        &model.req_variants,
+        &model.req_opcodes,
+        inputs.message_file,
+        &mut out,
+    );
+    check_opcode_coverage(
+        "ResponseBody",
+        &model.resp_variants,
+        &model.resp_opcodes,
+        inputs.message_file,
+        &mut out,
+    );
+
+    // Decode round-trip: `impl Wire for Request/Response`.
+    for (enum_name, wrapper, table) in [
+        ("RequestBody", "Request", &model.req_opcodes),
+        ("ResponseBody", "Response", &model.resp_opcodes),
+    ] {
+        check_decode(
+            &msg_toks,
+            enum_name,
+            wrapper,
+            table,
+            inputs.message_file,
+            &mut out,
+        );
+    }
+
+    // The four behavior tables.
+    model.idempotent = bool_table(
+        inputs.message_src,
+        "is_idempotent",
+        inputs.message_file,
+        &mut out,
+    );
+    model.op_kind = presence_table(inputs.op_kind_src, "op_kind", inputs.op_kind_file, &mut out);
+    model.op_class = value_table(
+        inputs.op_class_src,
+        "op_class",
+        "OpClass",
+        inputs.op_class_file,
+        &mut out,
+    );
+    model.wal_class = value_table(
+        inputs.wal_class_src,
+        "wal_class",
+        "WalClass",
+        inputs.wal_class_file,
+        &mut out,
+    );
+    for v in &model.req_variants {
+        let missing: &[(&str, bool, &str)] = &[
+            (
+                "is_idempotent",
+                model.idempotent.contains_key(v),
+                inputs.message_file,
+            ),
+            ("op_kind", model.op_kind.contains(v), inputs.op_kind_file),
+            (
+                "op_class",
+                model.op_class.contains_key(v),
+                inputs.op_class_file,
+            ),
+            (
+                "wal_class",
+                model.wal_class.contains_key(v),
+                inputs.wal_class_file,
+            ),
+        ];
+        for (table, present, file) in missing {
+            if !present {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: 0,
+                    message: format!(
+                        "`fn {table}` does not classify `RequestBody::{v}` — every wire \
+                         variant must be classified explicitly (wildcards hide drift)"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Mutual consistency of the tables.
+    for (v, class) in &model.wal_class {
+        if class != "Logged" {
+            continue;
+        }
+        if model.idempotent.get(v) == Some(&true) {
+            out.push(Finding {
+                file: inputs.wal_class_file.to_string(),
+                line: 0,
+                message: format!(
+                    "`RequestBody::{v}` is WAL-`Logged` but `is_idempotent` returns true — \
+                     a retried logged mutation would be applied (and logged) twice"
+                ),
+            });
+        }
+        if let Some(op_class) = model.op_class.get(v) {
+            if op_class != "Metadata" {
+                out.push(Finding {
+                    file: inputs.wal_class_file.to_string(),
+                    line: 0,
+                    message: format!(
+                        "`RequestBody::{v}` is WAL-`Logged` but `op_class` says \
+                         `OpClass::{op_class}` — only metadata-plane ops reach the WAL"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Golden fixtures: on disk and registered.
+    let golden: BTreeSet<&str> = inputs.golden_files.iter().map(String::as_str).collect();
+    for (prefix, variants) in [("req", &model.req_variants), ("resp", &model.resp_variants)] {
+        let enum_name = if prefix == "req" {
+            "RequestBody"
+        } else {
+            "ResponseBody"
+        };
+        for v in variants {
+            let stem = format!("{prefix}_{}", snake_case(v));
+            let file = format!("{stem}.hex");
+            if !golden.contains(file.as_str()) {
+                out.push(Finding {
+                    file: format!("crates/proto/tests/golden/{file}"),
+                    line: 0,
+                    message: format!(
+                        "missing golden wire fixture for `{enum_name}::{v}` — encode one \
+                         frame, commit it as `{file}`, and register it in golden_wire.rs"
+                    ),
+                });
+            }
+            if !contains_word(inputs.golden_tests_src, &stem) {
+                out.push(Finding {
+                    file: inputs.golden_tests_file.to_string(),
+                    line: 0,
+                    message: format!(
+                        "golden fixture `{stem}` is not registered in golden_wire.rs — \
+                         add a `golden!({stem}, …)` entry so the fixture is actually checked"
+                    ),
+                });
+            }
+        }
+    }
+
+    (out, model)
+}
+
+/// Extracts `Variant → opcode` from `impl <enum_name> { fn opcode }`.
+fn opcode_table(
+    msg_toks: &[Tok],
+    enum_name: &str,
+    file: &str,
+    stripped: &str,
+    out: &mut Vec<Finding>,
+) -> BTreeMap<String, u16> {
+    let mut table = BTreeMap::new();
+    let Some(body) = impl_body(msg_toks, enum_name).and_then(|b| fn_body(b, "opcode")) else {
+        out.push(Finding {
+            file: file.to_string(),
+            line: 0,
+            message: format!(
+                "protocol pass could not find `impl {enum_name} {{ fn opcode }}` — update \
+                 xtask if it moved"
+            ),
+        });
+        return table;
+    };
+    for arm in all_match_arms(body) {
+        let variants = qualified_variants(&arm.pat, enum_name);
+        let mut flat = Vec::new();
+        flatten(&arm.body, &mut flat);
+        let opcode = flat.iter().find_map(|t| match t {
+            tokens::FlatTok::Ident { text, .. } => text.parse::<u16>().ok(),
+            _ => None,
+        });
+        match (variants.first(), opcode) {
+            (Some(v), Some(op)) => {
+                if let Some(prev) = table.insert(v.clone(), op) {
+                    let _ = prev;
+                }
+            }
+            (Some(v), None) => out.push(Finding {
+                file: file.to_string(),
+                line: line_of(stripped, arm.pos),
+                message: format!(
+                    "`{enum_name}::{v}` has an opcode arm with no literal opcode — the \
+                     protocol pass needs the number spelled out"
+                ),
+            }),
+            _ => {}
+        }
+    }
+    // Uniqueness within the direction.
+    let mut by_code: BTreeMap<u16, Vec<&str>> = BTreeMap::new();
+    for (v, op) in &table {
+        by_code.entry(*op).or_default().push(v);
+    }
+    for (op, vs) in by_code {
+        if vs.len() > 1 {
+            out.push(Finding {
+                file: file.to_string(),
+                line: 0,
+                message: format!(
+                    "duplicate {enum_name} opcode {op}: {} — wire opcodes must be unique \
+                     per direction",
+                    vs.join(", ")
+                ),
+            });
+        }
+    }
+    table
+}
+
+fn check_opcode_coverage(
+    enum_name: &str,
+    variants: &[String],
+    table: &BTreeMap<String, u16>,
+    file: &str,
+    out: &mut Vec<Finding>,
+) {
+    for v in variants {
+        if !table.contains_key(v) {
+            out.push(Finding {
+                file: file.to_string(),
+                line: 0,
+                message: format!(
+                    "`{enum_name}::{v}` has no arm in `fn opcode` — the variant cannot be \
+                     put on the wire"
+                ),
+            });
+        }
+    }
+}
+
+/// Checks `impl Wire for <wrapper> { fn decode }`: every encoded opcode
+/// must decode back to the same variant.
+fn check_decode(
+    msg_toks: &[Tok],
+    enum_name: &str,
+    wrapper: &str,
+    encode_table: &BTreeMap<String, u16>,
+    file: &str,
+    out: &mut Vec<Finding>,
+) {
+    let Some(body) = trait_impl_body(msg_toks, "Wire", wrapper).and_then(|b| fn_body(b, "decode"))
+    else {
+        out.push(Finding {
+            file: file.to_string(),
+            line: 0,
+            message: format!(
+                "protocol pass could not find `impl Wire for {wrapper} {{ fn decode }}` — \
+                 update xtask if it moved"
+            ),
+        });
+        return;
+    };
+    let mut decode_table: BTreeMap<u16, String> = BTreeMap::new();
+    for arm in all_match_arms(body) {
+        // Opcode arms have a numeric pattern; `other => Err(…)` and any
+        // nested payload matches don't.
+        let code = arm
+            .pat
+            .iter()
+            .find_map(|t| t.ident().and_then(|s| s.parse::<u16>().ok()));
+        let Some(code) = code else { continue };
+        let mut flat = Vec::new();
+        flatten(&arm.body, &mut flat);
+        if let Some(v) = flat_path_value(&flat, enum_name) {
+            decode_table.entry(code).or_insert(v);
+        }
+    }
+    for (v, op) in encode_table {
+        match decode_table.get(op) {
+            None => out.push(Finding {
+                file: file.to_string(),
+                line: 0,
+                message: format!(
+                    "`{wrapper}::decode` has no arm for opcode {op} (`{enum_name}::{v}`) — \
+                     the variant encodes but cannot decode"
+                ),
+            }),
+            Some(d) if d != v => out.push(Finding {
+                file: file.to_string(),
+                line: 0,
+                message: format!(
+                    "opcode {op} encodes from `{enum_name}::{v}` but decodes to \
+                     `{enum_name}::{d}` — the wire round-trip is broken"
+                ),
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// Visits every arm of the first match in `fn <name>`: the callback
+/// gets the `RequestBody::…` variants of the arm's pattern and the
+/// arm's flattened body.
+fn for_each_arm(
+    src: &str,
+    fn_name: &str,
+    file: &str,
+    out: &mut Vec<Finding>,
+    mut visit: impl FnMut(&[String], &[tokens::FlatTok<'_>]),
+) {
+    let stripped = strip(src);
+    let toks = tokens::parse(&stripped);
+    let Some(body) = fn_body(&toks, fn_name) else {
+        out.push(Finding {
+            file: file.to_string(),
+            line: 0,
+            message: format!(
+                "protocol pass could not find `fn {fn_name}` — update xtask if it moved"
+            ),
+        });
+        return;
+    };
+    for arm in all_match_arms(body) {
+        let variants = qualified_variants(&arm.pat, "RequestBody");
+        let mut flat = Vec::new();
+        flatten(&arm.body, &mut flat);
+        visit(&variants, &flat);
+    }
+}
+
+/// Variant → true/false from a match-based `fn <name>` over `RequestBody`.
+fn bool_table(
+    src: &str,
+    fn_name: &str,
+    file: &str,
+    out: &mut Vec<Finding>,
+) -> BTreeMap<String, bool> {
+    let mut table = BTreeMap::new();
+    for_each_arm(src, fn_name, file, out, |variants, flat| {
+        let value = flat.iter().find_map(|t| match t {
+            tokens::FlatTok::Ident { text, .. } if *text == "true" => Some(true),
+            tokens::FlatTok::Ident { text, .. } if *text == "false" => Some(false),
+            _ => None,
+        });
+        if let Some(value) = value {
+            for v in variants {
+                table.insert(v.clone(), value);
+            }
+        }
+    });
+    table
+}
+
+/// Request variants mentioned in any arm pattern of `fn <name>`.
+fn presence_table(
+    src: &str,
+    fn_name: &str,
+    file: &str,
+    out: &mut Vec<Finding>,
+) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for_each_arm(src, fn_name, file, out, |variants, _| {
+        set.extend(variants.iter().cloned());
+    });
+    set
+}
+
+/// Variant → `<value_enum>::X` from a match-based `fn <name>`.
+fn value_table(
+    src: &str,
+    fn_name: &str,
+    value_enum: &str,
+    file: &str,
+    out: &mut Vec<Finding>,
+) -> BTreeMap<String, String> {
+    let mut table = BTreeMap::new();
+    for_each_arm(src, fn_name, file, out, |variants, flat| {
+        if let Some(value) = flat_path_value(flat, value_enum) {
+            for v in variants {
+                table.insert(v.clone(), value.clone());
+            }
+        }
+    });
+    table
+}
+
+/// `CamelCase` → `snake_case`, matching the golden fixture naming.
+pub fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Word-bounded substring presence (so `req_stream_chunk` does not
+/// satisfy `req_stream_chunk_batch`, nor vice versa).
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = haystack[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1] as char);
+        let after = at + needle.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after] as char);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_case_matches_fixture_naming() {
+        assert_eq!(snake_case("Hello"), "hello");
+        assert_eq!(snake_case("StreamChunkBatch"), "stream_chunk_batch");
+        assert_eq!(snake_case("Ok"), "ok");
+        assert_eq!(snake_case("ReplicatedBlocks"), "replicated_blocks");
+    }
+
+    #[test]
+    fn word_bounded_fixture_lookup() {
+        assert!(contains_word("golden!(req_hello, x)", "req_hello"));
+        assert!(!contains_word("golden!(req_stream_chunk_batch, x)", "req_stream_chunk"));
+        assert!(!contains_word("nothing here", "req_hello"));
+    }
+
+    // Flat-value extraction is exercised through `value_table`.
+    #[test]
+    fn value_tables_follow_or_patterns() {
+        let src = "
+            fn wal_class(b: &RequestBody) -> WalClass {
+                match b {
+                    RequestBody::A { .. } | RequestBody::B => WalClass::Logged,
+                    RequestBody::C(_) => WalClass::Waived,
+                }
+            }
+        ";
+        let mut out = Vec::new();
+        let t = value_table(src, "wal_class", "WalClass", "f.rs", &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.get("A").map(String::as_str), Some("Logged"));
+        assert_eq!(t.get("B").map(String::as_str), Some("Logged"));
+        assert_eq!(t.get("C").map(String::as_str), Some("Waived"));
+    }
+
+    #[test]
+    fn missing_table_fn_is_reported() {
+        let mut out = Vec::new();
+        let t = bool_table("fn other() {}", "is_idempotent", "f.rs", &mut out);
+        assert!(t.is_empty());
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("is_idempotent"));
+    }
+
+    #[test]
+    fn bool_tables_read_arm_values() {
+        let src = "
+            impl RequestBody {
+                pub fn is_idempotent(&self) -> bool {
+                    match self {
+                        RequestBody::A { .. } | RequestBody::B => true,
+                        RequestBody::C(_) => false,
+                    }
+                }
+            }
+        ";
+        let mut out = Vec::new();
+        let t = bool_table(src, "is_idempotent", "f.rs", &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.get("A"), Some(&true));
+        assert_eq!(t.get("C"), Some(&false));
+    }
+}

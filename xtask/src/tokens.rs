@@ -1,0 +1,455 @@
+//! Scope-aware token trees over stripped source.
+//!
+//! [`crate::lexer::strip`] removes everything that could fool a text
+//! scan; this module adds the structure the semantic passes need:
+//! balanced `{}`/`()`/`[]` groups, per-`impl` and per-`fn` body
+//! extraction, match-arm splitting, and `Enum::Variant` path queries.
+//! `<`/`>` are deliberately *not* treated as delimiters (generics are
+//! indistinguishable from comparisons without type information); the
+//! queries below never need them.
+
+use crate::lexer::is_ident_char;
+
+/// One token. `pos` is the char offset into the stripped text (the
+/// workspace is ASCII, so it doubles as a byte offset for `line_of`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier, keyword, or numeric literal.
+    Ident { text: String, pos: usize },
+    /// A single punctuation character.
+    Punct { ch: char, pos: usize },
+    /// A balanced `{…}`, `(…)`, or `[…]`; `delim` is the opening char.
+    Group { delim: char, toks: Vec<Tok>, pos: usize },
+}
+
+impl Tok {
+    pub fn pos(&self) -> usize {
+        match self {
+            Tok::Ident { pos, .. } | Tok::Punct { pos, .. } | Tok::Group { pos, .. } => *pos,
+        }
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tok::Ident { text, .. } if text == s)
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident { text, .. } => Some(text),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct { ch, .. } if *ch == c)
+    }
+
+    /// The children of a brace/paren/bracket group, if this is one.
+    pub fn group(&self, delim: char) -> Option<&[Tok]> {
+        match self {
+            Tok::Group { delim: d, toks, .. } if *d == delim => Some(toks),
+            _ => None,
+        }
+    }
+}
+
+/// Parses stripped source into a top-level token stream.
+pub fn parse(stripped: &str) -> Vec<Tok> {
+    let chars: Vec<char> = stripped.chars().collect();
+    let mut i = 0;
+    parse_seq(&chars, &mut i, true)
+}
+
+fn closer_of(open: char) -> char {
+    match open {
+        '{' => '}',
+        '(' => ')',
+        _ => ']',
+    }
+}
+
+fn parse_seq(chars: &[char], i: &mut usize, top: bool) -> Vec<Tok> {
+    let mut out = Vec::new();
+    while *i < chars.len() {
+        let c = chars[*i];
+        match c {
+            '{' | '(' | '[' => {
+                let pos = *i;
+                *i += 1;
+                let toks = parse_seq(chars, i, false);
+                // parse_seq stops *at* a closer; consume the matching one.
+                if *i < chars.len() && chars[*i] == closer_of(c) {
+                    *i += 1;
+                }
+                out.push(Tok::Group { delim: c, toks, pos });
+            }
+            '}' | ')' | ']' => {
+                if !top {
+                    return out; // let the caller consume its closer
+                }
+                *i += 1; // unbalanced closer at top level: skip
+            }
+            c if is_ident_char(c) => {
+                let pos = *i;
+                while *i < chars.len() && is_ident_char(chars[*i]) {
+                    *i += 1;
+                }
+                out.push(Tok::Ident {
+                    text: chars[pos..*i].iter().collect(),
+                    pos,
+                });
+            }
+            c if c.is_whitespace() => *i += 1,
+            _ => {
+                out.push(Tok::Punct { ch: c, pos: *i });
+                *i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The body tokens of the first inherent `impl <type_name> { … }` at the
+/// top level of `toks` (trait impls — `impl Trait for T` — don't match).
+pub fn impl_body<'a>(toks: &'a [Tok], type_name: &str) -> Option<&'a [Tok]> {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("impl") && toks[i + 1].is_ident(type_name) {
+            if let Some(Tok::Group { delim: '{', toks: body, .. }) = toks.get(i + 2) {
+                return Some(body);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The body tokens of `impl <trait_name> for <type_name> { … }`.
+pub fn trait_impl_body<'a>(
+    toks: &'a [Tok],
+    trait_name: &str,
+    type_name: &str,
+) -> Option<&'a [Tok]> {
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        if toks[i].is_ident("impl")
+            && toks[i + 1].is_ident(trait_name)
+            && toks[i + 2].is_ident("for")
+            && toks[i + 3].is_ident(type_name)
+        {
+            if let Some(Tok::Group { delim: '{', toks: body, .. }) = toks.get(i + 4) {
+                return Some(body);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The brace-group body of `fn <name>`, searching `toks` and every
+/// nested group in source order. Signatures without a body (`fn f();`)
+/// are skipped.
+pub fn fn_body<'a>(toks: &'a [Tok], name: &str) -> Option<&'a [Tok]> {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+            let mut j = i + 2;
+            while j < toks.len() {
+                match &toks[j] {
+                    Tok::Group { delim: '{', toks: body, .. } => return Some(body),
+                    Tok::Punct { ch: ';', .. } => break,
+                    _ => j += 1,
+                }
+            }
+        }
+        if let Tok::Group { toks: inner, .. } = &toks[i] {
+            if let Some(b) = fn_body(inner, name) {
+                return Some(b);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// One arm of a `match` expression.
+#[derive(Debug)]
+pub struct Arm<'a> {
+    pub pat: Vec<&'a Tok>,
+    pub body: Vec<&'a Tok>,
+    /// Position of the pattern's first token.
+    pub pos: usize,
+}
+
+/// Splits the arms of every `match` expression found in `toks`,
+/// recursing into nested groups (and nested matches). Arms are returned
+/// in source order of their patterns.
+pub fn all_match_arms<'a>(toks: &'a [Tok]) -> Vec<Arm<'a>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("match") {
+            // The match body is the next brace group at this level (the
+            // scrutinee contributes parens/idents but no bare braces).
+            let mut j = i + 1;
+            while j < toks.len() {
+                match &toks[j] {
+                    Tok::Group { delim: '{', toks: body, .. } => {
+                        out.extend(split_arms(body));
+                        break;
+                    }
+                    // A `;` means this was `match` in some other role.
+                    Tok::Punct { ch: ';', .. } => break,
+                    _ => j += 1,
+                }
+            }
+        }
+        if let Tok::Group { toks: inner, .. } = &toks[i] {
+            out.extend(all_match_arms(inner));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Splits one match body's tokens into arms: pattern up to `=>`, then
+/// either a brace-group body or an expression running to the next
+/// top-level comma.
+fn split_arms<'a>(ts: &'a [Tok]) -> Vec<Arm<'a>> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < ts.len() {
+        let mut pat: Vec<&Tok> = Vec::new();
+        while i < ts.len()
+            && !(ts[i].is_punct('=') && ts.get(i + 1).is_some_and(|t| t.is_punct('>')))
+        {
+            pat.push(&ts[i]);
+            i += 1;
+        }
+        if i >= ts.len() {
+            break;
+        }
+        i += 2; // past `=>`
+        let mut body: Vec<&Tok> = Vec::new();
+        if matches!(ts.get(i), Some(Tok::Group { delim: '{', .. })) {
+            body.push(&ts[i]);
+            i += 1;
+            if ts.get(i).is_some_and(|t| t.is_punct(',')) {
+                i += 1;
+            }
+        } else {
+            while i < ts.len() && !ts[i].is_punct(',') {
+                body.push(&ts[i]);
+                i += 1;
+            }
+            if i < ts.len() {
+                i += 1; // the comma
+            }
+        }
+        if let Some(first) = pat.first() {
+            arms.push(Arm {
+                pos: first.pos(),
+                pat,
+                body,
+            });
+        }
+    }
+    arms
+}
+
+/// `Enum::Variant` occurrences among `toks` (this level only — pattern
+/// position, so payloads aren't recursed into).
+pub fn qualified_variants(toks: &[&Tok], enum_name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 3 < toks.len() + 1 {
+        if toks[i].is_ident(enum_name)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(v) = toks.get(i + 3).and_then(|t| t.ident()) {
+                out.push(v.to_string());
+                i += 4;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A flattened, depth-first view of a token (sub)tree, for in-order
+/// reachability scans.
+#[derive(Debug)]
+pub enum FlatTok<'a> {
+    Ident { text: &'a str, pos: usize },
+    Punct { ch: char, pos: usize },
+    Open { delim: char, pos: usize },
+    Close { delim: char, pos: usize },
+}
+
+impl FlatTok<'_> {
+    pub fn pos(&self) -> usize {
+        match self {
+            FlatTok::Ident { pos, .. }
+            | FlatTok::Punct { pos, .. }
+            | FlatTok::Open { pos, .. }
+            | FlatTok::Close { pos, .. } => *pos,
+        }
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, FlatTok::Ident { text, .. } if *text == s)
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, FlatTok::Punct { ch, .. } if *ch == c)
+    }
+
+    pub fn is_open(&self, c: char) -> bool {
+        matches!(self, FlatTok::Open { delim, .. } if *delim == c)
+    }
+}
+
+/// Flattens `toks` (a slice of borrowed trees, e.g. an [`Arm`] body)
+/// depth-first into `out`.
+pub fn flatten<'a>(toks: &[&'a Tok], out: &mut Vec<FlatTok<'a>>) {
+    for t in toks {
+        flatten_one(t, out);
+    }
+}
+
+fn flatten_one<'a>(t: &'a Tok, out: &mut Vec<FlatTok<'a>>) {
+    match t {
+        Tok::Ident { text, pos } => out.push(FlatTok::Ident { text, pos: *pos }),
+        Tok::Punct { ch, pos } => out.push(FlatTok::Punct { ch: *ch, pos: *pos }),
+        Tok::Group { delim, toks, pos } => {
+            out.push(FlatTok::Open {
+                delim: *delim,
+                pos: *pos,
+            });
+            for c in toks {
+                flatten_one(c, out);
+            }
+            out.push(FlatTok::Close {
+                delim: *delim,
+                pos: *pos,
+            });
+        }
+    }
+}
+
+/// The first `Path::Segment` value among a flat arm body — e.g.
+/// `WalClass::Logged` → `Some("Logged")` for `path = "WalClass"`.
+pub fn flat_path_value(flat: &[FlatTok<'_>], path: &str) -> Option<String> {
+    let mut i = 0;
+    while i + 3 < flat.len() + 1 {
+        if flat[i].is_ident(path)
+            && flat.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && flat.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(FlatTok::Ident { text, .. }) = flat.get(i + 3) {
+                return Some((*text).to_string());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::strip;
+
+    #[test]
+    fn parses_nested_groups_and_idents() {
+        let toks = parse("fn f(a: u8) { g(b[1]); }");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("f"));
+        assert!(toks[2].group('(').is_some());
+        let body = toks[3].group('{').unwrap();
+        assert!(body[0].is_ident("g"));
+        let args = body[1].group('(').unwrap();
+        assert!(args[0].is_ident("b"));
+        assert!(args[1].group('[').is_some());
+    }
+
+    #[test]
+    fn positions_survive_for_line_numbers() {
+        let src = "a\nb\n  c";
+        let toks = parse(src);
+        assert_eq!(crate::lexer::line_of(src, toks[2].pos()), 3);
+    }
+
+    #[test]
+    fn unbalanced_closers_do_not_panic() {
+        let toks = parse("} ) fn f { }");
+        assert!(fn_body(&toks, "f").is_some());
+        let toks = parse("fn f { ( }");
+        assert!(fn_body(&toks, "f").is_some());
+    }
+
+    #[test]
+    fn impl_bodies_distinguish_inherent_and_trait() {
+        let src = "impl Wire for Req { fn decode() { a(); } } impl Req { fn opcode() { b(); } }";
+        let toks = parse(src);
+        let inherent = impl_body(&toks, "Req").unwrap();
+        assert!(fn_body(inherent, "opcode").is_some());
+        assert!(fn_body(inherent, "decode").is_none());
+        let wire = trait_impl_body(&toks, "Wire", "Req").unwrap();
+        assert!(fn_body(wire, "decode").is_some());
+    }
+
+    #[test]
+    fn fn_body_skips_parens_and_return_types() {
+        let src = "fn f(a: (u8, u8)) -> Result<(), E> { inner() } fn g();";
+        let toks = parse(src);
+        let body = fn_body(&toks, "f").unwrap();
+        assert!(body[0].is_ident("inner"));
+        assert!(fn_body(&toks, "g").is_none());
+    }
+
+    #[test]
+    fn match_arms_split_on_arrows_and_commas() {
+        let src = "
+            fn f(x: E) -> u16 {
+                match x {
+                    E::A { .. } => 1,
+                    E::B(inner) => { nested(); 2 }
+                    E::C | E::D => other(a, b),
+                }
+            }
+        ";
+        let toks = parse(&strip(src));
+        let arms = all_match_arms(&toks);
+        assert_eq!(arms.len(), 3);
+        assert_eq!(qualified_variants(&arms[0].pat, "E"), vec!["A"]);
+        assert_eq!(qualified_variants(&arms[2].pat, "E"), vec!["C", "D"]);
+        let mut flat = Vec::new();
+        flatten(&arms[1].body, &mut flat);
+        assert!(flat.iter().any(|t| t.is_ident("nested")));
+    }
+
+    #[test]
+    fn nested_matches_are_found() {
+        let src = "fn f() { match a { X::P => match b { Y::Q => 1, _ => 2 }, _ => 0 } }";
+        let toks = parse(src);
+        let arms = all_match_arms(&toks);
+        let pats: Vec<_> = arms
+            .iter()
+            .flat_map(|a| qualified_variants(&a.pat, "Y"))
+            .collect();
+        assert!(pats.contains(&"Q".to_string()));
+    }
+
+    #[test]
+    fn flat_path_values_resolve() {
+        let toks = parse("WalClass::Logged");
+        let refs: Vec<&Tok> = toks.iter().collect();
+        let mut flat = Vec::new();
+        flatten(&refs, &mut flat);
+        assert_eq!(flat_path_value(&flat, "WalClass").as_deref(), Some("Logged"));
+        assert_eq!(flat_path_value(&flat, "OpClass"), None);
+    }
+}

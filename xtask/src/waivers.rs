@@ -70,6 +70,15 @@ impl Waivers {
         Ok(Waivers { entries })
     }
 
+    /// Number of waiver entries (for the `--report` burndown).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
     /// The waived count for one file/kind pair.
     pub fn allowance(&self, path: &str, kind: PanicKind) -> usize {
         self.entries
@@ -101,6 +110,110 @@ impl Waivers {
             .collect();
         out.sort_by(|a, b| a.message.cmp(&b.message));
         out
+    }
+}
+
+/// Waivers for the semantic `analyze` passes: one per line,
+///
+/// ```text
+/// <pass> <key> -- <justification>
+/// durability RepairNode -- append happens inside repair_node_locked
+/// ```
+///
+/// The justification is mandatory — a waiver is a debt note, and a debt
+/// note without a reason is unreviewable. Every entry must be consumed
+/// by a finding it suppresses; unused entries are stale and fail the
+/// run, so the list can only shrink as the underlying debt is paid.
+#[derive(Debug, Default)]
+pub struct AnalyzeWaivers {
+    entries: Vec<(String, String, String)>,
+}
+
+const ANALYZE_PASSES: [&str; 2] = ["durability", "lockgraph"];
+
+impl AnalyzeWaivers {
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries: Vec<(String, String, String)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (head, just) = match line.split_once("--") {
+                Some((h, j)) => (h.trim(), j.trim()),
+                None => {
+                    return Err(format!(
+                        "analyze-waivers.txt:{}: expected `<pass> <key> -- <justification>`, \
+                         got {raw:?}",
+                        idx + 1
+                    ))
+                }
+            };
+            let mut parts = head.split_whitespace();
+            let (pass, key) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(p), Some(k), None) => (p, k),
+                _ => {
+                    return Err(format!(
+                        "analyze-waivers.txt:{}: expected exactly `<pass> <key>` before \
+                         `--`, got {head:?}",
+                        idx + 1
+                    ))
+                }
+            };
+            if !ANALYZE_PASSES.contains(&pass) {
+                return Err(format!(
+                    "analyze-waivers.txt:{}: unknown pass {pass:?} (expected \
+                     durability|lockgraph; protocol and hotpath findings are not \
+                     waivable here — hot-path lines take inline `// glider: alloc-ok`)",
+                    idx + 1
+                ));
+            }
+            if just.is_empty() {
+                return Err(format!(
+                    "analyze-waivers.txt:{}: empty justification — say why this \
+                     violation is acceptable and where the invariant actually holds",
+                    idx + 1
+                ));
+            }
+            if entries.iter().any(|(p, k, _)| p == pass && k == key) {
+                return Err(format!(
+                    "analyze-waivers.txt:{}: duplicate waiver for `{pass} {key}`",
+                    idx + 1
+                ));
+            }
+            entries.push((pass.to_string(), key.to_string(), just.to_string()));
+        }
+        Ok(AnalyzeWaivers { entries })
+    }
+
+    pub fn is_waived(&self, pass: &str, key: &str) -> bool {
+        self.entries.iter().any(|(p, k, _)| p == pass && k == key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The shrink-only ratchet: every waiver must have suppressed at
+    /// least one finding this run. `used` is the (pass, key) pairs the
+    /// passes consumed.
+    pub fn stale(&self, used: &[(String, String)]) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .filter(|(p, k, _)| !used.iter().any(|(up, uk)| up == p && uk == k))
+            .map(|(p, k, _)| Finding {
+                file: "xtask/analyze-waivers.txt".to_string(),
+                line: 0,
+                message: format!(
+                    "stale waiver: `{p} {k}` suppressed nothing this run — delete the \
+                     line (the list may only shrink)"
+                ),
+            })
+            .collect()
     }
 }
 
@@ -140,5 +253,43 @@ mod tests {
         // Fully-used waivers are clean.
         let stale = w.stale_findings(|path, _| if path == "a.rs" { 2 } else { 1 });
         assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn analyze_waivers_parse_and_lookup() {
+        let w = AnalyzeWaivers::parse(
+            "# debt notes\ndurability RepairNode -- append happens in repair_node_locked\n\
+             lockgraph freelist -- renamed next PR\n",
+        )
+        .unwrap();
+        assert!(w.is_waived("durability", "RepairNode"));
+        assert!(w.is_waived("lockgraph", "freelist"));
+        assert!(!w.is_waived("durability", "CreateNode"));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn analyze_waivers_reject_bad_lines() {
+        assert!(AnalyzeWaivers::parse("durability RepairNode\n").is_err(), "no justification");
+        assert!(AnalyzeWaivers::parse("durability RepairNode --  \n").is_err(), "empty justification");
+        assert!(AnalyzeWaivers::parse("protocol Hello -- nope\n").is_err(), "unwaivable pass");
+        assert!(AnalyzeWaivers::parse("durability A B -- x\n").is_err(), "extra key token");
+        assert!(
+            AnalyzeWaivers::parse("durability X -- a\ndurability X -- b\n").is_err(),
+            "duplicate"
+        );
+    }
+
+    #[test]
+    fn analyze_waivers_stale_detection() {
+        let w = AnalyzeWaivers::parse(
+            "durability RepairNode -- real\nlockgraph ghost -- never fires\n",
+        )
+        .unwrap();
+        let used = vec![("durability".to_string(), "RepairNode".to_string())];
+        let stale = w.stale(&used);
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("lockgraph ghost"));
+        assert!(w.stale(&[]).len() == 2);
     }
 }

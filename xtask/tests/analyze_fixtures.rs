@@ -1,0 +1,238 @@
+//! Seeded-violation fixture corpus for the `analyze` passes.
+//!
+//! Each pass must (a) report every violation planted in its corpus
+//! under `tests/fixtures/`, naming the variant/line precisely, and
+//! (b) come back clean on the real workspace — the same binary gate CI
+//! runs, exercised here as a library call so a regression in either
+//! direction (missed violation, false positive) fails `cargo test`.
+
+use xtask::durability;
+use xtask::hotpath;
+use xtask::lockgraph;
+use xtask::locks;
+use xtask::protocol;
+use xtask::waivers::AnalyzeWaivers;
+
+fn no_waivers() -> AnalyzeWaivers {
+    AnalyzeWaivers::parse("").expect("empty waiver list parses")
+}
+
+/// Asserts exactly one finding in `out` mentions every needle in `needles`.
+fn assert_finding(out: &[xtask::Finding], needles: &[&str]) {
+    let hits = out
+        .iter()
+        .filter(|f| needles.iter().all(|n| f.message.contains(n)))
+        .count();
+    assert_eq!(
+        hits, 1,
+        "expected exactly one finding containing {needles:?}, got {hits} in {out:#?}"
+    );
+}
+
+// ---------------------------------------------------------------- protocol
+
+fn proto_bad_inputs(golden_files: &[String]) -> protocol::Inputs<'_> {
+    protocol::Inputs {
+        message_src: include_str!("fixtures/proto_bad/message.rs"),
+        message_file: "fixtures/proto_bad/message.rs",
+        op_kind_src: include_str!("fixtures/proto_bad/rpc.rs"),
+        op_kind_file: "fixtures/proto_bad/rpc.rs",
+        op_class_src: include_str!("fixtures/proto_bad/retry.rs"),
+        op_class_file: "fixtures/proto_bad/retry.rs",
+        wal_class_src: include_str!("fixtures/proto_bad/wal.rs"),
+        wal_class_file: "fixtures/proto_bad/wal.rs",
+        golden_files,
+        golden_tests_src: include_str!("fixtures/proto_bad/golden_wire.rs"),
+        golden_tests_file: "fixtures/proto_bad/golden_wire.rs",
+    }
+}
+
+#[test]
+fn protocol_pass_reports_every_seeded_violation() {
+    let golden: Vec<String> = [
+        "req_hello.hex",
+        "req_put_block.hex",
+        "req_get_block.hex",
+        "resp_ok_ack.hex",
+        "resp_data.hex",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (out, model) = protocol::check(&proto_bad_inputs(&golden));
+
+    // Duplicate opcode within the request direction.
+    assert_finding(&out, &["duplicate RequestBody opcode 2", "GetBlock"]);
+    // A variant with no opcode arm cannot be encoded.
+    assert_finding(&out, &["`RequestBody::Evict` has no arm in `fn opcode`"]);
+    // Round-trip breaks: opcode 1 encodes Hello, decodes PutBlock.
+    assert_finding(&out, &["opcode 1", "`RequestBody::Hello`", "decodes to"]);
+    assert_finding(&out, &["opcode 2", "`RequestBody::PutBlock`", "decodes to"]);
+    // Unclassified variant, per table.
+    assert_finding(&out, &["`fn is_idempotent` does not classify `RequestBody::Evict`"]);
+    assert_finding(&out, &["`fn op_kind` does not classify `RequestBody::Evict`"]);
+    // Mutual-consistency violations for the Logged PutBlock.
+    assert_finding(&out, &["WAL-`Logged` but `is_idempotent` returns true"]);
+    assert_finding(&out, &["WAL-`Logged` but `op_class`", "OpClass::Storage"]);
+    // Golden fixture gaps: one missing on disk, one unregistered.
+    assert_finding(&out, &["missing golden wire fixture", "req_evict.hex"]);
+    assert_finding(&out, &["`resp_data` is not registered"]);
+
+    assert_eq!(out.len(), 10, "no unplanned findings: {out:#?}");
+
+    // The derived model is still usable despite the violations.
+    assert_eq!(model.req_variants.len(), 4);
+    assert_eq!(model.resp_variants.len(), 2);
+    assert_eq!(model.logged_variants(), vec!["PutBlock".to_string()]);
+}
+
+// -------------------------------------------------------------- durability
+
+#[test]
+fn durability_pass_flags_early_ack_and_missing_arm() {
+    let logged: Vec<String> = ["CreateFile", "DeleteFile", "RenameFile"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let src = include_str!("fixtures/durability_bad/metadata.rs");
+    let mut used = Vec::new();
+    let mut stats = durability::Stats::default();
+    let out = durability::check_metadata("m.rs", src, &logged, &no_waivers(), &mut used, &mut stats);
+
+    // CreateFile acks before the append; DeleteFile is clean.
+    assert_finding(&out, &["`RequestBody::CreateFile`", "no earlier `log`/`append`"]);
+    // RenameFile has no arm to audit at all.
+    assert_finding(&out, &["`RequestBody::RenameFile`", "no `RequestBody::RenameFile`"]);
+    assert_eq!(out.len(), 2, "{out:#?}");
+    assert_eq!(stats.audited, 2, "CreateFile and DeleteFile arms audited");
+
+    // The missing-arm finding is waivable with a justification.
+    let w = AnalyzeWaivers::parse(
+        "durability RenameFile -- renames route through rename_locked, which appends\n",
+    )
+    .expect("valid waiver list");
+    let mut used = Vec::new();
+    let mut stats = durability::Stats::default();
+    let out = durability::check_metadata("m.rs", src, &logged, &w, &mut used, &mut stats);
+    assert_eq!(out.len(), 1, "only the CreateFile early-ack remains: {out:#?}");
+    assert_eq!(used, vec![("durability".to_string(), "RenameFile".to_string())]);
+    assert_eq!(stats.waived, 1);
+}
+
+#[test]
+fn forward_chunk_pass_flags_forward_and_ack_before_persist() {
+    let src = include_str!("fixtures/durability_bad/storage.rs");
+    let mut used = Vec::new();
+    let mut stats = durability::Stats::default();
+    let out = durability::check_forward_chunk("s.rs", src, &no_waivers(), &mut used, &mut stats);
+    assert_finding(&out, &["acks `Written`", "persist-then-forward-then-ack"]);
+    assert_finding(&out, &["forwards down the chain"]);
+    assert_eq!(out.len(), 2, "{out:#?}");
+}
+
+// ----------------------------------------------------------------- hotpath
+
+#[test]
+fn hotpath_pass_reports_every_seeded_violation() {
+    let src = include_str!("fixtures/hotpath_bad/hot.rs");
+    let mut stats = hotpath::Stats::default();
+    let out = hotpath::check_file("h.rs", src, &mut stats);
+
+    assert_finding(&out, &["`.to_vec(`", "must not allocate"]);
+    assert_finding(&out, &["`format!`", "must not allocate"]);
+    assert_finding(&out, &["needs a justification"]);
+    assert_finding(&out, &["stray `// glider: end-hot-path`"]);
+    assert_finding(&out, &["never closed"]);
+    assert_eq!(out.len(), 5, "{out:#?}");
+    assert_eq!(stats.regions, 2);
+}
+
+// --------------------------------------------------------------- lockgraph
+
+#[test]
+fn rank_table_drift_is_reported_both_ways() {
+    let src = include_str!("fixtures/lockgraph_bad/lockorder.rs");
+    let mut stats = lockgraph::Stats::default();
+    let out = lockgraph::check_ranks("lockorder.rs", src, &mut stats);
+    // A new enum variant the lint does not know…
+    assert_finding(&out, &["`LockRank::JournalIndex`", "no matching entry"]);
+    // …and a lint row whose variant is gone.
+    assert_finding(&out, &["RANK_NAMES lists `BufferPool`", "remove the stale row"]);
+    assert_eq!(out.len(), 2, "{out:#?}");
+    assert_eq!(stats.ranks, 4);
+}
+
+#[test]
+fn declaration_audit_flags_wrong_binding_and_dynamic_rank() {
+    let src = include_str!("fixtures/lockgraph_bad/decls.rs");
+    let mut used = Vec::new();
+    let mut stats = lockgraph::Stats::default();
+    let out = lockgraph::check_declarations("d.rs", src, &no_waivers(), &mut used, &mut stats);
+    // `reg` is a Registry deciding identifier declared at BufferPool rank.
+    assert_finding(&out, &["lock `reg`", "LockRank::BufferPool"]);
+    // A computed first argument cannot be ranked statically.
+    assert_finding(&out, &["cannot rank this lock statically"]);
+    assert_eq!(out.len(), 2, "{out:#?}");
+    assert_eq!(stats.declarations, 2);
+}
+
+#[test]
+fn cross_file_edges_assemble_into_cycle_findings() {
+    // Two files, each locally consistent under its own ordering, that
+    // disagree about BlockMap vs Registry.
+    let a = "
+        fn promote(&self) {
+            let g = self.reg.lock();
+            let b = self.blocks.lock();
+            drop(b);
+            drop(g);
+        }
+    ";
+    let b = "
+        fn demote(&self) {
+            let b = self.blocks.lock();
+            let g = self.reg.lock();
+            drop(g);
+            drop(b);
+        }
+    ";
+    let (_findings_a, edges_a) = locks::scan_with_edges("a.rs", a);
+    let (_findings_b, edges_b) = locks::scan_with_edges("b.rs", b);
+    let mut edges: Vec<(String, locks::Edge)> = Vec::new();
+    edges.extend(edges_a.into_iter().map(|e| ("a.rs".to_string(), e)));
+    edges.extend(edges_b.into_iter().map(|e| ("b.rs".to_string(), e)));
+    assert_eq!(edges.len(), 2, "one nested acquisition per file");
+
+    let mut stats = lockgraph::Stats::default();
+    let out = lockgraph::check_cycles(&edges, &mut stats);
+    assert_eq!(out.len(), 1, "{out:#?}");
+    assert!(
+        out[0].message.contains("Registry -> BlockMap -> Registry"),
+        "{}",
+        out[0].message
+    );
+    assert_eq!(stats.cycles, 1);
+}
+
+// -------------------------------------------------- real workspace is clean
+
+#[test]
+fn analyze_is_clean_on_the_workspace() {
+    let root = xtask::workspace_root().expect("test runs inside the workspace");
+    let (findings, report) = xtask::analyze(&root);
+    assert!(
+        findings.is_empty(),
+        "analyze must be clean on the real tree:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The report reflects a real, non-degenerate model: if these hit
+    // zero the passes are silently matching nothing.
+    assert!(report.model.req_variants.len() >= 20);
+    assert!(!report.model.logged_variants().is_empty());
+    assert!(report.hotpath.regions >= 5);
+    assert!(report.lockgraph.declarations >= 3);
+}

@@ -1,0 +1,25 @@
+//! Seeded-violation replication handler: the `ForwardChunk` arm
+//! forwards down the chain and acks `Written` before the local
+//! `store.write(…)` — both orderings the durability pass rejects.
+
+async fn handle(&self, body: RequestBody) -> GliderResult<ResponseBody> {
+    match body {
+        RequestBody::ForwardChunk { block_id, offset, chain, data } => {
+            if let Some(next) = chain.first() {
+                self.peer(next)
+                    .call(RequestBody::ForwardChunk {
+                        block_id,
+                        offset,
+                        chain: chain[1..].to_vec(),
+                        data: data.clone(),
+                    })
+                    .await?;
+            }
+            let n = data.len() as u64;
+            let ack = Ok(ResponseBody::Written { n });
+            self.store.write(block_id, offset, data)?;
+            ack
+        }
+        other => Err(unexpected(other)),
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded-violation OrderedMutex declarations: `reg` is declared at the
+//! wrong rank for its deciding identifier, and a second site computes
+//! its rank at runtime, which the lint cannot track.
+
+struct Pool {
+    free: OrderedMutex<Vec<BytesMut>>,
+}
+
+fn build(cfg: &Config) -> (Registry, Pool) {
+    let reg = OrderedMutex::new(LockRank::BufferPool, RegistryInner::default());
+    let pool = Pool {
+        free: OrderedMutex::new(rank_for(cfg), Vec::new()),
+    };
+    (reg, pool)
+}

@@ -1,0 +1,10 @@
+//! Seeded-violation rank enum: `BufferPool` has been dropped and a new
+//! `JournalIndex` rank added without teaching the lint's RANK_NAMES
+//! table — both directions of the sync check fire.
+
+pub enum LockRank {
+    NamespaceShard = 0,
+    Registry = 1,
+    BlockMap = 2,
+    JournalIndex = 3,
+}

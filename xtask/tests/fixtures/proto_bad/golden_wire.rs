@@ -1,0 +1,11 @@
+//! Golden-fixture registrations for the proto_bad corpus. Every stem
+//! except the Data response's is registered, so the pass reports
+//! exactly one unregistered fixture. (Stems must not appear even in
+//! comments here — the registration check is a word search over this
+//! file, by design: commenting out a registration should not pass.)
+
+golden!(req_hello, RequestBody::Hello { node: 7 });
+golden!(req_put_block, RequestBody::PutBlock { id: 1, data: b"x".to_vec() });
+golden!(req_get_block, RequestBody::GetBlock { id: 1 });
+golden!(req_evict, RequestBody::Evict { id: 1 });
+golden!(resp_ok_ack, ResponseBody::OkAck);

@@ -1,0 +1,77 @@
+//! Seeded-violation protocol fixture. A miniature `message.rs` whose
+//! wire tables break every invariant the protocol pass enforces:
+//!
+//! - `PutBlock` and `GetBlock` share opcode 2 (duplicate);
+//! - `Evict` has no `fn opcode` arm at all (cannot encode);
+//! - `Request::decode` maps opcode 1 to `PutBlock`, so `Hello` (and
+//!   `PutBlock` itself) fail the round-trip check;
+//! - `is_idempotent` does not classify `Evict`;
+//! - `PutBlock` is both idempotent and WAL-`Logged` (see wal.rs), an
+//!   impossible combination.
+
+pub enum RequestBody {
+    Hello { node: u64 },
+    PutBlock { id: u64, data: Vec<u8> },
+    GetBlock { id: u64 },
+    Evict { id: u64 },
+}
+
+pub enum ResponseBody {
+    OkAck,
+    Data { bytes: Vec<u8> },
+}
+
+impl RequestBody {
+    pub fn opcode(&self) -> u16 {
+        match self {
+            RequestBody::Hello { .. } => 1,
+            RequestBody::PutBlock { .. } => 2,
+            RequestBody::GetBlock { .. } => 2,
+        }
+    }
+
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            RequestBody::Hello { .. } | RequestBody::GetBlock { .. } => true,
+            RequestBody::PutBlock { .. } => true,
+        }
+    }
+}
+
+impl ResponseBody {
+    pub fn opcode(&self) -> u16 {
+        match self {
+            ResponseBody::OkAck => 1,
+            ResponseBody::Data { .. } => 2,
+        }
+    }
+}
+
+impl Wire for Request {
+    fn decode(buf: &mut Cursor) -> Result<Self> {
+        let op = read_u16(buf)?;
+        let body = match op {
+            1 => RequestBody::PutBlock {
+                id: read_u64(buf)?,
+                data: read_bytes(buf)?,
+            },
+            2 => RequestBody::GetBlock { id: read_u64(buf)? },
+            other => return Err(bad_opcode(other)),
+        };
+        Ok(Request { body })
+    }
+}
+
+impl Wire for Response {
+    fn decode(buf: &mut Cursor) -> Result<Self> {
+        let op = read_u16(buf)?;
+        let body = match op {
+            1 => ResponseBody::OkAck,
+            2 => ResponseBody::Data {
+                bytes: read_bytes(buf)?,
+            },
+            other => return Err(bad_opcode(other)),
+        };
+        Ok(Response { body })
+    }
+}

@@ -1,0 +1,11 @@
+//! `op_class` table for the proto_bad corpus: complete, but it puts the
+//! WAL-`Logged` `PutBlock` on the storage plane, which the consistency
+//! check rejects (only metadata-plane ops reach the WAL).
+
+pub fn op_class(body: &RequestBody) -> OpClass {
+    match body {
+        RequestBody::Hello { .. } => OpClass::Control,
+        RequestBody::PutBlock { .. } => OpClass::Storage,
+        RequestBody::GetBlock { .. } | RequestBody::Evict { .. } => OpClass::Storage,
+    }
+}

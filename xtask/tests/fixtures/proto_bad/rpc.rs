@@ -1,0 +1,8 @@
+//! `op_kind` table for the proto_bad corpus: `Evict` is unclassified.
+
+pub fn op_kind(body: &RequestBody) -> OpKind {
+    match body {
+        RequestBody::Hello { .. } => OpKind::Control,
+        RequestBody::PutBlock { .. } | RequestBody::GetBlock { .. } => OpKind::Data,
+    }
+}

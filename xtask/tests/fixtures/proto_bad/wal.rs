@@ -1,0 +1,12 @@
+//! `wal_class` table for the proto_bad corpus: classifies everything,
+//! but marks `PutBlock` as `Logged` — which clashes with its
+//! `is_idempotent` entry (true) and its `op_class` entry (`Storage`).
+
+pub fn wal_class(body: &RequestBody) -> WalClass {
+    match body {
+        RequestBody::PutBlock { .. } => WalClass::Logged,
+        RequestBody::Hello { .. }
+        | RequestBody::GetBlock { .. }
+        | RequestBody::Evict { .. } => WalClass::Untracked,
+    }
+}
